@@ -1,0 +1,140 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the STORM paper's evaluation, one testing.B benchmark per artifact.
+// They run the Quick experiment configurations so a full
+// `go test -bench=. -benchmem` pass completes in minutes; use
+// cmd/stormsim (without -quick) for the paper-scale runs.
+//
+// Reported custom metrics carry the headline quantity of each artifact
+// (milliseconds, MB/s, ...) so regressions in the reproduced numbers are
+// visible from benchmark output alone.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/experiments"
+	"repro/internal/job"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/storm"
+)
+
+// benchOpt is the shared quick configuration.
+var benchOpt = experiments.Options{Quick: true, Seed: 1}
+
+// runExperiment drives one registered experiment b.N times.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, benchOpt); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// BenchmarkFig2LaunchUnloaded regenerates paper Fig. 2 (send/execute
+// times for 4-12 MB binaries on an unloaded system) and reports the
+// headline 12 MB launch latency.
+func BenchmarkFig2LaunchUnloaded(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		cfg := storm.DefaultConfig(64)
+		cfg.Timeslice = sim.Millisecond
+		s := storm.New(env, cfg)
+		j := s.Submit(&job.Job{Name: "dn", BinaryBytes: 12_000_000, NodesWanted: 64, PEsPerNode: 4})
+		total = s.RunUntilDone(j).Seconds()
+		s.Shutdown()
+	}
+	b.ReportMetric(total*1000, "launch-ms")
+	b.ReportMetric(12.0/total, "protocol-MB/s")
+}
+
+// BenchmarkFig3LaunchLoaded regenerates paper Fig. 3 (launches under CPU
+// and network load).
+func BenchmarkFig3LaunchLoaded(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4TimeQuantum regenerates paper Fig. 4 (runtime vs. gang
+// quantum).
+func BenchmarkFig4TimeQuantum(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5NodeScalability regenerates paper Fig. 5 (runtime vs.
+// node count).
+func BenchmarkFig5NodeScalability(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6ReadBandwidth regenerates paper Fig. 6 (filesystem read
+// bandwidth).
+func BenchmarkFig6ReadBandwidth(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7BroadcastBandwidth regenerates paper Fig. 7 (broadcast
+// bandwidth from NIC vs. host buffers).
+func BenchmarkFig7BroadcastBandwidth(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8ChunkSlots regenerates paper Fig. 8 (send time vs.
+// fragment size and slot count).
+func BenchmarkFig8ChunkSlots(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Barrier regenerates paper Fig. 9 (hardware barrier latency
+// vs. nodes) and reports the 1,024-node latency.
+func BenchmarkFig9Barrier(b *testing.B) {
+	runExperiment(b, "fig9")
+	b.ReportMetric(netmodel.BarrierLatencyUs(1024), "barrier1024-us")
+}
+
+// BenchmarkTable4BandwidthModel regenerates paper Table 4 (broadcast
+// bandwidth vs. nodes and cable length).
+func BenchmarkTable4BandwidthModel(b *testing.B) {
+	runExperiment(b, "table4")
+	b.ReportMetric(netmodel.BroadcastBW(4096, 100), "bw4096@100m-MB/s")
+}
+
+// BenchmarkFig10LaunchModel regenerates paper Fig. 10 (measured and
+// modeled launch times to 16,384 nodes).
+func BenchmarkFig10LaunchModel(b *testing.B) {
+	runExperiment(b, "fig10")
+	b.ReportMetric(netmodel.LaunchTimeES40(16384, 12)*1000, "launch16k-ms")
+}
+
+// BenchmarkTable5AltNetworks regenerates paper Table 5 (mechanism
+// performance on other networks).
+func BenchmarkTable5AltNetworks(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6Launchers regenerates paper Table 6 (literature launch
+// times vs. STORM).
+func BenchmarkTable6Launchers(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkTable7Extrapolations regenerates paper Table 7 (launch times
+// extrapolated to 4,096 nodes).
+func BenchmarkTable7Extrapolations(b *testing.B) { runExperiment(b, "table7") }
+
+// BenchmarkFig11Launchers regenerates paper Fig. 11 (all launchers,
+// measured and predicted) and reports the 4,096-node STORM/BProc gap.
+func BenchmarkFig11Launchers(b *testing.B) {
+	runExperiment(b, "fig11")
+	b.ReportMetric(baseline.BProc().Model(4096)/netmodel.LaunchSTORM(4096), "bproc/storm@4096")
+}
+
+// BenchmarkFig12RelativePerformance regenerates paper Fig. 12 (Cplant and
+// BProc normalized to STORM).
+func BenchmarkFig12RelativePerformance(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkTable8MinQuantum regenerates paper Table 8 (minimal feasible
+// scheduling quantum).
+func BenchmarkTable8MinQuantum(b *testing.B) { runExperiment(b, "table8") }
+
+// BenchmarkAblationTreeVsHW measures the design ablation: the same
+// dæmons over software-tree mechanisms instead of hardware collectives.
+func BenchmarkAblationTreeVsHW(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkNFSLaunchCollapse measures the shared-filesystem launch the
+// paper argues against (§5.1).
+func BenchmarkNFSLaunchCollapse(b *testing.B) { runExperiment(b, "nfslaunch") }
+
+// BenchmarkInteractiveResponse measures interactive-job response on a
+// busy machine across scheduling policies (paper Table 1's motivation).
+func BenchmarkInteractiveResponse(b *testing.B) { runExperiment(b, "interactive") }
+
+// BenchmarkPolicyComparison runs the scheduling-policy shoot-out on a
+// synthetic workload stream (paper §5.2's research use case).
+func BenchmarkPolicyComparison(b *testing.B) { runExperiment(b, "policycmp") }

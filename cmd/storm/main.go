@@ -1,0 +1,61 @@
+// Command storm submits a job to a live STORM Machine Manager (see
+// cmd/stormd) and prints the paper-style send/execute timing breakdown.
+//
+//	storm -mm 127.0.0.1:7070 -nodes 4 -pes 2 -mb 12 -program sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/livenet"
+)
+
+func main() {
+	mmAddr := flag.String("mm", "127.0.0.1:7070", "Machine Manager address")
+	status := flag.Bool("status", false, "query cluster status instead of submitting")
+	name := flag.String("name", "job", "job name")
+	nodes := flag.Int("nodes", 1, "nodes to span")
+	pes := flag.Int("pes", 1, "processes per node")
+	mb := flag.Float64("mb", 12, "binary size in MB")
+	program := flag.String("program", "exit", "program: exit, sleep, spin, sweep")
+	dur := flag.Duration("duration", time.Second, "sleep/spin duration")
+	grid := flag.Int("grid", 32, "sweep kernel grid size")
+	iters := flag.Int("iters", 20, "sweep kernel iterations")
+	flag.Parse()
+
+	if *status {
+		st, err := livenet.QueryStatus(*mmAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "storm: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("nodes registered: %v\n", st.Nodes)
+		fmt.Printf("jobs in flight:   %d\n", st.Jobs)
+		fmt.Printf("launched/completed: %d/%d\n", st.Launched, st.Completed)
+		if st.Gang {
+			fmt.Printf("gang scheduling:  on (%d strobes issued)\n", st.Strobes)
+		}
+		return
+	}
+
+	rep, err := livenet.SubmitJob(*mmAddr, livenet.JobSpec{
+		Name:        *name,
+		BinaryBytes: int(*mb * 1e6),
+		Nodes:       *nodes,
+		PEsPerNode:  *pes,
+		Program: livenet.ProgramSpec{
+			Kind: *program, Duration: *dur, Grid: *grid, Iters: *iters,
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "storm: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("job %d complete\n", rep.JobID)
+	fmt.Printf("  send:    %v\n", rep.Send)
+	fmt.Printf("  execute: %v\n", rep.Execute)
+	fmt.Printf("  total:   %v\n", rep.Total)
+}

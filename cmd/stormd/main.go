@@ -1,0 +1,71 @@
+// Command stormd runs a live STORM dæmon over TCP — the distributed-
+// process deployment of the reproduction (one MM per cluster, one NM per
+// node, as in the paper's Table 2), on real sockets instead of the
+// simulated QsNET.
+//
+// Start a Machine Manager:
+//
+//	stormd -role mm -listen 127.0.0.1:7070
+//
+// Start Node Managers (one per "node"; -node must be unique):
+//
+//	stormd -role nm -mm 127.0.0.1:7070 -node 0
+//	stormd -role nm -mm 127.0.0.1:7070 -node 1
+//
+// Then submit jobs with cmd/storm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/livenet"
+)
+
+func main() {
+	role := flag.String("role", "", "dæmon role: mm or nm")
+	listen := flag.String("listen", "127.0.0.1:7070", "MM listen address (role mm)")
+	mmAddr := flag.String("mm", "127.0.0.1:7070", "MM address to register with (role nm)")
+	node := flag.Int("node", 0, "node ID (role nm)")
+	cpus := flag.Int("cpus", 4, "advertised CPUs per node (role nm)")
+	hb := flag.Duration("heartbeat", time.Second, "heartbeat period on the MM (0 disables)")
+	flag.Parse()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	switch *role {
+	case "mm":
+		mm, err := livenet.NewMM(*listen, livenet.MMConfig{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stormd: MM listening on %s\n", mm.Addr())
+		if *hb > 0 {
+			stop := mm.StartHeartbeat(*hb, func(n int) {
+				fmt.Printf("stormd: node %d FAILED (missed heartbeats)\n", n)
+			})
+			defer stop()
+		}
+		<-sig
+		mm.Close()
+	case "nm":
+		nm, err := livenet.NewNM(*mmAddr, *node, *cpus)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stormd: NM %d registered with %s (%d CPUs)\n", *node, *mmAddr, *cpus)
+		<-sig
+		nm.Close()
+	default:
+		fmt.Fprintln(os.Stderr, "stormd: -role must be mm or nm")
+		flag.Usage()
+		os.Exit(2)
+	}
+}

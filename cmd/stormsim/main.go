@@ -1,0 +1,140 @@
+// Command stormsim regenerates the tables and figures of the STORM paper
+// (SC2002) from this repository's simulated reproduction.
+//
+// Usage:
+//
+//	stormsim [flags] <experiment>...
+//	stormsim [flags] all
+//	stormsim list
+//
+// Experiments are named after the paper's artifacts: fig2..fig12,
+// table4..table8, plus the extra "ablation" and "nfslaunch" studies.
+//
+// Flags:
+//
+//	-quick      shrink configurations for a fast pass (seconds, not minutes)
+//	-csv        emit CSV instead of aligned text tables
+//	-seed N     simulation seed (default 1)
+//	-repeats N  measurement repetitions per point (default: 3, quick: 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink configurations for a fast pass")
+	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	repeats := flag.Int("repeats", 0, "measurement repetitions per point (0 = default)")
+	workloadFile := flag.String("workload", "", "replay a JSON workload file instead of a named experiment")
+	policy := flag.String("policy", "gang:2", "replay policy: batch, easy, gang[:n], ics[:n], bcs[:n], priority[:n]")
+	nodes := flag.Int("nodes", 0, "replay cluster width (0 = fit the widest job)")
+	gantt := flag.Int("gantt", 72, "replay Gantt width in columns (0 disables)")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *workloadFile != "" {
+		if err := replay(*workloadFile, *policy, *nodes, *seed, *gantt, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "stormsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-10s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = experiments.IDs()
+	}
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Repeats: *repeats}
+	exit := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stormsim: %v\n", err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("==> %s: %s\n", res.ID, res.Title)
+		for _, tab := range res.Tables {
+			if *csv {
+				fmt.Print(tab.CSV())
+			} else {
+				fmt.Println(tab.String())
+			}
+		}
+		for _, block := range res.Text {
+			fmt.Println(block)
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	os.Exit(exit)
+}
+
+// replay runs a JSON workload file under the selected policy.
+func replay(file, policy string, nodes int, seed uint64, gantt int, csv bool) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	spec, err := workload.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.Replay(spec, experiments.ReplayConfig{
+		Nodes: nodes, Policy: policy, Seed: seed, GanttCols: gantt,
+	})
+	if err != nil {
+		return err
+	}
+	for _, tab := range res.Tables {
+		if csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Println(tab.String())
+		}
+	}
+	for _, block := range res.Text {
+		fmt.Println(block)
+	}
+	for _, n := range res.Notes {
+		fmt.Printf("  note: %s\n", n)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `stormsim — regenerate the STORM paper's tables and figures
+
+usage: stormsim [flags] <experiment>... | all | list
+
+experiments:
+`)
+	for _, id := range experiments.IDs() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", id, experiments.Title(id))
+	}
+	fmt.Fprintf(os.Stderr, "\nflags:\n")
+	flag.PrintDefaults()
+}

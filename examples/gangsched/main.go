@@ -1,0 +1,57 @@
+// Gang-scheduling demo: run two SWEEP3D instances timeshared on the same
+// processors (MPL 2) across a range of timeslice quanta, showing the
+// paper's central scheduling result (its §3.2.1, Fig. 4): STORM enacts
+// coordinated context switches so cheaply that quanta as small as 2 ms
+// cost essentially nothing — interactive granularity on a parallel
+// machine.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const nodes = 16
+	app := workload.ScaledSweep3D(8) // an 8-second SWEEP3D for demo speed
+
+	fmt.Printf("Two SWEEP3D gangs on %d nodes x 2 PEs, timeshared at MPL 2.\n", nodes)
+	fmt.Printf("%-14s %-22s %s\n", "quantum", "runtime / MPL", "overhead vs 50ms")
+	var plateau float64
+	for _, qms := range []float64{50, 10, 2, 1, 0.5, 0.3} {
+		cluster := core.NewCluster(core.ClusterConfig{
+			Nodes:     nodes,
+			Timeslice: sim.FromMilliseconds(qms),
+			MPL:       2,
+			Seed:      7,
+		})
+		a := cluster.Submit(core.JobSpec{
+			Name: "sweep3d-a", BinaryMB: 7, Nodes: nodes, PEsPerNode: 2, Program: app,
+		})
+		b := cluster.Submit(core.JobSpec{
+			Name: "sweep3d-b", BinaryMB: 7, Nodes: nodes, PEsPerNode: 2, Program: app,
+		})
+		cluster.Await(a, b)
+
+		first := a.FirstRun
+		if b.FirstRun < first {
+			first = b.FirstRun
+		}
+		last := a.LastExit
+		if b.LastExit > last {
+			last = b.LastExit
+		}
+		norm := (last - first).Seconds() / 2
+		if plateau == 0 {
+			plateau = norm
+		}
+		fmt.Printf("%10.1f ms %18.3f s %+14.1f%%\n", qms, norm, (norm/plateau-1)*100)
+		cluster.Close()
+	}
+	fmt.Println("\nPaper reference: flat from 2 ms upward; conventional gang")
+	fmt.Println("schedulers need quanta of seconds to minutes (Table 8: RMS 30 s,")
+	fmt.Println("SCore-D 100 ms).")
+}

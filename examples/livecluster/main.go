@@ -1,0 +1,115 @@
+// Live-cluster demo: boots a real (wall-clock) STORM instance — one MM
+// and four NMs talking gob-over-TCP on the loopback interface — then
+// launches three jobs through it: the do-nothing benchmark, a real
+// SWEEP3D-style kernel computation, and a parallel sleep. Finally it
+// kills a node and lets the heartbeat detector find the failure.
+//
+// This is the "distributed dæmon" face of the reproduction: the same
+// MM/NM/PL division of labor as the simulator, over real sockets.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/livenet"
+)
+
+func main() {
+	mm, err := livenet.NewMM("127.0.0.1:0", livenet.MMConfig{})
+	if err != nil {
+		panic(err)
+	}
+	defer mm.Close()
+	fmt.Printf("MM listening on %s\n", mm.Addr())
+
+	var nms []*livenet.NM
+	for i := 0; i < 4; i++ {
+		nm, err := livenet.NewNM(mm.Addr(), i, 4)
+		if err != nil {
+			panic(err)
+		}
+		defer nm.Close()
+		nms = append(nms, nm)
+	}
+	for len(mm.NMs()) < 4 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("4 NMs registered: %v\n\n", mm.NMs())
+
+	run := func(spec livenet.JobSpec) {
+		rep, err := livenet.SubmitJob(mm.Addr(), spec)
+		if err != nil {
+			fmt.Printf("  %-10s ERROR: %v\n", spec.Name, err)
+			return
+		}
+		fmt.Printf("  %-10s send %-12v execute %-12v total %v\n",
+			spec.Name, rep.Send.Round(time.Microsecond),
+			rep.Execute.Round(time.Microsecond), rep.Total.Round(time.Microsecond))
+	}
+
+	fmt.Println("Launching jobs:")
+	run(livenet.JobSpec{
+		Name: "do-nothing", BinaryBytes: 12_000_000, Nodes: 4, PEsPerNode: 4,
+		Program: livenet.ProgramSpec{Kind: "exit"},
+	})
+	run(livenet.JobSpec{
+		Name: "sweep3d", BinaryBytes: 4_000_000, Nodes: 4, PEsPerNode: 2,
+		Program: livenet.ProgramSpec{Kind: "sweep", Grid: 48, Iters: 30},
+	})
+	run(livenet.JobSpec{
+		Name: "sleep", BinaryBytes: 1_000_000, Nodes: 2, PEsPerNode: 1,
+		Program: livenet.ProgramSpec{Kind: "sleep", Duration: 200 * time.Millisecond},
+	})
+
+	fmt.Println("\nLive gang scheduling: two spin gangs timeshared at MPL 2, 25 ms quanta...")
+	gangMM, err := livenet.NewMM("127.0.0.1:0", livenet.MMConfig{
+		GangQuantum: 25 * time.Millisecond, MPL: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer gangMM.Close()
+	for i := 0; i < 2; i++ {
+		nm, err := livenet.NewNM(gangMM.Addr(), i, 4)
+		if err != nil {
+			panic(err)
+		}
+		defer nm.Close()
+	}
+	for len(gangMM.NMs()) < 2 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	gangStart := time.Now()
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := livenet.SubmitJob(gangMM.Addr(), livenet.JobSpec{
+				Name: "gang", BinaryBytes: 256 << 10, Nodes: 2, PEsPerNode: 1,
+				Program: livenet.ProgramSpec{Kind: "spin", Duration: 300 * time.Millisecond},
+			})
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			fmt.Printf("  gang job error: %v\n", err)
+		}
+	}
+	fmt.Printf("  two 300 ms gangs timeshared in %v (%d strobes issued)\n",
+		time.Since(gangStart).Round(time.Millisecond), gangMM.Strobes())
+
+	fmt.Println("\nStarting 50 ms heartbeats, then killing node 3...")
+	detected := make(chan int, 1)
+	stop := mm.StartHeartbeat(50*time.Millisecond, func(n int) { detected <- n })
+	defer stop()
+	time.Sleep(200 * time.Millisecond)
+	killAt := time.Now()
+	nms[3].Close()
+	select {
+	case n := <-detected:
+		fmt.Printf("node %d declared failed %v after the kill\n", n, time.Since(killAt).Round(time.Millisecond))
+	case <-time.After(5 * time.Second):
+		fmt.Println("failure not detected (unexpected)")
+	}
+}

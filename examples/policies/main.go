@@ -1,0 +1,27 @@
+// Scheduling-policy comparison: the research use case the paper argues
+// STORM enables (§5.2) — run one synthetic workload under interchangeable
+// scheduling algorithms (batch FCFS, EASY backfilling, gang scheduling at
+// two MPLs, implicit coscheduling, buffered coscheduling) on the same
+// runtime system and compare service metrics.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.Run("policycmp", experiments.Options{Seed: 42})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "policies: %v\n", err)
+		os.Exit(1)
+	}
+	for _, tab := range res.Tables {
+		fmt.Println(tab.String())
+	}
+	for _, n := range res.Notes {
+		fmt.Println(n)
+	}
+}

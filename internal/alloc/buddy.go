@@ -1,0 +1,189 @@
+// Package alloc implements the buddy-tree processor allocator the STORM
+// Machine Manager uses for space allocation (paper §2.1, following
+// Feitelson's packing schemes for gang scheduling).
+//
+// The allocator manages a power-of-two pool of nodes and hands out
+// contiguous, naturally-aligned power-of-two ranges. Contiguity is what
+// lets every STORM collective (binary multicast, strobes, heartbeats,
+// COMPARE-AND-WRITE) address an allocation with a single QsNET
+// hardware-collective destination set.
+package alloc
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Buddy is a classic buddy allocator over node IDs [0, Total).
+type Buddy struct {
+	total  int
+	levels int
+	// free[k] holds the first-node IDs of free blocks of size 2^k,
+	// kept sorted so allocation is deterministic (lowest address first).
+	free [][]int
+	// allocated maps first-node ID -> block size, for Free validation.
+	allocated map[int]int
+}
+
+// NewBuddy creates an allocator over total nodes. Total must be a power
+// of two.
+func NewBuddy(total int) *Buddy {
+	if total <= 0 || total&(total-1) != 0 {
+		panic(fmt.Sprintf("alloc: total %d is not a positive power of two", total))
+	}
+	levels := bits.TrailingZeros(uint(total)) + 1
+	b := &Buddy{
+		total:     total,
+		levels:    levels,
+		free:      make([][]int, levels),
+		allocated: make(map[int]int),
+	}
+	b.free[levels-1] = []int{0}
+	return b
+}
+
+// Total returns the pool size.
+func (b *Buddy) Total() int { return b.total }
+
+// FreeNodes returns the number of currently unallocated nodes.
+func (b *Buddy) FreeNodes() int {
+	n := 0
+	for k, blocks := range b.free {
+		n += len(blocks) << k
+	}
+	return n
+}
+
+// RoundUp returns the block size that a request for n nodes consumes:
+// the smallest power of two >= n.
+func RoundUp(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// level returns the buddy level for a block size.
+func level(size int) int { return bits.TrailingZeros(uint(size)) }
+
+// Alloc allocates a contiguous block for n nodes (internally rounded up
+// to a power of two). It returns the first node ID and the actual block
+// size, or ok=false if no block is available.
+func (b *Buddy) Alloc(n int) (first, size int, ok bool) {
+	if n <= 0 || n > b.total {
+		return 0, 0, false
+	}
+	size = RoundUp(n)
+	want := level(size)
+	// Find the smallest free block that fits.
+	k := want
+	for k < b.levels && len(b.free[k]) == 0 {
+		k++
+	}
+	if k == b.levels {
+		return 0, 0, false
+	}
+	// Take the lowest-addressed block at level k and split down to want.
+	first = b.free[k][0]
+	b.free[k] = b.free[k][1:]
+	for k > want {
+		k--
+		// Keep the low half, release the high half.
+		b.insertFree(k, first+(1<<k))
+	}
+	b.allocated[first] = size
+	return first, size, true
+}
+
+// Free returns the block starting at first to the pool, coalescing with
+// free buddies. It panics on a block that was not allocated, the classic
+// double-free guard.
+func (b *Buddy) Free(first int) {
+	size, ok := b.allocated[first]
+	if !ok {
+		panic(fmt.Sprintf("alloc: Free(%d): block not allocated", first))
+	}
+	delete(b.allocated, first)
+	k := level(size)
+	for k < b.levels-1 {
+		buddy := first ^ (1 << k)
+		if !b.removeFree(k, buddy) {
+			break
+		}
+		if buddy < first {
+			first = buddy
+		}
+		k++
+	}
+	b.insertFree(k, first)
+}
+
+// insertFree adds a block keeping the level's list sorted.
+func (b *Buddy) insertFree(k, first int) {
+	lst := b.free[k]
+	i := sort.SearchInts(lst, first)
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = first
+	b.free[k] = lst
+}
+
+// removeFree removes a specific block from a level's free list, reporting
+// whether it was present.
+func (b *Buddy) removeFree(k, first int) bool {
+	lst := b.free[k]
+	i := sort.SearchInts(lst, first)
+	if i == len(lst) || lst[i] != first {
+		return false
+	}
+	b.free[k] = append(lst[:i], lst[i+1:]...)
+	return true
+}
+
+// Allocated returns a snapshot of allocated blocks as (first -> size).
+func (b *Buddy) Allocated() map[int]int {
+	out := make(map[int]int, len(b.allocated))
+	for k, v := range b.allocated {
+		out[k] = v
+	}
+	return out
+}
+
+// CheckInvariants verifies internal consistency: blocks are aligned, free
+// and allocated blocks are disjoint, and together they tile the pool
+// exactly. It returns an error describing the first violation.
+func (b *Buddy) CheckInvariants() error {
+	covered := make([]int, b.total) // 0 = uncovered, 1 = free, 2 = allocated
+	for k, blocks := range b.free {
+		size := 1 << k
+		for _, first := range blocks {
+			if first%size != 0 {
+				return fmt.Errorf("free block %d at level %d is misaligned", first, k)
+			}
+			for i := first; i < first+size; i++ {
+				if i >= b.total || covered[i] != 0 {
+					return fmt.Errorf("free block %d..%d overlaps or overflows", first, first+size-1)
+				}
+				covered[i] = 1
+			}
+		}
+	}
+	for first, size := range b.allocated {
+		if first%size != 0 {
+			return fmt.Errorf("allocated block %d (size %d) is misaligned", first, size)
+		}
+		for i := first; i < first+size; i++ {
+			if i >= b.total || covered[i] != 0 {
+				return fmt.Errorf("allocated block %d..%d overlaps or overflows", first, first+size-1)
+			}
+			covered[i] = 2
+		}
+	}
+	for i, c := range covered {
+		if c == 0 {
+			return fmt.Errorf("node %d is neither free nor allocated", i)
+		}
+	}
+	return nil
+}

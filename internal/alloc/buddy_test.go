@@ -1,0 +1,203 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestRoundUp(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 7: 8, 8: 8, 9: 16, 63: 64, 64: 64, 65: 128}
+	for in, want := range cases {
+		if got := RoundUp(in); got != want {
+			t.Errorf("RoundUp(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNewBuddyRejectsNonPowerOfTwo(t *testing.T) {
+	for _, bad := range []int{0, -4, 3, 12, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBuddy(%d) did not panic", bad)
+				}
+			}()
+			NewBuddy(bad)
+		}()
+	}
+}
+
+func TestAllocWholePool(t *testing.T) {
+	b := NewBuddy(64)
+	first, size, ok := b.Alloc(64)
+	if !ok || first != 0 || size != 64 {
+		t.Fatalf("Alloc(64) = %d,%d,%v", first, size, ok)
+	}
+	if _, _, ok := b.Alloc(1); ok {
+		t.Fatal("allocation succeeded on a full pool")
+	}
+	b.Free(0)
+	if b.FreeNodes() != 64 {
+		t.Fatalf("FreeNodes = %d after freeing everything", b.FreeNodes())
+	}
+}
+
+func TestAllocationsAreAlignedAndDisjoint(t *testing.T) {
+	b := NewBuddy(64)
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		first, size, ok := b.Alloc(8)
+		if !ok {
+			t.Fatalf("allocation %d failed", i)
+		}
+		if size != 8 || first%8 != 0 {
+			t.Fatalf("allocation %d: first=%d size=%d", i, first, size)
+		}
+		for n := first; n < first+size; n++ {
+			if seen[n] {
+				t.Fatalf("node %d allocated twice", n)
+			}
+			seen[n] = true
+		}
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundUpConsumption(t *testing.T) {
+	b := NewBuddy(16)
+	_, size, ok := b.Alloc(5) // rounds to 8
+	if !ok || size != 8 {
+		t.Fatalf("Alloc(5) size = %d", size)
+	}
+	if b.FreeNodes() != 8 {
+		t.Fatalf("FreeNodes = %d, want 8", b.FreeNodes())
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	b := NewBuddy(8)
+	var firsts []int
+	for i := 0; i < 8; i++ {
+		f, _, ok := b.Alloc(1)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		firsts = append(firsts, f)
+	}
+	for _, f := range firsts {
+		b.Free(f)
+	}
+	// After freeing all singletons the pool must have coalesced back to
+	// one block of 8.
+	f, size, ok := b.Alloc(8)
+	if !ok || size != 8 || f != 0 {
+		t.Fatalf("pool did not coalesce: %d,%d,%v", f, size, ok)
+	}
+}
+
+func TestLowestAddressFirst(t *testing.T) {
+	b := NewBuddy(16)
+	f1, _, _ := b.Alloc(4)
+	f2, _, _ := b.Alloc(4)
+	if f1 != 0 || f2 != 4 {
+		t.Fatalf("allocation order: %d, %d; want 0, 4", f1, f2)
+	}
+	b.Free(f1)
+	f3, _, _ := b.Alloc(4)
+	if f3 != 0 {
+		t.Fatalf("freed low block not reused first: got %d", f3)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	b := NewBuddy(4)
+	f, _, _ := b.Alloc(2)
+	b.Free(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	b.Free(f)
+}
+
+func TestAllocTooLarge(t *testing.T) {
+	b := NewBuddy(8)
+	if _, _, ok := b.Alloc(9); ok {
+		t.Fatal("oversized allocation succeeded")
+	}
+	if _, _, ok := b.Alloc(0); ok {
+		t.Fatal("zero allocation succeeded")
+	}
+}
+
+// TestFragmentation: buddy allocators can fail a large request even with
+// enough total free nodes, but only when the free space is genuinely
+// split; freeing the right buddy must restore the large block.
+func TestFragmentation(t *testing.T) {
+	b := NewBuddy(8)
+	a, _, _ := b.Alloc(4) // [0,4)
+	c, _, _ := b.Alloc(4) // [4,8)
+	b.Free(a)
+	if _, _, ok := b.Alloc(8); ok {
+		t.Fatal("8-node alloc succeeded with half the pool allocated")
+	}
+	b.Free(c)
+	if _, _, ok := b.Alloc(8); !ok {
+		t.Fatal("8-node alloc failed after all blocks freed")
+	}
+}
+
+// TestRandomizedInvariants is the property test: any interleaving of
+// allocs and frees preserves the tiling invariants and conserves nodes.
+func TestRandomizedInvariants(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		b := NewBuddy(64)
+		type block struct{ first, size int }
+		var live []block
+		for op := 0; op < 200; op++ {
+			if r.Intn(2) == 0 && len(live) > 0 {
+				i := r.Intn(len(live))
+				b.Free(live[i].first)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				n := 1 + r.Intn(16)
+				if first, size, ok := b.Alloc(n); ok {
+					live = append(live, block{first, size})
+				}
+			}
+			if err := b.CheckInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+			total := 0
+			for _, blk := range live {
+				total += blk.size
+			}
+			if b.FreeNodes()+total != 64 {
+				t.Logf("seed %d op %d: conservation violated: free %d + live %d != 64",
+					seed, op, b.FreeNodes(), total)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatedSnapshot(t *testing.T) {
+	b := NewBuddy(8)
+	f, _, _ := b.Alloc(2)
+	snap := b.Allocated()
+	if snap[f] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	snap[f] = 99 // mutating the snapshot must not affect the allocator
+	b.Free(f)    // would panic if corrupted
+}

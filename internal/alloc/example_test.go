@@ -1,0 +1,30 @@
+package alloc_test
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+)
+
+// Example shows the buddy allocator handing out contiguous, aligned
+// power-of-two blocks and coalescing them on free — the property that
+// lets every STORM collective address an allocation with one hardware
+// destination set.
+func Example() {
+	b := alloc.NewBuddy(16)
+
+	first, size, _ := b.Alloc(5) // rounds up to 8
+	fmt.Printf("5 nodes -> block [%d,%d)\n", first, first+size)
+
+	f2, s2, _ := b.Alloc(4)
+	fmt.Printf("4 nodes -> block [%d,%d)\n", f2, f2+s2)
+
+	b.Free(first)
+	b.Free(f2)
+	f3, s3, _ := b.Alloc(16) // everything coalesced back
+	fmt.Printf("16 nodes -> block [%d,%d)\n", f3, f3+s3)
+	// Output:
+	// 5 nodes -> block [0,8)
+	// 4 nodes -> block [8,12)
+	// 16 nodes -> block [0,16)
+}

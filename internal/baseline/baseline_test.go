@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSimulationsMatchTable6MeasuredPoints: each simulated launcher must
+// reproduce the measured point the paper quotes for it within 10%.
+func TestSimulationsMatchTable6MeasuredPoints(t *testing.T) {
+	cases := []struct {
+		l     Launcher
+		nodes int
+		want  float64 // seconds
+	}{
+		{Rsh(), 95, 90},
+		{RMS(), 64, 5.9},
+		{GLUnix(), 95, 1.3},
+		{Cplant(), 1010, 20},
+		{BProc(), 100, 2.7},
+	}
+	for _, c := range cases {
+		got := c.l.Launch(c.nodes).Seconds()
+		if math.Abs(got-c.want)/c.want > 0.10 {
+			t.Errorf("%s @%d nodes: simulated %.2fs, paper measured %.2fs",
+				c.l.Name(), c.nodes, got, c.want)
+		}
+	}
+}
+
+// TestSimulationsTrackModels: at every plotted node count the simulation
+// must stay close to the paper's closed-form fit (Fig. 11's curves).
+func TestSimulationsTrackModels(t *testing.T) {
+	for _, l := range All() {
+		for _, n := range []int{2, 8, 64, 512, 4096} {
+			simT := l.Launch(n).Seconds()
+			modelT := l.Model(n)
+			if modelT < 0.5 {
+				// BProc's fitted intercept is negative; at tiny scales the
+				// formula undershoots any real implementation.
+				continue
+			}
+			if math.Abs(simT-modelT)/modelT > 0.25 {
+				t.Errorf("%s @%d: sim %.2fs vs model %.2fs", l.Name(), n, simT, modelT)
+			}
+		}
+	}
+}
+
+// TestLinearVsLogarithmicShape: rsh/RMS/GLUnix grow linearly, Cplant and
+// BProc logarithmically.
+func TestLinearVsLogarithmicShape(t *testing.T) {
+	for _, name := range []string{"rsh", "RMS", "GLUnix"} {
+		var l Launcher
+		for _, c := range All() {
+			if c.Name() == name {
+				l = c
+			}
+		}
+		t1, t2 := l.Launch(256), l.Launch(512)
+		growth := t2.Seconds() / t1.Seconds()
+		if growth < 1.7 {
+			t.Errorf("%s: 256->512 nodes growth %.2fx, want ~2x (linear)", name, growth)
+		}
+	}
+	for _, l := range []Launcher{Cplant(), BProc()} {
+		t1, t2 := l.Launch(256), l.Launch(512)
+		extra := t2.Seconds() - t1.Seconds()
+		perLevel := l.Launch(4).Seconds() - l.Launch(2).Seconds()
+		if math.Abs(extra-perLevel) > perLevel*0.2+0.01 {
+			t.Errorf("%s: doubling nodes should add one tree level (%.2fs), added %.2fs",
+				l.Name(), perLevel, extra)
+		}
+	}
+}
+
+// TestCrossovers: the orderings visible in the paper's Fig. 11 — GLUnix
+// is fastest among the baselines at small scale; the tree systems win at
+// large scale; rsh is always worst beyond trivial sizes.
+func TestCrossovers(t *testing.T) {
+	// At 4 nodes, GLUnix (minimal job) beats Cplant (12 MB + big base).
+	if GLUnix().Launch(4) >= Cplant().Launch(4) {
+		t.Error("GLUnix should beat Cplant at 4 nodes")
+	}
+	// At 4096 nodes, Cplant beats every serial system.
+	cp := Cplant().Launch(4096)
+	for _, l := range []Launcher{Rsh(), RMS(), GLUnix()} {
+		if cp >= l.Launch(4096) {
+			t.Errorf("Cplant should beat %s at 4096 nodes", l.Name())
+		}
+	}
+	// rsh is the slowest at 95+ nodes.
+	worst := Rsh().Launch(95)
+	for _, l := range []Launcher{RMS(), GLUnix(), Cplant(), BProc()} {
+		if l.Launch(95) >= worst {
+			t.Errorf("%s slower than rsh at 95 nodes", l.Name())
+		}
+	}
+	// RMS crosses above Cplant somewhere between 64 and 1024 nodes.
+	if RMS().Launch(64) >= Cplant().Launch(64) {
+		t.Error("RMS should beat Cplant at 64 nodes")
+	}
+	if RMS().Launch(1024) <= Cplant().Launch(1024) {
+		t.Error("Cplant should beat RMS at 1024 nodes")
+	}
+}
+
+func TestBinaryMBMetadata(t *testing.T) {
+	want := map[string]float64{"rsh": 0, "GLUnix": 0, "RMS": 12, "Cplant": 12, "BProc": 12}
+	for _, l := range All() {
+		if l.BinaryMB() != want[l.Name()] {
+			t.Errorf("%s BinaryMB = %v, want %v", l.Name(), l.BinaryMB(), want[l.Name()])
+		}
+	}
+}
+
+// TestNFSLaunchSerializesAndFails: the shared-filesystem launch is linear
+// in nodes and collapses with timeouts when the server is overloaded.
+func TestNFSLaunchSerializes(t *testing.T) {
+	t8, f8 := NFSLaunch(8, 12_000_000, 0)
+	t16, f16 := NFSLaunch(16, 12_000_000, 0)
+	if f8 != 0 || f16 != 0 {
+		t.Fatalf("unexpected failures without timeout: %d, %d", f8, f16)
+	}
+	growth := t16.Seconds() / t8.Seconds()
+	if growth < 1.8 || growth > 2.2 {
+		t.Errorf("NFS launch 8->16 nodes growth = %.2fx, want ~2x (server serializes)", growth)
+	}
+}
+
+func TestNFSLaunchTimesOutUnderLoad(t *testing.T) {
+	_, fails := NFSLaunch(64, 12_000_000, 10*sim.Second)
+	if fails == 0 {
+		t.Fatal("64 clients with a 10s RPC timeout produced no failures")
+	}
+}

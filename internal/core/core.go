@@ -1,0 +1,194 @@
+// Package core is the top-level facade of the STORM reproduction: one
+// import that exposes the cluster builder, job submission, scheduling
+// policies, and the paper's workloads, wired to the simulated QsNET
+// cluster underneath.
+//
+// The paper's architecture (its Fig. 1) maps to packages as follows:
+//
+//	STORM functions      internal/storm   (MM, NM, PL dæmons; launching,
+//	                                       gang scheduling, heartbeat,
+//	                                       fault detection)
+//	STORM helper layer   internal/storm   (flow control, queue management)
+//	STORM mechanisms     internal/mech    (XFER-AND-SIGNAL, TEST-EVENT,
+//	                                       COMPARE-AND-WRITE)
+//	QsNET primitives     internal/qsnet   (remote DMA, hardware multicast,
+//	                                       network conditionals, events)
+//
+// A minimal session:
+//
+//	cluster := core.NewCluster(core.ClusterConfig{Nodes: 64})
+//	j := cluster.Submit(core.JobSpec{
+//	    Name: "sweep3d", BinaryMB: 12, Nodes: 32, PEsPerNode: 2,
+//	    Program: workload.DefaultSweep3D(),
+//	})
+//	cluster.Await(j)
+//	fmt.Println(j.EndTime - j.SubmitTime)
+package core
+
+import (
+	"repro/internal/job"
+	"repro/internal/mech"
+	"repro/internal/qsnet"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/storm"
+	"repro/internal/trace"
+)
+
+// ClusterConfig selects the shape of a simulated cluster. The zero value
+// of every field falls back to the paper's 64-node ES40/QsNET evaluation
+// platform (its Table 3).
+type ClusterConfig struct {
+	// Nodes is the number of compute nodes (default 64).
+	Nodes int
+	// Timeslice is the gang-scheduling quantum (default 50 ms).
+	Timeslice sim.Time
+	// MPL is the multiprogramming level for the default gang policy
+	// (default 2). Ignored when Policy is set.
+	MPL int
+	// Policy overrides the scheduling policy.
+	Policy sched.Policy
+	// Seed makes runs reproducible (default 1).
+	Seed uint64
+	// SoftwareTreeMechanisms swaps the QsNET hardware collectives for the
+	// commodity-network software-tree emulation (the ablation).
+	SoftwareTreeMechanisms bool
+}
+
+// Cluster is a running simulated STORM cluster.
+type Cluster struct {
+	env *sim.Env
+	sys *storm.System
+}
+
+// JobSpec describes a job for Submit.
+type JobSpec struct {
+	// Name labels the job in diagnostics.
+	Name string
+	// BinaryMB is the executable size in decimal MB (default 12, the
+	// paper's largest benchmark binary).
+	BinaryMB float64
+	// Nodes is the number of compute nodes requested (default: whole
+	// cluster).
+	Nodes int
+	// PEsPerNode is processes per node, 1..4 (default 1).
+	PEsPerNode int
+	// Program is the per-process behavior (default: the do-nothing
+	// launch benchmark).
+	Program job.Program
+	// EstRuntime is the runtime estimate for backfilling policies.
+	EstRuntime sim.Time
+}
+
+// NewCluster builds and boots a simulated cluster: network, node OSes,
+// filesystems, and the MM/NM/PL dæmons.
+func NewCluster(cc ClusterConfig) *Cluster {
+	if cc.Nodes == 0 {
+		cc.Nodes = 64
+	}
+	env := sim.NewEnv()
+	cfg := storm.DefaultConfig(cc.Nodes)
+	if cc.Timeslice != 0 {
+		cfg.Timeslice = cc.Timeslice
+	}
+	if cc.Seed != 0 {
+		cfg.Seed = cc.Seed
+	}
+	if cc.Policy != nil {
+		cfg.Policy = cc.Policy
+	} else if cc.MPL != 0 {
+		cfg.Policy = sched.GangFCFS{MPL: cc.MPL}
+	}
+	var sys *storm.System
+	if cc.SoftwareTreeMechanisms {
+		sys = storm.NewWithDomain(env, cfg, func(n *qsnet.Network) mech.Domain {
+			return mech.NewTree(n)
+		})
+	} else {
+		sys = storm.New(env, cfg)
+	}
+	return &Cluster{env: env, sys: sys}
+}
+
+// Submit queues a job with the Machine Manager and returns its
+// descriptor; timestamps fill in as the simulation advances.
+func (c *Cluster) Submit(spec JobSpec) *job.Job {
+	if spec.BinaryMB == 0 {
+		spec.BinaryMB = 12
+	}
+	if spec.Nodes == 0 {
+		spec.Nodes = c.sys.Config().Nodes
+	}
+	if spec.PEsPerNode == 0 {
+		spec.PEsPerNode = 1
+	}
+	return c.sys.Submit(&job.Job{
+		Name:        spec.Name,
+		BinaryBytes: int64(spec.BinaryMB * 1e6),
+		NodesWanted: spec.Nodes,
+		PEsPerNode:  spec.PEsPerNode,
+		Program:     spec.Program,
+		EstRuntime:  spec.EstRuntime,
+	})
+}
+
+// Await advances the simulation until all given jobs complete and returns
+// the completion time.
+func (c *Cluster) Await(jobs ...*job.Job) sim.Time {
+	return c.sys.RunUntilDone(jobs...)
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (c *Cluster) RunFor(d sim.Time) {
+	c.env.RunUntil(c.env.Now() + d)
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() sim.Time { return c.env.Now() }
+
+// System exposes the underlying STORM system for advanced use (load
+// injection, fault injection, dæmon statistics).
+func (c *Cluster) System() *storm.System { return c.sys }
+
+// LoadCPU starts the paper's spin-loop CPU loader on every processor.
+func (c *Cluster) LoadCPU() { c.sys.LoadCPU() }
+
+// LoadNetwork saturates the fabric to the given background utilization.
+func (c *Cluster) LoadNetwork(u float64) { c.sys.LoadNetwork(u) }
+
+// FailNode kills a compute node (fault injection).
+func (c *Cluster) FailNode(id int) { c.sys.Network().FailNode(id) }
+
+// DetectFaults starts heartbeat-based fault detection; onFail runs once
+// per detected node failure.
+func (c *Cluster) DetectFaults(period sim.Time, onFail func(node int)) *storm.FaultDetector {
+	grace := period / 10
+	if grace <= 0 {
+		grace = sim.Millisecond
+	}
+	return c.sys.StartFaultDetector(period, grace, onFail)
+}
+
+// Cancel requests a job's termination; it is enacted at the next
+// timeslice boundary.
+func (c *Cluster) Cancel(j *job.Job) { c.sys.Cancel(j) }
+
+// RecoverFaults starts heartbeat fault detection wired into the Machine
+// Manager: jobs on a detected-dead node are failed, their surviving
+// processes killed, and the space reclaimed. onFail (optional) also runs
+// per failed node.
+func (c *Cluster) RecoverFaults(period sim.Time, onFail func(node int)) *storm.FaultDetector {
+	grace := period / 10
+	if grace <= 0 {
+		grace = sim.Millisecond
+	}
+	return c.sys.EnableFaultRecovery(period, grace, onFail)
+}
+
+// Timeline enables (and returns) job-lifecycle tracing: lanes per job
+// with 'q'ueued / 'T'ransfer / 'R'unning spans, renderable as an ASCII
+// Gantt chart. Enable before submitting jobs to capture full histories.
+func (c *Cluster) Timeline() *trace.Timeline { return c.sys.EnableTimeline() }
+
+// Close releases the simulation's resources.
+func (c *Cluster) Close() { c.sys.Shutdown() }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestQuickstartSession(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 16, Timeslice: sim.Millisecond, Seed: 2})
+	defer c.Close()
+	j := c.Submit(JobSpec{Name: "hello", BinaryMB: 12, Nodes: 16, PEsPerNode: 4})
+	end := c.Await(j)
+	if j.State != job.Finished {
+		t.Fatalf("state = %v", j.State)
+	}
+	if end.Seconds() > 0.2 {
+		t.Fatalf("12 MB launch took %.3fs, expected ~0.11s", end.Seconds())
+	}
+}
+
+func TestDefaultsFillIn(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 4})
+	defer c.Close()
+	j := c.Submit(JobSpec{Name: "defaults"})
+	if j.BinaryBytes != 12_000_000 {
+		t.Errorf("BinaryBytes = %d, want 12e6", j.BinaryBytes)
+	}
+	if j.NodesWanted != 4 || j.PEsPerNode != 1 {
+		t.Errorf("geometry = %d x %d, want 4 x 1", j.NodesWanted, j.PEsPerNode)
+	}
+	c.Await(j)
+	if j.State != job.Finished {
+		t.Fatalf("state = %v", j.State)
+	}
+}
+
+func TestWorkloadOnCluster(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 4, Timeslice: 10 * sim.Millisecond, Seed: 5})
+	defer c.Close()
+	j := c.Submit(JobSpec{
+		Name: "sweep", BinaryMB: 7, Nodes: 4, PEsPerNode: 2,
+		Program: workload.ScaledSweep3D(0.5),
+	})
+	c.Await(j)
+	if j.State != job.Finished {
+		t.Fatalf("state = %v", j.State)
+	}
+	wall := (j.LastExit - j.FirstRun).Seconds()
+	if wall < 0.45 || wall > 0.8 {
+		t.Fatalf("0.5s SWEEP3D wall = %.3fs", wall)
+	}
+}
+
+func TestPolicyOverride(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 4, Policy: sched.BatchFCFS{}, Timeslice: 5 * sim.Millisecond})
+	defer c.Close()
+	a := c.Submit(JobSpec{Name: "a", BinaryMB: 1, Nodes: 4, Program: workload.Synthetic{Total: 100 * sim.Millisecond}})
+	b := c.Submit(JobSpec{Name: "b", BinaryMB: 1, Nodes: 4, Program: workload.Synthetic{Total: 100 * sim.Millisecond}})
+	c.Await(a, b)
+	// Batch (MPL 1): b cannot start before a finished.
+	if b.FirstRun < a.LastExit {
+		t.Fatalf("batch policy overlapped jobs: b started %v, a ended %v", b.FirstRun, a.LastExit)
+	}
+}
+
+func TestFaultDetectionFacade(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 8})
+	defer c.Close()
+	c.System().Network().Config() // touch for coverage of accessors
+	var hit []int
+	c.DetectFaults(50*sim.Millisecond, func(n int) { hit = append(hit, n) })
+	c.RunFor(200 * sim.Millisecond)
+	if len(hit) != 0 {
+		t.Fatalf("false positives: %v", hit)
+	}
+	c.FailNode(2)
+	// Detection must ride out the 2s dead-node hardware timeout that a
+	// failed collective holds the fabric for, plus per-node isolation
+	// probes with their own retry windows.
+	c.RunFor(15 * sim.Second)
+	if len(hit) != 1 || hit[0] != 2 {
+		t.Fatalf("detected %v, want [2]", hit)
+	}
+}
+
+func TestTimelineFacade(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 4, Timeslice: sim.Millisecond})
+	defer c.Close()
+	tl := c.Timeline()
+	j := c.Submit(JobSpec{Name: "traced", BinaryMB: 4, Nodes: 4})
+	c.Await(j)
+	lane := tl.Lane("job1:traced")
+	if lane == nil {
+		t.Fatal("no lane recorded for the job")
+	}
+	// Expect q -> T -> R spans, all closed.
+	labels := ""
+	for _, s := range lane.Spans {
+		labels += string(s.Label)
+		if s.Open() {
+			t.Fatalf("span %c left open", s.Label)
+		}
+	}
+	if labels != "qTR" {
+		t.Fatalf("lifecycle spans = %q, want qTR", labels)
+	}
+	if out := tl.Render(tl.End(), 40); len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestAblationFacade(t *testing.T) {
+	run := func(tree bool) sim.Time {
+		c := NewCluster(ClusterConfig{Nodes: 8, Timeslice: sim.Millisecond, SoftwareTreeMechanisms: tree})
+		defer c.Close()
+		j := c.Submit(JobSpec{Name: "dn", BinaryMB: 12, Nodes: 8, PEsPerNode: 1})
+		return c.Await(j)
+	}
+	hw, tree := run(false), run(true)
+	if tree <= hw {
+		t.Fatalf("software-tree launch (%v) should be slower than hardware (%v)", tree, hw)
+	}
+}
+
+func TestLoadAndCancelFacades(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 4, Timeslice: 5 * sim.Millisecond})
+	defer c.Close()
+	c.LoadNetwork(0.5)
+	if got := c.System().Network().BackgroundLoad(); got != 0.5 {
+		t.Fatalf("BackgroundLoad = %v", got)
+	}
+	c.LoadCPU()
+	j := c.Submit(JobSpec{
+		Name: "victim", BinaryMB: 0.5, Nodes: 4,
+		Program: workload.Synthetic{Total: 100 * sim.Second},
+	})
+	c.RunFor(2 * sim.Second)
+	if c.Now() < 2*sim.Second {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Cancel(j)
+	c.Await(j)
+	if j.State != job.Canceled {
+		t.Fatalf("state = %v", j.State)
+	}
+}

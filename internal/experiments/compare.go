@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/job"
+	"repro/internal/mech"
+	"repro/internal/metrics"
+	"repro/internal/netmodel"
+	"repro/internal/qsnet"
+	"repro/internal/sim"
+	"repro/internal/storm"
+)
+
+func init() {
+	register("table6", "Job-launch times found in the literature vs. STORM (paper Table 6)", table6)
+	register("table7", "Extrapolated job-launch times to 4,096 nodes (paper Table 7)", table7)
+	register("fig11", "Measured and predicted performance of job launchers (paper Fig. 11)", fig11)
+	register("fig12", "Cplant and BProc launch times relative to STORM (paper Fig. 12)", fig12)
+	register("ablation", "Hardware collectives vs. software-tree emulation (design ablation)", ablation)
+	register("nfslaunch", "Shared-NFS demand-paged launching collapse (paper §5.1)", nfsLaunch)
+}
+
+// stormMeasured64 measures this reproduction's own 12 MB / 64-node launch
+// (the paper's Table 6 row for STORM).
+func stormMeasured64(opt Options) float64 {
+	pes := 256
+	if opt.Quick {
+		pes = 64
+	}
+	return meanLaunch(opt, pes, 12_000_000, unloaded, nil).TotalSec
+}
+
+func table6(opt Options) (*Result, error) {
+	tab := metrics.NewTable("A selection of job-launch times",
+		"Resource manager", "Configuration", "Paper (s)", "This reproduction (s)")
+	rows := []struct {
+		l     baseline.Launcher
+		nodes int
+		paper float64
+	}{
+		{baseline.Rsh(), 95, 90},
+		{baseline.RMS(), 64, 5.9},
+		{baseline.GLUnix(), 95, 1.3},
+		{baseline.Cplant(), 1010, 20},
+		{baseline.BProc(), 100, 2.7},
+	}
+	for _, r := range rows {
+		cfgStr := fmt.Sprintf("%.0f MB on %d nodes", r.l.BinaryMB(), r.nodes)
+		tab.AddRow(r.l.Name(), cfgStr, r.paper, r.l.Launch(r.nodes).Seconds())
+	}
+	tab.AddRow("STORM", "12 MB on 64 nodes", 0.11, stormMeasured64(opt))
+	return &Result{Tables: []*metrics.Table{tab}}, nil
+}
+
+func table7(opt Options) (*Result, error) {
+	tab := metrics.NewTable("Extrapolated job-launch times at 4,096 nodes",
+		"Resource manager", "Formula", "Paper (s)", "Model here (s)", "Simulated here (s)")
+	rows := []struct {
+		l       baseline.Launcher
+		formula string
+		paper   float64
+	}{
+		{baseline.Rsh(), "t = 0.934n + 1.266", 3827.10},
+		{baseline.RMS(), "t = 0.077n + 1.092", 317.67},
+		{baseline.GLUnix(), "t = 0.012n + 0.228", 49.38},
+		{baseline.Cplant(), "t = 1.379 lg n + 6.177", 22.73},
+		{baseline.BProc(), "t = 0.413 lg n - 0.084", 4.88},
+	}
+	const n = 4096
+	for _, r := range rows {
+		tab.AddRow(r.l.Name(), r.formula, r.paper, r.l.Model(n), r.l.Launch(n).Seconds())
+	}
+	tab.AddRow("STORM", "Eq. 3 (see fig10)", 0.11, netmodel.LaunchSTORM(n), "-")
+	return &Result{Tables: []*metrics.Table{tab}}, nil
+}
+
+// fig11Axis is the node axis of the paper's Fig. 11 (1 to 16K).
+func fig11Axis(quick bool) []int {
+	if quick {
+		return []int{1, 64, 1024, 16384}
+	}
+	var axis []int
+	for n := 1; n <= 16384; n *= 2 {
+		axis = append(axis, n)
+	}
+	return axis
+}
+
+func fig11(opt Options) (*Result, error) {
+	axis := fig11Axis(opt.Quick)
+	tab := metrics.NewTable("Launch time by system (s)",
+		"Nodes", "rsh", "RMS", "GLUnix", "Cplant", "BProc", "STORM (model)")
+	launchers := baseline.All()
+	for _, n := range axis {
+		row := []interface{}{n}
+		for _, l := range launchers {
+			if n <= 4096 {
+				row = append(row, l.Launch(n).Seconds())
+			} else {
+				row = append(row, l.Model(n))
+			}
+		}
+		row = append(row, netmodel.LaunchSTORM(n))
+		tab.AddRow(row...)
+	}
+	meas := metrics.NewTable("STORM measured points (simulated cluster)",
+		"Nodes", "Launch time (s)")
+	measAxis := []int{1, 4, 16, 64}
+	if opt.Quick {
+		measAxis = []int{4, 16}
+	}
+	for _, n := range measAxis {
+		lr := meanLaunch(opt, n*4, 12_000_000, unloaded, nil)
+		if lr.Failed {
+			return nil, fmt.Errorf("launch failed at %d nodes", n)
+		}
+		meas.AddRow(n, lr.TotalSec)
+	}
+	return &Result{
+		Tables: []*metrics.Table{tab, meas},
+		Notes: []string{
+			"Baselines up to 4,096 nodes come from the executable simulations",
+			"of each launcher's algorithm; beyond that (and for STORM) the",
+			"closed-form models are used, as in the paper.",
+		},
+	}, nil
+}
+
+func fig12(opt Options) (*Result, error) {
+	axis := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	if opt.Quick {
+		axis = []int{4, 64, 1024, 4096}
+	}
+	tab := metrics.NewTable("Launch time as a factor of STORM's",
+		"Nodes", "Cplant / STORM", "BProc / STORM")
+	cp, bp := baseline.Cplant(), baseline.BProc()
+	for _, n := range axis {
+		st := netmodel.LaunchSTORM(n)
+		tab.AddRow(n, cp.Model(n)/st, bp.Model(n)/st)
+	}
+	return &Result{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			"Paper reference: at 4,096 nodes Cplant is ~200x and BProc ~40x",
+			"slower than STORM; both scale logarithmically like STORM's",
+			"transfer, so the gap is a constant-factor one.",
+		},
+	}, nil
+}
+
+// ablation swaps the QsNET hardware collectives for the logarithmic
+// software-tree emulation (what Ethernet/Myrinet-class networks would
+// need) and re-measures the launch — quantifying what the paper's
+// "exploit low-level network features" design buys.
+func ablation(opt Options) (*Result, error) {
+	axis := []int{4, 16, 64}
+	if opt.Quick {
+		axis = []int{4, 16}
+	}
+	tab := metrics.NewTable("12 MB launch: hardware mechanisms vs. software-tree emulation",
+		"Nodes", "Hardware (ms)", "Software tree (ms)", "Ratio")
+	for _, n := range axis {
+		hw := meanLaunch(opt, n*4, 12_000_000, unloaded, nil)
+		treeRes := meanLaunchDomain(opt, n, 12_000_000,
+			func(net *qsnet.Network) mech.Domain { return mech.NewTree(net) })
+		if hw.Failed || treeRes.Failed {
+			return nil, fmt.Errorf("ablation launch failed at %d nodes", n)
+		}
+		tab.AddRow(n, hw.TotalSec*1000, treeRes.TotalSec*1000, treeRes.TotalSec/hw.TotalSec)
+	}
+	return &Result{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			"The same MM/NM/PL dæmons run in both configurations; only the",
+			"mechanism layer changes. The growing gap is the paper's central",
+			"architectural argument.",
+		},
+	}, nil
+}
+
+// meanLaunchDomain measures a launch with a custom mechanism layer.
+func meanLaunchDomain(opt Options, nodes int, binaryBytes int64, build storm.DomainBuilder) launchResult {
+	env := sim.NewEnv()
+	cfg := storm.DefaultConfig(nodes)
+	cfg.Timeslice = sim.Millisecond
+	cfg.Seed = opt.seed()
+	s := storm.NewWithDomain(env, cfg, build)
+	j := s.Submit(&job.Job{
+		Name: "do-nothing", BinaryBytes: binaryBytes,
+		NodesWanted: nodes, PEsPerNode: 4,
+	})
+	total := s.RunUntilDone(j)
+	s.Shutdown()
+	if j.State != job.Finished {
+		return launchResult{Failed: true}
+	}
+	return launchResult{
+		SendSec:  (j.TransferDone - j.SubmitTime).Seconds(),
+		ExecSec:  (j.EndTime - j.TransferDone).Seconds(),
+		TotalSec: total.Seconds(),
+	}
+}
+
+func nfsLaunch(opt Options) (*Result, error) {
+	axis := []int{1, 4, 16, 64, 256}
+	if opt.Quick {
+		axis = []int{4, 16, 64}
+	}
+	tab := metrics.NewTable("Demand-paging a 12 MB binary from one NFS server",
+		"Nodes", "Completion (s)", "Timeout failures", "STORM (s, model)")
+	for _, n := range axis {
+		total, fails := baseline.NFSLaunch(n, 12_000_000, 30e9)
+		tab.AddRow(n, total.Seconds(), fails, netmodel.LaunchSTORM(n))
+	}
+	return &Result{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			"The PBS-style shared-filesystem launch serializes at the server",
+			"(linear in nodes) and collapses with RPC timeouts at scale —",
+			"the paper's §5.1 motivation for multicast-based distribution.",
+		},
+	}, nil
+}

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickOpt is the fast configuration used throughout the tests.
+var quickOpt = Options{Quick: true, Seed: 3}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must have a
+	// registered regenerator.
+	want := []string{
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12",
+		"table4", "table5", "table6", "table7", "table8",
+		"ablation", "nfslaunch", "interactive", "policycmp", "gantt", "info",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", quickOpt); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every registered experiment in
+// Quick mode and checks basic result hygiene.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, quickOpt)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if res.ID != id || res.Title == "" {
+				t.Fatalf("result metadata incomplete: %+v", res)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tab := range res.Tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Headers) {
+						t.Fatalf("table %q: row width %d != header width %d",
+							tab.Title, len(row), len(tab.Headers))
+					}
+				}
+			}
+		})
+	}
+}
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tab interface{ CSV() string }, row, col int) float64 {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(tab.CSV()), "\n")
+	fields := strings.Split(lines[row+1], ",")
+	v, err := strconv.ParseFloat(fields[col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, fields[col], err)
+	}
+	return v
+}
+
+// TestFig2Shape re-derives the key Fig. 2 claims from the driver output.
+func TestFig2Shape(t *testing.T) {
+	res, err := Run("fig2", quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	// Quick mode: sizes {4,12} x PEs {1,4,16,64}. Columns:
+	// 0=PEs 1=MB 2=send 3=exec 4=total.
+	send4at64 := cell(t, tab, 3, 2)
+	send12at64 := cell(t, tab, 7, 2)
+	if r := send12at64 / send4at64; r < 2.5 || r > 3.5 {
+		t.Errorf("send 12MB/4MB ratio at 64 PEs = %.2f, want ~3", r)
+	}
+	exec12at1 := cell(t, tab, 4, 3)
+	exec12at64 := cell(t, tab, 7, 3)
+	if exec12at64 <= exec12at1 {
+		t.Errorf("execute should grow with PEs: %.2f -> %.2f ms", exec12at1, exec12at64)
+	}
+}
+
+// TestFig3Ordering: unloaded < CPU loaded < network loaded at the largest
+// measured size.
+func TestFig3Ordering(t *testing.T) {
+	res, err := Run("fig3", quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	rowsPerLoad := len(tab.Rows) / 3
+	last := rowsPerLoad - 1
+	unl := cell(t, tab, last, 4)
+	cpu := cell(t, tab, rowsPerLoad+last, 4)
+	net := cell(t, tab, 2*rowsPerLoad+last, 4)
+	if !(unl < cpu && cpu < net) {
+		t.Errorf("load ordering violated: unloaded %.0f, cpu %.0f, net %.0f ms", unl, cpu, net)
+	}
+	if net > 2500 {
+		t.Errorf("network-loaded launch %.0f ms, paper's worst case ~1500 ms", net)
+	}
+}
+
+// TestTable4MatchesPaper re-checks two corner cells through the driver.
+func TestTable4MatchesPaper(t *testing.T) {
+	res, err := Run("table4", quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	// Row 0 = 4 nodes; column 4 = 10 m. Paper: 319.
+	if v := cell(t, tab, 0, 4); v < 315 || v > 323 {
+		t.Errorf("4 nodes @10m = %.0f, paper 319", v)
+	}
+	// Row 5 = 4096 nodes; last column = 100 m. Paper: 147.
+	if v := cell(t, tab, 5, 10); v < 144 || v > 150 {
+		t.Errorf("4096 nodes @100m = %.0f, paper 147", v)
+	}
+}
+
+// TestFig12Factors: the relative-performance experiment must show the
+// paper's ~200x (Cplant) and ~40x (BProc) factors at 4,096 nodes.
+func TestFig12Factors(t *testing.T) {
+	res, err := Run("fig12", quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	lastRow := len(tab.Rows) - 1
+	cplant := cell(t, tab, lastRow, 1)
+	bproc := cell(t, tab, lastRow, 2)
+	if cplant < 100 || cplant > 300 {
+		t.Errorf("Cplant/STORM at 4096 = %.0f, paper ~200", cplant)
+	}
+	if bproc < 25 || bproc > 70 {
+		t.Errorf("BProc/STORM at 4096 = %.0f, paper ~40", bproc)
+	}
+}
+
+// TestAblationRatioGrows: the hardware advantage must grow with scale.
+func TestAblationRatioGrows(t *testing.T) {
+	res, err := Run("ablation", quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	r0 := cell(t, tab, 0, 3)
+	r1 := cell(t, tab, len(tab.Rows)-1, 3)
+	if r0 < 1.5 {
+		t.Errorf("hardware advantage at smallest scale = %.2fx, want > 1.5x", r0)
+	}
+	if r1 <= r0 {
+		t.Errorf("hardware advantage should grow with nodes: %.2fx -> %.2fx", r0, r1)
+	}
+}
+
+// TestInteractiveResponse: gang scheduling must start the interactive
+// job orders of magnitude sooner than batch queueing (paper Table 1).
+func TestInteractiveResponse(t *testing.T) {
+	res, err := Run("interactive", quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	batchWait := cell(t, tab, 0, 1)
+	gangWait := cell(t, tab, 1, 1)
+	if gangWait > 0.5 {
+		t.Errorf("gang start delay = %.2fs, want sub-second", gangWait)
+	}
+	if batchWait < gangWait*10 {
+		t.Errorf("batch wait %.2fs not >> gang wait %.3fs", batchWait, gangWait)
+	}
+	batchResp := cell(t, tab, 0, 2)
+	gangResp := cell(t, tab, 1, 2)
+	if gangResp >= batchResp {
+		t.Errorf("gang response %.2fs should beat batch %.2fs", gangResp, batchResp)
+	}
+}
+
+// TestPolicyComparison: EASY backfilling must beat plain batch FCFS on
+// mean response time and utilization for the default stream, and every
+// policy must drain the workload.
+func TestPolicyComparison(t *testing.T) {
+	res, err := Run("policycmp", quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	if len(tab.Rows) != 6 {
+		t.Fatalf("expected 6 policies, got %d", len(tab.Rows))
+	}
+	fcfsResp := cell(t, tab, 0, 1)
+	easyResp := cell(t, tab, 1, 1)
+	if easyResp > fcfsResp {
+		t.Errorf("EASY mean response %.2fs worse than FCFS %.2fs", easyResp, fcfsResp)
+	}
+	fcfsUtil := cell(t, tab, 0, 5)
+	easyUtil := cell(t, tab, 1, 5)
+	if easyUtil < fcfsUtil {
+		t.Errorf("EASY utilization %.1f%% below FCFS %.1f%%", easyUtil, fcfsUtil)
+	}
+}
+
+// TestNFSLaunchLinear: shared-filesystem launch time roughly doubles per
+// node doubling step in the driver output.
+func TestNFSLaunchLinear(t *testing.T) {
+	res, err := Run("nfslaunch", quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0] // rows: 4, 16, 64 nodes
+	t4 := cell(t, tab, 0, 1)
+	t16 := cell(t, tab, 1, 1)
+	if r := t16 / t4; r < 3 || r > 5 {
+		t.Errorf("NFS launch 4->16 nodes grew %.1fx, want ~4x (linear)", r)
+	}
+	// At 64 nodes the 30s RPC timeout starts killing clients — the
+	// launch-failure mode the paper describes.
+	if fails := cell(t, tab, 2, 2); fails == 0 {
+		t.Error("no NFS timeouts at 64 nodes; expected the server to saturate")
+	}
+}
+
+// TestGanttDeterministic: the gantt experiment renders identically for a
+// given seed — the reproducibility guarantee applied end to end.
+func TestGanttDeterministic(t *testing.T) {
+	render := func() string {
+		res, err := Run("gantt", quickOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Text[0]
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("gantt output differs between identical runs:\n%s\n---\n%s", a, b)
+	}
+	for _, label := range []string{"R", "T", "q"} {
+		if !strings.Contains(a, label) {
+			t.Errorf("gantt missing %q spans", label)
+		}
+	}
+}
+
+// TestInfoTables: the descriptive tables render with the configured
+// values.
+func TestInfoTables(t *testing.T) {
+	res, err := Run("info", quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 3 {
+		t.Fatalf("tables = %d, want 3 (paper Tables 1-3)", len(res.Tables))
+	}
+	out := res.Tables[2].String()
+	for _, want := range []string{"QsNET", "320 bytes", "RAM (ext2)", "gang-fcfs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info table missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/storm"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig4", "Effect of the timeslice quantum on gang-scheduled applications (paper Fig. 4)", fig4)
+	register("fig5", "Node scalability of gang-scheduled applications (paper Fig. 5)", fig5)
+	register("table8", "Minimal feasible scheduling quantum (paper Table 8)", table8)
+}
+
+// gangMeasurement runs `mpl` copies of a program on a gang-scheduled
+// cluster and returns the normalized application runtime
+// (lastExit − firstRun) / MPL in seconds, plus the NM-overload flag.
+func gangMeasurement(opt Options, nodes, pesPerNode int, quantum sim.Time, mpl int,
+	prog job.Program) (float64, bool) {
+	env := sim.NewEnv()
+	cfg := storm.DefaultConfig(nodes)
+	cfg.Timeslice = quantum
+	cfg.Policy = sched.GangFCFS{MPL: mpl}
+	cfg.Seed = opt.seed()
+	s := storm.New(env, cfg)
+	var jobs []*job.Job
+	for i := 0; i < mpl; i++ {
+		jobs = append(jobs, s.Submit(&job.Job{
+			Name:        fmt.Sprintf("app%d", i),
+			BinaryBytes: 1_000_000,
+			NodesWanted: nodes,
+			PEsPerNode:  pesPerNode,
+			Program:     prog,
+		}))
+	}
+	s.RunUntilDone(jobs...)
+	defer s.Shutdown()
+	first, last := jobs[0].FirstRun, sim.Time(0)
+	for _, j := range jobs {
+		if j.FirstRun < first {
+			first = j.FirstRun
+		}
+		if j.LastExit > last {
+			last = j.LastExit
+		}
+	}
+	return (last - first).Seconds() / float64(mpl), s.Overloaded
+}
+
+// fig4Config returns the machine and application scale. The paper uses
+// 32 nodes/64 PEs with the ~49 s SWEEP3D; the full mode here keeps the
+// paper's machine and quantum axis but scales the applications to ~12 s:
+// the measured quantity — slowdown as a function of the quantum — is
+// invariant to total application length (it is per-quantum overhead
+// divided by quantum), and the shorter run keeps regeneration tractable.
+// Quick shrinks the machine as well.
+func fig4Config(quick bool) (nodes int, sweep workload.Sweep3D, synth workload.Synthetic, quantaMs []float64) {
+	if quick {
+		return 8,
+			workload.ScaledSweep3D(4),
+			workload.Synthetic{Total: 2 * sim.Second, BarrierEvery: 250 * sim.Millisecond},
+			[]float64{0.3, 1, 2, 10, 50, 500, 2000}
+	}
+	return 32,
+		workload.ScaledSweep3D(12),
+		workload.Synthetic{Total: 8 * sim.Second, BarrierEvery: sim.Second},
+		[]float64{0.3, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 4000, 8000}
+}
+
+func fig4(opt Options) (*Result, error) {
+	nodes, sweep, synth, quantaMs := fig4Config(opt.Quick)
+	tab := metrics.NewTable(
+		fmt.Sprintf("Normalized runtime vs. time quantum, %d nodes/%d PEs (s)", nodes, nodes*2),
+		"Quantum (ms)", "SWEEP3D MPL=1", "SWEEP3D MPL=2", "Synthetic MPL=2", "NM overloaded")
+	for _, qms := range quantaMs {
+		q := sim.FromMilliseconds(qms)
+		s1, _ := gangMeasurement(opt, nodes, 2, q, 1, sweep)
+		s2, over2 := gangMeasurement(opt, nodes, 2, q, 2, sweep)
+		sy2, overS := gangMeasurement(opt, nodes, 2, q, 2, synth)
+		tab.AddRow(qms, s1, s2, sy2, fmt.Sprintf("%v", over2 || overS))
+	}
+	return &Result{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			"Paper reference: runtime is flat from 2 ms upward (annotated point",
+			"(2 ms, 49 s)); it rises below 2 ms; below ~300 us the NM cannot",
+			"process the strobe stream.",
+		},
+	}, nil
+}
+
+func fig5(opt Options) (*Result, error) {
+	var nodeAxis []int
+	var sweep workload.Sweep3D
+	var synth workload.Synthetic
+	if opt.Quick {
+		nodeAxis = []int{1, 4, 8}
+		sweep = workload.ScaledSweep3D(4)
+		synth = workload.Synthetic{Total: 2 * sim.Second, BarrierEvery: 250 * sim.Millisecond}
+	} else {
+		nodeAxis = []int{1, 2, 4, 8, 16, 32, 64}
+		sweep = workload.ScaledSweep3D(12) // see fig4Config on app scaling
+		synth = workload.Synthetic{Total: 8 * sim.Second, BarrierEvery: sim.Second}
+	}
+	q := 50 * sim.Millisecond // the paper's choice after Fig. 4
+	tab := metrics.NewTable("Normalized runtime vs. nodes, 50 ms quantum (s)",
+		"Nodes", "SWEEP3D MPL=1", "SWEEP3D MPL=2", "Synthetic MPL=1", "Synthetic MPL=2")
+	for _, n := range nodeAxis {
+		s1, _ := gangMeasurement(opt, n, 2, q, 1, sweep)
+		s2, _ := gangMeasurement(opt, n, 2, q, 2, sweep)
+		y1, _ := gangMeasurement(opt, n, 2, q, 1, synth)
+		y2, _ := gangMeasurement(opt, n, 2, q, 2, synth)
+		tab.AddRow(n, s1, s2, y1, y2)
+	}
+	return &Result{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			"Paper reference: no increase in runtime or overhead with node",
+			"count beyond that caused by the job launch (weak scaling).",
+		},
+	}, nil
+}
+
+func table8(opt Options) (*Result, error) {
+	nodes := 64
+	sweep := workload.ScaledSweep3D(12) // see fig4Config on app scaling
+	quantaMs := []float64{0.3, 0.5, 1, 2, 5, 10}
+	if opt.Quick {
+		nodes = 8
+		sweep = workload.ScaledSweep3D(3)
+		quantaMs = []float64{0.5, 2, 10}
+	}
+	// Baseline: a quantum far up the plateau.
+	base, _ := gangMeasurement(opt, nodes, 2, 100*sim.Millisecond, 2, sweep)
+	minFeasible := -1.0
+	detail := metrics.NewTable("STORM slowdown by quantum (measured)",
+		"Quantum (ms)", "Normalized runtime (s)", "Slowdown (%)", "Feasible (<=2%)")
+	for _, qms := range quantaMs {
+		rt, over := gangMeasurement(opt, nodes, 2, sim.FromMilliseconds(qms), 2, sweep)
+		slow := (rt/base - 1) * 100
+		ok := !over && slow <= 2.0
+		if ok && minFeasible < 0 {
+			minFeasible = qms
+		}
+		detail.AddRow(qms, rt, slow, fmt.Sprintf("%v", ok))
+	}
+	lit := metrics.NewTable("Minimal feasible scheduling quantum (paper Table 8)",
+		"Resource manager", "Minimal feasible quantum", "Context")
+	lit.AddRow("RMS", "30,000 ms", "15 nodes, 1.8% slowdown [literature]")
+	lit.AddRow("SCore-D", "100 ms", "64 nodes, 2% slowdown [literature]")
+	lit.AddRow("STORM (this reproduction)", fmt.Sprintf("%.1f ms", minFeasible),
+		fmt.Sprintf("%d nodes, <=2%% slowdown (measured)", nodes))
+	return &Result{
+		Tables: []*metrics.Table{detail, lit},
+		Notes: []string{
+			"Paper reference: STORM sustains 2 ms quanta with no observable",
+			"slowdown - two orders of magnitude below SCore-D's 100 ms.",
+		},
+	}, nil
+}

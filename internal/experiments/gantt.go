@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/storm"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("gantt",
+		"Job-lifecycle Gantt chart of a small gang-scheduled workload (monitoring demo, paper §4)",
+		gantt)
+}
+
+// gantt runs a deterministic mixed workload under gang scheduling with
+// the trace timeline enabled and renders the lifecycle Gantt: 'q'ueued,
+// 'T'ransferring, 'R'unning spans per job.
+func gantt(opt Options) (*Result, error) {
+	nodes := 8
+	env := sim.NewEnv()
+	cfg := storm.DefaultConfig(nodes)
+	cfg.Timeslice = 10 * sim.Millisecond
+	cfg.Policy = sched.GangFCFS{MPL: 2}
+	cfg.Seed = opt.seed()
+	cfg.StartNoise = false
+	s := storm.New(env, cfg)
+	tl := s.EnableTimeline()
+
+	specs := []struct {
+		name  string
+		nodes int
+		secs  float64
+		at    sim.Time
+	}{
+		{"wide-long", 8, 1.2, 0},
+		{"half-a", 4, 0.6, 100 * sim.Millisecond},
+		{"half-b", 4, 0.5, 150 * sim.Millisecond},
+		{"narrow", 2, 0.3, 400 * sim.Millisecond},
+		{"late-wide", 8, 0.4, 700 * sim.Millisecond},
+	}
+	jobs := make([]*job.Job, len(specs))
+	env.Spawn("submitter", func(p *sim.Proc) {
+		for i, sp := range specs {
+			p.WaitUntil(sp.at)
+			jobs[i] = s.Submit(&job.Job{
+				Name: sp.name, BinaryBytes: 1_000_000,
+				NodesWanted: sp.nodes, PEsPerNode: 2,
+				Program: workload.Synthetic{Total: sim.FromSeconds(sp.secs), BarrierEvery: 100 * sim.Millisecond},
+			})
+		}
+	})
+	done := func() bool {
+		for _, j := range jobs {
+			if j == nil || j.State != job.Finished {
+				return false
+			}
+		}
+		return true
+	}
+	for guard := 0; !done(); guard++ {
+		env.RunUntil(env.Now() + sim.Second)
+		if guard > 1000 {
+			s.Shutdown()
+			return nil, fmt.Errorf("gantt workload never drained")
+		}
+	}
+	defer s.Shutdown()
+
+	tab := metrics.NewTable("Workload summary",
+		"Job", "Nodes", "Submit (s)", "Start (s)", "End (s)", "Response (s)")
+	for _, j := range jobs {
+		tab.AddRow(j.Name, j.NodesWanted, j.SubmitTime.Seconds(), j.FirstRun.Seconds(),
+			j.EndTime.Seconds(), (j.EndTime - j.SubmitTime).Seconds())
+	}
+	chart := tl.Render(tl.End(), 72)
+	return &Result{
+		Tables: []*metrics.Table{tab},
+		Text:   []string{chart},
+		Notes: []string{
+			"Legend: q = queued, T = binary transfer, R = placed/running,",
+			". = not yet submitted / finished. Utilization: " +
+				fmt.Sprintf("%.0f%% of compute CPUs busy over the run.", s.Utilization()*100),
+		},
+	}, nil
+}

@@ -1,0 +1,195 @@
+// Package experiments contains one driver per table and figure of the
+// STORM paper's evaluation. Each driver builds the simulated systems it
+// needs, runs the measurement, and returns text tables whose rows mirror
+// what the paper plots; cmd/stormsim prints them and the repository's
+// benchmarks time them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/storm"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Quick shrinks configurations (fewer points, smaller machines,
+	// scaled-down applications) so the full suite runs in seconds. The
+	// full-size runs reproduce the paper's exact configurations.
+	Quick bool
+	// Seed drives all simulation randomness.
+	Seed uint64
+	// Repeats is the number of measurement repetitions (the paper used
+	// 3-20); zero picks a per-experiment default.
+	Repeats int
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	// Text holds preformatted blocks (e.g. Gantt charts) printed verbatim.
+	Text  []string
+	Notes []string
+}
+
+// runner is a registered experiment driver.
+type runner struct {
+	title string
+	fn    func(Options) (*Result, error)
+}
+
+var registry = map[string]runner{}
+
+func register(id, title string, fn func(Options) (*Result, error)) {
+	registry[id] = runner{title: title, fn: fn}
+}
+
+// IDs returns the registered experiment IDs in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns an experiment's display title ("" if unknown).
+func Title(id string) string { return registry[id].title }
+
+// Run executes one experiment by ID.
+func Run(id string, opt Options) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	res, err := r.fn(opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = id
+	res.Title = r.title
+	return res, nil
+}
+
+// launchResult is one measured job launch, decomposed as in paper Fig. 2.
+type launchResult struct {
+	SendSec  float64
+	ExecSec  float64
+	TotalSec float64
+	Failed   bool
+}
+
+// loadKind selects the Fig. 3 system-load scenario.
+type loadKind int
+
+const (
+	unloaded loadKind = iota
+	cpuLoaded
+	netLoaded
+)
+
+func (l loadKind) String() string {
+	switch l {
+	case cpuLoaded:
+		return "CPU loaded"
+	case netLoaded:
+		return "network loaded"
+	}
+	return "unloaded"
+}
+
+// netLoadU is the background fabric utilization of the network loader
+// (ping-pongs on every processor pair saturate the fat tree).
+const netLoadU = 0.95
+
+// measureLaunch runs the paper's launch benchmark: a do-nothing binary of
+// binaryBytes on the given processor count (PEs fill nodes 4-at-a-time,
+// as on the ES40s), with a 1 ms timeslice, under the given load.
+// Configuration knobs beyond the defaults can be adjusted via mutate.
+func measureLaunch(opt Options, pes int, binaryBytes int64, load loadKind,
+	mutate func(*storm.Config)) launchResult {
+	cpusPerNode := 4
+	nodes := (pes + cpusPerNode - 1) / cpusPerNode
+	pesPerNode := pes / nodes
+	if pesPerNode == 0 {
+		pesPerNode = 1
+	}
+	// For small PE counts, run all PEs on one node.
+	if pes < cpusPerNode {
+		nodes, pesPerNode = 1, pes
+	}
+
+	env := sim.NewEnv()
+	cfg := storm.DefaultConfig(nodes)
+	cfg.Timeslice = sim.Millisecond
+	cfg.Seed = opt.seed()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := storm.New(env, cfg)
+	switch load {
+	case cpuLoaded:
+		s.LoadCPU()
+	case netLoaded:
+		s.LoadNetwork(netLoadU)
+	}
+	j := s.Submit(&job.Job{
+		Name:        "do-nothing",
+		BinaryBytes: binaryBytes,
+		NodesWanted: nodes,
+		PEsPerNode:  pesPerNode,
+	})
+	total := s.RunUntilDone(j)
+	s.Shutdown()
+	if j.State != job.Finished {
+		return launchResult{Failed: true}
+	}
+	return launchResult{
+		SendSec:  (j.TransferDone - j.SubmitTime).Seconds(),
+		ExecSec:  (j.EndTime - j.TransferDone).Seconds(),
+		TotalSec: total.Seconds(),
+	}
+}
+
+// meanLaunch repeats measureLaunch and averages (the paper took the mean
+// of 3-20 runs).
+func meanLaunch(opt Options, pes int, binaryBytes int64, load loadKind,
+	mutate func(*storm.Config)) launchResult {
+	reps := opt.Repeats
+	if reps == 0 {
+		reps = 3
+		if opt.Quick {
+			reps = 1
+		}
+	}
+	var acc launchResult
+	for r := 0; r < reps; r++ {
+		o := opt
+		o.Seed = opt.seed() + uint64(r)*7919
+		lr := measureLaunch(o, pes, binaryBytes, load, mutate)
+		if lr.Failed {
+			return lr
+		}
+		acc.SendSec += lr.SendSec
+		acc.ExecSec += lr.ExecSec
+		acc.TotalSec += lr.TotalSec
+	}
+	acc.SendSec /= float64(reps)
+	acc.ExecSec /= float64(reps)
+	acc.TotalSec /= float64(reps)
+	return acc
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/nodeos"
+	"repro/internal/storm"
+)
+
+func init() {
+	register("info", "Cluster description and dæmon inventory (paper Tables 1-3)", info)
+}
+
+// info renders the paper's descriptive tables: the desktop-vs-cluster
+// usability comparison (Table 1), the dæmon inventory (Table 2), and the
+// evaluation cluster description (Table 3) as configured in this
+// reproduction.
+func info(opt Options) (*Result, error) {
+	t1 := metrics.NewTable("Desktop vs. cluster usability (paper Table 1)",
+		"Characteristic", "Desktop", "Cluster (2002 state of the art)")
+	t1.AddRow("Mean time between user-visible failures", "Years",
+		"Days (large cluster) down to hours (very large)")
+	t1.AddRow("Scheduling", "Timeshared",
+		"Batch queued, or gang scheduled with quanta of seconds to minutes")
+	t1.AddRow("Job-launching speed", "< 1 second",
+		"Arbitrarily long (batch) or many seconds (gang scheduled)")
+
+	cfg := storm.DefaultConfig(64)
+	mpl := cfg.Policy.MaxRows()
+	t2 := metrics.NewTable("STORM dæmons (paper Table 2)",
+		"Dæmon", "Distribution", "Location", "In this reproduction")
+	t2.AddRow("MM (Machine Manager)", "One per cluster", "Management node",
+		"internal/storm.MM on the extra management node")
+	t2.AddRow("NM (Node Manager)", "One per compute node", "Compute nodes",
+		"internal/storm.NM, 64 instances")
+	t2.AddRow("PL (Program Launcher)",
+		"One per potential process (nodes x CPUs x MPL)", "Compute nodes",
+		metrics.FormatFloat(float64(64*cfg.OS.CPUs*mpl))+" instances at MPL "+
+			metrics.FormatFloat(float64(mpl)))
+
+	osCfg := nodeos.DefaultConfig()
+	t3 := metrics.NewTable("Evaluation cluster (paper Table 3, as simulated)",
+		"Component", "Feature", "Value")
+	t3.AddRow("Node", "Number", 64)
+	t3.AddRow("Node", "CPUs/node", osCfg.CPUs)
+	t3.AddRow("Node", "Model", "AlphaServer ES40 (simulated)")
+	t3.AddRow("CPU", "Type", "Alpha EV68 833 MHz (simulated)")
+	t3.AddRow("Network", "Type", "QsNET, QM-400 Elan3 (simulated)")
+	t3.AddRow("Network", "MTU", "320 bytes, ack-per-packet flow control")
+	t3.AddRow("Network", "Hardware collectives", "multicast + network conditionals")
+	t3.AddRow("Filesystem", "Management node", cfg.MgmtFS.Kind.String())
+	t3.AddRow("Filesystem", "Compute nodes", cfg.NodeFS.Kind.String())
+	t3.AddRow("Scheduler", "Default policy", cfg.Policy.Name())
+	t3.AddRow("Scheduler", "Default timeslice", cfg.Timeslice.String())
+
+	return &Result{
+		Tables: []*metrics.Table{t1, t2, t3},
+		Notes: []string{
+			"Run `stormsim interactive` for the quantitative version of the",
+			"Table 1 scheduling rows on this reproduction.",
+		},
+	}, nil
+}

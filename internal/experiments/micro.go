@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fsim"
+	"repro/internal/metrics"
+	"repro/internal/netmodel"
+	"repro/internal/qsnet"
+	"repro/internal/sim"
+)
+
+func init() {
+	register("fig6", "Read bandwidth from NFS, local disk, and RAM disk (paper Fig. 6)", fig6)
+	register("fig7", "Broadcast bandwidth from NIC- vs. host-resident buffers (paper Fig. 7)", fig7)
+	register("fig9", "Barrier-synchronization latency vs. nodes (paper Fig. 9)", fig9)
+	register("table4", "Hardware broadcast bandwidth vs. nodes and cable length (paper Table 4)", table4)
+	register("fig10", "Measured and modeled launch times to 16,384 nodes (paper Fig. 10)", fig10)
+	register("table5", "Expected mechanism performance on other networks (paper Table 5)", table5)
+}
+
+func fig6(opt Options) (*Result, error) {
+	tab := metrics.NewTable("Read bandwidth for a 12 MB binary (MB/s)",
+		"Filesystem", "Into NIC memory", "Into main memory")
+	const bytes = 12_000_000
+	for _, kind := range []fsim.Kind{fsim.NFS, fsim.LocalDisk, fsim.RAMDisk} {
+		row := []interface{}{kind.String()}
+		for _, loc := range []qsnet.BufferLoc{qsnet.NICMem, qsnet.MainMem} {
+			env := sim.NewEnv()
+			fs := fsim.NewDefault(env, kind, opt.seed())
+			var elapsed sim.Time
+			loc := loc
+			env.Spawn("reader", func(p *sim.Proc) {
+				start := p.Now()
+				if err := fs.Read(p, bytes, loc); err == nil {
+					elapsed = p.Now() - start
+				}
+			})
+			env.Run()
+			row = append(row, float64(bytes)/elapsed.Seconds()/1e6)
+		}
+		tab.AddRow(row...)
+	}
+	return &Result{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			"Paper reference: NFS 11.2/11.4, local ext2 30.5/31.5,",
+			"RAM disk 120/218 MB/s (NIC/main). Only for the RAM disk does the",
+			"buffer location matter.",
+		},
+	}, nil
+}
+
+func fig7(opt Options) (*Result, error) {
+	sizesKB := []int64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	if opt.Quick {
+		sizesKB = []int64{100, 500, 1000}
+	}
+	tab := metrics.NewTable("Broadcast bandwidth on 64 nodes (MB/s)",
+		"Message size (KB)", "NIC memory", "Main memory")
+	env := sim.NewEnv()
+	cfg := qsnet.DefaultConfig(64)
+	cfg.CableMeters = 10
+	net := qsnet.New(env, cfg)
+	for _, kb := range sizesKB {
+		bytes := kb * 1000
+		nic := net.BroadcastTime(bytes, qsnet.Range(0, 64), qsnet.NICMem, qsnet.NICMem)
+		mm := net.BroadcastTime(bytes, qsnet.Range(0, 64), qsnet.MainMem, qsnet.MainMem)
+		tab.AddRow(kb, float64(bytes)/nic.Seconds()/1e6, float64(bytes)/mm.Seconds()/1e6)
+	}
+	return &Result{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			"Paper reference: asymptotes of ~312 MB/s (NIC-resident buffers)",
+			"and ~175 MB/s (host buffers, PCI-limited).",
+		},
+	}, nil
+}
+
+func fig9(opt Options) (*Result, error) {
+	nodesAxis := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	if opt.Quick {
+		nodesAxis = []int{1, 16, 256, 1024}
+	}
+	tab := metrics.NewTable("Barrier synchronization latency (us)",
+		"Nodes", "Measured (simulated fabric)", "Model")
+	for _, n := range nodesAxis {
+		env := sim.NewEnv()
+		net := qsnet.New(env, qsnet.DefaultConfig(n))
+		var lat sim.Time
+		env.Spawn("root", func(p *sim.Proc) {
+			start := p.Now()
+			// Average several rounds as on the real machine.
+			const rounds = 10
+			for i := 0; i < rounds; i++ {
+				net.Conditional(p, qsnet.Range(0, n), func(*qsnet.NIC) bool { return true })
+			}
+			lat = (p.Now() - start) / rounds
+		})
+		env.Run()
+		tab.AddRow(n, lat.Microseconds(), netmodel.BarrierLatencyUs(n))
+	}
+	return &Result{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			"Paper reference (Terascale Computing System): ~4.5 us at small",
+			"scale, growing only ~2 us across a 384x increase in nodes.",
+		},
+	}, nil
+}
+
+func table4(opt Options) (*Result, error) {
+	cables := []float64{10, 20, 30, 40, 60, 80, 100}
+	headers := []string{"Nodes", "Processors", "Stages", "Switches"}
+	for _, c := range cables {
+		headers = append(headers, fmt.Sprintf("%gm", c))
+	}
+	tab := metrics.NewTable("Asymptotic broadcast bandwidth (MB/s)", headers...)
+	for _, nodes := range []int{4, 16, 64, 256, 1024, 4096} {
+		row := []interface{}{nodes, nodes * 4, netmodel.Stages(nodes), netmodel.Switches(nodes)}
+		for _, c := range cables {
+			row = append(row, netmodel.BroadcastBW(nodes, c))
+		}
+		tab.AddRow(row...)
+	}
+	return &Result{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			"Every cell reproduces the paper's vendor-provided Table 4 within",
+			"~1.5% via the fitted ack-per-packet pipeline model.",
+		},
+	}, nil
+}
+
+func fig10(opt Options) (*Result, error) {
+	measuredAxis := []int{1, 2, 4, 8, 16, 32, 64}
+	if opt.Quick {
+		measuredAxis = []int{1, 8, 64}
+	}
+	meas := metrics.NewTable("Measured 12 MB launch times (simulated cluster)",
+		"Nodes", "Launch time (ms)")
+	for _, n := range measuredAxis {
+		lr := meanLaunch(opt, n*4, 12_000_000, unloaded, nil)
+		if lr.Failed {
+			return nil, fmt.Errorf("launch failed at %d nodes", n)
+		}
+		meas.AddRow(n, lr.TotalSec*1000)
+	}
+	model := metrics.NewTable("Modeled 12 MB launch times (paper Eq. 3)",
+		"Nodes", "ES40 (ms)", "Ideal I/O bus (ms)")
+	for n := 1; n <= 16384; n *= 2 {
+		model.AddRow(n, netmodel.LaunchTimeES40(n, 12)*1000, netmodel.LaunchTimeIdeal(n, 12)*1000)
+	}
+	return &Result{
+		Tables: []*metrics.Table{meas, model},
+		Notes: []string{
+			"Paper reference: a 12 MB binary launches in ~135 ms even on",
+			"16,384 nodes; the ES40 and ideal-I/O models converge beyond 4,096",
+			"nodes where the network broadcast becomes the shared bottleneck.",
+		},
+	}, nil
+}
+
+func table5(opt Options) (*Result, error) {
+	tab := metrics.NewTable("Measured/expected performance of the STORM mechanisms",
+		"Network", "COMPARE-AND-WRITE (us)", "XFER-AND-SIGNAL (MB/s)", "Emulated")
+	const n = 1024
+	for _, alt := range netmodel.AltNetworks() {
+		caw := fmt.Sprintf("%.0f", alt.CompareAndWriteUs(n))
+		switch alt.Name {
+		case "Gigabit Ethernet":
+			caw = "46 log n = " + caw
+		case "Myrinet", "Infiniband":
+			caw = "20 log n = " + caw
+		case "QsNET":
+			caw = "< 10 (" + caw + ")"
+		case "BlueGene/L":
+			caw = "< 2"
+		}
+		bw := alt.XferBWMBs(n)
+		bwStr := "not available"
+		if bw == bw { // not NaN
+			bwStr = fmt.Sprintf("%.0f (at n=%d)", bw, n)
+		}
+		tab.AddRow(alt.Name, caw, bwStr, fmt.Sprintf("%v", alt.Emulated))
+	}
+	return &Result{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			"Values at n = 1024 nodes, from the literature models the paper",
+			"cites; QsNET values come from this reproduction's Fig. 9 model.",
+		},
+	}, nil
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/storm"
+	"repro/internal/workload"
+)
+
+// ParsePolicy turns a CLI policy string into a scheduling policy:
+//
+//	batch | easy | gang[:MPL] | ics[:MPL] | bcs[:MPL] | priority[:MPL]
+func ParsePolicy(s string) (sched.Policy, error) {
+	name, mplStr, hasMPL := strings.Cut(s, ":")
+	mpl := 2
+	if hasMPL {
+		v, err := strconv.Atoi(mplStr)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("experiments: bad MPL in policy %q", s)
+		}
+		mpl = v
+	}
+	switch name {
+	case "batch":
+		return sched.BatchFCFS{}, nil
+	case "easy":
+		return sched.EASYBackfill{}, nil
+	case "gang":
+		return sched.GangFCFS{MPL: mpl}, nil
+	case "ics":
+		return sched.ImplicitCosched{MPL: mpl}, nil
+	case "bcs":
+		return sched.BCS{MPL: mpl}, nil
+	case "priority":
+		return sched.PriorityGang{MPL: mpl}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q (batch, easy, gang[:n], ics[:n], bcs[:n], priority[:n])", s)
+	}
+}
+
+// ReplayConfig parameterizes a workload replay.
+type ReplayConfig struct {
+	// Nodes is the cluster width (default: smallest power of two fitting
+	// the widest job).
+	Nodes int
+	// Policy string, as accepted by ParsePolicy (default "gang:2").
+	Policy string
+	// TimesliceMs is the gang quantum in milliseconds (default 50).
+	TimesliceMs float64
+	// Seed drives simulation randomness.
+	Seed uint64
+	// GanttCols renders a lifecycle Gantt when positive.
+	GanttCols int
+}
+
+// Replay runs a parsed workload spec on a simulated cluster and reports
+// per-job service metrics plus aggregates (and optionally a Gantt).
+func Replay(spec *workload.Spec, rc ReplayConfig) (*Result, error) {
+	policyStr := rc.Policy
+	if policyStr == "" {
+		policyStr = "gang:2"
+	}
+	policy, err := ParsePolicy(policyStr)
+	if err != nil {
+		return nil, err
+	}
+	nodes := rc.Nodes
+	widest := 0
+	for _, js := range spec.Jobs {
+		if js.Nodes > widest {
+			widest = js.Nodes
+		}
+	}
+	if nodes == 0 {
+		nodes = 1
+		for nodes < widest {
+			nodes *= 2
+		}
+	}
+	if widest > nodes {
+		return nil, fmt.Errorf("experiments: job wants %d nodes but the cluster has %d", widest, nodes)
+	}
+
+	env := sim.NewEnv()
+	cfg := storm.DefaultConfig(nodes)
+	cfg.Policy = policy
+	if rc.TimesliceMs > 0 {
+		cfg.Timeslice = sim.FromMilliseconds(rc.TimesliceMs)
+	}
+	if rc.Seed != 0 {
+		cfg.Seed = rc.Seed
+	}
+	s := storm.New(env, cfg)
+	var tl = s.EnableTimeline()
+
+	order := make([]int, len(spec.Jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return spec.Jobs[order[a]].SubmitS < spec.Jobs[order[b]].SubmitS
+	})
+
+	jobs := make([]*job.Job, len(spec.Jobs))
+	env.Spawn("submitter", func(p *sim.Proc) {
+		for _, i := range order {
+			js := spec.Jobs[i]
+			p.WaitUntil(sim.FromSeconds(js.SubmitS))
+			prog, _ := js.Program.Build()
+			jobs[i] = s.Submit(&job.Job{
+				Name:        js.Name,
+				BinaryBytes: int64(js.BinaryMB * 1e6),
+				NodesWanted: js.Nodes,
+				PEsPerNode:  js.PEsPerNode,
+				Program:     prog,
+				EstRuntime:  sim.FromSeconds(js.EstS),
+				Priority:    js.Priority,
+			})
+		}
+	})
+	done := func() bool {
+		for _, j := range jobs {
+			if j == nil || (j.State != job.Finished && j.State != job.Failed && j.State != job.Canceled) {
+				return false
+			}
+		}
+		return true
+	}
+	for guard := 0; !done(); guard++ {
+		env.RunUntil(env.Now() + 5*sim.Second)
+		if guard > 100000 {
+			s.Shutdown()
+			return nil, fmt.Errorf("experiments: replay never drained")
+		}
+	}
+	defer s.Shutdown()
+
+	tab := metrics.NewTable(
+		fmt.Sprintf("Replay: %d jobs, %d nodes, %s", len(jobs), nodes, policy.Name()),
+		"Job", "Nodes", "Submit (s)", "Start (s)", "End (s)", "Response (s)", "State")
+	var resp metrics.Sample
+	var makespan sim.Time
+	for _, j := range jobs {
+		tab.AddRow(j.Name, j.NodesWanted, j.SubmitTime.Seconds(), j.FirstRun.Seconds(),
+			j.EndTime.Seconds(), (j.EndTime - j.SubmitTime).Seconds(), j.State.String())
+		resp.Add((j.EndTime - j.SubmitTime).Seconds())
+		if j.EndTime > makespan {
+			makespan = j.EndTime
+		}
+	}
+	agg := metrics.NewTable("Aggregates",
+		"Mean response (s)", "P95 response (s)", "Makespan (s)", "Utilization (%)")
+	agg.AddRow(resp.Mean(), resp.Percentile(95), makespan.Seconds(), s.Utilization()*100)
+
+	res := &Result{Tables: []*metrics.Table{tab, agg}}
+	if rc.GanttCols > 0 {
+		res.Text = append(res.Text, tl.Render(tl.End(), rc.GanttCols))
+		res.Notes = append(res.Notes,
+			"Legend: q = queued, T = binary transfer, R = placed/running.")
+	}
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]string{
+		"batch":      "batch-fcfs",
+		"easy":       "batch-easy-backfill",
+		"gang":       "gang-fcfs(mpl=2)",
+		"gang:4":     "gang-fcfs(mpl=4)",
+		"ics:3":      "implicit-cosched(mpl=3)",
+		"bcs":        "buffered-cosched(mpl=2)",
+		"priority:2": "priority-gang(mpl=2)",
+	}
+	for in, want := range cases {
+		p, err := ParsePolicy(in)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", in, err)
+		}
+		if p.Name() != want {
+			t.Errorf("ParsePolicy(%q) = %s, want %s", in, p.Name(), want)
+		}
+	}
+	for _, bad := range []string{"", "nope", "gang:0", "gang:x"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) did not error", bad)
+		}
+	}
+	if _, ok := interface{}(sched.BatchFCFS{}).(sched.Policy); !ok {
+		t.Fatal("policy interface broken")
+	}
+}
+
+const specJSON = `{
+  "jobs": [
+    {"name": "hog", "submit_s": 0, "nodes": 4, "pes_per_node": 2,
+     "binary_mb": 2, "program": {"kind": "synthetic", "seconds": 0.4}, "est_s": 1},
+    {"name": "quick", "submit_s": 0.1, "nodes": 2,
+     "program": {"kind": "sweep3d", "seconds": 0.2}, "est_s": 0.5, "priority": 2}
+  ]
+}`
+
+func TestParseSpec(t *testing.T) {
+	spec, err := workload.ParseSpec([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(spec.Jobs))
+	}
+	// Defaults filled in.
+	if spec.Jobs[1].PEsPerNode != 1 || spec.Jobs[1].BinaryMB != 12 {
+		t.Fatalf("defaults not applied: %+v", spec.Jobs[1])
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for name, bad := range map[string]string{
+		"empty":       `{"jobs": []}`,
+		"no-nodes":    `{"jobs": [{"name": "x"}]}`,
+		"neg-submit":  `{"jobs": [{"nodes": 2, "submit_s": -1}]}`,
+		"bad-program": `{"jobs": [{"nodes": 2, "program": {"kind": "quantum"}}]}`,
+		"not-json":    `]`,
+	} {
+		if _, err := workload.ParseSpec([]byte(bad)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestReplayEndToEnd(t *testing.T) {
+	spec, err := workload.ParseSpec([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(spec, ReplayConfig{Policy: "gang:2", GanttCols: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables = %d", len(res.Tables))
+	}
+	perJob := res.Tables[0]
+	if len(perJob.Rows) != 2 {
+		t.Fatalf("rows = %d", len(perJob.Rows))
+	}
+	for _, row := range perJob.Rows {
+		if row[len(row)-1] != "finished" {
+			t.Fatalf("job did not finish: %v", row)
+		}
+	}
+	if len(res.Text) != 1 || !strings.Contains(res.Text[0], "R") {
+		t.Fatal("Gantt missing")
+	}
+	// Cluster auto-sized to the widest job (4 nodes).
+	if !strings.Contains(perJob.Title, "4 nodes") {
+		t.Fatalf("title = %q", perJob.Title)
+	}
+}
+
+func TestReplayRejectsOversizedJob(t *testing.T) {
+	spec, _ := workload.ParseSpec([]byte(specJSON))
+	if _, err := Replay(spec, ReplayConfig{Nodes: 2}); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+}
+
+func TestReplayPriorityPolicy(t *testing.T) {
+	spec, err := workload.ParseSpec([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(spec, ReplayConfig{Policy: "priority:1"}); err != nil {
+		t.Fatal(err)
+	}
+}

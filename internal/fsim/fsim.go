@@ -1,0 +1,207 @@
+// Package fsim models the three file systems the STORM paper reads
+// binaries from (paper Fig. 6): NFS over the cluster network, a local
+// ext2 disk, and a local RAM disk. Bandwidths are calibrated to the
+// paper's measurements of a 12 MB read on the ES40:
+//
+//	                 into main memory   into NIC memory
+//	NFS                    11.4 MB/s         11.2 MB/s
+//	Local disk (ext2)      31.5 MB/s         30.5 MB/s
+//	RAM disk (ext2)       218   MB/s        120   MB/s
+//
+// Reads into NIC memory are slower only for the RAM disk, where the PCI
+// bus and the NIC's virtual-memory hardware become the bottleneck; for
+// the slow media the disk/network is the bottleneck either way.
+//
+// NFS is a shared, single-server resource: concurrent clients queue, and
+// a client whose request sits in the queue longer than the RPC timeout
+// gets a timeout error — the launch-failure mode the paper blames on
+// shared-filesystem job launching (paper §2.3, §5.1).
+package fsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/qsnet"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Kind identifies a filesystem type.
+type Kind int
+
+// The filesystems of paper Fig. 6.
+const (
+	NFS Kind = iota
+	LocalDisk
+	RAMDisk
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NFS:
+		return "NFS"
+	case LocalDisk:
+		return "Local (ext2)"
+	case RAMDisk:
+		return "RAM (ext2)"
+	}
+	return "unknown"
+}
+
+// ErrTimeout is returned when a shared-server request waits longer than
+// the client's RPC timeout.
+var ErrTimeout = errors.New("fsim: request timed out under server load")
+
+// Config holds a filesystem's performance parameters. Bandwidths are in
+// MB/s (1e6 bytes per second).
+type Config struct {
+	Kind         Kind
+	ReadMainMBs  float64 // read bandwidth into host memory
+	ReadNICMBs   float64 // read bandwidth into NIC memory
+	WriteMainMBs float64 // write bandwidth from host memory
+	WriteNICMBs  float64 // write bandwidth from NIC memory
+	// WriteJitter is the sigma of the lognormal multiplier applied to
+	// each write's duration: the per-node filesystem variability that
+	// motivates STORM's multi-buffering (paper §2.3).
+	WriteJitter float64
+	// Shared marks a single-server filesystem (NFS): all clients contend
+	// for one service resource.
+	Shared bool
+	// Timeout is the client RPC timeout for shared filesystems.
+	Timeout sim.Time
+	// PerRequest is the fixed per-request overhead (RPC round trip,
+	// syscall, metadata).
+	PerRequest sim.Time
+}
+
+// DefaultConfig returns the paper-calibrated parameters for a kind.
+func DefaultConfig(kind Kind) Config {
+	switch kind {
+	case NFS:
+		return Config{
+			Kind: NFS, ReadMainMBs: 11.4, ReadNICMBs: 11.2,
+			WriteMainMBs: 9.5, WriteNICMBs: 9.5,
+			WriteJitter: 0.10, Shared: true,
+			Timeout: 30 * sim.Second, PerRequest: 2 * sim.Millisecond,
+		}
+	case LocalDisk:
+		return Config{
+			Kind: LocalDisk, ReadMainMBs: 31.5, ReadNICMBs: 30.5,
+			WriteMainMBs: 42, WriteNICMBs: 40,
+			WriteJitter: 0.15, PerRequest: 5 * sim.Millisecond,
+		}
+	case RAMDisk:
+		return Config{
+			Kind: RAMDisk, ReadMainMBs: 218, ReadNICMBs: 120,
+			WriteMainMBs: 400, WriteNICMBs: 250,
+			WriteJitter: 0.08, PerRequest: 30 * sim.Microsecond,
+		}
+	}
+	panic("fsim: unknown kind")
+}
+
+// FileSystem is one mounted filesystem instance. Local filesystems are
+// per-node; a shared (NFS) instance is mounted by many nodes at once.
+type FileSystem struct {
+	env    *sim.Env
+	cfg    Config
+	server *sim.Resource
+	rnd    *rng.RNG
+
+	// Reads and Writes count completed operations (for tests).
+	Reads, Writes int
+	// TimedOut counts requests that failed with ErrTimeout.
+	TimedOut int
+}
+
+// New creates a filesystem with the given configuration.
+func New(env *sim.Env, cfg Config, seed uint64) *FileSystem {
+	fs := &FileSystem{env: env, cfg: cfg, rnd: rng.New(seed)}
+	if cfg.Shared {
+		fs.server = sim.NewResource(env, 1)
+	}
+	return fs
+}
+
+// NewDefault creates a filesystem of the given kind with paper defaults.
+func NewDefault(env *sim.Env, kind Kind, seed uint64) *FileSystem {
+	return New(env, DefaultConfig(kind), seed)
+}
+
+// Config returns the filesystem's configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// Kind returns the filesystem's type.
+func (fs *FileSystem) Kind() Kind { return fs.cfg.Kind }
+
+func (fs *FileSystem) readBW(loc qsnet.BufferLoc) float64 {
+	if loc == qsnet.NICMem {
+		return fs.cfg.ReadNICMBs
+	}
+	return fs.cfg.ReadMainMBs
+}
+
+func (fs *FileSystem) writeBW(loc qsnet.BufferLoc) float64 {
+	if loc == qsnet.NICMem {
+		return fs.cfg.WriteNICMBs
+	}
+	return fs.cfg.WriteMainMBs
+}
+
+// ReadBW reports the nominal read bandwidth (MB/s) into buffers at loc —
+// the quantity plotted in paper Fig. 6.
+func (fs *FileSystem) ReadBW(loc qsnet.BufferLoc) float64 { return fs.readBW(loc) }
+
+// xferTime converts a byte count and bandwidth into a duration.
+func xferTime(bytes int64, bwMBs float64) sim.Time {
+	return sim.FromSeconds(float64(bytes) / (bwMBs * 1e6))
+}
+
+// Read reads bytes into a buffer at loc, blocking the calling process.
+// On a shared filesystem the request may queue behind other clients and
+// can time out.
+func (fs *FileSystem) Read(p *sim.Proc, bytes int64, loc qsnet.BufferLoc) error {
+	d := fs.cfg.PerRequest + xferTime(bytes, fs.readBW(loc))
+	if err := fs.serve(p, d); err != nil {
+		return err
+	}
+	fs.Reads++
+	return nil
+}
+
+// Write writes bytes from a buffer at loc, blocking the calling process.
+// Write durations carry the configured lognormal jitter.
+func (fs *FileSystem) Write(p *sim.Proc, bytes int64, loc qsnet.BufferLoc) error {
+	d := fs.cfg.PerRequest + xferTime(bytes, fs.writeBW(loc))
+	if fs.cfg.WriteJitter > 0 {
+		d = sim.FromSeconds(d.Seconds() * fs.rnd.LogNormal(0, fs.cfg.WriteJitter))
+	}
+	if err := fs.serve(p, d); err != nil {
+		return err
+	}
+	fs.Writes++
+	return nil
+}
+
+// serve executes one request of duration d, applying shared-server
+// queueing and timeout semantics when configured.
+func (fs *FileSystem) serve(p *sim.Proc, d sim.Time) error {
+	if fs.server == nil {
+		p.Wait(d)
+		return nil
+	}
+	// Shared server: queue for service; give up if the queue is too deep
+	// to be served within the timeout. This reproduces the paper's
+	// "file servers ... tend to fail with timeout errors" under load.
+	waitStart := fs.env.Now()
+	fs.server.Acquire(p)
+	if fs.cfg.Timeout > 0 && fs.env.Now()-waitStart+d > fs.cfg.Timeout {
+		fs.server.Release()
+		fs.TimedOut++
+		return fmt.Errorf("%w (queued %v, need %v more)", ErrTimeout, fs.env.Now()-waitStart, d)
+	}
+	p.Wait(d)
+	fs.server.Release()
+	return nil
+}

@@ -1,0 +1,254 @@
+package fsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/qsnet"
+	"repro/internal/sim"
+)
+
+// measureRead returns the measured bandwidth (MB/s) of a 12 MB read,
+// the experiment of paper Fig. 6.
+func measureRead(t *testing.T, kind Kind, loc qsnet.BufferLoc) float64 {
+	t.Helper()
+	env := sim.NewEnv()
+	fs := NewDefault(env, kind, 1)
+	const bytes = 12 * 1000 * 1000
+	var elapsed sim.Time
+	env.Spawn("reader", func(p *sim.Proc) {
+		start := p.Now()
+		if err := fs.Read(p, bytes, loc); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		elapsed = p.Now() - start
+	})
+	env.Run()
+	return float64(bytes) / elapsed.Seconds() / 1e6
+}
+
+// TestFig6ReadBandwidths checks all six bars of paper Fig. 6 within 3%.
+func TestFig6ReadBandwidths(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		loc  qsnet.BufferLoc
+		want float64
+	}{
+		{NFS, qsnet.MainMem, 11.4},
+		{NFS, qsnet.NICMem, 11.2},
+		{LocalDisk, qsnet.MainMem, 31.5},
+		{LocalDisk, qsnet.NICMem, 30.5},
+		{RAMDisk, qsnet.MainMem, 218},
+		{RAMDisk, qsnet.NICMem, 120},
+	}
+	for _, c := range cases {
+		got := measureRead(t, c.kind, c.loc)
+		if math.Abs(got-c.want)/c.want > 0.03 {
+			t.Errorf("%v into %v: %.1f MB/s, paper %.1f", c.kind, c.loc, got, c.want)
+		}
+	}
+}
+
+// TestRAMDiskPrefersMainMemory verifies the paper's §3.3.1 conclusion:
+// only for the fast RAM disk does the buffer location matter much.
+func TestRAMDiskPrefersMainMemory(t *testing.T) {
+	ram := measureRead(t, RAMDisk, qsnet.MainMem) / measureRead(t, RAMDisk, qsnet.NICMem)
+	nfs := measureRead(t, NFS, qsnet.MainMem) / measureRead(t, NFS, qsnet.NICMem)
+	if ram < 1.5 {
+		t.Errorf("RAM disk main/NIC ratio = %.2f, want ~1.8", ram)
+	}
+	if nfs > 1.1 {
+		t.Errorf("NFS main/NIC ratio = %.2f, want ~1.0", nfs)
+	}
+}
+
+// TestWriteFasterThanRead encodes the paper's observation that read
+// bandwidth is consistently lower than write bandwidth (so writes are
+// never the file-transfer bottleneck).
+func TestWriteFasterThanRead(t *testing.T) {
+	for _, kind := range []Kind{LocalDisk, RAMDisk} {
+		cfg := DefaultConfig(kind)
+		if cfg.WriteMainMBs <= cfg.ReadMainMBs {
+			t.Errorf("%v: write BW %.1f should exceed read BW %.1f",
+				kind, cfg.WriteMainMBs, cfg.ReadMainMBs)
+		}
+	}
+}
+
+func TestWriteJitterVariesDurations(t *testing.T) {
+	env := sim.NewEnv()
+	fs := NewDefault(env, RAMDisk, 7)
+	var durations []float64
+	env.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			start := p.Now()
+			if err := fs.Write(p, 512<<10, qsnet.MainMem); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			durations = append(durations, (p.Now() - start).Seconds())
+		}
+	})
+	env.Run()
+	min, max := durations[0], durations[0]
+	for _, d := range durations {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max/min < 1.05 {
+		t.Fatalf("write jitter too small: min %.6f max %.6f", min, max)
+	}
+	if max/min > 3 {
+		t.Fatalf("write jitter implausibly large: min %.6f max %.6f", min, max)
+	}
+}
+
+func TestWriteDeterministicAcrossRuns(t *testing.T) {
+	run := func() []sim.Time {
+		env := sim.NewEnv()
+		fs := NewDefault(env, RAMDisk, 42)
+		var ends []sim.Time
+		env.Spawn("writer", func(p *sim.Proc) {
+			for i := 0; i < 10; i++ {
+				fs.Write(p, 256<<10, qsnet.MainMem)
+				ends = append(ends, p.Now())
+			}
+		})
+		env.Run()
+		return ends
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at write %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestNFSContention: N clients demand-paging one file from one server
+// serialize; aggregate time scales with N (the nonscalability the paper
+// attacks), and with a short timeout some clients fail.
+func TestNFSContention(t *testing.T) {
+	env := sim.NewEnv()
+	fs := NewDefault(env, NFS, 3)
+	const clients = 8
+	const bytes = 12 * 1000 * 1000
+	var lastEnd sim.Time
+	errs := 0
+	for i := 0; i < clients; i++ {
+		env.Spawn("client", func(p *sim.Proc) {
+			if err := fs.Read(p, bytes, qsnet.MainMem); err != nil {
+				errs++
+				return
+			}
+			if p.Now() > lastEnd {
+				lastEnd = p.Now()
+			}
+		})
+	}
+	env.Run()
+	single := float64(bytes) / (11.4e6)
+	if errs > 0 {
+		t.Fatalf("unexpected timeouts with default 30s timeout: %d", errs)
+	}
+	if lastEnd.Seconds() < float64(clients)*single*0.95 {
+		t.Fatalf("8 clients finished in %.2fs; server should serialize to ~%.2fs",
+			lastEnd.Seconds(), float64(clients)*single)
+	}
+}
+
+func TestNFSTimeoutUnderLoad(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(NFS)
+	cfg.Timeout = 3 * sim.Second // aggressive client timeout
+	fs := New(env, cfg, 3)
+	const clients = 16
+	failures := 0
+	for i := 0; i < clients; i++ {
+		env.Spawn("client", func(p *sim.Proc) {
+			if err := fs.Read(p, 12*1000*1000, qsnet.MainMem); err != nil {
+				if !errors.Is(err, ErrTimeout) {
+					t.Errorf("unexpected error type: %v", err)
+				}
+				failures++
+			}
+		})
+	}
+	env.Run()
+	if failures == 0 {
+		t.Fatal("no timeout failures despite 16 clients and a 3s timeout")
+	}
+	if fs.TimedOut != failures {
+		t.Fatalf("TimedOut counter = %d, want %d", fs.TimedOut, failures)
+	}
+}
+
+func TestLocalDisksDoNotContend(t *testing.T) {
+	env := sim.NewEnv()
+	// Two separate local-disk instances (two nodes): parallel reads.
+	a := NewDefault(env, LocalDisk, 1)
+	b := NewDefault(env, LocalDisk, 2)
+	var endA, endB sim.Time
+	env.Spawn("a", func(p *sim.Proc) {
+		a.Read(p, 12*1000*1000, qsnet.MainMem)
+		endA = p.Now()
+	})
+	env.Spawn("b", func(p *sim.Proc) {
+		b.Read(p, 12*1000*1000, qsnet.MainMem)
+		endB = p.Now()
+	})
+	env.Run()
+	single := 12.0 / 31.5
+	if endA.Seconds() > single*1.1 || endB.Seconds() > single*1.1 {
+		t.Fatalf("independent local reads serialized: %v, %v", endA, endB)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if NFS.String() != "NFS" || LocalDisk.String() != "Local (ext2)" || RAMDisk.String() != "RAM (ext2)" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+func TestAccessorsAndReadBW(t *testing.T) {
+	env := sim.NewEnv()
+	fs := NewDefault(env, RAMDisk, 1)
+	if fs.Kind() != RAMDisk || fs.Config().Kind != RAMDisk {
+		t.Fatal("accessors wrong")
+	}
+	if fs.ReadBW(qsnet.MainMem) != 218 || fs.ReadBW(qsnet.NICMem) != 120 {
+		t.Fatalf("ReadBW = %v / %v", fs.ReadBW(qsnet.MainMem), fs.ReadBW(qsnet.NICMem))
+	}
+}
+
+func TestWriteToNICMemory(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(RAMDisk)
+	cfg.WriteJitter = 0
+	fs := New(env, cfg, 1)
+	var elapsed sim.Time
+	env.Spawn("w", func(p *sim.Proc) {
+		start := p.Now()
+		fs.Write(p, 1_000_000, qsnet.NICMem)
+		elapsed = p.Now() - start
+	})
+	env.Run()
+	// 1 MB at 250 MB/s = 4ms (+30us per-request).
+	got := elapsed.Seconds()
+	if got < 0.004 || got > 0.0045 {
+		t.Fatalf("NIC-memory write took %vs", got)
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind did not panic")
+		}
+	}()
+	DefaultConfig(Kind(99))
+}

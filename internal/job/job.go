@@ -1,0 +1,190 @@
+// Package job defines the job and process descriptors shared by the
+// scheduler, the dæmons, and the workload models: what a parallel job
+// requests (PEs, binary size, program behavior), where it is in its
+// lifecycle, and the runtime context handed to each of its processes.
+package job
+
+import (
+	"fmt"
+
+	"repro/internal/nodeos"
+	"repro/internal/qsnet"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// ID identifies a job within one Machine Manager.
+type ID int
+
+// State is a job's lifecycle phase.
+type State int
+
+// Job lifecycle: submitted and waiting for space (Queued), binary being
+// multicast (Transferring), placed and runnable (Ready), processes forked
+// (Running), all processes exited (Finished), unrecoverable error
+// (Failed), killed on user request (Canceled).
+const (
+	Queued State = iota
+	Transferring
+	Ready
+	Running
+	Finished
+	Failed
+	Canceled
+)
+
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Transferring:
+		return "transferring"
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Finished:
+		return "finished"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	}
+	return "unknown"
+}
+
+// Program is the behavior of one job's processes. Implementations live in
+// internal/workload (SWEEP3D wavefront model, synthetic computation,
+// loaders); the do-nothing launch-benchmark program is DoNothing here.
+type Program interface {
+	// Run executes one process of the job and returns when it exits.
+	// It runs in its own simulation process p and should express CPU
+	// demand through ctx.Thread and synchronization through ctx.Barrier.
+	Run(p *sim.Proc, ctx *ProcessCtx)
+}
+
+// ProcessCtx is the runtime context of one application process.
+type ProcessCtx struct {
+	// Job is the owning job.
+	Job *Job
+	// Rank is this process's rank in [0, Job.Processes()).
+	Rank int
+	// NodeID is the cluster node the process runs on.
+	NodeID int
+	// CPUIndex is the processor within the node.
+	CPUIndex int
+	// Thread is the schedulable entity; Run expresses compute phases as
+	// ctx.Thread.Consume(p, d).
+	Thread *nodeos.Thread
+	// Barrier synchronizes all processes of the job (gang-wide). It
+	// blocks until every live rank has arrived.
+	Barrier func(p *sim.Proc)
+	// SendTo models a point-to-point message to another rank, blocking
+	// for the transfer time.
+	SendTo func(p *sim.Proc, rank int, bytes int64)
+	// Rnd is a per-process deterministic random stream.
+	Rnd *rng.RNG
+}
+
+// Job describes one parallel job.
+type Job struct {
+	ID   ID
+	Name string
+	// BinaryBytes is the executable size; the launch cost is dominated by
+	// multicasting this image (paper §3.1).
+	BinaryBytes int64
+	// NodesWanted and PEsPerNode give the geometry: the job runs
+	// NodesWanted × PEsPerNode processes, one per processor, on a
+	// contiguous node range (paper's one-to-one mapping).
+	NodesWanted int
+	PEsPerNode  int
+	// Program is the per-process behavior.
+	Program Program
+	// EstRuntime is the user-supplied runtime estimate used by
+	// backfilling policies (zero = unknown).
+	EstRuntime sim.Time
+	// Priority orders dispatch under priority policies (higher first;
+	// ties break by arrival).
+	Priority int
+
+	// State and placement, maintained by the Machine Manager.
+	State State
+	Nodes qsnet.NodeSet // allocation (valid once placed)
+	Row   int           // gang-matrix timeslot row (valid once placed)
+
+	// Timestamps (simulation time).
+	SubmitTime   sim.Time
+	TransferDone sim.Time // binary resident on all nodes
+	LaunchTime   sim.Time // fork/exec completed everywhere; MM notified
+	FirstRun     sim.Time // first process started executing
+	LastExit     sim.Time // last process exited (app-internal end)
+	EndTime      sim.Time // MM recorded completion
+
+	// Live is the number of processes not yet exited.
+	Live int
+}
+
+// Processes returns the total process count.
+func (j *Job) Processes() int { return j.NodesWanted * j.PEsPerNode }
+
+func (j *Job) String() string {
+	return fmt.Sprintf("job %d (%s, %d nodes × %d PEs, %s)",
+		j.ID, j.Name, j.NodesWanted, j.PEsPerNode, j.State)
+}
+
+// DoNothing is the paper's launch-benchmark program: a binary of a given
+// size whose main() returns immediately (paper §3.1). All cost is in the
+// transfer and fork/exec, which the dæmons account for; Run itself exits
+// at once.
+type DoNothing struct{}
+
+// Run returns immediately.
+func (DoNothing) Run(p *sim.Proc, ctx *ProcessCtx) {}
+
+// Barrier is a reusable gang-wide synchronization point for Size
+// participants with a fixed release latency (the hardware-collective
+// cost). It is cyclic: after releasing everyone it is ready for reuse.
+type Barrier struct {
+	env     *sim.Env
+	size    int
+	latency sim.Time
+	arrived int
+	gate    *sim.Event
+}
+
+// NewBarrier creates a cyclic barrier for size participants.
+func NewBarrier(env *sim.Env, size int, latency sim.Time) *Barrier {
+	return &Barrier{env: env, size: size, latency: latency, gate: sim.NewEvent(env)}
+}
+
+// SetSize adjusts the participant count (used when processes exit so the
+// survivors are not stranded). If the pending arrivals now satisfy the
+// new size, the barrier releases.
+func (b *Barrier) SetSize(size int) {
+	b.size = size
+	b.maybeRelease()
+}
+
+// Wait blocks until all participants have arrived, plus the release
+// latency.
+func (b *Barrier) Wait(p *sim.Proc) {
+	gate := b.gate // capture: maybeRelease swaps in a fresh gate per round
+	b.arrived++
+	b.maybeRelease()
+	gate.Wait(p)
+	if b.latency > 0 {
+		p.Wait(b.latency)
+	}
+}
+
+func (b *Barrier) maybeRelease() {
+	if b.arrived >= b.size && b.arrived > 0 {
+		gate := b.gate
+		n := b.arrived
+		b.arrived = 0
+		b.gate = sim.NewEvent(b.env)
+		for i := 0; i < n; i++ {
+			gate.Signal()
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package job
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestJobProcessesAndString(t *testing.T) {
+	j := &Job{ID: 3, Name: "sweep3d", NodesWanted: 32, PEsPerNode: 2, State: Running}
+	if j.Processes() != 64 {
+		t.Fatalf("Processes = %d", j.Processes())
+	}
+	if s := j.String(); s != "job 3 (sweep3d, 32 nodes × 2 PEs, running)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		Queued: "queued", Transferring: "transferring", Ready: "ready",
+		Running: "running", Finished: "finished", Failed: "failed",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	env := sim.NewEnv()
+	b := NewBarrier(env, 4, 10*sim.Microsecond)
+	var releases []sim.Time
+	for i := 0; i < 4; i++ {
+		i := i
+		env.SpawnAfter(sim.Time(i)*sim.Millisecond, "rank", func(p *sim.Proc) {
+			b.Wait(p)
+			releases = append(releases, p.Now())
+		})
+	}
+	env.Run()
+	if len(releases) != 4 {
+		t.Fatalf("released %d of 4", len(releases))
+	}
+	// Everyone releases when the last (3ms) arrival lands, plus latency.
+	want := 3*sim.Millisecond + 10*sim.Microsecond
+	for i, r := range releases {
+		if r != want {
+			t.Fatalf("rank %d released at %v, want %v", i, r, want)
+		}
+	}
+}
+
+func TestBarrierIsCyclic(t *testing.T) {
+	env := sim.NewEnv()
+	b := NewBarrier(env, 2, 0)
+	rounds := 0
+	for i := 0; i < 2; i++ {
+		env.Spawn("rank", func(p *sim.Proc) {
+			for r := 0; r < 5; r++ {
+				p.Wait(sim.Millisecond)
+				b.Wait(p)
+				if p.Name() == "rank" && r == 4 {
+					rounds++
+				}
+			}
+		})
+	}
+	env.Run()
+	if rounds != 2 {
+		t.Fatalf("only %d ranks completed 5 barrier rounds", rounds)
+	}
+}
+
+func TestBarrierSetSizeReleasesSurvivors(t *testing.T) {
+	env := sim.NewEnv()
+	b := NewBarrier(env, 3, 0)
+	released := 0
+	for i := 0; i < 2; i++ {
+		env.Spawn("rank", func(p *sim.Proc) {
+			b.Wait(p)
+			released++
+		})
+	}
+	// The third participant "exits"; shrinking the barrier must release
+	// the two already waiting.
+	env.After(5*sim.Millisecond, func() { b.SetSize(2) })
+	env.Run()
+	if released != 2 {
+		t.Fatalf("released %d of 2 survivors", released)
+	}
+}
+
+func TestDoNothingExitsImmediately(t *testing.T) {
+	env := sim.NewEnv()
+	var end sim.Time = -1
+	env.Spawn("proc", func(p *sim.Proc) {
+		DoNothing{}.Run(p, &ProcessCtx{})
+		end = p.Now()
+	})
+	env.Run()
+	if end != 0 {
+		t.Fatalf("DoNothing took %v", end)
+	}
+}

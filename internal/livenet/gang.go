@@ -1,0 +1,130 @@
+package livenet
+
+import (
+	"sync"
+	"time"
+)
+
+// This file adds live gang scheduling: when MMConfig.GangQuantum is set,
+// the MM assigns each job a timeslot row and multicasts a strobe every
+// quantum; each NM enacts the coordinated context switch by opening the
+// gates of the designated row's processes and closing the others — the
+// same MM/NM division of labor as the simulated scheduler, on wall-clock
+// time.
+
+// Strobe is the live coordinated context-switch command.
+type Strobe struct {
+	Row int
+}
+
+// gate is the suspend/resume control a PL wraps around its process: the
+// process calls wait() between work chunks and blocks while the gate is
+// closed.
+type gate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	open bool
+}
+
+func newGate(open bool) *gate {
+	g := &gate{open: open}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// wait blocks until the gate is open.
+func (g *gate) wait() {
+	g.mu.Lock()
+	for !g.open {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// set opens or closes the gate, waking waiters on open.
+func (g *gate) set(open bool) {
+	g.mu.Lock()
+	if g.open != open {
+		g.open = open
+		if open {
+			g.cond.Broadcast()
+		}
+	}
+	g.mu.Unlock()
+}
+
+// isOpen reports the gate state (for tests).
+func (g *gate) isOpen() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.open
+}
+
+// pickRow assigns a new job the least-loaded timeslot row. Caller holds
+// mm.mu.
+func (mm *MM) pickRow() int {
+	if mm.cfg.GangQuantum <= 0 || mm.cfg.MPL <= 1 {
+		return 0
+	}
+	if mm.rowCount == nil {
+		mm.rowCount = make([]int, mm.cfg.MPL)
+	}
+	best := 0
+	for r := 1; r < mm.cfg.MPL; r++ {
+		if mm.rowCount[r] < mm.rowCount[best] {
+			best = r
+		}
+	}
+	mm.rowCount[best]++
+	return best
+}
+
+// releaseRow returns a completed job's slot. Caller holds mm.mu.
+func (mm *MM) releaseRow(row int) {
+	if mm.rowCount != nil && row >= 0 && row < len(mm.rowCount) && mm.rowCount[row] > 0 {
+		mm.rowCount[row]--
+	}
+}
+
+// strobeLoop multicasts the coordinated context switch every quantum,
+// cycling over rows that have jobs.
+func (mm *MM) strobeLoop(done chan struct{}) {
+	tick := time.NewTicker(mm.cfg.GangQuantum)
+	defer tick.Stop()
+	cur := 0
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
+		mm.mu.Lock()
+		if mm.rowCount == nil {
+			mm.mu.Unlock()
+			continue
+		}
+		next := -1
+		for i := 1; i <= mm.cfg.MPL; i++ {
+			r := (cur + i) % mm.cfg.MPL
+			if mm.rowCount[r] > 0 {
+				next = r
+				break
+			}
+		}
+		links := make([]*nmLink, 0, len(mm.nms))
+		for _, l := range mm.nms {
+			links = append(links, l)
+		}
+		mm.mu.Unlock()
+		if next < 0 {
+			continue
+		}
+		cur = next
+		mm.mu.Lock()
+		mm.strobes++
+		mm.mu.Unlock()
+		for _, l := range links {
+			l.c.send(Message{Strobe: &Strobe{Row: next}})
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package livenet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateBlocksAndReleases(t *testing.T) {
+	g := newGate(false)
+	released := make(chan struct{})
+	go func() {
+		g.wait()
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("closed gate did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	g.set(true)
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("open gate did not release waiter")
+	}
+	if !g.isOpen() {
+		t.Fatal("gate state wrong")
+	}
+}
+
+// TestLiveGangScheduling runs two spin jobs timeshared at MPL 2 with a
+// 25 ms quantum: both must finish, the NMs must see strobes, and each
+// job's wall time must clearly exceed its solo CPU demand (they share
+// the machine).
+func TestLiveGangScheduling(t *testing.T) {
+	mm, nms := startCluster(t, 2, MMConfig{GangQuantum: 25 * time.Millisecond, MPL: 2})
+	const work = 300 * time.Millisecond
+	spec := func(name string) JobSpec {
+		return JobSpec{
+			Name: name, BinaryBytes: 64 << 10, Nodes: 2, PEsPerNode: 1,
+			Program: ProgramSpec{Kind: "spin", Duration: work},
+		}
+	}
+	var wg sync.WaitGroup
+	reports := make([]Report, 2)
+	errs := make([]error, 2)
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = SubmitJob(mm.Addr(), spec("gang"))
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	// Two 300 ms CPU-bound gangs timesharing one machine need >= ~600 ms
+	// wall; allow scheduling slack but require clear serialization.
+	if elapsed < 450*time.Millisecond {
+		t.Fatalf("two timeshared 300ms jobs finished in %v; not serialized", elapsed)
+	}
+	strobes := 0
+	for _, nm := range nms {
+		strobes += nm.StrobesSeen()
+	}
+	if strobes == 0 {
+		t.Fatal("NMs saw no strobes")
+	}
+	if mm.Strobes() == 0 {
+		t.Fatal("MM issued no strobes")
+	}
+}
+
+// TestLiveGangRowsAlternate: with MPL 2, two jobs land on different rows
+// (least-loaded assignment).
+func TestLiveGangRowAssignment(t *testing.T) {
+	mm, err := NewMM("127.0.0.1:0", MMConfig{GangQuantum: 10 * time.Millisecond, MPL: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	mm.mu.Lock()
+	r1 := mm.pickRow()
+	r2 := mm.pickRow()
+	r3 := mm.pickRow()
+	mm.mu.Unlock()
+	if r1 == r2 {
+		t.Fatalf("first two jobs share row %d", r1)
+	}
+	if r3 != r1 && r3 != r2 {
+		t.Fatalf("third row %d outside MPL", r3)
+	}
+	mm.mu.Lock()
+	mm.releaseRow(r1)
+	r4 := mm.pickRow()
+	mm.mu.Unlock()
+	if r4 != r1 {
+		t.Fatalf("released row not reused: got %d, want %d", r4, r1)
+	}
+}
+
+// TestNonGangJobsFreeRun: without GangQuantum processes run ungated.
+func TestNonGangJobsFreeRun(t *testing.T) {
+	mm, _ := startCluster(t, 2, MMConfig{})
+	start := time.Now()
+	_, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "solo", BinaryBytes: 64 << 10, Nodes: 2, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "spin", Duration: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("ungated job took %v", elapsed)
+	}
+	if mm.Strobes() != 0 {
+		t.Fatalf("non-gang MM issued %d strobes", mm.Strobes())
+	}
+}

@@ -1,0 +1,217 @@
+package livenet
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startCluster boots an MM and n NMs on the loopback interface.
+func startCluster(t *testing.T, n int, cfg MMConfig) (*MM, []*NM) {
+	t.Helper()
+	mm, err := NewMM("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mm.Close)
+	var nms []*NM
+	for i := 0; i < n; i++ {
+		nm, err := NewNM(mm.Addr(), i, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nm.Close)
+		nms = append(nms, nm)
+	}
+	// Registration is asynchronous; wait for all NMs to appear.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(mm.NMs()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d NMs registered", len(mm.NMs()), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return mm, nms
+}
+
+func TestLiveLaunchDoNothing(t *testing.T) {
+	mm, nms := startCluster(t, 4, MMConfig{})
+	rep, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "dn", BinaryBytes: 4 << 20, Nodes: 4, PEsPerNode: 2,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Send <= 0 || rep.Total < rep.Send {
+		t.Fatalf("nonsensical report: %+v", rep)
+	}
+	if rep.Total > 10*time.Second {
+		t.Fatalf("4 MB live launch on loopback took %v", rep.Total)
+	}
+	wantFrags := (4 << 20) / (256 << 10)
+	for _, nm := range nms {
+		if nm.FragsWritten() != wantFrags {
+			t.Errorf("node %d wrote %d fragments, want %d", nm.Node(), nm.FragsWritten(), wantFrags)
+		}
+		if nm.Launches() != 2 {
+			t.Errorf("node %d forked %d processes, want 2", nm.Node(), nm.Launches())
+		}
+	}
+	if mm.Completed() != 1 {
+		t.Errorf("Completed = %d", mm.Completed())
+	}
+}
+
+func TestLiveSweepKernelJob(t *testing.T) {
+	mm, _ := startCluster(t, 2, MMConfig{})
+	start := time.Now()
+	rep, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "sweep", BinaryBytes: 1 << 20, Nodes: 2, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "sweep", Grid: 24, Iters: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Execute <= 0 {
+		t.Fatalf("sweep job reported zero execute time: %+v", rep)
+	}
+	_ = start
+}
+
+func TestLiveSleepJobDuration(t *testing.T) {
+	mm, _ := startCluster(t, 2, MMConfig{})
+	const d = 300 * time.Millisecond
+	rep, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "sleep", BinaryBytes: 64 << 10, Nodes: 2, PEsPerNode: 2,
+		Program: ProgramSpec{Kind: "sleep", Duration: d},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Execute < d {
+		t.Fatalf("execute %v < sleep duration %v", rep.Execute, d)
+	}
+}
+
+func TestLiveInsufficientNodes(t *testing.T) {
+	mm, _ := startCluster(t, 2, MMConfig{})
+	_, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "big", BinaryBytes: 1024, Nodes: 8, PEsPerNode: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "NMs registered") {
+		t.Fatalf("expected insufficient-nodes error, got %v", err)
+	}
+}
+
+func TestLiveConcurrentJobs(t *testing.T) {
+	mm, _ := startCluster(t, 4, MMConfig{})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = SubmitJob(mm.Addr(), JobSpec{
+				Name: "dn", BinaryBytes: 512 << 10, Nodes: 2, PEsPerNode: 1,
+				Program: ProgramSpec{Kind: "exit"},
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+	if mm.Completed() != 4 {
+		t.Errorf("Completed = %d, want 4", mm.Completed())
+	}
+}
+
+func TestLiveNodeFailureStallsTransfer(t *testing.T) {
+	mm, nms := startCluster(t, 3, MMConfig{AckTimeout: time.Second})
+	// Kill one NM before submitting: its link drops, so it unregisters
+	// and the job should only see the survivors.
+	nms[1].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(mm.NMs()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead NM never unregistered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "dn", BinaryBytes: 256 << 10, Nodes: 2, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err != nil {
+		t.Fatalf("launch on survivors failed: %v", err)
+	}
+	if rep.Total <= 0 {
+		t.Fatal("bad report")
+	}
+}
+
+func TestLiveHeartbeatDetectsFailure(t *testing.T) {
+	mm, nms := startCluster(t, 3, MMConfig{})
+	failedCh := make(chan int, 3)
+	stop := mm.StartHeartbeat(50*time.Millisecond, func(node int) { failedCh <- node })
+	defer stop()
+	time.Sleep(300 * time.Millisecond)
+	select {
+	case n := <-failedCh:
+		t.Fatalf("false positive: node %d", n)
+	default:
+	}
+	nms[2].Close()
+	select {
+	case n := <-failedCh:
+		if n != 2 {
+			t.Fatalf("detected node %d, want 2", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("failure never detected")
+	}
+}
+
+func TestFragPatternIntegrity(t *testing.T) {
+	a := fragPattern(3, 7, 1024)
+	b := fragPattern(3, 7, 1024)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pattern not deterministic")
+		}
+	}
+	if fragCRC(a) != fragCRC(b) {
+		t.Fatal("CRC not deterministic")
+	}
+	c := fragPattern(3, 8, 1024)
+	if fragCRC(a) == fragCRC(c) {
+		t.Fatal("different fragments share a CRC")
+	}
+}
+
+func TestQueryStatus(t *testing.T) {
+	mm, _ := startCluster(t, 3, MMConfig{})
+	st, err := QueryStatus(mm.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Nodes) != 3 || st.Jobs != 0 || st.Gang {
+		t.Fatalf("status = %+v", st)
+	}
+	if _, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "dn", BinaryBytes: 1024, Nodes: 2, PEsPerNode: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = QueryStatus(mm.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 1 || st.Launched != 1 {
+		t.Fatalf("post-job status = %+v", st)
+	}
+}

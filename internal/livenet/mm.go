@@ -1,0 +1,532 @@
+package livenet
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MMConfig tunes the live Machine Manager.
+type MMConfig struct {
+	// FragBytes is the binary-distribution fragment size (default 256 KB).
+	FragBytes int
+	// Slots is the per-node flow-control window, the live analogue of
+	// the simulator's multi-buffering slots (default 4).
+	Slots int
+	// AckTimeout bounds how long a transfer waits for window credit
+	// before declaring a node failed (default 10 s).
+	AckTimeout time.Duration
+	// GangQuantum, when positive, enables live gang scheduling: the MM
+	// strobes a coordinated context switch every quantum and launches
+	// processes gated.
+	GangQuantum time.Duration
+	// MPL is the number of gang timeslot rows (default 2 when gang
+	// scheduling is enabled).
+	MPL int
+}
+
+func (c *MMConfig) fill() {
+	if c.FragBytes == 0 {
+		c.FragBytes = 256 << 10
+	}
+	if c.Slots == 0 {
+		c.Slots = 4
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 10 * time.Second
+	}
+	if c.GangQuantum > 0 && c.MPL == 0 {
+		c.MPL = 2
+	}
+}
+
+// MM is the live Machine Manager: it accepts NM registrations and client
+// job submissions on one TCP port.
+type MM struct {
+	cfg MMConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	nms     map[int]*nmLink
+	jobs    map[int]*liveJob
+	nextJob int
+	closed  bool
+	hb      *hbState
+
+	// counters, guarded by mu: job lifecycle milestones and gang
+	// context-switch multicasts issued.
+	launched  int
+	completed int
+	strobes   int
+
+	rowCount   []int
+	strobeStop chan struct{}
+
+	wg sync.WaitGroup
+}
+
+// nmLink is the MM's view of one registered Node Manager.
+type nmLink struct {
+	node int
+	cpus int
+	c    *conn
+}
+
+// liveJob is the MM-side state of one job in flight.
+type liveJob struct {
+	id    int
+	spec  JobSpec
+	row   int
+	nodes []*nmLink
+
+	mu    sync.Mutex
+	acked map[int]int // node -> fragments acknowledged
+	cond  *sync.Cond
+	fail  error
+
+	terms chan int
+}
+
+// NewMM starts a Machine Manager listening on addr (use "127.0.0.1:0"
+// for an ephemeral port).
+func NewMM(addr string, cfg MMConfig) (*MM, error) {
+	cfg.fill()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: listen %s: %w", addr, err)
+	}
+	mm := &MM{
+		cfg:  cfg,
+		ln:   ln,
+		nms:  make(map[int]*nmLink),
+		jobs: make(map[int]*liveJob),
+	}
+	mm.wg.Add(1)
+	go mm.acceptLoop()
+	if cfg.GangQuantum > 0 {
+		stop := make(chan struct{})
+		mm.strobeStop = stop
+		mm.wg.Add(1)
+		go func() {
+			defer mm.wg.Done()
+			mm.strobeLoop(stop)
+		}()
+	}
+	return mm, nil
+}
+
+// Addr returns the listening address (for NMs and clients to dial).
+func (mm *MM) Addr() string { return mm.ln.Addr().String() }
+
+// Launched returns the number of jobs accepted for execution.
+func (mm *MM) Launched() int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.launched
+}
+
+// Completed returns the number of jobs that finished successfully.
+func (mm *MM) Completed() int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.completed
+}
+
+// Strobes returns the number of gang context-switch multicasts issued.
+func (mm *MM) Strobes() int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.strobes
+}
+
+// NMs returns the registered node IDs in ascending order.
+func (mm *MM) NMs() []int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	out := make([]int, 0, len(mm.nms))
+	for id := range mm.nms {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Close shuts the MM down and disconnects everyone.
+func (mm *MM) Close() {
+	if mm.strobeStop != nil {
+		close(mm.strobeStop)
+		mm.strobeStop = nil
+	}
+	mm.mu.Lock()
+	mm.closed = true
+	for _, l := range mm.nms {
+		l.c.close()
+	}
+	mm.mu.Unlock()
+	mm.ln.Close()
+	mm.wg.Wait()
+}
+
+func (mm *MM) acceptLoop() {
+	defer mm.wg.Done()
+	for {
+		nc, err := mm.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		mm.wg.Add(1)
+		go mm.handleConn(newConn(nc))
+	}
+}
+
+// handleConn demultiplexes by the first message: NMs start with Register,
+// clients with Submit.
+func (mm *MM) handleConn(c *conn) {
+	defer mm.wg.Done()
+	first, err := c.recv()
+	if err != nil {
+		c.close()
+		return
+	}
+	switch {
+	case first.Register != nil:
+		mm.serveNM(c, first.Register)
+	case first.Submit != nil:
+		mm.serveClient(c, first.Submit.Spec)
+	case first.StatusQ != nil:
+		rep := mm.status()
+		c.send(Message{StatusR: &rep})
+		c.close()
+	default:
+		c.close()
+	}
+}
+
+// status builds the cluster snapshot.
+func (mm *MM) status() StatusRep {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	nodes := make([]int, 0, len(mm.nms))
+	for id := range mm.nms {
+		nodes = append(nodes, id)
+	}
+	sort.Ints(nodes)
+	return StatusRep{
+		Nodes:     nodes,
+		Jobs:      len(mm.jobs),
+		Launched:  mm.launched,
+		Completed: mm.completed,
+		Strobes:   mm.strobes,
+		Gang:      mm.cfg.GangQuantum > 0,
+	}
+}
+
+// serveNM registers a Node Manager and pumps its notifications.
+func (mm *MM) serveNM(c *conn, reg *Register) {
+	link := &nmLink{node: reg.Node, cpus: reg.CPUs, c: c}
+	mm.mu.Lock()
+	if mm.closed {
+		mm.mu.Unlock()
+		c.close()
+		return
+	}
+	mm.nms[reg.Node] = link
+	mm.mu.Unlock()
+	defer func() {
+		mm.mu.Lock()
+		if mm.nms[reg.Node] == link {
+			delete(mm.nms, reg.Node)
+		}
+		mm.mu.Unlock()
+		c.close()
+	}()
+	for {
+		m, err := c.recv()
+		if err != nil {
+			return
+		}
+		switch {
+		case m.FragAck != nil:
+			mm.onFragAck(m.FragAck)
+		case m.Term != nil:
+			mm.onTerm(m.Term)
+		case m.Pong != nil:
+			mm.onPong(m.Pong)
+		}
+	}
+}
+
+func (mm *MM) jobByID(id int) *liveJob {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.jobs[id]
+}
+
+func (mm *MM) onFragAck(a *FragAck) {
+	j := mm.jobByID(a.Job)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !a.OK {
+		j.fail = fmt.Errorf("node %d rejected fragment %d (corrupt)", a.Node, a.Index)
+	} else if a.Index+1 > j.acked[a.Node] {
+		j.acked[a.Node] = a.Index + 1
+	}
+	j.cond.Broadcast()
+}
+
+func (mm *MM) onTerm(t *Term) {
+	if j := mm.jobByID(t.Job); j != nil {
+		j.terms <- t.Node
+	}
+}
+
+// serveClient runs one job's full lifecycle on behalf of a submitter.
+func (mm *MM) serveClient(c *conn, spec JobSpec) {
+	defer c.close()
+	rep, err := mm.RunJob(spec)
+	done := Done{Report: rep}
+	if err != nil {
+		done.Err = err.Error()
+	}
+	c.send(Message{Done: &done})
+}
+
+// RunJob executes a job synchronously: select nodes, distribute the
+// binary with windowed flow control, launch, and collect termination
+// reports. It returns the paper-style timing decomposition.
+func (mm *MM) RunJob(spec JobSpec) (Report, error) {
+	if spec.Nodes <= 0 || spec.PEsPerNode <= 0 {
+		return Report{}, fmt.Errorf("livenet: bad job geometry %dx%d", spec.Nodes, spec.PEsPerNode)
+	}
+	mm.mu.Lock()
+	ids := make([]int, 0, len(mm.nms))
+	for id := range mm.nms {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	if len(ids) < spec.Nodes {
+		mm.mu.Unlock()
+		return Report{}, fmt.Errorf("livenet: %d NMs registered, job wants %d", len(ids), spec.Nodes)
+	}
+	mm.nextJob++
+	j := &liveJob{
+		id:    mm.nextJob,
+		spec:  spec,
+		row:   mm.pickRow(),
+		acked: make(map[int]int),
+		terms: make(chan int, spec.Nodes),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	for _, id := range ids[:spec.Nodes] {
+		j.nodes = append(j.nodes, mm.nms[id])
+	}
+	mm.jobs[j.id] = j
+	mm.launched++
+	mm.mu.Unlock()
+	defer func() {
+		mm.mu.Lock()
+		delete(mm.jobs, j.id)
+		mm.releaseRow(j.row)
+		mm.mu.Unlock()
+	}()
+
+	start := time.Now()
+	if err := mm.transfer(j); err != nil {
+		return Report{}, err
+	}
+	send := time.Since(start)
+
+	// Launch: tell each NM its ranks.
+	for i, link := range j.nodes {
+		ranks := make([]int, 0, spec.PEsPerNode)
+		for r := 0; r < spec.PEsPerNode; r++ {
+			ranks = append(ranks, i*spec.PEsPerNode+r)
+		}
+		msg := Message{Launch: &Launch{Job: j.id, Spec: spec, Ranks: ranks,
+			BinSize: spec.BinaryBytes, Row: j.row, Gang: mm.cfg.GangQuantum > 0}}
+		if err := link.c.send(msg); err != nil {
+			return Report{}, fmt.Errorf("livenet: launch to node %d: %w", link.node, err)
+		}
+	}
+
+	// Collect termination reports.
+	deadline := time.NewTimer(mm.cfg.AckTimeout + spec.Program.Duration + 60*time.Second)
+	defer deadline.Stop()
+	got := make(map[int]bool)
+	for len(got) < spec.Nodes {
+		select {
+		case n := <-j.terms:
+			got[n] = true
+		case <-deadline.C:
+			return Report{}, fmt.Errorf("livenet: job %d: %d/%d nodes reported termination before timeout",
+				j.id, len(got), spec.Nodes)
+		}
+	}
+	total := time.Since(start)
+	mm.mu.Lock()
+	mm.completed++
+	mm.mu.Unlock()
+	return Report{
+		JobID:   j.id,
+		Send:    send,
+		Execute: total - send,
+		Total:   total,
+		Timeline: fmt.Sprintf("send=%v execute=%v nodes=%d pes=%d",
+			send, total-send, spec.Nodes, spec.Nodes*spec.PEsPerNode),
+	}, nil
+}
+
+// transfer streams the synthetic binary image to every node of the job
+// with a Slots-deep per-node window: fragment i goes out only after every
+// node has acknowledged fragment i-Slots (the live analogue of the
+// COMPARE-AND-WRITE flow control over the remote receive queues).
+func (mm *MM) transfer(j *liveJob) error {
+	frag := mm.cfg.FragBytes
+	n := (j.spec.BinaryBytes + frag - 1) / frag
+	if n == 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		if err := mm.awaitWindow(j, i); err != nil {
+			return err
+		}
+		size := j.spec.BinaryBytes - i*frag
+		if size > frag {
+			size = frag
+		}
+		if size <= 0 {
+			size = 1
+		}
+		data := fragPattern(j.id, i, size)
+		msg := Message{Frag: &Frag{Job: j.id, Index: i, Last: i == n-1, Data: data, CRC: fragCRC(data)}}
+		for _, link := range j.nodes {
+			if err := link.c.send(msg); err != nil {
+				return fmt.Errorf("livenet: fragment %d to node %d: %w", i, link.node, err)
+			}
+		}
+	}
+	// Wait until every node acknowledged the final fragment.
+	return mm.awaitWindow(j, n-1+mm.cfg.Slots)
+}
+
+// awaitWindow blocks until every node of the job has acknowledged
+// fragment i-Slots (i.e. the window has room to send fragment i).
+func (mm *MM) awaitWindow(j *liveJob, i int) error {
+	need := i - mm.cfg.Slots + 1
+	if need <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(mm.cfg.AckTimeout)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if j.fail != nil {
+			return j.fail
+		}
+		min := need
+		for _, link := range j.nodes {
+			if j.acked[link.node] < min {
+				min = j.acked[link.node]
+			}
+		}
+		if min >= need {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("livenet: flow control stalled waiting for fragment %d acks", need)
+		}
+		// Wake periodically to enforce the deadline even if no acks come.
+		t := time.AfterFunc(100*time.Millisecond, func() { j.cond.Broadcast() })
+		j.cond.Wait()
+		t.Stop()
+	}
+}
+
+// heartbeat support ---------------------------------------------------
+
+type hbState struct {
+	mu    sync.Mutex
+	seq   int64
+	pongs map[int]int64 // node -> last seq answered
+}
+
+// StartHeartbeat pings all registered NMs every period and calls onFail
+// once for a node that misses two consecutive heartbeats. Returns a stop
+// function.
+func (mm *MM) StartHeartbeat(period time.Duration, onFail func(node int)) (stop func()) {
+	st := &hbState{pongs: make(map[int]int64)}
+	mm.mu.Lock()
+	mm.hb = st
+	mm.mu.Unlock()
+	done := make(chan struct{})
+	failed := make(map[int]bool)
+	// known tracks every node ever seen, with the heartbeat sequence
+	// current when it appeared: a node that later disconnects (and so
+	// leaves the registry) keeps being checked and is declared failed —
+	// exactly the paper's "slave missed a heartbeat" condition.
+	known := make(map[int]int64)
+	go func() {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			st.mu.Lock()
+			st.seq++
+			seq := st.seq
+			st.mu.Unlock()
+			mm.mu.Lock()
+			links := make([]*nmLink, 0, len(mm.nms))
+			for _, l := range mm.nms {
+				links = append(links, l)
+			}
+			mm.mu.Unlock()
+			for _, l := range links {
+				if _, ok := known[l.node]; !ok {
+					known[l.node] = seq - 1 // grace for late joiners
+				}
+				l.c.send(Message{Ping: &Ping{Seq: seq}})
+			}
+			st.mu.Lock()
+			for node, joinedAt := range known {
+				if failed[node] || seq-joinedAt < 3 {
+					continue
+				}
+				last := st.pongs[node]
+				if last < joinedAt {
+					last = joinedAt
+				}
+				if last < seq-2 {
+					failed[node] = true
+					if onFail != nil {
+						go onFail(node)
+					}
+				}
+			}
+			st.mu.Unlock()
+		}
+	}()
+	return func() { close(done) }
+}
+
+func (mm *MM) onPong(p *Pong) {
+	mm.mu.Lock()
+	st := mm.hb
+	mm.mu.Unlock()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if p.Seq > st.pongs[p.Node] {
+		st.pongs[p.Node] = p.Seq
+	}
+	st.mu.Unlock()
+}

@@ -1,0 +1,294 @@
+package livenet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// NM is a live Node Manager: it registers with the MM, receives binary
+// fragments and launch commands, forks processes through its Program
+// Launchers (goroutines), and reports terminations and heartbeats.
+type NM struct {
+	node int
+	cpus int
+	c    *conn
+
+	mu    sync.Mutex
+	bins  map[int]*binState // job -> receive state
+	gates map[int]*gateRow  // job -> gang gate + row
+
+	// counters, guarded by mu: fragments verified, processes forked,
+	// gang context switches enacted.
+	fragsWritten int
+	launches     int
+	strobesSeen  int
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// binState tracks one job's incoming binary image.
+type binState struct {
+	received int
+	bytes    int
+	complete bool
+}
+
+// gateRow couples a job's process gate with its gang timeslot row.
+type gateRow struct {
+	g   *gate
+	row int
+}
+
+// NewNM connects a Node Manager with the given node ID to the MM at
+// addr. cpus is the advertised processor count (one PL per potential
+// process).
+func NewNM(addr string, node, cpus int) (*NM, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	nm := &NM{node: node, cpus: cpus, c: c, bins: make(map[int]*binState),
+		gates: make(map[int]*gateRow), closed: make(chan struct{})}
+	if err := c.send(Message{Register: &Register{Node: node, CPUs: cpus}}); err != nil {
+		c.close()
+		return nil, fmt.Errorf("livenet: register: %w", err)
+	}
+	nm.wg.Add(1)
+	go nm.loop()
+	return nm, nil
+}
+
+// Node returns the NM's node ID.
+func (nm *NM) Node() int { return nm.node }
+
+// FragsWritten returns the number of verified fragments written.
+func (nm *NM) FragsWritten() int {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	return nm.fragsWritten
+}
+
+// Launches returns the number of processes forked.
+func (nm *NM) Launches() int {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	return nm.launches
+}
+
+// StrobesSeen returns the number of gang context switches enacted.
+func (nm *NM) StrobesSeen() int {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	return nm.strobesSeen
+}
+
+// Close disconnects the NM (simulating a node failure if abrupt).
+func (nm *NM) Close() {
+	select {
+	case <-nm.closed:
+	default:
+		close(nm.closed)
+	}
+	nm.c.close()
+	nm.wg.Wait()
+}
+
+func (nm *NM) loop() {
+	defer nm.wg.Done()
+	for {
+		m, err := nm.c.recv()
+		if err != nil {
+			return
+		}
+		switch {
+		case m.Frag != nil:
+			nm.onFrag(m.Frag)
+		case m.Launch != nil:
+			nm.onLaunch(m.Launch)
+		case m.Ping != nil:
+			nm.c.send(Message{Pong: &Pong{Seq: m.Ping.Seq, Node: nm.node}})
+		case m.Strobe != nil:
+			nm.onStrobe(m.Strobe.Row)
+		}
+	}
+}
+
+// onFrag verifies and "writes" one binary fragment (to the in-memory RAM
+// disk), then credits the MM's flow-control window.
+func (nm *NM) onFrag(f *Frag) {
+	ok := fragCRC(f.Data) == f.CRC
+	if ok {
+		// Verify the deterministic content pattern end to end.
+		want := fragPattern(f.Job, f.Index, len(f.Data))
+		for i := range want {
+			if f.Data[i] != want[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	nm.mu.Lock()
+	st := nm.bins[f.Job]
+	if st == nil {
+		st = &binState{}
+		nm.bins[f.Job] = st
+	}
+	if ok && f.Index == st.received {
+		st.received++
+		st.bytes += len(f.Data)
+		st.complete = f.Last
+		nm.fragsWritten++
+	} else if ok {
+		// Out-of-order fragment on an in-order stream: reject.
+		ok = false
+	}
+	nm.mu.Unlock()
+	nm.c.send(Message{FragAck: &FragAck{Job: f.Job, Index: f.Index, Node: nm.node, OK: ok}})
+}
+
+// onLaunch forks the job's local processes, one PL goroutine per rank,
+// and reports when the last one exits.
+func (nm *NM) onLaunch(l *Launch) {
+	nm.mu.Lock()
+	st := nm.bins[l.Job]
+	ready := st != nil && st.complete
+	nm.mu.Unlock()
+	if !ready {
+		// Binary never arrived: refuse by reporting immediately; the MM
+		// will see a too-early termination in its accounting.
+		nm.c.send(Message{Term: &Term{Job: l.Job, Node: nm.node}})
+		return
+	}
+	// Gang mode: processes start gated and run only when their row is
+	// strobed; otherwise they free-run.
+	g := newGate(!l.Gang)
+	nm.mu.Lock()
+	nm.gates[l.Job] = &gateRow{g: g, row: l.Row}
+	nm.mu.Unlock()
+	var procs sync.WaitGroup
+	nm.mu.Lock()
+	nm.launches += len(l.Ranks)
+	nm.mu.Unlock()
+	for _, rank := range l.Ranks {
+		procs.Add(1)
+		go func(rank int) {
+			defer procs.Done()
+			runProgram(l.Spec.Program, rank, g)
+		}(rank)
+	}
+	nm.wg.Add(1)
+	go func() {
+		defer nm.wg.Done()
+		procs.Wait()
+		nm.mu.Lock()
+		delete(nm.bins, l.Job)
+		delete(nm.gates, l.Job)
+		nm.mu.Unlock()
+		nm.c.send(Message{Term: &Term{Job: l.Job, Node: nm.node}})
+	}()
+}
+
+// onStrobe enacts the coordinated context switch: open the designated
+// row's gates, close the rest.
+func (nm *NM) onStrobe(row int) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	nm.strobesSeen++
+	for _, gr := range nm.gates {
+		gr.g.set(gr.row == row)
+	}
+}
+
+// runProgram executes one live application process in gate-sized chunks:
+// between chunks it blocks while descheduled (its gang's gate closed).
+func runProgram(p ProgramSpec, rank int, g *gate) {
+	switch p.Kind {
+	case "", "exit":
+		// The paper's do-nothing benchmark: terminate immediately.
+	case "sleep":
+		remaining := p.Duration
+		const slice = 5 * time.Millisecond
+		for remaining > 0 {
+			g.wait()
+			d := slice
+			if remaining < d {
+				d = remaining
+			}
+			time.Sleep(d)
+			remaining -= d
+		}
+	case "spin":
+		remaining := p.Duration
+		x := uint64(rank + 1)
+		for remaining > 0 {
+			g.wait()
+			start := time.Now()
+			for time.Since(start) < time.Millisecond {
+				for i := 0; i < 1<<12; i++ {
+					x = x*6364136223846793005 + 1442695040888963407
+				}
+			}
+			remaining -= time.Since(start)
+		}
+		_ = x
+	case "sweep":
+		grid := p.Grid
+		if grid == 0 {
+			grid = 24
+		}
+		iters := p.Iters
+		if iters == 0 {
+			iters = 10
+		}
+		k := workload.NewSweepKernel(grid, grid, grid)
+		for i := 0; i < iters; i++ {
+			g.wait()
+			k.Sweep()
+		}
+	}
+}
+
+// QueryStatus asks a live MM for its cluster snapshot.
+func QueryStatus(addr string) (StatusRep, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return StatusRep{}, err
+	}
+	defer c.close()
+	if err := c.send(Message{StatusQ: &StatusReq{}}); err != nil {
+		return StatusRep{}, fmt.Errorf("livenet: status query: %w", err)
+	}
+	m, err := c.recv()
+	if err != nil || m.StatusR == nil {
+		return StatusRep{}, fmt.Errorf("livenet: status reply: %v", err)
+	}
+	return *m.StatusR, nil
+}
+
+// SubmitJob is the client call: dial the MM, submit, and wait for the
+// completion report.
+func SubmitJob(addr string, spec JobSpec) (Report, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return Report{}, err
+	}
+	defer c.close()
+	if err := c.send(Message{Submit: &Submit{Spec: spec}}); err != nil {
+		return Report{}, fmt.Errorf("livenet: submit: %w", err)
+	}
+	m, err := c.recv()
+	if err != nil {
+		return Report{}, fmt.Errorf("livenet: awaiting report: %w", err)
+	}
+	if m.Done == nil {
+		return Report{}, fmt.Errorf("livenet: unexpected reply")
+	}
+	if m.Done.Err != "" {
+		return m.Done.Report, fmt.Errorf("livenet: %s", m.Done.Err)
+	}
+	return m.Done.Report, nil
+}

@@ -1,0 +1,203 @@
+// Package livenet is the live (wall-clock) mode of the STORM
+// reproduction: the same MM / NM / PL dæmon architecture as
+// internal/storm, but running as real goroutines (or separate processes,
+// via cmd/stormd) that talk gob-encoded messages over TCP.
+//
+// QsNET's hardware collectives obviously do not exist on a TCP loopback,
+// so this is precisely the situation the paper's §4 "Portability"
+// discussion describes: the mechanisms are emulated in a thin software
+// layer — the binary multicast becomes a windowed per-node stream
+// (the window plays the role of the Slots + COMPARE-AND-WRITE flow
+// control), and the heartbeat receipt check becomes an ack aggregation.
+// The dæmon logic above that layer is the same shape as the simulated
+// one. Live mode exists so the repository also runs as an actual
+// distributed resource manager on localhost, not only as a simulator.
+package livenet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"sync"
+	"time"
+)
+
+// JobSpec describes a live job.
+type JobSpec struct {
+	Name string
+	// BinaryBytes is the size of the synthetic executable image the MM
+	// distributes (contents are generated deterministically and
+	// CRC-checked at each NM).
+	BinaryBytes int
+	// Nodes is how many NMs the job spans.
+	Nodes int
+	// PEsPerNode is processes per node.
+	PEsPerNode int
+	// Program selects the live process behavior.
+	Program ProgramSpec
+}
+
+// ProgramSpec is the live process behavior, transmitted to the PLs.
+type ProgramSpec struct {
+	// Kind is "exit" (do-nothing), "sleep", "spin", or "sweep".
+	Kind string
+	// Duration bounds sleep/spin programs.
+	Duration time.Duration
+	// Grid and Iters parameterize the real sweep kernel.
+	Grid  int
+	Iters int
+}
+
+// Report is the timing breakdown returned to the submitting client,
+// mirroring the paper's send/execute decomposition.
+type Report struct {
+	JobID    int
+	Send     time.Duration // binary resident on all nodes
+	Execute  time.Duration // fork through last termination report
+	Total    time.Duration
+	Timeline string
+}
+
+// Message is the wire envelope. Exactly one pointer field is set.
+type Message struct {
+	Register *Register
+	Submit   *Submit
+	Frag     *Frag
+	FragAck  *FragAck
+	Launch   *Launch
+	Term     *Term
+	Done     *Done
+	Ping     *Ping
+	Pong     *Pong
+	Strobe   *Strobe
+	StatusQ  *StatusReq
+	StatusR  *StatusRep
+}
+
+// Register announces an NM to the MM.
+type Register struct {
+	Node int
+	CPUs int
+}
+
+// Submit asks the MM to run a job.
+type Submit struct {
+	Spec JobSpec
+}
+
+// Frag carries one fragment of a job's binary image.
+type Frag struct {
+	Job   int
+	Index int
+	Last  bool
+	Data  []byte
+	CRC   uint32
+}
+
+// FragAck credits the sender's flow-control window after a fragment has
+// been verified and written.
+type FragAck struct {
+	Job   int
+	Index int
+	Node  int
+	OK    bool
+}
+
+// Launch orders an NM to fork a job's local processes.
+type Launch struct {
+	Job     int
+	Spec    JobSpec
+	Ranks   []int
+	BinSize int
+	// Row is the job's gang timeslot; Gang says whether processes start
+	// gated (awaiting strobes) or free-running.
+	Row  int
+	Gang bool
+}
+
+// Term reports that all of a job's processes on a node have exited.
+type Term struct {
+	Job  int
+	Node int
+}
+
+// Done returns the completion report to the client.
+type Done struct {
+	Report Report
+	Err    string
+}
+
+// StatusReq asks the MM for a cluster snapshot; StatusRep answers it.
+type StatusReq struct{}
+
+// StatusRep is the MM's cluster snapshot.
+type StatusRep struct {
+	Nodes     []int // registered NM IDs, ascending
+	Jobs      int   // jobs currently in flight
+	Launched  int
+	Completed int
+	Strobes   int
+	Gang      bool // live gang scheduling enabled
+}
+
+// Ping and Pong implement heartbeats.
+type Ping struct{ Seq int64 }
+
+// Pong acknowledges a Ping.
+type Pong struct {
+	Seq  int64
+	Node int
+}
+
+// fragCRC computes the fragment checksum.
+func fragCRC(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
+
+// fragPattern fills a fragment with the deterministic byte pattern of
+// the synthetic binary image (so NMs can verify integrity end to end).
+func fragPattern(job, index, size int) []byte {
+	b := make([]byte, size)
+	seed := byte(job*31 + index*7)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+// conn wraps a TCP connection with gob codecs and a write lock (gob
+// encoders are not safe for concurrent use).
+type conn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	mu  sync.Mutex
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// send serializes one message.
+func (c *conn) send(m Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(&m)
+}
+
+// recv blocks for the next message.
+func (c *conn) recv() (Message, error) {
+	var m Message
+	err := c.dec.Decode(&m)
+	return m, err
+}
+
+func (c *conn) close() { c.c.Close() }
+
+// dial connects to addr with a bounded timeout.
+func dial(addr string) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: dial %s: %w", addr, err)
+	}
+	return newConn(nc), nil
+}

@@ -1,0 +1,303 @@
+// Package mech implements the three STORM mechanisms (paper §2.2) — the
+// narrow interface on which every resource-management function is built:
+//
+//	XFER-AND-SIGNAL   non-blocking PUT of a block of data to the global
+//	                  memory of a set of nodes, optionally signaling a
+//	                  local and/or remote event on completion; atomic and
+//	                  sequentially consistent.
+//	TEST-EVENT        poll a local event, optionally blocking until it is
+//	                  signaled.
+//	COMPARE-AND-WRITE compare a global variable on a set of nodes against
+//	                  a local value (>=, <, ==, !=); if the condition
+//	                  holds on ALL nodes, optionally write a new value to
+//	                  a (possibly different) global variable on the set;
+//	                  blocking, atomic, sequentially consistent.
+//
+// Two implementations are provided:
+//
+//   - HWDomain maps the mechanisms 1:1 onto QsNET hardware primitives
+//     (hardware multicast, network conditionals, remotely signaled
+//     events), as in the paper's reference implementation.
+//
+//   - TreeDomain emulates them with logarithmic software trees of
+//     point-to-point messages, the "thin software layer" the paper says
+//     commodity networks (Ethernet, Myrinet, Infiniband) would need
+//     (paper §4, Table 5). It exists so the repository can measure what
+//     the hardware collectives buy (the ablation benchmarks).
+//
+// Control messages ride along with transfers: a transfer may carry an
+// opaque payload that is deposited in the destination's per-event inbox,
+// which models STORM's remote hardware queues (paper §6 point on "remote
+// hardware queues").
+package mech
+
+import (
+	"fmt"
+
+	"repro/internal/qsnet"
+	"repro/internal/sim"
+)
+
+// CompareOp is the comparison COMPARE-AND-WRITE applies on every node.
+type CompareOp int
+
+// The four comparison operators of the paper's COMPARE-AND-WRITE.
+const (
+	GE CompareOp = iota // >=
+	LT                  // <
+	EQ                  // ==
+	NE                  // !=
+)
+
+func (op CompareOp) String() string {
+	switch op {
+	case GE:
+		return ">="
+	case LT:
+		return "<"
+	case EQ:
+		return "=="
+	case NE:
+		return "!="
+	}
+	return "?"
+}
+
+// Eval applies the operator.
+func (op CompareOp) Eval(global, local int64) bool {
+	switch op {
+	case GE:
+		return global >= local
+	case LT:
+		return global < local
+	case EQ:
+		return global == local
+	case NE:
+		return global != local
+	}
+	panic("mech: unknown CompareOp")
+}
+
+// Write describes the optional write half of COMPARE-AND-WRITE: if the
+// comparison holds on all nodes, Var is set to Val on every node of the
+// destination set.
+type Write struct {
+	Var string
+	Val int64
+}
+
+// Payload is an opaque control message carried by a transfer.
+type Payload interface{}
+
+// Node is the per-node handle to the mechanisms. Exactly one Node exists
+// per cluster node per domain; dæmons on that node share it.
+type Node interface {
+	// ID returns this node's ID.
+	ID() int
+
+	// XferAndSignal starts a non-blocking transfer of bytes from this
+	// node's buffer (in srcLoc) to the same virtual address on every node
+	// of dests (in dstLoc). When the transfer completes it deposits
+	// payload (if non-nil) in each destination's inbox for remoteEv and
+	// signals remoteEv there, then signals localEv here (if non-empty).
+	// The operation is atomic: on a network error (e.g. a dead
+	// destination) no node receives anything and localEv is never
+	// signaled; the error is recorded and readable via LastError.
+	XferAndSignal(dests qsnet.NodeSet, bytes int64, srcLoc, dstLoc qsnet.BufferLoc,
+		payload Payload, localEv, remoteEv string)
+
+	// TestEvent blocks the calling process until the named local event
+	// has been signaled, consuming one signal.
+	TestEvent(p *sim.Proc, name string)
+
+	// TestEventTimeout is TestEvent with a deadline; false on timeout.
+	TestEventTimeout(p *sim.Proc, name string, d sim.Time) bool
+
+	// PollEvent is the non-blocking variant: it reports whether a signal
+	// is pending without consuming it.
+	PollEvent(name string) bool
+
+	// Recv pops the oldest payload deposited for the named event, or
+	// (nil, false) if none is queued.
+	Recv(name string) (Payload, bool)
+
+	// PostLocal deposits a payload in this node's own inbox and signals
+	// the event — same-node dæmon-to-dæmon notification (e.g. a Program
+	// Launcher telling its Node Manager a process exited). No network
+	// traffic is involved.
+	PostLocal(name string, payload Payload)
+
+	// EventBacklog reports how many signals of the named event are
+	// pending (deposited but not yet consumed) — the control-queue depth
+	// a dæmon checks to detect overload.
+	EventBacklog(name string) int
+
+	// CompareAndWrite compares the global variable gvar on every node of
+	// dests with local using op. If the condition holds on all nodes it
+	// performs write (when non-nil) on all of them and returns true.
+	// Blocks the calling process for the collective's latency.
+	CompareAndWrite(p *sim.Proc, dests qsnet.NodeSet, gvar string, op CompareOp,
+		local int64, write *Write) bool
+
+	// Load and Store access this node's global-memory window directly
+	// (local operations, free).
+	Load(gvar string) int64
+	Store(gvar string, v int64)
+
+	// LastError returns the most recent asynchronous transfer error, or
+	// nil. Reading it does not clear it.
+	LastError() error
+}
+
+// Domain is a set of Nodes sharing one network.
+type Domain interface {
+	Nodes() int
+	Node(id int) Node
+	// Network exposes the underlying fabric (for load injection and
+	// fault injection in experiments).
+	Network() *qsnet.Network
+}
+
+// inbox is the per-event payload queue on a node.
+type inbox struct {
+	msgs []Payload
+}
+
+// ---------------------------------------------------------------------
+// Hardware implementation (QsNET).
+// ---------------------------------------------------------------------
+
+// HWDomain implements the mechanisms on QsNET hardware primitives.
+type HWDomain struct {
+	net   *qsnet.Network
+	nodes []*hwNode
+	// caw serializes concurrent COMPARE-AND-WRITEs so that when several
+	// nodes issue them with identical parameters, all nodes observe a
+	// single winner's value: the sequential-consistency guarantee of
+	// paper §2.2 item 2.
+	caw *sim.Resource
+}
+
+// NewHW builds a hardware-mechanism domain over net.
+func NewHW(net *qsnet.Network) *HWDomain {
+	d := &HWDomain{net: net, caw: sim.NewResource(net.Env(), 1)}
+	d.nodes = make([]*hwNode, net.Nodes())
+	for i := range d.nodes {
+		d.nodes[i] = &hwNode{dom: d, nic: net.NIC(i), inboxes: map[string]*inbox{}}
+	}
+	return d
+}
+
+// Nodes returns the number of nodes in the domain.
+func (d *HWDomain) Nodes() int { return d.net.Nodes() }
+
+// Node returns node id's mechanism handle.
+func (d *HWDomain) Node(id int) Node { return d.nodes[id] }
+
+// Network returns the underlying fabric.
+func (d *HWDomain) Network() *qsnet.Network { return d.net }
+
+type hwNode struct {
+	dom     *HWDomain
+	nic     *qsnet.NIC
+	inboxes map[string]*inbox
+	lastErr error
+}
+
+func (n *hwNode) ID() int { return n.nic.ID() }
+
+func (n *hwNode) inboxFor(name string) *inbox {
+	ib, ok := n.inboxes[name]
+	if !ok {
+		ib = &inbox{}
+		n.inboxes[name] = ib
+	}
+	return ib
+}
+
+func (n *hwNode) XferAndSignal(dests qsnet.NodeSet, bytes int64, srcLoc, dstLoc qsnet.BufferLoc,
+	payload Payload, localEv, remoteEv string) {
+	env := n.dom.net.Env()
+	src := n.nic.ID()
+	// The NIC performs the transfer autonomously; the host returns
+	// immediately (XFER-AND-SIGNAL is the one non-blocking mechanism,
+	// paper §2.2 item 3).
+	env.Spawn(fmt.Sprintf("xfer:%d->%s", src, dests), func(p *sim.Proc) {
+		var err error
+		if dests.N == 1 {
+			// A single-destination transfer is an ordinary remote DMA; it
+			// does not occupy the hardware multicast tree.
+			err = n.dom.net.Put(p, src, dests.First, bytes)
+		} else {
+			err = n.dom.net.Broadcast(p, src, dests, bytes, srcLoc, dstLoc)
+		}
+		if err != nil {
+			// Atomicity: nothing was delivered, nothing is signaled.
+			n.lastErr = err
+			return
+		}
+		for id := dests.First; id <= dests.Last(); id++ {
+			dst := n.dom.nodes[id]
+			if payload != nil {
+				dst.inboxFor(remoteEv).msgs = append(dst.inboxFor(remoteEv).msgs, payload)
+			}
+			if remoteEv != "" {
+				dst.nic.Event(remoteEv).Signal()
+			}
+		}
+		if localEv != "" {
+			n.nic.Event(localEv).Signal()
+		}
+	})
+}
+
+func (n *hwNode) TestEvent(p *sim.Proc, name string) {
+	n.nic.Event(name).Wait(p)
+}
+
+func (n *hwNode) TestEventTimeout(p *sim.Proc, name string, d sim.Time) bool {
+	return n.nic.Event(name).WaitTimeout(p, d)
+}
+
+func (n *hwNode) PollEvent(name string) bool {
+	return n.nic.Event(name).Poll()
+}
+
+func (n *hwNode) Recv(name string) (Payload, bool) {
+	ib := n.inboxFor(name)
+	if len(ib.msgs) == 0 {
+		return nil, false
+	}
+	m := ib.msgs[0]
+	ib.msgs = ib.msgs[1:]
+	return m, true
+}
+
+func (n *hwNode) CompareAndWrite(p *sim.Proc, dests qsnet.NodeSet, gvar string, op CompareOp,
+	local int64, write *Write) bool {
+	d := n.dom
+	d.caw.Acquire(p)
+	defer d.caw.Release() // kill-safe: a killed caller must not wedge CAWs
+	ok := d.net.Conditional(p, dests, func(nic *qsnet.NIC) bool {
+		return op.Eval(nic.Load(gvar), local)
+	})
+	if ok && write != nil {
+		for id := dests.First; id <= dests.Last(); id++ {
+			d.net.NIC(id).Store(write.Var, write.Val)
+		}
+	}
+	return ok
+}
+
+func (n *hwNode) PostLocal(name string, payload Payload) {
+	if payload != nil {
+		n.inboxFor(name).msgs = append(n.inboxFor(name).msgs, payload)
+	}
+	n.nic.Event(name).Signal()
+}
+
+func (n *hwNode) EventBacklog(name string) int { return n.nic.Event(name).Pending() }
+
+func (n *hwNode) Load(gvar string) int64     { return n.nic.Load(gvar) }
+func (n *hwNode) Store(gvar string, v int64) { n.nic.Store(gvar, v) }
+func (n *hwNode) LastError() error           { return n.lastErr }

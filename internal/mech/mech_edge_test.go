@@ -1,0 +1,134 @@
+package mech
+
+import (
+	"testing"
+
+	"repro/internal/qsnet"
+	"repro/internal/sim"
+)
+
+func TestPostLocalDeliversWithoutNetwork(t *testing.T) {
+	runBoth(t, func(t *testing.T, env *sim.Env, d Domain) {
+		puts := d.Network().Puts
+		bcasts := d.Network().Broadcasts
+		var got Payload
+		env.Spawn("daemon", func(p *sim.Proc) {
+			d.Node(3).TestEvent(p, "local")
+			got, _ = d.Node(3).Recv("local")
+		})
+		env.Spawn("pl", func(p *sim.Proc) {
+			p.Wait(sim.Millisecond)
+			d.Node(3).PostLocal("local", "exited")
+		})
+		env.Run()
+		if got != "exited" {
+			t.Fatalf("payload = %v", got)
+		}
+		if d.Network().Puts != puts || d.Network().Broadcasts != bcasts {
+			t.Fatal("PostLocal generated network traffic")
+		}
+	})
+}
+
+func TestEventBacklogCounts(t *testing.T) {
+	env, d := hwDomain(4)
+	env.Spawn("src", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			d.Node(1).PostLocal("ctrl", i)
+		}
+	})
+	env.Run()
+	if got := d.Node(1).EventBacklog("ctrl"); got != 3 {
+		t.Fatalf("backlog = %d, want 3", got)
+	}
+	env.Spawn("consumer", func(p *sim.Proc) {
+		d.Node(1).TestEvent(p, "ctrl")
+		d.Node(1).Recv("ctrl")
+	})
+	env.Run()
+	if got := d.Node(1).EventBacklog("ctrl"); got != 2 {
+		t.Fatalf("backlog after one consume = %d, want 2", got)
+	}
+}
+
+func TestSingleDestXferUsesPutPath(t *testing.T) {
+	env, d := hwDomain(4)
+	env.Spawn("src", func(p *sim.Proc) {
+		d.Node(0).XferAndSignal(qsnet.Range(2, 1), 1024,
+			qsnet.MainMem, qsnet.MainMem, "msg", "done", "data")
+		d.Node(0).TestEvent(p, "done")
+	})
+	env.Run()
+	if d.Network().Broadcasts != 0 {
+		t.Fatalf("single-destination transfer used the multicast tree (%d broadcasts)",
+			d.Network().Broadcasts)
+	}
+	if d.Network().Puts != 1 {
+		t.Fatalf("Puts = %d, want 1", d.Network().Puts)
+	}
+	if !d.Node(2).PollEvent("data") {
+		t.Fatal("payload event not signaled")
+	}
+}
+
+func TestMultiDestXferUsesMulticast(t *testing.T) {
+	env, d := hwDomain(4)
+	env.Spawn("src", func(p *sim.Proc) {
+		d.Node(0).XferAndSignal(qsnet.Range(0, 4), 1024,
+			qsnet.MainMem, qsnet.MainMem, nil, "done", "data")
+		d.Node(0).TestEvent(p, "done")
+	})
+	env.Run()
+	if d.Network().Broadcasts != 1 {
+		t.Fatalf("Broadcasts = %d, want 1", d.Network().Broadcasts)
+	}
+}
+
+func TestCAWOnSingleNodeSet(t *testing.T) {
+	env, d := hwDomain(4)
+	d.Node(2).Store("v", 9)
+	var hi, lo bool
+	env.Spawn("m", func(p *sim.Proc) {
+		hi = d.Node(0).CompareAndWrite(p, qsnet.Range(2, 1), "v", GE, 9, nil)
+		lo = d.Node(0).CompareAndWrite(p, qsnet.Range(2, 1), "v", GE, 10, nil)
+	})
+	env.Run()
+	if !hi || lo {
+		t.Fatalf("single-node CAW wrong: %v %v", hi, lo)
+	}
+}
+
+func TestCompareOpStrings(t *testing.T) {
+	want := map[CompareOp]string{GE: ">=", LT: "<", EQ: "==", NE: "!="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q", op, op.String())
+		}
+	}
+	if CompareOp(99).String() != "?" {
+		t.Error("unknown op should stringify to ?")
+	}
+}
+
+func TestWriteToDifferentVariable(t *testing.T) {
+	// The paper's CAW may write a DIFFERENT global variable than the one
+	// compared (§2.2).
+	runBoth(t, func(t *testing.T, env *sim.Env, d Domain) {
+		for i := 0; i < 8; i++ {
+			d.Node(i).Store("epoch", 5)
+		}
+		env.Spawn("m", func(p *sim.Proc) {
+			d.Node(0).CompareAndWrite(p, qsnet.Range(0, 8), "epoch", EQ, 5,
+				&Write{Var: "go.ahead", Val: 1})
+		})
+		env.Run()
+		for i := 0; i < 8; i++ {
+			if d.Node(i).Load("go.ahead") != 1 {
+				t.Fatalf("node %d: cross-variable write missing", i)
+			}
+			if d.Node(i).Load("epoch") != 5 {
+				t.Fatalf("node %d: compared variable mutated", i)
+			}
+		}
+	})
+}

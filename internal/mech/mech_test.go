@@ -1,0 +1,315 @@
+package mech
+
+import (
+	"testing"
+
+	"repro/internal/qsnet"
+	"repro/internal/sim"
+)
+
+func hwDomain(nodes int) (*sim.Env, *HWDomain) {
+	env := sim.NewEnv()
+	net := qsnet.New(env, qsnet.DefaultConfig(nodes))
+	return env, NewHW(net)
+}
+
+func treeDomain(nodes int) (*sim.Env, *TreeDomain) {
+	env := sim.NewEnv()
+	net := qsnet.New(env, qsnet.DefaultConfig(nodes))
+	return env, NewTree(net)
+}
+
+func TestCompareOpEval(t *testing.T) {
+	cases := []struct {
+		op   CompareOp
+		g, l int64
+		want bool
+	}{
+		{GE, 5, 5, true}, {GE, 4, 5, false}, {GE, 6, 5, true},
+		{LT, 4, 5, true}, {LT, 5, 5, false},
+		{EQ, 5, 5, true}, {EQ, 4, 5, false},
+		{NE, 4, 5, true}, {NE, 5, 5, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.g, c.l); got != c.want {
+			t.Errorf("%d %v %d = %v, want %v", c.g, c.op, c.l, got, c.want)
+		}
+	}
+}
+
+// runBoth runs a subtest against both domain implementations, since they
+// must satisfy the same contract.
+func runBoth(t *testing.T, f func(t *testing.T, env *sim.Env, d Domain)) {
+	t.Run("hw", func(t *testing.T) {
+		env, d := hwDomain(8)
+		f(t, env, d)
+	})
+	t.Run("tree", func(t *testing.T) {
+		env, d := treeDomain(8)
+		f(t, env, d)
+	})
+}
+
+func TestXferSignalsRemoteAndLocalEvents(t *testing.T) {
+	runBoth(t, func(t *testing.T, env *sim.Env, d Domain) {
+		received := make([]bool, 8)
+		for i := 1; i < 8; i++ {
+			i := i
+			env.Spawn("recv", func(p *sim.Proc) {
+				d.Node(i).TestEvent(p, "data")
+				received[i] = true
+			})
+		}
+		var localSignaled bool
+		env.Spawn("src", func(p *sim.Proc) {
+			d.Node(0).XferAndSignal(qsnet.Range(1, 7), 1<<20,
+				qsnet.MainMem, qsnet.MainMem, nil, "sent", "data")
+			d.Node(0).TestEvent(p, "sent")
+			localSignaled = true
+		})
+		env.Run()
+		for i := 1; i < 8; i++ {
+			if !received[i] {
+				t.Fatalf("node %d never saw the remote event", i)
+			}
+		}
+		if !localSignaled {
+			t.Fatal("local completion event never signaled")
+		}
+	})
+}
+
+func TestXferDeliversPayloadInOrder(t *testing.T) {
+	runBoth(t, func(t *testing.T, env *sim.Env, d Domain) {
+		var got []int
+		env.Spawn("recv", func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				d.Node(5).TestEvent(p, "ctrl")
+				m, ok := d.Node(5).Recv("ctrl")
+				if !ok {
+					t.Error("event signaled but inbox empty")
+					return
+				}
+				got = append(got, m.(int))
+			}
+		})
+		env.Spawn("src", func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				d.Node(0).XferAndSignal(qsnet.Range(5, 1), 64,
+					qsnet.MainMem, qsnet.MainMem, i, "", "ctrl")
+				// Give each transfer time to complete so ordering is
+				// well-defined at the receiver.
+				p.Wait(sim.Millisecond)
+			}
+		})
+		env.Run()
+		if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+			t.Fatalf("payloads = %v, want [0 1 2]", got)
+		}
+	})
+}
+
+func TestXferIsNonBlocking(t *testing.T) {
+	env, d := hwDomain(8)
+	var issueTime sim.Time = -1
+	env.Spawn("src", func(p *sim.Proc) {
+		d.Node(0).XferAndSignal(qsnet.Range(0, 8), 100<<20,
+			qsnet.MainMem, qsnet.MainMem, nil, "done", "")
+		issueTime = p.Now() // must be immediately, not after the 100 MB transfer
+	})
+	env.Run()
+	if issueTime != 0 {
+		t.Fatalf("XferAndSignal blocked the caller until %v", issueTime)
+	}
+}
+
+func TestCompareAndWriteGlobalCondition(t *testing.T) {
+	runBoth(t, func(t *testing.T, env *sim.Env, d Domain) {
+		for i := 0; i < 8; i++ {
+			d.Node(i).Store("seq", 7)
+		}
+		var allTrue, oneBehindFalse, writeApplied bool
+		env.Spawn("master", func(p *sim.Proc) {
+			allTrue = d.Node(0).CompareAndWrite(p, qsnet.Range(0, 8), "seq", GE, 7,
+				&Write{Var: "go", Val: 1})
+			writeApplied = true
+			for i := 0; i < 8; i++ {
+				if d.Node(i).Load("go") != 1 {
+					writeApplied = false
+				}
+			}
+			d.Node(3).Store("seq", 6)
+			oneBehindFalse = !d.Node(0).CompareAndWrite(p, qsnet.Range(0, 8), "seq", GE, 7, nil)
+		})
+		env.Run()
+		if !allTrue {
+			t.Fatal("CAW false though condition holds everywhere")
+		}
+		if !writeApplied {
+			t.Fatal("conditional write not applied on all nodes")
+		}
+		if !oneBehindFalse {
+			t.Fatal("CAW true though one node is behind")
+		}
+	})
+}
+
+func TestCompareAndWriteNoWriteWhenFalse(t *testing.T) {
+	runBoth(t, func(t *testing.T, env *sim.Env, d Domain) {
+		d.Node(2).Store("x", 1) // others are 0
+		env.Spawn("m", func(p *sim.Proc) {
+			ok := d.Node(0).CompareAndWrite(p, qsnet.Range(0, 8), "x", GE, 1,
+				&Write{Var: "y", Val: 9})
+			if ok {
+				t.Error("CAW returned true")
+			}
+		})
+		env.Run()
+		for i := 0; i < 8; i++ {
+			if d.Node(i).Load("y") != 0 {
+				t.Fatalf("write applied on node %d despite false condition", i)
+			}
+		}
+	})
+}
+
+// TestCompareAndWriteSequentialConsistency: when multiple nodes
+// simultaneously issue CAWs identical except for the written value, all
+// nodes must converge on a single value (paper §2.2 item 2).
+func TestCompareAndWriteSequentialConsistency(t *testing.T) {
+	runBoth(t, func(t *testing.T, env *sim.Env, d Domain) {
+		for src := 0; src < 8; src++ {
+			src := src
+			env.Spawn("caw", func(p *sim.Proc) {
+				d.Node(src).CompareAndWrite(p, qsnet.Range(0, 8), "z", GE, 0,
+					&Write{Var: "winner", Val: int64(src + 1)})
+			})
+		}
+		env.Run()
+		v := d.Node(0).Load("winner")
+		if v == 0 {
+			t.Fatal("no write applied")
+		}
+		for i := 1; i < 8; i++ {
+			if d.Node(i).Load("winner") != v {
+				t.Fatalf("node %d sees %d, node 0 sees %d", i, d.Node(i).Load("winner"), v)
+			}
+		}
+	})
+}
+
+func TestTestEventTimeout(t *testing.T) {
+	env, d := hwDomain(2)
+	var timedOut, gotIt bool
+	env.Spawn("recv", func(p *sim.Proc) {
+		timedOut = !d.Node(1).TestEventTimeout(p, "never", 5*sim.Millisecond)
+		gotIt = d.Node(1).TestEventTimeout(p, "soon", sim.Second)
+	})
+	env.Spawn("src", func(p *sim.Proc) {
+		p.Wait(20 * sim.Millisecond)
+		d.Node(0).XferAndSignal(qsnet.Range(1, 1), 8, qsnet.MainMem, qsnet.MainMem, nil, "", "soon")
+	})
+	env.Run()
+	if !timedOut {
+		t.Fatal("TestEventTimeout did not time out on unsignaled event")
+	}
+	if !gotIt {
+		t.Fatal("TestEventTimeout missed a signal")
+	}
+}
+
+func TestPollEventDoesNotConsume(t *testing.T) {
+	env, d := hwDomain(2)
+	env.Spawn("src", func(p *sim.Proc) {
+		d.Node(0).XferAndSignal(qsnet.Range(1, 1), 8, qsnet.MainMem, qsnet.MainMem, nil, "", "e")
+	})
+	env.Run()
+	if !d.Node(1).PollEvent("e") {
+		t.Fatal("PollEvent false after signal")
+	}
+	if !d.Node(1).PollEvent("e") {
+		t.Fatal("PollEvent consumed the signal")
+	}
+}
+
+func TestHWAtomicityOnDeadNode(t *testing.T) {
+	env, d := hwDomain(8)
+	d.Network().FailNode(6)
+	env.Spawn("src", func(p *sim.Proc) {
+		d.Node(0).XferAndSignal(qsnet.Range(1, 7), 1<<20,
+			qsnet.MainMem, qsnet.MainMem, "msg", "sent", "data")
+	})
+	env.Run()
+	// Atomicity: no node (even the healthy ones) received anything, and
+	// the local event was never signaled.
+	for i := 1; i < 8; i++ {
+		if d.Node(i).PollEvent("data") {
+			t.Fatalf("node %d received data despite failed collective", i)
+		}
+	}
+	if d.Node(0).PollEvent("sent") {
+		t.Fatal("local event signaled despite failure")
+	}
+	if d.Node(0).LastError() == nil {
+		t.Fatal("transfer error not recorded")
+	}
+}
+
+func TestDeadNodeFailsCAW(t *testing.T) {
+	runBoth(t, func(t *testing.T, env *sim.Env, d Domain) {
+		d.Network().FailNode(4)
+		env.Spawn("m", func(p *sim.Proc) {
+			if d.Node(0).CompareAndWrite(p, qsnet.Range(0, 8), "hb", GE, 0, nil) {
+				t.Error("CAW over dead node returned true")
+			}
+		})
+		env.Run()
+	})
+}
+
+// TestHWCollectiveFasterThanTree is the ablation claim: hardware
+// mechanisms must beat the software-tree emulation, increasingly so at
+// scale.
+func TestHWCollectiveFasterThanTree(t *testing.T) {
+	measure := func(d Domain, env *sim.Env, nodes int) sim.Time {
+		var elapsed sim.Time
+		env.Spawn("src", func(p *sim.Proc) {
+			start := p.Now()
+			d.Node(0).XferAndSignal(qsnet.Range(0, nodes), 4<<20,
+				qsnet.MainMem, qsnet.MainMem, nil, "done", "")
+			d.Node(0).TestEvent(p, "done")
+			elapsed = p.Now() - start
+		})
+		env.Run()
+		return elapsed
+	}
+	envH, dh := hwDomain(64)
+	envT, dt := treeDomain(64)
+	hw, tree := measure(dh, envH, 64), measure(dt, envT, 64)
+	if tree < 3*hw {
+		t.Fatalf("software tree (%v) should be >=3x slower than hardware (%v) on 64 nodes", tree, hw)
+	}
+}
+
+func TestTreeCAWLatencyMatchesTable5(t *testing.T) {
+	env, d := treeDomain(64)
+	var elapsed sim.Time
+	env.Spawn("m", func(p *sim.Proc) {
+		start := p.Now()
+		d.Node(0).CompareAndWrite(p, qsnet.Range(0, 64), "v", GE, 0, nil)
+		elapsed = p.Now() - start
+	})
+	env.Run()
+	// Table 5: ~20·log2(64) = 120 µs for emulated networks.
+	us := elapsed.Microseconds()
+	if us < 90 || us > 150 {
+		t.Fatalf("tree CAW on 64 nodes = %.1fus, want ~120us", us)
+	}
+}
+
+func TestRecvOnEmptyInbox(t *testing.T) {
+	_, d := hwDomain(2)
+	if _, ok := d.Node(0).Recv("nothing"); ok {
+		t.Fatal("Recv on empty inbox returned ok")
+	}
+}

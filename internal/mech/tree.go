@@ -1,0 +1,212 @@
+package mech
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/qsnet"
+	"repro/internal/sim"
+)
+
+// TreeDomain emulates the STORM mechanisms with logarithmic software
+// trees of point-to-point messages — the "thin software layer" the paper
+// says commodity networks need (paper §4, Table 5). XFER-AND-SIGNAL
+// becomes a binomial-tree store-and-forward broadcast; COMPARE-AND-WRITE
+// becomes a gather/scatter over the same tree with per-hop host
+// processing. Used by the ablation benchmarks to quantify what QsNET's
+// hardware collectives buy.
+type TreeDomain struct {
+	net   *qsnet.Network
+	nodes []*treeNode
+	caw   *sim.Resource
+	// PerHopHost is the host-software processing cost added at every tree
+	// hop (message reception, matching, re-injection). With the default
+	// 5 µs it reproduces the ~20·log n µs COMPARE-AND-WRITE latencies the
+	// paper's Table 5 quotes for Myrinet/Infiniband.
+	PerHopHost sim.Time
+}
+
+// NewTree builds a tree-emulation domain over net.
+func NewTree(net *qsnet.Network) *TreeDomain {
+	d := &TreeDomain{
+		net:        net,
+		caw:        sim.NewResource(net.Env(), 1),
+		PerHopHost: 5 * sim.Microsecond,
+	}
+	d.nodes = make([]*treeNode, net.Nodes())
+	for i := range d.nodes {
+		d.nodes[i] = &treeNode{dom: d, nic: net.NIC(i), inboxes: map[string]*inbox{}}
+	}
+	return d
+}
+
+// Nodes returns the number of nodes in the domain.
+func (d *TreeDomain) Nodes() int { return d.net.Nodes() }
+
+// Node returns node id's mechanism handle.
+func (d *TreeDomain) Node(id int) Node { return d.nodes[id] }
+
+// Network returns the underlying fabric.
+func (d *TreeDomain) Network() *qsnet.Network { return d.net }
+
+// depth returns the binomial-tree depth for n receivers.
+func depth(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+type treeNode struct {
+	dom     *TreeDomain
+	nic     *qsnet.NIC
+	inboxes map[string]*inbox
+	lastErr error
+}
+
+func (n *treeNode) ID() int { return n.nic.ID() }
+
+func (n *treeNode) inboxFor(name string) *inbox {
+	ib, ok := n.inboxes[name]
+	if !ok {
+		ib = &inbox{}
+		n.inboxes[name] = ib
+	}
+	return ib
+}
+
+// XferAndSignal performs a binomial-tree software broadcast: the source
+// sends to the root of each subtree; subtrees forward concurrently.
+// Every hop is a genuine point-to-point DMA on the fabric (occupying the
+// sender's injection link) plus per-hop host processing.
+func (n *treeNode) XferAndSignal(dests qsnet.NodeSet, bytes int64, srcLoc, dstLoc qsnet.BufferLoc,
+	payload Payload, localEv, remoteEv string) {
+	d := n.dom
+	env := d.net.Env()
+	src := n.nic.ID()
+
+	targets := make([]int, 0, dests.N)
+	for id := dests.First; id <= dests.Last(); id++ {
+		targets = append(targets, id)
+	}
+
+	remaining := len(targets)
+	deliver := func(id int) {
+		dst := d.nodes[id]
+		if payload != nil {
+			dst.inboxFor(remoteEv).msgs = append(dst.inboxFor(remoteEv).msgs, payload)
+		}
+		if remoteEv != "" {
+			dst.nic.Event(remoteEv).Signal()
+		}
+		remaining--
+		if remaining == 0 && localEv != "" {
+			n.nic.Event(localEv).Signal()
+		}
+	}
+
+	var failed bool
+	var forward func(p *sim.Proc, from int, tgts []int)
+	forward = func(p *sim.Proc, from int, tgts []int) {
+		for len(tgts) > 0 && !failed {
+			mid := len(tgts) / 2
+			child := tgts[mid]
+			if err := d.net.Put(p, from, child, bytes); err != nil {
+				n.lastErr = err
+				failed = true
+				return
+			}
+			p.Wait(d.PerHopHost)
+			// A forwarding node delivers locally, then relays its
+			// subtree concurrently with the parent's remaining sends.
+			deliver(child)
+			sub := tgts[mid+1:]
+			if len(sub) > 0 {
+				env.Spawn(fmt.Sprintf("treefwd:%d", child), func(cp *sim.Proc) {
+					forward(cp, child, sub)
+				})
+			}
+			tgts = tgts[:mid]
+		}
+	}
+
+	env.Spawn(fmt.Sprintf("treexfer:%d->%s", src, dests), func(p *sim.Proc) {
+		// The source may itself be inside the destination set; it holds
+		// the data already, so deliver locally first.
+		self := -1
+		for i, id := range targets {
+			if id == src {
+				self = i
+				break
+			}
+		}
+		if self >= 0 {
+			deliver(src)
+			targets = append(targets[:self], targets[self+1:]...)
+		}
+		forward(p, src, targets)
+	})
+}
+
+func (n *treeNode) TestEvent(p *sim.Proc, name string) {
+	n.nic.Event(name).Wait(p)
+}
+
+func (n *treeNode) TestEventTimeout(p *sim.Proc, name string, d sim.Time) bool {
+	return n.nic.Event(name).WaitTimeout(p, d)
+}
+
+func (n *treeNode) PollEvent(name string) bool {
+	return n.nic.Event(name).Poll()
+}
+
+func (n *treeNode) Recv(name string) (Payload, bool) {
+	ib := n.inboxFor(name)
+	if len(ib.msgs) == 0 {
+		return nil, false
+	}
+	m := ib.msgs[0]
+	ib.msgs = ib.msgs[1:]
+	return m, true
+}
+
+// CompareAndWrite emulates the collective as a gather up a binomial tree
+// followed by a scatter of the verdict: 2·depth hops, each costing a
+// point-to-point latency plus host processing. With the default per-hop
+// cost this is ~20·log2(n) µs, the figure the paper quotes for emulated
+// implementations (Table 5).
+func (n *treeNode) CompareAndWrite(p *sim.Proc, dests qsnet.NodeSet, gvar string, op CompareOp,
+	local int64, write *Write) bool {
+	d := n.dom
+	d.caw.Acquire(p)
+	defer d.caw.Release() // kill-safe: a killed caller must not wedge CAWs
+	hops := 2 * depth(dests.N)
+	perHop := d.net.Config().P2PLatency + d.PerHopHost
+	p.Wait(sim.Time(hops) * perHop)
+	ok := true
+	for id := dests.First; id <= dests.Last(); id++ {
+		if d.net.NIC(id).Dead() || !op.Eval(d.net.NIC(id).Load(gvar), local) {
+			ok = false
+			break
+		}
+	}
+	if ok && write != nil {
+		for id := dests.First; id <= dests.Last(); id++ {
+			d.net.NIC(id).Store(write.Var, write.Val)
+		}
+	}
+	return ok
+}
+
+func (n *treeNode) PostLocal(name string, payload Payload) {
+	if payload != nil {
+		n.inboxFor(name).msgs = append(n.inboxFor(name).msgs, payload)
+	}
+	n.nic.Event(name).Signal()
+}
+
+func (n *treeNode) EventBacklog(name string) int { return n.nic.Event(name).Pending() }
+
+func (n *treeNode) Load(gvar string) int64     { return n.nic.Load(gvar) }
+func (n *treeNode) Store(gvar string, v int64) { n.nic.Store(gvar, v) }
+func (n *treeNode) LastError() error           { return n.lastErr }

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 {
+		t.Fatal("empty sample has nonzero N")
+	}
+	for name, v := range map[string]float64{
+		"Mean": s.Mean(), "Min": s.Min(), "Max": s.Max(),
+		"Median": s.Median(), "Stddev": s.Stddev(),
+	} {
+		if !math.IsNaN(v) {
+			t.Fatalf("%s of empty sample = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 3 {
+		t.Fatalf("Mean = %v, want 3", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Fatalf("Min = %v, want 1", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Fatalf("Max = %v, want 5", got)
+	}
+	if got := s.Median(); got != 3 {
+		t.Fatalf("Median = %v, want 3", got)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	s.Add(0)
+	s.Add(10)
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("P50 of {0,10} = %v, want 5", got)
+	}
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("P0 = %v, want 0", got)
+	}
+	if got := s.Percentile(100); got != 10 {
+		t.Fatalf("P100 = %v, want 10", got)
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	if err := quick.Check(func(vals []float64, a, b uint8) bool {
+		var s Sample
+		ok := false
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s.Add(v)
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		pa := float64(a%101) / 1.0
+		pb := float64(b%101) / 1.0
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return s.Percentile(pa) <= s.Percentile(pb)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Stddev(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestValuesSortedCopy(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	vals := s.Values()
+	if !sort.Float64sAreSorted(vals) {
+		t.Fatalf("Values not sorted: %v", vals)
+	}
+	vals[0] = 99
+	if s.Min() == 99 {
+		t.Fatal("Values did not return a copy")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var ser Series
+	ser.Name = "launch"
+	ser.Add(1, 10)
+	ser.Add(2, 20)
+	if got := ser.YAt(2); got != 20 {
+		t.Fatalf("YAt(2) = %v, want 20", got)
+	}
+	if got := ser.YAt(3); !math.IsNaN(got) {
+		t.Fatalf("YAt(3) = %v, want NaN", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Launch times", "Nodes", "Time (ms)")
+	tab.AddRow(64, 110.0)
+	tab.AddRow(128, 112.5)
+	out := tab.String()
+	for _, want := range []string{"Launch times", "Nodes", "Time (ms)", "110", "112.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("x,y", 1.0)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("CSV did not quote comma cell:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("CSV missing header:\n%s", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN(): "-",
+		12:         "12",
+		1234.5:     "1234.5",
+		3.14159:    "3.14",
+		0.052:      "0.0520",
+		1e-9:       "1e-09",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

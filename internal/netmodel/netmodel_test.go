@@ -1,0 +1,258 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStages(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 4: 1, 5: 2, 16: 2, 17: 3, 64: 3, 256: 4, 1024: 5, 4096: 6, 16384: 7}
+	for nodes, want := range cases {
+		if got := Stages(nodes); got != want {
+			t.Errorf("Stages(%d) = %d, want %d", nodes, got, want)
+		}
+	}
+}
+
+func TestSwitches(t *testing.T) {
+	// Paper Table 4's "Switches" column.
+	cases := map[int]int{4: 1, 16: 3, 64: 5, 256: 7, 1024: 9, 4096: 11}
+	for nodes, want := range cases {
+		if got := Switches(nodes); got != want {
+			t.Errorf("Switches(%d) = %d, want %d", nodes, got, want)
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	// Eq. (2): floor(sqrt(2*nodes)).
+	cases := map[int]float64{4: 2, 64: 11, 256: 22, 1024: 45, 4096: 90, 16384: 181}
+	for nodes, want := range cases {
+		if got := Diameter(nodes); got != want {
+			t.Errorf("Diameter(%d) = %v, want %v", nodes, got, want)
+		}
+	}
+}
+
+// TestBroadcastBWMatchesPaperTable4 checks every cell of the paper's
+// Table 4 against the fitted pipeline model, within 1.5%.
+func TestBroadcastBWMatchesPaperTable4(t *testing.T) {
+	cables := []float64{10, 20, 30, 40, 60, 80, 100}
+	want := map[int][]float64{
+		4:    {319, 319, 319, 319, 284, 249, 222},
+		16:   {319, 319, 309, 287, 251, 224, 202},
+		64:   {312, 290, 270, 254, 225, 203, 185},
+		256:  {273, 256, 241, 227, 204, 186, 170},
+		1024: {243, 229, 217, 206, 187, 171, 158},
+		4096: {218, 207, 197, 188, 172, 159, 147},
+	}
+	for nodes, row := range want {
+		for i, cable := range cables {
+			got := BroadcastBW(nodes, cable)
+			rel := math.Abs(got-row[i]) / row[i]
+			if rel > 0.015 {
+				t.Errorf("BroadcastBW(%d, %gm) = %.1f, paper %.0f (%.1f%% off)",
+					nodes, cable, got, row[i], rel*100)
+			}
+		}
+	}
+}
+
+func TestBroadcastBWWorstCaseIsLongestCable(t *testing.T) {
+	for _, nodes := range []int{4, 64, 4096} {
+		if BroadcastBW(nodes, 100) >= BroadcastBW(nodes, 10) {
+			t.Errorf("bandwidth at 100m should be below 10m for %d nodes", nodes)
+		}
+	}
+}
+
+func TestBroadcastBWMonotoneInNodes(t *testing.T) {
+	prev := math.Inf(1)
+	for _, nodes := range []int{4, 16, 64, 256, 1024, 4096} {
+		bw := BroadcastBWAuto(nodes)
+		if bw > prev {
+			t.Errorf("BroadcastBWAuto not non-increasing at %d nodes: %v > %v", nodes, bw, prev)
+		}
+		prev = bw
+	}
+}
+
+func TestLaunchTimeES40PaperClaims(t *testing.T) {
+	// Paper §3.1.1: 12 MB launched in ~110 ms on the 64-node cluster.
+	got := LaunchTimeES40(64, 12)
+	if got < 0.100 || got > 0.120 {
+		t.Errorf("LaunchTimeES40(64, 12MB) = %.3fs, paper ~0.110s", got)
+	}
+	// Paper §3.3.2: 12 MB launched in ~135 ms on 16,384 nodes.
+	got = LaunchTimeES40(16384, 12)
+	if got < 0.125 || got > 0.145 {
+		t.Errorf("LaunchTimeES40(16384, 12MB) = %.3fs, paper ~0.135s", got)
+	}
+}
+
+func TestLaunchModelsConvergeAtScale(t *testing.T) {
+	// Paper Fig. 10: ES40 and ideal models converge beyond 4,096 nodes
+	// because both become network-broadcast-bound.
+	es40 := LaunchTimeES40(16384, 12)
+	ideal := LaunchTimeIdeal(16384, 12)
+	if math.Abs(es40-ideal)/es40 > 0.02 {
+		t.Errorf("models did not converge at 16384 nodes: ES40 %.4fs vs ideal %.4fs", es40, ideal)
+	}
+	// And the ideal machine is strictly faster at small scale.
+	if LaunchTimeIdeal(64, 12) >= LaunchTimeES40(64, 12) {
+		t.Error("ideal I/O bus should beat ES40 at 64 nodes")
+	}
+}
+
+func TestBarrierLatencyMatchesFig9(t *testing.T) {
+	// ~4.5 µs at tiny scale.
+	if got := BarrierLatencyUs(2); math.Abs(got-4.5) > 0.3 {
+		t.Errorf("BarrierLatencyUs(2) = %.2f, want ~4.5", got)
+	}
+	// Paper: latency grows ~2 µs across a 384× increase in nodes.
+	growth := BarrierLatencyUs(768) - BarrierLatencyUs(2)
+	if growth < 1 || growth > 3 {
+		t.Errorf("barrier latency growth 2->768 nodes = %.2fµs, paper ~2µs", growth)
+	}
+	// Sub-7µs even at 1024 nodes.
+	if got := BarrierLatencyUs(1024); got > 7 {
+		t.Errorf("BarrierLatencyUs(1024) = %.2f, want < 7", got)
+	}
+}
+
+// TestLiteratureModelsMatchTable7 checks the paper's extrapolations to
+// 4,096 nodes (its Table 7).
+func TestLiteratureModelsMatchTable7(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"rsh", LaunchRsh(4096), 3827.10, 0.01},
+		{"RMS", LaunchRMS(4096), 317.67, 0.01},
+		{"GLUnix", LaunchGLUnix(4096), 49.38, 0.01},
+		{"Cplant", LaunchCplant(4096), 22.73, 0.01},
+		{"BProc", LaunchBProc(4096), 4.88, 0.01},
+		{"STORM", LaunchSTORM(4096), 0.11, 0.35},
+	}
+	for _, c := range cases {
+		rel := math.Abs(c.got-c.want) / c.want
+		if rel > c.tol {
+			t.Errorf("%s @4096 nodes = %.2fs, paper %.2fs", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestTable6MeasuredPoints checks the models at the node counts where the
+// original systems were actually measured (paper Table 6).
+func TestTable6MeasuredPoints(t *testing.T) {
+	cases := []struct {
+		name  string
+		got   float64
+		want  float64
+		tolPc float64
+	}{
+		{"rsh@95", LaunchRsh(95), 90, 2},
+		{"RMS@64", LaunchRMS(64), 5.9, 5},
+		{"GLUnix@95", LaunchGLUnix(95), 1.3, 6},
+		{"Cplant@1010", LaunchCplant(1010), 20, 5},
+		{"BProc@100", LaunchBProc(100), 2.7, 5},
+		{"STORM@64", LaunchSTORM(64), 0.11, 5},
+	}
+	for _, c := range cases {
+		rel := math.Abs(c.got-c.want) / c.want * 100
+		if rel > c.tolPc {
+			t.Errorf("%s = %.2fs, paper %.2fs (%.1f%% off)", c.name, c.got, c.want, rel)
+		}
+	}
+}
+
+func TestSTORMBeatsEveryBaselineEverywhere(t *testing.T) {
+	// The paper's headline: STORM is orders of magnitude faster.
+	for _, n := range []int{2, 16, 64, 256, 1024, 4096, 16384} {
+		storm := LaunchSTORM(n)
+		for name, f := range map[string]func(int) float64{
+			"rsh": LaunchRsh, "RMS": LaunchRMS, "GLUnix": LaunchGLUnix,
+			"Cplant": LaunchCplant, "BProc": LaunchBProc,
+		} {
+			if f(n) <= storm {
+				t.Errorf("%s(%d) = %.3fs does not exceed STORM %.3fs", name, n, f(n), storm)
+			}
+		}
+		// At 4096 nodes the gap to the best competitor (BProc) is >40x.
+		if n == 4096 {
+			if ratio := LaunchBProc(n) / storm; ratio < 20 {
+				t.Errorf("BProc/STORM ratio at 4096 = %.1f, want > 20", ratio)
+			}
+		}
+	}
+}
+
+func TestAltNetworks(t *testing.T) {
+	nets := AltNetworks()
+	if len(nets) != 5 {
+		t.Fatalf("want 5 alternative networks, got %d", len(nets))
+	}
+	byName := map[string]AltNetwork{}
+	for _, n := range nets {
+		byName[n.Name] = n
+	}
+	// Table 5 spot checks at 1024 nodes (lg n = 10).
+	if got := byName["Gigabit Ethernet"].CompareAndWriteUs(1024); got != 460 {
+		t.Errorf("GigE CAW(1024) = %v, want 460", got)
+	}
+	if got := byName["Myrinet"].XferBWMBs(1024); got != 15360 {
+		t.Errorf("Myrinet Xfer(1024) = %v, want 15360", got)
+	}
+	if got := byName["BlueGene/L"].CompareAndWriteUs(1024); got >= 2.5 {
+		t.Errorf("BlueGene CAW = %v, want < 2.5", got)
+	}
+	if !math.IsNaN(byName["Infiniband"].XferBWMBs(64)) {
+		t.Error("Infiniband Xfer bandwidth should be N/A")
+	}
+	if byName["QsNET"].Emulated {
+		t.Error("QsNET mechanisms are hardware, not emulated")
+	}
+	if !byName["Myrinet"].Emulated {
+		t.Error("Myrinet mechanisms require emulation")
+	}
+}
+
+func TestEffectiveBW(t *testing.T) {
+	// With zero startup the effective bandwidth equals the asymptote.
+	if got := EffectiveBWMBs(1e6, 175, 0); math.Abs(got-175) > 1e-9 {
+		t.Errorf("EffectiveBW = %v", got)
+	}
+	// Startup cost reduces effective bandwidth for small messages.
+	small := EffectiveBWMBs(32e3, 175, 20e-6)
+	large := EffectiveBWMBs(1e6, 175, 20e-6)
+	if small >= large {
+		t.Errorf("small-message BW %v should be below large-message BW %v", small, large)
+	}
+}
+
+func TestDiameterClampsAndExec(t *testing.T) {
+	if Diameter(0) != Diameter(1) {
+		t.Fatal("non-positive node count not clamped")
+	}
+	if ExecOverheadSec(0) != ExecOverheadSec(1) {
+		t.Fatal("exec overhead clamp missing")
+	}
+	// Exec overhead grows with machine size.
+	if ExecOverheadSec(4096) <= ExecOverheadSec(4) {
+		t.Fatal("exec overhead should grow with nodes")
+	}
+}
+
+func TestAltNetworkFunctionsTotal(t *testing.T) {
+	// Exercise every model function at two scales.
+	for _, alt := range AltNetworks() {
+		for _, n := range []int{16, 4096} {
+			if v := alt.CompareAndWriteUs(n); v <= 0 {
+				t.Errorf("%s CAW(%d) = %v", alt.Name, n, v)
+			}
+			alt.XferBWMBs(n) // NaN allowed
+		}
+	}
+}

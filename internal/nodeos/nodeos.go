@@ -1,0 +1,336 @@
+// Package nodeos models the operating system of one cluster node at the
+// granularity the STORM experiments need:
+//
+//   - CPUs with processor-sharing among runnable threads. An application
+//     process, a spin-loop loader, a dæmon, and transient kernel work are
+//     all Threads pinned to a CPU; each runnable thread with pending work
+//     receives an equal share of the CPU.
+//
+//   - Gang-scheduling control: the Node Manager activates and deactivates
+//     threads (SetActive); a deactivated thread makes no progress, which
+//     is exactly what a coordinated context switch enacts.
+//
+//   - OS noise: per-CPU background dæmons that steal short CPU bursts at
+//     random times. Noise is what skews the "execute" phase of a launch
+//     across nodes and makes it grow with the machine size
+//     (paper Fig. 2's execute-time curves).
+//
+//   - Costs for fork/exec and for a context switch (cache/TLB disruption),
+//     charged as CPU work so that they automatically stretch under CPU
+//     load (paper Fig. 3's CPU-loaded experiments).
+package nodeos
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Config holds a node's OS parameters.
+type Config struct {
+	// CPUs is the number of processors per node (paper Table 3: 4).
+	CPUs int
+	// ForkExecCPU is the CPU work needed to fork and exec an application
+	// process once its binary is on the local RAM disk.
+	ForkExecCPU sim.Time
+	// SwitchDisruption is the CPU work lost to a coordinated context
+	// switch that actually changes the running process (cache/TLB refill,
+	// register state, run-queue manipulation).
+	SwitchDisruption sim.Time
+	// NoiseMeanInterval is the mean inter-arrival time of OS-noise bursts
+	// per CPU (exponential).
+	NoiseMeanInterval sim.Time
+	// NoiseBurstCPU is the median CPU time of one noise burst; actual
+	// bursts are lognormal around it with NoiseBurstSigma.
+	NoiseBurstCPU   sim.Time
+	NoiseBurstSigma float64
+}
+
+// DefaultConfig returns parameters calibrated so that a 64-node launch
+// shows the paper's few-ms execute skew and a 2 ms gang-scheduling
+// quantum costs under 2%.
+func DefaultConfig() Config {
+	return Config{
+		CPUs:              4,
+		ForkExecCPU:       4 * sim.Millisecond,
+		SwitchDisruption:  30 * sim.Microsecond,
+		NoiseMeanInterval: 10 * sim.Millisecond,
+		NoiseBurstCPU:     60 * sim.Microsecond,
+		NoiseBurstSigma:   1.0,
+	}
+}
+
+// CPU is one processor implementing processor-sharing among its runnable
+// threads.
+type CPU struct {
+	env   *sim.Env
+	node  *Node
+	index int
+	// consumers is kept in insertion order so that simultaneous
+	// completions signal deterministically.
+	consumers  []*Thread
+	lastUpdate sim.Time
+	timer      *sim.Timer
+	// busy accumulates the seconds during which at least one runnable
+	// thread had pending work (CPU utilization accounting).
+	busy float64
+}
+
+// Thread is a schedulable entity pinned to one CPU.
+type Thread struct {
+	cpu    *CPU
+	name   string
+	active bool
+	// remaining is the outstanding CPU work in seconds; negative when the
+	// thread has no pending Consume.
+	remaining float64
+	doneEv    *sim.Event
+	onDone    func() // used by Steal-style internal consumers
+	// consumed tracks total CPU seconds delivered to this thread.
+	consumed float64
+}
+
+// Node is one cluster node's OS.
+type Node struct {
+	env *sim.Env
+	id  int
+	cfg Config
+	cpu []*CPU
+	rnd *rng.RNG
+
+	noiseOn bool
+}
+
+// New creates a node with the given ID and configuration. Seed controls
+// the node's private noise stream.
+func New(env *sim.Env, id int, cfg Config, seed uint64) *Node {
+	if cfg.CPUs <= 0 {
+		panic("nodeos: node needs at least one CPU")
+	}
+	n := &Node{env: env, id: id, cfg: cfg, rnd: rng.New(seed)}
+	n.cpu = make([]*CPU, cfg.CPUs)
+	for i := range n.cpu {
+		n.cpu[i] = &CPU{env: env, node: n, index: i}
+	}
+	return n
+}
+
+// ID returns the node's cluster-wide ID.
+func (n *Node) ID() int { return n.id }
+
+// Config returns the node's OS parameters.
+func (n *Node) Config() Config { return n.cfg }
+
+// NumCPUs returns the number of processors.
+func (n *Node) NumCPUs() int { return len(n.cpu) }
+
+// CPU returns processor i.
+func (n *Node) CPU(i int) *CPU { return n.cpu[i] }
+
+// StartNoise spawns the per-CPU OS-noise dæmons. Idempotent.
+func (n *Node) StartNoise() {
+	if n.noiseOn || n.cfg.NoiseMeanInterval <= 0 {
+		return
+	}
+	n.noiseOn = true
+	for i := range n.cpu {
+		cpu := n.cpu[i]
+		// Each dæmon gets its own RNG stream so node behavior does not
+		// depend on how many CPUs other code touches.
+		r := n.rnd.Split()
+		n.env.Spawn(fmt.Sprintf("noise:n%d.c%d", n.id, cpu.index), func(p *sim.Proc) {
+			th := NewThread(cpu, "osnoise")
+			th.SetActive(true)
+			for {
+				p.Wait(sim.FromSeconds(r.Exp(n.cfg.NoiseMeanInterval.Seconds())))
+				burst := n.cfg.NoiseBurstCPU.Seconds() * r.LogNormal(0, n.cfg.NoiseBurstSigma)
+				th.Consume(p, sim.FromSeconds(burst))
+			}
+		})
+	}
+}
+
+// ForkExec charges the CPU work of forking and exec'ing a process on the
+// given CPU, on behalf of the calling process (typically a Program
+// Launcher dæmon). Under CPU load this stretches automatically.
+func (n *Node) ForkExec(p *sim.Proc, cpu int) {
+	th := NewThread(n.cpu[cpu], "forkexec")
+	th.SetActive(true)
+	th.Consume(p, n.cfg.ForkExecCPU)
+	th.SetActive(false)
+}
+
+// NewThread creates an inactive thread pinned to the CPU.
+func NewThread(cpu *CPU, name string) *Thread {
+	return &Thread{cpu: cpu, name: name, remaining: -1, doneEv: sim.NewEvent(cpu.env)}
+}
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// CPU returns the processor the thread is pinned to.
+func (t *Thread) CPU() *CPU { return t.cpu }
+
+// Active reports whether the thread is currently entitled to run.
+func (t *Thread) Active() bool { return t.active }
+
+// ConsumedSeconds returns the total CPU time delivered so far.
+func (t *Thread) ConsumedSeconds() float64 { return t.consumed }
+
+// SetActive changes whether the thread is entitled to CPU. Deactivating a
+// thread freezes its pending work; reactivating resumes it. This is the
+// knob the Node Manager turns on a coordinated context switch.
+func (t *Thread) SetActive(active bool) {
+	if t.active == active {
+		return
+	}
+	c := t.cpu
+	c.update()
+	t.active = active
+	c.reschedule()
+}
+
+// Consume blocks the calling process until the thread has received d of
+// CPU service. Service accrues only while the thread is active, at rate
+// 1/k when k runnable threads share the CPU.
+func (t *Thread) Consume(p *sim.Proc, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	if t.remaining >= 0 {
+		panic("nodeos: thread already consuming")
+	}
+	c := t.cpu
+	c.update()
+	t.remaining = d.Seconds()
+	c.consumers = append(c.consumers, t)
+	c.reschedule()
+	t.doneEv.Wait(p)
+}
+
+// Abort cancels the thread's pending Consume (if any) without delivering
+// its completion: the kill path for processes terminated mid-compute.
+// The blocked Consume caller must be unwound separately (sim.Env.Kill).
+func (t *Thread) Abort() {
+	c := t.cpu
+	c.update()
+	if t.remaining >= 0 {
+		t.remaining = -1
+		for i, other := range c.consumers {
+			if other == t {
+				c.consumers = append(c.consumers[:i], c.consumers[i+1:]...)
+				break
+			}
+		}
+	}
+	t.active = false
+	c.reschedule()
+}
+
+// StealCPU occupies the CPU with d of kernel work without blocking the
+// caller: a fire-and-forget noise/overhead injection used for context
+// switches and interrupt handling.
+func (c *CPU) StealCPU(d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	th := NewThread(c, "steal")
+	th.active = true
+	th.onDone = func() { th.active = false }
+	c.update()
+	th.remaining = d.Seconds()
+	c.consumers = append(c.consumers, th)
+	c.reschedule()
+}
+
+// runnableConsumers counts threads that are active and have pending work.
+func (c *CPU) runnableConsumers() int {
+	k := 0
+	for _, t := range c.consumers {
+		if t.active {
+			k++
+		}
+	}
+	return k
+}
+
+// Load returns the number of runnable threads with pending work — a
+// point-in-time utilization indicator.
+func (c *CPU) Load() int { return c.runnableConsumers() }
+
+// BusySeconds returns the accumulated time the CPU spent with runnable
+// work, up to the last scheduling event. Divide by elapsed virtual time
+// for utilization.
+func (c *CPU) BusySeconds() float64 {
+	c.update()
+	return c.busy
+}
+
+// update accrues service for the elapsed interval since the last change.
+func (c *CPU) update() {
+	now := c.env.Now()
+	dt := (now - c.lastUpdate).Seconds()
+	c.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	k := c.runnableConsumers()
+	if k == 0 {
+		return
+	}
+	c.busy += dt
+	share := dt / float64(k)
+	for _, t := range c.consumers {
+		if t.active {
+			t.remaining -= share
+			t.consumed += share
+		}
+	}
+}
+
+// reschedule cancels the pending completion timer and arms a new one at
+// the earliest projected completion.
+func (c *CPU) reschedule() {
+	if c.timer != nil {
+		c.timer.Cancel()
+		c.timer = nil
+	}
+	// Finish anything that completed (within float tolerance), in
+	// insertion order for determinism.
+	const eps = 1e-12
+	live := c.consumers[:0]
+	for _, t := range c.consumers {
+		if t.remaining <= eps {
+			t.remaining = -1
+			if t.onDone != nil {
+				t.onDone()
+			} else {
+				t.doneEv.Signal()
+			}
+		} else {
+			live = append(live, t)
+		}
+	}
+	c.consumers = live
+	k := c.runnableConsumers()
+	if k == 0 {
+		return
+	}
+	minRem := math.Inf(1)
+	for _, t := range c.consumers {
+		if t.active && t.remaining < minRem {
+			minRem = t.remaining
+		}
+	}
+	d := sim.FromSeconds(minRem * float64(k))
+	if d < sim.Nanosecond {
+		d = sim.Nanosecond
+	}
+	c.timer = c.env.After(d, func() {
+		c.timer = nil
+		c.update()
+		c.reschedule()
+	})
+}

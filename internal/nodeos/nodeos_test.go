@@ -1,0 +1,426 @@
+package nodeos
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func quietConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NoiseMeanInterval = 0 // disable noise for exact-timing tests
+	return cfg
+}
+
+func TestSingleThreadFullRate(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	var elapsed sim.Time
+	env.Spawn("app", func(p *sim.Proc) {
+		th := NewThread(n.CPU(0), "app")
+		th.SetActive(true)
+		start := p.Now()
+		th.Consume(p, 100*sim.Millisecond)
+		elapsed = p.Now() - start
+	})
+	env.Run()
+	if elapsed != 100*sim.Millisecond {
+		t.Fatalf("dedicated CPU: 100ms of work took %v", elapsed)
+	}
+}
+
+func TestTwoThreadsShareEqually(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	var end [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Spawn("app", func(p *sim.Proc) {
+			th := NewThread(n.CPU(0), "app")
+			th.SetActive(true)
+			th.Consume(p, 100*sim.Millisecond)
+			end[i] = p.Now()
+		})
+	}
+	env.Run()
+	for i, e := range end {
+		if e != 200*sim.Millisecond {
+			t.Fatalf("thread %d finished at %v, want 200ms under 50%% sharing", i, e)
+		}
+	}
+}
+
+func TestUnequalWorkDeparture(t *testing.T) {
+	// Thread A needs 10ms, thread B needs 30ms. Shared until A leaves at
+	// t=20ms; B then runs alone and finishes at 20+20=40ms.
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	var endA, endB sim.Time
+	env.Spawn("a", func(p *sim.Proc) {
+		th := NewThread(n.CPU(0), "a")
+		th.SetActive(true)
+		th.Consume(p, 10*sim.Millisecond)
+		endA = p.Now()
+	})
+	env.Spawn("b", func(p *sim.Proc) {
+		th := NewThread(n.CPU(0), "b")
+		th.SetActive(true)
+		th.Consume(p, 30*sim.Millisecond)
+		endB = p.Now()
+	})
+	env.Run()
+	if endA != 20*sim.Millisecond {
+		t.Fatalf("A finished at %v, want 20ms", endA)
+	}
+	if endB != 40*sim.Millisecond {
+		t.Fatalf("B finished at %v, want 40ms", endB)
+	}
+}
+
+func TestSetActiveFreezesProgress(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	th := NewThread(n.CPU(0), "gang")
+	var end sim.Time
+	env.Spawn("app", func(p *sim.Proc) {
+		th.SetActive(true)
+		th.Consume(p, 10*sim.Millisecond)
+		end = p.Now()
+	})
+	// Deschedule the thread from 2ms to 52ms: it must finish at 60ms.
+	env.After(2*sim.Millisecond, func() { th.SetActive(false) })
+	env.After(52*sim.Millisecond, func() { th.SetActive(true) })
+	env.Run()
+	if end != 60*sim.Millisecond {
+		t.Fatalf("frozen thread finished at %v, want 60ms", end)
+	}
+}
+
+func TestThreadsOnDifferentCPUsDoNotShare(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	var end [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Spawn("app", func(p *sim.Proc) {
+			th := NewThread(n.CPU(i), "app")
+			th.SetActive(true)
+			th.Consume(p, 50*sim.Millisecond)
+			end[i] = p.Now()
+		})
+	}
+	env.Run()
+	for i, e := range end {
+		if e != 50*sim.Millisecond {
+			t.Fatalf("thread %d on its own CPU finished at %v", i, e)
+		}
+	}
+}
+
+func TestStealCPUDelaysApp(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	var end sim.Time
+	env.Spawn("app", func(p *sim.Proc) {
+		th := NewThread(n.CPU(0), "app")
+		th.SetActive(true)
+		th.Consume(p, 10*sim.Millisecond)
+		end = p.Now()
+	})
+	env.After(sim.Millisecond, func() { n.CPU(0).StealCPU(2 * sim.Millisecond) })
+	env.Run()
+	// 10ms of work + 2ms stolen = 12ms wall.
+	if end != 12*sim.Millisecond {
+		t.Fatalf("app finished at %v, want 12ms", end)
+	}
+}
+
+func TestForkExecStretchesUnderLoad(t *testing.T) {
+	measure := func(spinners int) sim.Time {
+		env := sim.NewEnv()
+		n := New(env, 0, quietConfig(), 1)
+		for i := 0; i < spinners; i++ {
+			env.Spawn("spin", func(p *sim.Proc) {
+				th := NewThread(n.CPU(0), "spin")
+				th.SetActive(true)
+				th.Consume(p, sim.Second) // effectively forever
+			})
+		}
+		var elapsed sim.Time
+		env.Spawn("pl", func(p *sim.Proc) {
+			p.Yield() // let spinners register first
+			start := p.Now()
+			n.ForkExec(p, 0)
+			elapsed = p.Now() - start
+		})
+		env.RunUntil(500 * sim.Millisecond)
+		env.Shutdown()
+		return elapsed
+	}
+	clean := measure(0)
+	loaded := measure(1)
+	if clean != 4*sim.Millisecond {
+		t.Fatalf("unloaded ForkExec = %v, want 4ms", clean)
+	}
+	ratio := loaded.Seconds() / clean.Seconds()
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("ForkExec under 1 spinner took %.2fx the unloaded time, want ~2x", ratio)
+	}
+}
+
+func TestNoiseSkewsCompletion(t *testing.T) {
+	// With noise enabled, identical work on different nodes completes at
+	// (slightly) different times, and always no earlier than the ideal.
+	var ends []float64
+	for node := 0; node < 8; node++ {
+		env := sim.NewEnv()
+		cfg := DefaultConfig()
+		n := New(env, node, cfg, uint64(1000+node))
+		n.StartNoise()
+		var end sim.Time
+		env.Spawn("app", func(p *sim.Proc) {
+			th := NewThread(n.CPU(0), "app")
+			th.SetActive(true)
+			th.Consume(p, 10*sim.Millisecond)
+			end = p.Now()
+		})
+		env.RunUntil(sim.Second)
+		env.Shutdown()
+		ends = append(ends, end.Milliseconds())
+	}
+	min, max := ends[0], ends[0]
+	for _, e := range ends {
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	if min < 10 {
+		t.Fatalf("completion before the work amount is impossible: %v", min)
+	}
+	if max == min {
+		t.Fatal("noise produced zero skew across 8 nodes")
+	}
+	if max > 13 {
+		t.Fatalf("noise skew implausibly large: %v ms for 10ms of work", max)
+	}
+}
+
+func TestNoiseDeterministicPerSeed(t *testing.T) {
+	run := func() float64 {
+		env := sim.NewEnv()
+		n := New(env, 3, DefaultConfig(), 77)
+		n.StartNoise()
+		var end sim.Time
+		env.Spawn("app", func(p *sim.Proc) {
+			th := NewThread(n.CPU(0), "app")
+			th.SetActive(true)
+			th.Consume(p, 50*sim.Millisecond)
+			end = p.Now()
+		})
+		env.RunUntil(sim.Second)
+		env.Shutdown()
+		return end.Seconds()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different completion: %v vs %v", a, b)
+	}
+}
+
+func TestConsumedSecondsAccounting(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	th := NewThread(n.CPU(0), "app")
+	env.Spawn("app", func(p *sim.Proc) {
+		th.SetActive(true)
+		th.Consume(p, 25*sim.Millisecond)
+	})
+	env.Run()
+	if math.Abs(th.ConsumedSeconds()-0.025) > 1e-9 {
+		t.Fatalf("ConsumedSeconds = %v, want 0.025", th.ConsumedSeconds())
+	}
+}
+
+func TestDoubleConsumePanics(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	th := NewThread(n.CPU(0), "app")
+	panicked := false
+	env.Spawn("a", func(p *sim.Proc) {
+		th.SetActive(true)
+		th.Consume(p, 10*sim.Millisecond)
+	})
+	env.Spawn("b", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		th.Consume(p, 10*sim.Millisecond)
+	})
+	env.Run()
+	if !panicked {
+		t.Fatal("concurrent Consume on one thread did not panic")
+	}
+}
+
+func TestZeroConsumeReturnsImmediately(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	var end sim.Time = -1
+	env.Spawn("app", func(p *sim.Proc) {
+		th := NewThread(n.CPU(0), "app")
+		th.SetActive(true)
+		th.Consume(p, 0)
+		end = p.Now()
+	})
+	env.Run()
+	if end != 0 {
+		t.Fatalf("zero consume ended at %v", end)
+	}
+}
+
+func TestGangSwitchScenario(t *testing.T) {
+	// Two gangs timeshare one CPU with a 10ms quantum, enacted by
+	// SetActive flips; each needs 50ms of CPU. Total wall ~100ms.
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	a := NewThread(n.CPU(0), "gangA")
+	b := NewThread(n.CPU(0), "gangB")
+	var endA, endB sim.Time
+	env.Spawn("appA", func(p *sim.Proc) {
+		a.Consume(p, 50*sim.Millisecond)
+		endA = p.Now()
+	})
+	env.Spawn("appB", func(p *sim.Proc) {
+		b.Consume(p, 50*sim.Millisecond)
+		endB = p.Now()
+	})
+	env.Spawn("nm", func(p *sim.Proc) {
+		cur := a
+		a.SetActive(true)
+		for i := 0; i < 20; i++ {
+			p.Wait(10 * sim.Millisecond)
+			if cur == a {
+				a.SetActive(false)
+				b.SetActive(true)
+				cur = b
+			} else {
+				b.SetActive(false)
+				a.SetActive(true)
+				cur = a
+			}
+		}
+	})
+	env.Run()
+	if endA > 100*sim.Millisecond || endB > 100*sim.Millisecond {
+		t.Fatalf("gang completion too late: A=%v B=%v", endA, endB)
+	}
+	if endA < 50*sim.Millisecond || endB < 90*sim.Millisecond {
+		t.Fatalf("gang completion too early: A=%v B=%v", endA, endB)
+	}
+}
+
+func TestBusySecondsAccounting(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	th := NewThread(n.CPU(0), "app")
+	env.Spawn("app", func(p *sim.Proc) {
+		th.SetActive(true)
+		th.Consume(p, 30*sim.Millisecond)
+		p.Wait(70 * sim.Millisecond) // idle
+		th.Consume(p, 10*sim.Millisecond)
+	})
+	env.Run()
+	busy := n.CPU(0).BusySeconds()
+	if math.Abs(busy-0.040) > 1e-9 {
+		t.Fatalf("BusySeconds = %v, want 0.040", busy)
+	}
+	// Two threads sharing still count the CPU busy once.
+	env2 := sim.NewEnv()
+	n2 := New(env2, 0, quietConfig(), 1)
+	for i := 0; i < 2; i++ {
+		env2.Spawn("a", func(p *sim.Proc) {
+			t2 := NewThread(n2.CPU(0), "a")
+			t2.SetActive(true)
+			t2.Consume(p, 50*sim.Millisecond)
+		})
+	}
+	env2.Run()
+	if busy := n2.CPU(0).BusySeconds(); math.Abs(busy-0.1) > 1e-9 {
+		t.Fatalf("shared BusySeconds = %v, want 0.1", busy)
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := quietConfig()
+	n := New(env, 7, cfg, 1)
+	if n.ID() != 7 || n.NumCPUs() != cfg.CPUs || n.Config().CPUs != cfg.CPUs {
+		t.Fatal("accessors wrong")
+	}
+	th := NewThread(n.CPU(0), "x")
+	if th.Name() != "x" || th.CPU() != n.CPU(0) || th.Active() {
+		t.Fatal("thread accessors wrong")
+	}
+}
+
+func TestNewNodeRejectsZeroCPUs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-CPU node did not panic")
+		}
+	}()
+	New(sim.NewEnv(), 0, Config{CPUs: 0}, 1)
+}
+
+func TestAbortCancelsPendingConsume(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	victim := NewThread(n.CPU(0), "victim")
+	other := NewThread(n.CPU(0), "other")
+	var otherEnd sim.Time
+	vp := env.Spawn("victim", func(p *sim.Proc) {
+		victim.SetActive(true)
+		victim.Consume(p, sim.Second)
+	})
+	env.Spawn("other", func(p *sim.Proc) {
+		other.SetActive(true)
+		other.Consume(p, 100*sim.Millisecond)
+		otherEnd = p.Now()
+	})
+	env.After(50*sim.Millisecond, func() {
+		victim.Abort()
+		env.Kill(vp)
+	})
+	env.Run()
+	// other shared 50/50 for 50ms (earning 25ms), then ran alone:
+	// finishes at 50 + 75 = 125ms. Without the abort it would be 200ms.
+	if otherEnd != 125*sim.Millisecond {
+		t.Fatalf("other finished at %v, want 125ms (victim's share reclaimed)", otherEnd)
+	}
+	if victim.Active() {
+		t.Fatal("aborted thread still active")
+	}
+}
+
+func TestCPULoadGauge(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, 0, quietConfig(), 1)
+	if n.CPU(0).Load() != 0 {
+		t.Fatal("idle CPU has load")
+	}
+	env.Spawn("a", func(p *sim.Proc) {
+		th := NewThread(n.CPU(0), "a")
+		th.SetActive(true)
+		th.Consume(p, 10*sim.Millisecond)
+	})
+	env.RunUntil(5 * sim.Millisecond)
+	if n.CPU(0).Load() != 1 {
+		t.Fatalf("Load = %d mid-consume", n.CPU(0).Load())
+	}
+	env.Run()
+}

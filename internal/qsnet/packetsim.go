@@ -1,0 +1,70 @@
+package qsnet
+
+import (
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// This file contains a packet-granularity simulation of the QsNET
+// circuit-switched broadcast used to cross-validate the closed-form
+// pipeline model in internal/netmodel: each 320-byte packet is walked
+// down the switch stages to the leaves, the acknowledgment token is
+// combined back up, and only then may the next packet be injected
+// (paper §3.3.2). The aggregate bandwidth it produces must agree with
+// netmodel.BroadcastBW — if the closed form and the event-level walk
+// ever diverge, one of them misstates the flow control.
+
+// PacketStreamResult summarizes a simulated packet stream.
+type PacketStreamResult struct {
+	Packets   int
+	Elapsed   sim.Time
+	BWMBs     float64  // aggregate delivered bandwidth per destination
+	PeriodNs  float64  // steady-state inter-packet period
+	FirstByte sim.Time // latency until the first packet completed
+}
+
+// SimulatePacketStream walks `packets` broadcast packets through an
+// n-node fat tree with the given cable length, at the injection rate cap
+// of the link, and returns the measured timing. It runs its own private
+// simulation environment.
+func SimulatePacketStream(nodes int, cableMeters float64, packets int) PacketStreamResult {
+	if packets < 1 {
+		packets = 1
+	}
+	env := sim.NewEnv()
+	switches := netmodel.Switches(nodes)
+
+	// Per-packet path delays (the same constants the closed form uses,
+	// but composed step by step rather than summed into one formula).
+	base := sim.FromSeconds(581.6e-9) // source+sink processing (fitted constant)
+	perSwitch := sim.FromSeconds(36.7e-9)
+	wire := sim.FromSeconds(3.93e-9 * cableMeters)
+	injection := sim.FromSeconds(netmodel.PacketBytes / (netmodel.LinkPeakMBs * 1e6))
+
+	var res PacketStreamResult
+	env.Spawn("source", func(p *sim.Proc) {
+		for i := 0; i < packets; i++ {
+			// Downstream: the data crosses every switch stage and the cable
+			// to the farthest leaf.
+			downstream := sim.Time(switches)*perSwitch + wire
+			// Upstream: the combined acknowledgment token retraces the path;
+			// only its arrival permits the next injection.
+			upstream := downstream
+			period := base + downstream + upstream
+			if period < injection {
+				// The link's injection rate caps short paths.
+				period = injection
+			}
+			p.Wait(period)
+			if i == 0 {
+				res.FirstByte = p.Now()
+			}
+		}
+		res.Elapsed = p.Now()
+	})
+	env.Run()
+	res.Packets = packets
+	res.PeriodNs = float64(res.Elapsed) / float64(packets)
+	res.BWMBs = netmodel.PacketBytes * float64(packets) / res.Elapsed.Seconds() / 1e6
+	return res
+}

@@ -1,0 +1,49 @@
+package qsnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netmodel"
+)
+
+// TestPacketSimMatchesClosedForm cross-validates the event-level packet
+// walk against the analytical pipeline model on every Table 4 cell.
+func TestPacketSimMatchesClosedForm(t *testing.T) {
+	for _, nodes := range []int{4, 16, 64, 256, 1024, 4096} {
+		for _, cable := range []float64{10, 40, 100} {
+			want := netmodel.BroadcastBW(nodes, cable)
+			got := SimulatePacketStream(nodes, cable, 2000).BWMBs
+			if rel := math.Abs(got-want) / want; rel > 0.01 {
+				t.Errorf("packet sim %d nodes/%gm = %.1f MB/s, closed form %.1f (%.2f%% off)",
+					nodes, cable, got, want, rel*100)
+			}
+		}
+	}
+}
+
+func TestPacketSimFirstByteLatency(t *testing.T) {
+	r := SimulatePacketStream(64, 10, 100)
+	if r.FirstByte <= 0 || r.FirstByte > r.Elapsed {
+		t.Fatalf("first-byte latency %v outside (0, %v]", r.FirstByte, r.Elapsed)
+	}
+	// One packet's completion is roughly one steady-state period.
+	if math.Abs(float64(r.FirstByte)-r.PeriodNs) > r.PeriodNs*0.5 {
+		t.Fatalf("first packet at %v, period %.0fns", r.FirstByte, r.PeriodNs)
+	}
+}
+
+func TestPacketSimLongerCablesSlower(t *testing.T) {
+	near := SimulatePacketStream(256, 10, 500).BWMBs
+	far := SimulatePacketStream(256, 100, 500).BWMBs
+	if far >= near {
+		t.Fatalf("100m cable (%.1f) should be slower than 10m (%.1f)", far, near)
+	}
+}
+
+func TestPacketSimAtLeastOnePacket(t *testing.T) {
+	r := SimulatePacketStream(4, 10, 0)
+	if r.Packets != 1 {
+		t.Fatalf("Packets = %d, want clamp to 1", r.Packets)
+	}
+}

@@ -1,0 +1,372 @@
+// Package qsnet simulates the Quadrics QsNET (Elan3) interconnect at the
+// level of detail the STORM paper depends on:
+//
+//   - remote DMA (PUT) between node memories, with distinct performance
+//     for host-memory and NIC-memory buffers (the PCI bus is the
+//     bottleneck for host-resident buffers, paper Fig. 7);
+//   - hardware multicast to a contiguous range of nodes, with the
+//     circuit-switched ack-per-packet flow control of paper §3.3.2
+//     (320-byte packets, one outstanding packet, ack returns only when all
+//     destinations have accepted);
+//   - network conditionals: a hardware combining-tree query that returns
+//     TRUE iff a condition holds on all nodes of a set, with the barrier
+//     latency of paper Fig. 9;
+//   - remotely signalable events and per-node global memory (data at the
+//     same virtual address on every node), the substrate for the three
+//     STORM mechanisms.
+//
+// Timing comes from the closed-form pipeline model in internal/netmodel,
+// which is calibrated to the paper's Table 4; contention is modeled with
+// simulator resources (one hardware broadcast in flight per network, one
+// injection per link) plus an adjustable background-load factor used by
+// the loaded-system experiments (paper Fig. 3).
+package qsnet
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// BufferLoc says where a DMA source/destination buffer resides. NIC-memory
+// buffers bypass the PCI bus and sustain higher bandwidth (paper Fig. 7),
+// but the NIC has far less memory than the host.
+type BufferLoc int
+
+const (
+	// MainMem is host main memory, reached over the PCI bus.
+	MainMem BufferLoc = iota
+	// NICMem is memory on the Elan NIC itself.
+	NICMem
+)
+
+func (l BufferLoc) String() string {
+	if l == NICMem {
+		return "NIC memory"
+	}
+	return "main memory"
+}
+
+// NodeSet is a contiguous range of node IDs [First, First+N). QsNET
+// hardware collectives operate on contiguous ranges; STORM's buddy-tree
+// allocator hands out exactly such ranges, which is why the two compose
+// (paper §2.1, §2.2).
+type NodeSet struct {
+	First, N int
+}
+
+// Range constructs the node set [first, first+n).
+func Range(first, n int) NodeSet { return NodeSet{First: first, N: n} }
+
+// Contains reports whether node id is in the set.
+func (s NodeSet) Contains(id int) bool { return id >= s.First && id < s.First+s.N }
+
+// Last returns the largest node ID in the set (First-1 when empty).
+func (s NodeSet) Last() int { return s.First + s.N - 1 }
+
+func (s NodeSet) String() string {
+	if s.N == 1 {
+		return fmt.Sprintf("node %d", s.First)
+	}
+	return fmt.Sprintf("nodes %d-%d", s.First, s.Last())
+}
+
+// Config holds the physical parameters of a simulated QsNET network.
+type Config struct {
+	// Nodes is the number of compute nodes attached to the network.
+	Nodes int
+	// CableMeters is the maximum cable length. Zero means "use the
+	// paper's Eq. (2) floor-plan estimate for this node count".
+	CableMeters float64
+	// PutStartup is the software+DMA-descriptor startup cost of a PUT or
+	// multicast operation.
+	PutStartup sim.Time
+	// CondLatencyUs overrides the network-conditional latency in µs;
+	// zero means "use the Fig. 9 barrier model for this node count".
+	CondLatencyUs float64
+	// MainMemBWMBs caps per-packet throughput when a buffer is in host
+	// memory (PCI-limited; paper Fig. 7: 175 MB/s).
+	MainMemBWMBs float64
+	// NICMemBWMBs caps per-packet throughput for NIC-resident buffers
+	// (paper Fig. 7: 312 MB/s on 64 nodes; effectively the link rate).
+	NICMemBWMBs float64
+	// P2PLatency is the one-way small-message latency of a point-to-point
+	// PUT (a few µs on Elan3).
+	P2PLatency sim.Time
+	// P2PBWMBs is the point-to-point bandwidth for host-memory transfers.
+	P2PBWMBs float64
+	// DeadNodeTimeout is how long a hardware operation waits before
+	// reporting an error when a destination node is dead.
+	DeadNodeTimeout sim.Time
+}
+
+// DefaultConfig returns the parameters of the paper's evaluation cluster
+// scaled to the given node count.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:           nodes,
+		CableMeters:     0, // Eq. (2)
+		PutStartup:      40 * sim.Microsecond,
+		MainMemBWMBs:    netmodel.MainMemBroadcastMBs,
+		NICMemBWMBs:     netmodel.LinkPeakMBs,
+		P2PLatency:      5 * sim.Microsecond,
+		P2PBWMBs:        netmodel.MainMemBroadcastMBs,
+		DeadNodeTimeout: 2 * sim.Second,
+	}
+}
+
+// NIC models one node's Elan3 network interface: its remotely signalable
+// events and its window of global memory.
+type NIC struct {
+	id     int
+	net    *Network
+	events map[string]*sim.Event
+	gmem   map[string]int64
+	link   *sim.Resource // injection port: one outbound DMA at a time
+	dead   bool
+}
+
+// ID returns the node ID this NIC belongs to.
+func (n *NIC) ID() int { return n.id }
+
+// Event returns the named local event, creating it on first use. Events
+// are the completion/notification primitive behind XFER-AND-SIGNAL and
+// TEST-EVENT.
+func (n *NIC) Event(name string) *sim.Event {
+	ev, ok := n.events[name]
+	if !ok {
+		ev = sim.NewEvent(n.net.env)
+		n.events[name] = ev
+	}
+	return ev
+}
+
+// Load reads the named global variable (zero if never written).
+func (n *NIC) Load(name string) int64 { return n.gmem[name] }
+
+// Store writes the named global variable.
+func (n *NIC) Store(name string, v int64) { n.gmem[name] = v }
+
+// Dead reports whether the node has been failed by fault injection.
+func (n *NIC) Dead() bool { return n.dead }
+
+// Network is a simulated QsNET fabric connecting Config.Nodes nodes.
+type Network struct {
+	env    *sim.Env
+	cfg    Config
+	nics   []*NIC
+	bcast  *sim.Resource // the hardware multicast tree: one collective at a time
+	bgLoad float64       // background utilization in [0, 1)
+
+	// Counters for tests and diagnostics.
+	Broadcasts int
+	Puts       int
+	Conds      int
+}
+
+// ErrNodeDead is returned by operations whose destination set includes a
+// failed node: the hardware cannot collect the ack, so after a timeout the
+// operation reports failure having delivered to no one (atomicity,
+// paper §2.2 point 2).
+type ErrNodeDead struct{ Node int }
+
+func (e ErrNodeDead) Error() string { return fmt.Sprintf("qsnet: node %d is dead", e.Node) }
+
+// New builds a network. Panics on a non-positive node count.
+func New(env *sim.Env, cfg Config) *Network {
+	if cfg.Nodes <= 0 {
+		panic("qsnet: need at least one node")
+	}
+	if cfg.CableMeters == 0 {
+		cfg.CableMeters = netmodel.Diameter(cfg.Nodes)
+	}
+	net := &Network{env: env, cfg: cfg}
+	net.bcast = sim.NewResource(env, 1)
+	net.nics = make([]*NIC, cfg.Nodes)
+	for i := range net.nics {
+		net.nics[i] = &NIC{
+			id:     i,
+			net:    net,
+			events: make(map[string]*sim.Event),
+			gmem:   make(map[string]int64),
+			link:   sim.NewResource(env, 1),
+		}
+	}
+	return net
+}
+
+// Env returns the simulation environment the network runs in.
+func (net *Network) Env() *sim.Env { return net.env }
+
+// Config returns the network's configuration.
+func (net *Network) Config() Config { return net.cfg }
+
+// Nodes returns the number of attached nodes.
+func (net *Network) Nodes() int { return net.cfg.Nodes }
+
+// NIC returns node id's network interface.
+func (net *Network) NIC(id int) *NIC { return net.nics[id] }
+
+// SetBackgroundLoad sets the fraction of fabric capacity consumed by
+// traffic outside the model (the paper's network-loaded experiments,
+// Fig. 3). Transfers take 1/(1-u) times longer. u must be in [0, 1).
+func (net *Network) SetBackgroundLoad(u float64) {
+	if u < 0 || u >= 1 {
+		panic("qsnet: background load must be in [0, 1)")
+	}
+	net.bgLoad = u
+}
+
+// BackgroundLoad returns the current background utilization.
+func (net *Network) BackgroundLoad() float64 { return net.bgLoad }
+
+// FailNode marks a node dead: it stops acking packets and its conditional
+// contributions read as false.
+func (net *Network) FailNode(id int) { net.nics[id].dead = true }
+
+// ReviveNode brings a failed node back (used by recovery tests).
+func (net *Network) ReviveNode(id int) { net.nics[id].dead = false }
+
+// stretch applies the background-load slowdown to a duration.
+func (net *Network) stretch(d sim.Time) sim.Time {
+	if net.bgLoad == 0 {
+		return d
+	}
+	return sim.FromSeconds(d.Seconds() / (1 - net.bgLoad))
+}
+
+// packetPeriod returns the steady-state per-packet period for a collective
+// reaching n nodes with buffers at the given locations.
+func (net *Network) packetPeriod(nodes int, src, dst BufferLoc) sim.Time {
+	periodNs := netmodel.PacketPeriodNs(netmodel.Switches(nodes), net.cfg.CableMeters)
+	// A host-memory buffer on either side throttles the packet stream to
+	// the PCI-sustainable rate.
+	cap := net.cfg.NICMemBWMBs
+	if src == MainMem || dst == MainMem {
+		cap = net.cfg.MainMemBWMBs
+	}
+	minPeriodNs := netmodel.PacketBytes / cap * 1000
+	if periodNs < minPeriodNs {
+		periodNs = minPeriodNs
+	}
+	return sim.FromSeconds(periodNs * 1e-9)
+}
+
+// xferTime returns the wire time for a transfer of the given size.
+func (net *Network) xferTime(bytes int64, nodes int, src, dst BufferLoc) sim.Time {
+	if bytes <= 0 {
+		return net.stretch(net.cfg.PutStartup)
+	}
+	packets := (bytes + int64(netmodel.PacketBytes) - 1) / int64(netmodel.PacketBytes)
+	return net.stretch(net.cfg.PutStartup + sim.Time(packets)*net.packetPeriod(nodes, src, dst))
+}
+
+// BroadcastTime predicts the duration of a hardware multicast without
+// performing one (used by capacity planning and tests).
+func (net *Network) BroadcastTime(bytes int64, dests NodeSet, src, dst BufferLoc) sim.Time {
+	return net.xferTime(bytes, dests.N, src, dst)
+}
+
+// Broadcast performs a hardware multicast of bytes from node src to every
+// node in dests, blocking the calling process for the transfer duration.
+// It is atomic: if any destination is dead, no destination receives the
+// data and an ErrNodeDead is returned after the hardware timeout.
+// Releases are deferred so a killed caller (job cancellation) cannot leak
+// the injection link or the multicast tree.
+func (net *Network) Broadcast(p *sim.Proc, src int, dests NodeSet, bytes int64, srcLoc, dstLoc BufferLoc) error {
+	net.checkSet(dests)
+	net.Broadcasts++
+	nic := net.nics[src]
+	nic.link.Acquire(p)
+	defer nic.link.Release()
+	net.bcast.Acquire(p)
+	defer net.bcast.Release()
+	return net.deliver(p, dests, bytes, srcLoc, dstLoc)
+}
+
+// deliver waits the transfer (or timeout) duration and reports failure if
+// any destination is dead.
+func (net *Network) deliver(p *sim.Proc, dests NodeSet, bytes int64, srcLoc, dstLoc BufferLoc) error {
+	for id := dests.First; id <= dests.Last(); id++ {
+		if net.nics[id].dead {
+			p.Wait(net.cfg.DeadNodeTimeout)
+			return ErrNodeDead{Node: id}
+		}
+	}
+	p.Wait(net.xferTime(bytes, dests.N, srcLoc, dstLoc))
+	return nil
+}
+
+// SwitchesBetween returns the number of switches a packet crosses
+// between two nodes of the quaternary fat tree: up to their lowest
+// common ancestor level and back down (nodes under one leaf switch cross
+// exactly one).
+func SwitchesBetween(a, b int) int {
+	if a == b {
+		return 0
+	}
+	level := 1
+	for a/4 != b/4 {
+		a /= 4
+		b /= 4
+		level++
+	}
+	return 2*level - 1
+}
+
+// Put performs a point-to-point remote DMA of bytes from node src to node
+// dst, blocking the calling process. Latency is topology-aware: distant
+// nodes cross more fat-tree stages. The link release is deferred so a
+// killed caller (job cancellation mid-send) cannot leak the port.
+func (net *Network) Put(p *sim.Proc, src, dst int, bytes int64) error {
+	net.Puts++
+	nic := net.nics[src]
+	nic.link.Acquire(p)
+	defer nic.link.Release()
+	if net.nics[dst].dead {
+		p.Wait(net.cfg.DeadNodeTimeout)
+		return ErrNodeDead{Node: dst}
+	}
+	per := sim.FromSeconds(netmodel.PacketBytes / (net.cfg.P2PBWMBs * 1e6))
+	packets := (bytes + int64(netmodel.PacketBytes) - 1) / int64(netmodel.PacketBytes)
+	if packets < 1 {
+		packets = 1
+	}
+	hops := sim.FromSeconds(float64(SwitchesBetween(src, dst)) * 36.7e-9)
+	p.Wait(net.stretch(net.cfg.P2PLatency + hops + sim.Time(packets)*per))
+	return nil
+}
+
+// CondLatency returns the latency of one network-conditional round over a
+// set of the given size (paper Fig. 9).
+func (net *Network) CondLatency(nodes int) sim.Time {
+	us := net.cfg.CondLatencyUs
+	if us == 0 {
+		us = netmodel.BarrierLatencyUs(nodes)
+	}
+	return net.stretch(sim.FromMicroseconds(us))
+}
+
+// Conditional evaluates eval on every node of dests through the hardware
+// combining tree and returns TRUE iff it holds on all of them, blocking
+// the caller for the barrier latency. Dead nodes cannot assert the
+// condition, so their membership forces FALSE — exactly the property the
+// paper's fault-detection sketch relies on (§4).
+func (net *Network) Conditional(p *sim.Proc, dests NodeSet, eval func(nic *NIC) bool) bool {
+	net.checkSet(dests)
+	net.Conds++
+	p.Wait(net.CondLatency(dests.N))
+	for id := dests.First; id <= dests.Last(); id++ {
+		if net.nics[id].dead || !eval(net.nics[id]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (net *Network) checkSet(s NodeSet) {
+	if s.N <= 0 || s.First < 0 || s.Last() >= net.cfg.Nodes {
+		panic(fmt.Sprintf("qsnet: node set %+v out of range (0-%d)", s, net.cfg.Nodes-1))
+	}
+}

@@ -1,0 +1,377 @@
+package qsnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+func newNet(nodes int) (*sim.Env, *Network) {
+	env := sim.NewEnv()
+	return env, New(env, DefaultConfig(nodes))
+}
+
+func TestNodeSet(t *testing.T) {
+	s := Range(4, 8)
+	if s.Last() != 11 {
+		t.Fatalf("Last = %d", s.Last())
+	}
+	if !s.Contains(4) || !s.Contains(11) || s.Contains(3) || s.Contains(12) {
+		t.Fatal("Contains is wrong")
+	}
+	if Range(3, 1).String() != "node 3" {
+		t.Fatalf("String = %q", Range(3, 1).String())
+	}
+	if Range(0, 4).String() != "nodes 0-3" {
+		t.Fatalf("String = %q", Range(0, 4).String())
+	}
+}
+
+// TestBroadcastAsymptoticBandwidth checks the Fig. 7 asymptotes on a
+// 64-node network with ~10 m cables: ~312 MB/s for NIC-resident buffers,
+// ~175 MB/s for host-memory buffers.
+func TestBroadcastAsymptoticBandwidth(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(64)
+	cfg.CableMeters = 10
+	net := New(env, cfg)
+	const bytes = 64 << 20 // large enough to amortize startup
+	for _, tc := range []struct {
+		loc  BufferLoc
+		want float64
+	}{
+		{NICMem, 312},
+		{MainMem, 175},
+	} {
+		d := net.BroadcastTime(bytes, Range(0, 64), tc.loc, tc.loc)
+		bw := float64(bytes) / d.Seconds() / 1e6
+		if math.Abs(bw-tc.want)/tc.want > 0.03 {
+			t.Errorf("asymptotic broadcast BW from %v = %.1f MB/s, want ~%.0f", tc.loc, bw, tc.want)
+		}
+	}
+}
+
+func TestBroadcastBandwidthRampsWithMessageSize(t *testing.T) {
+	_, net := newNet(64)
+	bwAt := func(bytes int64) float64 {
+		return float64(bytes) / net.BroadcastTime(bytes, Range(0, 64), NICMem, NICMem).Seconds() / 1e6
+	}
+	small, large := bwAt(100<<10), bwAt(1000<<10)
+	if small >= large {
+		t.Fatalf("BW should grow with message size: %0.1f vs %0.1f", small, large)
+	}
+	if large > netmodel.LinkPeakMBs {
+		t.Fatalf("BW exceeds link peak: %.1f", large)
+	}
+}
+
+func TestBroadcastBlocksCaller(t *testing.T) {
+	env, net := newNet(64)
+	var elapsed sim.Time
+	env.Spawn("src", func(p *sim.Proc) {
+		start := p.Now()
+		if err := net.Broadcast(p, 0, Range(0, 64), 12<<20, MainMem, MainMem); err != nil {
+			t.Errorf("broadcast failed: %v", err)
+		}
+		elapsed = p.Now() - start
+	})
+	env.Run()
+	// 12 MiB at ~175 MB/s is ~72 ms.
+	sec := elapsed.Seconds()
+	if sec < 0.060 || sec > 0.090 {
+		t.Fatalf("12 MiB broadcast took %.3fs, want ~0.072s", sec)
+	}
+	if net.Broadcasts != 1 {
+		t.Fatalf("Broadcasts = %d", net.Broadcasts)
+	}
+}
+
+// TestConcurrentBroadcastsSerialize verifies that the single hardware
+// multicast tree serializes concurrent collectives.
+func TestConcurrentBroadcastsSerialize(t *testing.T) {
+	env, net := newNet(16)
+	var done [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Spawn("src", func(p *sim.Proc) {
+			if err := net.Broadcast(p, i, Range(0, 16), 1<<20, NICMem, NICMem); err != nil {
+				t.Errorf("broadcast: %v", err)
+			}
+			done[i] = p.Now()
+		})
+	}
+	env.Run()
+	single := net.BroadcastTime(1<<20, Range(0, 16), NICMem, NICMem)
+	latest := done[0]
+	if done[1] > latest {
+		latest = done[1]
+	}
+	if latest < 2*single-sim.Millisecond {
+		t.Fatalf("two broadcasts finished at %v, expected serialization to ~%v", latest, 2*single)
+	}
+}
+
+func TestPutLatencyAndBandwidth(t *testing.T) {
+	env, net := newNet(4)
+	var tiny, big sim.Time
+	env.Spawn("src", func(p *sim.Proc) {
+		start := p.Now()
+		if err := net.Put(p, 0, 1, 8); err != nil {
+			t.Errorf("put: %v", err)
+		}
+		tiny = p.Now() - start
+		start = p.Now()
+		if err := net.Put(p, 0, 1, 1<<20); err != nil {
+			t.Errorf("put: %v", err)
+		}
+		big = p.Now() - start
+	})
+	env.Run()
+	if tiny < 5*sim.Microsecond || tiny > 10*sim.Microsecond {
+		t.Fatalf("small-message latency = %v, want ~5-7us", tiny)
+	}
+	bw := float64(1<<20) / big.Seconds() / 1e6
+	if bw < 120 || bw > 180 {
+		t.Fatalf("P2P bandwidth = %.1f MB/s, want ~175", bw)
+	}
+}
+
+func TestConditionalLatencyMatchesFig9(t *testing.T) {
+	env, net := newNet(1024)
+	var lat sim.Time
+	env.Spawn("root", func(p *sim.Proc) {
+		start := p.Now()
+		net.Conditional(p, Range(0, 1024), func(*NIC) bool { return true })
+		lat = p.Now() - start
+	})
+	env.Run()
+	us := lat.Microseconds()
+	if us < 5.5 || us > 7 {
+		t.Fatalf("1024-node conditional latency = %.2fus, want ~6.5us", us)
+	}
+}
+
+func TestConditionalGlobalAnd(t *testing.T) {
+	env, net := newNet(8)
+	for i := 0; i < 8; i++ {
+		net.NIC(i).Store("flag", 1)
+	}
+	var all, notAll bool
+	env.Spawn("root", func(p *sim.Proc) {
+		all = net.Conditional(p, Range(0, 8), func(n *NIC) bool { return n.Load("flag") >= 1 })
+		net.NIC(5).Store("flag", 0)
+		notAll = net.Conditional(p, Range(0, 8), func(n *NIC) bool { return n.Load("flag") >= 1 })
+	})
+	env.Run()
+	if !all {
+		t.Fatal("conditional false with all flags set")
+	}
+	if notAll {
+		t.Fatal("conditional true with one flag clear")
+	}
+}
+
+func TestDeadNodeFailsConditional(t *testing.T) {
+	env, net := newNet(8)
+	net.FailNode(3)
+	var ok bool
+	env.Spawn("root", func(p *sim.Proc) {
+		ok = net.Conditional(p, Range(0, 8), func(*NIC) bool { return true })
+	})
+	env.Run()
+	if ok {
+		t.Fatal("conditional over a dead node returned true")
+	}
+}
+
+func TestDeadNodeFailsBroadcastAtomically(t *testing.T) {
+	env, net := newNet(8)
+	net.FailNode(6)
+	var err error
+	var elapsed sim.Time
+	env.Spawn("src", func(p *sim.Proc) {
+		start := p.Now()
+		err = net.Broadcast(p, 0, Range(0, 8), 1<<20, MainMem, MainMem)
+		elapsed = p.Now() - start
+	})
+	env.Run()
+	if err == nil {
+		t.Fatal("broadcast to a dead node succeeded")
+	}
+	if _, ok := err.(ErrNodeDead); !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if elapsed < net.Config().DeadNodeTimeout {
+		t.Fatalf("failure reported before hardware timeout: %v", elapsed)
+	}
+	// Revive and retry: must succeed.
+	net.ReviveNode(6)
+	env.Spawn("retry", func(p *sim.Proc) {
+		if e := net.Broadcast(p, 0, Range(0, 8), 1<<20, MainMem, MainMem); e != nil {
+			t.Errorf("broadcast after revive: %v", e)
+		}
+	})
+	env.Run()
+}
+
+func TestBackgroundLoadSlowsTransfers(t *testing.T) {
+	env, net := newNet(64)
+	base := net.BroadcastTime(12<<20, Range(0, 64), MainMem, MainMem)
+	net.SetBackgroundLoad(0.9)
+	loaded := net.BroadcastTime(12<<20, Range(0, 64), MainMem, MainMem)
+	ratio := loaded.Seconds() / base.Seconds()
+	if ratio < 9 || ratio > 11 {
+		t.Fatalf("90%% background load slowed transfer %.1fx, want ~10x", ratio)
+	}
+	_ = env
+}
+
+func TestBackgroundLoadValidation(t *testing.T) {
+	_, net := newNet(4)
+	for _, bad := range []float64{-0.1, 1.0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetBackgroundLoad(%v) did not panic", bad)
+				}
+			}()
+			net.SetBackgroundLoad(bad)
+		}()
+	}
+}
+
+func TestEventsAndGlobalMemory(t *testing.T) {
+	_, net := newNet(2)
+	nic := net.NIC(0)
+	if nic.Event("launch") != nic.Event("launch") {
+		t.Fatal("Event not memoized")
+	}
+	if nic.Event("launch") == nic.Event("other") {
+		t.Fatal("different names share an event")
+	}
+	if nic.Load("x") != 0 {
+		t.Fatal("unwritten global not zero")
+	}
+	nic.Store("x", 42)
+	if nic.Load("x") != 42 {
+		t.Fatal("Store/Load roundtrip failed")
+	}
+	if net.NIC(1).Load("x") != 0 {
+		t.Fatal("global memory leaked across nodes")
+	}
+}
+
+func TestOutOfRangeSetPanics(t *testing.T) {
+	env, net := newNet(4)
+	panicked := false
+	env.Spawn("bad", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		net.Conditional(p, Range(2, 4), func(*NIC) bool { return true })
+	})
+	env.Run()
+	if !panicked {
+		t.Fatal("out-of-range set did not panic")
+	}
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	env, net := newNet(4)
+	env.Spawn("src", func(p *sim.Proc) {
+		if err := net.Broadcast(p, 0, Range(0, 4), 0, MainMem, MainMem); err != nil {
+			t.Errorf("zero-byte broadcast: %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestCableLengthDefaultsToDiameter(t *testing.T) {
+	_, net := newNet(256)
+	if got := net.Config().CableMeters; got != netmodel.Diameter(256) {
+		t.Fatalf("CableMeters = %v, want Eq. (2) value %v", got, netmodel.Diameter(256))
+	}
+}
+
+// TestBroadcastTimeMonotonic: transfer time must be non-decreasing in
+// message size and destination-set size (property test).
+func TestBroadcastTimeMonotonic(t *testing.T) {
+	_, net := newNet(256)
+	if err := quick.Check(func(a, b uint32, n1, n2 uint8) bool {
+		bytesA, bytesB := int64(a%(64<<20)), int64(b%(64<<20))
+		if bytesA > bytesB {
+			bytesA, bytesB = bytesB, bytesA
+		}
+		nA, nB := 1+int(n1)%256, 1+int(n2)%256
+		if nA > nB {
+			nA, nB = nB, nA
+		}
+		tSmall := net.BroadcastTime(bytesA, Range(0, nA), MainMem, MainMem)
+		tBigBytes := net.BroadcastTime(bytesB, Range(0, nA), MainMem, MainMem)
+		tBigSet := net.BroadcastTime(bytesA, Range(0, nB), MainMem, MainMem)
+		return tBigBytes >= tSmall && tBigSet >= tSmall
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCondLatencyGrowsWithSetSize: the network conditional's latency is
+// non-decreasing in the set size.
+func TestCondLatencyGrowsWithSetSize(t *testing.T) {
+	_, net := newNet(1024)
+	prev := sim.Time(0)
+	for n := 1; n <= 1024; n *= 2 {
+		lat := net.CondLatency(n)
+		if lat < prev {
+			t.Fatalf("CondLatency(%d) = %v < CondLatency(%d) = %v", n, lat, n/2, prev)
+		}
+		prev = lat
+	}
+}
+
+func TestSwitchesBetween(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},   // same node
+		{0, 3, 1},   // same leaf switch (group of 4)
+		{0, 4, 3},   // adjacent groups: up one level and down
+		{0, 15, 3},  // within the same 16-node subtree
+		{0, 16, 5},  // crossing the 16-node boundary
+		{0, 63, 5},  // within 64
+		{0, 64, 7},  // crossing the 64-node boundary
+		{5, 6, 1},   // same group
+		{60, 63, 1}, // same group at the high end
+	}
+	for _, c := range cases {
+		if got := SwitchesBetween(c.a, c.b); got != c.want {
+			t.Errorf("SwitchesBetween(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := SwitchesBetween(c.b, c.a); got != c.want {
+			t.Errorf("SwitchesBetween not symmetric for (%d,%d)", c.a, c.b)
+		}
+	}
+}
+
+func TestPutLatencyTopologyAware(t *testing.T) {
+	env, net := newNet(256)
+	var near, far sim.Time
+	env.Spawn("src", func(p *sim.Proc) {
+		start := p.Now()
+		net.Put(p, 0, 1, 8) // same leaf switch
+		near = p.Now() - start
+		start = p.Now()
+		net.Put(p, 0, 255, 8) // across the whole machine
+		far = p.Now() - start
+	})
+	env.Run()
+	if far <= near {
+		t.Fatalf("distant put (%v) should exceed nearby put (%v)", far, near)
+	}
+	if far-near > sim.Microsecond {
+		t.Fatalf("topology delta implausibly large: %v", far-near)
+	}
+}

@@ -1,0 +1,438 @@
+// Package sched implements STORM's job-scheduling layer: the Ousterhout
+// gang-scheduling matrix (rows = timeslots, columns = nodes) built on the
+// buddy-tree space allocator, and the pluggable scheduling policies the
+// paper says STORM supports — gang scheduling, batch scheduling with and
+// without EASY backfilling, and implicit coscheduling (paper §2, §4
+// "Generality of Mechanisms").
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/job"
+	"repro/internal/qsnet"
+	"repro/internal/sim"
+)
+
+// Row is one timeslot of the Ousterhout matrix: a full view of the
+// machine's nodes with its own buddy allocator.
+type Row struct {
+	Buddy *alloc.Buddy
+	Jobs  map[job.ID]*job.Job
+}
+
+// Matrix is the gang-scheduling matrix. Each job occupies a contiguous
+// node range in exactly one row; at any instant one row is "current" and
+// its jobs' processes run (under coordinated policies).
+type Matrix struct {
+	nodes   int
+	maxRows int
+	rows    []*Row
+}
+
+// NewMatrix creates a matrix over a power-of-two node count with at most
+// maxRows timeslots (the multiprogramming level, MPL).
+func NewMatrix(nodes, maxRows int) *Matrix {
+	if maxRows < 1 {
+		panic("sched: need at least one row")
+	}
+	return &Matrix{nodes: nodes, maxRows: maxRows}
+}
+
+// Nodes returns the machine width.
+func (m *Matrix) Nodes() int { return m.nodes }
+
+// MaxRows returns the configured MPL ceiling.
+func (m *Matrix) MaxRows() int { return m.maxRows }
+
+// NumRows returns the number of instantiated rows.
+func (m *Matrix) NumRows() int { return len(m.rows) }
+
+// Row returns row r (which must exist).
+func (m *Matrix) Row(r int) *Row { return m.rows[r] }
+
+// TryPlace places j in the lowest row (creating one if allowed) with a
+// free contiguous block of j.NodesWanted nodes. On success it fills in
+// j.Nodes and j.Row and returns true.
+func (m *Matrix) TryPlace(j *job.Job) bool {
+	for r := 0; ; r++ {
+		if r == len(m.rows) {
+			if r == m.maxRows {
+				return false
+			}
+			m.rows = append(m.rows, &Row{
+				Buddy: alloc.NewBuddy(m.nodes),
+				Jobs:  make(map[job.ID]*job.Job),
+			})
+		}
+		row := m.rows[r]
+		if first, size, ok := row.Buddy.Alloc(j.NodesWanted); ok {
+			// The buddy may round up; the job's collective set is its
+			// full block so the range stays aligned and exclusive.
+			j.Nodes = qsnet.Range(first, size)
+			j.Row = r
+			row.Jobs[j.ID] = j
+			return true
+		}
+	}
+}
+
+// Remove releases j's block and detaches it from its row.
+func (m *Matrix) Remove(j *job.Job) {
+	if j.Row < 0 || j.Row >= len(m.rows) {
+		panic(fmt.Sprintf("sched: job %d has invalid row %d", j.ID, j.Row))
+	}
+	row := m.rows[j.Row]
+	if _, ok := row.Jobs[j.ID]; !ok {
+		panic(fmt.Sprintf("sched: job %d not present in row %d", j.ID, j.Row))
+	}
+	delete(row.Jobs, j.ID)
+	row.Buddy.Free(j.Nodes.First)
+	j.Row = -1
+}
+
+// JobsInRow returns row r's jobs sorted by ID (deterministic order).
+func (m *Matrix) JobsInRow(r int) []*job.Job {
+	if r < 0 || r >= len(m.rows) {
+		return nil
+	}
+	out := make([]*job.Job, 0, len(m.rows[r].Jobs))
+	for _, j := range m.rows[r].Jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// AllJobs returns every placed job, sorted by ID.
+func (m *Matrix) AllJobs() []*job.Job {
+	var out []*job.Job
+	for r := range m.rows {
+		out = append(out, m.JobsInRow(r)...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// NextRow returns the next row after cur (cyclically) that has at least
+// one job, or -1 if the matrix is empty. With cur = -1 it returns the
+// first non-empty row.
+func (m *Matrix) NextRow(cur int) int {
+	n := len(m.rows)
+	if n == 0 {
+		return -1
+	}
+	for i := 1; i <= n; i++ {
+		r := (cur + i) % n
+		if r < 0 {
+			r += n
+		}
+		if len(m.rows[r].Jobs) > 0 {
+			return r
+		}
+	}
+	return -1
+}
+
+// CheckInvariants verifies the gang-scheduling invariants: every row's
+// allocator is consistent, every job's range lies inside the machine and
+// inside its recorded row, and no two jobs in one row overlap (which the
+// buddy allocator enforces, re-checked here independently).
+func (m *Matrix) CheckInvariants() error {
+	for r, row := range m.rows {
+		if err := row.Buddy.CheckInvariants(); err != nil {
+			return fmt.Errorf("row %d: %w", r, err)
+		}
+		covered := make([]bool, m.nodes)
+		for _, j := range row.Jobs {
+			if j.Row != r {
+				return fmt.Errorf("job %d in row %d believes it is in row %d", j.ID, r, j.Row)
+			}
+			if j.Nodes.First < 0 || j.Nodes.Last() >= m.nodes {
+				return fmt.Errorf("job %d range %v outside machine", j.ID, j.Nodes)
+			}
+			for n := j.Nodes.First; n <= j.Nodes.Last(); n++ {
+				if covered[n] {
+					return fmt.Errorf("row %d node %d assigned to two jobs", r, n)
+				}
+				covered[n] = true
+			}
+		}
+	}
+	return nil
+}
+
+// Queue is a FIFO job queue with deterministic iteration.
+type Queue struct {
+	jobs []*job.Job
+}
+
+// Push appends a job.
+func (q *Queue) Push(j *job.Job) { q.jobs = append(q.jobs, j) }
+
+// Len returns the queue length.
+func (q *Queue) Len() int { return len(q.jobs) }
+
+// Peek returns the i-th queued job without removing it.
+func (q *Queue) Peek(i int) *job.Job { return q.jobs[i] }
+
+// RemoveAt removes and returns the i-th queued job.
+func (q *Queue) RemoveAt(i int) *job.Job {
+	j := q.jobs[i]
+	q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+	return j
+}
+
+// Policy decides which queued jobs to start, and whether row switching is
+// coordinated by MM strobes (gang) or left to the node OS (implicit
+// coscheduling).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// MaxRows is the multiprogramming-level ceiling for the matrix.
+	MaxRows() int
+	// Coordinated reports whether the MM enacts row switches with global
+	// strobes (true: gang scheduling / batch) or all placed jobs run
+	// concurrently under local OS scheduling (false: implicit
+	// coscheduling).
+	Coordinated() bool
+	// Dispatch removes from q and places into m every job that should
+	// start now, returning them in launch order.
+	Dispatch(now sim.Time, q *Queue, m *Matrix) []*job.Job
+}
+
+// GangFCFS is the paper's default: first-come-first-served space sharing
+// with gang-scheduled time sharing up to an MPL.
+type GangFCFS struct {
+	// MPL is the maximum multiprogramming level (matrix rows).
+	MPL int
+}
+
+// Name implements Policy.
+func (p GangFCFS) Name() string { return fmt.Sprintf("gang-fcfs(mpl=%d)", p.MPL) }
+
+// MaxRows implements Policy.
+func (p GangFCFS) MaxRows() int { return p.MPL }
+
+// Coordinated implements Policy.
+func (p GangFCFS) Coordinated() bool { return true }
+
+// Dispatch implements Policy: strictly in arrival order, place while the
+// head fits.
+func (p GangFCFS) Dispatch(now sim.Time, q *Queue, m *Matrix) []*job.Job {
+	var started []*job.Job
+	for q.Len() > 0 && m.TryPlace(q.Peek(0)) {
+		started = append(started, q.RemoveAt(0))
+	}
+	return started
+}
+
+// BatchFCFS is plain space-shared batch scheduling: MPL 1, no
+// backfilling. Jobs wait until the head of the queue fits.
+type BatchFCFS struct{}
+
+// Name implements Policy.
+func (BatchFCFS) Name() string { return "batch-fcfs" }
+
+// MaxRows implements Policy.
+func (BatchFCFS) MaxRows() int { return 1 }
+
+// Coordinated implements Policy.
+func (BatchFCFS) Coordinated() bool { return true }
+
+// Dispatch implements Policy.
+func (BatchFCFS) Dispatch(now sim.Time, q *Queue, m *Matrix) []*job.Job {
+	return GangFCFS{MPL: 1}.Dispatch(now, q, m)
+}
+
+// EASYBackfill is batch scheduling with EASY (aggressive) backfilling:
+// the head of the queue gets a reservation at the earliest time enough
+// nodes free up (by user runtime estimates); later jobs may jump ahead if
+// they fit now and do not delay that reservation.
+type EASYBackfill struct{}
+
+// Name implements Policy.
+func (EASYBackfill) Name() string { return "batch-easy-backfill" }
+
+// MaxRows implements Policy.
+func (EASYBackfill) MaxRows() int { return 1 }
+
+// Coordinated implements Policy.
+func (EASYBackfill) Coordinated() bool { return true }
+
+// Dispatch implements Policy.
+func (EASYBackfill) Dispatch(now sim.Time, q *Queue, m *Matrix) []*job.Job {
+	var started []*job.Job
+	// First, plain FCFS as far as it goes.
+	for q.Len() > 0 && m.TryPlace(q.Peek(0)) {
+		started = append(started, q.RemoveAt(0))
+	}
+	if q.Len() == 0 {
+		return started
+	}
+	// Head is blocked: compute its shadow time and spare capacity from
+	// the running jobs' estimated completions (node-count arithmetic; the
+	// buddy's rounding is reflected through each job's actual block).
+	head := q.Peek(0)
+	row := m.Row(0)
+	type rel struct {
+		at    sim.Time
+		nodes int
+	}
+	var rels []rel
+	for _, j := range m.JobsInRow(0) {
+		est := j.EstRuntime
+		if est <= 0 {
+			est = sim.Time(1) << 62 // unknown estimate: never assume release
+		}
+		rels = append(rels, rel{at: j.LaunchTime + est, nodes: j.Nodes.N})
+	}
+	sort.Slice(rels, func(a, b int) bool { return rels[a].at < rels[b].at })
+	free := row.Buddy.FreeNodes()
+	need := alloc.RoundUp(head.NodesWanted)
+	shadow := sim.Time(1) << 62
+	spare := free
+	for _, r := range rels {
+		free += r.nodes
+		if free >= need {
+			shadow = r.at
+			spare = free - need
+			break
+		}
+	}
+	// Try to backfill later jobs.
+	for i := 1; i < q.Len(); {
+		cand := q.Peek(i)
+		size := alloc.RoundUp(cand.NodesWanted)
+		fitsBeforeShadow := cand.EstRuntime > 0 && now+cand.EstRuntime <= shadow
+		fitsInSpare := size <= spare
+		if !fitsBeforeShadow && !fitsInSpare {
+			i++
+			continue
+		}
+		if !m.TryPlace(cand) {
+			i++
+			continue
+		}
+		if !fitsBeforeShadow {
+			spare -= size
+		}
+		started = append(started, q.RemoveAt(i))
+	}
+	return started
+}
+
+// PriorityGang is gang scheduling with a priority queue instead of FCFS:
+// queued jobs are considered in (priority desc, arrival) order, and a
+// high-priority job that does not fit does not block lower-priority jobs
+// that do (priority backfilling). This is one of the pluggable "usage
+// policies" the paper's architecture section calls for (§2).
+type PriorityGang struct {
+	// MPL is the maximum multiprogramming level.
+	MPL int
+}
+
+// Name implements Policy.
+func (p PriorityGang) Name() string { return fmt.Sprintf("priority-gang(mpl=%d)", p.MPL) }
+
+// MaxRows implements Policy.
+func (p PriorityGang) MaxRows() int { return p.MPL }
+
+// Coordinated implements Policy.
+func (p PriorityGang) Coordinated() bool { return true }
+
+// Dispatch implements Policy: repeatedly place the highest-priority job
+// that fits (stable within a priority level, so arrival order breaks
+// ties), until nothing queued can be placed.
+func (p PriorityGang) Dispatch(now sim.Time, q *Queue, m *Matrix) []*job.Job {
+	var started []*job.Job
+	for {
+		order := make([]int, q.Len())
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return q.Peek(order[a]).Priority > q.Peek(order[b]).Priority
+		})
+		placed := false
+		for _, i := range order {
+			j := q.Peek(i)
+			if m.TryPlace(j) {
+				q.RemoveAt(i)
+				started = append(started, j)
+				placed = true
+				break // queue indices shifted: re-derive the order
+			}
+		}
+		if !placed {
+			return started
+		}
+	}
+}
+
+// BCS is buffered coscheduling (Petrini & Feng), the algorithm the paper
+// names as the first one it plans to add on the STORM mechanisms (§4
+// "Generality of Mechanisms"): jobs are gang-scheduled, but application
+// point-to-point communication is buffered locally and exchanged in
+// aggregated transfers at timeslice boundaries, amortizing per-message
+// overhead and decoupling applications from network timing.
+type BCS struct {
+	// MPL is the maximum multiprogramming level.
+	MPL int
+}
+
+// Name implements Policy.
+func (p BCS) Name() string { return fmt.Sprintf("buffered-cosched(mpl=%d)", p.MPL) }
+
+// MaxRows implements Policy.
+func (p BCS) MaxRows() int { return p.MPL }
+
+// Coordinated implements Policy.
+func (p BCS) Coordinated() bool { return true }
+
+// BuffersComm marks the policy for the runtime's communication layer:
+// sends are buffered and flushed at strobe boundaries.
+func (p BCS) BuffersComm() bool { return true }
+
+// Dispatch implements Policy.
+func (p BCS) Dispatch(now sim.Time, q *Queue, m *Matrix) []*job.Job {
+	return GangFCFS{MPL: p.MPL}.Dispatch(now, q, m)
+}
+
+// CommBufferer is implemented by policies (BCS) whose runtime buffers
+// application communication until the next timeslice boundary.
+type CommBufferer interface {
+	BuffersComm() bool
+}
+
+// BuffersComm reports whether a policy requests communication buffering.
+func BuffersComm(p Policy) bool {
+	b, ok := p.(CommBufferer)
+	return ok && b.BuffersComm()
+}
+
+// ImplicitCosched places jobs like gang scheduling but leaves every
+// placed job's processes runnable at once: coordination emerges from the
+// applications' own communication (spin-block), not from global strobes
+// (Arpaci-Dusseau's implicit coscheduling, which the paper lists among
+// STORM's supported algorithms).
+type ImplicitCosched struct {
+	// MPL is the per-node job multiprogramming ceiling.
+	MPL int
+}
+
+// Name implements Policy.
+func (p ImplicitCosched) Name() string { return fmt.Sprintf("implicit-cosched(mpl=%d)", p.MPL) }
+
+// MaxRows implements Policy.
+func (p ImplicitCosched) MaxRows() int { return p.MPL }
+
+// Coordinated implements Policy.
+func (p ImplicitCosched) Coordinated() bool { return false }
+
+// Dispatch implements Policy.
+func (p ImplicitCosched) Dispatch(now sim.Time, q *Queue, m *Matrix) []*job.Job {
+	return GangFCFS{MPL: p.MPL}.Dispatch(now, q, m)
+}

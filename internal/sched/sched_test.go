@@ -1,0 +1,399 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/job"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func mkJob(id int, nodes int) *job.Job {
+	return &job.Job{ID: job.ID(id), Name: "t", NodesWanted: nodes, PEsPerNode: 1, Row: -1}
+}
+
+func TestMatrixPlaceAndRemove(t *testing.T) {
+	m := NewMatrix(8, 2)
+	j := mkJob(1, 4)
+	if !m.TryPlace(j) {
+		t.Fatal("place failed on empty matrix")
+	}
+	if j.Row != 0 || j.Nodes.N != 4 {
+		t.Fatalf("placement: row %d, %v", j.Row, j.Nodes)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m.Remove(j)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.JobsInRow(0)); got != 0 {
+		t.Fatalf("row 0 still has %d jobs", got)
+	}
+}
+
+func TestMatrixSpillsToSecondRow(t *testing.T) {
+	m := NewMatrix(8, 2)
+	a, b, c := mkJob(1, 8), mkJob(2, 8), mkJob(3, 8)
+	if !m.TryPlace(a) || !m.TryPlace(b) {
+		t.Fatal("two full-machine jobs should fit in two rows")
+	}
+	if a.Row != 0 || b.Row != 1 {
+		t.Fatalf("rows: a=%d b=%d", a.Row, b.Row)
+	}
+	if m.TryPlace(c) {
+		t.Fatal("third full-machine job placed beyond MPL 2")
+	}
+}
+
+func TestMatrixSharesRowWhenPossible(t *testing.T) {
+	m := NewMatrix(8, 2)
+	a, b := mkJob(1, 4), mkJob(2, 4)
+	m.TryPlace(a)
+	m.TryPlace(b)
+	if a.Row != 0 || b.Row != 0 {
+		t.Fatalf("two half-machine jobs should share row 0: a=%d b=%d", a.Row, b.Row)
+	}
+	if a.Nodes.First == b.Nodes.First {
+		t.Fatal("overlapping placement")
+	}
+}
+
+func TestNextRowRoundRobin(t *testing.T) {
+	m := NewMatrix(8, 3)
+	a, b := mkJob(1, 8), mkJob(2, 8)
+	m.TryPlace(a)
+	m.TryPlace(b)
+	if r := m.NextRow(-1); r != 0 {
+		t.Fatalf("first row = %d", r)
+	}
+	if r := m.NextRow(0); r != 1 {
+		t.Fatalf("after 0 = %d", r)
+	}
+	if r := m.NextRow(1); r != 0 {
+		t.Fatalf("after 1 = %d (wrap)", r)
+	}
+	m.Remove(a)
+	if r := m.NextRow(0); r != 1 {
+		t.Fatalf("after removing row-0 job, next = %d", r)
+	}
+	if r := m.NextRow(1); r != 1 {
+		t.Fatalf("only row 1 occupied, next = %d", r)
+	}
+	m.Remove(b)
+	if r := m.NextRow(0); r != -1 {
+		t.Fatalf("empty matrix NextRow = %d", r)
+	}
+}
+
+func TestGangFCFSDispatch(t *testing.T) {
+	m := NewMatrix(8, 2)
+	q := &Queue{}
+	for i := 1; i <= 5; i++ {
+		q.Push(mkJob(i, 8))
+	}
+	started := GangFCFS{MPL: 2}.Dispatch(0, q, m)
+	if len(started) != 2 {
+		t.Fatalf("started %d jobs, want 2 (MPL)", len(started))
+	}
+	if q.Len() != 3 {
+		t.Fatalf("queue length = %d", q.Len())
+	}
+	// FCFS: started in ID order.
+	if started[0].ID != 1 || started[1].ID != 2 {
+		t.Fatalf("start order: %v, %v", started[0].ID, started[1].ID)
+	}
+}
+
+func TestGangFCFSDoesNotSkipHead(t *testing.T) {
+	m := NewMatrix(8, 1)
+	q := &Queue{}
+	m.TryPlace(mkJob(99, 4)) // half machine busy
+	q.Push(mkJob(1, 8))      // head needs whole machine: blocked
+	q.Push(mkJob(2, 2))      // would fit, but FCFS must not jump
+	started := GangFCFS{MPL: 1}.Dispatch(0, q, m)
+	if len(started) != 0 {
+		t.Fatalf("FCFS jumped the blocked head: started %v", started)
+	}
+}
+
+func TestEASYBackfillJumpsWithoutDelayingHead(t *testing.T) {
+	m := NewMatrix(8, 1)
+	q := &Queue{}
+	running := mkJob(99, 8)
+	running.EstRuntime = 100 * sim.Second
+	running.LaunchTime = 0
+	m.TryPlace(running)
+
+	head := mkJob(1, 8) // blocked until 99 finishes at t=100s
+	head.EstRuntime = 50 * sim.Second
+	short := mkJob(2, 2) // 10s: would fit in the shadow... but no free nodes now
+	short.EstRuntime = 10 * sim.Second
+	q.Push(head)
+	q.Push(short)
+
+	started := EASYBackfill{}.Dispatch(0, q, m)
+	// All 8 nodes busy: nothing can start even by backfilling.
+	if len(started) != 0 {
+		t.Fatalf("backfilled with zero free nodes: %v", started)
+	}
+
+	// Free half the machine: now the short job fits and ends (t=10s)
+	// before the shadow time (t=100s), so it backfills past the head.
+	m.Remove(running)
+	running2 := mkJob(98, 4)
+	running2.EstRuntime = 100 * sim.Second
+	m.TryPlace(running2)
+	started = EASYBackfill{}.Dispatch(0, q, m)
+	if len(started) != 1 || started[0].ID != 2 {
+		t.Fatalf("expected job 2 to backfill, got %v", started)
+	}
+	if q.Len() != 1 || q.Peek(0).ID != 1 {
+		t.Fatal("head job disturbed")
+	}
+}
+
+func TestEASYBackfillRespectsReservation(t *testing.T) {
+	m := NewMatrix(8, 1)
+	q := &Queue{}
+	running := mkJob(99, 4)
+	running.EstRuntime = 10 * sim.Second
+	m.TryPlace(running) // frees at t=10s
+
+	head := mkJob(1, 8) // reservation at t=10s
+	head.EstRuntime = 50 * sim.Second
+	long := mkJob(2, 4) // fits now, but would run past t=10s and delay head
+	long.EstRuntime = 100 * sim.Second
+	q.Push(head)
+	q.Push(long)
+
+	started := EASYBackfill{}.Dispatch(0, q, m)
+	if len(started) != 0 {
+		t.Fatalf("backfill delayed the head reservation: %v", started)
+	}
+}
+
+func TestPolicyMetadata(t *testing.T) {
+	if !(GangFCFS{MPL: 2}).Coordinated() {
+		t.Fatal("gang should be coordinated")
+	}
+	if (ImplicitCosched{MPL: 2}).Coordinated() {
+		t.Fatal("implicit coscheduling should not be coordinated")
+	}
+	if (BatchFCFS{}).MaxRows() != 1 {
+		t.Fatal("batch MPL must be 1")
+	}
+	for _, p := range []Policy{GangFCFS{MPL: 2}, BatchFCFS{}, EASYBackfill{}, ImplicitCosched{MPL: 2}} {
+		if p.Name() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+}
+
+// TestMatrixRandomizedInvariants drives random place/remove sequences and
+// checks the gang invariants after every operation.
+func TestMatrixRandomizedInvariants(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		m := NewMatrix(16, 3)
+		var live []*job.Job
+		nextID := 1
+		for op := 0; op < 150; op++ {
+			if r.Intn(2) == 0 && len(live) > 0 {
+				i := r.Intn(len(live))
+				m.Remove(live[i])
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				j := mkJob(nextID, 1+r.Intn(16))
+				nextID++
+				if m.TryPlace(j) {
+					live = append(live, j)
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityGangOrdersByPriority(t *testing.T) {
+	m := NewMatrix(8, 1)
+	q := &Queue{}
+	lo := mkJob(1, 8)
+	hi := mkJob(2, 8)
+	hi.Priority = 10
+	q.Push(lo)
+	q.Push(hi)
+	started := PriorityGang{MPL: 1}.Dispatch(0, q, m)
+	if len(started) != 1 || started[0].ID != 2 {
+		t.Fatalf("expected high-priority job first, got %v", started)
+	}
+}
+
+func TestPriorityGangBackfillsPastBlockedHigh(t *testing.T) {
+	m := NewMatrix(8, 1)
+	m.TryPlace(mkJob(99, 4)) // half machine busy
+	q := &Queue{}
+	big := mkJob(1, 8) // high priority but cannot fit
+	big.Priority = 10
+	small := mkJob(2, 4) // low priority, fits now
+	q.Push(big)
+	q.Push(small)
+	started := PriorityGang{MPL: 1}.Dispatch(0, q, m)
+	if len(started) != 1 || started[0].ID != 2 {
+		t.Fatalf("expected low-priority fit to start, got %v", started)
+	}
+	if q.Len() != 1 || q.Peek(0).ID != 1 {
+		t.Fatal("high-priority job lost from queue")
+	}
+}
+
+func TestPriorityGangTieBreaksByArrival(t *testing.T) {
+	m := NewMatrix(8, 2)
+	q := &Queue{}
+	a, b := mkJob(1, 8), mkJob(2, 8)
+	q.Push(a)
+	q.Push(b)
+	started := PriorityGang{MPL: 2}.Dispatch(0, q, m)
+	if len(started) != 2 || started[0].ID != 1 || started[1].ID != 2 {
+		t.Fatalf("equal-priority order wrong: %v", started)
+	}
+}
+
+func TestBCSAndPriorityMetadata(t *testing.T) {
+	if !(BCS{MPL: 2}).Coordinated() || !(BCS{MPL: 2}).BuffersComm() {
+		t.Fatal("BCS flags wrong")
+	}
+	if !BuffersComm(BCS{MPL: 2}) {
+		t.Fatal("BuffersComm helper wrong for BCS")
+	}
+	if BuffersComm(GangFCFS{MPL: 2}) {
+		t.Fatal("gang should not buffer comm")
+	}
+	if (PriorityGang{MPL: 3}).MaxRows() != 3 || !(PriorityGang{MPL: 3}).Coordinated() {
+		t.Fatal("PriorityGang metadata wrong")
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(8, 3)
+	if m.Nodes() != 8 || m.MaxRows() != 3 || m.NumRows() != 0 {
+		t.Fatalf("accessors: %d %d %d", m.Nodes(), m.MaxRows(), m.NumRows())
+	}
+	a, b := mkJob(1, 8), mkJob(2, 4)
+	m.TryPlace(a)
+	m.TryPlace(b)
+	if m.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", m.NumRows())
+	}
+	all := m.AllJobs()
+	if len(all) != 2 || all[0].ID != 1 || all[1].ID != 2 {
+		t.Fatalf("AllJobs = %v", all)
+	}
+	if m.Row(0) == nil || m.Row(1).Buddy == nil {
+		t.Fatal("Row accessor broken")
+	}
+	if got := m.JobsInRow(99); got != nil {
+		t.Fatalf("out-of-range JobsInRow = %v", got)
+	}
+}
+
+func TestMatrixRemoveValidation(t *testing.T) {
+	m := NewMatrix(8, 2)
+	j := mkJob(1, 4)
+	m.TryPlace(j)
+	m.Remove(j)
+	for _, bad := range []func(){
+		func() { m.Remove(j) },           // row already -1
+		func() { m.Remove(mkJob(9, 2)) }, // never placed
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid Remove did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestNewMatrixRejectsZeroRows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(8, 0) did not panic")
+		}
+	}()
+	NewMatrix(8, 0)
+}
+
+func TestAllPolicyNamesAndMeta(t *testing.T) {
+	policies := []Policy{
+		GangFCFS{MPL: 2}, BatchFCFS{}, EASYBackfill{},
+		ImplicitCosched{MPL: 3}, BCS{MPL: 2}, PriorityGang{MPL: 2},
+	}
+	seen := map[string]bool{}
+	for _, p := range policies {
+		if p.Name() == "" || seen[p.Name()] {
+			t.Fatalf("bad or duplicate policy name %q", p.Name())
+		}
+		seen[p.Name()] = true
+		if p.MaxRows() < 1 {
+			t.Fatalf("%s MaxRows < 1", p.Name())
+		}
+	}
+	if (EASYBackfill{}).MaxRows() != 1 || !(EASYBackfill{}).Coordinated() {
+		t.Fatal("EASY metadata wrong")
+	}
+	if (ImplicitCosched{MPL: 3}).MaxRows() != 3 {
+		t.Fatal("ICS MaxRows wrong")
+	}
+}
+
+func TestBCSDispatchPlacesFCFS(t *testing.T) {
+	m := NewMatrix(8, 2)
+	q := &Queue{}
+	q.Push(mkJob(1, 8))
+	q.Push(mkJob(2, 8))
+	q.Push(mkJob(3, 8))
+	started := BCS{MPL: 2}.Dispatch(0, q, m)
+	if len(started) != 2 || started[0].ID != 1 {
+		t.Fatalf("BCS dispatch = %v", started)
+	}
+}
+
+func TestImplicitCoschedDispatch(t *testing.T) {
+	m := NewMatrix(8, 2)
+	q := &Queue{}
+	q.Push(mkJob(1, 4))
+	q.Push(mkJob(2, 4))
+	started := ImplicitCosched{MPL: 2}.Dispatch(0, q, m)
+	if len(started) != 2 {
+		t.Fatalf("ICS dispatch started %d", len(started))
+	}
+}
+
+func TestEASYUnknownEstimateNeverAssumed(t *testing.T) {
+	m := NewMatrix(8, 1)
+	q := &Queue{}
+	running := mkJob(99, 8) // no estimate: shadow time unknown
+	m.TryPlace(running)
+	head := mkJob(1, 8)
+	head.EstRuntime = sim.Second
+	filler := mkJob(2, 2)
+	filler.EstRuntime = sim.Second
+	q.Push(head)
+	q.Push(filler)
+	// With an unknown-estimate running job and zero free nodes, nothing
+	// can start; the policy must not invent a shadow time.
+	if started := (EASYBackfill{}).Dispatch(0, q, m); len(started) != 0 {
+		t.Fatalf("dispatched %v against an unknown shadow", started)
+	}
+}

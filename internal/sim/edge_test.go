@@ -1,0 +1,170 @@
+package sim
+
+import "testing"
+
+func TestKillSelfPanics(t *testing.T) {
+	e := NewEnv()
+	panicked := false
+	e.Spawn("suicidal", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		// A process cannot kill itself; the kernel must reject it loudly
+		// rather than deadlock.
+		var self *Proc
+		self = p
+		e.Kill(self)
+	})
+	e.Run()
+	if !panicked {
+		t.Fatal("self-kill did not panic")
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	e := NewEnv()
+	panicked := false
+	e.Spawn("nested", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		e.Run() // reentrant: must panic, not corrupt the scheduler
+	})
+	e.Run()
+	if !panicked {
+		t.Fatal("reentrant Run did not panic")
+	}
+}
+
+func TestBlockingCallOutsideProcPanics(t *testing.T) {
+	e := NewEnv()
+	p := e.Spawn("idle", func(p *Proc) { p.Wait(Millisecond) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wait from outside the process goroutine did not panic")
+		}
+	}()
+	// Calling a blocking method from the test goroutine (kernel context)
+	// is a programming error the kernel detects.
+	p.Wait(Millisecond)
+}
+
+func TestNegativeWaitActsAsYield(t *testing.T) {
+	e := NewEnv()
+	var at Time = -1
+	e.Spawn("p", func(p *Proc) {
+		p.Wait(-5 * Second)
+		at = p.Now()
+	})
+	e.Run()
+	if at != 0 {
+		t.Fatalf("negative wait advanced time to %v", at)
+	}
+}
+
+func TestSpawnAfterNegativeDelay(t *testing.T) {
+	e := NewEnv()
+	ran := false
+	e.SpawnAfter(-Second, "p", func(p *Proc) { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay spawn never ran")
+	}
+}
+
+func TestEventsRunCounter(t *testing.T) {
+	e := NewEnv()
+	for i := 0; i < 5; i++ {
+		e.After(Millisecond, func() {})
+	}
+	e.Run()
+	if e.EventsRun() < 5 {
+		t.Fatalf("EventsRun = %d, want >= 5", e.EventsRun())
+	}
+}
+
+func TestAtSchedulesAbsolute(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	e.At(7*Millisecond, func() { at = e.Now() })
+	e.Run()
+	if at != 7*Millisecond {
+		t.Fatalf("At fired at %v", at)
+	}
+}
+
+func TestKillDeadProcIsNoop(t *testing.T) {
+	e := NewEnv()
+	p := e.Spawn("fleeting", func(p *Proc) {})
+	e.Run()
+	if !p.Dead() {
+		t.Fatal("process not dead after Run")
+	}
+	e.Kill(p) // must not panic or enqueue anything harmful
+	e.Kill(nil)
+	e.Run()
+}
+
+func TestProcNameAndEnv(t *testing.T) {
+	e := NewEnv()
+	var name string
+	var env *Env
+	p := e.Spawn("worker-7", func(p *Proc) {
+		name = p.Name()
+		env = p.Env()
+	})
+	e.Run()
+	if name != "worker-7" || env != e {
+		t.Fatalf("Name/Env wrong: %q %p", name, env)
+	}
+	_ = p
+}
+
+func TestResourceUseHelper(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("u", func(p *Proc) {
+			r.Use(p, 10*Millisecond)
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	if e.Now() != 30*Millisecond {
+		t.Fatalf("3 serialized 10ms uses ended at %v", e.Now())
+	}
+	if r.InUse() != 0 || r.QueueLen() != 0 {
+		t.Fatalf("resource not idle: inUse=%d queue=%d", r.InUse(), r.QueueLen())
+	}
+}
+
+func TestQueueLenAndOrderAcrossTimeouts(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue(e)
+	q.Put("a")
+	q.Put("b")
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	var got []string
+	e.Spawn("c", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			v, ok := q.GetTimeout(p, Second)
+			if !ok {
+				t.Error("timeout on non-empty queue")
+				return
+			}
+			got = append(got, v.(string))
+		}
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+}

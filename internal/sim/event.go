@@ -1,0 +1,132 @@
+package sim
+
+// Event is a virtual-time synchronization primitive with two modes:
+//
+//   - Counting (Signal): each Signal deposits one token; each Wait consumes
+//     one token, blocking until one is available. Tokens are delivered to
+//     waiters in FIFO order. This matches the semantics of Elan NIC events,
+//     which are signaled once per completed operation and consumed by the
+//     host that tests them.
+//
+//   - Latched (Broadcast): Broadcast wakes every current waiter and makes
+//     all future Waits return immediately. Used for one-shot conditions
+//     such as process termination.
+//
+// Events are created against an Env and must only be used by that Env's
+// processes.
+type Event struct {
+	env     *Env
+	count   int
+	latched bool
+	waiters []*waiter
+}
+
+// NewEvent returns an unsignaled event.
+func NewEvent(env *Env) *Event {
+	return &Event{env: env}
+}
+
+// Signal deposits one token, waking the oldest waiter (if any) at the
+// current timestamp. Callable from kernel or process context. A Signal
+// after Broadcast is a no-op.
+func (ev *Event) Signal() {
+	if ev.latched {
+		return
+	}
+	ev.count++
+	if len(ev.waiters) > 0 {
+		ev.env.schedule(ev.env.now, ev.dispatch)
+	}
+}
+
+// Broadcast latches the event: all current waiters wake and every future
+// Wait returns immediately.
+func (ev *Event) Broadcast() {
+	if ev.latched {
+		return
+	}
+	ev.latched = true
+	if len(ev.waiters) > 0 {
+		ev.env.schedule(ev.env.now, ev.dispatch)
+	}
+}
+
+// dispatch hands tokens to waiters in FIFO order. Runs in kernel context.
+func (ev *Event) dispatch() {
+	for len(ev.waiters) > 0 && (ev.latched || ev.count > 0) {
+		w := ev.waiters[0]
+		ev.waiters = ev.waiters[1:]
+		if w.fired || w.p.dead {
+			continue
+		}
+		if !ev.latched {
+			ev.count--
+		}
+		ev.env.wake(w, resumeMsg{ok: true})
+	}
+	ev.compact()
+}
+
+// compact drops already-fired waiters (e.g. timed-out ones) from the queue.
+func (ev *Event) compact() {
+	live := ev.waiters[:0]
+	for _, w := range ev.waiters {
+		if !w.fired && !w.p.dead {
+			live = append(live, w)
+		}
+	}
+	ev.waiters = live
+}
+
+// Pending reports how many tokens are currently deposited but unconsumed.
+func (ev *Event) Pending() int { return ev.count }
+
+// Latched reports whether Broadcast has been called.
+func (ev *Event) Latched() bool { return ev.latched }
+
+// Poll reports whether a Wait would return immediately, without consuming
+// anything. This is the non-blocking half of the paper's TEST-EVENT.
+func (ev *Event) Poll() bool { return ev.latched || ev.count > 0 }
+
+// TryWait consumes a token if one is available, without blocking.
+func (ev *Event) TryWait() bool {
+	if ev.latched {
+		return true
+	}
+	if ev.count > 0 {
+		ev.count--
+		return true
+	}
+	return false
+}
+
+// Wait blocks the calling process until a token is available (or the event
+// is latched) and consumes it. This is the blocking half of TEST-EVENT.
+func (ev *Event) Wait(p *Proc) {
+	if ev.TryWait() {
+		return
+	}
+	w := &waiter{p: p}
+	p.waiting = w
+	ev.waiters = append(ev.waiters, w)
+	p.park()
+}
+
+// WaitTimeout is Wait with a deadline: it returns true if a token was
+// consumed, false if the timeout elapsed first.
+func (ev *Event) WaitTimeout(p *Proc, d Time) bool {
+	if ev.TryWait() {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	w := &waiter{p: p}
+	p.waiting = w
+	ev.waiters = append(ev.waiters, w)
+	ev.env.schedule(ev.env.now+d, func() {
+		ev.env.wake(w, resumeMsg{ok: false})
+	})
+	msg := p.park()
+	return msg.ok
+}

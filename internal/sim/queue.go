@@ -1,0 +1,53 @@
+package sim
+
+// Queue is an unbounded FIFO message queue in virtual time — the mailbox
+// abstraction the simulated dæmons use to receive control messages.
+// Messages become visible to receivers at the timestamp they were Put.
+type Queue struct {
+	ev    *Event
+	items []interface{}
+}
+
+// NewQueue returns an empty queue.
+func NewQueue(env *Env) *Queue {
+	return &Queue{ev: NewEvent(env)}
+}
+
+// Put appends an item, waking one blocked receiver if any.
+func (q *Queue) Put(item interface{}) {
+	q.items = append(q.items, item)
+	q.ev.Signal()
+}
+
+// Get blocks the calling process until an item is available and returns
+// the oldest one.
+func (q *Queue) Get(p *Proc) interface{} {
+	q.ev.Wait(p)
+	item := q.items[0]
+	q.items = q.items[1:]
+	return item
+}
+
+// GetTimeout is Get with a deadline; the second result is false if the
+// timeout elapsed with no item available.
+func (q *Queue) GetTimeout(p *Proc, d Time) (interface{}, bool) {
+	if !q.ev.WaitTimeout(p, d) {
+		return nil, false
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}
+
+// TryGet returns an item without blocking, or (nil, false) if empty.
+func (q *Queue) TryGet() (interface{}, bool) {
+	if !q.ev.TryWait() {
+		return nil, false
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }

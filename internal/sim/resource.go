@@ -1,0 +1,93 @@
+package sim
+
+// Resource is a FIFO counting semaphore in virtual time, used to model
+// contended hardware: a PCI bus, a disk arm, an NFS server's service
+// capacity, a network link.
+type Resource struct {
+	env      *Env
+	capacity int
+	inUse    int
+	waiters  []*waiter
+}
+
+// NewResource returns a resource with the given capacity (number of
+// simultaneous holders). Capacity must be positive.
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: env, capacity: capacity}
+}
+
+// Acquire blocks the calling process until a unit is available, then
+// claims it. Units are granted in request order.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	w := &waiter{p: p}
+	p.waiting = w
+	r.waiters = append(r.waiters, w)
+	p.park()
+}
+
+// TryAcquire claims a unit if one is immediately available.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns a unit and hands it to the oldest waiter, if any.
+// The handoff happens through the event queue at the current timestamp,
+// preserving deterministic ordering.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release without matching Acquire")
+	}
+	r.inUse--
+	r.dispatchLater()
+}
+
+func (r *Resource) dispatchLater() {
+	if len(r.waiters) > 0 {
+		r.env.schedule(r.env.now, r.dispatch)
+	}
+}
+
+func (r *Resource) dispatch() {
+	for r.inUse < r.capacity && len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		if w.fired || w.p.dead {
+			continue
+		}
+		r.inUse++
+		r.env.wake(w, resumeMsg{ok: true})
+	}
+}
+
+// Use acquires the resource, holds it for d of virtual time, and releases
+// it: the common "occupy the bus for the transfer duration" idiom.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Wait(d)
+	r.Release()
+}
+
+// InUse returns the number of currently-held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int {
+	n := 0
+	for _, w := range r.waiters {
+		if !w.fired && !w.p.dead {
+			n++
+		}
+	}
+	return n
+}

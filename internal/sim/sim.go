@@ -1,0 +1,406 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// The STORM reproduction simulates a 64-node/256-processor cluster on a
+// single machine, so all protocol code (dæmons, NIC engines, filesystem
+// servers, applications) runs as simulation processes in virtual time.
+//
+// Design:
+//
+//   - Each simulation process is a goroutine, but exactly one simulation
+//     goroutine executes at any instant: the kernel hands control to a
+//     process and waits for it to park (block in virtual time) or terminate
+//     before advancing. There is therefore no data race between simulation
+//     processes by construction, and no locking is needed in model code.
+//
+//   - Every wakeup flows through a single event queue ordered by
+//     (virtual time, sequence number). Runs are bit-reproducible: the same
+//     model and seed produce the same trace on every platform.
+//
+//   - Virtual time is an int64 nanosecond count (Time). Helpers convert
+//     from float64 seconds, always rounding the same way.
+//
+// The style follows process-oriented simulators such as SimPy: model code
+// reads top-to-bottom ("transfer chunk; wait for DMA; signal event") rather
+// than as a web of callbacks, which matters because the STORM protocols are
+// genuinely sequential programs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual-time instant in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common durations, usable as multipliers: 5 * sim.Millisecond.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a Time to float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts a Time to float64 milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds converts a Time to float64 microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	}
+}
+
+// FromSeconds converts float64 seconds to a Time, rounding to the nearest
+// nanosecond. Negative and NaN durations are clamped to zero.
+func FromSeconds(s float64) Time {
+	if s <= 0 || math.IsNaN(s) {
+		return 0
+	}
+	return Time(math.Round(s * float64(Second)))
+}
+
+// FromMicroseconds converts float64 microseconds to a Time.
+func FromMicroseconds(us float64) Time { return FromSeconds(us * 1e-6) }
+
+// FromMilliseconds converts float64 milliseconds to a Time.
+func FromMilliseconds(ms float64) Time { return FromSeconds(ms * 1e-3) }
+
+// event is one pending queue entry.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled callback that can be canceled.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from running. It is safe to call
+// after the timer has fired (a no-op) and more than once.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Env is a simulation environment: a virtual clock, an event queue, and
+// the set of live processes. Create with NewEnv; drive with Run.
+type Env struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	yield   chan struct{}
+	procs   map[int]*Proc
+	idCtr   int
+	current *Proc
+	running bool
+
+	eventsRun uint64
+}
+
+// NewEnv returns an empty environment at time zero.
+func NewEnv() *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		procs: make(map[int]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// EventsRun returns the total number of queue events dispatched so far,
+// a cheap proxy for simulation effort.
+func (e *Env) EventsRun() uint64 { return e.eventsRun }
+
+// schedule inserts a callback at absolute time at (clamped to now).
+func (e *Env) schedule(at Time, fn func()) *event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run after delay d of virtual time and returns a
+// cancelable Timer. fn runs in kernel context and must not park; use Spawn
+// for code that needs to wait.
+func (e *Env) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return &Timer{ev: e.schedule(e.now+d, fn)}
+}
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (e *Env) At(t Time, fn func()) *Timer {
+	return &Timer{ev: e.schedule(t, fn)}
+}
+
+// Run dispatches events until the queue is empty. Model code typically
+// spawns its processes first, then calls Run once.
+func (e *Env) Run() { e.RunUntil(-1) }
+
+// RunUntil dispatches events with timestamps <= until (or all events when
+// until < 0). Events beyond the horizon remain queued. On return with a
+// non-negative horizon, the clock reads exactly until.
+func (e *Env) RunUntil(until Time) {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if until >= 0 && ev.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.eventsRun++
+		ev.fn()
+	}
+	if until >= 0 && e.now < until {
+		e.now = until
+	}
+}
+
+// killSentinel is the panic value used to unwind force-terminated processes.
+type killSentinel struct{}
+
+// resumeMsg is what a parked process receives when resumed. ok carries
+// "condition satisfied" (true) vs. "timed out" (false).
+type resumeMsg struct {
+	kill bool
+	ok   bool
+}
+
+// waiter guards one park: the first wake wins, later wakes are no-ops.
+// This makes timeouts, signals, and kills race-free.
+type waiter struct {
+	p     *Proc
+	fired bool
+}
+
+// wake resumes the waiter's process if it has not been woken already.
+// Runs in kernel context.
+func (e *Env) wake(w *waiter, msg resumeMsg) {
+	if w.fired || w.p.dead {
+		return
+	}
+	w.fired = true
+	e.switchTo(w.p, msg)
+}
+
+// Proc is a simulation process: a goroutine interleaved with others in
+// virtual time. All blocking Proc methods must be called from the
+// process's own goroutine.
+type Proc struct {
+	env     *Env
+	name    string
+	id      int
+	resume  chan resumeMsg
+	done    *Event
+	dead    bool
+	waiting *waiter // guard for the current park, if any
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Done returns an Event signaled exactly once when the process terminates.
+func (p *Proc) Done() *Event { return p.done }
+
+// Dead reports whether the process has terminated.
+func (p *Proc) Dead() bool { return p.dead }
+
+// Spawn creates a process running fn, starting at the current virtual time
+// (after already-queued events at this timestamp).
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAfter(0, name, fn)
+}
+
+// SpawnAfter creates a process that starts running fn after delay d.
+func (e *Env) SpawnAfter(d Time, name string, fn func(p *Proc)) *Proc {
+	if d < 0 {
+		d = 0
+	}
+	e.idCtr++
+	p := &Proc{
+		env:    e,
+		name:   name,
+		id:     e.idCtr,
+		resume: make(chan resumeMsg),
+	}
+	p.done = NewEvent(e)
+	e.procs[p.id] = p
+	go func() {
+		msg := <-p.resume
+		if !msg.kill {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(killSentinel); !ok {
+							panic(r)
+						}
+					}
+				}()
+				fn(p)
+			}()
+		}
+		p.dead = true
+		delete(e.procs, p.id)
+		p.done.Broadcast()
+		e.yield <- struct{}{}
+	}()
+	// The start is guarded like any park so that a Kill issued before the
+	// start event dispatches does not leave a dangling resume.
+	w := &waiter{p: p}
+	p.waiting = w
+	e.schedule(e.now+d, func() { e.wake(w, resumeMsg{ok: true}) })
+	return p
+}
+
+// switchTo transfers control to process p and waits until it parks or
+// terminates. Runs in kernel context.
+func (e *Env) switchTo(p *Proc, msg resumeMsg) {
+	prev := e.current
+	e.current = p
+	p.resume <- msg
+	<-e.yield
+	e.current = prev
+}
+
+// park blocks the calling process until its current waiter is woken,
+// returning the resume payload. p.waiting must be set by the caller.
+func (p *Proc) park() resumeMsg {
+	if p.env.current != p {
+		panic("sim: blocking call from outside the process's goroutine")
+	}
+	p.env.yield <- struct{}{}
+	msg := <-p.resume
+	p.waiting = nil
+	if msg.kill {
+		panic(killSentinel{})
+	}
+	return msg
+}
+
+// Wait suspends the process for d of virtual time. Negative durations are
+// treated as zero (the process yields and resumes at the same timestamp,
+// after already-queued events).
+func (p *Proc) Wait(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.WaitUntil(p.env.now + d)
+}
+
+// WaitUntil suspends the process until absolute virtual time t.
+func (p *Proc) WaitUntil(t Time) {
+	e := p.env
+	w := &waiter{p: p}
+	p.waiting = w
+	e.schedule(t, func() { e.wake(w, resumeMsg{ok: true}) })
+	p.park()
+}
+
+// Yield lets all other events queued at the current timestamp run first.
+func (p *Proc) Yield() { p.Wait(0) }
+
+// Kill force-terminates a process at the next safe point (it unwinds via
+// panic/recover, so the process's deferred functions run). Killing a dead
+// process is a no-op. A process must not kill itself.
+func (e *Env) Kill(p *Proc) {
+	if p == nil || p.dead {
+		return
+	}
+	if e.current == p {
+		panic("sim: process cannot Kill itself")
+	}
+	e.schedule(e.now, func() {
+		if p.dead {
+			return
+		}
+		if p.waiting != nil {
+			// Claim the park so any pending timer/signal wake becomes a no-op.
+			p.waiting.fired = true
+		}
+		e.switchTo(p, resumeMsg{kill: true})
+	})
+}
+
+// Shutdown force-terminates all live processes and drains their wakeups.
+// Call after Run to release goroutines from simulations that ended with
+// processes still parked (e.g. servers waiting for requests).
+func (e *Env) Shutdown() {
+	for len(e.procs) > 0 {
+		for _, p := range e.procs {
+			e.Kill(p)
+		}
+		e.RunUntil(e.now)
+	}
+}
+
+// LiveProcs returns the number of live (not yet terminated) processes.
+func (e *Env) LiveProcs() int { return len(e.procs) }

@@ -1,0 +1,544 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if FromMilliseconds(2) != 2*Millisecond {
+		t.Fatalf("FromMilliseconds(2) = %v", FromMilliseconds(2))
+	}
+	if FromMicroseconds(300) != 300*Microsecond {
+		t.Fatalf("FromMicroseconds(300) = %v", FromMicroseconds(300))
+	}
+	if FromSeconds(-3) != 0 {
+		t.Fatal("negative seconds not clamped")
+	}
+	if got := (96 * Millisecond).Seconds(); got != 0.096 {
+		t.Fatalf("Seconds() = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		500 * Nanosecond:   "500ns",
+		300 * Microsecond:  "300.000us",
+		50 * Millisecond:   "50.000ms",
+		2500 * Millisecond: "2.500000s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestAfterOrdering(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	e.After(30*Millisecond, func() { order = append(order, 3) })
+	e.After(10*Millisecond, func() { order = append(order, 1) })
+	e.After(20*Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30*Millisecond {
+		t.Fatalf("final time = %v", e.Now())
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEnv()
+	fired := false
+	tm := e.After(Millisecond, func() { fired = true })
+	tm.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+	tm.Cancel() // double-cancel is a no-op
+}
+
+func TestProcWait(t *testing.T) {
+	e := NewEnv()
+	var stamps []Time
+	e.Spawn("p", func(p *Proc) {
+		stamps = append(stamps, p.Now())
+		p.Wait(5 * Millisecond)
+		stamps = append(stamps, p.Now())
+		p.Wait(10 * Millisecond)
+		stamps = append(stamps, p.Now())
+	})
+	e.Run()
+	want := []Time{0, 5 * Millisecond, 15 * Millisecond}
+	for i := range want {
+		if stamps[i] != want[i] {
+			t.Fatalf("stamps = %v, want %v", stamps, want)
+		}
+	}
+}
+
+func TestSpawnAfter(t *testing.T) {
+	e := NewEnv()
+	var started Time = -1
+	e.SpawnAfter(7*Millisecond, "late", func(p *Proc) { started = p.Now() })
+	e.Run()
+	if started != 7*Millisecond {
+		t.Fatalf("started at %v", started)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEnv()
+	count := 0
+	e.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Wait(Millisecond)
+			count++
+		}
+	})
+	e.RunUntil(10 * Millisecond)
+	if count != 10 {
+		t.Fatalf("count = %d after 10ms horizon", count)
+	}
+	if e.Now() != 10*Millisecond {
+		t.Fatalf("Now = %v", e.Now())
+	}
+	e.RunUntil(20 * Millisecond)
+	if count != 20 {
+		t.Fatalf("count = %d after 20ms horizon", count)
+	}
+	e.Shutdown()
+}
+
+func TestEventCounting(t *testing.T) {
+	e := NewEnv()
+	ev := NewEvent(e)
+	got := 0
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			ev.Wait(p)
+			got++
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Wait(Millisecond)
+			ev.Signal()
+		}
+	})
+	e.Run()
+	if got != 3 {
+		t.Fatalf("consumed %d signals", got)
+	}
+}
+
+func TestEventTokensAreNotLost(t *testing.T) {
+	e := NewEnv()
+	ev := NewEvent(e)
+	// Signals deposited before anyone waits must be consumable later.
+	ev.Signal()
+	ev.Signal()
+	if ev.Pending() != 2 {
+		t.Fatalf("Pending = %d", ev.Pending())
+	}
+	got := 0
+	e.Spawn("late-consumer", func(p *Proc) {
+		ev.Wait(p)
+		got++
+		ev.Wait(p)
+		got++
+	})
+	e.Run()
+	if got != 2 {
+		t.Fatalf("consumed %d of 2 pre-deposited tokens", got)
+	}
+}
+
+func TestEventFIFOWakeup(t *testing.T) {
+	e := NewEnv()
+	ev := NewEvent(e)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Wait(Time(i) * Microsecond) // register in a known order
+			ev.Wait(p)
+			order = append(order, i)
+		})
+	}
+	e.Spawn("signaler", func(p *Proc) {
+		p.Wait(Millisecond)
+		for i := 0; i < 5; i++ {
+			ev.Signal()
+		}
+	})
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("wakeup order = %v", order)
+		}
+	}
+}
+
+func TestEventBroadcast(t *testing.T) {
+	e := NewEnv()
+	ev := NewEvent(e)
+	woke := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *Proc) {
+			ev.Wait(p)
+			woke++
+		})
+	}
+	e.Spawn("b", func(p *Proc) {
+		p.Wait(Millisecond)
+		ev.Broadcast()
+	})
+	e.Run()
+	if woke != 4 {
+		t.Fatalf("broadcast woke %d of 4", woke)
+	}
+	if !ev.Poll() {
+		t.Fatal("latched event does not poll true")
+	}
+	// Future waits return immediately.
+	e2 := NewEnv()
+	ev2 := NewEvent(e2)
+	ev2.Broadcast()
+	doneAt := Time(-1)
+	e2.Spawn("late", func(p *Proc) {
+		ev2.Wait(p)
+		doneAt = p.Now()
+	})
+	e2.Run()
+	if doneAt != 0 {
+		t.Fatalf("wait after broadcast completed at %v", doneAt)
+	}
+}
+
+func TestEventWaitTimeout(t *testing.T) {
+	e := NewEnv()
+	ev := NewEvent(e)
+	var okResult, timeoutResult bool
+	var timeoutAt Time
+	e.Spawn("timeout", func(p *Proc) {
+		timeoutResult = ev.WaitTimeout(p, 3*Millisecond)
+		timeoutAt = p.Now()
+	})
+	e.Spawn("winner", func(p *Proc) {
+		p.Wait(10 * Millisecond)
+		ok := ev.WaitTimeout(p, 50*Millisecond)
+		okResult = ok
+	})
+	e.Spawn("signaler", func(p *Proc) {
+		p.Wait(20 * Millisecond)
+		ev.Signal()
+	})
+	e.Run()
+	if timeoutResult {
+		t.Fatal("expected timeout, got signal")
+	}
+	if timeoutAt != 3*Millisecond {
+		t.Fatalf("timeout fired at %v", timeoutAt)
+	}
+	if !okResult {
+		t.Fatal("expected signal before timeout")
+	}
+}
+
+func TestTimedOutWaiterDoesNotConsumeToken(t *testing.T) {
+	e := NewEnv()
+	ev := NewEvent(e)
+	got := false
+	e.Spawn("quitter", func(p *Proc) {
+		ev.WaitTimeout(p, Millisecond)
+	})
+	e.Spawn("patient", func(p *Proc) {
+		p.Wait(2 * Millisecond)
+		got = ev.WaitTimeout(p, 10*Millisecond)
+	})
+	e.Spawn("signaler", func(p *Proc) {
+		p.Wait(5 * Millisecond)
+		ev.Signal()
+	})
+	e.Run()
+	if !got {
+		t.Fatal("token lost to a timed-out waiter")
+	}
+}
+
+func TestKill(t *testing.T) {
+	e := NewEnv()
+	reached := false
+	cleaned := false
+	p := e.Spawn("victim", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Wait(100 * Millisecond)
+		reached = true
+	})
+	e.Spawn("killer", func(kp *Proc) {
+		kp.Wait(Millisecond)
+		e.Kill(p)
+	})
+	e.Run()
+	if reached {
+		t.Fatal("killed process continued past Wait")
+	}
+	if !cleaned {
+		t.Fatal("killed process's defers did not run")
+	}
+	if !p.Dead() {
+		t.Fatal("killed process not marked dead")
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d", e.LiveProcs())
+	}
+}
+
+func TestKillBeforeStart(t *testing.T) {
+	e := NewEnv()
+	started := false
+	p := e.SpawnAfter(10*Millisecond, "late", func(p *Proc) { started = true })
+	e.Spawn("killer", func(kp *Proc) { e.Kill(p) })
+	e.Run()
+	if started {
+		t.Fatal("process killed before start still ran")
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d", e.LiveProcs())
+	}
+}
+
+func TestDoneEvent(t *testing.T) {
+	e := NewEnv()
+	p := e.Spawn("worker", func(p *Proc) { p.Wait(5 * Millisecond) })
+	var joinedAt Time = -1
+	e.Spawn("joiner", func(j *Proc) {
+		p.Done().Wait(j)
+		joinedAt = j.Now()
+	})
+	e.Run()
+	if joinedAt != 5*Millisecond {
+		t.Fatalf("joined at %v", joinedAt)
+	}
+}
+
+func TestShutdownReleasesBlockedProcs(t *testing.T) {
+	e := NewEnv()
+	ev := NewEvent(e)
+	for i := 0; i < 10; i++ {
+		e.Spawn("stuck", func(p *Proc) { ev.Wait(p) })
+	}
+	e.Run()
+	if e.LiveProcs() != 10 {
+		t.Fatalf("LiveProcs before shutdown = %d", e.LiveProcs())
+	}
+	e.Shutdown()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs after shutdown = %d", e.LiveProcs())
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 1)
+	active, maxActive := 0, 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("user", func(p *Proc) {
+			r.Acquire(p)
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			p.Wait(Millisecond)
+			active--
+			r.Release()
+		})
+	}
+	e.Run()
+	if maxActive != 1 {
+		t.Fatalf("maxActive = %d with capacity 1", maxActive)
+	}
+	if e.Now() != 5*Millisecond {
+		t.Fatalf("serialized holders should end at 5ms, got %v", e.Now())
+	}
+}
+
+func TestResourceCapacity(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 3)
+	var end Time
+	for i := 0; i < 6; i++ {
+		e.Spawn("user", func(p *Proc) {
+			r.Use(p, 10*Millisecond)
+			end = p.Now()
+		})
+	}
+	e.Run()
+	if end != 20*Millisecond {
+		t.Fatalf("6 users, capacity 3, 10ms each should end at 20ms, got %v", end)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 1)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.SpawnAfter(Time(i)*Microsecond, "u", func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, i)
+			p.Wait(Millisecond)
+			r.Release()
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order = %v", order)
+		}
+	}
+}
+
+func TestResourceReleasePanicsWhenFree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release on free resource did not panic")
+		}
+	}()
+	e := NewEnv()
+	NewResource(e, 1).Release()
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, 1)
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire on free resource failed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("TryAcquire on held resource succeeded")
+	}
+	r.Release()
+	e.Run()
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire after release failed")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue(e)
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p).(int))
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Wait(Millisecond)
+			q.Put(i)
+		}
+	})
+	e.Run()
+	if fmt.Sprint(got) != "[0 1 2]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueGetTimeout(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue(e)
+	var ok bool
+	e.Spawn("c", func(p *Proc) {
+		_, ok = q.GetTimeout(p, Millisecond)
+	})
+	e.Run()
+	if ok {
+		t.Fatal("GetTimeout on empty queue returned ok")
+	}
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue returned ok")
+	}
+}
+
+// TestDeterminism runs a randomized workload twice with the same seed and
+// requires identical traces — the core reproducibility guarantee.
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64) string {
+		e := NewEnv()
+		r := rng.New(seed)
+		ev := NewEvent(e)
+		res := NewResource(e, 2)
+		trace := ""
+		for i := 0; i < 20; i++ {
+			i := i
+			d := Time(r.Intn(1000)) * Microsecond
+			e.SpawnAfter(d, fmt.Sprintf("p%d", i), func(p *Proc) {
+				res.Acquire(p)
+				p.Wait(Time(r.Intn(100)) * Microsecond)
+				trace += fmt.Sprintf("%d@%v;", i, p.Now())
+				res.Release()
+				if i%3 == 0 {
+					ev.Signal()
+				} else if i%3 == 1 {
+					ev.WaitTimeout(p, Millisecond)
+				}
+			})
+		}
+		e.Run()
+		e.Shutdown()
+		return trace
+	}
+	a, b := run(99), run(99)
+	if a != b {
+		t.Fatalf("same seed produced different traces:\n%s\n%s", a, b)
+	}
+	if c := run(100); c == a {
+		t.Fatal("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func BenchmarkEventDispatch(b *testing.B) {
+	e := NewEnv()
+	e.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkSpawn(b *testing.B) {
+	e := NewEnv()
+	for i := 0; i < b.N; i++ {
+		e.Spawn("p", func(p *Proc) {})
+	}
+	e.Run()
+}

@@ -1,0 +1,148 @@
+package storm
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func cancelCfg(nodes int) Config {
+	cfg := DefaultConfig(nodes)
+	cfg.Timeslice = 5 * sim.Millisecond
+	cfg.StartNoise = false
+	return cfg
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	env := sim.NewEnv()
+	s := New(env, cancelCfg(4))
+	// Fill the matrix (MPL 2) so the third job stays queued.
+	prog := workload.Synthetic{Total: sim.Second}
+	a := s.Submit(&job.Job{Name: "a", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+	b := s.Submit(&job.Job{Name: "b", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+	q := s.Submit(&job.Job{Name: "queued", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+	env.RunUntil(100 * sim.Millisecond)
+	if q.State != job.Queued {
+		t.Fatalf("third job state = %v, want queued", q.State)
+	}
+	s.Cancel(q)
+	s.RunUntilDone(q)
+	if q.State != job.Canceled {
+		t.Fatalf("state = %v, want canceled", q.State)
+	}
+	if q.FirstRun != 0 {
+		t.Fatal("canceled queued job ran")
+	}
+	s.RunUntilDone(a, b)
+	defer s.Shutdown()
+	if a.State != job.Finished || b.State != job.Finished {
+		t.Fatal("other jobs disturbed by cancellation")
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	env := sim.NewEnv()
+	s := New(env, cancelCfg(4))
+	long := s.Submit(&job.Job{
+		Name: "long", BinaryBytes: 100_000, NodesWanted: 4, PEsPerNode: 2,
+		Program: workload.Synthetic{Total: 100 * sim.Second},
+	})
+	env.RunUntil(200 * sim.Millisecond)
+	if long.State != job.Running {
+		t.Fatalf("state = %v, want running", long.State)
+	}
+	s.Cancel(long)
+	end := s.RunUntilDone(long)
+	defer s.Shutdown()
+	if long.State != job.Canceled {
+		t.Fatalf("state = %v, want canceled", long.State)
+	}
+	if end.Seconds() > 1 {
+		t.Fatalf("cancellation took %.2fs", end.Seconds())
+	}
+	// The space must be reusable immediately.
+	next := s.Submit(&job.Job{Name: "next", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1})
+	s.RunUntilDone(next)
+	if next.State != job.Finished {
+		t.Fatalf("follow-up job state = %v", next.State)
+	}
+	// No leaked busy PLs.
+	for i := 0; i < 4; i++ {
+		for _, pl := range s.NM(i).PLs() {
+			if pl.Busy() {
+				t.Fatalf("node %d PL still busy after cancel", i)
+			}
+		}
+	}
+}
+
+func TestCancelDuringTransfer(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := cancelCfg(8)
+	s := New(env, cfg)
+	big := s.Submit(&job.Job{Name: "big", BinaryBytes: 12_000_000, NodesWanted: 8, PEsPerNode: 1})
+	// A 12 MB transfer takes ~100 ms; cancel at 20 ms.
+	env.RunUntil(20 * sim.Millisecond)
+	if big.State != job.Transferring {
+		t.Fatalf("state = %v, want transferring", big.State)
+	}
+	s.Cancel(big)
+	s.RunUntilDone(big)
+	defer s.Shutdown()
+	if big.State != job.Canceled {
+		t.Fatalf("state = %v, want canceled", big.State)
+	}
+	if big.EndTime.Seconds() > 0.12 {
+		t.Fatalf("transfer cancel took until %v", big.EndTime)
+	}
+	if err := s.MM().Matrix().CheckInvariants(); err != nil {
+		t.Fatalf("matrix corrupted: %v", err)
+	}
+}
+
+func TestCancelOneGangLeavesOther(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := cancelCfg(4)
+	cfg.Policy = sched.GangFCFS{MPL: 2}
+	s := New(env, cfg)
+	victim := s.Submit(&job.Job{
+		Name: "victim", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1,
+		Program: workload.Synthetic{Total: 100 * sim.Second},
+	})
+	survivor := s.Submit(&job.Job{
+		Name: "survivor", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1,
+		Program: workload.Synthetic{Total: 500 * sim.Millisecond},
+	})
+	env.RunUntil(100 * sim.Millisecond)
+	s.Cancel(victim)
+	s.RunUntilDone(victim, survivor)
+	defer s.Shutdown()
+	if victim.State != job.Canceled {
+		t.Fatalf("victim state = %v", victim.State)
+	}
+	if survivor.State != job.Finished {
+		t.Fatalf("survivor state = %v", survivor.State)
+	}
+	// After the cancel the survivor owns the machine: its total wall time
+	// must be well below strict 50/50 sharing of its 0.5s demand.
+	wall := (survivor.LastExit - survivor.FirstRun).Seconds()
+	if wall > 0.85 {
+		t.Errorf("survivor wall %.2fs; cancellation did not return the timeslots", wall)
+	}
+}
+
+func TestCancelFinishedJobIsNoop(t *testing.T) {
+	env := sim.NewEnv()
+	s := New(env, cancelCfg(2))
+	j := s.Submit(&job.Job{Name: "quick", BinaryBytes: 1000, NodesWanted: 2, PEsPerNode: 1})
+	s.RunUntilDone(j)
+	defer s.Shutdown()
+	s.Cancel(j)
+	env.RunUntil(env.Now() + 100*sim.Millisecond)
+	if j.State != job.Finished {
+		t.Fatalf("state changed to %v after post-completion cancel", j.State)
+	}
+}

@@ -1,0 +1,177 @@
+// Package storm implements the STORM resource-management framework of the
+// paper: the Machine Manager (MM), Node Manager (NM), and Program Launcher
+// (PL) dæmons (paper Table 2), expressed entirely in terms of the three
+// STORM mechanisms (XFER-AND-SIGNAL, TEST-EVENT, COMPARE-AND-WRITE) plus
+// the helper layers of paper Fig. 1 (flow control, queue management).
+//
+// The same dæmon code runs over any mech.Domain; experiments instantiate
+// it on the simulated QsNET (hardware mechanisms) or on the software-tree
+// emulation for the commodity-network ablation.
+package storm
+
+import (
+	"repro/internal/fsim"
+	"repro/internal/netmodel"
+	"repro/internal/nodeos"
+	"repro/internal/qsnet"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Config collects every tunable of a STORM instance. Defaults are
+// calibrated to the paper's 64-node ES40/QsNET cluster (its Table 3) and
+// to the component measurements in its §3.3.1.
+type Config struct {
+	// Nodes is the number of compute nodes. The management node hosting
+	// the MM is an additional node (the paper's binary transfer "does not
+	// include the source node").
+	Nodes int
+	// OS configures each node's operating system model.
+	OS nodeos.Config
+	// Net configures the fabric; Net.Nodes is derived (Nodes+1).
+	Net qsnet.Config
+	// MgmtFS is the filesystem binaries are read from on the management
+	// node (paper default: RAM disk).
+	MgmtFS fsim.Config
+	// NodeFS is the per-compute-node filesystem binaries are written to
+	// (RAM disk).
+	NodeFS fsim.Config
+	// Policy is the scheduling policy (default gang FCFS, MPL 2).
+	Policy sched.Policy
+
+	// Timeslice is the gang-scheduling quantum; the MM issues commands
+	// and collects events only on timeslice boundaries (paper §3.1.1).
+	Timeslice sim.Time
+
+	// ChunkBytes is the file-transfer fragment size; Slots is the length
+	// of the per-node receive queue (multi-buffering). Paper Fig. 8 finds
+	// 4 slots of 512 KB optimal.
+	ChunkBytes int64
+	Slots      int
+
+	// SrcBuffers is the number of read-ahead buffers on the management
+	// node (the read/broadcast overlap of the paper's pipeline).
+	SrcBuffers int
+
+	// XferLoc places the transfer staging buffers in main or NIC memory.
+	// The paper's bandwidth inequality (its Eq. 1 discussion) picks main
+	// memory: min(218, 175) beats min(120, 312).
+	XferLoc qsnet.BufferLoc
+
+	// Host lightweight-process cost per fragment on the MM side
+	// (servicing NIC TLB misses and file access): alpha + beta·chunk.
+	// This is what erodes 175 MB/s to the measured 131 MB/s (§3.3.1).
+	MMHostAlpha   sim.Time
+	MMHostBetaNsB float64 // ns per byte
+
+	// NIC TLB behavior: when slots × chunk exceeds TLBCoverage, each
+	// fragment pays extra host service time proportional to the excess
+	// footprint (why 16 slots of 1 MB underperform in Fig. 8).
+	TLBCoverage   int64
+	TLBPenaltyNsB float64
+
+	// NM-side cost per fragment (receive bookkeeping before the write):
+	// alpha + beta·chunk.
+	NMFragAlpha   sim.Time
+	NMFragBetaNsB float64
+
+	// Dæmon processing costs (CPU work on the dæmon's processor).
+	MMTickCPU    sim.Time // MM per-timeslice bookkeeping
+	NMStrobeCPU  sim.Time // NM processing of one strobe that switches rows
+	NMStrobeIdle sim.Time // NM processing of a strobe with nothing to switch
+	NMLaunchCPU  sim.Time // NM processing of a launch command
+	NMTermCPU    sim.Time // NM processing of a local process exit
+
+	// CAWPoll is the retry interval of the flow-control COMPARE-AND-WRITE
+	// spin (paper §2.3: CAW "can detect if all nodes have processed a
+	// fragment").
+	CAWPoll sim.Time
+
+	// NMBacklogLimit flags the scheduler as overloaded when an NM's
+	// control queue exceeds this depth — the "NM cannot process the
+	// incoming control messages at the rate they arrive" wall below
+	// ~300 µs quanta (paper §3.2.1).
+	NMBacklogLimit int
+
+	// BarrierLatencyUs overrides the application barrier latency; zero
+	// derives it from the machine size (Fig. 9 model).
+	BarrierLatencyUs float64
+
+	// Seed drives all randomness (OS noise, filesystem jitter).
+	Seed uint64
+
+	// StartNoise enables per-CPU OS-noise dæmons (on by default through
+	// DefaultConfig; disable for exact-timing unit tests).
+	StartNoise bool
+}
+
+// DefaultConfig returns the paper-calibrated configuration for a cluster
+// of the given compute-node count.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:  nodes,
+		OS:     nodeos.DefaultConfig(),
+		Net:    qsnet.DefaultConfig(nodes + 1),
+		MgmtFS: fsim.DefaultConfig(fsim.RAMDisk),
+		NodeFS: fsim.DefaultConfig(fsim.RAMDisk),
+		Policy: sched.GangFCFS{MPL: 2},
+
+		Timeslice: 50 * sim.Millisecond,
+
+		ChunkBytes: 512 << 10,
+		Slots:      4,
+		SrcBuffers: 2,
+		XferLoc:    qsnet.MainMem,
+
+		MMHostAlpha:   66 * sim.Microsecond,
+		MMHostBetaNsB: 1.79,
+		TLBCoverage:   2 << 20,
+		TLBPenaltyNsB: 0.9,
+
+		NMFragAlpha:   80 * sim.Microsecond,
+		NMFragBetaNsB: 0.35,
+
+		MMTickCPU:    15 * sim.Microsecond,
+		NMStrobeCPU:  250 * sim.Microsecond,
+		NMStrobeIdle: 15 * sim.Microsecond,
+		NMLaunchCPU:  200 * sim.Microsecond,
+		NMTermCPU:    50 * sim.Microsecond,
+
+		CAWPoll:        100 * sim.Microsecond,
+		NMBacklogLimit: 64,
+
+		Seed:       1,
+		StartNoise: true,
+	}
+}
+
+// mmNode returns the network ID of the management node (the extra node
+// after the compute nodes).
+func (c Config) mmNode() int { return c.Nodes }
+
+// barrierLatency returns the application-barrier release latency for a
+// gang spanning n nodes.
+func (c Config) barrierLatency(n int) sim.Time {
+	us := c.BarrierLatencyUs
+	if us == 0 {
+		us = netmodel.BarrierLatencyUs(n)
+	}
+	return sim.FromMicroseconds(us)
+}
+
+// mmHostPerChunk is the management-side lightweight-process service time
+// per fragment, including the TLB-footprint penalty.
+func (c Config) mmHostPerChunk() sim.Time {
+	d := c.MMHostAlpha + sim.FromSeconds(c.MMHostBetaNsB*float64(c.ChunkBytes)*1e-9)
+	footprint := int64(c.Slots) * c.ChunkBytes
+	if footprint > c.TLBCoverage {
+		excess := float64(footprint-c.TLBCoverage) / float64(16<<20)
+		d += sim.FromSeconds(c.TLBPenaltyNsB * float64(c.ChunkBytes) * 1e-9 * excess)
+	}
+	return d
+}
+
+// nmFragCPU is the per-fragment NM-side processing cost.
+func (c Config) nmFragCPU() sim.Time {
+	return c.NMFragAlpha + sim.FromSeconds(c.NMFragBetaNsB*float64(c.ChunkBytes)*1e-9)
+}

@@ -1,0 +1,135 @@
+package storm
+
+import (
+	"sort"
+
+	"repro/internal/mech"
+	"repro/internal/qsnet"
+	"repro/internal/sim"
+)
+
+// FaultDetector implements the paper's fault-detection sketch (§4): the
+// master periodically multicasts a heartbeat with XFER-AND-SIGNAL and
+// queries receipt with COMPARE-AND-WRITE; a FALSE answer means some slave
+// missed the heartbeat, and the master then probes nodes individually to
+// isolate the failure.
+type FaultDetector struct {
+	sys    *System
+	node   mech.Node
+	period sim.Time
+	grace  sim.Time
+	onFail func(node int)
+
+	seq    int64
+	failed map[int]bool
+	proc   *sim.Proc
+
+	// Probes counts per-node isolation queries issued after a missed
+	// heartbeat.
+	Probes int
+}
+
+// EnableFaultRecovery starts heartbeat fault detection wired into the
+// Machine Manager: a detected node failure fails the jobs allocated on
+// that node, kills their surviving processes, and reclaims the space.
+// onFail (optional) is additionally invoked per failed node.
+func (s *System) EnableFaultRecovery(period, grace sim.Time, onFail func(node int)) *FaultDetector {
+	return s.StartFaultDetector(period, grace, func(node int) {
+		s.mm.NodeFailed(node)
+		if onFail != nil {
+			onFail(node)
+		}
+	})
+}
+
+// StartFaultDetector begins heartbeat-based failure detection with the
+// given multicast period. grace is how long after a ping the collective
+// receipt check runs (it must cover the multicast latency plus NM
+// processing). onFail runs once per newly-detected failed node.
+func (s *System) StartFaultDetector(period, grace sim.Time, onFail func(node int)) *FaultDetector {
+	fd := &FaultDetector{
+		sys:    s,
+		node:   s.dom.Node(s.cfg.mmNode()),
+		period: period,
+		grace:  grace,
+		onFail: onFail,
+		failed: make(map[int]bool),
+	}
+	fd.proc = s.env.Spawn("faultdetector", fd.run)
+	return fd
+}
+
+// Failed returns the IDs of nodes detected as failed, in ascending order.
+func (fd *FaultDetector) Failed() []int {
+	out := make([]int, 0, len(fd.failed))
+	for id := range fd.failed {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stop terminates the detector.
+func (fd *FaultDetector) Stop() { fd.sys.env.Kill(fd.proc) }
+
+func (fd *FaultDetector) run(p *sim.Proc) {
+	all := qsnet.Range(0, fd.sys.cfg.Nodes)
+	for {
+		fd.seq++
+		if len(fd.failed) > 0 {
+			// Known failures poison the atomic multicast (no node would
+			// receive it) — monitor the survivors individually until the
+			// operator removes the dead nodes from the machine.
+			fd.probeAll(p)
+			p.Wait(fd.period)
+			continue
+		}
+		// Ping: multicast the heartbeat; each healthy NM stores the
+		// sequence number in its global-memory window.
+		fd.node.XferAndSignal(all, 64, qsnet.MainMem, qsnet.MainMem,
+			hbMsg{Seq: fd.seq}, "", evNMCtrl)
+		p.Wait(fd.grace)
+		// Query: did everyone see it?
+		if !fd.node.CompareAndWrite(p, all, gvHeart, mech.GE, fd.seq, nil) {
+			// Someone missed a heartbeat. Because the multicast is atomic,
+			// a single dead node means NOBODY received this round's ping,
+			// so isolate by re-pinging each node individually (ordinary
+			// remote DMAs, off the multicast tree) and checking receipt.
+			fd.probeAll(p)
+		}
+		rest := fd.period - fd.grace
+		if rest < 0 {
+			rest = 0
+		}
+		p.Wait(rest)
+	}
+}
+
+// probeAll pings every not-yet-failed node individually and checks its
+// heartbeat variable, marking nodes that do not respond. The receipt
+// check retries until a deadline that covers the network's dead-node
+// timeout: an in-flight failed collective can hold the management node's
+// injection link for that long, delaying even healthy nodes' pings.
+func (fd *FaultDetector) probeAll(p *sim.Proc) {
+	for id := 0; id < fd.sys.cfg.Nodes; id++ {
+		if fd.failed[id] {
+			continue
+		}
+		fd.Probes++
+		one := qsnet.Range(id, 1)
+		fd.node.XferAndSignal(one, 64, qsnet.MainMem, qsnet.MainMem,
+			hbMsg{Seq: fd.seq}, "", evNMCtrl)
+		deadline := p.Now() + 2*fd.sys.net.Config().DeadNodeTimeout + 4*fd.grace
+		ok := false
+		for !ok && p.Now() < deadline {
+			p.Wait(fd.grace)
+			ok = fd.node.CompareAndWrite(p, one, gvHeart, mech.GE, fd.seq, nil)
+		}
+		if !ok {
+			fd.failed[id] = true
+			if fd.onFail != nil {
+				fd.onFail(id)
+			}
+		}
+	}
+}

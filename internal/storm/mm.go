@@ -1,0 +1,313 @@
+package storm
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/mech"
+	"repro/internal/nodeos"
+	"repro/internal/qsnet"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// MM is the Machine Manager: one per cluster, on the management node. It
+// allocates space (buddy tree inside the gang matrix) and time
+// (timeslices), drives launches, and collects events — acting only on
+// timeslice boundaries (paper §2.1, §3.1.1).
+type MM struct {
+	sys    *System
+	node   mech.Node // mechanism handle on the management node
+	queue  sched.Queue
+	matrix *sched.Matrix
+	policy sched.Policy
+	curRow int
+
+	// thread is the MM dæmon's CPU context on the management node.
+	thread *nodeos.Thread
+
+	// runtimes tracks every job the MM has accepted, by ID.
+	runtimes map[job.ID]*jobRuntime
+	// transferred queues jobs whose binary finished multicasting and that
+	// await the launch command at the next boundary.
+	transferred []*job.Job
+	// reported counts per-job termination reports (nodes done).
+	reported map[job.ID]int
+	// cancelQ holds cancellation requests awaiting the next boundary.
+	cancelQ []job.ID
+	// nodeFailQ holds node-failure notifications awaiting the next
+	// boundary; deadNodes is the accumulated set.
+	nodeFailQ []int
+	deadNodes map[int]bool
+	// strobeInFlight self-clocks strobe multicasts.
+	strobeInFlight bool
+
+	// Strobes counts coordinated context-switch multicasts issued.
+	Strobes int
+	// Launched counts jobs whose launch command has been sent.
+	Launched int
+	// Finished counts jobs whose completion has been recorded.
+	Finished int
+}
+
+func newMM(s *System) *MM {
+	mm := &MM{
+		sys:       s,
+		node:      s.dom.Node(s.cfg.mmNode()),
+		matrix:    sched.NewMatrix(s.cfg.Nodes, s.cfg.Policy.MaxRows()),
+		policy:    s.cfg.Policy,
+		curRow:    -1,
+		runtimes:  make(map[job.ID]*jobRuntime),
+		reported:  make(map[job.ID]int),
+		deadNodes: make(map[int]bool),
+	}
+	mm.thread = nodeos.NewThread(s.mgmt.CPU(0), "mm")
+	mm.thread.SetActive(true)
+	s.env.Spawn("mm", mm.run)
+	return mm
+}
+
+// Matrix exposes the gang matrix (for tests and experiment probes).
+func (mm *MM) Matrix() *sched.Matrix { return mm.matrix }
+
+// ReportsFor returns how many per-node termination reports have arrived
+// for a job (diagnostics).
+func (mm *MM) ReportsFor(id job.ID) int { return mm.reported[id] }
+
+// QueueLen returns the number of jobs waiting for space.
+func (mm *MM) QueueLen() int { return mm.queue.Len() }
+
+// Cancel requests a job's termination; the MM acts at the next timeslice
+// boundary (like every other command, paper §3.1.1). Safe to call from
+// simulation processes or from outside the simulation.
+func (mm *MM) Cancel(j *job.Job) {
+	mm.cancelQ = append(mm.cancelQ, j.ID)
+}
+
+// processCancel enacts one cancellation according to the job's phase.
+func (mm *MM) processCancel(id job.ID) {
+	rt, ok := mm.runtimes[id]
+	if !ok || rt.canceled {
+		return
+	}
+	j := rt.job
+	switch j.State {
+	case job.Queued:
+		for i := 0; i < mm.queue.Len(); i++ {
+			if mm.queue.Peek(i).ID == id {
+				mm.queue.RemoveAt(i)
+				break
+			}
+		}
+		rt.canceled = true
+		j.State = job.Canceled
+		j.EndTime = mm.sys.env.Now()
+		mm.sys.traceClose(j)
+		rt.done.Broadcast()
+	case job.Transferring:
+		// The transfer loop checks rt.canceled between fragments.
+		rt.canceled = true
+	case job.Ready, job.Running:
+		rt.canceled = true
+		mm.node.XferAndSignal(j.Nodes, 64, qsnet.MainMem, qsnet.MainMem,
+			cancelMsg{Job: id}, "", evNMCtrl)
+	}
+}
+
+// NodeFailed tells the MM a compute node is dead (typically wired to the
+// fault detector). At the next boundary the MM fails every job whose
+// allocation covers the node, kills its surviving processes, and
+// reclaims the space — the "fault tolerance plugged into the dæmons"
+// modularity the paper's §2 design goals call for.
+func (mm *MM) NodeFailed(node int) {
+	mm.nodeFailQ = append(mm.nodeFailQ, node)
+}
+
+// processNodeFailure reaps the jobs touching a newly-dead node.
+func (mm *MM) processNodeFailure(node int) {
+	if mm.deadNodes[node] {
+		return
+	}
+	mm.deadNodes[node] = true
+	for _, j := range mm.matrix.AllJobs() {
+		if !j.Nodes.Contains(node) {
+			continue
+		}
+		rt := mm.runtimes[j.ID]
+		rt.canceled = true
+		rt.failed = true
+		// Kill survivors node by node: the atomic multicast would fail
+		// over a set containing the dead node.
+		for id := j.Nodes.First; id <= j.Nodes.Last(); id++ {
+			if mm.deadNodes[id] {
+				continue
+			}
+			mm.node.XferAndSignal(qsnet.Range(id, 1), 64, qsnet.MainMem, qsnet.MainMem,
+				cancelMsg{Job: j.ID}, "", evNMCtrl)
+		}
+		mm.maybeComplete(j.ID)
+	}
+}
+
+// deadNodesIn counts dead nodes inside a set.
+func (mm *MM) deadNodesIn(set qsnet.NodeSet) int {
+	n := 0
+	for id := set.First; id <= set.Last(); id++ {
+		if mm.deadNodes[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// submit enqueues a job (called from System.Submit).
+func (mm *MM) submit(j *job.Job) {
+	rt := &jobRuntime{job: j, done: sim.NewEvent(mm.sys.env)}
+	mm.runtimes[j.ID] = rt
+	mm.queue.Push(j)
+}
+
+// doneEvent returns the completion event of an accepted job.
+func (mm *MM) doneEvent(id job.ID) *sim.Event {
+	rt, ok := mm.runtimes[id]
+	if !ok {
+		panic(fmt.Sprintf("storm: job %d was never submitted", id))
+	}
+	return rt.done
+}
+
+// run is the MM main loop: one tick per timeslice boundary.
+func (mm *MM) run(p *sim.Proc) {
+	for {
+		mm.tick(p)
+		p.Wait(mm.sys.cfg.Timeslice)
+	}
+}
+
+// tick performs the boundary work: collect events, send launch commands,
+// dispatch queued jobs, and strobe the next timeslot row.
+func (mm *MM) tick(p *sim.Proc) {
+	cfg := &mm.sys.cfg
+	mm.thread.Consume(p, cfg.MMTickCPU)
+
+	// 0. Enact node-failure notifications and cancellation requests.
+	for _, node := range mm.nodeFailQ {
+		mm.processNodeFailure(node)
+	}
+	mm.nodeFailQ = mm.nodeFailQ[:0]
+	for _, id := range mm.cancelQ {
+		mm.processCancel(id)
+	}
+	mm.cancelQ = mm.cancelQ[:0]
+
+	// 1. Collect notifications (termination reports) that arrived since
+	// the previous boundary.
+	for mm.node.PollEvent(evMMCtrl) {
+		mm.node.TestEvent(p, evMMCtrl)
+		msg, ok := mm.node.Recv(evMMCtrl)
+		if !ok {
+			break
+		}
+		if tm, ok := msg.(termMsg); ok {
+			mm.handleTermination(tm)
+		}
+	}
+
+	// 2. Send launch commands for binaries that finished transferring.
+	for _, j := range mm.transferred {
+		rt := mm.runtimes[j.ID]
+		j.State = job.Ready
+		mm.sys.traceMark(j, 'R')
+		j.LaunchTime = p.Now()
+		rt.liveRanks = j.Processes()
+		rt.barrier = job.NewBarrier(mm.sys.env, j.Processes(), cfg.barrierLatency(j.Nodes.N))
+		mm.node.XferAndSignal(j.Nodes, 256, qsnet.MainMem, qsnet.MainMem,
+			launchMsg{Job: j, RT: rt}, "", evNMCtrl)
+		mm.Launched++
+	}
+	mm.transferred = mm.transferred[:0]
+
+	// 3. Dispatch queued jobs the policy can place now; start their
+	// binary transfers.
+	for _, j := range mm.policy.Dispatch(p.Now(), &mm.queue, mm.matrix) {
+		j.State = job.Transferring
+		mm.sys.traceMark(j, 'T')
+		rt := mm.runtimes[j.ID]
+		jj := j
+		mm.sys.env.Spawn(fmt.Sprintf("xfer:job%d", j.ID), func(tp *sim.Proc) {
+			mm.transferBinary(tp, jj, rt)
+		})
+	}
+
+	// 4. Strobe: enact the next timeslot row with a coordinated
+	// multi-context-switch multicast. Strobes are issued only while some
+	// placed job actually has (or is about to have) running processes;
+	// a machine that is merely transferring binaries has nothing to
+	// context-switch.
+	// Strobes are self-clocked: a new one goes out only after the previous
+	// multicast completed, so a wedged fabric (dead node) backs strobes
+	// off instead of flooding the NIC queue.
+	if mm.policy.Coordinated() && mm.anyRunnable() {
+		if mm.strobeInFlight && !mm.node.PollEvent(evStrobeSent) {
+			return
+		}
+		for mm.node.PollEvent(evStrobeSent) {
+			mm.node.TestEvent(p, evStrobeSent)
+		}
+		if next := mm.matrix.NextRow(mm.curRow); next >= 0 {
+			mm.curRow = next
+			mm.node.XferAndSignal(qsnet.Range(0, mm.sys.cfg.Nodes), 64,
+				qsnet.MainMem, qsnet.MainMem, strobeMsg{Row: next}, evStrobeSent, evNMCtrl)
+			mm.strobeInFlight = true
+			mm.Strobes++
+		}
+	}
+}
+
+// anyRunnable reports whether any placed job is ready or running.
+func (mm *MM) anyRunnable() bool {
+	for _, j := range mm.matrix.AllJobs() {
+		if j.State == job.Ready || j.State == job.Running {
+			return true
+		}
+	}
+	return false
+}
+
+// handleTermination processes one node's "all processes of job J here
+// exited" report; when every live node of the job has reported, the job
+// is complete and its space is released.
+func (mm *MM) handleTermination(tm termMsg) {
+	rt, ok := mm.runtimes[tm.Job]
+	if !ok || rt.job.Row < 0 {
+		return
+	}
+	mm.reported[tm.Job]++
+	mm.maybeComplete(tm.Job)
+}
+
+// maybeComplete finishes a job once every live node of its allocation
+// has reported (dead nodes cannot report and are not waited for).
+func (mm *MM) maybeComplete(id job.ID) {
+	rt, ok := mm.runtimes[id]
+	if !ok || rt.job.Row < 0 {
+		return
+	}
+	j := rt.job
+	if mm.reported[id] < j.Nodes.N-mm.deadNodesIn(j.Nodes) {
+		return
+	}
+	j.EndTime = mm.sys.env.Now()
+	switch {
+	case rt.failed:
+		j.State = job.Failed
+	case rt.canceled:
+		j.State = job.Canceled
+	default:
+		j.State = job.Finished
+	}
+	mm.sys.traceClose(j)
+	mm.matrix.Remove(j)
+	mm.Finished++
+	rt.done.Broadcast()
+}

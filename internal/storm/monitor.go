@@ -1,0 +1,95 @@
+package storm
+
+import (
+	"sort"
+
+	"repro/internal/qsnet"
+	"repro/internal/sim"
+)
+
+// This file implements the paper's cluster-monitoring sketch (§4): the
+// master multicasts a status request with XFER-AND-SIGNAL and gathers
+// per-node status replies — the same mechanisms as everything else.
+
+// NodeStatus is one node's reply to a status gather.
+type NodeStatus struct {
+	// Node is the compute-node ID.
+	Node int
+	// LiveJobs is the number of jobs with live processes on the node.
+	LiveJobs int
+	// LiveProcs is the number of live application processes.
+	LiveProcs int
+	// FragsWritten is the cumulative count of binary fragments written.
+	FragsWritten int
+	// CPULoad is the number of runnable threads per processor.
+	CPULoad []int
+}
+
+// statusReq is the multicast request; Seq matches replies to gathers.
+type statusReq struct {
+	Seq int64
+}
+
+// statusRep is one node's reply.
+type statusRep struct {
+	Seq    int64
+	Status NodeStatus
+}
+
+const evMMStatus = "mm.status"
+
+// statusSeq numbers gathers so a late reply to an abandoned gather is
+// not miscounted against a newer one.
+var statusSeq int64
+
+// GatherStatus multicasts a status request to every compute node and
+// collects the replies, blocking the calling process until all nodes
+// answered or timeout elapsed. Replies are sorted by node ID; with a
+// dead node in the cluster the slice is simply shorter (the request
+// multicast is atomic, so the caller should probe individually after a
+// partial gather, as with fault detection).
+func (s *System) GatherStatus(p *sim.Proc, timeout sim.Time) []NodeStatus {
+	statusSeq++
+	seq := statusSeq
+	mmNode := s.dom.Node(s.cfg.mmNode())
+	mmNode.XferAndSignal(qsnet.Range(0, s.cfg.Nodes), 128, qsnet.MainMem, qsnet.MainMem,
+		statusReq{Seq: seq}, "", evNMCtrl)
+	deadline := p.Now() + timeout
+	var out []NodeStatus
+	for len(out) < s.cfg.Nodes {
+		left := deadline - p.Now()
+		if left <= 0 || !mmNode.TestEventTimeout(p, evMMStatus, left) {
+			break
+		}
+		msg, ok := mmNode.Recv(evMMStatus)
+		if !ok {
+			continue
+		}
+		rep := msg.(statusRep)
+		if rep.Seq != seq {
+			continue
+		}
+		out = append(out, rep.Status)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
+	return out
+}
+
+// status builds the NM's local status snapshot.
+func (nm *NM) status() NodeStatus {
+	st := NodeStatus{
+		Node:         nm.id,
+		FragsWritten: nm.FragsWritten,
+	}
+	for _, lj := range nm.jobs {
+		if lj.live > 0 {
+			st.LiveJobs++
+			st.LiveProcs += lj.live
+		}
+	}
+	st.CPULoad = make([]int, nm.os.NumCPUs())
+	for i := range st.CPULoad {
+		st.CPULoad[i] = nm.os.CPU(i).Load()
+	}
+	return st
+}

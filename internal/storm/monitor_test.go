@@ -1,0 +1,90 @@
+package storm
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+func TestGatherStatusIdleCluster(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(8)
+	cfg.StartNoise = false
+	s := New(env, cfg)
+	var got []NodeStatus
+	env.Spawn("monitor", func(p *sim.Proc) {
+		got = s.GatherStatus(p, sim.Second)
+	})
+	env.RunUntil(2 * sim.Second)
+	defer s.Shutdown()
+	if len(got) != 8 {
+		t.Fatalf("gathered %d of 8 nodes", len(got))
+	}
+	for i, st := range got {
+		if st.Node != i {
+			t.Fatalf("replies not sorted: %v", got)
+		}
+		if st.LiveJobs != 0 || st.LiveProcs != 0 {
+			t.Fatalf("idle node %d reports work: %+v", i, st)
+		}
+		if len(st.CPULoad) != cfg.OS.CPUs {
+			t.Fatalf("node %d reports %d CPUs", i, len(st.CPULoad))
+		}
+	}
+}
+
+func TestGatherStatusSeesRunningJob(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(4)
+	cfg.Timeslice = 5 * sim.Millisecond
+	cfg.StartNoise = false
+	s := New(env, cfg)
+	j := s.Submit(&job.Job{
+		Name: "app", BinaryBytes: 100_000, NodesWanted: 4, PEsPerNode: 2,
+		Program: synthProgram{total: sim.FromSeconds(1), iters: 4},
+	})
+	var got []NodeStatus
+	env.Spawn("monitor", func(p *sim.Proc) {
+		// Wait until the job is running, then gather.
+		s.DoneEvent(j) // ensure registered
+		for j.State != job.Running {
+			p.Wait(5 * sim.Millisecond)
+		}
+		p.Wait(50 * sim.Millisecond)
+		got = s.GatherStatus(p, sim.Second)
+	})
+	env.RunUntil(3 * sim.Second)
+	defer s.Shutdown()
+	if len(got) != 4 {
+		t.Fatalf("gathered %d of 4 nodes", len(got))
+	}
+	for _, st := range got {
+		if st.LiveJobs != 1 || st.LiveProcs != 2 {
+			t.Fatalf("node %d status = %+v, want 1 job / 2 procs", st.Node, st)
+		}
+		if st.FragsWritten == 0 {
+			t.Fatalf("node %d reports no fragments written", st.Node)
+		}
+	}
+}
+
+func TestGatherStatusPartialOnDeadNode(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(4)
+	cfg.StartNoise = false
+	cfg.Net.DeadNodeTimeout = 20 * sim.Millisecond
+	s := New(env, cfg)
+	s.Network().FailNode(2)
+	var got []NodeStatus
+	env.Spawn("monitor", func(p *sim.Proc) {
+		got = s.GatherStatus(p, 500*sim.Millisecond)
+	})
+	env.RunUntil(sim.Second)
+	defer s.Shutdown()
+	// The atomic multicast fails, so the gather returns empty — the
+	// "partial information means something is wrong" signal.
+	if len(got) != 0 {
+		t.Fatalf("gather over a dead node returned %d replies", len(got))
+	}
+}

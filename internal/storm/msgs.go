@@ -1,0 +1,90 @@
+package storm
+
+import (
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// Event channel names. Control traffic and data traffic use distinct
+// events (the real system uses distinct remote hardware queues).
+const (
+	evNMCtrl  = "nm.ctrl"  // MM -> NM control commands (strobe, launch)
+	evNMFrag  = "nm.frag"  // MM -> NM binary fragments
+	evMMCtrl  = "mm.ctrl"  // NM -> MM notifications (termination)
+	evNMHeart = "nm.hb"    // MM -> NM heartbeat pings
+	evSent    = "mm.sent." // + job ID: MM-local transfer completion events
+	// evStrobeSent self-clocks strobes: the MM sends the next strobe only
+	// after the previous multicast completed.
+	evStrobeSent = "mm.strobe.sent"
+)
+
+// gvar names (global memory, same virtual address on all nodes).
+const (
+	gvFrags = "frags." // + job ID: fragments written on this node
+	gvHeart = "hb.seq" // last heartbeat sequence number seen
+)
+
+// strobeMsg is the coordinated context-switch command: run timeslot row
+// Row now (paper §2.3 "coordinated multi-context-switch").
+type strobeMsg struct {
+	Row int
+}
+
+// launchMsg tells the NMs of a job's node set to fork its processes.
+type launchMsg struct {
+	Job *job.Job
+	RT  *jobRuntime
+}
+
+// termMsg tells the MM that every process of Job on node Node has exited.
+type termMsg struct {
+	Job  job.ID
+	Node int
+}
+
+// cancelMsg orders the NMs of a job's node set to kill its processes.
+type cancelMsg struct {
+	Job job.ID
+}
+
+// fragMsg accompanies one multicast binary fragment.
+type fragMsg struct {
+	Job   job.ID
+	Index int
+	Bytes int64
+	Last  bool
+	RT    *jobRuntime
+}
+
+// hbMsg is a heartbeat ping.
+type hbMsg struct {
+	Seq int64
+}
+
+// jobRuntime is the cross-node shared state of one launched job: the gang
+// barrier and rank geometry. In the real system this state is replicated
+// through the launch message; in the simulation the pointer stands in for
+// that replica.
+type jobRuntime struct {
+	job     *job.Job
+	barrier *job.Barrier
+	// done is signaled (broadcast) when the MM records job completion.
+	done *sim.Event
+	// liveRanks tracks processes not yet exited, to shrink the barrier.
+	liveRanks int
+	// canceled marks a user-requested kill; completions then record the
+	// Canceled state instead of Finished. failed upgrades that to Failed
+	// (node death).
+	canceled bool
+	failed   bool
+}
+
+// nodeOfRank maps a rank to its cluster node ID.
+func (rt *jobRuntime) nodeOfRank(rank int) int {
+	return rt.job.Nodes.First + rank/rt.job.PEsPerNode
+}
+
+// cpuOfRank maps a rank to its processor index within the node.
+func (rt *jobRuntime) cpuOfRank(rank int) int {
+	return rank % rt.job.PEsPerNode
+}

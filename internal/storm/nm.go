@@ -1,0 +1,398 @@
+package storm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/mech"
+	"repro/internal/nodeos"
+	"repro/internal/qsnet"
+	"repro/internal/sim"
+)
+
+// localJob is an NM's view of one job with processes on its node.
+type localJob struct {
+	rt      *jobRuntime
+	row     int
+	threads []*nodeos.Thread // one per local rank, added as PLs fork
+	procs   []*sim.Proc      // the PL processes, for cancellation
+	live    int              // local processes not yet exited
+	want    int              // local processes expected
+}
+
+// termLocalMsg is the PL→NM local notification of a process exit.
+type termLocalMsg struct {
+	Job  job.ID
+	Rank int
+}
+
+// NM is the Node Manager: one per compute node. It receives control
+// commands and binary fragments from the MM, manages the node's PLs,
+// enacts coordinated context switches, and detects process termination
+// (paper §2.1).
+type NM struct {
+	sys  *System
+	id   int
+	node mech.Node
+	os   *nodeos.Node
+
+	// ctrlThread and fragThread are the NM's CPU contexts; they live on
+	// the node's last CPU so a job using fewer than all CPUs leaves the
+	// dæmon a processor of its own.
+	ctrlThread *nodeos.Thread
+	fragThread *nodeos.Thread
+
+	curRow int
+	jobs   map[job.ID]*localJob
+	pls    []*PL
+
+	// FragsWritten counts fragments persisted to the local RAM disk.
+	FragsWritten int
+	// StrobesSeen counts strobe commands processed.
+	StrobesSeen int
+
+	// commBuf stages application bytes per destination node under
+	// buffered coscheduling; flushed at strobe boundaries.
+	commBuf map[int]int64
+	// Flushes counts aggregated-exchange transfers issued.
+	Flushes int
+
+	// written tracks per-job fragments persisted, for the flow-control
+	// invariant check.
+	written map[job.ID]int
+	// FlowViolations counts fragments that arrived more than Slots ahead
+	// of this node's write progress — the invariant the COMPARE-AND-WRITE
+	// flow control must make impossible (always 0 in a correct run).
+	FlowViolations int
+}
+
+func newNM(s *System, id int) *NM {
+	nm := &NM{
+		sys:    s,
+		id:     id,
+		node:   s.dom.Node(id),
+		os:     s.os[id],
+		curRow: 0,
+		jobs:   make(map[job.ID]*localJob),
+	}
+	daemonCPU := s.os[id].NumCPUs() - 1
+	nm.ctrlThread = nodeos.NewThread(s.os[id].CPU(daemonCPU), fmt.Sprintf("nm%d", id))
+	nm.ctrlThread.SetActive(true)
+	nm.fragThread = nodeos.NewThread(s.os[id].CPU(daemonCPU), fmt.Sprintf("nmw%d", id))
+	nm.fragThread.SetActive(true)
+
+	// One PL per potential process: CPUs × MPL (paper Table 2).
+	mpl := s.cfg.Policy.MaxRows()
+	for c := 0; c < s.cfg.OS.CPUs; c++ {
+		for m := 0; m < mpl; m++ {
+			nm.pls = append(nm.pls, &PL{nm: nm, cpu: c})
+		}
+	}
+
+	s.env.Spawn(fmt.Sprintf("nmctrl:%d", id), nm.ctrlLoop)
+	s.env.Spawn(fmt.Sprintf("nmfrag:%d", id), nm.fragLoop)
+	return nm
+}
+
+// ID returns the compute-node ID.
+func (nm *NM) ID() int { return nm.id }
+
+// PLs returns the node's Program Launchers.
+func (nm *NM) PLs() []*PL { return nm.pls }
+
+// LocalJobInfo describes one job's local state on this node
+// (diagnostics).
+type LocalJobInfo struct {
+	Job  job.ID
+	Row  int
+	Live int
+	Want int
+}
+
+// LocalJobs returns this node's live job table, sorted by ID
+// (diagnostics).
+func (nm *NM) LocalJobs() []LocalJobInfo {
+	out := make([]LocalJobInfo, 0, len(nm.jobs))
+	for id, lj := range nm.jobs {
+		out = append(out, LocalJobInfo{Job: id, Row: lj.row, Live: lj.live, Want: lj.want})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Job < out[b].Job })
+	return out
+}
+
+// ctrlLoop processes control commands (strobes, launches, heartbeats) and
+// local PL notifications, in arrival order.
+func (nm *NM) ctrlLoop(p *sim.Proc) {
+	cfg := &nm.sys.cfg
+	for {
+		nm.node.TestEvent(p, evNMCtrl)
+		if nm.node.EventBacklog(evNMCtrl) > cfg.NMBacklogLimit {
+			// Commands arrive faster than they can be processed: the
+			// scheduler is past its feasible quantum (paper §3.2.1).
+			nm.sys.Overloaded = true
+		}
+		msg, ok := nm.node.Recv(evNMCtrl)
+		if !ok {
+			continue
+		}
+		switch m := msg.(type) {
+		case strobeMsg:
+			nm.StrobesSeen++
+			cost := cfg.NMStrobeIdle
+			if nm.rowChangeNeeded(m.Row) {
+				cost = cfg.NMStrobeCPU
+			}
+			nm.ctrlThread.Consume(p, cost)
+			nm.flushCommBuffers()
+			nm.curRow = m.Row
+			nm.refreshActivation()
+		case launchMsg:
+			nm.ctrlThread.Consume(p, cfg.NMLaunchCPU)
+			nm.launch(p, m)
+		case termLocalMsg:
+			nm.ctrlThread.Consume(p, cfg.NMTermCPU)
+			nm.procExited(m)
+		case cancelMsg:
+			nm.ctrlThread.Consume(p, cfg.NMTermCPU)
+			nm.cancel(m.Job)
+		case hbMsg:
+			nm.node.Store(gvHeart, m.Seq)
+		case statusReq:
+			nm.ctrlThread.Consume(p, cfg.NMStrobeIdle)
+			nm.node.XferAndSignal(qsnet.Range(nm.sys.cfg.mmNode(), 1), 256,
+				qsnet.MainMem, qsnet.MainMem,
+				statusRep{Seq: m.Seq, Status: nm.status()}, "", evMMStatus)
+		}
+	}
+}
+
+// fragLoop receives binary fragments, writes them to the local RAM disk,
+// and advances the per-job fragment counter that the MM's flow-control
+// COMPARE-AND-WRITE inspects.
+func (nm *NM) fragLoop(p *sim.Proc) {
+	cfg := &nm.sys.cfg
+	for {
+		nm.node.TestEvent(p, evNMFrag)
+		msg, ok := nm.node.Recv(evNMFrag)
+		if !ok {
+			continue
+		}
+		m := msg.(fragMsg)
+		if nm.written == nil {
+			nm.written = make(map[job.ID]int)
+		}
+		// Flow-control invariant: the MM may inject fragment i only after
+		// this node has written fragment i-Slots+1, so at arrival the gap
+		// to the write pointer can never reach Slots.
+		if m.Index-nm.written[m.Job] >= cfg.Slots {
+			nm.FlowViolations++
+		}
+		nm.sys.hostDelay(p, nm.fragThread.CPU())
+		nm.fragThread.Consume(p, cfg.nmFragCPU())
+		if err := nm.sys.fs[nm.id].Write(p, m.Bytes, cfg.XferLoc); err != nil {
+			continue // a failed write never advances the counter
+		}
+		nm.FragsWritten++
+		nm.written[m.Job] = m.Index + 1
+		if m.Last {
+			delete(nm.written, m.Job)
+		}
+		key := fmt.Sprintf("%s%d", gvFrags, m.Job)
+		nm.node.Store(key, int64(m.Index+1))
+	}
+}
+
+// launch forks the job's local processes through free PLs.
+func (nm *NM) launch(p *sim.Proc, m launchMsg) {
+	j := m.Job
+	if !j.Nodes.Contains(nm.id) {
+		return
+	}
+	localRanks := make([]int, 0, j.PEsPerNode)
+	for r := 0; r < j.Processes(); r++ {
+		if m.RT.nodeOfRank(r) == nm.id {
+			localRanks = append(localRanks, r)
+		}
+	}
+	if len(localRanks) == 0 {
+		// The buddy allocator rounds block sizes up to powers of two, so a
+		// node can be inside a job's block without hosting any rank. It
+		// still participates in the job's collectives (its fragment
+		// counter advanced during the transfer) and reports completion
+		// right away.
+		mmNode := nm.sys.cfg.mmNode()
+		nm.node.XferAndSignal(qsnet.Range(mmNode, 1), 64, qsnet.MainMem, qsnet.MainMem,
+			termMsg{Job: j.ID, Node: nm.id}, "", evMMCtrl)
+		return
+	}
+	lj := &localJob{rt: m.RT, row: j.Row, want: len(localRanks), live: len(localRanks)}
+	lj.threads = make([]*nodeos.Thread, j.PEsPerNode)
+	lj.procs = make([]*sim.Proc, j.PEsPerNode)
+	nm.jobs[j.ID] = lj
+	for _, rank := range localRanks {
+		cpu := m.RT.cpuOfRank(rank)
+		pl := nm.freePL(cpu)
+		if pl == nil {
+			// No launcher available: this node cannot host the process.
+			// (Cannot happen with a consistent matrix: PLs = CPUs × MPL.)
+			panic(fmt.Sprintf("storm: node %d has no free PL for CPU %d", nm.id, cpu))
+		}
+		pl.start(lj, rank)
+	}
+	if j.State == job.Ready {
+		j.State = job.Running
+	}
+}
+
+// freePL finds an idle Program Launcher for the given CPU.
+func (nm *NM) freePL(cpu int) *PL {
+	for _, pl := range nm.pls {
+		if pl.cpu == cpu && !pl.busy {
+			return pl
+		}
+	}
+	return nil
+}
+
+// procExited handles a PL's exit notification. When the last local
+// process of a job exits, the NM reports to the MM with a small
+// XFER-AND-SIGNAL and immediately lends the freed timeslot to another
+// runnable gang (work conservation).
+func (nm *NM) procExited(m termLocalMsg) {
+	lj, ok := nm.jobs[m.Job]
+	if !ok {
+		return
+	}
+	lj.live--
+	if lj.live > 0 {
+		return
+	}
+	delete(nm.jobs, m.Job)
+	mmNode := nm.sys.cfg.mmNode()
+	nm.node.XferAndSignal(qsnet.Range(mmNode, 1), 64, qsnet.MainMem, qsnet.MainMem,
+		termMsg{Job: m.Job, Node: nm.id}, "", evMMCtrl)
+	nm.refreshActivation()
+}
+
+// bufferSend stages application bytes toward a destination node
+// (buffered coscheduling); the staging itself is a memory copy, free at
+// this model's granularity.
+func (nm *NM) bufferSend(dst int, bytes int64) {
+	if nm.commBuf == nil {
+		nm.commBuf = make(map[int]int64)
+	}
+	nm.commBuf[dst] += bytes
+}
+
+// flushCommBuffers performs the aggregated exchange of buffered
+// coscheduling: at the timeslice boundary, every staged byte stream goes
+// out as one bulk transfer per destination (amortizing per-message
+// latency into a single DMA).
+func (nm *NM) flushCommBuffers() {
+	if len(nm.commBuf) == 0 {
+		return
+	}
+	dsts := make([]int, 0, len(nm.commBuf))
+	for d := range nm.commBuf {
+		dsts = append(dsts, d)
+	}
+	sort.Ints(dsts)
+	for _, d := range dsts {
+		bytes := nm.commBuf[d]
+		delete(nm.commBuf, d)
+		nm.Flushes++
+		d := d
+		nm.sys.env.Spawn(fmt.Sprintf("bcsflush:%d->%d", nm.id, d), func(p *sim.Proc) {
+			_ = nm.sys.net.Put(p, nm.id, d, bytes)
+		})
+	}
+}
+
+// cancel kills every live local process of a job; the PLs' deferred exit
+// paths then report terminations as if the processes had exited.
+func (nm *NM) cancel(id job.ID) {
+	lj, ok := nm.jobs[id]
+	if !ok {
+		return
+	}
+	for _, proc := range lj.procs {
+		if proc != nil && !proc.Dead() {
+			nm.sys.env.Kill(proc)
+		}
+	}
+}
+
+// rowChangeNeeded reports whether strobing to row would actually change
+// which local threads run.
+func (nm *NM) rowChangeNeeded(row int) bool {
+	return nm.desiredRow(row) != nm.desiredRow(nm.curRow) && len(nm.jobs) > 0
+}
+
+// desiredRow picks the row this node should run when the global row is
+// cur: cur itself if the node has live work there, otherwise the lowest
+// row with live local work (slot filling / work conservation).
+func (nm *NM) desiredRow(cur int) int {
+	best := -1
+	for _, lj := range nm.jobs {
+		if lj.live == 0 {
+			continue
+		}
+		if lj.row == cur {
+			return cur
+		}
+		if best == -1 || lj.row < best {
+			best = lj.row
+		}
+	}
+	return best
+}
+
+// refreshActivation enacts the context switch: activate the desired
+// row's threads, deactivate the rest, and charge the switch disruption on
+// every CPU whose running thread actually changed. Under uncoordinated
+// policies (implicit coscheduling) every live thread stays active and the
+// node OS timeshares.
+func (nm *NM) refreshActivation() {
+	if !nm.sys.cfg.Policy.Coordinated() {
+		for _, lj := range nm.sortedJobs() {
+			for _, th := range lj.threads {
+				if th != nil {
+					th.SetActive(true)
+				}
+			}
+		}
+		return
+	}
+	desired := nm.desiredRow(nm.curRow)
+	changed := make([]bool, nm.os.NumCPUs())
+	for _, lj := range nm.sortedJobs() {
+		want := lj.row == desired
+		for cpu, th := range lj.threads {
+			if th == nil || th.Active() == want {
+				continue
+			}
+			th.SetActive(want)
+			changed[cpu] = true
+		}
+	}
+	for cpu, ch := range changed {
+		if ch {
+			nm.os.CPU(cpu).StealCPU(nm.sys.cfg.OS.SwitchDisruption)
+		}
+	}
+}
+
+// sortedJobs returns the local jobs in ID order (deterministic).
+func (nm *NM) sortedJobs() []*localJob {
+	ids := make([]int, 0, len(nm.jobs))
+	for id := range nm.jobs {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]*localJob, len(ids))
+	for i, id := range ids {
+		out[i] = nm.jobs[job.ID(id)]
+	}
+	return out
+}

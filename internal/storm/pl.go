@@ -1,0 +1,98 @@
+package storm
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/nodeos"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// PL is a Program Launcher: one per potential process slot
+// (CPUs × MPL per node, paper Table 2). Its task is deliberately simple —
+// fork one application process, wait for it to terminate, and tell the NM
+// (paper §2.1).
+type PL struct {
+	nm   *NM
+	cpu  int
+	busy bool
+
+	// Launched counts processes this PL has forked over its lifetime.
+	Launched int
+}
+
+// CPU returns the processor this launcher forks onto.
+func (pl *PL) CPU() int { return pl.cpu }
+
+// Busy reports whether the PL currently owns a live process.
+func (pl *PL) Busy() bool { return pl.busy }
+
+// start forks the job's process for the given rank on this PL's CPU.
+func (pl *PL) start(lj *localJob, rank int) {
+	pl.busy = true
+	pl.Launched++
+	nm := pl.nm
+	sys := nm.sys
+	j := lj.rt.job
+	sys.env.Spawn(fmt.Sprintf("pl:n%d.c%d.job%d.r%d", nm.id, pl.cpu, j.ID, rank), func(p *sim.Proc) {
+		// Fork+exec the binary from the local RAM disk.
+		sys.hostDelay(p, nm.os.CPU(pl.cpu))
+		nm.os.ForkExec(p, pl.cpu)
+
+		th := nodeos.NewThread(nm.os.CPU(pl.cpu), fmt.Sprintf("job%d.r%d", j.ID, rank))
+		localIdx := lj.rt.cpuOfRank(rank)
+		lj.threads[localIdx] = th
+		lj.procs[localIdx] = p
+		if j.FirstRun == 0 {
+			j.FirstRun = p.Now()
+		}
+		// The new process starts in the activation state its row is
+		// entitled to right now.
+		nm.refreshActivation()
+
+		// Exit bookkeeping runs in a defer so it also fires when the
+		// process is killed (job cancellation): stop scheduling the
+		// thread, shrink the gang barrier so survivors are not stranded,
+		// release the PL, and notify the NM.
+		defer func() {
+			th.Abort()
+			lj.threads[localIdx] = nil
+			lj.procs[localIdx] = nil
+			lj.rt.liveRanks--
+			if lj.rt.liveRanks == 0 {
+				j.LastExit = p.Now()
+			}
+			if lj.rt.barrier != nil {
+				lj.rt.barrier.SetSize(lj.rt.liveRanks)
+			}
+			pl.busy = false
+			nm.node.PostLocal(evNMCtrl, termLocalMsg{Job: j.ID, Rank: rank})
+		}()
+
+		ctx := &job.ProcessCtx{
+			Job:      j,
+			Rank:     rank,
+			NodeID:   nm.id,
+			CPUIndex: pl.cpu,
+			Thread:   th,
+			Barrier:  func(bp *sim.Proc) { lj.rt.barrier.Wait(bp) },
+			SendTo: func(sp *sim.Proc, peer int, bytes int64) {
+				dst := lj.rt.nodeOfRank(peer)
+				if dst == nm.id {
+					return // intra-node communication through shared memory
+				}
+				if sched.BuffersComm(sys.cfg.Policy) {
+					// Buffered coscheduling: the message is staged locally
+					// and exchanged in the aggregated transfer at the next
+					// timeslice boundary.
+					nm.bufferSend(dst, bytes)
+					return
+				}
+				_ = sys.net.Put(sp, nm.id, dst, bytes)
+			},
+			Rnd: sys.rnd.Split(),
+		}
+		j.Program.Run(p, ctx)
+	})
+}

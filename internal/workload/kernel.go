@@ -1,0 +1,81 @@
+package workload
+
+// This file contains a real (non-simulated) serial sweep kernel used by
+// the live-mode dæmons: a miniature of SWEEP3D's inner loop — a wavefront
+// update over a 3-D grid in discrete-ordinates style. It exists so the
+// live cluster demonstrably executes genuine floating-point work rather
+// than sleeping.
+
+// SweepKernel is an in-memory wavefront solver over an NX×NY×NZ grid.
+type SweepKernel struct {
+	NX, NY, NZ int
+	flux       []float64
+	src        []float64
+}
+
+// NewSweepKernel allocates a kernel over the given grid (minimum 2 in
+// each dimension).
+func NewSweepKernel(nx, ny, nz int) *SweepKernel {
+	if nx < 2 {
+		nx = 2
+	}
+	if ny < 2 {
+		ny = 2
+	}
+	if nz < 2 {
+		nz = 2
+	}
+	k := &SweepKernel{NX: nx, NY: ny, NZ: nz}
+	n := nx * ny * nz
+	k.flux = make([]float64, n)
+	k.src = make([]float64, n)
+	for i := range k.src {
+		k.src[i] = 1.0
+	}
+	return k
+}
+
+func (k *SweepKernel) idx(x, y, z int) int {
+	return (z*k.NY+y)*k.NX + x
+}
+
+// Sweep performs one source iteration: a full wavefront pass in the
+// (+x,+y,+z) octant — each cell's flux updated from its upwind
+// neighbours, exactly the data dependence that makes SWEEP3D a pipelined
+// wavefront code — followed by the scattering-source update that couples
+// successive iterations (SWEEP3D's outer source iteration). It returns
+// the grid-average flux, so the computation cannot be dead-code
+// eliminated and tests can check convergence.
+func (k *SweepKernel) Sweep() float64 {
+	const (
+		sigma   = 0.5 // total cross-section
+		scatter = 0.3 // scattering ratio (< sigma: convergent)
+	)
+	sum := 0.0
+	for z := 1; z < k.NZ; z++ {
+		for y := 1; y < k.NY; y++ {
+			for x := 1; x < k.NX; x++ {
+				upwind := (k.flux[k.idx(x-1, y, z)] +
+					k.flux[k.idx(x, y-1, z)] +
+					k.flux[k.idx(x, y, z-1)]) / 3.0
+				v := (k.src[k.idx(x, y, z)] + upwind) / (1.0 + sigma)
+				k.flux[k.idx(x, y, z)] = v
+				sum += v
+			}
+		}
+	}
+	// Scattering source for the next iteration.
+	for i, f := range k.flux {
+		k.src[i] = 1.0 + scatter*f
+	}
+	return sum / float64((k.NX-1)*(k.NY-1)*(k.NZ-1))
+}
+
+// Run performs iters sweeps and returns the final average flux.
+func (k *SweepKernel) Run(iters int) float64 {
+	var avg float64
+	for i := 0; i < iters; i++ {
+		avg = k.Sweep()
+	}
+	return avg
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSweepKernelClampsTinyGrids(t *testing.T) {
+	k := NewSweepKernel(0, 1, -3)
+	if k.NX < 2 || k.NY < 2 || k.NZ < 2 {
+		t.Fatalf("grid not clamped: %dx%dx%d", k.NX, k.NY, k.NZ)
+	}
+	k.Sweep() // must not panic
+}
+
+func TestSweepKernelProgresses(t *testing.T) {
+	k := NewSweepKernel(16, 16, 16)
+	first := k.Sweep()
+	if first <= 0 {
+		t.Fatalf("first sweep average = %v, want > 0", first)
+	}
+	second := k.Sweep()
+	// With a constant source and absorption, flux grows toward a fixed
+	// point: successive sweeps increase the average.
+	if second <= first {
+		t.Fatalf("flux did not grow: %v -> %v", first, second)
+	}
+}
+
+func TestSweepKernelConverges(t *testing.T) {
+	k := NewSweepKernel(12, 12, 12)
+	prev := 0.0
+	var delta float64
+	for i := 0; i < 60; i++ {
+		cur := k.Sweep()
+		delta = math.Abs(cur - prev)
+		prev = cur
+	}
+	if delta > 1e-6 {
+		t.Fatalf("kernel did not converge: last delta %v", delta)
+	}
+	if math.IsNaN(prev) || math.IsInf(prev, 0) {
+		t.Fatalf("flux diverged: %v", prev)
+	}
+}
+
+func TestSweepKernelDeterministic(t *testing.T) {
+	a := NewSweepKernel(10, 10, 10).Run(20)
+	b := NewSweepKernel(10, 10, 10).Run(20)
+	if a != b {
+		t.Fatalf("kernel not deterministic: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkSweepKernel(b *testing.B) {
+	k := NewSweepKernel(32, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Sweep()
+	}
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// This file defines the JSON workload-specification format consumed by
+// `stormsim replay`: a portable description of a job stream that can be
+// run under any scheduling policy on the simulated cluster.
+//
+// Example:
+//
+//	{
+//	  "jobs": [
+//	    {"name": "hog",  "submit_s": 0,   "nodes": 8, "pes_per_node": 2,
+//	     "binary_mb": 12, "program": {"kind": "synthetic", "seconds": 30}},
+//	    {"name": "quick","submit_s": 2.5, "nodes": 2, "pes_per_node": 1,
+//	     "binary_mb": 2,  "program": {"kind": "sweep3d", "seconds": 5},
+//	     "est_s": 6, "priority": 1}
+//	  ]
+//	}
+
+// Spec is a portable workload description.
+type Spec struct {
+	// Jobs in submission order (re-sorted by SubmitS at load).
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// JobSpec is one job in a workload file.
+type JobSpec struct {
+	Name       string      `json:"name"`
+	SubmitS    float64     `json:"submit_s"`
+	Nodes      int         `json:"nodes"`
+	PEsPerNode int         `json:"pes_per_node"`
+	BinaryMB   float64     `json:"binary_mb"`
+	Program    ProgramSpec `json:"program"`
+	EstS       float64     `json:"est_s"`
+	Priority   int         `json:"priority"`
+}
+
+// ProgramSpec selects a per-process behavior by name.
+type ProgramSpec struct {
+	// Kind is "donothing", "synthetic", "sweep3d", "imbalanced",
+	// "spin", or "pingpong".
+	Kind string `json:"kind"`
+	// Seconds scales the program's total demand (per PE).
+	Seconds float64 `json:"seconds"`
+	// Iters is the iteration count for iterative kinds (default 50).
+	Iters int `json:"iters"`
+	// Sigma is the imbalance spread (imbalanced kind).
+	Sigma float64 `json:"sigma"`
+}
+
+// ParseSpec decodes and validates a workload file.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("workload: parse spec: %w", err)
+	}
+	if len(s.Jobs) == 0 {
+		return nil, fmt.Errorf("workload: spec has no jobs")
+	}
+	for i := range s.Jobs {
+		j := &s.Jobs[i]
+		if j.Name == "" {
+			j.Name = fmt.Sprintf("job%d", i+1)
+		}
+		if j.Nodes <= 0 {
+			return nil, fmt.Errorf("workload: job %q: nodes must be positive", j.Name)
+		}
+		if j.PEsPerNode <= 0 {
+			j.PEsPerNode = 1
+		}
+		if j.BinaryMB <= 0 {
+			j.BinaryMB = 12
+		}
+		if j.SubmitS < 0 {
+			return nil, fmt.Errorf("workload: job %q: negative submit time", j.Name)
+		}
+		if _, err := j.Program.Build(); err != nil {
+			return nil, fmt.Errorf("workload: job %q: %w", j.Name, err)
+		}
+	}
+	return &s, nil
+}
+
+// Build instantiates the program behavior a spec names.
+func (ps ProgramSpec) Build() (job.Program, error) {
+	secs := ps.Seconds
+	if secs <= 0 {
+		secs = 1
+	}
+	iters := ps.Iters
+	if iters <= 0 {
+		iters = 50
+	}
+	switch ps.Kind {
+	case "", "donothing", "exit":
+		return job.DoNothing{}, nil
+	case "synthetic":
+		return Synthetic{
+			Total:        sim.FromSeconds(secs),
+			BarrierEvery: sim.FromSeconds(secs / float64(iters)),
+		}, nil
+	case "sweep3d":
+		return ScaledSweep3D(secs), nil
+	case "imbalanced":
+		return Imbalanced{
+			MeanIter: sim.FromSeconds(secs / float64(iters)),
+			Iters:    iters,
+			Sigma:    ps.Sigma,
+		}, nil
+	case "spin":
+		return SpinLoop{Duration: sim.FromSeconds(secs)}, nil
+	case "pingpong":
+		return PingPong{Duration: sim.FromSeconds(secs)}, nil
+	default:
+		return nil, fmt.Errorf("unknown program kind %q", ps.Kind)
+	}
+}

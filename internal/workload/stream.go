@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// This file generates synthetic job streams for scheduler evaluation —
+// the "common set of workloads" on which the paper argues STORM enables
+// fair comparisons of scheduling algorithms (§5.2). The shape follows
+// the classic parallel-workload findings Feitelson's archive codified:
+// Poisson arrivals, power-of-two-biased job widths, heavy-tailed
+// (lognormal) runtimes, and loose user runtime estimates.
+
+// StreamConfig parameterizes a job stream.
+type StreamConfig struct {
+	// Jobs is the number of jobs to generate.
+	Jobs int
+	// MeanInterarrival is the mean of the exponential arrival gaps.
+	MeanInterarrival sim.Time
+	// MaxNodes bounds job widths; widths are drawn log-uniformly in
+	// [1, MaxNodes] and snapped to powers of two with probability
+	// PowerOfTwoBias.
+	MaxNodes       int
+	PowerOfTwoBias float64
+	// MedianRuntime and RuntimeSigma shape the lognormal runtimes.
+	MedianRuntime sim.Time
+	RuntimeSigma  float64
+	// EstimateFactor inflates user estimates: est = runtime × U(1, F).
+	// Values below 1 are treated as exact estimates.
+	EstimateFactor float64
+	// PEsPerNode is the per-node process count for every job.
+	PEsPerNode int
+	// Seed drives generation.
+	Seed uint64
+}
+
+// DefaultStreamConfig returns a moderate 50-job stream for a machine of
+// the given width.
+func DefaultStreamConfig(maxNodes int) StreamConfig {
+	return StreamConfig{
+		Jobs:             50,
+		MeanInterarrival: 400 * sim.Millisecond,
+		MaxNodes:         maxNodes,
+		PowerOfTwoBias:   0.75,
+		MedianRuntime:    2 * sim.Second,
+		RuntimeSigma:     0.9,
+		EstimateFactor:   3,
+		PEsPerNode:       1,
+		Seed:             1,
+	}
+}
+
+// StreamJob is one generated job description.
+type StreamJob struct {
+	Submit  sim.Time
+	Nodes   int
+	Runtime sim.Time
+	Est     sim.Time
+}
+
+// GenerateStream produces a deterministic job stream for the config.
+func GenerateStream(cfg StreamConfig) []StreamJob {
+	if cfg.Jobs <= 0 || cfg.MaxNodes <= 0 {
+		return nil
+	}
+	r := rng.New(cfg.Seed)
+	jobs := make([]StreamJob, 0, cfg.Jobs)
+	now := sim.Time(0)
+	maxLg := math.Log2(float64(cfg.MaxNodes))
+	for i := 0; i < cfg.Jobs; i++ {
+		now += sim.FromSeconds(r.Exp(cfg.MeanInterarrival.Seconds()))
+		// Width: log-uniform, optionally snapped to a power of two.
+		w := int(math.Floor(math.Pow(2, r.Uniform(0, maxLg+1e-9))))
+		if w < 1 {
+			w = 1
+		}
+		if w > cfg.MaxNodes {
+			w = cfg.MaxNodes
+		}
+		if r.Float64() < cfg.PowerOfTwoBias {
+			w = 1 << int(math.Round(math.Log2(float64(w))))
+			if w > cfg.MaxNodes {
+				w = cfg.MaxNodes
+			}
+		}
+		// Runtime: lognormal around the median.
+		rt := sim.FromSeconds(cfg.MedianRuntime.Seconds() * r.LogNormal(0, cfg.RuntimeSigma))
+		if rt < sim.Millisecond {
+			rt = sim.Millisecond
+		}
+		est := rt
+		if cfg.EstimateFactor > 1 {
+			est = sim.FromSeconds(rt.Seconds() * r.Uniform(1, cfg.EstimateFactor))
+		}
+		jobs = append(jobs, StreamJob{Submit: now, Nodes: w, Runtime: rt, Est: est})
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].Submit < jobs[b].Submit })
+	return jobs
+}
+
+// StreamStats summarizes a stream (for tests and reports).
+type StreamStats struct {
+	Jobs          int
+	MeanNodes     float64
+	MeanRuntimeS  float64
+	TotalWorkNode float64 // node-seconds of demand
+	SpanS         float64 // last arrival time
+}
+
+// Summarize computes stream statistics.
+func Summarize(jobs []StreamJob) StreamStats {
+	st := StreamStats{Jobs: len(jobs)}
+	if len(jobs) == 0 {
+		return st
+	}
+	for _, j := range jobs {
+		st.MeanNodes += float64(j.Nodes)
+		st.MeanRuntimeS += j.Runtime.Seconds()
+		st.TotalWorkNode += float64(j.Nodes) * j.Runtime.Seconds()
+	}
+	st.MeanNodes /= float64(len(jobs))
+	st.MeanRuntimeS /= float64(len(jobs))
+	st.SpanS = jobs[len(jobs)-1].Submit.Seconds()
+	return st
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestGenerateStreamBasics(t *testing.T) {
+	cfg := DefaultStreamConfig(16)
+	jobs := GenerateStream(cfg)
+	if len(jobs) != cfg.Jobs {
+		t.Fatalf("generated %d jobs, want %d", len(jobs), cfg.Jobs)
+	}
+	var prev sim.Time
+	for i, j := range jobs {
+		if j.Submit < prev {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+		prev = j.Submit
+		if j.Nodes < 1 || j.Nodes > 16 {
+			t.Fatalf("job %d width %d out of [1,16]", i, j.Nodes)
+		}
+		if j.Runtime < sim.Millisecond {
+			t.Fatalf("job %d runtime too small: %v", i, j.Runtime)
+		}
+		if j.Est < j.Runtime {
+			t.Fatalf("job %d estimate %v below runtime %v", i, j.Est, j.Runtime)
+		}
+		if j.Est > 3*j.Runtime+sim.Millisecond {
+			t.Fatalf("job %d estimate %v beyond factor 3 of %v", i, j.Est, j.Runtime)
+		}
+	}
+}
+
+func TestGenerateStreamDeterministic(t *testing.T) {
+	cfg := DefaultStreamConfig(8)
+	a, b := GenerateStream(cfg), GenerateStream(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream not deterministic at job %d", i)
+		}
+	}
+	cfg.Seed = 2
+	c := GenerateStream(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateStreamProperties(t *testing.T) {
+	if err := quick.Check(func(seed uint64, width uint8) bool {
+		maxNodes := 1 << (seed % 6) // 1..32
+		cfg := DefaultStreamConfig(maxNodes)
+		cfg.Seed = seed
+		cfg.Jobs = 30
+		for _, j := range GenerateStream(cfg) {
+			if j.Nodes < 1 || j.Nodes > maxNodes || j.Est < j.Runtime || j.Submit < 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateStreamDegenerate(t *testing.T) {
+	if got := GenerateStream(StreamConfig{}); got != nil {
+		t.Fatalf("empty config produced %d jobs", len(got))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	jobs := []StreamJob{
+		{Submit: sim.Second, Nodes: 2, Runtime: 2 * sim.Second},
+		{Submit: 3 * sim.Second, Nodes: 4, Runtime: sim.Second},
+	}
+	st := Summarize(jobs)
+	if st.Jobs != 2 || st.MeanNodes != 3 || st.MeanRuntimeS != 1.5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.TotalWorkNode != 8 || st.SpanS != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if z := Summarize(nil); z.Jobs != 0 {
+		t.Fatal("empty summary wrong")
+	}
+}

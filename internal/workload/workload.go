@@ -1,0 +1,189 @@
+// Package workload implements the application models of the paper's
+// evaluation (§3.2):
+//
+//   - SWEEP3D, the ASCI deterministic particle-transport code: a
+//     wavefront (KBA) computation — pipelined sweeps across a 2-D
+//     processor grid with nearest-neighbour communication and poor memory
+//     locality (which is why timesharing two instances costs nothing,
+//     paper footnote 4).
+//
+//   - A synthetic CPU-intensive computation: pure compute with periodic
+//     gang barriers.
+//
+//   - The two loaders of §3.1.2: a spin-loop CPU hog and a
+//     message-ping-pong network hog (the System-level loaders live in
+//     internal/storm; the programs here are the job-shaped equivalents).
+//
+// A real (non-simulated) serial sweep kernel is in kernel.go for the
+// live-mode examples; the types here model timing for the simulator.
+package workload
+
+import (
+	"math"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// Sweep3D models the SWEEP3D wavefront computation. The paper runs it so
+// that one instance takes ~49 s on 32 nodes / 64 PEs; per-PE work is
+// fixed (weak scaling), so runtime is node-count independent (its
+// Fig. 5).
+type Sweep3D struct {
+	// Iterations is the number of outer (source/flux) iterations.
+	Iterations int
+	// SweepsPerIter is the number of wavefront sweeps (octant pairs) per
+	// outer iteration.
+	SweepsPerIter int
+	// CellCompute is the CPU time per PE per sweep stage.
+	CellCompute sim.Time
+	// MsgBytes is the boundary-exchange message size between neighbours.
+	MsgBytes int64
+}
+
+// DefaultSweep3D returns a configuration whose single-instance runtime is
+// close to the paper's ~49 s (observed run time divided by MPL in its
+// Fig. 4: the annotated point is (2 ms, 49 s)).
+func DefaultSweep3D() Sweep3D {
+	return Sweep3D{
+		Iterations:    12,
+		SweepsPerIter: 8,
+		CellCompute:   500 * sim.Millisecond,
+		MsgBytes:      64 << 10,
+	}
+}
+
+// ScaledSweep3D returns a SWEEP3D model whose total runtime is scaled to
+// approximately the given seconds (for fast tests and quick experiment
+// runs).
+func ScaledSweep3D(seconds float64) Sweep3D {
+	s := DefaultSweep3D()
+	total := float64(s.Iterations*s.SweepsPerIter) * s.CellCompute.Seconds()
+	s.CellCompute = sim.FromSeconds(s.CellCompute.Seconds() * seconds / total)
+	return s
+}
+
+// TotalComputeSeconds returns the per-PE CPU demand of one instance.
+func (s Sweep3D) TotalComputeSeconds() float64 {
+	return float64(s.Iterations*s.SweepsPerIter) * s.CellCompute.Seconds()
+}
+
+// Run implements job.Program. Each sweep consists of the local cell work,
+// a boundary exchange with the pipeline successor, and (at sweep end) a
+// gang-wide synchronization — the communication pattern that makes
+// SWEEP3D coscheduling-sensitive.
+func (s Sweep3D) Run(p *sim.Proc, ctx *job.ProcessCtx) {
+	size := ctx.Job.Processes()
+	for it := 0; it < s.Iterations; it++ {
+		for sw := 0; sw < s.SweepsPerIter; sw++ {
+			// Pipelined wavefront: the rank's position in the sweep order
+			// staggers its start; the stagger is hidden by the pipeline
+			// except at the edges, so we model the local stage as compute
+			// + neighbour exchange.
+			ctx.Thread.Consume(p, s.CellCompute)
+			if next := ctx.Rank + 1; next < size {
+				ctx.SendTo(p, next, s.MsgBytes)
+			}
+			// Octant boundary: global flux synchronization.
+			ctx.Barrier(p)
+		}
+	}
+}
+
+// Synthetic is the paper's synthetic CPU-intensive job: Total CPU seconds
+// of pure computation per PE, with a gang barrier every BarrierEvery to
+// keep the gang honest (zero disables barriers entirely).
+type Synthetic struct {
+	Total        sim.Time
+	BarrierEvery sim.Time
+}
+
+// DefaultSynthetic returns a ~20 s synthetic computation.
+func DefaultSynthetic() Synthetic {
+	return Synthetic{Total: 20 * sim.Second, BarrierEvery: sim.Second}
+}
+
+// Run implements job.Program.
+func (s Synthetic) Run(p *sim.Proc, ctx *job.ProcessCtx) {
+	if s.BarrierEvery <= 0 || s.BarrierEvery >= s.Total {
+		ctx.Thread.Consume(p, s.Total)
+		return
+	}
+	steps := int(math.Ceil(float64(s.Total) / float64(s.BarrierEvery)))
+	per := sim.Time(int64(s.Total) / int64(steps))
+	for i := 0; i < steps; i++ {
+		ctx.Thread.Consume(p, per)
+		ctx.Barrier(p)
+	}
+}
+
+// Imbalanced is a bulk-synchronous application with internal load
+// imbalance: each rank's per-iteration compute is drawn lognormally, so
+// fast ranks idle at every barrier waiting for the slowest — the
+// resource-waste pattern the paper's conclusions blame on space sharing
+// ("large jobs frequently suffer from internal load imbalance", §6).
+// Uncoordinated policies (implicit coscheduling) can fill those idle
+// cycles with another job's work.
+type Imbalanced struct {
+	// MeanIter is the mean per-rank compute per iteration.
+	MeanIter sim.Time
+	// Iters is the number of barrier-terminated iterations.
+	Iters int
+	// Sigma is the lognormal spread of per-rank, per-iteration work.
+	Sigma float64
+}
+
+// Run implements job.Program.
+func (im Imbalanced) Run(p *sim.Proc, ctx *job.ProcessCtx) {
+	sigma := im.Sigma
+	if sigma <= 0 {
+		sigma = 0.5
+	}
+	// exp(-sigma^2/2) normalizes the lognormal so the mean stays MeanIter.
+	norm := math.Exp(-sigma * sigma / 2)
+	for i := 0; i < im.Iters; i++ {
+		f := norm
+		if ctx.Rnd != nil {
+			f = ctx.Rnd.LogNormal(0, sigma) * norm
+		}
+		ctx.Thread.Consume(p, sim.FromSeconds(im.MeanIter.Seconds()*f))
+		ctx.Barrier(p)
+	}
+}
+
+// SpinLoop is the CPU loader of §3.1.2 as a job program: it burns CPU
+// until Duration elapses (never yielding voluntarily).
+type SpinLoop struct {
+	Duration sim.Time
+}
+
+// Run implements job.Program.
+func (s SpinLoop) Run(p *sim.Proc, ctx *job.ProcessCtx) {
+	ctx.Thread.Consume(p, s.Duration)
+}
+
+// PingPong is the network loader of §3.1.2 as a job program: pairs of
+// ranks exchange messages continuously for Duration.
+type PingPong struct {
+	Duration sim.Time
+	MsgBytes int64
+}
+
+// Run implements job.Program.
+func (pp PingPong) Run(p *sim.Proc, ctx *job.ProcessCtx) {
+	peer := ctx.Rank ^ 1
+	if peer >= ctx.Job.Processes() {
+		// Odd rank count: the unpaired rank just spins.
+		ctx.Thread.Consume(p, pp.Duration)
+		return
+	}
+	deadline := p.Now() + pp.Duration
+	bytes := pp.MsgBytes
+	if bytes <= 0 {
+		bytes = 64 << 10
+	}
+	for p.Now() < deadline {
+		ctx.SendTo(p, peer, bytes)
+		ctx.Thread.Consume(p, 50*sim.Microsecond)
+	}
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/nodeos"
+	"repro/internal/sim"
+)
+
+// runSolo executes a program as a single process on a dedicated CPU with
+// no contention and returns its wall time.
+func runSolo(t *testing.T, prog job.Program) sim.Time {
+	t.Helper()
+	env := sim.NewEnv()
+	cfg := nodeos.DefaultConfig()
+	cfg.NoiseMeanInterval = 0
+	n := nodeos.New(env, 0, cfg, 1)
+	var end sim.Time
+	env.Spawn("app", func(p *sim.Proc) {
+		th := nodeos.NewThread(n.CPU(0), "app")
+		th.SetActive(true)
+		ctx := &job.ProcessCtx{
+			Job:     &job.Job{NodesWanted: 1, PEsPerNode: 1},
+			Thread:  th,
+			Barrier: func(*sim.Proc) {},
+			SendTo:  func(*sim.Proc, int, int64) {},
+		}
+		prog.Run(p, ctx)
+		end = p.Now()
+	})
+	env.Run()
+	return end
+}
+
+func TestDefaultSweep3DRuntimeNearPaper(t *testing.T) {
+	// One instance should take ~48-49 s of CPU (the paper's ~49 s point).
+	got := DefaultSweep3D().TotalComputeSeconds()
+	if got < 45 || got > 52 {
+		t.Fatalf("SWEEP3D per-PE compute = %.1fs, want ~48", got)
+	}
+}
+
+func TestScaledSweep3D(t *testing.T) {
+	s := ScaledSweep3D(4)
+	if got := s.TotalComputeSeconds(); math.Abs(got-4) > 0.01 {
+		t.Fatalf("scaled total = %.2fs, want 4", got)
+	}
+	wall := runSolo(t, s)
+	if wall.Seconds() < 3.9 || wall.Seconds() > 4.2 {
+		t.Fatalf("scaled SWEEP3D solo wall = %.2fs, want ~4", wall.Seconds())
+	}
+}
+
+func TestSyntheticRuntime(t *testing.T) {
+	s := Synthetic{Total: 2 * sim.Second, BarrierEvery: 100 * sim.Millisecond}
+	wall := runSolo(t, s)
+	if wall.Seconds() < 1.99 || wall.Seconds() > 2.1 {
+		t.Fatalf("synthetic wall = %.3fs, want ~2", wall.Seconds())
+	}
+}
+
+func TestSyntheticWithoutBarriers(t *testing.T) {
+	s := Synthetic{Total: sim.Second}
+	if wall := runSolo(t, s); wall != sim.Second {
+		t.Fatalf("barrier-free synthetic wall = %v, want exactly 1s", wall)
+	}
+}
+
+func TestSpinLoopConsumesFullDuration(t *testing.T) {
+	if wall := runSolo(t, SpinLoop{Duration: 500 * sim.Millisecond}); wall != 500*sim.Millisecond {
+		t.Fatalf("spin wall = %v", wall)
+	}
+}
+
+func TestPingPongUnpairedRankSpins(t *testing.T) {
+	// With a single process, rank 0's peer (1) does not exist.
+	wall := runSolo(t, PingPong{Duration: 100 * sim.Millisecond})
+	if wall != 100*sim.Millisecond {
+		t.Fatalf("unpaired ping-pong wall = %v", wall)
+	}
+}
+
+func TestPingPongSendsMessages(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := nodeos.DefaultConfig()
+	cfg.NoiseMeanInterval = 0
+	n := nodeos.New(env, 0, cfg, 1)
+	sends := 0
+	env.Spawn("app", func(p *sim.Proc) {
+		th := nodeos.NewThread(n.CPU(0), "app")
+		th.SetActive(true)
+		ctx := &job.ProcessCtx{
+			Job:     &job.Job{NodesWanted: 2, PEsPerNode: 1},
+			Rank:    0,
+			Thread:  th,
+			Barrier: func(*sim.Proc) {},
+			SendTo: func(sp *sim.Proc, peer int, bytes int64) {
+				if peer != 1 {
+					t.Errorf("rank 0 sent to %d, want 1", peer)
+				}
+				sends++
+				sp.Wait(100 * sim.Microsecond)
+			},
+		}
+		PingPong{Duration: 10 * sim.Millisecond, MsgBytes: 1024}.Run(p, ctx)
+	})
+	env.Run()
+	if sends < 10 {
+		t.Fatalf("ping-pong sent only %d messages in 10ms", sends)
+	}
+}
+
+func TestSweep3DCommunicates(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := nodeos.DefaultConfig()
+	cfg.NoiseMeanInterval = 0
+	n := nodeos.New(env, 0, cfg, 1)
+	sends, barriers := 0, 0
+	sw := ScaledSweep3D(0.1)
+	env.Spawn("app", func(p *sim.Proc) {
+		th := nodeos.NewThread(n.CPU(0), "app")
+		th.SetActive(true)
+		ctx := &job.ProcessCtx{
+			Job:     &job.Job{NodesWanted: 4, PEsPerNode: 1},
+			Rank:    0,
+			Thread:  th,
+			Barrier: func(*sim.Proc) { barriers++ },
+			SendTo:  func(*sim.Proc, int, int64) { sends++ },
+		}
+		sw.Run(p, ctx)
+	})
+	env.Run()
+	wantStages := sw.Iterations * sw.SweepsPerIter
+	if barriers != wantStages {
+		t.Fatalf("barriers = %d, want %d", barriers, wantStages)
+	}
+	if sends != wantStages {
+		t.Fatalf("sends = %d, want %d", sends, wantStages)
+	}
+}
+
+func TestDefaultSynthetic(t *testing.T) {
+	s := DefaultSynthetic()
+	if s.Total != 20*sim.Second || s.BarrierEvery != sim.Second {
+		t.Fatalf("defaults = %+v", s)
+	}
+}
+
+func TestImbalancedMeanWork(t *testing.T) {
+	// The lognormal normalization keeps the mean per-iteration work near
+	// MeanIter; check the solo wall time lands near Iters*MeanIter.
+	prog := Imbalanced{MeanIter: 10 * sim.Millisecond, Iters: 200, Sigma: 0.6}
+	wall := runSolo(t, prog).Seconds()
+	if wall < 1.5 || wall > 2.6 {
+		t.Fatalf("imbalanced solo wall = %.2fs, want ~2s", wall)
+	}
+}
+
+func TestImbalancedWithoutRngFallsBack(t *testing.T) {
+	prog := Imbalanced{MeanIter: 10 * sim.Millisecond, Iters: 5}
+	if wall := runSolo(t, prog); wall <= 0 {
+		t.Fatal("no progress without an RNG")
+	}
+}
