@@ -12,27 +12,51 @@
 //
 // Flags:
 //
-//	-quick      shrink configurations for a fast pass (seconds, not minutes)
-//	-csv        emit CSV instead of aligned text tables
-//	-seed N     simulation seed (default 1)
-//	-repeats N  measurement repetitions per point (default: 3, quick: 1)
+//	-quick       shrink configurations for a fast pass (seconds, not minutes)
+//	-csv         emit CSV instead of aligned text tables
+//	-seed N      simulation seed (default 1)
+//	-repeats N   measurement repetitions per point (default: 3, quick: 1)
+//	-parallel N  sweep-point workers per experiment (default: GOMAXPROCS;
+//	             1 forces a serial run — output is identical either way)
+//	-json        also write a BENCH_<id>.json bench summary per experiment
+//	             (wall-clock, dispatched events, events/s)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/workload"
 )
 
+// benchRecord is the per-experiment summary written by -json, the repo's
+// machine-readable performance trajectory.
+type benchRecord struct {
+	ID           string  `json:"id"`
+	Title        string  `json:"title"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsRun    uint64  `json:"events_run"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Workers      int     `json:"workers"`
+	Quick        bool    `json:"quick"`
+	Seed         uint64  `json:"seed"`
+	Repeats      int     `json:"repeats"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "shrink configurations for a fast pass")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	repeats := flag.Int("repeats", 0, "measurement repetitions per point (0 = default)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"concurrent sweep points per experiment (1 = serial; output is identical)")
+	jsonOut := flag.Bool("json", false, "write BENCH_<id>.json bench summaries")
 	workloadFile := flag.String("workload", "", "replay a JSON workload file instead of a named experiment")
 	policy := flag.String("policy", "gang:2", "replay policy: batch, easy, gang[:n], ics[:n], bcs[:n], priority[:n]")
 	nodes := flag.Int("nodes", 0, "replay cluster width (0 = fit the widest job)")
@@ -64,16 +88,29 @@ func main() {
 		ids = experiments.IDs()
 	}
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed, Repeats: *repeats}
+	var events atomic.Uint64
+	opt := experiments.Options{
+		Quick:   *quick,
+		Seed:    *seed,
+		Repeats: *repeats,
+		Workers: *parallel,
+		Events:  &events,
+	}
 	exit := 0
+	suiteStart := time.Now()
+	var suiteRan int
 	for _, id := range ids {
 		start := time.Now()
+		eventsBefore := events.Load()
 		res, err := experiments.Run(id, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormsim: %v\n", err)
 			exit = 1
 			continue
 		}
+		wall := time.Since(start)
+		ran := events.Load() - eventsBefore
+		suiteRan++
 		fmt.Printf("==> %s: %s\n", res.ID, res.Title)
 		for _, tab := range res.Tables {
 			if *csv {
@@ -88,9 +125,42 @@ func main() {
 		for _, n := range res.Notes {
 			fmt.Printf("  note: %s\n", n)
 		}
-		fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Printf("  (%.1fs)\n\n", wall.Seconds())
+		if *jsonOut {
+			rec := benchRecord{
+				ID:           res.ID,
+				Title:        res.Title,
+				WallSeconds:  wall.Seconds(),
+				EventsRun:    ran,
+				EventsPerSec: float64(ran) / wall.Seconds(),
+				Workers:      *parallel,
+				Quick:        *quick,
+				Seed:         *seed,
+				Repeats:      *repeats,
+			}
+			if err := writeBench(rec); err != nil {
+				fmt.Fprintf(os.Stderr, "stormsim: bench summary: %v\n", err)
+				exit = 1
+			}
+		}
+	}
+	if len(ids) > 1 {
+		wall := time.Since(suiteStart).Seconds()
+		total := events.Load()
+		fmt.Printf("==> suite: %d/%d experiments in %.1fs wall, %d events dispatched (%.2fM events/s, %d workers)\n",
+			suiteRan, len(ids), wall, total, float64(total)/wall/1e6, *parallel)
 	}
 	os.Exit(exit)
+}
+
+// writeBench writes one experiment's bench summary to BENCH_<id>.json in
+// the current directory.
+func writeBench(rec benchRecord) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(fmt.Sprintf("BENCH_%s.json", rec.ID), append(data, '\n'), 0o644)
 }
 
 // replay runs a JSON workload file under the selected policy.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/baseline"
+	"repro/internal/experiments/sweep"
 	"repro/internal/job"
 	"repro/internal/mech"
 	"repro/internal/metrics"
@@ -22,6 +23,15 @@ func init() {
 	register("nfslaunch", "Shared-NFS demand-paged launching collapse (paper §5.1)", nfsLaunch)
 }
 
+// launcherRow names a literature baseline by constructor so each sweep
+// point builds a private Launcher (their executable simulations are not
+// goroutine-safe to share).
+type launcherRow struct {
+	make  func() baseline.Launcher
+	nodes int
+	paper float64
+}
+
 // stormMeasured64 measures this reproduction's own 12 MB / 64-node launch
 // (the paper's Table 6 row for STORM).
 func stormMeasured64(opt Options) float64 {
@@ -33,44 +43,63 @@ func stormMeasured64(opt Options) float64 {
 }
 
 func table6(opt Options) (*Result, error) {
+	rows := []launcherRow{
+		{baseline.Rsh, 95, 90},
+		{baseline.RMS, 64, 5.9},
+		{baseline.GLUnix, 95, 1.3},
+		{baseline.Cplant, 1010, 20},
+		{baseline.BProc, 100, 2.7},
+	}
+	type out struct {
+		name     string
+		binaryMB float64
+		launchS  float64
+	}
+	// The last point is STORM's own measured launch, riding in the same
+	// sweep so every simulation in the table runs concurrently.
+	outs := sweep.Run(sweep.Indices(len(rows)+1), opt.Workers, func(i, _ int) out {
+		if i == len(rows) {
+			return out{launchS: stormMeasured64(opt)}
+		}
+		l := rows[i].make()
+		return out{name: l.Name(), binaryMB: l.BinaryMB(), launchS: l.Launch(rows[i].nodes).Seconds()}
+	})
 	tab := metrics.NewTable("A selection of job-launch times",
 		"Resource manager", "Configuration", "Paper (s)", "This reproduction (s)")
-	rows := []struct {
-		l     baseline.Launcher
-		nodes int
-		paper float64
-	}{
-		{baseline.Rsh(), 95, 90},
-		{baseline.RMS(), 64, 5.9},
-		{baseline.GLUnix(), 95, 1.3},
-		{baseline.Cplant(), 1010, 20},
-		{baseline.BProc(), 100, 2.7},
+	for i, r := range rows {
+		cfgStr := fmt.Sprintf("%.0f MB on %d nodes", outs[i].binaryMB, r.nodes)
+		tab.AddRow(outs[i].name, cfgStr, r.paper, outs[i].launchS)
 	}
-	for _, r := range rows {
-		cfgStr := fmt.Sprintf("%.0f MB on %d nodes", r.l.BinaryMB(), r.nodes)
-		tab.AddRow(r.l.Name(), cfgStr, r.paper, r.l.Launch(r.nodes).Seconds())
-	}
-	tab.AddRow("STORM", "12 MB on 64 nodes", 0.11, stormMeasured64(opt))
+	tab.AddRow("STORM", "12 MB on 64 nodes", 0.11, outs[len(rows)].launchS)
 	return &Result{Tables: []*metrics.Table{tab}}, nil
 }
 
 func table7(opt Options) (*Result, error) {
-	tab := metrics.NewTable("Extrapolated job-launch times at 4,096 nodes",
-		"Resource manager", "Formula", "Paper (s)", "Model here (s)", "Simulated here (s)")
 	rows := []struct {
-		l       baseline.Launcher
+		make    func() baseline.Launcher
 		formula string
 		paper   float64
 	}{
-		{baseline.Rsh(), "t = 0.934n + 1.266", 3827.10},
-		{baseline.RMS(), "t = 0.077n + 1.092", 317.67},
-		{baseline.GLUnix(), "t = 0.012n + 0.228", 49.38},
-		{baseline.Cplant(), "t = 1.379 lg n + 6.177", 22.73},
-		{baseline.BProc(), "t = 0.413 lg n - 0.084", 4.88},
+		{baseline.Rsh, "t = 0.934n + 1.266", 3827.10},
+		{baseline.RMS, "t = 0.077n + 1.092", 317.67},
+		{baseline.GLUnix, "t = 0.012n + 0.228", 49.38},
+		{baseline.Cplant, "t = 1.379 lg n + 6.177", 22.73},
+		{baseline.BProc, "t = 0.413 lg n - 0.084", 4.88},
 	}
 	const n = 4096
-	for _, r := range rows {
-		tab.AddRow(r.l.Name(), r.formula, r.paper, r.l.Model(n), r.l.Launch(n).Seconds())
+	type out struct {
+		name   string
+		model  float64
+		simSec float64
+	}
+	outs := sweep.Run(sweep.Indices(len(rows)), opt.Workers, func(i, _ int) out {
+		l := rows[i].make()
+		return out{name: l.Name(), model: l.Model(n), simSec: l.Launch(n).Seconds()}
+	})
+	tab := metrics.NewTable("Extrapolated job-launch times at 4,096 nodes",
+		"Resource manager", "Formula", "Paper (s)", "Model here (s)", "Simulated here (s)")
+	for i, r := range rows {
+		tab.AddRow(outs[i].name, r.formula, r.paper, outs[i].model, outs[i].simSec)
 	}
 	tab.AddRow("STORM", "Eq. 3 (see fig10)", 0.11, netmodel.LaunchSTORM(n), "-")
 	return &Result{Tables: []*metrics.Table{tab}}, nil
@@ -90,33 +119,44 @@ func fig11Axis(quick bool) []int {
 
 func fig11(opt Options) (*Result, error) {
 	axis := fig11Axis(opt.Quick)
+	// One sweep point per node count; each runs every launcher's
+	// executable simulation (or its closed-form model beyond 4,096 nodes)
+	// on a private Launcher set.
+	lineRows := sweep.Run(axis, opt.Workers, func(_ int, n int) []float64 {
+		var vals []float64
+		for _, l := range baseline.All() {
+			if n <= 4096 {
+				vals = append(vals, l.Launch(n).Seconds())
+			} else {
+				vals = append(vals, l.Model(n))
+			}
+		}
+		return vals
+	})
 	tab := metrics.NewTable("Launch time by system (s)",
 		"Nodes", "rsh", "RMS", "GLUnix", "Cplant", "BProc", "STORM (model)")
-	launchers := baseline.All()
-	for _, n := range axis {
+	for i, n := range axis {
 		row := []interface{}{n}
-		for _, l := range launchers {
-			if n <= 4096 {
-				row = append(row, l.Launch(n).Seconds())
-			} else {
-				row = append(row, l.Model(n))
-			}
+		for _, v := range lineRows[i] {
+			row = append(row, v)
 		}
 		row = append(row, netmodel.LaunchSTORM(n))
 		tab.AddRow(row...)
 	}
-	meas := metrics.NewTable("STORM measured points (simulated cluster)",
-		"Nodes", "Launch time (s)")
 	measAxis := []int{1, 4, 16, 64}
 	if opt.Quick {
 		measAxis = []int{4, 16}
 	}
-	for _, n := range measAxis {
-		lr := meanLaunch(opt, n*4, 12_000_000, unloaded, nil)
-		if lr.Failed {
+	measured := sweep.Run(measAxis, opt.Workers, func(_ int, n int) launchResult {
+		return meanLaunch(opt, n*4, 12_000_000, unloaded, nil)
+	})
+	meas := metrics.NewTable("STORM measured points (simulated cluster)",
+		"Nodes", "Launch time (s)")
+	for i, n := range measAxis {
+		if measured[i].Failed {
 			return nil, fmt.Errorf("launch failed at %d nodes", n)
 		}
-		meas.AddRow(n, lr.TotalSec)
+		meas.AddRow(n, measured[i].TotalSec)
 	}
 	return &Result{
 		Tables: []*metrics.Table{tab, meas},
@@ -159,12 +199,27 @@ func ablation(opt Options) (*Result, error) {
 	if opt.Quick {
 		axis = []int{4, 16}
 	}
+	// Two sweep points per node count: hardware collectives and the
+	// software-tree emulation.
+	type point struct {
+		n  int
+		hw bool
+	}
+	var pts []point
+	for _, n := range axis {
+		pts = append(pts, point{n, true}, point{n, false})
+	}
+	outs := sweep.Run(pts, opt.Workers, func(_ int, pt point) launchResult {
+		if pt.hw {
+			return meanLaunch(opt, pt.n*4, 12_000_000, unloaded, nil)
+		}
+		return meanLaunchDomain(opt, pt.n, 12_000_000,
+			func(net *qsnet.Network) mech.Domain { return mech.NewTree(net) })
+	})
 	tab := metrics.NewTable("12 MB launch: hardware mechanisms vs. software-tree emulation",
 		"Nodes", "Hardware (ms)", "Software tree (ms)", "Ratio")
-	for _, n := range axis {
-		hw := meanLaunch(opt, n*4, 12_000_000, unloaded, nil)
-		treeRes := meanLaunchDomain(opt, n, 12_000_000,
-			func(net *qsnet.Network) mech.Domain { return mech.NewTree(net) })
+	for i, n := range axis {
+		hw, treeRes := outs[2*i], outs[2*i+1]
 		if hw.Failed || treeRes.Failed {
 			return nil, fmt.Errorf("ablation launch failed at %d nodes", n)
 		}
@@ -193,6 +248,7 @@ func meanLaunchDomain(opt Options, nodes int, binaryBytes int64, build storm.Dom
 	})
 	total := s.RunUntilDone(j)
 	s.Shutdown()
+	opt.recordEvents(env)
 	if j.State != job.Finished {
 		return launchResult{Failed: true}
 	}
@@ -208,11 +264,18 @@ func nfsLaunch(opt Options) (*Result, error) {
 	if opt.Quick {
 		axis = []int{4, 16, 64}
 	}
+	type out struct {
+		totalS float64
+		fails  int
+	}
+	outs := sweep.Run(axis, opt.Workers, func(_ int, n int) out {
+		total, fails := baseline.NFSLaunch(n, 12_000_000, 30e9)
+		return out{total.Seconds(), fails}
+	})
 	tab := metrics.NewTable("Demand-paging a 12 MB binary from one NFS server",
 		"Nodes", "Completion (s)", "Timeout failures", "STORM (s, model)")
-	for _, n := range axis {
-		total, fails := baseline.NFSLaunch(n, 12_000_000, 30e9)
-		tab.AddRow(n, total.Seconds(), fails, netmodel.LaunchSTORM(n))
+	for i, n := range axis {
+		tab.AddRow(n, outs[i].totalS, outs[i].fails, netmodel.LaunchSTORM(n))
 	}
 	return &Result{
 		Tables: []*metrics.Table{tab},

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// renderResult flattens everything stormsim would print for a result —
+// aligned tables, CSV, verbatim text blocks, notes — into one string, so
+// equality here is byte-identity of the CLI output.
+func renderResult(t *testing.T, res *Result) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(res.ID + "\n" + res.Title + "\n")
+	for _, tab := range res.Tables {
+		b.WriteString(tab.String())
+		b.WriteString(tab.CSV())
+	}
+	for _, txt := range res.Text {
+		b.WriteString(txt + "\n")
+	}
+	for _, n := range res.Notes {
+		b.WriteString(n + "\n")
+	}
+	return b.String()
+}
+
+// TestParallelRunsAreByteIdentical is the harness's determinism
+// regression: the same experiment with the same seed must render the same
+// bytes whether the sweep runs serially or on eight workers. Sweep points
+// own private sim.Envs and results are collected in input order, so
+// parallelism must be invisible in the output.
+func TestParallelRunsAreByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig2", "table4"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			serialOpt := quickOpt
+			serialOpt.Workers = 1
+			parallelOpt := quickOpt
+			parallelOpt.Workers = 8
+			serial, err := Run(id, serialOpt)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			parallel, err := Run(id, parallelOpt)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			sTxt, pTxt := renderResult(t, serial), renderResult(t, parallel)
+			if sTxt != pTxt {
+				t.Errorf("workers=1 vs workers=8 output differs:\n--- serial ---\n%s\n--- parallel ---\n%s", sTxt, pTxt)
+			}
+		})
+	}
+}
+
+// TestEventAccounting checks the Events sink collects simulation effort
+// from parallel workers without perturbing the result.
+func TestEventAccounting(t *testing.T) {
+	var events atomic.Uint64
+	opt := quickOpt
+	opt.Workers = 4
+	opt.Events = &events
+	if _, err := Run("fig2", opt); err != nil {
+		t.Fatal(err)
+	}
+	if events.Load() == 0 {
+		t.Error("fig2 reported zero dispatched events")
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/experiments/sweep"
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -39,7 +40,10 @@ func gangMeasurement(opt Options, nodes, pesPerNode int, quantum sim.Time, mpl i
 		}))
 	}
 	s.RunUntilDone(jobs...)
-	defer s.Shutdown()
+	defer func() {
+		s.Shutdown()
+		opt.recordEvents(env)
+	}()
 	first, last := jobs[0].FirstRun, sim.Time(0)
 	for _, j := range jobs {
 		if j.FirstRun < first {
@@ -50,6 +54,29 @@ func gangMeasurement(opt Options, nodes, pesPerNode int, quantum sim.Time, mpl i
 		}
 	}
 	return (last - first).Seconds() / float64(mpl), s.Overloaded
+}
+
+// gangPoint is one (quantum or node axis) × (program, MPL) measurement in
+// a gang-scheduling sweep.
+type gangPoint struct {
+	nodes   int
+	quantum sim.Time
+	mpl     int
+	prog    job.Program
+}
+
+// gangOut pairs the normalized runtime with the NM-overload flag.
+type gangOut struct {
+	runtime    float64
+	overloaded bool
+}
+
+// runGangPoints fans the measurements out across the sweep harness.
+func runGangPoints(opt Options, pts []gangPoint) []gangOut {
+	return sweep.Run(pts, opt.Workers, func(_ int, pt gangPoint) gangOut {
+		rt, over := gangMeasurement(opt, pt.nodes, 2, pt.quantum, pt.mpl, pt.prog)
+		return gangOut{rt, over}
+	})
 }
 
 // fig4Config returns the machine and application scale. The paper uses
@@ -73,16 +100,24 @@ func fig4Config(quick bool) (nodes int, sweep workload.Sweep3D, synth workload.S
 }
 
 func fig4(opt Options) (*Result, error) {
-	nodes, sweep, synth, quantaMs := fig4Config(opt.Quick)
+	nodes, sw, synth, quantaMs := fig4Config(opt.Quick)
+	// Three measurements per quantum, each an independent sweep point.
+	var pts []gangPoint
+	for _, qms := range quantaMs {
+		q := sim.FromMilliseconds(qms)
+		pts = append(pts,
+			gangPoint{nodes, q, 1, sw},
+			gangPoint{nodes, q, 2, sw},
+			gangPoint{nodes, q, 2, synth})
+	}
+	outs := runGangPoints(opt, pts)
 	tab := metrics.NewTable(
 		fmt.Sprintf("Normalized runtime vs. time quantum, %d nodes/%d PEs (s)", nodes, nodes*2),
 		"Quantum (ms)", "SWEEP3D MPL=1", "SWEEP3D MPL=2", "Synthetic MPL=2", "NM overloaded")
-	for _, qms := range quantaMs {
-		q := sim.FromMilliseconds(qms)
-		s1, _ := gangMeasurement(opt, nodes, 2, q, 1, sweep)
-		s2, over2 := gangMeasurement(opt, nodes, 2, q, 2, sweep)
-		sy2, overS := gangMeasurement(opt, nodes, 2, q, 2, synth)
-		tab.AddRow(qms, s1, s2, sy2, fmt.Sprintf("%v", over2 || overS))
+	for i, qms := range quantaMs {
+		s1, s2, sy2 := outs[3*i], outs[3*i+1], outs[3*i+2]
+		tab.AddRow(qms, s1.runtime, s2.runtime, sy2.runtime,
+			fmt.Sprintf("%v", s2.overloaded || sy2.overloaded))
 	}
 	return &Result{
 		Tables: []*metrics.Table{tab},
@@ -96,26 +131,32 @@ func fig4(opt Options) (*Result, error) {
 
 func fig5(opt Options) (*Result, error) {
 	var nodeAxis []int
-	var sweep workload.Sweep3D
+	var sw workload.Sweep3D
 	var synth workload.Synthetic
 	if opt.Quick {
 		nodeAxis = []int{1, 4, 8}
-		sweep = workload.ScaledSweep3D(4)
+		sw = workload.ScaledSweep3D(4)
 		synth = workload.Synthetic{Total: 2 * sim.Second, BarrierEvery: 250 * sim.Millisecond}
 	} else {
 		nodeAxis = []int{1, 2, 4, 8, 16, 32, 64}
-		sweep = workload.ScaledSweep3D(12) // see fig4Config on app scaling
+		sw = workload.ScaledSweep3D(12) // see fig4Config on app scaling
 		synth = workload.Synthetic{Total: 8 * sim.Second, BarrierEvery: sim.Second}
 	}
 	q := 50 * sim.Millisecond // the paper's choice after Fig. 4
+	var pts []gangPoint
+	for _, n := range nodeAxis {
+		pts = append(pts,
+			gangPoint{n, q, 1, sw},
+			gangPoint{n, q, 2, sw},
+			gangPoint{n, q, 1, synth},
+			gangPoint{n, q, 2, synth})
+	}
+	outs := runGangPoints(opt, pts)
 	tab := metrics.NewTable("Normalized runtime vs. nodes, 50 ms quantum (s)",
 		"Nodes", "SWEEP3D MPL=1", "SWEEP3D MPL=2", "Synthetic MPL=1", "Synthetic MPL=2")
-	for _, n := range nodeAxis {
-		s1, _ := gangMeasurement(opt, n, 2, q, 1, sweep)
-		s2, _ := gangMeasurement(opt, n, 2, q, 2, sweep)
-		y1, _ := gangMeasurement(opt, n, 2, q, 1, synth)
-		y2, _ := gangMeasurement(opt, n, 2, q, 2, synth)
-		tab.AddRow(n, s1, s2, y1, y2)
+	for i, n := range nodeAxis {
+		tab.AddRow(n, outs[4*i].runtime, outs[4*i+1].runtime,
+			outs[4*i+2].runtime, outs[4*i+3].runtime)
 	}
 	return &Result{
 		Tables: []*metrics.Table{tab},
@@ -128,26 +169,32 @@ func fig5(opt Options) (*Result, error) {
 
 func table8(opt Options) (*Result, error) {
 	nodes := 64
-	sweep := workload.ScaledSweep3D(12) // see fig4Config on app scaling
+	sw := workload.ScaledSweep3D(12) // see fig4Config on app scaling
 	quantaMs := []float64{0.3, 0.5, 1, 2, 5, 10}
 	if opt.Quick {
 		nodes = 8
-		sweep = workload.ScaledSweep3D(3)
+		sw = workload.ScaledSweep3D(3)
 		quantaMs = []float64{0.5, 2, 10}
 	}
-	// Baseline: a quantum far up the plateau.
-	base, _ := gangMeasurement(opt, nodes, 2, 100*sim.Millisecond, 2, sweep)
+	// Point 0 is the baseline (a quantum far up the plateau); the rest are
+	// the quantum axis. All are independent, so they sweep together.
+	pts := []gangPoint{{nodes, 100 * sim.Millisecond, 2, sw}}
+	for _, qms := range quantaMs {
+		pts = append(pts, gangPoint{nodes, sim.FromMilliseconds(qms), 2, sw})
+	}
+	outs := runGangPoints(opt, pts)
+	base := outs[0].runtime
 	minFeasible := -1.0
 	detail := metrics.NewTable("STORM slowdown by quantum (measured)",
 		"Quantum (ms)", "Normalized runtime (s)", "Slowdown (%)", "Feasible (<=2%)")
-	for _, qms := range quantaMs {
-		rt, over := gangMeasurement(opt, nodes, 2, sim.FromMilliseconds(qms), 2, sweep)
-		slow := (rt/base - 1) * 100
-		ok := !over && slow <= 2.0
+	for i, qms := range quantaMs {
+		out := outs[i+1]
+		slow := (out.runtime/base - 1) * 100
+		ok := !out.overloaded && slow <= 2.0
 		if ok && minFeasible < 0 {
 			minFeasible = qms
 		}
-		detail.AddRow(qms, rt, slow, fmt.Sprintf("%v", ok))
+		detail.AddRow(qms, out.runtime, slow, fmt.Sprintf("%v", ok))
 	}
 	lit := metrics.NewTable("Minimal feasible scheduling quantum (paper Table 8)",
 		"Resource manager", "Minimal feasible quantum", "Context")

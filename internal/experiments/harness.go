@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/job"
 	"repro/internal/metrics"
@@ -26,6 +27,14 @@ type Options struct {
 	// Repeats is the number of measurement repetitions (the paper used
 	// 3-20); zero picks a per-experiment default.
 	Repeats int
+	// Workers bounds how many sweep points run concurrently (each on its
+	// own sim.Env): 0 means GOMAXPROCS, 1 forces a serial run. Tables are
+	// assembled in input order, so the output is identical at any value.
+	Workers int
+	// Events, when non-nil, accumulates the dispatched-event counts of
+	// the simulations the drivers run — the suite's throughput metric.
+	// It is atomic because sweep points retire from worker goroutines.
+	Events *atomic.Uint64
 }
 
 func (o Options) seed() uint64 {
@@ -33,6 +42,14 @@ func (o Options) seed() uint64 {
 		return 1
 	}
 	return o.Seed
+}
+
+// recordEvents adds a finished simulation's dispatched-event count to the
+// Events sink, if one is attached. Safe from any worker goroutine.
+func (o Options) recordEvents(env *sim.Env) {
+	if o.Events != nil {
+		o.Events.Add(env.EventsRun())
+	}
 }
 
 // Result is an experiment's output.
@@ -155,6 +172,7 @@ func measureLaunch(opt Options, pes int, binaryBytes int64, load loadKind,
 	})
 	total := s.RunUntilDone(j)
 	s.Shutdown()
+	opt.recordEvents(env)
 	if j.State != job.Finished {
 		return launchResult{Failed: true}
 	}

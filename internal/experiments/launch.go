@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/experiments/sweep"
 	"repro/internal/metrics"
 	"repro/internal/storm"
 )
@@ -27,16 +28,27 @@ func fig2(opt Options) (*Result, error) {
 	if opt.Quick {
 		sizes = []int64{4, 12}
 	}
-	tab := metrics.NewTable("Launch time decomposition, unloaded system (ms)",
-		"Processors", "Binary (MB)", "Send (ms)", "Execute (ms)", "Total (ms)")
+	type point struct {
+		mb  int64
+		pes int
+	}
+	var pts []point
 	for _, mb := range sizes {
 		for _, pes := range peAxis(opt.Quick) {
-			lr := meanLaunch(opt, pes, mb*1_000_000, unloaded, nil)
-			if lr.Failed {
-				return nil, fmt.Errorf("launch failed at %d PEs", pes)
-			}
-			tab.AddRow(pes, mb, lr.SendSec*1000, lr.ExecSec*1000, lr.TotalSec*1000)
+			pts = append(pts, point{mb, pes})
 		}
+	}
+	outs := sweep.Run(pts, opt.Workers, func(_ int, pt point) launchResult {
+		return meanLaunch(opt, pt.pes, pt.mb*1_000_000, unloaded, nil)
+	})
+	tab := metrics.NewTable("Launch time decomposition, unloaded system (ms)",
+		"Processors", "Binary (MB)", "Send (ms)", "Execute (ms)", "Total (ms)")
+	for i, pt := range pts {
+		lr := outs[i]
+		if lr.Failed {
+			return nil, fmt.Errorf("launch failed at %d PEs", pt.pes)
+		}
+		tab.AddRow(pt.pes, pt.mb, lr.SendSec*1000, lr.ExecSec*1000, lr.TotalSec*1000)
 	}
 	return &Result{
 		Tables: []*metrics.Table{tab},
@@ -51,17 +63,27 @@ func fig2(opt Options) (*Result, error) {
 }
 
 func fig3(opt Options) (*Result, error) {
+	type point struct {
+		load loadKind
+		pes  int
+	}
+	var pts []point
+	for _, load := range []loadKind{unloaded, cpuLoaded, netLoaded} {
+		for _, pes := range peAxis(opt.Quick) {
+			pts = append(pts, point{load, pes})
+		}
+	}
+	outs := sweep.Run(pts, opt.Workers, func(_ int, pt point) launchResult {
+		return meanLaunch(opt, pt.pes, 12_000_000, pt.load, nil)
+	})
 	tab := metrics.NewTable("12 MB launch under load (ms)",
 		"Processors", "Load", "Send (ms)", "Execute (ms)", "Total (ms)")
-	axis := peAxis(opt.Quick)
-	for _, load := range []loadKind{unloaded, cpuLoaded, netLoaded} {
-		for _, pes := range axis {
-			lr := meanLaunch(opt, pes, 12_000_000, load, nil)
-			if lr.Failed {
-				return nil, fmt.Errorf("launch failed at %d PEs under %v", pes, load)
-			}
-			tab.AddRow(pes, load.String(), lr.SendSec*1000, lr.ExecSec*1000, lr.TotalSec*1000)
+	for i, pt := range pts {
+		lr := outs[i]
+		if lr.Failed {
+			return nil, fmt.Errorf("launch failed at %d PEs under %v", pt.pes, pt.load)
 		}
+		tab.AddRow(pt.pes, pt.load.String(), lr.SendSec*1000, lr.ExecSec*1000, lr.TotalSec*1000)
 	}
 	return &Result{
 		Tables: []*metrics.Table{tab},
@@ -79,6 +101,26 @@ func fig8(opt Options) (*Result, error) {
 		chunksKB = []int64{32, 512, 1024}
 		slots = []int{4, 16}
 	}
+	pes := 256
+	if opt.Quick {
+		pes = 64
+	}
+	type point struct {
+		ckb int64
+		sl  int
+	}
+	var pts []point
+	for _, ckb := range chunksKB {
+		for _, sl := range slots {
+			pts = append(pts, point{ckb, sl})
+		}
+	}
+	outs := sweep.Run(pts, opt.Workers, func(_ int, pt point) launchResult {
+		return meanLaunch(opt, pes, 12_000_000, unloaded, func(c *storm.Config) {
+			c.ChunkBytes = pt.ckb << 10
+			c.Slots = pt.sl
+		})
+	})
 	tab := metrics.NewTable("12 MB send time by fragment size and slot count (ms), 64 nodes",
 		append([]string{"Chunk (KB)"}, func() []string {
 			var h []string
@@ -87,21 +129,13 @@ func fig8(opt Options) (*Result, error) {
 			}
 			return h
 		}()...)...)
-	pes := 256
-	if opt.Quick {
-		pes = 64
-	}
-	for _, ckb := range chunksKB {
+	for ci, ckb := range chunksKB {
 		row := make([]interface{}, 0, len(slots)+1)
 		row = append(row, ckb)
-		for _, sl := range slots {
-			ckb, sl := ckb, sl
-			lr := meanLaunch(opt, pes, 12_000_000, unloaded, func(c *storm.Config) {
-				c.ChunkBytes = ckb << 10
-				c.Slots = sl
-			})
+		for si := range slots {
+			lr := outs[ci*len(slots)+si]
 			if lr.Failed {
-				return nil, fmt.Errorf("launch failed at chunk %dKB, %d slots", ckb, sl)
+				return nil, fmt.Errorf("launch failed at chunk %dKB, %d slots", ckb, slots[si])
 			}
 			row = append(row, lr.SendSec*1000)
 		}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/experiments/sweep"
 	"repro/internal/fsim"
 	"repro/internal/metrics"
 	"repro/internal/netmodel"
@@ -37,6 +38,7 @@ func fig6(opt Options) (*Result, error) {
 				}
 			})
 			env.Run()
+			opt.recordEvents(env)
 			row = append(row, float64(bytes)/elapsed.Seconds()/1e6)
 		}
 		tab.AddRow(row...)
@@ -68,6 +70,7 @@ func fig7(opt Options) (*Result, error) {
 		mm := net.BroadcastTime(bytes, qsnet.Range(0, 64), qsnet.MainMem, qsnet.MainMem)
 		tab.AddRow(kb, float64(bytes)/nic.Seconds()/1e6, float64(bytes)/mm.Seconds()/1e6)
 	}
+	opt.recordEvents(env)
 	return &Result{
 		Tables: []*metrics.Table{tab},
 		Notes: []string{
@@ -84,7 +87,7 @@ func fig9(opt Options) (*Result, error) {
 	}
 	tab := metrics.NewTable("Barrier synchronization latency (us)",
 		"Nodes", "Measured (simulated fabric)", "Model")
-	for _, n := range nodesAxis {
+	lats := sweep.Run(nodesAxis, opt.Workers, func(_ int, n int) sim.Time {
 		env := sim.NewEnv()
 		net := qsnet.New(env, qsnet.DefaultConfig(n))
 		var lat sim.Time
@@ -98,7 +101,11 @@ func fig9(opt Options) (*Result, error) {
 			lat = (p.Now() - start) / rounds
 		})
 		env.Run()
-		tab.AddRow(n, lat.Microseconds(), netmodel.BarrierLatencyUs(n))
+		opt.recordEvents(env)
+		return lat
+	})
+	for i, n := range nodesAxis {
+		tab.AddRow(n, lats[i].Microseconds(), netmodel.BarrierLatencyUs(n))
 	}
 	return &Result{
 		Tables: []*metrics.Table{tab},
@@ -116,11 +123,15 @@ func table4(opt Options) (*Result, error) {
 		headers = append(headers, fmt.Sprintf("%gm", c))
 	}
 	tab := metrics.NewTable("Asymptotic broadcast bandwidth (MB/s)", headers...)
-	for _, nodes := range []int{4, 16, 64, 256, 1024, 4096} {
+	nodeAxis := []int{4, 16, 64, 256, 1024, 4096}
+	rows := sweep.Run(nodeAxis, opt.Workers, func(_ int, nodes int) []interface{} {
 		row := []interface{}{nodes, nodes * 4, netmodel.Stages(nodes), netmodel.Switches(nodes)}
 		for _, c := range cables {
 			row = append(row, netmodel.BroadcastBW(nodes, c))
 		}
+		return row
+	})
+	for _, row := range rows {
 		tab.AddRow(row...)
 	}
 	return &Result{
@@ -139,12 +150,14 @@ func fig10(opt Options) (*Result, error) {
 	}
 	meas := metrics.NewTable("Measured 12 MB launch times (simulated cluster)",
 		"Nodes", "Launch time (ms)")
-	for _, n := range measuredAxis {
-		lr := meanLaunch(opt, n*4, 12_000_000, unloaded, nil)
-		if lr.Failed {
+	measured := sweep.Run(measuredAxis, opt.Workers, func(_ int, n int) launchResult {
+		return meanLaunch(opt, n*4, 12_000_000, unloaded, nil)
+	})
+	for i, n := range measuredAxis {
+		if measured[i].Failed {
 			return nil, fmt.Errorf("launch failed at %d nodes", n)
 		}
-		meas.AddRow(n, lr.TotalSec*1000)
+		meas.AddRow(n, measured[i].TotalSec*1000)
 	}
 	model := metrics.NewTable("Modeled 12 MB launch times (paper Eq. 3)",
 		"Nodes", "ES40 (ms)", "Ideal I/O bus (ms)")

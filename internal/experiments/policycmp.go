@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/experiments/sweep"
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -63,10 +64,14 @@ func runStream(opt Options, nodes int, policy sched.Policy, stream []workload.St
 		env.RunUntil(env.Now() + 5*sim.Second)
 		if guard++; guard > 10000 {
 			s.Shutdown()
+			opt.recordEvents(env)
 			return policyMetrics{}, fmt.Errorf("stream under %s never drained", policy.Name())
 		}
 	}
-	defer s.Shutdown()
+	defer func() {
+		s.Shutdown()
+		opt.recordEvents(env)
+	}()
 
 	var resp metrics.Sample
 	var slow metrics.Sample
@@ -119,11 +124,21 @@ func policycmp(opt Options) (*Result, error) {
 		fmt.Sprintf("Policies on one %d-job stream, %d nodes (%.0f node·s of demand)",
 			st.Jobs, nodes, st.TotalWorkNode),
 		"Policy", "Mean response (s)", "P95 response (s)", "Mean slowdown", "Makespan (s)", "Utilization (%)")
-	for _, p := range policies {
+	// One sweep point per policy; every policy replays the same immutable
+	// stream on its own simulated cluster.
+	type out struct {
+		m   policyMetrics
+		err error
+	}
+	outs := sweep.Run(policies, opt.Workers, func(_ int, p sched.Policy) out {
 		m, err := runStream(opt, nodes, p, stream)
-		if err != nil {
-			return nil, err
+		return out{m, err}
+	})
+	for i, p := range policies {
+		if outs[i].err != nil {
+			return nil, outs[i].err
 		}
+		m := outs[i].m
 		tab.AddRow(p.Name(), m.MeanRespS, m.P95RespS, m.MeanSlowdown, m.MakespanS, m.UtilizationPc)
 	}
 	return &Result{

@@ -1,0 +1,161 @@
+package sim
+
+import "testing"
+
+// These benchmarks lock in the kernel hot-path costs: schedule+fire,
+// park/unpark, and Event.Signal delivery. Run with -benchmem; the alloc
+// assertions below fail the ordinary test run if pooling regresses.
+
+// BenchmarkSchedule measures scheduling a future callback and firing it
+// (heap push + pop + dispatch through the event pool).
+func BenchmarkSchedule(b *testing.B) {
+	env := NewEnv()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.After(Microsecond, fn)
+		if i%64 == 63 {
+			env.Run()
+		}
+	}
+	env.Run()
+}
+
+// BenchmarkScheduleNow measures the at-now fast path (FIFO ring, no heap).
+func BenchmarkScheduleNow(b *testing.B) {
+	env := NewEnv()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.After(0, fn)
+		if i%64 == 63 {
+			env.Run()
+		}
+	}
+	env.Run()
+}
+
+// BenchmarkParkUnpark measures a process suspending for one microsecond of
+// virtual time and being resumed (beginPark + scheduleWake + goroutine
+// handoff both ways).
+func BenchmarkParkUnpark(b *testing.B) {
+	env := NewEnv()
+	env.Spawn("parker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	env.Run()
+}
+
+// BenchmarkEventSignal measures token delivery: one producer signals, one
+// consumer waits, ping-pong at the same timestamp.
+func BenchmarkEventSignal(b *testing.B) {
+	env := NewEnv()
+	ev := NewEvent(env)
+	env.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ev.Wait(p)
+		}
+	})
+	env.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ev.Signal()
+			p.Yield()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	env.Run()
+}
+
+// TestScheduleAllocs asserts the schedule+fire path stays within one
+// allocation per operation (the *Timer handle; the pooled event and the
+// queues themselves contribute none in steady state).
+func TestScheduleAllocs(t *testing.T) {
+	env := NewEnv()
+	fn := func() {}
+	// Warm the event pool and queue capacity.
+	for i := 0; i < 100; i++ {
+		env.After(Microsecond, fn)
+	}
+	env.Run()
+	for name, d := range map[string]Time{"future": Microsecond, "now": 0} {
+		avg := testing.AllocsPerRun(500, func() {
+			env.After(d, fn)
+			env.Run()
+		})
+		if avg > 1 {
+			t.Errorf("schedule+fire (%s): %.2f allocs/op, want <= 1", name, avg)
+		}
+	}
+}
+
+// TestParkUnparkAllocs asserts a full park/unpark cycle allocates nothing:
+// the waiter is embedded in the Proc and the wakeup event is pooled.
+func TestParkUnparkAllocs(t *testing.T) {
+	env := NewEnv()
+	var avg float64
+	env.Spawn("parker", func(p *Proc) {
+		p.Wait(Microsecond) // warm the pool
+		avg = testing.AllocsPerRun(500, func() { p.Wait(Microsecond) })
+	})
+	env.Run()
+	if avg > 0 {
+		t.Errorf("park/unpark: %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestEventSignalAllocs asserts Signal with a blocked waiter allocates
+// nothing (bound dispatch closure, pooled dispatch event, embedded waiter).
+func TestEventSignalAllocs(t *testing.T) {
+	env := NewEnv()
+	ev := NewEvent(env)
+	const rounds = 500
+	var avg float64
+	env.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < rounds+10; i++ {
+			ev.Wait(p)
+		}
+	})
+	env.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 10; i++ { // warm pool and waiter slices
+			ev.Signal()
+			p.Yield()
+		}
+		avg = testing.AllocsPerRun(rounds, func() {
+			ev.Signal()
+			p.Yield()
+		})
+	})
+	env.Run()
+	if avg > 0 {
+		t.Errorf("signal+deliver: %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestEventPoolRecycles checks the free list actually turns over instead
+// of growing without bound.
+func TestEventPoolRecycles(t *testing.T) {
+	env := NewEnv()
+	fn := func() {}
+	for i := 0; i < 1000; i++ {
+		env.After(Time(i)*Microsecond, fn)
+	}
+	env.Run()
+	grew := len(env.free)
+	for i := 0; i < 1000; i++ {
+		env.After(Time(i)*Microsecond, fn)
+		if i%10 == 9 {
+			env.Run()
+		}
+	}
+	env.Run()
+	if len(env.free) > grew+16 {
+		t.Errorf("free list grew from %d to %d across a same-sized workload", grew, len(env.free))
+	}
+}

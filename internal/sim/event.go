@@ -15,15 +15,30 @@ package sim
 // Events are created against an Env and must only be used by that Env's
 // processes.
 type Event struct {
-	env     *Env
-	count   int
-	latched bool
-	waiters []*waiter
+	env        *Env
+	count      int
+	latched    bool
+	waiters    []waiterRef
+	dispatchFn func() // ev.dispatch, bound once so Signal allocates nothing
+	queued     bool   // a dispatch is already scheduled at the current step
 }
 
 // NewEvent returns an unsignaled event.
 func NewEvent(env *Env) *Event {
-	return &Event{env: env}
+	ev := &Event{env: env}
+	ev.dispatchFn = ev.dispatch
+	return ev
+}
+
+// scheduleDispatch queues one dispatch at the current timestamp. Multiple
+// signals at one timestamp coalesce into a single dispatch event (the
+// dispatch loop drains every available token anyway).
+func (ev *Event) scheduleDispatch() {
+	if ev.queued {
+		return
+	}
+	ev.queued = true
+	ev.env.schedule(ev.env.now, ev.dispatchFn)
 }
 
 // Signal deposits one token, waking the oldest waiter (if any) at the
@@ -35,7 +50,7 @@ func (ev *Event) Signal() {
 	}
 	ev.count++
 	if len(ev.waiters) > 0 {
-		ev.env.schedule(ev.env.now, ev.dispatch)
+		ev.scheduleDispatch()
 	}
 }
 
@@ -47,32 +62,36 @@ func (ev *Event) Broadcast() {
 	}
 	ev.latched = true
 	if len(ev.waiters) > 0 {
-		ev.env.schedule(ev.env.now, ev.dispatch)
+		ev.scheduleDispatch()
 	}
 }
 
 // dispatch hands tokens to waiters in FIFO order. Runs in kernel context.
+// Consumed and stale entries are compacted into the head of the backing
+// array (never `waiters = waiters[1:]`, which would march the slice off
+// its array and force a fresh allocation per append).
 func (ev *Event) dispatch() {
-	for len(ev.waiters) > 0 && (ev.latched || ev.count > 0) {
-		w := ev.waiters[0]
-		ev.waiters = ev.waiters[1:]
-		if w.fired || w.p.dead {
+	ev.queued = false
+	i := 0
+	for i < len(ev.waiters) && (ev.latched || ev.count > 0) {
+		r := ev.waiters[i]
+		i++
+		if r.stale() {
 			continue
 		}
 		if !ev.latched {
 			ev.count--
 		}
-		ev.env.wake(w, resumeMsg{ok: true})
+		// May run model code that appends new waiters; the loop picks
+		// them up because len is re-read.
+		ev.env.wake(r.w, r.gen, resumeMsg{ok: true})
 	}
-	ev.compact()
-}
-
-// compact drops already-fired waiters (e.g. timed-out ones) from the queue.
-func (ev *Event) compact() {
+	// Keep the live remainder (e.g. still-blocked waiters), dropping
+	// already-woken ones (e.g. timed-out or killed).
 	live := ev.waiters[:0]
-	for _, w := range ev.waiters {
-		if !w.fired && !w.p.dead {
-			live = append(live, w)
+	for _, r := range ev.waiters[i:] {
+		if !r.stale() {
+			live = append(live, r)
 		}
 	}
 	ev.waiters = live
@@ -106,9 +125,8 @@ func (ev *Event) Wait(p *Proc) {
 	if ev.TryWait() {
 		return
 	}
-	w := &waiter{p: p}
-	p.waiting = w
-	ev.waiters = append(ev.waiters, w)
+	w, gen := p.beginPark()
+	ev.waiters = append(ev.waiters, waiterRef{w, gen})
 	p.park()
 }
 
@@ -121,12 +139,9 @@ func (ev *Event) WaitTimeout(p *Proc, d Time) bool {
 	if d <= 0 {
 		return false
 	}
-	w := &waiter{p: p}
-	p.waiting = w
-	ev.waiters = append(ev.waiters, w)
-	ev.env.schedule(ev.env.now+d, func() {
-		ev.env.wake(w, resumeMsg{ok: false})
-	})
+	w, gen := p.beginPark()
+	ev.waiters = append(ev.waiters, waiterRef{w, gen})
+	ev.env.scheduleWake(ev.env.now+d, w, gen, false)
 	msg := p.park()
 	return msg.ok
 }

@@ -3,9 +3,14 @@ package sim
 // Queue is an unbounded FIFO message queue in virtual time — the mailbox
 // abstraction the simulated dæmons use to receive control messages.
 // Messages become visible to receivers at the timestamp they were Put.
+//
+// Items are popped by advancing a head index into a reused backing array
+// (reset when the queue drains), so a steady Put/Get stream does not
+// re-allocate the buffer.
 type Queue struct {
 	ev    *Event
 	items []interface{}
+	head  int
 }
 
 // NewQueue returns an empty queue.
@@ -19,13 +24,24 @@ func (q *Queue) Put(item interface{}) {
 	q.ev.Signal()
 }
 
+// pop removes and returns the oldest item. The caller must know the queue
+// is non-empty (it holds a consumed token).
+func (q *Queue) pop() interface{} {
+	item := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return item
+}
+
 // Get blocks the calling process until an item is available and returns
 // the oldest one.
 func (q *Queue) Get(p *Proc) interface{} {
 	q.ev.Wait(p)
-	item := q.items[0]
-	q.items = q.items[1:]
-	return item
+	return q.pop()
 }
 
 // GetTimeout is Get with a deadline; the second result is false if the
@@ -34,9 +50,7 @@ func (q *Queue) GetTimeout(p *Proc, d Time) (interface{}, bool) {
 	if !q.ev.WaitTimeout(p, d) {
 		return nil, false
 	}
-	item := q.items[0]
-	q.items = q.items[1:]
-	return item, true
+	return q.pop(), true
 }
 
 // TryGet returns an item without blocking, or (nil, false) if empty.
@@ -44,10 +58,8 @@ func (q *Queue) TryGet() (interface{}, bool) {
 	if !q.ev.TryWait() {
 		return nil, false
 	}
-	item := q.items[0]
-	q.items = q.items[1:]
-	return item, true
+	return q.pop(), true
 }
 
 // Len returns the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return len(q.items) - q.head }

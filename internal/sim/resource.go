@@ -4,10 +4,12 @@ package sim
 // contended hardware: a PCI bus, a disk arm, an NFS server's service
 // capacity, a network link.
 type Resource struct {
-	env      *Env
-	capacity int
-	inUse    int
-	waiters  []*waiter
+	env        *Env
+	capacity   int
+	inUse      int
+	waiters    []waiterRef
+	dispatchFn func() // r.dispatch, bound once so Release allocates nothing
+	queued     bool
 }
 
 // NewResource returns a resource with the given capacity (number of
@@ -16,7 +18,9 @@ func NewResource(env *Env, capacity int) *Resource {
 	if capacity <= 0 {
 		panic("sim: resource capacity must be positive")
 	}
-	return &Resource{env: env, capacity: capacity}
+	r := &Resource{env: env, capacity: capacity}
+	r.dispatchFn = r.dispatch
+	return r
 }
 
 // Acquire blocks the calling process until a unit is available, then
@@ -26,9 +30,8 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	w := &waiter{p: p}
-	p.waiting = w
-	r.waiters = append(r.waiters, w)
+	w, gen := p.beginPark()
+	r.waiters = append(r.waiters, waiterRef{w, gen})
 	p.park()
 }
 
@@ -53,21 +56,33 @@ func (r *Resource) Release() {
 }
 
 func (r *Resource) dispatchLater() {
-	if len(r.waiters) > 0 {
-		r.env.schedule(r.env.now, r.dispatch)
+	if len(r.waiters) > 0 && !r.queued {
+		r.queued = true
+		r.env.schedule(r.env.now, r.dispatchFn)
 	}
 }
 
 func (r *Resource) dispatch() {
-	for r.inUse < r.capacity && len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
-		if w.fired || w.p.dead {
+	r.queued = false
+	i := 0
+	for i < len(r.waiters) && r.inUse < r.capacity {
+		ref := r.waiters[i]
+		i++
+		if ref.stale() {
 			continue
 		}
 		r.inUse++
-		r.env.wake(w, resumeMsg{ok: true})
+		r.env.wake(ref.w, ref.gen, resumeMsg{ok: true})
 	}
+	// Compact the remainder into the head of the backing array so the
+	// slice never marches off it (which would re-allocate per Acquire).
+	live := r.waiters[:0]
+	for _, ref := range r.waiters[i:] {
+		if !ref.stale() {
+			live = append(live, ref)
+		}
+	}
+	r.waiters = live
 }
 
 // Use acquires the resource, holds it for d of virtual time, and releases
@@ -84,8 +99,8 @@ func (r *Resource) InUse() int { return r.inUse }
 // QueueLen returns the number of processes waiting to acquire.
 func (r *Resource) QueueLen() int {
 	n := 0
-	for _, w := range r.waiters {
-		if !w.fired && !w.p.dead {
+	for _, ref := range r.waiters {
+		if !ref.stale() {
 			n++
 		}
 	}

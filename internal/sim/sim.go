@@ -19,6 +19,19 @@
 //   - Virtual time is an int64 nanosecond count (Time). Helpers convert
 //     from float64 seconds, always rounding the same way.
 //
+// An Env is confined to one OS goroutine at a time (the one calling Run);
+// independent Envs may run concurrently on different goroutines, which is
+// how the experiments package parallelizes sweeps.
+//
+// Hot-path layout: the queue is split into a binary heap for future events
+// and a FIFO ring for events scheduled at the current timestamp — the
+// dominant case (signals, handoffs, yields), which would otherwise churn
+// the heap. Event structs are recycled through a per-Env free list, and
+// process wakeups are encoded directly in the event (no closure), so the
+// schedule/park/signal paths run allocation-free in steady state. Both
+// queues honor the same (time, sequence) total order, so the split is
+// invisible to models.
+//
 // The style follows process-oriented simulators such as SimPy: model code
 // reads top-to-bottom ("transfer chunk; wait for DMA; signal event") rather
 // than as a web of callbacks, which matters because the STORM protocols are
@@ -26,7 +39,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -81,53 +93,87 @@ func FromMicroseconds(us float64) Time { return FromSeconds(us * 1e-6) }
 // FromMilliseconds converts float64 milliseconds to a Time.
 func FromMilliseconds(ms float64) Time { return FromSeconds(ms * 1e-3) }
 
-// event is one pending queue entry.
+// event is one pending queue entry. Events are recycled through the Env's
+// free list, so nothing outside the kernel may retain one past its firing;
+// Timer guards against that with the (unique, never reused) seq.
+//
+// A wakeup event carries its waiter inline (w != nil) instead of a closure,
+// which keeps the park/unpark path allocation-free.
 type event struct {
 	at       Time
 	seq      uint64
-	fn       func()
+	fn       func()  // callback, when w == nil
+	w        *waiter // wake target, when non-nil
+	wgen     uint64  // waiter generation the wake is for
+	wok      bool    // resumeMsg.ok payload for the wake
 	canceled bool
-	index    int // heap index, -1 once popped
 }
 
+// eventHeap is a binary min-heap on (at, seq). It is hand-rolled (rather
+// than container/heap) to keep the hot path free of interface calls.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
 }
-func (h *eventHeap) Push(x interface{}) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) pop() *event {
+	q := *h
+	n := len(q) - 1
+	ev := q[0]
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	// Sift the displaced element down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && q.before(r, l) {
+			child = r
+		}
+		if !q.before(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return ev
 }
 
 // Timer is a handle to a scheduled callback that can be canceled.
 type Timer struct {
-	ev *event
+	ev  *event
+	seq uint64
 }
 
 // Cancel prevents the timer's callback from running. It is safe to call
-// after the timer has fired (a no-op) and more than once.
+// after the timer has fired (a no-op) and more than once. The seq check
+// makes Cancel a no-op once the underlying event has been recycled for an
+// unrelated scheduling.
 func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
+	if t != nil && t.ev != nil && t.ev.seq == t.seq {
 		t.ev.canceled = true
 	}
 }
@@ -136,7 +182,10 @@ func (t *Timer) Cancel() {
 // the set of live processes. Create with NewEnv; drive with Run.
 type Env struct {
 	now     Time
-	queue   eventHeap
+	queue   eventHeap // events strictly after now
+	nowq    []*event  // FIFO of events at the current timestamp
+	nowHead int
+	free    []*event // recycled event structs
 	seq     uint64
 	yield   chan struct{}
 	procs   map[int]*Proc
@@ -162,14 +211,61 @@ func (e *Env) Now() Time { return e.now }
 // a cheap proxy for simulation effort.
 func (e *Env) EventsRun() uint64 { return e.eventsRun }
 
-// schedule inserts a callback at absolute time at (clamped to now).
-func (e *Env) schedule(at Time, fn func()) *event {
+// newEvent takes an event from the free list (or allocates one) and stamps
+// it with a fresh sequence number.
+func (e *Env) newEvent(at Time) *event {
 	if at < e.now {
 		at = e.now
 	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
+	ev.at = at
+	ev.seq = e.seq
+	ev.canceled = false
+	return ev
+}
+
+// release returns a fired (or canceled) event to the free list, dropping
+// its references so the pool pins no model state.
+func (e *Env) release(ev *event) {
+	ev.fn = nil
+	ev.w = nil
+	e.free = append(e.free, ev)
+}
+
+// enqueue routes an event to the at-now FIFO or the future heap.
+func (e *Env) enqueue(ev *event) {
+	if ev.at == e.now {
+		e.nowq = append(e.nowq, ev)
+	} else {
+		e.queue.push(ev)
+	}
+}
+
+// schedule inserts a callback at absolute time at (clamped to now).
+func (e *Env) schedule(at Time, fn func()) *event {
+	ev := e.newEvent(at)
+	ev.fn = fn
+	e.enqueue(ev)
+	return ev
+}
+
+// scheduleWake inserts a wakeup for waiter w (generation gen) at absolute
+// time at. Unlike schedule it captures no closure: the waiter rides in the
+// event itself, so a park costs no allocations.
+func (e *Env) scheduleWake(at Time, w *waiter, gen uint64, ok bool) *event {
+	ev := e.newEvent(at)
+	ev.w = w
+	ev.wgen = gen
+	ev.wok = ok
+	e.enqueue(ev)
 	return ev
 }
 
@@ -180,12 +276,39 @@ func (e *Env) After(d Time, fn func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
-	return &Timer{ev: e.schedule(e.now+d, fn)}
+	ev := e.schedule(e.now+d, fn)
+	return &Timer{ev: ev, seq: ev.seq}
 }
 
 // At schedules fn at absolute virtual time t (clamped to now).
 func (e *Env) At(t Time, fn func()) *Timer {
-	return &Timer{ev: e.schedule(t, fn)}
+	ev := e.schedule(t, fn)
+	return &Timer{ev: ev, seq: ev.seq}
+}
+
+// pending reports whether any event is queued.
+func (e *Env) pending() bool {
+	return e.nowHead < len(e.nowq) || len(e.queue) > 0
+}
+
+// next peeks the globally next event — the (at, seq) minimum across the
+// at-now FIFO and the future heap — and reports which queue holds it.
+// The FIFO is seq-ordered by construction, so its head is its minimum.
+func (e *Env) next() (ev *event, fromNow bool) {
+	if e.nowHead < len(e.nowq) {
+		ev, fromNow = e.nowq[e.nowHead], true
+		if len(e.queue) > 0 {
+			top := e.queue[0]
+			if top.at < ev.at || (top.at == ev.at && top.seq < ev.seq) {
+				ev, fromNow = top, false
+			}
+		}
+		return ev, fromNow
+	}
+	if len(e.queue) > 0 {
+		return e.queue[0], false
+	}
+	return nil, false
 }
 
 // Run dispatches events until the queue is empty. Model code typically
@@ -201,18 +324,37 @@ func (e *Env) RunUntil(until Time) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.queue.Len() > 0 {
-		ev := e.queue[0]
-		if until >= 0 && ev.at > until {
+	for {
+		ev, fromNow := e.next()
+		if ev == nil || (until >= 0 && ev.at > until) {
 			break
 		}
-		heap.Pop(&e.queue)
+		if fromNow {
+			e.nowHead++
+			if e.nowHead == len(e.nowq) {
+				e.nowq = e.nowq[:0]
+				e.nowHead = 0
+			}
+		} else {
+			e.queue.pop()
+		}
 		if ev.canceled {
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
 		e.eventsRun++
-		ev.fn()
+		// Unload the event before dispatching so the callback can recycle
+		// it immediately (it may well schedule the next one).
+		if w := ev.w; w != nil {
+			gen, ok := ev.wgen, ev.wok
+			e.release(ev)
+			e.wake(w, gen, resumeMsg{ok: ok})
+		} else {
+			fn := ev.fn
+			e.release(ev)
+			fn()
+		}
 	}
 	if until >= 0 && e.now < until {
 		e.now = until
@@ -231,15 +373,34 @@ type resumeMsg struct {
 
 // waiter guards one park: the first wake wins, later wakes are no-ops.
 // This makes timeouts, signals, and kills race-free.
+//
+// Each Proc owns a single waiter reused across parks; the generation
+// number distinguishes parks, so a stale waker from an earlier park (say,
+// the timeout event of a Wait that was satisfied by a Signal) misses its
+// generation and does nothing. Everything that retains a waiter across
+// kernel steps must retain the generation it was armed with (waiterRef).
 type waiter struct {
 	p     *Proc
+	gen   uint64
 	fired bool
 }
 
-// wake resumes the waiter's process if it has not been woken already.
-// Runs in kernel context.
-func (e *Env) wake(w *waiter, msg resumeMsg) {
-	if w.fired || w.p.dead {
+// waiterRef is a waiter pinned to the park generation it was enqueued for.
+type waiterRef struct {
+	w   *waiter
+	gen uint64
+}
+
+// stale reports whether the referenced park is over (woken, superseded, or
+// the process died), i.e. the ref must be skipped, not woken.
+func (r waiterRef) stale() bool {
+	return r.w.gen != r.gen || r.w.fired || r.w.p.dead
+}
+
+// wake resumes the waiter's process if the generation still matches and it
+// has not been woken already. Runs in kernel context.
+func (e *Env) wake(w *waiter, gen uint64, msg resumeMsg) {
+	if w.gen != gen || w.fired || w.p.dead {
 		return
 	}
 	w.fired = true
@@ -256,6 +417,7 @@ type Proc struct {
 	resume  chan resumeMsg
 	done    *Event
 	dead    bool
+	w       waiter  // the proc's reusable park guard
 	waiting *waiter // guard for the current park, if any
 }
 
@@ -273,6 +435,15 @@ func (p *Proc) Done() *Event { return p.done }
 
 // Dead reports whether the process has terminated.
 func (p *Proc) Dead() bool { return p.dead }
+
+// beginPark arms the process's waiter for a new park and returns it with
+// the generation wakers must present.
+func (p *Proc) beginPark() (*waiter, uint64) {
+	p.w.gen++
+	p.w.fired = false
+	p.waiting = &p.w
+	return &p.w, p.w.gen
+}
 
 // Spawn creates a process running fn, starting at the current virtual time
 // (after already-queued events at this timestamp).
@@ -292,6 +463,7 @@ func (e *Env) SpawnAfter(d Time, name string, fn func(p *Proc)) *Proc {
 		id:     e.idCtr,
 		resume: make(chan resumeMsg),
 	}
+	p.w.p = p
 	p.done = NewEvent(e)
 	e.procs[p.id] = p
 	go func() {
@@ -315,9 +487,8 @@ func (e *Env) SpawnAfter(d Time, name string, fn func(p *Proc)) *Proc {
 	}()
 	// The start is guarded like any park so that a Kill issued before the
 	// start event dispatches does not leave a dangling resume.
-	w := &waiter{p: p}
-	p.waiting = w
-	e.schedule(e.now+d, func() { e.wake(w, resumeMsg{ok: true}) })
+	w, gen := p.beginPark()
+	e.scheduleWake(e.now+d, w, gen, true)
 	return p
 }
 
@@ -332,7 +503,8 @@ func (e *Env) switchTo(p *Proc, msg resumeMsg) {
 }
 
 // park blocks the calling process until its current waiter is woken,
-// returning the resume payload. p.waiting must be set by the caller.
+// returning the resume payload. p.waiting must be set by the caller
+// (via beginPark).
 func (p *Proc) park() resumeMsg {
 	if p.env.current != p {
 		panic("sim: blocking call from outside the process's goroutine")
@@ -358,10 +530,8 @@ func (p *Proc) Wait(d Time) {
 
 // WaitUntil suspends the process until absolute virtual time t.
 func (p *Proc) WaitUntil(t Time) {
-	e := p.env
-	w := &waiter{p: p}
-	p.waiting = w
-	e.schedule(t, func() { e.wake(w, resumeMsg{ok: true}) })
+	w, gen := p.beginPark()
+	p.env.scheduleWake(t, w, gen, true)
 	p.park()
 }
 
