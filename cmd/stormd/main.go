@@ -12,7 +12,10 @@
 //	stormd -role nm -mm 127.0.0.1:7070 -node 0
 //	stormd -role nm -mm 127.0.0.1:7070 -node 1
 //
-// Then submit jobs with cmd/storm.
+// Binaries are distributed down a software-multicast forwarding tree
+// among the NMs (fanout set on the MM with -fanout; -peer pins an NM's
+// relay listener when nodes span machines). Then submit jobs with
+// cmd/storm.
 package main
 
 import (
@@ -29,9 +32,11 @@ import (
 func main() {
 	role := flag.String("role", "", "dæmon role: mm or nm")
 	listen := flag.String("listen", "127.0.0.1:7070", "MM listen address (role mm)")
+	fanout := flag.Int("fanout", 0, "forwarding-tree fanout, 1 = flat unicast (role mm; 0 = default)")
 	mmAddr := flag.String("mm", "127.0.0.1:7070", "MM address to register with (role nm)")
 	node := flag.Int("node", 0, "node ID (role nm)")
 	cpus := flag.Int("cpus", 4, "advertised CPUs per node (role nm)")
+	peer := flag.String("peer", "", "NM relay listen address for the forwarding tree (role nm; default 127.0.0.1:0)")
 	hb := flag.Duration("heartbeat", time.Second, "heartbeat period on the MM (0 disables)")
 	flag.Parse()
 
@@ -40,7 +45,7 @@ func main() {
 
 	switch *role {
 	case "mm":
-		mm, err := livenet.NewMM(*listen, livenet.MMConfig{})
+		mm, err := livenet.NewMM(*listen, livenet.MMConfig{Fanout: *fanout})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
 			os.Exit(1)
@@ -55,12 +60,13 @@ func main() {
 		<-sig
 		mm.Close()
 	case "nm":
-		nm, err := livenet.NewNM(*mmAddr, *node, *cpus)
+		nm, err := livenet.NewNMConfig(*mmAddr, *node, *cpus, livenet.NMConfig{PeerAddr: *peer})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("stormd: NM %d registered with %s (%d CPUs)\n", *node, *mmAddr, *cpus)
+		fmt.Printf("stormd: NM %d registered with %s (%d CPUs, relay %s)\n",
+			*node, *mmAddr, *cpus, nm.PeerAddr())
 		<-sig
 		nm.Close()
 	default:

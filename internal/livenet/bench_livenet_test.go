@@ -1,0 +1,125 @@
+package livenet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// BenchmarkLiveLaunch is the live-mode launch-scaling benchmark: send
+// time and MM egress vs node count at fixed binary size, for the flat
+// fan-out (fanout=1) and for forwarding trees of fanout 2 and 4. It is
+// the live analogue of the paper's Fig. 2 node-scalability curve: with
+// the tree, send time should stay ~flat in node count while the flat
+// fan-out grows linearly.
+//
+// After all sub-benchmarks it writes BENCH_livenet.json (send-time vs
+// node-count series per fanout) to the repository root, mirroring the
+// stormsim -json bench summaries.
+//
+//	go test -run '^$' -bench BenchmarkLiveLaunch -benchtime=1x ./internal/livenet/
+func BenchmarkLiveLaunch(b *testing.B) {
+	// 512 KB fragments: big enough that per-fragment relay overhead
+	// (header parse, ack aggregation, scheduler wakeups per hop) is
+	// amortized, the regime the bulk path is designed for.
+	const (
+		binaryBytes = 2 << 20
+		fragBytes   = 512 << 10
+	)
+	type point struct {
+		Fanout        int     `json:"fanout"`
+		Nodes         int     `json:"nodes"`
+		TreeDepth     int     `json:"tree_depth"`
+		SendMS        float64 `json:"send_ms"`
+		TotalMS       float64 `json:"total_ms"`
+		MMEgressBytes int64   `json:"mm_egress_bytes"`
+	}
+	// The sub-benchmark body runs more than once (a b.N=1 sizing pass,
+	// then the measured pass), so points are keyed and the fastest
+	// launch wins; keys preserves sweep order for the JSON.
+	points := map[string]point{}
+	var keys []string
+	for _, fanout := range []int{1, 2, 4} {
+		for _, nodes := range []int{2, 4, 8, 16} {
+			name := fmt.Sprintf("fanout=%d/nodes=%d", fanout, nodes)
+			b.Run(name, func(b *testing.B) {
+				mm, _ := startCluster(b, nodes, MMConfig{Fanout: fanout, FragBytes: fragBytes})
+				spec := JobSpec{
+					Name: "bench", BinaryBytes: binaryBytes, Nodes: nodes, PEsPerNode: 1,
+					Program: ProgramSpec{Kind: "exit"},
+				}
+				best := point{Fanout: fanout, Nodes: nodes, TreeDepth: treeDepth(nodes, fanout)}
+				b.SetBytes(binaryBytes)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err := mm.RunJob(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sendMS := float64(rep.Send) / float64(time.Millisecond)
+					if best.SendMS == 0 || sendMS < best.SendMS {
+						best.SendMS = sendMS
+						best.TotalMS = float64(rep.Total) / float64(time.Millisecond)
+						best.MMEgressBytes = rep.SendBytes
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(best.SendMS, "send-ms")
+				b.ReportMetric(float64(best.MMEgressBytes), "mm-bytes")
+				prev, seen := points[name]
+				if !seen {
+					keys = append(keys, name)
+				}
+				if !seen || best.SendMS < prev.SendMS {
+					points[name] = best
+				}
+			})
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	series := make([]point, 0, len(keys))
+	for _, k := range keys {
+		series = append(series, points[k])
+	}
+	summary := struct {
+		ID          string    `json:"id"`
+		When        time.Time `json:"when"`
+		BinaryBytes int       `json:"binary_bytes"`
+		FragBytes   int       `json:"frag_bytes"`
+		Series      []point   `json:"series"`
+	}{ID: "livenet", When: time.Now().UTC(), BinaryBytes: binaryBytes, FragBytes: fragBytes, Series: series}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := filepath.Join(repoRoot(), "BENCH_livenet.json")
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("bench summary: %v", err)
+	}
+	b.Logf("wrote %s", out)
+}
+
+// repoRoot walks up from the working directory to the directory holding
+// go.mod, so the bench summary lands at the repository root no matter
+// where `go test` chdirs to. Falls back to the working directory.
+func repoRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}

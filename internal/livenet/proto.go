@@ -1,25 +1,39 @@
 // Package livenet is the live (wall-clock) mode of the STORM
 // reproduction: the same MM / NM / PL dæmon architecture as
 // internal/storm, but running as real goroutines (or separate processes,
-// via cmd/stormd) that talk gob-encoded messages over TCP.
+// via cmd/stormd) that talk framed messages over TCP.
 //
 // QsNET's hardware collectives obviously do not exist on a TCP loopback,
 // so this is precisely the situation the paper's §4 "Portability"
 // discussion describes: the mechanisms are emulated in a thin software
-// layer — the binary multicast becomes a windowed per-node stream
-// (the window plays the role of the Slots + COMPARE-AND-WRITE flow
-// control), and the heartbeat receipt check becomes an ack aggregation.
-// The dæmon logic above that layer is the same shape as the simulated
-// one. Live mode exists so the repository also runs as an actual
-// distributed resource manager on localhost, not only as a simulator.
+// layer — the hardware multicast becomes a k-ary forwarding tree among
+// the NMs (the MM streams each fragment to its tree children only; every
+// NM relays to its own children and aggregates acks for its whole
+// subtree), and the COMPARE-AND-WRITE receipt check becomes that ack
+// aggregation. The dæmon logic above that layer is the same shape as the
+// simulated one. Live mode exists so the repository also runs as an
+// actual distributed resource manager on localhost, not only as a
+// simulator.
+//
+// Wire format: every message is a length-delimited frame. Low-rate
+// control messages (registration, launch, heartbeats, strobes, plans)
+// travel as gob payloads inside a 'G' frame; the bulk path — binary
+// fragments and their acks — uses fixed binary headers ('F' and 'A'
+// frames) so a fragment is encoded exactly once and every child link is
+// served from the same buffer with no per-destination marshalling.
 package livenet
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -52,11 +66,15 @@ type ProgramSpec struct {
 // Report is the timing breakdown returned to the submitting client,
 // mirroring the paper's send/execute decomposition.
 type Report struct {
-	JobID    int
-	Send     time.Duration // binary resident on all nodes
-	Execute  time.Duration // fork through last termination report
-	Total    time.Duration
-	Timeline string
+	JobID   int
+	Send    time.Duration // binary resident on all nodes
+	Execute time.Duration // fork through last termination report
+	Total   time.Duration
+	// SendBytes is how many bytes the MM itself pushed through its
+	// sockets to distribute the binary: ~Nodes×size for the flat
+	// fan-out, ~Fanout×size with the forwarding tree.
+	SendBytes int64
+	Timeline  string
 }
 
 // Message is the wire envelope. Exactly one pointer field is set.
@@ -65,6 +83,9 @@ type Message struct {
 	Submit   *Submit
 	Frag     *Frag
 	FragAck  *FragAck
+	Plan     *Plan
+	PlanAck  *PlanAck
+	Abort    *Abort
 	Launch   *Launch
 	Term     *Term
 	Done     *Done
@@ -75,10 +96,12 @@ type Message struct {
 	StatusR  *StatusRep
 }
 
-// Register announces an NM to the MM.
+// Register announces an NM to the MM. Addr is the NM's peer listener,
+// where parent NMs in the forwarding tree dial relay connections.
 type Register struct {
 	Node int
 	CPUs int
+	Addr string
 }
 
 // Submit asks the MM to run a job.
@@ -86,7 +109,9 @@ type Submit struct {
 	Spec JobSpec
 }
 
-// Frag carries one fragment of a job's binary image.
+// Frag carries one fragment of a job's binary image. On the wire it is a
+// binary 'F' frame, not gob; Data received from recv is pooled and must
+// be returned with releaseFragBuf once consumed.
 type Frag struct {
 	Job   int
 	Index int
@@ -95,13 +120,48 @@ type Frag struct {
 	CRC   uint32
 }
 
-// FragAck credits the sender's flow-control window after a fragment has
-// been verified and written.
+// FragAck credits the sender's flow-control window. With the forwarding
+// tree the ack is cumulative and aggregated: Node's ack for Index means
+// every node in Node's subtree has verified and written fragments
+// 0..Index. OK=false reports a CRC/pattern rejection; Node then names
+// the rejecting node, which parents forward up unchanged.
 type FragAck struct {
 	Job   int
 	Index int
 	Node  int
 	OK    bool
+}
+
+// ChildRef names one relay child in a transfer plan.
+type ChildRef struct {
+	Node int
+	Addr string
+}
+
+// Plan tells an NM its role in one job's forwarding tree before the
+// fragment stream starts: how many fragments to expect and which NMs (if
+// any) it must relay them to.
+type Plan struct {
+	Job      int
+	Frags    int
+	Fanout   int
+	Children []ChildRef
+}
+
+// PlanAck confirms the NM has dialed its relay children (or reports why
+// it could not). The MM starts streaming only after every node acked its
+// plan, so no fragment can outrun its relay topology.
+type PlanAck struct {
+	Job  int
+	Node int
+	Err  string
+}
+
+// Abort tells NMs to drop a failed job's transfer state and close its
+// relay links.
+type Abort struct {
+	Job    int
+	Reason string
 }
 
 // Launch orders an NM to fork a job's local processes.
@@ -153,43 +213,273 @@ type Pong struct {
 // fragCRC computes the fragment checksum.
 func fragCRC(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
 
-// fragPattern fills a fragment with the deterministic byte pattern of
-// the synthetic binary image (so NMs can verify integrity end to end).
+// patternRamp is two cycles of the byte ramp 0..255: the fragment
+// pattern b[i] = seed + byte(i) is periodic with period 256, so filling
+// and checking reduce to memmove/memequal against a 256-byte window of
+// this table instead of byte-at-a-time arithmetic (~10x on the 2 MB
+// images the launch bench pushes around).
+var patternRamp = func() []byte {
+	r := make([]byte, 512)
+	for i := range r {
+		r[i] = byte(i)
+	}
+	return r
+}()
+
+// fragPatternInto fills b with the deterministic byte pattern of the
+// synthetic binary image for (job, index). Zero allocations.
+func fragPatternInto(b []byte, job, index int) {
+	seed := byte(job*31 + index*7)
+	w := patternRamp[seed : int(seed)+256]
+	for len(b) >= 256 {
+		copy(b, w)
+		b = b[256:]
+	}
+	copy(b, w[:len(b)])
+}
+
+// fragPattern allocates and fills a fragment pattern (test helper; the
+// hot paths use fragPatternInto / fragPatternCheck on pooled buffers).
 func fragPattern(job, index, size int) []byte {
 	b := make([]byte, size)
-	seed := byte(job*31 + index*7)
-	for i := range b {
-		b[i] = seed + byte(i)
-	}
+	fragPatternInto(b, job, index)
 	return b
 }
 
-// conn wraps a TCP connection with gob codecs and a write lock (gob
-// encoders are not safe for concurrent use).
+// fragPatternCheck verifies data against the deterministic pattern in
+// place, without materializing the expected image. Zero allocations
+// (ceiling enforced by TestFragCheckAllocs).
+func fragPatternCheck(job, index int, data []byte) bool {
+	seed := byte(job*31 + index*7)
+	w := patternRamp[seed : int(seed)+256]
+	for len(data) >= 256 {
+		if !bytes.Equal(data[:256], w) {
+			return false
+		}
+		data = data[256:]
+	}
+	return bytes.Equal(data, w[:len(data)])
+}
+
+// Frame types. Every frame starts with one type byte.
+const (
+	frameGob  = 'G' // 4-byte length + gob(Message)
+	frameFrag = 'F' // fragHdrLen header + payload
+	frameAck  = 'A' // ackHdrLen fixed body
+)
+
+const (
+	// fragHdrLen is job u32 | index u32 | flags u8 | crc u32 | len u32.
+	fragHdrLen = 17
+	// ackHdrLen is job u32 | index u32 | node u32 | ok u8.
+	ackHdrLen = 13
+	// maxFrame bounds a frame payload (corruption guard).
+	maxFrame = 64 << 20
+)
+
+// fragBufPool recycles fragment payload buffers across the send, relay,
+// and receive paths so the steady-state transfer allocates nothing per
+// fragment.
+var fragBufPool sync.Pool
+
+// grabFragBuf returns a buffer of length n, reusing a pooled one when
+// its capacity suffices.
+func grabFragBuf(n int) []byte {
+	if v := fragBufPool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// releaseFragBuf returns a fragment buffer to the pool. Callers must not
+// touch the slice afterwards.
+func releaseFragBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	fragBufPool.Put(&b)
+}
+
+// gobBufPool recycles the scratch buffers control messages are gob-
+// encoded into before framing.
+var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// conn wraps a TCP connection with the frame codec: buffered writes with
+// explicit flush per frame, a write lock (frames must not interleave),
+// and an egress byte counter (the bench's MM-egress metric).
 type conn struct {
 	c   net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
-	mu  sync.Mutex
+	r   *bufio.Reader
+	w   *bufio.Writer
+	wmu sync.Mutex
+	// hdr is the frame-header scratch buffer, guarded by wmu; reusing it
+	// keeps the bulk send path at zero allocations per frame.
+	hdr [1 + fragHdrLen]byte
+
+	sent atomic.Int64 // bytes written, frames included
 }
 
 func newConn(c net.Conn) *conn {
-	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// A fragment write should land in the kernel in one shot: the
+		// default send buffer starts tiny (tcp_wmem[1]) and autotunes,
+		// so without this every early frag write blocks mid-frame and
+		// store-and-forward hops pay an extra context switch per block.
+		tc.SetWriteBuffer(1 << 20)
+		tc.SetReadBuffer(1 << 20)
+	}
+	return &conn{c: c, r: bufio.NewReaderSize(c, 64<<10), w: bufio.NewWriterSize(c, 64<<10)}
 }
 
-// send serializes one message.
+// send serializes one message. Fragments are routed to the binary frame
+// path; everything else is gob inside a 'G' frame. Each control message
+// gets a fresh gob stream: the per-message type-descriptor overhead is
+// irrelevant at control rates and keeps the framing self-contained.
 func (c *conn) send(m Message) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.enc.Encode(&m)
+	if m.Frag != nil {
+		return c.sendFrag(m.Frag)
+	}
+	if m.FragAck != nil {
+		return c.sendAck(m.FragAck)
+	}
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(&m); err != nil {
+		gobBufPool.Put(buf)
+		return err
+	}
+	c.wmu.Lock()
+	var hdr [5]byte
+	hdr[0] = frameGob
+	binary.BigEndian.PutUint32(hdr[1:], uint32(buf.Len()))
+	err := c.writeFrame(hdr[:], buf.Bytes())
+	c.wmu.Unlock()
+	gobBufPool.Put(buf)
+	return err
 }
 
-// recv blocks for the next message.
-func (c *conn) recv() (Message, error) {
-	var m Message
-	err := c.dec.Decode(&m)
-	return m, err
+// sendFrag writes one fragment frame: the header is built on the stack
+// and the payload is written straight from the caller's buffer — no
+// per-destination encoding, no copies. Safe for concurrent use with
+// other senders on the same conn.
+func (c *conn) sendFrag(f *Frag) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+fragHdrLen]
+	hdr[0] = frameFrag
+	binary.BigEndian.PutUint32(hdr[1:], uint32(f.Job))
+	binary.BigEndian.PutUint32(hdr[5:], uint32(f.Index))
+	hdr[9] = 0
+	if f.Last {
+		hdr[9] = 1
+	}
+	binary.BigEndian.PutUint32(hdr[10:], f.CRC)
+	binary.BigEndian.PutUint32(hdr[14:], uint32(len(f.Data)))
+	return c.writeFrame(hdr, f.Data)
 }
+
+// sendAck writes one fixed-size ack frame.
+func (c *conn) sendAck(a *FragAck) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+ackHdrLen]
+	hdr[0] = frameAck
+	binary.BigEndian.PutUint32(hdr[1:], uint32(a.Job))
+	binary.BigEndian.PutUint32(hdr[5:], uint32(a.Index))
+	binary.BigEndian.PutUint32(hdr[9:], uint32(a.Node))
+	hdr[13] = 0
+	if a.OK {
+		hdr[13] = 1
+	}
+	return c.writeFrame(hdr, nil)
+}
+
+// writeFrame writes header+payload and flushes. Caller holds wmu.
+func (c *conn) writeFrame(hdr, payload []byte) error {
+	if _, err := c.w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := c.w.Write(payload); err != nil {
+			return err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	c.sent.Add(int64(len(hdr) + len(payload)))
+	return nil
+}
+
+// recv blocks for the next message. A received Frag's Data is a pooled
+// buffer: the consumer must call releaseFragBuf(f.Data) when done.
+func (c *conn) recv() (Message, error) {
+	var t [1]byte
+	if _, err := io.ReadFull(c.r, t[:]); err != nil {
+		return Message{}, err
+	}
+	switch t[0] {
+	case frameGob:
+		var lb [4]byte
+		if _, err := io.ReadFull(c.r, lb[:]); err != nil {
+			return Message{}, err
+		}
+		n := int(binary.BigEndian.Uint32(lb[:]))
+		if n > maxFrame {
+			return Message{}, fmt.Errorf("livenet: oversized control frame (%d bytes)", n)
+		}
+		payload := grabFragBuf(n)
+		if _, err := io.ReadFull(c.r, payload); err != nil {
+			releaseFragBuf(payload)
+			return Message{}, err
+		}
+		var m Message
+		err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m)
+		releaseFragBuf(payload)
+		return m, err
+	case frameFrag:
+		var hb [fragHdrLen]byte
+		if _, err := io.ReadFull(c.r, hb[:]); err != nil {
+			return Message{}, err
+		}
+		n := int(binary.BigEndian.Uint32(hb[13:]))
+		if n > maxFrame {
+			return Message{}, fmt.Errorf("livenet: oversized fragment frame (%d bytes)", n)
+		}
+		f := &Frag{
+			Job:   int(binary.BigEndian.Uint32(hb[0:])),
+			Index: int(binary.BigEndian.Uint32(hb[4:])),
+			Last:  hb[8] == 1,
+			CRC:   binary.BigEndian.Uint32(hb[9:]),
+			Data:  grabFragBuf(n),
+		}
+		if _, err := io.ReadFull(c.r, f.Data); err != nil {
+			releaseFragBuf(f.Data)
+			return Message{}, err
+		}
+		return Message{Frag: f}, nil
+	case frameAck:
+		var hb [ackHdrLen]byte
+		if _, err := io.ReadFull(c.r, hb[:]); err != nil {
+			return Message{}, err
+		}
+		return Message{FragAck: &FragAck{
+			Job:   int(binary.BigEndian.Uint32(hb[0:])),
+			Index: int(binary.BigEndian.Uint32(hb[4:])),
+			Node:  int(binary.BigEndian.Uint32(hb[8:])),
+			OK:    hb[12] == 1,
+		}}, nil
+	default:
+		return Message{}, fmt.Errorf("livenet: unknown frame type %#x", t[0])
+	}
+}
+
+// sentBytes reports how many bytes have been written on this conn.
+func (c *conn) sentBytes() int64 { return c.sent.Load() }
 
 func (c *conn) close() { c.c.Close() }
 

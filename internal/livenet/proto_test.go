@@ -1,0 +1,199 @@
+package livenet
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConns returns two framed conns joined by an in-memory pipe.
+func pipeConns(t *testing.T) (*conn, *conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	ca, cb := newConn(a), newConn(b)
+	t.Cleanup(func() { ca.close(); cb.close() })
+	return ca, cb
+}
+
+// TestFrameRoundTripControl: control messages survive the gob frame.
+func TestFrameRoundTripControl(t *testing.T) {
+	ca, cb := pipeConns(t)
+	go func() {
+		ca.send(Message{Register: &Register{Node: 3, CPUs: 4, Addr: "127.0.0.1:99"}})
+		ca.send(Message{Plan: &Plan{Job: 7, Frags: 5, Fanout: 2,
+			Children: []ChildRef{{Node: 1, Addr: "a"}, {Node: 2, Addr: "b"}}}})
+	}()
+	m, err := cb.recv()
+	if err != nil || m.Register == nil || m.Register.Node != 3 || m.Register.Addr != "127.0.0.1:99" {
+		t.Fatalf("register round trip: %+v, %v", m, err)
+	}
+	m, err = cb.recv()
+	if err != nil || m.Plan == nil || m.Plan.Job != 7 || len(m.Plan.Children) != 2 || m.Plan.Children[1].Addr != "b" {
+		t.Fatalf("plan round trip: %+v, %v", m, err)
+	}
+}
+
+// TestFrameRoundTripFrag: the binary fragment frame carries payload,
+// CRC, and flags intact, and the receive buffer is pooled.
+func TestFrameRoundTripFrag(t *testing.T) {
+	ca, cb := pipeConns(t)
+	data := fragPattern(7, 3, 1234)
+	go ca.sendFrag(&Frag{Job: 7, Index: 3, Last: true, Data: data, CRC: fragCRC(data)})
+	m, err := cb.recv()
+	if err != nil || m.Frag == nil {
+		t.Fatalf("frag round trip: %v", err)
+	}
+	f := m.Frag
+	if f.Job != 7 || f.Index != 3 || !f.Last || len(f.Data) != 1234 {
+		t.Fatalf("frag header mangled: %+v", f)
+	}
+	if fragCRC(f.Data) != f.CRC || !fragPatternCheck(f.Job, f.Index, f.Data) {
+		t.Fatal("frag payload mangled")
+	}
+	releaseFragBuf(f.Data)
+}
+
+// TestFrameRoundTripAck: the fixed ack frame, OK and not.
+func TestFrameRoundTripAck(t *testing.T) {
+	ca, cb := pipeConns(t)
+	go func() {
+		ca.sendAck(&FragAck{Job: 9, Index: 41, Node: 6, OK: true})
+		ca.sendAck(&FragAck{Job: 9, Index: 2, Node: 5, OK: false})
+	}()
+	m, err := cb.recv()
+	if err != nil || m.FragAck == nil || !m.FragAck.OK || m.FragAck.Index != 41 || m.FragAck.Node != 6 {
+		t.Fatalf("ack round trip: %+v, %v", m, err)
+	}
+	m, err = cb.recv()
+	if err != nil || m.FragAck == nil || m.FragAck.OK || m.FragAck.Node != 5 {
+		t.Fatalf("nack round trip: %+v, %v", m, err)
+	}
+}
+
+// TestFrameInterleaving: bulk frames and control frames share a link
+// without corrupting each other.
+func TestFrameInterleaving(t *testing.T) {
+	ca, cb := pipeConns(t)
+	data := fragPattern(1, 0, 4096)
+	go func() {
+		ca.send(Message{Ping: &Ping{Seq: 1}})
+		ca.sendFrag(&Frag{Job: 1, Index: 0, Data: data, CRC: fragCRC(data)})
+		ca.sendAck(&FragAck{Job: 1, Index: 0, Node: 2, OK: true})
+		ca.send(Message{Strobe: &Strobe{Row: 1}})
+	}()
+	wantKinds := []string{"ping", "frag", "ack", "strobe"}
+	for _, want := range wantKinds {
+		m, err := cb.recv()
+		if err != nil {
+			t.Fatalf("awaiting %s: %v", want, err)
+		}
+		switch want {
+		case "ping":
+			if m.Ping == nil {
+				t.Fatalf("want ping, got %+v", m)
+			}
+		case "frag":
+			if m.Frag == nil || !fragPatternCheck(1, 0, m.Frag.Data) {
+				t.Fatalf("want frag, got %+v", m)
+			}
+			releaseFragBuf(m.Frag.Data)
+		case "ack":
+			if m.FragAck == nil {
+				t.Fatalf("want ack, got %+v", m)
+			}
+		case "strobe":
+			if m.Strobe == nil || m.Strobe.Row != 1 {
+				t.Fatalf("want strobe, got %+v", m)
+			}
+		}
+	}
+}
+
+// discardConn builds a conn whose writes go nowhere, for alloc
+// accounting of the send path.
+func discardConn() *conn {
+	return &conn{w: bufio.NewWriterSize(io.Discard, 64<<10)}
+}
+
+// TestFragCheckAllocs pins the NM's per-fragment verification — CRC plus
+// in-place pattern check — at zero allocations, and the single-encode
+// fragment send path at zero allocations per destination.
+func TestFragCheckAllocs(t *testing.T) {
+	data := fragPattern(5, 11, 256<<10)
+	crc := fragCRC(data)
+	if avg := testing.AllocsPerRun(100, func() {
+		if fragCRC(data) != crc || !fragPatternCheck(5, 11, data) {
+			t.Fatal("verification failed")
+		}
+	}); avg != 0 {
+		t.Fatalf("fragment verification allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		fragPatternInto(data, 5, 11)
+	}); avg != 0 {
+		t.Fatalf("fragPatternInto allocates %.1f/op, want 0", avg)
+	}
+	c := discardConn()
+	f := &Frag{Job: 5, Index: 11, Data: data, CRC: crc}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := c.sendFrag(f); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("sendFrag allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := c.sendAck(&FragAck{Job: 5, Index: 11, Node: 1, OK: true}); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 1 {
+		t.Fatalf("sendAck allocates %.1f/op, want <= 1", avg)
+	}
+}
+
+// TestFragBufPoolReuse: receive buffers cycle through the pool.
+func TestFragBufPoolReuse(t *testing.T) {
+	b := grabFragBuf(1 << 20)
+	releaseFragBuf(b)
+	b2 := grabFragBuf(64 << 10)
+	if cap(b2) < 64<<10 {
+		t.Fatalf("pooled buffer too small: %d", cap(b2))
+	}
+	releaseFragBuf(b2)
+}
+
+// TestConnSentBytes: the egress counter sees frame and payload bytes.
+func TestConnSentBytes(t *testing.T) {
+	ca, cb := pipeConns(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2; i++ {
+			m, err := cb.recv()
+			if err != nil {
+				return
+			}
+			if m.Frag != nil {
+				releaseFragBuf(m.Frag.Data)
+			}
+		}
+	}()
+	data := fragPattern(1, 0, 1000)
+	if err := ca.sendFrag(&Frag{Job: 1, Index: 0, Data: data, CRC: fragCRC(data)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.sendAck(&FragAck{Job: 1, Index: 0, Node: 0, OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver stuck")
+	}
+	want := int64(1+fragHdrLen+1000) + int64(1+ackHdrLen)
+	if got := ca.sentBytes(); got != want {
+		t.Fatalf("sentBytes = %d, want %d", got, want)
+	}
+}

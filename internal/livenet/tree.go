@@ -1,0 +1,96 @@
+package livenet
+
+// Software-multicast forwarding tree for binary distribution (the
+// paper's §4 "Portability" argument made concrete): commodity networks
+// have no hardware multicast, so the XFER-AND-SIGNAL broadcast is
+// emulated with a k-ary relay tree over the job's NMs. The MM streams
+// each fragment to its tree children only; every interior NM writes the
+// fragment locally and relays the same buffer to its own children, so
+// per-hop fan-out is bounded by the tree degree and total depth is
+// O(log_k n) — the reason the paper's launch curves stay flat in node
+// count.
+//
+// Layout: the MM is heap index 0 of a k-ary heap and the job's node
+// *positions* 0..n-1 occupy heap indices 1..n. Children of heap index h
+// are h·k+1 … h·k+k, so position p's children are positions
+// (p+1)·k-1+1 … clipped to n. Fanout ≤ 1 selects the flat fan-out: the
+// MM unicasts to every position itself and no NM relays.
+
+// mmChildren returns the positions the MM streams to directly: all of
+// them for the flat fan-out, the first min(fanout, n) positions for a
+// tree.
+func mmChildren(n, fanout int) []int {
+	if n <= 0 {
+		return nil
+	}
+	k := n
+	if fanout > 1 && fanout < n {
+		k = fanout
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// nodeChildren returns the positions that position pos relays to (empty
+// for leaves and for the flat fan-out).
+func nodeChildren(pos, n, fanout int) []int {
+	if fanout <= 1 {
+		return nil
+	}
+	first := (pos + 1) * fanout
+	if first >= n {
+		return nil
+	}
+	last := first + fanout
+	if last > n {
+		last = n
+	}
+	out := make([]int, 0, last-first)
+	for p := first; p < last; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// subtreeNodes returns pos plus every position below it in the tree —
+// the set an aggregated ack from pos vouches for.
+func subtreeNodes(pos, n, fanout int) []int {
+	out := []int{pos}
+	for i := 0; i < len(out); i++ {
+		out = append(out, nodeChildren(out[i], n, fanout)...)
+	}
+	return out
+}
+
+// treeDepth returns the number of relay hops below the MM (1 for the
+// flat fan-out). Used by tests and the bench report.
+func treeDepth(n, fanout int) int {
+	if n <= 0 {
+		return 0
+	}
+	if fanout <= 1 || fanout >= n {
+		return 1
+	}
+	depth := 0
+	for _, p := range mmChildren(n, fanout) {
+		d := 1 + treeDepthFrom(p, n, fanout)
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+func treeDepthFrom(pos, n, fanout int) int {
+	depth := 0
+	for _, c := range nodeChildren(pos, n, fanout) {
+		d := 1 + treeDepthFrom(c, n, fanout)
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}

@@ -1,0 +1,89 @@
+package livenet
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestTreePartition: for any (n, fanout), the MM's subtrees partition
+// the positions 0..n-1 — every node receives the binary exactly once.
+func TestTreePartition(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 17, 64} {
+		for _, fanout := range []int{1, 2, 3, 4, 8} {
+			seen := map[int]int{}
+			for _, root := range mmChildren(n, fanout) {
+				for _, p := range subtreeNodes(root, n, fanout) {
+					seen[p]++
+				}
+			}
+			if len(seen) != n {
+				t.Fatalf("n=%d fanout=%d: %d positions covered, want %d", n, fanout, len(seen), n)
+			}
+			for p, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d fanout=%d: position %d covered %d times", n, fanout, p, c)
+				}
+				if p < 0 || p >= n {
+					t.Fatalf("n=%d fanout=%d: position %d out of range", n, fanout, p)
+				}
+			}
+		}
+	}
+}
+
+// TestTreeFlatDegenerates: fanout 1 is the flat fan-out — the MM streams
+// to everyone and nobody relays.
+func TestTreeFlatDegenerates(t *testing.T) {
+	n := 9
+	if got := mmChildren(n, 1); len(got) != n {
+		t.Fatalf("flat mmChildren = %v", got)
+	}
+	for p := 0; p < n; p++ {
+		if kids := nodeChildren(p, n, 1); len(kids) != 0 {
+			t.Fatalf("flat node %d has children %v", p, kids)
+		}
+	}
+	if d := treeDepth(n, 1); d != 1 {
+		t.Fatalf("flat depth = %d", d)
+	}
+}
+
+// TestTreeLogDepth: the binomial/k-ary tree keeps depth logarithmic —
+// the property that makes broadcast cost O(log n) instead of O(n).
+func TestTreeLogDepth(t *testing.T) {
+	cases := []struct{ n, fanout, maxDepth int }{
+		{16, 2, 4},
+		{64, 2, 6},
+		{64, 4, 3},
+		{256, 4, 4},
+		{2, 2, 1},
+	}
+	for _, c := range cases {
+		if d := treeDepth(c.n, c.fanout); d > c.maxDepth {
+			t.Errorf("treeDepth(%d, %d) = %d, want <= %d", c.n, c.fanout, d, c.maxDepth)
+		}
+	}
+}
+
+// TestTreeChildrenShape: spot-check the heap layout.
+func TestTreeChildrenShape(t *testing.T) {
+	// n=7, k=2: MM -> {0,1}; 0 -> {2,3}; 1 -> {4,5}; 2 -> {6}.
+	if got := mmChildren(7, 2); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("mmChildren(7,2) = %v", got)
+	}
+	if got := nodeChildren(0, 7, 2); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("nodeChildren(0,7,2) = %v", got)
+	}
+	if got := nodeChildren(1, 7, 2); !reflect.DeepEqual(got, []int{4, 5}) {
+		t.Fatalf("nodeChildren(1,7,2) = %v", got)
+	}
+	if got := nodeChildren(2, 7, 2); !reflect.DeepEqual(got, []int{6}) {
+		t.Fatalf("nodeChildren(2,7,2) = %v", got)
+	}
+	sub := subtreeNodes(0, 7, 2)
+	sort.Ints(sub)
+	if !reflect.DeepEqual(sub, []int{0, 2, 3, 6}) {
+		t.Fatalf("subtreeNodes(0,7,2) = %v", sub)
+	}
+}
