@@ -37,6 +37,7 @@ func main() {
 	node := flag.Int("node", 0, "node ID (role nm)")
 	cpus := flag.Int("cpus", 4, "advertised CPUs per node (role nm)")
 	peer := flag.String("peer", "", "NM relay listen address for the forwarding tree (role nm; default 127.0.0.1:0)")
+	spool := flag.String("spool", "", "directory to persist delivered binary images via temp-file+rename (role nm; empty keeps images in memory only)")
 	hb := flag.Duration("heartbeat", time.Second, "heartbeat period on the MM (0 disables)")
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func main() {
 		<-sig
 		mm.Close()
 	case "nm":
-		nm, err := livenet.NewNMConfig(*mmAddr, *node, *cpus, livenet.NMConfig{PeerAddr: *peer})
+		nm, err := livenet.NewNMConfig(*mmAddr, *node, *cpus, livenet.NMConfig{PeerAddr: *peer, SpoolDir: *spool})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
 			os.Exit(1)

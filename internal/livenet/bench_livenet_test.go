@@ -3,10 +3,13 @@ package livenet
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/livenet/faultconn"
 )
 
 // BenchmarkLiveLaunch is the live-mode launch-scaling benchmark: send
@@ -36,6 +39,13 @@ func BenchmarkLiveLaunch(b *testing.B) {
 		SendMS        float64 `json:"send_ms"`
 		TotalMS       float64 `json:"total_ms"`
 		MMEgressBytes int64   `json:"mm_egress_bytes"`
+		// Degraded-tree variant: one node is pre-failed (asymmetrically
+		// partitioned before the job starts), so every launch pays one
+		// diagnose + replan round. RecoveryMS is the time spent in
+		// failure diagnosis and tree rewiring, part of SendMS.
+		Degraded   bool    `json:"degraded,omitempty"`
+		Replans    int     `json:"replans,omitempty"`
+		RecoveryMS float64 `json:"recovery_ms,omitempty"`
 	}
 	// The sub-benchmark body runs more than once (a b.N=1 sizing pass,
 	// then the measured pass), so points are keyed and the fastest
@@ -78,6 +88,63 @@ func BenchmarkLiveLaunch(b *testing.B) {
 				}
 			})
 		}
+	}
+	// Degraded-tree variant: the highest-numbered node (a tree leaf) is
+	// one-way partitioned before submission, so the MM discovers it
+	// mid-transfer, excludes it, and completes on the survivors. The
+	// recovery latency (diagnose + replan) is reported separately.
+	for _, nodes := range []int{4, 8, 16} {
+		const fanout = 2
+		name := fmt.Sprintf("degraded/fanout=%d/nodes=%d", fanout, nodes)
+		b.Run(name, func(b *testing.B) {
+			victim := nodes - 1
+			mm, _, _ := chaosCluster(b, nodes, MMConfig{
+				Fanout: fanout, FragBytes: fragBytes, AckTimeout: 500 * time.Millisecond,
+			}, func(node int) NMConfig {
+				if node != victim {
+					return NMConfig{}
+				}
+				return NMConfig{WrapConn: func(c net.Conn) net.Conn {
+					plan := faultconn.NewPlan()
+					plan.BlockReads = true
+					return faultconn.Wrap(c, plan)
+				}}
+			})
+			spec := JobSpec{
+				Name: "bench-degraded", BinaryBytes: binaryBytes, Nodes: nodes, PEsPerNode: 1,
+				Program: ProgramSpec{Kind: "exit"},
+			}
+			best := point{Fanout: fanout, Nodes: nodes, TreeDepth: treeDepth(nodes, fanout), Degraded: true}
+			b.SetBytes(binaryBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := mm.RunJob(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Failed) != 1 || rep.Failed[0] != victim {
+					b.Fatalf("degraded launch did not exclude node %d: %+v", victim, rep)
+				}
+				sendMS := float64(rep.Send) / float64(time.Millisecond)
+				if best.SendMS == 0 || sendMS < best.SendMS {
+					best.SendMS = sendMS
+					best.TotalMS = float64(rep.Total) / float64(time.Millisecond)
+					best.MMEgressBytes = rep.SendBytes
+					best.Replans = rep.Replans
+					best.RecoveryMS = float64(rep.Recovery) / float64(time.Millisecond)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(best.SendMS, "send-ms")
+			b.ReportMetric(best.RecoveryMS, "recovery-ms")
+			prev, seen := points[name]
+			if !seen {
+				keys = append(keys, name)
+			}
+			if !seen || best.SendMS < prev.SendMS {
+				points[name] = best
+			}
+		})
 	}
 	if len(keys) == 0 {
 		return

@@ -1,0 +1,480 @@
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/livenet/faultconn"
+)
+
+// chaosSeeds is the fixed seed matrix the CI chaos step runs; each seed
+// deterministically picks the fragment at which the victim dies.
+var chaosSeeds = []uint64{1, 2, 3}
+
+// chaosCluster boots an MM and n NMs where each NM's config comes from
+// nmCfg(node) — the hook the chaos suite uses to arm fault plans on
+// selected victims. Shutdown is explicit (returned close func), so leak
+// tests can assert the goroutine count after teardown.
+func chaosCluster(t testing.TB, n int, cfg MMConfig, nmCfg func(node int) NMConfig) (*MM, []*NM, func()) {
+	t.Helper()
+	mm, err := NewMM("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nms []*NM
+	for i := 0; i < n; i++ {
+		var c NMConfig
+		if nmCfg != nil {
+			c = nmCfg(i)
+		}
+		nm, err := NewNMConfig(mm.Addr(), i, 4, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nms = append(nms, nm)
+	}
+	shutdown := func() {
+		for _, nm := range nms {
+			nm.Close()
+		}
+		mm.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(mm.NMs()) < n {
+		if time.Now().After(deadline) {
+			shutdown()
+			t.Fatalf("only %d of %d NMs registered", len(mm.NMs()), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Cleanup(shutdown)
+	return mm, nms, shutdown
+}
+
+// chaosMMConfig is the shared fast-failure-detection tuning: 1 MB image
+// in 32 fragments, so kill points land mid-transfer.
+func chaosMMConfig() MMConfig {
+	return MMConfig{
+		Fanout:     2,
+		FragBytes:  32 << 10,
+		AckTimeout: 700 * time.Millisecond,
+	}
+}
+
+const chaosBinary = 1 << 20 // 32 fragments of 32 KiB
+
+// treePositions returns one node per tree role on an n-node fanout-f
+// tree: a root child (direct MM child), an interior relay (has children
+// but is not an MM child), and a leaf.
+func treePositions(t *testing.T, n, fanout int) map[string]int {
+	t.Helper()
+	roots := mmChildren(n, fanout)
+	isRoot := make(map[int]bool)
+	for _, p := range roots {
+		isRoot[p] = true
+	}
+	pos := map[string]int{"root-child": roots[0], "leaf": n - 1}
+	for p := 0; p < n; p++ {
+		if !isRoot[p] && len(nodeChildren(p, n, fanout)) > 0 {
+			pos["interior"] = p
+			break
+		}
+	}
+	if _, ok := pos["interior"]; !ok {
+		t.Fatalf("no interior position on a %d-node fanout-%d tree", n, fanout)
+	}
+	if len(nodeChildren(pos["leaf"], n, fanout)) != 0 {
+		t.Fatalf("position %d is not a leaf", pos["leaf"])
+	}
+	return pos
+}
+
+// assertSurvivorImages checks that every survivor holds a complete,
+// byte-identical image for the job.
+func assertSurvivorImages(t *testing.T, nms []*NM, victim, job, frags int) {
+	t.Helper()
+	var ref ImageDigest
+	seen := false
+	for _, nm := range nms {
+		if nm.Node() == victim {
+			continue
+		}
+		d, ok := nm.ImageDigest(job)
+		if !ok {
+			t.Fatalf("survivor %d has no image for job %d", nm.Node(), job)
+		}
+		if d.Frags != frags {
+			t.Fatalf("survivor %d holds %d fragments, want %d", nm.Node(), d.Frags, frags)
+		}
+		if !seen {
+			ref, seen = d, true
+		} else if d != ref {
+			t.Fatalf("survivor %d image digest %+v differs from %+v", nm.Node(), d, ref)
+		}
+	}
+}
+
+// TestChaosKillEachTreePosition is the core acceptance scenario: for
+// every tree role (root child, interior relay, leaf) and every seed in
+// the fixed matrix, the NM at that position is hard-killed
+// mid-transfer (its inbound conn dies at a seed-chosen fragment and the
+// whole dæmon goes down with it). The launch must complete on the
+// survivors with byte-identical images, naming the victim in the
+// report.
+func TestChaosKillEachTreePosition(t *testing.T) {
+	const n = 7
+	cfg := chaosMMConfig()
+	positions := treePositions(t, n, cfg.Fanout)
+	for role, victim := range positions {
+		for _, seed := range chaosSeeds {
+			t.Run(fmt.Sprintf("%s-node%d-seed%d", role, victim, seed), func(t *testing.T) {
+				// The victim dies somewhere in the middle half of the
+				// stream, position chosen by the seed.
+				killAt := 8 + faultconn.NewRng(seed).Intn(16)
+				// The fault plan is armed before the victim NM exists, so
+				// the kill callback resolves it through an atomic holder.
+				var victimNM atomic.Pointer[NM]
+				mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+					if node != victim {
+						return NMConfig{}
+					}
+					return NMConfig{WrapConn: func(c net.Conn) net.Conn {
+						plan := faultconn.NewPlan()
+						plan.CloseAtReadFrag = killAt
+						plan.OnFault = func(string) {
+							// A read-side kill models a crashed dæmon, not
+							// just a dropped link: take the whole NM down.
+							go func() {
+								if nm := victimNM.Load(); nm != nil {
+									nm.Close()
+								}
+							}()
+						}
+						return faultconn.Wrap(c, plan)
+					}}
+				})
+				victimNM.Store(nms[victim])
+				rep, err := SubmitJob(mm.Addr(), JobSpec{
+					Name: "chaos", BinaryBytes: chaosBinary, Nodes: n, PEsPerNode: 1,
+					Program: ProgramSpec{Kind: "exit"},
+				})
+				if err != nil {
+					t.Fatalf("launch did not recover from killing %s node %d at frag %d: %v",
+						role, victim, killAt, err)
+				}
+				if len(rep.Failed) != 1 || rep.Failed[0] != victim {
+					t.Fatalf("report names failed nodes %v, want [%d]", rep.Failed, victim)
+				}
+				if rep.Replans < 1 {
+					t.Fatalf("recovery happened without a replan? %+v", rep)
+				}
+				assertSurvivorImages(t, nms, victim, rep.JobID, chaosBinary/cfg.FragBytes)
+				for _, nm := range nms {
+					if nm.Node() == victim && nm.Launches() != 0 {
+						t.Fatalf("dead node %d launched %d processes", victim, nm.Launches())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosOneWayPartition: a leaf NM keeps its outbound path (it
+// registers, its conns look open) but never receives another byte — an
+// asymmetric partition. It never confirms the relay plan, fails the
+// isolation probe, and is excluded; the launch completes on the rest.
+func TestChaosOneWayPartition(t *testing.T) {
+	const n, victim = 5, 4
+	cfg := chaosMMConfig()
+	mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+		if node != victim {
+			return NMConfig{}
+		}
+		return NMConfig{WrapConn: func(c net.Conn) net.Conn {
+			plan := faultconn.NewPlan()
+			plan.BlockReads = true
+			return faultconn.Wrap(c, plan)
+		}}
+	})
+	rep, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "partition", BinaryBytes: chaosBinary, Nodes: n, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err != nil {
+		t.Fatalf("launch did not route around partitioned node %d: %v", victim, err)
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0] != victim {
+		t.Fatalf("report names failed nodes %v, want [%d]", rep.Failed, victim)
+	}
+	assertSurvivorImages(t, nms, victim, rep.JobID, chaosBinary/cfg.FragBytes)
+}
+
+// TestChaosCorruptRelayFailsFast: wire-level corruption on a relay link
+// is a content failure, not a liveness failure — the job must fail fast
+// naming the rejecting node, with no replan attempt.
+func TestChaosCorruptRelayFailsFast(t *testing.T) {
+	const n = 3 // MM -> {0, 1}, node 0 relays to node 2
+	cfg := chaosMMConfig()
+	mm, _, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+		if node != 0 {
+			return NMConfig{}
+		}
+		return NMConfig{Dialer: func(addr string) (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			plan := faultconn.NewPlan()
+			plan.CorruptFrag = 2
+			return faultconn.Wrap(c, plan), nil
+		}}
+	})
+	start := time.Now()
+	_, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "corrupt", BinaryBytes: chaosBinary, Nodes: n, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err == nil {
+		t.Fatal("corrupted relay stream must fail the job")
+	}
+	if !strings.Contains(err.Error(), "node 2") || !strings.Contains(err.Error(), "rejected fragment") {
+		t.Fatalf("error should name the rejecting node and fragment: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Fatalf("content failure took %v — it must fail fast, not wait out recovery", elapsed)
+	}
+}
+
+// TestChaosDuplicateAndDelayTolerated: a relay link that duplicates one
+// frag frame and delays every write must not corrupt delivery — the
+// receiver re-acks the duplicate without rewriting it.
+func TestChaosDuplicateAndDelayTolerated(t *testing.T) {
+	const n = 3
+	cfg := chaosMMConfig()
+	mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+		if node != 0 {
+			return NMConfig{}
+		}
+		return NMConfig{Dialer: func(addr string) (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			plan := faultconn.NewPlan()
+			plan.DuplicateFrag = 1
+			plan.WriteDelay = time.Millisecond
+			return faultconn.Wrap(c, plan), nil
+		}}
+	})
+	rep, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "dup", BinaryBytes: chaosBinary, Nodes: n, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err != nil {
+		t.Fatalf("duplicated frame broke the launch: %v", err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("no node should be declared failed, got %v", rep.Failed)
+	}
+	frags := chaosBinary / cfg.FragBytes
+	for _, nm := range nms {
+		if nm.FragsWritten() != frags {
+			t.Fatalf("node %d wrote %d fragments, want %d (duplicate must not be double-counted)",
+				nm.Node(), nm.FragsWritten(), frags)
+		}
+	}
+	assertSurvivorImages(t, nms, -1, rep.JobID, frags)
+}
+
+// TestChaosDialRetryAbsorbsTransients: an NM whose first two dial
+// attempts fail still comes up — the capped-backoff retry in the dial
+// path absorbs transient connection faults before they become failures.
+func TestChaosDialRetryAbsorbsTransients(t *testing.T) {
+	faults := make(chan string, 8)
+	mm, _, _ := chaosCluster(t, 2, chaosMMConfig(), func(node int) NMConfig {
+		if node != 1 {
+			return NMConfig{}
+		}
+		return NMConfig{Dialer: faultconn.FlakyDialer(2, func(k string) { faults <- k })}
+	})
+	rep, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "flaky", BinaryBytes: 256 << 10, Nodes: 2, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err != nil {
+		t.Fatalf("launch failed despite dial retry: %v", err)
+	}
+	if rep.Total <= 0 {
+		t.Fatal("bad report")
+	}
+	if len(faults) != 2 {
+		t.Fatalf("%d injected dial failures consumed, want 2", len(faults))
+	}
+}
+
+// TestChaosSpoolAtomicity: with SpoolDir set, a failed transfer must
+// leave no binary (and no temp debris) on disk, while a successful one
+// publishes the image under its final name — the temp-file + rename
+// contract.
+func TestChaosSpoolAtomicity(t *testing.T) {
+	const n = 3
+	cfg := chaosMMConfig()
+	spools := make([]string, n)
+	for i := range spools {
+		spools[i] = t.TempDir()
+	}
+	mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+		c := NMConfig{SpoolDir: spools[node]}
+		if node == 0 {
+			c.Dialer = func(addr string) (net.Conn, error) {
+				nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+				if err != nil {
+					return nil, err
+				}
+				plan := faultconn.NewPlan()
+				plan.CorruptFrag = 3
+				return faultconn.Wrap(nc, plan), nil
+			}
+		}
+		return c
+	})
+
+	// Job 1 dies on the corrupted relay link; nobody may keep an image.
+	if _, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "doomed", BinaryBytes: chaosBinary, Nodes: n, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	}); err == nil {
+		t.Fatal("corrupted job should fail")
+	}
+	// The Abort fan-out is asynchronous: poll until every spool dir is
+	// empty (no committed image, no temp debris).
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		dirty := ""
+		for i, dir := range spools {
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				dirty = fmt.Sprintf("node %d: %s", i, e.Name())
+			}
+		}
+		if dirty == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spool not clean after abort: %s left behind", dirty)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Job 2 runs on nodes 1..2 only (excluding the corrupting link's
+	// dialer on node 0 is not possible per-job, but the corrupt trigger
+	// already fired once per conn plan and relay links are per-pair, so
+	// just submit on 2 nodes that don't traverse node 0).
+	rep, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "ok", BinaryBytes: 256 << 10, Nodes: 2, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err != nil {
+		t.Fatalf("clean job failed: %v", err)
+	}
+	published := 0
+	for _, nm := range nms {
+		if path, ok := nm.SpooledBinary(rep.JobID); ok {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatalf("published binary missing: %v", err)
+			}
+			if fi.Size() != 256<<10 {
+				t.Fatalf("published binary is %d bytes, want %d", fi.Size(), 256<<10)
+			}
+			if !strings.HasSuffix(path, ".bin") || strings.Contains(filepath.Base(path), "*") {
+				t.Fatalf("published under a temp-looking name: %s", path)
+			}
+			published++
+		}
+	}
+	if published != 2 {
+		t.Fatalf("%d nodes published the image, want 2", published)
+	}
+}
+
+// TestChaosHeartbeatDetectionBound: the heartbeat detector must flag a
+// killed node within 2 periods + the probe grace (one period), with
+// scheduling slack — and must not flag healthy nodes.
+func TestChaosHeartbeatDetectionBound(t *testing.T) {
+	mm, nms, _ := chaosCluster(t, 3, MMConfig{}, nil)
+	const period = 100 * time.Millisecond
+	type hit struct {
+		node int
+		at   time.Time
+	}
+	hits := make(chan hit, 3)
+	stop := mm.StartHeartbeat(period, func(node int) { hits <- hit{node, time.Now()} })
+	defer stop()
+	time.Sleep(4 * period) // settle: every node answering
+	select {
+	case h := <-hits:
+		t.Fatalf("false positive on node %d", h.node)
+	default:
+	}
+	killed := time.Now()
+	nms[2].Close()
+	select {
+	case h := <-hits:
+		if h.node != 2 {
+			t.Fatalf("detected node %d, want 2", h.node)
+		}
+		// Bound: 2 missed periods + probe grace (1 period), plus slack
+		// for ticker phase and scheduling.
+		if lat := h.at.Sub(killed); lat > 2*period+period+250*time.Millisecond {
+			t.Fatalf("detection took %v, want within 2 periods + grace (%v nominal)", lat, 3*period)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("failure never detected")
+	}
+}
+
+// TestChaosTermDeadlineNamed: a node that delivers the binary but never
+// reports termination must trip the *termination* deadline (not the
+// transfer one), and the error names the silent node.
+func TestChaosTermDeadlineNamed(t *testing.T) {
+	mm, nms, _ := chaosCluster(t, 2, MMConfig{
+		AckTimeout:  2 * time.Second,
+		TermTimeout: 500 * time.Millisecond,
+	}, nil)
+	nms[1].testDropTerms.Store(true)
+	_, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "silent", BinaryBytes: 64 << 10, Nodes: 2, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err == nil {
+		t.Fatal("job with a silent node should fail")
+	}
+	if !strings.Contains(err.Error(), ErrTermTimeout.Error()) {
+		t.Fatalf("error is not the named termination-phase error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "missing 1") {
+		t.Fatalf("termination error should name node 1: %v", err)
+	}
+	if strings.Contains(err.Error(), ErrTransferTimeout.Error()) {
+		t.Fatalf("termination failure mislabeled as transfer failure: %v", err)
+	}
+}
+
+// errors.Is sanity for the two phase errors across wrapping.
+func TestPhaseErrorsAreDistinct(t *testing.T) {
+	wrapped := fmt.Errorf("outer: %w", ErrTransferTimeout)
+	if !errors.Is(wrapped, ErrTransferTimeout) || errors.Is(wrapped, ErrTermTimeout) {
+		t.Fatal("phase error identity broken")
+	}
+}

@@ -1,0 +1,149 @@
+package livenet
+
+import (
+	"sync"
+	"time"
+)
+
+// Heartbeat failure detection on the live control plane, mirroring the
+// simulator's FaultDetector (internal/storm/fault.go): the MM
+// multicasts a sequence-numbered ping to every registered NM each
+// period and tracks the last sequence each node answered. A node that
+// falls two sequences behind is only *suspected*; before being declared
+// failed it gets a directed isolation probe with a grace window —
+// exactly the sim's per-node probe phase — so a node that is merely
+// slow is given the chance to prove liveness, while a crashed or
+// partitioned node is flagged within two periods plus the grace.
+
+// hbState is the pong ledger shared between the detector loop and the
+// control-plane receive path.
+type hbState struct {
+	mu    sync.Mutex
+	seq   int64
+	pongs map[int]int64 // node -> last heartbeat seq answered
+}
+
+// StartHeartbeat runs a heartbeat failure detector: it pings all
+// registered NMs every period and calls onFail(node) once per node
+// that stops answering (after a failed isolation probe). The returned
+// stop function is idempotent; MM.Close also stops the detector.
+func (mm *MM) StartHeartbeat(period time.Duration, onFail func(node int)) (stop func()) {
+	st := &hbState{pongs: make(map[int]int64)}
+	done := make(chan struct{})
+	var once sync.Once
+	stop = func() { once.Do(func() { close(done) }) }
+	mm.mu.Lock()
+	mm.hb = st
+	mm.detStops = append(mm.detStops, stop)
+	mm.mu.Unlock()
+
+	// The isolation-probe grace is one period: a suspect is declared
+	// failed no later than 2 periods (missed heartbeats) + 1 period
+	// (unanswered probe) after its last sign of life.
+	grace := period
+
+	failed := make(map[int]bool)
+	// known tracks every node ever seen, with the heartbeat sequence
+	// current when it appeared: a node that later disconnects (and so
+	// leaves the registry) keeps being checked and is declared failed —
+	// exactly the paper's "slave missed a heartbeat" condition.
+	known := make(map[int]int64)
+	go func() {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			st.mu.Lock()
+			st.seq++
+			seq := st.seq
+			st.mu.Unlock()
+			mm.mu.Lock()
+			reg := make(map[int]*nmLink, len(mm.nms))
+			for node, l := range mm.nms {
+				reg[node] = l
+			}
+			mm.mu.Unlock()
+			for node, l := range reg {
+				if _, ok := known[node]; !ok {
+					known[node] = seq - 1 // grace for late joiners
+				}
+				l.c.send(Message{Ping: &Ping{Seq: seq}})
+			}
+			// Suspicion pass: who has missed two consecutive heartbeats?
+			var suspects []int
+			st.mu.Lock()
+			for node, joinedAt := range known {
+				if failed[node] || seq-joinedAt < 2 {
+					continue
+				}
+				last := st.pongs[node]
+				if last < joinedAt {
+					last = joinedAt
+				}
+				// Two consecutive missed heartbeats raise suspicion. A
+				// merely-slow node (its pong still in flight) survives the
+				// isolation probe below, so suspicion can afford to be
+				// this eager — and a dead node is flagged within
+				// 2 periods + grace of its last sign of life.
+				if last < seq-1 {
+					suspects = append(suspects, node)
+				}
+			}
+			st.mu.Unlock()
+			if len(suspects) == 0 {
+				continue
+			}
+			// Isolation-probe pass: a suspect whose control link is gone
+			// (it unregistered when its conn died) is dead outright;
+			// anyone else gets a directed probe and the grace window to
+			// answer it.
+			var probeLinks []*nmLink
+			dead := make(map[int]bool)
+			for _, node := range suspects {
+				if l := reg[node]; l != nil {
+					probeLinks = append(probeLinks, l)
+				} else {
+					dead[node] = true
+				}
+			}
+			for node := range mm.probeNodes(probeLinks, grace) {
+				dead[node] = true
+			}
+			for node := range dead {
+				failed[node] = true
+				if onFail != nil {
+					go onFail(node)
+				}
+			}
+		}
+	}()
+	return stop
+}
+
+// onPong routes a pong to whichever detector asked: directed isolation
+// probes carry sequences in a disjoint high range; everything else is
+// heartbeat credit.
+func (mm *MM) onPong(p *Pong) {
+	mm.mu.Lock()
+	st := mm.hb
+	pr := mm.probes[p.Seq]
+	mm.mu.Unlock()
+	if pr != nil {
+		pr.mu.Lock()
+		pr.got[p.Node] = true
+		pr.mu.Unlock()
+		return
+	}
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if p.Seq > st.pongs[p.Node] {
+		st.pongs[p.Node] = p.Seq
+	}
+	st.mu.Unlock()
+}

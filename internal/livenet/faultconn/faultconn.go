@@ -1,0 +1,370 @@
+// Package faultconn injects deterministic faults into livenet
+// connections for chaos testing. A Conn wraps a net.Conn and applies a
+// Plan — a fixed schedule of faults keyed to byte offsets and fragment
+// ordinals observed on the wire — so a failure scenario is fully
+// reproducible from its seed: hard close at fragment k, one-way
+// partitions, per-write delay, duplicated and corrupted frag frames,
+// and injected dial failures.
+//
+// The wrapper is frame-aware: it runs the livenet frame grammar
+// ('G' gob frames, 'F' frag frames with a 17-byte header carrying the
+// payload length at offset 13, 'A' fixed 17-byte acks) as a streaming
+// state machine over both directions, so triggers land on exact
+// fragment boundaries regardless of how the transport chunks writes.
+//
+// Plans are wired in behind livenet's Config.Dialer / Config.WrapConn
+// hooks; the package deliberately does not import livenet, so it can
+// wrap either side of any link (MM accept path, NM peer accept path,
+// NM outbound dials).
+package faultconn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Plan is one connection's deterministic fault schedule. Fragment
+// ordinals count 'F' frames observed on this connection (0-based, per
+// direction); -1 disables a trigger. Use NewPlan to get a Plan with
+// every trigger disabled.
+type Plan struct {
+	// Write-path faults (bytes this endpoint sends).
+	CloseAtFrag   int           // hard-close mid-header of the k-th outgoing frag frame
+	DropAfter     int64         // >0: outbound one-way partition after this many bytes (writes report success, bytes vanish)
+	WriteDelay    time.Duration // injected before every write
+	DuplicateFrag int           // retransmit the k-th outgoing frag frame immediately after itself
+	CorruptFrag   int           // flip a payload byte of the k-th outgoing frag frame (CRC must catch it)
+
+	// Read-path faults (bytes this endpoint receives).
+	CloseAtReadFrag int  // hard-close after fully receiving the k-th incoming frag frame
+	BlockReads      bool // inbound one-way partition: reads hang until the conn is closed
+
+	// OnFault, if set, is called once per fired trigger with a short
+	// kind tag ("close", "read-close", "drop", "duplicate", "corrupt").
+	// Called from Read/Write; must not block.
+	OnFault func(kind string)
+}
+
+// NewPlan returns a Plan with all triggers disabled.
+func NewPlan() Plan {
+	return Plan{CloseAtFrag: -1, DuplicateFrag: -1, CorruptFrag: -1, CloseAtReadFrag: -1}
+}
+
+// ErrInjectedClose is the error surfaced by operations on a connection
+// a Plan hard-closed.
+var ErrInjectedClose = errors.New("faultconn: injected connection close")
+
+// frame grammar constants, mirroring livenet's wire format.
+const (
+	fragHdrLen  = 17 // job u32 | index u32 | flags u8 | crc u32 | len u32
+	ackBodyLen  = 17
+	lenOffInHdr = 13 // payload length within the frag header
+	gobLenBytes = 4
+	stType      = 0 // expecting a frame type byte
+	stGobLen    = 1
+	stFragHdr   = 2
+	stSkipN     = 3 // skipping a fixed-size remainder (ack body, gob payload)
+	stFragBody  = 4
+)
+
+// scanner is a streaming parser over one direction of the frame
+// stream. step consumes a byte and reports fragment-boundary events.
+type scanner struct {
+	state   int
+	need    int // bytes left in the current fixed-size region
+	hdr     [fragHdrLen]byte
+	got     int
+	bodyPos int // current byte's offset within a frag payload
+	frags   int // frag frames seen so far; current ordinal is frags-1
+}
+
+type event struct {
+	fragHdrDone   bool // this byte completed a frag header
+	fragFrameDone bool // this byte completed a frag frame
+	inFragBody    bool // this byte is frag payload
+	bodyPos       int
+	ord           int // fragment ordinal the event refers to
+}
+
+func (s *scanner) step(b byte) event {
+	var ev event
+	switch s.state {
+	case stType:
+		switch b {
+		case 'G':
+			s.state, s.need = stGobLen, gobLenBytes
+			s.got = 0
+		case 'F':
+			s.state, s.got = stFragHdr, 0
+		case 'A':
+			s.state, s.need = stSkipN, ackBodyLen
+		default:
+			// Unknown byte: stay in stType. The real codec would error;
+			// the scanner just degrades to pass-through.
+		}
+	case stGobLen:
+		s.hdr[s.got] = b
+		s.got++
+		s.need--
+		if s.need == 0 {
+			n := int(binary.BigEndian.Uint32(s.hdr[:gobLenBytes]))
+			if n == 0 {
+				s.state = stType
+			} else {
+				s.state, s.need = stSkipN, n
+			}
+		}
+	case stFragHdr:
+		s.hdr[s.got] = b
+		s.got++
+		if s.got == fragHdrLen {
+			ev.fragHdrDone = true
+			ev.ord = s.frags
+			s.frags++
+			n := int(binary.BigEndian.Uint32(s.hdr[lenOffInHdr:]))
+			if n == 0 {
+				ev.fragFrameDone = true
+				s.state = stType
+			} else {
+				s.state, s.need, s.bodyPos = stFragBody, n, 0
+			}
+		}
+	case stFragBody:
+		ev.inFragBody = true
+		ev.bodyPos = s.bodyPos
+		ev.ord = s.frags - 1
+		s.bodyPos++
+		s.need--
+		if s.need == 0 {
+			ev.fragFrameDone = true
+			s.state = stType
+		}
+	case stSkipN:
+		s.need--
+		if s.need == 0 {
+			s.state = stType
+		}
+	}
+	return ev
+}
+
+// Conn is a net.Conn with a fault Plan applied.
+type Conn struct {
+	net.Conn
+	plan Plan
+
+	wmu      sync.Mutex
+	wScan    scanner
+	written  int64
+	dropping bool
+	frame    []byte // current outgoing frame bytes, kept only while DuplicateFrag is armed
+	inFrame  bool
+
+	rmu   sync.Mutex
+	rScan scanner
+
+	closeOnce sync.Once
+	done      chan struct{}
+	killed    bool
+}
+
+// Wrap applies plan to c. The returned Conn is safe for one concurrent
+// reader and one concurrent writer, matching net.Conn conventions.
+func Wrap(c net.Conn, plan Plan) *Conn {
+	return &Conn{Conn: c, plan: plan, done: make(chan struct{})}
+}
+
+func (c *Conn) fire(kind string) {
+	if c.plan.OnFault != nil {
+		c.plan.OnFault(kind)
+	}
+}
+
+// kill hard-closes the underlying conn on behalf of a trigger.
+func (c *Conn) kill(kind string) {
+	c.closeOnce.Do(func() {
+		c.killed = true
+		close(c.done)
+		c.Conn.Close()
+	})
+	c.fire(kind)
+}
+
+// Close closes the wrapped connection and releases any blocked reader.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.done)
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.plan.WriteDelay > 0 {
+		select {
+		case <-time.After(c.plan.WriteDelay):
+		case <-c.done:
+			return 0, ErrInjectedClose
+		}
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.dropping {
+		// One-way partition: the sender keeps believing the link works.
+		return len(p), nil
+	}
+
+	// Fast path: no frame-level write triggers armed.
+	if c.plan.CloseAtFrag < 0 && c.plan.DuplicateFrag < 0 && c.plan.CorruptFrag < 0 && c.plan.DropAfter <= 0 {
+		return c.Conn.Write(p)
+	}
+
+	// Scan the chunk, building the (possibly mutated) output and
+	// watching for trigger points.
+	out := make([]byte, 0, len(p))
+	capture := c.plan.DuplicateFrag >= 0
+	for i := 0; i < len(p); i++ {
+		b := p[i]
+		prev := c.wScan.state
+		ev := c.wScan.step(b)
+		if ev.fragHdrDone && ev.ord == c.plan.CloseAtFrag {
+			// Crash mid-frame: flush what was already on the wire plus
+			// the torn header, then die. The receiver sees a truncated
+			// frame; the sender sees a write error.
+			out = append(out, b)
+			c.Conn.Write(out)
+			c.kill("close")
+			return i + 1, fmt.Errorf("%w (at outgoing fragment %d)", ErrInjectedClose, ev.ord)
+		}
+		if ev.inFragBody && ev.ord == c.plan.CorruptFrag && ev.bodyPos == 0 {
+			b ^= 0xFF
+			c.fire("corrupt")
+		}
+		out = append(out, b)
+		if capture {
+			if prev == stType && c.wScan.state == stFragHdr {
+				// 'F' type byte just consumed: a frag frame starts here.
+				c.frame = c.frame[:0]
+				c.inFrame = true
+			}
+			if c.inFrame {
+				c.frame = append(c.frame, b)
+				if ev.fragFrameDone {
+					c.inFrame = false
+					if ev.ord == c.plan.DuplicateFrag {
+						out = append(out, c.frame...)
+						c.fire("duplicate")
+					}
+				}
+			}
+		}
+		if c.plan.DropAfter > 0 && c.written+int64(len(out)) >= c.plan.DropAfter {
+			// Partition point: deliver the prefix, swallow the rest.
+			cut := int(c.plan.DropAfter - c.written)
+			if cut < 0 {
+				cut = 0
+			}
+			if cut > len(out) {
+				cut = len(out)
+			}
+			if cut > 0 {
+				c.Conn.Write(out[:cut])
+			}
+			c.written = c.plan.DropAfter
+			c.dropping = true
+			c.fire("drop")
+			return len(p), nil
+		}
+	}
+	n, err := c.Conn.Write(out)
+	c.written += int64(n)
+	if err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.plan.BlockReads {
+		// Inbound partition: nothing ever arrives, but the conn looks
+		// open until closed.
+		<-c.done
+		return 0, ErrInjectedClose
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.plan.CloseAtReadFrag >= 0 {
+		c.rmu.Lock()
+		for i := 0; i < n; i++ {
+			ev := c.rScan.step(p[i])
+			if ev.fragFrameDone && ev.ord == c.plan.CloseAtReadFrag {
+				c.rmu.Unlock()
+				// Deliver through the end of the fatal fragment, then die:
+				// the node processes fragment k and crashes.
+				c.kill("read-close")
+				return i + 1, nil
+			}
+		}
+		c.rmu.Unlock()
+	}
+	return n, err
+}
+
+// Killed reports whether a close trigger fired on this conn.
+func (c *Conn) Killed() bool {
+	select {
+	case <-c.done:
+		return c.killed
+	default:
+		return false
+	}
+}
+
+// FlakyDialer returns a dial function whose first failFirst attempts
+// fail with an injected error, exercising livenet's capped-backoff dial
+// retry. Subsequent attempts dial through normally.
+func FlakyDialer(failFirst int, onFault func(kind string)) func(addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	attempts := 0
+	return func(addr string) (net.Conn, error) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= failFirst {
+			if onFault != nil {
+				onFault("dial-fail")
+			}
+			return nil, fmt.Errorf("faultconn: injected dial failure %d/%d", n, failFirst)
+		}
+		return net.DialTimeout("tcp", addr, 5*time.Second)
+	}
+}
+
+// Rng is splitmix64 — the repo's standard experiment generator — so
+// chaos schedules derived from a seed reproduce exactly across runs.
+type Rng struct{ s uint64 }
+
+// NewRng seeds a generator.
+func NewRng(seed uint64) *Rng { return &Rng{s: seed} }
+
+// Next returns the next 64 random bits.
+func (r *Rng) Next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a deterministic value in [0, n).
+func (r *Rng) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}

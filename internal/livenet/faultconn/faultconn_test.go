@@ -1,0 +1,319 @@
+package faultconn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// buildFrag assembles one 'F' frame with an n-byte payload.
+func buildFrag(index, n int) []byte {
+	buf := make([]byte, 1+fragHdrLen+n)
+	buf[0] = 'F'
+	binary.BigEndian.PutUint32(buf[1:], 1) // job
+	binary.BigEndian.PutUint32(buf[5:], uint32(index))
+	buf[9] = 0
+	binary.BigEndian.PutUint32(buf[10:], 0xdeadbeef)
+	binary.BigEndian.PutUint32(buf[14:], uint32(n))
+	for i := 0; i < n; i++ {
+		buf[1+fragHdrLen+i] = byte(i)
+	}
+	return buf
+}
+
+func buildGob(n int) []byte {
+	buf := make([]byte, 1+4+n)
+	buf[0] = 'G'
+	binary.BigEndian.PutUint32(buf[1:], uint32(n))
+	return buf
+}
+
+func buildAck() []byte {
+	buf := make([]byte, 1+ackBodyLen)
+	buf[0] = 'A'
+	return buf
+}
+
+// pipeConn returns both ends of an in-memory connection.
+func pipeConn(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// TestScannerCountsFragsAcrossChunking: frag ordinals are found no
+// matter how the byte stream is sliced, with gob and ack frames mixed in.
+func TestScannerCountsFragsAcrossChunking(t *testing.T) {
+	var stream []byte
+	stream = append(stream, buildGob(33)...)
+	stream = append(stream, buildFrag(0, 100)...)
+	stream = append(stream, buildAck()...)
+	stream = append(stream, buildFrag(1, 7)...)
+	stream = append(stream, buildGob(0)...)
+	stream = append(stream, buildFrag(2, 1)...)
+	for _, chunk := range []int{1, 3, 17, len(stream)} {
+		var s scanner
+		frames := 0
+		for i := 0; i < len(stream); i += chunk {
+			end := i + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			for _, b := range stream[i:end] {
+				if ev := s.step(b); ev.fragFrameDone {
+					frames++
+				}
+			}
+		}
+		if frames != 3 {
+			t.Fatalf("chunk %d: %d frag frames scanned, want 3", chunk, frames)
+		}
+	}
+}
+
+// TestCloseAtFragTriggersWriteError: writing the k-th frag frame kills
+// the conn mid-header and surfaces an injected error to the writer.
+func TestCloseAtFragTriggersWriteError(t *testing.T) {
+	a, b := pipeConn(t)
+	go func() { // drain so net.Pipe writes don't block
+		buf := make([]byte, 4096)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	var fired []string
+	plan := NewPlan()
+	plan.CloseAtFrag = 1
+	plan.OnFault = func(k string) { fired = append(fired, k) }
+	fc := Wrap(a, plan)
+	if _, err := fc.Write(buildFrag(0, 64)); err != nil {
+		t.Fatalf("fragment 0 should pass: %v", err)
+	}
+	_, err := fc.Write(buildFrag(1, 64))
+	if !errors.Is(err, ErrInjectedClose) {
+		t.Fatalf("fragment 1 write error = %v, want ErrInjectedClose", err)
+	}
+	if !fc.Killed() {
+		t.Fatal("conn not marked killed")
+	}
+	if len(fired) != 1 || fired[0] != "close" {
+		t.Fatalf("OnFault calls = %v, want [close]", fired)
+	}
+	if _, err := fc.Write([]byte{'A'}); err == nil {
+		t.Fatal("write after injected close should fail")
+	}
+}
+
+// TestCorruptFragFlipsOnePayloadByte: the k-th frag frame arrives with
+// exactly its first payload byte inverted; everything else is intact.
+func TestCorruptFragFlipsOnePayloadByte(t *testing.T) {
+	a, b := pipeConn(t)
+	plan := NewPlan()
+	plan.CorruptFrag = 1
+	fc := Wrap(a, plan)
+	sent := append(append([]byte{}, buildFrag(0, 32)...), buildFrag(1, 32)...)
+	got := make([]byte, 0, len(sent))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 4096)
+		for len(got) < len(sent) {
+			n, err := b.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := fc.Write(sent); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	<-done
+	frameLen := 1 + fragHdrLen + 32
+	if !bytes.Equal(got[:frameLen], sent[:frameLen]) {
+		t.Fatal("fragment 0 was modified")
+	}
+	corruptAt := frameLen + 1 + fragHdrLen // first payload byte of frag 1
+	want := append([]byte{}, sent...)
+	want[corruptAt] ^= 0xFF
+	if !bytes.Equal(got, want) {
+		t.Fatal("corruption did not hit exactly the first payload byte of fragment 1")
+	}
+}
+
+// TestDuplicateFragRetransmitsFrame: the k-th frag frame appears twice
+// back-to-back on the wire.
+func TestDuplicateFragRetransmitsFrame(t *testing.T) {
+	a, b := pipeConn(t)
+	plan := NewPlan()
+	plan.DuplicateFrag = 0
+	fc := Wrap(a, plan)
+	frame := buildFrag(0, 16)
+	want := append(append([]byte{}, frame...), frame...)
+	got := make([]byte, 0, len(want))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 1024)
+		for len(got) < len(want) {
+			n, err := b.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := fc.Write(frame); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	<-done
+	if !bytes.Equal(got, want) {
+		t.Fatal("fragment 0 was not duplicated verbatim")
+	}
+}
+
+// TestDropAfterPartitionsOutbound: after the byte budget, writes keep
+// reporting success but nothing reaches the peer.
+func TestDropAfterPartitionsOutbound(t *testing.T) {
+	a, b := pipeConn(t)
+	plan := NewPlan()
+	plan.DropAfter = 10
+	fc := Wrap(a, plan)
+	got := make([]byte, 0, 10)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 64)
+		for {
+			n, err := b.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil || len(got) >= 10 {
+				return
+			}
+		}
+	}()
+	n, err := fc.Write(make([]byte, 64))
+	if err != nil || n != 64 {
+		t.Fatalf("partitioned write = (%d, %v), want (64, nil)", n, err)
+	}
+	if n, err := fc.Write(make([]byte, 64)); err != nil || n != 64 {
+		t.Fatalf("post-partition write = (%d, %v), want silent success", n, err)
+	}
+	<-done
+	if len(got) != 10 {
+		t.Fatalf("peer received %d bytes, want exactly 10", len(got))
+	}
+}
+
+// TestCloseAtReadFrag: the reader gets fragment k in full, then the
+// conn dies.
+func TestCloseAtReadFrag(t *testing.T) {
+	a, b := pipeConn(t)
+	plan := NewPlan()
+	plan.CloseAtReadFrag = 0
+	fc := Wrap(b, plan)
+	frame := buildFrag(0, 8)
+	go func() {
+		a.Write(frame)
+		a.Write(buildFrag(1, 8))
+	}()
+	got := make([]byte, 0, len(frame))
+	buf := make([]byte, 1024)
+	for len(got) < len(frame) {
+		n, err := fc.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			t.Fatalf("read before trigger: %v", err)
+		}
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatal("fragment 0 not delivered intact before the kill")
+	}
+	if _, err := fc.Read(buf); err == nil {
+		t.Fatal("read after injected close should fail")
+	}
+	if !fc.Killed() {
+		t.Fatal("conn not marked killed")
+	}
+}
+
+// TestBlockReadsUnblocksOnClose: an inbound partition hangs reads until
+// Close, then errors out.
+func TestBlockReadsUnblocksOnClose(t *testing.T) {
+	a, b := pipeConn(t)
+	_ = a
+	plan := NewPlan()
+	plan.BlockReads = true
+	fc := Wrap(b, plan)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(make([]byte, 16))
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fc.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrInjectedClose) {
+			t.Fatalf("blocked read error = %v, want ErrInjectedClose", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked read never released by Close")
+	}
+}
+
+// TestFlakyDialer: first n attempts fail, later ones are real dials.
+func TestFlakyDialer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	faults := 0
+	d := FlakyDialer(2, func(string) { faults++ })
+	for i := 0; i < 2; i++ {
+		if _, err := d(ln.Addr().String()); err == nil {
+			t.Fatalf("attempt %d should fail", i+1)
+		}
+	}
+	c, err := d(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("attempt 3 should connect: %v", err)
+	}
+	c.Close()
+	if faults != 2 {
+		t.Fatalf("OnFault fired %d times, want 2", faults)
+	}
+}
+
+// TestRngDeterminism: same seed, same schedule.
+func TestRngDeterminism(t *testing.T) {
+	r1, r2 := NewRng(42), NewRng(42)
+	for i := 0; i < 100; i++ {
+		if r1.Next() != r2.Next() {
+			t.Fatal("splitmix64 not deterministic")
+		}
+	}
+	if NewRng(1).Next() == NewRng(2).Next() {
+		t.Fatal("distinct seeds collide on first draw")
+	}
+}

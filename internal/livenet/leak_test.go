@@ -1,0 +1,115 @@
+package livenet
+
+import (
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/livenet/faultconn"
+)
+
+// waitForGoroutines waits for the goroutine count to settle back to at
+// most base+slack, dumping all stacks on failure. Shared by every
+// lifecycle test that asserts clean teardown.
+func waitForGoroutines(t testing.TB, base int, within time.Duration) {
+	t.Helper()
+	// Small slack: the runtime keeps a few service goroutines (timer
+	// scavenger, race runtime) whose lifetime we don't control.
+	const slack = 2
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+slack {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d running, baseline %d (+%d slack)\n%s",
+		runtime.NumGoroutine(), base, slack, buf[:n])
+}
+
+// TestNoGoroutineLeaks runs the three lifecycle shapes that historically
+// leak — a healthy launch, a recovered (chaos-killed) launch, and an
+// aborted (corrupt) launch, all with a heartbeat detector running — and
+// asserts the process returns to its goroutine baseline after teardown.
+func TestNoGoroutineLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	// Healthy lifecycle, including a detector the test "forgets" to
+	// stop: MM.Close must stop it.
+	func() {
+		mm, _, shutdown := chaosCluster(t, 3, chaosMMConfig(), nil)
+		defer shutdown()
+		mm.StartHeartbeat(50*time.Millisecond, nil) // no explicit stop
+		if _, err := SubmitJob(mm.Addr(), JobSpec{
+			Name: "ok", BinaryBytes: 256 << 10, Nodes: 3, PEsPerNode: 1,
+			Program: ProgramSpec{Kind: "exit"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	waitForGoroutines(t, base, 5*time.Second)
+
+	// Recovered launch: a leaf dæmon dies mid-transfer, the tree
+	// self-heals, and the dead NM's goroutines must all be reaped.
+	func() {
+		const n, victim = 5, 4
+		var victimNM atomic.Pointer[NM]
+		mm, nms, shutdown := chaosCluster(t, n, chaosMMConfig(), func(node int) NMConfig {
+			if node != victim {
+				return NMConfig{}
+			}
+			return NMConfig{WrapConn: func(c net.Conn) net.Conn {
+				plan := faultconn.NewPlan()
+				plan.CloseAtReadFrag = 6
+				plan.OnFault = func(string) {
+					go func() {
+						if nm := victimNM.Load(); nm != nil {
+							nm.Close()
+						}
+					}()
+				}
+				return faultconn.Wrap(c, plan)
+			}}
+		})
+		defer shutdown()
+		victimNM.Store(nms[victim])
+		if _, err := SubmitJob(mm.Addr(), JobSpec{
+			Name: "heal", BinaryBytes: chaosBinary, Nodes: n, PEsPerNode: 1,
+			Program: ProgramSpec{Kind: "exit"},
+		}); err != nil {
+			t.Fatalf("recovery launch failed: %v", err)
+		}
+	}()
+	waitForGoroutines(t, base, 5*time.Second)
+
+	// Aborted launch: wire corruption fails the job; abort must reap
+	// every transfer goroutine and relay pump.
+	func() {
+		mm, _, shutdown := chaosCluster(t, 3, chaosMMConfig(), func(node int) NMConfig {
+			if node != 0 {
+				return NMConfig{}
+			}
+			return NMConfig{Dialer: func(addr string) (net.Conn, error) {
+				c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+				if err != nil {
+					return nil, err
+				}
+				plan := faultconn.NewPlan()
+				plan.CorruptFrag = 1
+				return faultconn.Wrap(c, plan), nil
+			}}
+		})
+		defer shutdown()
+		if _, err := SubmitJob(mm.Addr(), JobSpec{
+			Name: "doomed", BinaryBytes: chaosBinary, Nodes: 3, PEsPerNode: 1,
+			Program: ProgramSpec{Kind: "exit"},
+		}); err == nil {
+			t.Fatal("corrupt job should fail")
+		}
+	}()
+	waitForGoroutines(t, base, 5*time.Second)
+}

@@ -1,6 +1,7 @@
 package livenet
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -8,6 +9,46 @@ import (
 	"sync"
 	"time"
 )
+
+// Phase-named errors. A live launch fails in one of two timed phases —
+// binary distribution (transfer) or process execution (termination
+// collection) — and callers that retry or alert need to tell them
+// apart without string matching.
+var (
+	// ErrTransferTimeout marks transfer-phase deadline failures: an
+	// unconfirmed relay plan or a flow-control window that stalled and
+	// could not be recovered.
+	ErrTransferTimeout = errors.New("livenet: transfer phase timed out")
+	// ErrTermTimeout marks termination-phase deadline failures: the
+	// binary was delivered and processes launched, but not every node
+	// reported termination within the program's duration plus the
+	// configured termination grace.
+	ErrTermTimeout = errors.New("livenet: termination phase timed out")
+)
+
+// rejectError is a content failure: some node's CRC/pattern check
+// rejected a fragment. It is NOT recoverable by replanning the tree —
+// the payload itself is wrong — so recovery excludes it.
+type rejectError struct {
+	node  int
+	index int
+}
+
+func (e rejectError) Error() string {
+	return fmt.Sprintf("node %d rejected fragment %d (corrupt)", e.node, e.index)
+}
+
+// downError is liveness evidence: a specific node's link failed or a
+// parent reported it unreachable. Recovery treats the named node as a
+// failure candidate without waiting for a window stall.
+type downError struct {
+	node  int
+	cause string
+}
+
+func (e downError) Error() string {
+	return fmt.Sprintf("node %d down (%s)", e.node, e.cause)
+}
 
 // MMConfig tunes the live Machine Manager.
 type MMConfig struct {
@@ -17,8 +58,21 @@ type MMConfig struct {
 	// live analogue of the simulator's multi-buffering slots (default 4).
 	Slots int
 	// AckTimeout bounds how long a transfer waits for window credit
-	// before declaring the owing nodes failed (default 10 s).
+	// before starting failure diagnosis (default 10 s).
 	AckTimeout time.Duration
+	// TermTimeout is the termination-phase grace: after launch, every
+	// node must report termination within the program's expected
+	// duration plus this budget (default 60 s). Distinct from
+	// AckTimeout, which times only the transfer phase.
+	TermTimeout time.Duration
+	// ProbeGrace is how long an isolation probe waits for a node's
+	// pong before declaring it dead during transfer recovery (default
+	// AckTimeout/4, clamped to [50ms, 1s]).
+	ProbeGrace time.Duration
+	// MaxReplans bounds how many tree-replan recovery rounds one
+	// transfer may attempt before giving up (default 3). Each round can
+	// exclude several failed nodes at once.
+	MaxReplans int
 	// Fanout is the out-degree of the software-multicast forwarding
 	// tree used for binary distribution (default 2). Fanout 1 selects
 	// the flat fan-out: the MM unicasts every fragment to every node
@@ -31,6 +85,9 @@ type MMConfig struct {
 	// MPL is the number of gang timeslot rows (default 2 when gang
 	// scheduling is enabled).
 	MPL int
+	// WrapConn, when set, interposes on every accepted connection —
+	// the fault-injection hook (see internal/livenet/faultconn).
+	WrapConn func(net.Conn) net.Conn
 }
 
 func (c *MMConfig) fill() {
@@ -42,6 +99,21 @@ func (c *MMConfig) fill() {
 	}
 	if c.AckTimeout == 0 {
 		c.AckTimeout = 10 * time.Second
+	}
+	if c.TermTimeout == 0 {
+		c.TermTimeout = 60 * time.Second
+	}
+	if c.ProbeGrace == 0 {
+		c.ProbeGrace = c.AckTimeout / 4
+		if c.ProbeGrace > time.Second {
+			c.ProbeGrace = time.Second
+		}
+		if c.ProbeGrace < 50*time.Millisecond {
+			c.ProbeGrace = 50 * time.Millisecond
+		}
+	}
+	if c.MaxReplans == 0 {
+		c.MaxReplans = 3
 	}
 	if c.Fanout == 0 {
 		c.Fanout = 2
@@ -63,6 +135,17 @@ type MM struct {
 	nextJob int
 	closed  bool
 	hb      *hbState
+
+	// probes routes directed isolation-probe pongs by sequence number
+	// (transfer recovery and the heartbeat detector share the Pong
+	// path with distinct sequence ranges).
+	probeSeq int64
+	probes   map[int64]*probeRound
+
+	// detStops are stop functions of running heartbeat detectors,
+	// invoked by Close so a forgotten detector cannot leak its
+	// goroutine past the MM's lifetime.
+	detStops []func()
 
 	// counters, guarded by mu: job lifecycle milestones and gang
 	// context-switch multicasts issued.
@@ -89,24 +172,49 @@ type nmLink struct {
 	c    *conn
 }
 
+// probeRound collects pongs for one directed isolation-probe sweep.
+type probeRound struct {
+	mu  sync.Mutex
+	got map[int]bool
+}
+
 // liveJob is the MM-side state of one job in flight.
 type liveJob struct {
 	id    int
 	spec  JobSpec
 	row   int
-	nodes []*nmLink // all job nodes, position-ordered
+	frags int
+
+	mu    sync.Mutex
+	nodes []*nmLink // current (surviving) job nodes, position-ordered
 
 	// children are the MM's direct forwarding-tree children (subtree
 	// roots); subtree maps each child's node ID to the node IDs its
-	// aggregated acks vouch for.
+	// aggregated acks vouch for. Both are rebuilt on replan.
 	children []*nmLink
 	subtree  map[int][]int
 
-	mu      sync.Mutex
-	acked   map[int]int // direct child node -> cumulative fragments acked (subtree-wide)
-	planned map[int]bool
-	cond    *sync.Cond
-	fail    error
+	epoch    int         // forwarding-tree generation; bumped per replan
+	acked    map[int]int // direct child node -> cumulative fragments acked (subtree-wide)
+	planned  map[int]bool
+	received map[int]int // node -> local progress reported in ReplanAck
+	cond     *sync.Cond
+	fail     error
+
+	// peerDown accumulates NM reports of unreachable relay children
+	// (failure-detector evidence consumed by diagnose).
+	peerDown map[int]string
+
+	// failedNodes, replans, recovery are the job's fault history for
+	// the completion report.
+	failedNodes []int
+	replans     int
+	recovery    time.Duration
+
+	// egressBase records each direct-child conn's sent-byte counter
+	// when it was first adopted, so MM egress accounting survives the
+	// child set changing mid-transfer.
+	egressBase map[*conn]int64
 
 	sendBytes int64
 
@@ -122,10 +230,11 @@ func NewMM(addr string, cfg MMConfig) (*MM, error) {
 		return nil, fmt.Errorf("livenet: listen %s: %w", addr, err)
 	}
 	mm := &MM{
-		cfg:  cfg,
-		ln:   ln,
-		nms:  make(map[int]*nmLink),
-		jobs: make(map[int]*liveJob),
+		cfg:    cfg,
+		ln:     ln,
+		nms:    make(map[int]*nmLink),
+		jobs:   make(map[int]*liveJob),
+		probes: make(map[int64]*probeRound),
 	}
 	mm.wg.Add(1)
 	go mm.acceptLoop()
@@ -185,10 +294,15 @@ func (mm *MM) Close() {
 	}
 	mm.mu.Lock()
 	mm.closed = true
+	stops := mm.detStops
+	mm.detStops = nil
 	for _, l := range mm.nms {
 		l.c.close()
 	}
 	mm.mu.Unlock()
+	for _, stop := range stops {
+		stop()
+	}
 	mm.ln.Close()
 	mm.wg.Wait()
 }
@@ -199,6 +313,9 @@ func (mm *MM) acceptLoop() {
 		nc, err := mm.ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if mm.cfg.WrapConn != nil {
+			nc = mm.cfg.WrapConn(nc)
 		}
 		mm.wg.Add(1)
 		go mm.handleConn(newConn(nc))
@@ -276,6 +393,10 @@ func (mm *MM) serveNM(c *conn, reg *Register) {
 			mm.onFragAck(m.FragAck)
 		case m.PlanAck != nil:
 			mm.onPlanAck(m.PlanAck)
+		case m.ReplanAck != nil:
+			mm.onReplanAck(m.ReplanAck)
+		case m.PeerDown != nil:
+			mm.onPeerDown(m.PeerDown)
 		case m.Term != nil:
 			mm.onTerm(m.Term)
 		case m.Pong != nil:
@@ -302,9 +423,11 @@ func (mm *MM) onFragAck(a *FragAck) {
 		// fragment out of order, and those cascade nacks would otherwise
 		// mask the original corruption site.
 		if j.fail == nil {
-			j.fail = fmt.Errorf("node %d rejected fragment %d (corrupt)", a.Node, a.Index)
+			j.fail = rejectError{node: a.Node, index: a.Index}
 		}
-	} else if a.Index+1 > j.acked[a.Node] {
+	} else if a.Epoch == j.epoch && a.Index+1 > j.acked[a.Node] {
+		// Credit from an older tree epoch vouched for a different
+		// subtree shape; only current-epoch credit moves the window.
 		j.acked[a.Node] = a.Index + 1
 	}
 	j.cond.Broadcast()
@@ -321,6 +444,48 @@ func (mm *MM) onPlanAck(a *PlanAck) {
 		j.fail = fmt.Errorf("node %d could not set up its relay plan: %s", a.Node, a.Err)
 	}
 	j.planned[a.Node] = true
+	j.cond.Broadcast()
+}
+
+func (mm *MM) onReplanAck(a *ReplanAck) {
+	j := mm.jobByID(a.Job)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if a.Epoch != j.epoch {
+		return // stale round
+	}
+	if a.Err != "" {
+		if j.fail == nil {
+			j.fail = fmt.Errorf("node %d could not rewire its relay plan: %s", a.Node, a.Err)
+		}
+	}
+	j.planned[a.Node] = true
+	j.received[a.Node] = a.Received
+	j.cond.Broadcast()
+}
+
+// onPeerDown records an NM's report that a relay child is unreachable —
+// failure-detector evidence that wakes the transfer immediately instead
+// of letting it burn the whole window timeout.
+func (mm *MM) onPeerDown(d *PeerDown) {
+	j := mm.jobByID(d.Job)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.peerDown == nil {
+		j.peerDown = make(map[int]string)
+	}
+	if _, seen := j.peerDown[d.Node]; !seen {
+		j.peerDown[d.Node] = fmt.Sprintf("parent %d could not reach it: %s", d.From, d.Err)
+	}
+	if j.fail == nil {
+		j.fail = downError{node: d.Node, cause: j.peerDown[d.Node]}
+	}
 	j.cond.Broadcast()
 }
 
@@ -343,8 +508,8 @@ func (mm *MM) serveClient(c *conn, spec JobSpec) {
 
 // RunJob executes a job synchronously: select nodes, build the
 // forwarding tree, distribute the binary through it with windowed flow
-// control, launch, and collect termination reports. It returns the
-// paper-style timing decomposition.
+// control (self-healing around node failures), launch, and collect
+// termination reports. It returns the paper-style timing decomposition.
 func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	if spec.Nodes <= 0 || spec.PEsPerNode <= 0 {
 		return Report{}, fmt.Errorf("livenet: bad job geometry %dx%d", spec.Nodes, spec.PEsPerNode)
@@ -361,27 +526,21 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	}
 	mm.nextJob++
 	j := &liveJob{
-		id:      mm.nextJob,
-		spec:    spec,
-		row:     mm.pickRow(),
-		acked:   make(map[int]int),
-		planned: make(map[int]bool),
-		subtree: make(map[int][]int),
-		terms:   make(chan int, spec.Nodes),
+		id:         mm.nextJob,
+		spec:       spec,
+		row:        mm.pickRow(),
+		acked:      make(map[int]int),
+		planned:    make(map[int]bool),
+		received:   make(map[int]int),
+		subtree:    make(map[int][]int),
+		egressBase: make(map[*conn]int64),
+		terms:      make(chan int, spec.Nodes),
 	}
 	j.cond = sync.NewCond(&j.mu)
 	for _, id := range ids[:spec.Nodes] {
 		j.nodes = append(j.nodes, mm.nms[id])
 	}
-	for _, pos := range mmChildren(spec.Nodes, mm.cfg.Fanout) {
-		child := j.nodes[pos]
-		j.children = append(j.children, child)
-		sub := make([]int, 0, 1)
-		for _, p := range subtreeNodes(pos, spec.Nodes, mm.cfg.Fanout) {
-			sub = append(sub, j.nodes[p].node)
-		}
-		j.subtree[child.node] = sub
-	}
+	mm.rewireTree(j)
 	mm.jobs[j.id] = j
 	mm.launched++
 	mm.mu.Unlock()
@@ -399,8 +558,12 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	}
 	send := time.Since(start)
 
-	// Launch: tell each NM its ranks.
-	for i, link := range j.nodes {
+	// Launch: tell each surviving NM its ranks (re-ranked densely over
+	// the survivor set if recovery shrank the job).
+	j.mu.Lock()
+	nodes := append([]*nmLink(nil), j.nodes...)
+	j.mu.Unlock()
+	for i, link := range nodes {
 		ranks := make([]int, 0, spec.PEsPerNode)
 		for r := 0; r < spec.PEsPerNode; r++ {
 			ranks = append(ranks, i*spec.PEsPerNode+r)
@@ -412,36 +575,71 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 		}
 	}
 
-	// Collect termination reports.
-	deadline := time.NewTimer(mm.cfg.AckTimeout + spec.Program.Duration + 60*time.Second)
+	// Collect termination reports. The termination deadline is its own
+	// budget — the program's expected duration plus TermTimeout — and
+	// is independent of the transfer-phase AckTimeout.
+	deadline := time.NewTimer(spec.Program.Duration + mm.cfg.TermTimeout)
 	defer deadline.Stop()
 	got := make(map[int]bool)
-	for len(got) < spec.Nodes {
+	for len(got) < len(nodes) {
 		select {
 		case n := <-j.terms:
 			got[n] = true
 		case <-deadline.C:
-			return Report{}, fmt.Errorf("livenet: job %d: %d/%d nodes reported termination before timeout",
-				j.id, len(got), spec.Nodes)
+			var missing []string
+			for _, link := range nodes {
+				if !got[link.node] {
+					missing = append(missing, fmt.Sprintf("%d", link.node))
+				}
+			}
+			return Report{}, fmt.Errorf("%w: job %d: %d/%d nodes reported termination (missing %s)",
+				ErrTermTimeout, j.id, len(got), len(nodes), strings.Join(missing, ", "))
 		}
 	}
 	total := time.Since(start)
 	mm.mu.Lock()
 	mm.completed++
 	mm.mu.Unlock()
+	failed := append([]int(nil), j.failedNodes...)
+	sort.Ints(failed)
+	timeline := fmt.Sprintf("send=%v execute=%v nodes=%d pes=%d fanout=%d",
+		send, total-send, len(nodes), len(nodes)*spec.PEsPerNode, mm.cfg.Fanout)
+	if len(failed) > 0 {
+		timeline += fmt.Sprintf(" failed=%v replans=%d recovery=%v", failed, j.replans, j.recovery)
+	}
 	return Report{
 		JobID:     j.id,
 		Send:      send,
 		Execute:   total - send,
 		Total:     total,
 		SendBytes: j.sendBytes,
-		Timeline: fmt.Sprintf("send=%v execute=%v nodes=%d pes=%d fanout=%d",
-			send, total-send, spec.Nodes, spec.Nodes*spec.PEsPerNode, mm.cfg.Fanout),
+		Failed:    failed,
+		Replans:   j.replans,
+		Recovery:  j.recovery,
+		Timeline:  timeline,
 	}, nil
 }
 
-// transfer streams the synthetic binary image down the forwarding tree.
-// Two phases:
+// rewireTree rebuilds the job's forwarding-tree bookkeeping (direct
+// children and the per-subtree membership map) over the current node
+// set. Caller must hold j.mu or have exclusive access to j.
+func (mm *MM) rewireTree(j *liveJob) {
+	n := len(j.nodes)
+	j.children = j.children[:0]
+	j.subtree = make(map[int][]int)
+	for _, pos := range mmChildren(n, mm.cfg.Fanout) {
+		child := j.nodes[pos]
+		j.children = append(j.children, child)
+		sub := make([]int, 0, 1)
+		for _, p := range subtreeNodes(pos, n, mm.cfg.Fanout) {
+			sub = append(sub, j.nodes[p].node)
+		}
+		j.subtree[child.node] = sub
+	}
+}
+
+// transfer streams the synthetic binary image down the forwarding tree,
+// self-healing around node failures. Phases:
 //
 //  1. Plan: every node is told its relay children and acks once it has
 //     dialed them, so no fragment can reach a node before that node
@@ -453,31 +651,90 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 //     every subtree has acknowledged fragment i-Slots (the live
 //     analogue of the COMPARE-AND-WRITE flow control over the remote
 //     receive queues).
+//  3. Recover (only on liveness failures): diagnose which nodes are
+//     actually dead (accumulated PeerDown evidence plus directed
+//     isolation probes over the control links), exclude them, rewire
+//     the survivors with a Replan round, and replay the stream from the
+//     slowest survivor's confirmed progress. Fragments are regenerated
+//     deterministically, so the send log is the generator plus an
+//     index. Content failures (CRC rejections) are never retried.
 func (mm *MM) transfer(j *liveJob) error {
 	frag := mm.cfg.FragBytes
 	n := (j.spec.BinaryBytes + frag - 1) / frag
 	if n == 0 {
 		n = 1
 	}
-	for i, link := range j.nodes {
-		kids := nodeChildren(i, len(j.nodes), mm.cfg.Fanout)
-		refs := make([]ChildRef, 0, len(kids))
-		for _, k := range kids {
-			refs = append(refs, ChildRef{Node: j.nodes[k].node, Addr: j.nodes[k].addr})
-		}
-		msg := Message{Plan: &Plan{Job: j.id, Frags: n, Fanout: mm.cfg.Fanout, Children: refs}}
-		if err := link.c.send(msg); err != nil {
-			return fmt.Errorf("livenet: transfer plan to node %d: %w", link.node, err)
-		}
+	j.frags = n
+
+	err := mm.plan(j)
+	if err == nil {
+		err = mm.stream(j, 0)
 	}
-	if err := mm.awaitPlans(j, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
-		return err
+	for replans := 0; err != nil; replans++ {
+		var reject rejectError
+		if errors.As(err, &reject) {
+			return err // content failure: replanning cannot help
+		}
+		if replans >= mm.cfg.MaxReplans {
+			return fmt.Errorf("livenet: job %d: giving up after %d replans: %w", j.id, replans, err)
+		}
+		t0 := time.Now()
+		dead := mm.diagnose(j, err)
+		if len(dead) == 0 {
+			return err // nothing provably dead: surface the original failure
+		}
+		resume, rerr := mm.replan(j, dead)
+		if rerr != nil {
+			err = rerr // may itself be recoverable; loop diagnoses again
+			j.recovery += time.Since(t0)
+			continue
+		}
+		j.replans++
+		j.recovery += time.Since(t0)
+		err = mm.stream(j, resume)
 	}
 
-	egress0 := int64(0)
-	for _, link := range j.children {
-		egress0 += link.c.sentBytes()
+	j.mu.Lock()
+	for c, base := range j.egressBase {
+		j.sendBytes += c.sentBytes() - base
 	}
+	j.mu.Unlock()
+	return nil
+}
+
+// plan runs the initial topology barrier: every node learns its relay
+// children and confirms before any fragment flows.
+func (mm *MM) plan(j *liveJob) error {
+	j.mu.Lock()
+	nodes := append([]*nmLink(nil), j.nodes...)
+	j.mu.Unlock()
+	for i, link := range nodes {
+		kids := nodeChildren(i, len(nodes), mm.cfg.Fanout)
+		refs := make([]ChildRef, 0, len(kids))
+		for _, k := range kids {
+			refs = append(refs, ChildRef{Node: nodes[k].node, Addr: nodes[k].addr})
+		}
+		msg := Message{Plan: &Plan{Job: j.id, Frags: j.frags, Fanout: mm.cfg.Fanout, Children: refs}}
+		if err := link.c.send(msg); err != nil {
+			return downError{node: link.node, cause: fmt.Sprintf("transfer plan write: %v", err)}
+		}
+	}
+	return mm.awaitPlans(j, time.Now().Add(mm.cfg.AckTimeout))
+}
+
+// stream pushes fragments [from, frags) down the current tree and
+// waits for the window to drain.
+func (mm *MM) stream(j *liveJob, from int) error {
+	j.mu.Lock()
+	children := append([]*nmLink(nil), j.children...)
+	nodeCount := len(j.nodes)
+	for _, link := range children {
+		if _, seen := j.egressBase[link.c]; !seen {
+			j.egressBase[link.c] = link.c.sentBytes()
+		}
+	}
+	j.mu.Unlock()
+
 	// The window is end-to-end (the credit the MM sees is the minimum over
 	// whole subtrees), so its bandwidth-delay product spans every
 	// store-and-forward hop down plus the ack aggregation back up. Scale
@@ -485,8 +742,9 @@ func (mm *MM) transfer(j *liveJob) error {
 	// be credit-starved: with Slots in flight over a depth-d relay chain,
 	// d of them are resident in the pipe before the first cumulative ack
 	// can even form.
-	window := mm.cfg.Slots * treeDepth(len(j.nodes), mm.cfg.Fanout)
-	for i := 0; i < n; i++ {
+	window := mm.cfg.Slots * treeDepth(nodeCount, mm.cfg.Fanout)
+	frag := mm.cfg.FragBytes
+	for i := from; i < j.frags; i++ {
 		if err := mm.awaitCredit(j, i-window+1, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
 			return err
 		}
@@ -499,14 +757,14 @@ func (mm *MM) transfer(j *liveJob) error {
 		}
 		data := grabFragBuf(size)
 		fragPatternInto(data, j.id, i)
-		f := &Frag{Job: j.id, Index: i, Last: i == n-1, Data: data, CRC: fragCRC(data)}
+		f := &Frag{Job: j.id, Index: i, Last: i == j.frags-1, Data: data, CRC: fragCRC(data)}
 		if mm.testCorrupt != nil {
 			mm.testCorrupt(j.id, i, data)
 		}
-		for _, link := range j.children {
+		for _, link := range children {
 			if err := link.c.sendFrag(f); err != nil {
 				releaseFragBuf(data)
-				return fmt.Errorf("livenet: fragment %d to node %d: %w", i, link.node, err)
+				return downError{node: link.node, cause: fmt.Sprintf("fragment %d write: %v", i, err)}
 			}
 		}
 		releaseFragBuf(data)
@@ -516,18 +774,143 @@ func (mm *MM) transfer(j *liveJob) error {
 	// tail — the budget is not restarted on partial progress, so a
 	// stalled node cannot stack the per-fragment timeout on top of the
 	// final wait.
-	if err := mm.awaitCredit(j, n, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
-		return err
+	return mm.awaitCredit(j, j.frags, time.Now().Add(mm.cfg.AckTimeout))
+}
+
+// diagnose turns a transfer failure into a verdict about which job
+// nodes are actually dead: nodes named by connection-level evidence
+// (failed writes, PeerDown reports) are taken at their parents' word —
+// the relay layer already retried them — and every other node is sent
+// a directed isolation probe over its control link, mirroring the
+// simulator FaultDetector's per-node probe phase. Nodes that neither
+// answer within ProbeGrace nor accept the probe write are dead.
+func (mm *MM) diagnose(j *liveJob, cause error) map[int]string {
+	dead := make(map[int]string)
+	var down downError
+	if errors.As(cause, &down) {
+		dead[down.node] = down.cause
 	}
-	for _, link := range j.children {
-		j.sendBytes += link.c.sentBytes()
+	j.mu.Lock()
+	for node, why := range j.peerDown {
+		if _, seen := dead[node]; !seen {
+			dead[node] = why
+		}
 	}
-	j.sendBytes -= egress0
-	return nil
+	j.peerDown = nil
+	j.fail = nil // consumed; recovery starts from a clean slate
+	nodes := append([]*nmLink(nil), j.nodes...)
+	j.mu.Unlock()
+
+	var suspects []*nmLink
+	for _, link := range nodes {
+		if _, gone := dead[link.node]; !gone {
+			suspects = append(suspects, link)
+		}
+	}
+	for node, why := range mm.probeNodes(suspects, mm.cfg.ProbeGrace) {
+		dead[node] = why
+	}
+	return dead
+}
+
+// probeNodes pings each link directly and waits grace for the pongs.
+// Returns the nodes that failed the probe, with the reason.
+func (mm *MM) probeNodes(links []*nmLink, grace time.Duration) map[int]string {
+	dead := make(map[int]string)
+	if len(links) == 0 {
+		return dead
+	}
+	pr := &probeRound{got: make(map[int]bool)}
+	mm.mu.Lock()
+	// Probe sequences live far above heartbeat sequences so the shared
+	// Pong path can route them unambiguously.
+	mm.probeSeq++
+	seq := mm.probeSeq | 1<<40
+	mm.probes[seq] = pr
+	mm.mu.Unlock()
+	for _, l := range links {
+		if err := l.c.send(Message{Ping: &Ping{Seq: seq}}); err != nil {
+			dead[l.node] = fmt.Sprintf("probe write failed: %v", err)
+		}
+	}
+	time.Sleep(grace)
+	pr.mu.Lock()
+	for _, l := range links {
+		if _, gone := dead[l.node]; !gone && !pr.got[l.node] {
+			dead[l.node] = fmt.Sprintf("no answer to isolation probe within %v", grace)
+		}
+	}
+	pr.mu.Unlock()
+	mm.mu.Lock()
+	delete(mm.probes, seq)
+	mm.mu.Unlock()
+	return dead
+}
+
+// replan excludes the dead nodes, rewires the forwarding tree over the
+// survivors with a Replan/ReplanAck round, and returns the fragment
+// index to resume streaming from — the slowest survivor's confirmed
+// local progress (the window is pre-credited to that point, since every
+// survivor proved at least that much).
+func (mm *MM) replan(j *liveJob, dead map[int]string) (int, error) {
+	j.mu.Lock()
+	var survivors []*nmLink
+	for _, l := range j.nodes {
+		if _, gone := dead[l.node]; gone {
+			j.failedNodes = append(j.failedNodes, l.node)
+		} else {
+			survivors = append(survivors, l)
+		}
+	}
+	if len(survivors) == 0 {
+		failed := append([]int(nil), j.failedNodes...)
+		sort.Ints(failed)
+		j.mu.Unlock()
+		return 0, fmt.Errorf("livenet: job %d: all nodes failed (%v)", j.id, failed)
+	}
+	j.nodes = survivors
+	j.epoch++
+	epoch := j.epoch
+	j.acked = make(map[int]int)
+	j.planned = make(map[int]bool)
+	j.received = make(map[int]int)
+	mm.rewireTree(j)
+	nodes := append([]*nmLink(nil), survivors...)
+	j.mu.Unlock()
+
+	for i, link := range nodes {
+		kids := nodeChildren(i, len(nodes), mm.cfg.Fanout)
+		refs := make([]ChildRef, 0, len(kids))
+		for _, k := range kids {
+			refs = append(refs, ChildRef{Node: nodes[k].node, Addr: nodes[k].addr})
+		}
+		msg := Message{Replan: &Replan{Job: j.id, Epoch: epoch, Frags: j.frags,
+			Fanout: mm.cfg.Fanout, Children: refs}}
+		if err := link.c.send(msg); err != nil {
+			return 0, downError{node: link.node, cause: fmt.Sprintf("replan write: %v", err)}
+		}
+	}
+	if err := mm.awaitPlans(j, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
+		return 0, err
+	}
+
+	j.mu.Lock()
+	resume := j.frags
+	for _, l := range j.nodes {
+		if r := j.received[l.node]; r < resume {
+			resume = r
+		}
+	}
+	for _, c := range j.children {
+		j.acked[c.node] = resume
+	}
+	j.mu.Unlock()
+	return resume, nil
 }
 
 // awaitPlans blocks until every node of the job confirmed its relay
-// plan; on timeout the error names the nodes that never answered.
+// plan (or replan); on timeout the error names the nodes that never
+// answered.
 func (mm *MM) awaitPlans(j *liveJob, deadline time.Time) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -548,7 +931,7 @@ func (mm *MM) awaitPlans(j *liveJob, deadline time.Time) error {
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("livenet: job %d: relay plan unconfirmed by nodes %s", j.id, missing)
+			return fmt.Errorf("%w: job %d: relay plan unconfirmed by nodes %s", ErrTransferTimeout, j.id, missing)
 		}
 		t := time.AfterFunc(100*time.Millisecond, func() { j.cond.Broadcast() })
 		j.cond.Wait()
@@ -585,8 +968,8 @@ func (mm *MM) awaitCredit(j *liveJob, need int, deadline time.Time) error {
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("livenet: job %d: flow control stalled awaiting fragment %d credit from %s",
-				j.id, need-1, strings.Join(owing, ", "))
+			return fmt.Errorf("%w: job %d: flow control stalled awaiting fragment %d credit from %s",
+				ErrTransferTimeout, j.id, need-1, strings.Join(owing, ", "))
 		}
 		// Wake periodically to enforce the deadline even if no acks come.
 		t := time.AfterFunc(100*time.Millisecond, func() { j.cond.Broadcast() })
@@ -595,95 +978,15 @@ func (mm *MM) awaitCredit(j *liveJob, need int, deadline time.Time) error {
 	}
 }
 
-// abort tells every node of a failed job to drop its transfer state and
-// close its relay links (best effort).
+// abort tells every node of a failed job to drop its transfer state
+// (including any half-spooled binary) and close its relay links (best
+// effort) — the per-node cleanup of a clean abort.
 func (mm *MM) abort(j *liveJob, reason error) {
 	msg := Message{Abort: &Abort{Job: j.id, Reason: reason.Error()}}
-	for _, link := range j.nodes {
+	j.mu.Lock()
+	nodes := append([]*nmLink(nil), j.nodes...)
+	j.mu.Unlock()
+	for _, link := range nodes {
 		link.c.send(msg)
 	}
-}
-
-// heartbeat support ---------------------------------------------------
-
-type hbState struct {
-	mu    sync.Mutex
-	seq   int64
-	pongs map[int]int64 // node -> last seq answered
-}
-
-// StartHeartbeat pings all registered NMs every period and calls onFail
-// once for a node that misses two consecutive heartbeats. Returns a stop
-// function.
-func (mm *MM) StartHeartbeat(period time.Duration, onFail func(node int)) (stop func()) {
-	st := &hbState{pongs: make(map[int]int64)}
-	mm.mu.Lock()
-	mm.hb = st
-	mm.mu.Unlock()
-	done := make(chan struct{})
-	failed := make(map[int]bool)
-	// known tracks every node ever seen, with the heartbeat sequence
-	// current when it appeared: a node that later disconnects (and so
-	// leaves the registry) keeps being checked and is declared failed —
-	// exactly the paper's "slave missed a heartbeat" condition.
-	known := make(map[int]int64)
-	go func() {
-		tick := time.NewTicker(period)
-		defer tick.Stop()
-		for {
-			select {
-			case <-done:
-				return
-			case <-tick.C:
-			}
-			st.mu.Lock()
-			st.seq++
-			seq := st.seq
-			st.mu.Unlock()
-			mm.mu.Lock()
-			links := make([]*nmLink, 0, len(mm.nms))
-			for _, l := range mm.nms {
-				links = append(links, l)
-			}
-			mm.mu.Unlock()
-			for _, l := range links {
-				if _, ok := known[l.node]; !ok {
-					known[l.node] = seq - 1 // grace for late joiners
-				}
-				l.c.send(Message{Ping: &Ping{Seq: seq}})
-			}
-			st.mu.Lock()
-			for node, joinedAt := range known {
-				if failed[node] || seq-joinedAt < 3 {
-					continue
-				}
-				last := st.pongs[node]
-				if last < joinedAt {
-					last = joinedAt
-				}
-				if last < seq-2 {
-					failed[node] = true
-					if onFail != nil {
-						go onFail(node)
-					}
-				}
-			}
-			st.mu.Unlock()
-		}
-	}()
-	return func() { close(done) }
-}
-
-func (mm *MM) onPong(p *Pong) {
-	mm.mu.Lock()
-	st := mm.hb
-	mm.mu.Unlock()
-	if st == nil {
-		return
-	}
-	st.mu.Lock()
-	if p.Seq > st.pongs[p.Node] {
-		st.pongs[p.Node] = p.Seq
-	}
-	st.mu.Unlock()
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +18,19 @@ type NMConfig struct {
 	// PeerAddr is the listen address for relay connections from parent
 	// NMs in the forwarding tree (default "127.0.0.1:0").
 	PeerAddr string
+	// SpoolDir, when set, makes the NM persist each job's binary image
+	// to disk: fragments append to a job-private temp file that is
+	// renamed into place only once the full image has verified, so an
+	// aborted or failed transfer can never leave a half-written binary
+	// behind. Empty keeps the image in memory only (the RAM-disk model).
+	SpoolDir string
+	// Dialer overrides how the NM opens its connections (to the MM and
+	// to relay children); nil means TCP with retry/backoff. WrapConn,
+	// when set, interposes on every established connection, inbound and
+	// outbound. Both exist for deterministic fault injection (see
+	// internal/livenet/faultconn).
+	Dialer   Dialer
+	WrapConn func(net.Conn) net.Conn
 }
 
 // NM is a live Node Manager: it registers with the MM, receives binary
@@ -26,6 +41,7 @@ type NMConfig struct {
 type NM struct {
 	node   int
 	cpus   int
+	cfg    NMConfig
 	c      *conn
 	peerLn net.Listener
 
@@ -47,6 +63,10 @@ type NM struct {
 	// testDropAcks, when set (in-package tests only), silently withholds
 	// all fragment acks — the "node stops crediting the window" fault.
 	testDropAcks atomic.Bool
+	// testDropTerms, when set (in-package tests only), suppresses
+	// termination reports — the "job never reports back" fault that the
+	// MM's termination deadline must catch.
+	testDropTerms atomic.Bool
 	// testCorruptRelay, when set (in-package tests only), may mutate a
 	// fragment's payload after local verification but before it is
 	// relayed downstream — the mid-tree corruption hook.
@@ -62,6 +82,12 @@ type binState struct {
 	bytes    int
 	crc      uint32 // running CRC-32 over the concatenated image
 	complete bool
+
+	// Spool state (SpoolDir set): fragments append to the temp file,
+	// which is renamed to final only after the whole image verified.
+	spool *os.File
+	tmp   string
+	final string
 }
 
 // ImageDigest summarizes the binary image a node received for a job:
@@ -78,6 +104,7 @@ type ImageDigest struct {
 // aggregated before being propagated up.
 type relayState struct {
 	frags    int
+	epoch    int   // tree generation; bumped by Replan, stamped on acks
 	parent   *conn // conn fragments arrive on; acks go back up it
 	children []*relayChild
 	sentUp   int // cumulative credit already propagated to the parent
@@ -87,8 +114,10 @@ type relayState struct {
 // relayChild is one downstream link of the forwarding tree.
 type relayChild struct {
 	node  int
+	addr  string
 	c     *conn
-	acked int // cumulative credit received from this subtree
+	acked int  // cumulative credit received from this subtree
+	down  bool // link declared dead (write failed and one redial failed)
 }
 
 // gateRow couples a job's process gate with its gang timeslot row.
@@ -114,12 +143,18 @@ func NewNMConfig(addr string, node, cpus int, cfg NMConfig) (*NM, error) {
 	if err != nil {
 		return nil, fmt.Errorf("livenet: peer listen %s: %w", peerAddr, err)
 	}
-	c, err := dial(addr)
+	if cfg.SpoolDir != "" {
+		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("livenet: spool dir: %w", err)
+		}
+	}
+	c, err := dialWith(cfg.Dialer, cfg.WrapConn, addr)
 	if err != nil {
 		ln.Close()
 		return nil, err
 	}
-	nm := &NM{node: node, cpus: cpus, c: c, peerLn: ln,
+	nm := &NM{node: node, cpus: cpus, cfg: cfg, c: c, peerLn: ln,
 		bins:    make(map[int]*binState),
 		relays:  make(map[int]*relayState),
 		digests: make(map[int]ImageDigest),
@@ -183,13 +218,32 @@ func (nm *NM) ImageDigest(job int) (ImageDigest, bool) {
 	return d, ok
 }
 
+// SpooledBinary returns the on-disk path of a job's committed binary
+// image, and whether it has been published (SpoolDir mode only; a
+// published path always names a complete, verified image — partial
+// transfers only ever exist under a temp name).
+func (nm *NM) SpooledBinary(job int) (string, bool) {
+	if nm.cfg.SpoolDir == "" {
+		return "", false
+	}
+	p := filepath.Join(nm.cfg.SpoolDir, fmt.Sprintf("node%d-job%d.bin", nm.node, job))
+	if _, err := os.Stat(p); err != nil {
+		return "", false
+	}
+	return p, true
+}
+
 // Close disconnects the NM (simulating a node failure if abrupt).
 func (nm *NM) Close() {
+	// Guarded close: chaos tests kill an NM from a fault callback while
+	// the test harness also Closes it on cleanup.
+	nm.mu.Lock()
 	select {
 	case <-nm.closed:
 	default:
 		close(nm.closed)
 	}
+	nm.mu.Unlock()
 	nm.c.close()
 	nm.peerLn.Close()
 	nm.mu.Lock()
@@ -198,6 +252,9 @@ func (nm *NM) Close() {
 	}
 	for _, cc := range nm.dialed {
 		cc.close()
+	}
+	for _, st := range nm.bins {
+		st.discardSpool()
 	}
 	nm.mu.Unlock()
 	nm.wg.Wait()
@@ -215,6 +272,8 @@ func (nm *NM) loop() {
 			nm.handleFrag(m.Frag, nm.c)
 		case m.Plan != nil:
 			nm.onPlan(m.Plan)
+		case m.Replan != nil:
+			nm.onReplan(m.Replan)
 		case m.Abort != nil:
 			nm.onAbort(m.Abort)
 		case m.Launch != nil:
@@ -235,6 +294,9 @@ func (nm *NM) acceptPeers() {
 		if err != nil {
 			return // listener closed
 		}
+		if nm.cfg.WrapConn != nil {
+			nc = nm.cfg.WrapConn(nc)
+		}
 		pc := newConn(nc)
 		nm.mu.Lock()
 		nm.peers[pc] = struct{}{}
@@ -251,6 +313,14 @@ func (nm *NM) servePeer(pc *conn) {
 	defer func() {
 		nm.mu.Lock()
 		delete(nm.peers, pc)
+		// If this conn was some job's ack path, unbind it: after a
+		// replan the replacement parent's conn re-binds on its first
+		// fragment, and acks must never be written to a dead socket.
+		for _, rs := range nm.relays {
+			if rs.parent == pc {
+				rs.parent = nil
+			}
+		}
 		nm.mu.Unlock()
 		pc.close()
 	}()
@@ -278,12 +348,50 @@ func (nm *NM) onPlan(p *Plan) {
 				Err: fmt.Sprintf("dial child %d: %v", ref.Node, err)}})
 			return
 		}
-		st.children = append(st.children, &relayChild{node: ref.Node, c: cc})
+		st.children = append(st.children, &relayChild{node: ref.Node, addr: ref.Addr, c: cc})
 	}
 	nm.mu.Lock()
 	nm.relays[p.Job] = st
 	nm.mu.Unlock()
 	nm.c.send(Message{PlanAck: &PlanAck{Job: p.Job, Node: nm.node}})
+}
+
+// onReplan rewires this node's forwarding role for a new tree epoch
+// after the MM excluded a failed node: the child set is replaced
+// wholesale, per-child credit restarts at zero (conservative — the
+// first replayed duplicate re-primes it), and the cumulative credit
+// already propagated up is reset so the (possibly new) parent hears a
+// fresh, epoch-stamped ack stream. The reply carries this node's local
+// fragment progress, which the MM folds into the global replay point.
+func (nm *NM) onReplan(p *Replan) {
+	var kids []*relayChild
+	for _, ref := range p.Children {
+		cc, err := nm.peerConn(ref.Addr)
+		if err != nil {
+			nm.c.send(Message{ReplanAck: &ReplanAck{Job: p.Job, Node: nm.node, Epoch: p.Epoch,
+				Err: fmt.Sprintf("dial child %d: %v", ref.Node, err)}})
+			return
+		}
+		kids = append(kids, &relayChild{node: ref.Node, addr: ref.Addr, c: cc})
+	}
+	nm.mu.Lock()
+	rs := nm.relays[p.Job]
+	if rs == nil {
+		rs = &relayState{}
+		nm.relays[p.Job] = rs
+	}
+	rs.frags = p.Frags
+	rs.epoch = p.Epoch
+	rs.children = kids
+	rs.parent = nil // re-binds on the first fragment of the new epoch
+	rs.sentUp = 0
+	received := 0
+	if st := nm.bins[p.Job]; st != nil {
+		received = st.received
+	}
+	nm.mu.Unlock()
+	nm.c.send(Message{ReplanAck: &ReplanAck{Job: p.Job, Node: nm.node,
+		Epoch: p.Epoch, Received: received}})
 }
 
 // peerConn returns the relay connection to a downstream NM, dialing it
@@ -297,7 +405,13 @@ func (nm *NM) peerConn(addr string) (*conn, error) {
 	if ok {
 		return cc, nil
 	}
-	cc, err := dial(addr)
+	return nm.dialChild(addr)
+}
+
+// dialChild opens a fresh relay link to addr, caches it, and starts its
+// ack pump.
+func (nm *NM) dialChild(addr string) (*conn, error) {
+	cc, err := dialWith(nm.cfg.Dialer, nm.cfg.WrapConn, addr)
 	if err != nil {
 		return nil, err
 	}
@@ -309,10 +423,74 @@ func (nm *NM) peerConn(addr string) (*conn, error) {
 	return cc, nil
 }
 
+// relayFrag forwards one fragment to a tree child, health-checking the
+// cached link on the way: a write error evicts the cached connection
+// and redials once before the peer is reported down. Reports whether
+// the fragment reached the child.
+func (nm *NM) relayFrag(job int, rc *relayChild, f *Frag) bool {
+	nm.mu.Lock()
+	cc, down := rc.c, rc.down
+	nm.mu.Unlock()
+	if down {
+		return false
+	}
+	err := cc.sendFrag(f)
+	if err == nil {
+		return true
+	}
+	// Cached link went stale (the peer restarted, or the socket died
+	// between jobs): evict it and redial once. A fragment frame is
+	// atomic per connection, so the peer discards any partial frame
+	// with the dead socket and the retry is a clean re-send.
+	nm.evictDialed(cc)
+	cc2, err2 := nm.dialChild(rc.addr)
+	if err2 == nil {
+		nm.mu.Lock()
+		rc.c = cc2
+		nm.mu.Unlock()
+		if err = cc2.sendFrag(f); err == nil {
+			return true
+		}
+	} else {
+		err = err2
+	}
+	nm.mu.Lock()
+	rc.down = true
+	nm.mu.Unlock()
+	// One redial did not bring the peer back: report it down so the MM
+	// can start recovery without waiting for the window to stall.
+	nm.c.send(Message{PeerDown: &PeerDown{Job: job, Node: rc.node, From: nm.node, Err: err.Error()}})
+	return false
+}
+
+// evictDialed drops a broken link from the cross-job relay cache.
+func (nm *NM) evictDialed(cc *conn) {
+	nm.mu.Lock()
+	for addr, c := range nm.dialed {
+		if c == cc {
+			delete(nm.dialed, addr)
+		}
+	}
+	nm.mu.Unlock()
+	cc.close()
+}
+
 // pumpChildAcks reads one downstream link's acks — for every job routed
 // over it — and folds them into the owning job's aggregated credit.
 func (nm *NM) pumpChildAcks(cc *conn) {
 	defer nm.wg.Done()
+	defer func() {
+		// The link died: make sure the cross-job cache never hands it
+		// out again.
+		nm.mu.Lock()
+		for addr, c := range nm.dialed {
+			if c == cc {
+				delete(nm.dialed, addr)
+			}
+		}
+		nm.mu.Unlock()
+		cc.close()
+	}()
 	for {
 		m, err := cc.recv()
 		if err != nil {
@@ -324,7 +502,8 @@ func (nm *NM) pumpChildAcks(cc *conn) {
 		}
 		if !a.OK {
 			// A node below rejected: forward the failure up unchanged so
-			// the MM learns the true origin.
+			// the MM learns the true origin. Content rejections are
+			// epoch-independent.
 			nm.mu.Lock()
 			rs := nm.relays[a.Job]
 			var parent *conn
@@ -339,7 +518,9 @@ func (nm *NM) pumpChildAcks(cc *conn) {
 			continue
 		}
 		nm.mu.Lock()
-		if rs := nm.relays[a.Job]; rs != nil {
+		if rs := nm.relays[a.Job]; rs != nil && a.Epoch == rs.epoch {
+			// Credit from an older epoch vouched for a different
+			// subtree shape and must not count under the new one.
 			for _, rc := range rs.children {
 				if rc.c == cc && a.Index+1 > rc.acked {
 					rc.acked = a.Index + 1
@@ -372,6 +553,7 @@ func (nm *NM) handleFrag(f *Frag, from *conn) {
 		rs.parent = from
 	}
 	children := rs.children
+	epoch := rs.epoch
 	drop := nm.testDropAcks.Load()
 	nm.mu.Unlock()
 
@@ -390,7 +572,7 @@ func (nm *NM) handleFrag(f *Frag, from *conn) {
 		}
 		relayed := 0
 		for _, rc := range children {
-			if err := rc.c.sendFrag(forward); err == nil {
+			if nm.relayFrag(f.Job, rc, forward) {
 				relayed++
 			}
 		}
@@ -408,18 +590,38 @@ func (nm *NM) handleFrag(f *Frag, from *conn) {
 		st = &binState{}
 		nm.bins[f.Job] = st
 	}
-	if ok && f.Index == st.received {
-		st.received++
-		st.bytes += len(f.Data)
-		st.crc = crc32.Update(st.crc, crc32.IEEETable, f.Data)
-		st.complete = f.Last
-		nm.fragsWritten++
-		if f.Last {
-			nm.digests[f.Job] = ImageDigest{Bytes: st.bytes, Frags: st.received, CRC: st.crc}
+	switch {
+	case !ok:
+		// Corrupt: nacked below.
+	case f.Index == st.received:
+		if err := nm.spoolFrag(f.Job, st, f); err != nil {
+			// Local write failure: this node nacks itself.
+			ok = false
+		} else {
+			st.received++
+			st.bytes += len(f.Data)
+			st.crc = crc32.Update(st.crc, crc32.IEEETable, f.Data)
+			st.complete = f.Last
+			nm.fragsWritten++
+			if f.Last {
+				if err := st.commitSpool(); err != nil {
+					ok = false
+				} else {
+					nm.digests[f.Job] = ImageDigest{Bytes: st.bytes, Frags: st.received, CRC: st.crc}
+				}
+			}
 		}
-	} else if ok {
-		// Out-of-order fragment on an in-order stream: reject.
-		ok = false
+	case f.Index < st.received:
+		// Duplicate from a replayed stream after recovery: already
+		// written and verified — fall through to re-ack so the new
+		// topology's cumulative credit re-primes, but do not rewrite.
+	default:
+		// Future fragment: a surviving relay path raced a replan
+		// handoff. Drop it silently — the replayed stream fills the
+		// gap, and nacking would misreport a healthy node as corrupt.
+		nm.mu.Unlock()
+		releaseFragBuf(f.Data)
+		return
 	}
 	if !ok {
 		rs.failed = true
@@ -430,10 +632,64 @@ func (nm *NM) handleFrag(f *Frag, from *conn) {
 		return
 	}
 	if !ok {
-		from.sendAck(&FragAck{Job: f.Job, Index: f.Index, Node: nm.node, OK: false})
+		from.sendAck(&FragAck{Job: f.Job, Index: f.Index, Node: nm.node, Epoch: epoch, OK: false})
 		return
 	}
 	nm.advanceAck(f.Job)
+}
+
+// spoolFrag appends an in-order verified fragment to the job's temp
+// file, opening it lazily on the first fragment. No-op without a spool
+// directory.
+func (nm *NM) spoolFrag(job int, st *binState, f *Frag) error {
+	if nm.cfg.SpoolDir == "" {
+		return nil
+	}
+	if st.spool == nil {
+		st.final = filepath.Join(nm.cfg.SpoolDir, fmt.Sprintf("node%d-job%d.bin", nm.node, job))
+		fh, err := os.CreateTemp(nm.cfg.SpoolDir, fmt.Sprintf("node%d-job%d-*.tmp", nm.node, job))
+		if err != nil {
+			return err
+		}
+		st.spool, st.tmp = fh, fh.Name()
+	}
+	_, err := st.spool.Write(f.Data)
+	return err
+}
+
+// commitSpool publishes a fully verified image with close + atomic
+// rename, so a reader can never observe a half-written binary.
+func (st *binState) commitSpool() error {
+	if st.spool == nil {
+		return nil
+	}
+	err := st.spool.Close()
+	st.spool = nil
+	if err != nil {
+		os.Remove(st.tmp)
+		return err
+	}
+	if err := os.Rename(st.tmp, st.final); err != nil {
+		os.Remove(st.tmp)
+		return err
+	}
+	st.tmp = ""
+	return nil
+}
+
+// discardSpool drops a partial image (abort/failure/shutdown cleanup).
+func (st *binState) discardSpool() {
+	if st == nil {
+		return
+	}
+	if st.spool != nil {
+		st.spool.Close()
+		st.spool = nil
+	}
+	if st.tmp != "" {
+		os.Remove(st.tmp)
+		st.tmp = ""
+	}
 }
 
 // advanceAck propagates the aggregated cumulative credit — the minimum
@@ -461,14 +717,16 @@ func (nm *NM) advanceAck(job int) {
 	}
 	rs.sentUp = min
 	parent := rs.parent
+	epoch := rs.epoch
 	nm.mu.Unlock()
-	parent.sendAck(&FragAck{Job: job, Index: min - 1, Node: nm.node, OK: true})
+	parent.sendAck(&FragAck{Job: job, Index: min - 1, Node: nm.node, Epoch: epoch, OK: true})
 }
 
 // onAbort drops a failed job's transfer state. The relay links are
 // cached and stay up for the next job.
 func (nm *NM) onAbort(a *Abort) {
 	nm.mu.Lock()
+	nm.bins[a.Job].discardSpool()
 	delete(nm.relays, a.Job)
 	delete(nm.bins, a.Job)
 	delete(nm.digests, a.Job)
@@ -495,7 +753,9 @@ func (nm *NM) onLaunch(l *Launch) {
 	if !ready {
 		// Binary never arrived: refuse by reporting immediately; the MM
 		// will see a too-early termination in its accounting.
-		nm.c.send(Message{Term: &Term{Job: l.Job, Node: nm.node}})
+		if !nm.testDropTerms.Load() {
+			nm.c.send(Message{Term: &Term{Job: l.Job, Node: nm.node}})
+		}
 		return
 	}
 	// Gang mode: processes start gated and run only when their row is
@@ -518,7 +778,9 @@ func (nm *NM) onLaunch(l *Launch) {
 		defer nm.wg.Done()
 		procs.Wait()
 		nm.finishJob(l.Job)
-		nm.c.send(Message{Term: &Term{Job: l.Job, Node: nm.node}})
+		if !nm.testDropTerms.Load() {
+			nm.c.send(Message{Term: &Term{Job: l.Job, Node: nm.node}})
+		}
 	}()
 }
 

@@ -74,26 +74,35 @@ type Report struct {
 	// sockets to distribute the binary: ~Nodes×size for the flat
 	// fan-out, ~Fanout×size with the forwarding tree.
 	SendBytes int64
-	Timeline  string
+	// Failed lists nodes excluded by mid-transfer recovery; Replans
+	// counts tree-rewire rounds and Recovery is the wall time spent in
+	// diagnosis + replan (zero for an undisturbed launch).
+	Failed   []int
+	Replans  int
+	Recovery time.Duration
+	Timeline string
 }
 
 // Message is the wire envelope. Exactly one pointer field is set.
 type Message struct {
-	Register *Register
-	Submit   *Submit
-	Frag     *Frag
-	FragAck  *FragAck
-	Plan     *Plan
-	PlanAck  *PlanAck
-	Abort    *Abort
-	Launch   *Launch
-	Term     *Term
-	Done     *Done
-	Ping     *Ping
-	Pong     *Pong
-	Strobe   *Strobe
-	StatusQ  *StatusReq
-	StatusR  *StatusRep
+	Register  *Register
+	Submit    *Submit
+	Frag      *Frag
+	FragAck   *FragAck
+	Plan      *Plan
+	PlanAck   *PlanAck
+	Replan    *Replan
+	ReplanAck *ReplanAck
+	PeerDown  *PeerDown
+	Abort     *Abort
+	Launch    *Launch
+	Term      *Term
+	Done      *Done
+	Ping      *Ping
+	Pong      *Pong
+	Strobe    *Strobe
+	StatusQ   *StatusReq
+	StatusR   *StatusRep
 }
 
 // Register announces an NM to the MM. Addr is the NM's peer listener,
@@ -124,11 +133,15 @@ type Frag struct {
 // tree the ack is cumulative and aggregated: Node's ack for Index means
 // every node in Node's subtree has verified and written fragments
 // 0..Index. OK=false reports a CRC/pattern rejection; Node then names
-// the rejecting node, which parents forward up unchanged.
+// the rejecting node, which parents forward up unchanged. Epoch is the
+// tree generation the ack was computed under: after a mid-transfer
+// replan the subtree a node vouches for changes, so credit from an
+// earlier topology must not be mistaken for credit under the new one.
 type FragAck struct {
 	Job   int
 	Index int
 	Node  int
+	Epoch int
 	OK    bool
 }
 
@@ -154,6 +167,42 @@ type Plan struct {
 type PlanAck struct {
 	Job  int
 	Node int
+	Err  string
+}
+
+// Replan rewires a node's forwarding-tree role mid-transfer after a
+// node failure: a fresh child set (replacing the old one wholesale) and
+// a new tree epoch. Resume is the fragment index the MM will restart the
+// stream from; fragments below a node's local progress arrive as
+// duplicates and are acknowledged without being rewritten.
+type Replan struct {
+	Job      int
+	Epoch    int
+	Frags    int
+	Fanout   int
+	Resume   int
+	Children []ChildRef
+}
+
+// ReplanAck confirms a node rewired for the new epoch (or reports why it
+// could not). Received is the node's local in-order fragment progress,
+// which the MM folds into the global replay point.
+type ReplanAck struct {
+	Job      int
+	Node     int
+	Epoch    int
+	Received int
+	Err      string
+}
+
+// PeerDown is an NM's report that a relay child is unreachable: the
+// cached link failed a write, and one fresh redial also failed. The MM
+// treats it as failure-detector evidence and triggers recovery without
+// waiting for the flow-control window to time out.
+type PeerDown struct {
+	Job  int
+	Node int // the unreachable child
+	From int // the reporting parent
 	Err  string
 }
 
@@ -271,8 +320,8 @@ const (
 const (
 	// fragHdrLen is job u32 | index u32 | flags u8 | crc u32 | len u32.
 	fragHdrLen = 17
-	// ackHdrLen is job u32 | index u32 | node u32 | ok u8.
-	ackHdrLen = 13
+	// ackHdrLen is job u32 | index u32 | node u32 | epoch u32 | ok u8.
+	ackHdrLen = 17
 	// maxFrame bounds a frame payload (corruption guard).
 	maxFrame = 64 << 20
 )
@@ -391,9 +440,10 @@ func (c *conn) sendAck(a *FragAck) error {
 	binary.BigEndian.PutUint32(hdr[1:], uint32(a.Job))
 	binary.BigEndian.PutUint32(hdr[5:], uint32(a.Index))
 	binary.BigEndian.PutUint32(hdr[9:], uint32(a.Node))
-	hdr[13] = 0
+	binary.BigEndian.PutUint32(hdr[13:], uint32(a.Epoch))
+	hdr[17] = 0
 	if a.OK {
-		hdr[13] = 1
+		hdr[17] = 1
 	}
 	return c.writeFrame(hdr, nil)
 }
@@ -471,7 +521,8 @@ func (c *conn) recv() (Message, error) {
 			Job:   int(binary.BigEndian.Uint32(hb[0:])),
 			Index: int(binary.BigEndian.Uint32(hb[4:])),
 			Node:  int(binary.BigEndian.Uint32(hb[8:])),
-			OK:    hb[12] == 1,
+			Epoch: int(binary.BigEndian.Uint32(hb[12:])),
+			OK:    hb[16] == 1,
 		}}, nil
 	default:
 		return Message{}, fmt.Errorf("livenet: unknown frame type %#x", t[0])
@@ -483,11 +534,65 @@ func (c *conn) sentBytes() int64 { return c.sent.Load() }
 
 func (c *conn) close() { c.c.Close() }
 
-// dial connects to addr with a bounded timeout.
-func dial(addr string) (*conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("livenet: dial %s: %w", addr, err)
+// Dialer opens the transport connection to an address. MM/NM configs
+// accept one so tests can interpose deterministic faults (see
+// internal/livenet/faultconn); nil means plain TCP.
+type Dialer func(addr string) (net.Conn, error)
+
+// Connection-level fault absorption: transient dial failures (a peer
+// restarting its listener, a SYN lost under load) are retried with
+// capped exponential backoff before they are escalated into node
+// failures.
+const (
+	dialAttempts    = 3
+	dialBaseBackoff = 50 * time.Millisecond
+	dialMaxBackoff  = 400 * time.Millisecond
+	dialTimeout     = 5 * time.Second
+)
+
+// backoffSeq is the splitmix64 state feeding backoff jitter; jitter
+// decorrelates retry storms when many nodes redial at once.
+var backoffSeq atomic.Uint64
+
+// backoffDelay returns the capped exponential backoff for a retry
+// attempt (0-based), jittered to 50-100% of the nominal value.
+func backoffDelay(attempt int) time.Duration {
+	d := dialBaseBackoff << uint(attempt)
+	if d > dialMaxBackoff {
+		d = dialMaxBackoff
 	}
-	return newConn(nc), nil
+	z := backoffSeq.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return d/2 + time.Duration(z%uint64(d/2+1))
+}
+
+// dialWith connects to addr through dialer (nil = TCP with a bounded
+// timeout), retrying transient failures with jittered backoff, and runs
+// the established connection through wrap (nil = identity).
+func dialWith(dialer Dialer, wrap func(net.Conn) net.Conn, addr string) (*conn, error) {
+	if dialer == nil {
+		dialer = func(a string) (net.Conn, error) { return net.DialTimeout("tcp", a, dialTimeout) }
+	}
+	var err error
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoffDelay(attempt - 1))
+		}
+		var nc net.Conn
+		if nc, err = dialer(addr); err == nil {
+			if wrap != nil {
+				nc = wrap(nc)
+			}
+			return newConn(nc), nil
+		}
+	}
+	return nil, fmt.Errorf("livenet: dial %s (%d attempts): %w", addr, dialAttempts, err)
+}
+
+// dial connects to addr with defaults: plain TCP, bounded timeout,
+// retry with backoff.
+func dial(addr string) (*conn, error) {
+	return dialWith(nil, nil, addr)
 }
