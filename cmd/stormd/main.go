@@ -14,8 +14,11 @@
 //
 // Binaries are distributed down a software-multicast forwarding tree
 // among the NMs (fanout set on the MM with -fanout; -peer pins an NM's
-// relay listener when nodes span machines). Then submit jobs with
-// cmd/storm.
+// relay listener when nodes span machines). The same tree carries the
+// control plane: heartbeat pings multicast down it with aggregated pong
+// ledgers coming back (on by default, period set with -hb), and -strobe
+// enables live gang scheduling at the given quantum. Then submit jobs
+// with cmd/storm.
 package main
 
 import (
@@ -38,7 +41,9 @@ func main() {
 	cpus := flag.Int("cpus", 4, "advertised CPUs per node (role nm)")
 	peer := flag.String("peer", "", "NM relay listen address for the forwarding tree (role nm; default 127.0.0.1:0)")
 	spool := flag.String("spool", "", "directory to persist delivered binary images via temp-file+rename (role nm; empty keeps images in memory only)")
-	hb := flag.Duration("heartbeat", time.Second, "heartbeat period on the MM (0 disables)")
+	hb := flag.Duration("heartbeat", time.Second, "tree-heartbeat period on the MM (0 disables)")
+	flag.DurationVar(hb, "hb", time.Second, "alias for -heartbeat")
+	strobe := flag.Duration("strobe", 0, "gang-scheduling strobe quantum on the MM (0 disables live gang scheduling)")
 	flag.Parse()
 
 	sig := make(chan os.Signal, 1)
@@ -46,12 +51,15 @@ func main() {
 
 	switch *role {
 	case "mm":
-		mm, err := livenet.NewMM(*listen, livenet.MMConfig{Fanout: *fanout})
+		mm, err := livenet.NewMM(*listen, livenet.MMConfig{Fanout: *fanout, GangQuantum: *strobe})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("stormd: MM listening on %s\n", mm.Addr())
+		if *strobe > 0 {
+			fmt.Printf("stormd: gang scheduling on, strobe quantum %v\n", *strobe)
+		}
 		if *hb > 0 {
 			stop := mm.StartHeartbeat(*hb, func(n int) {
 				fmt.Printf("stormd: node %d FAILED (missed heartbeats)\n", n)

@@ -153,22 +153,171 @@ func BenchmarkLiveLaunch(b *testing.B) {
 	for _, k := range keys {
 		series = append(series, points[k])
 	}
-	summary := struct {
-		ID          string    `json:"id"`
-		When        time.Time `json:"when"`
-		BinaryBytes int       `json:"binary_bytes"`
-		FragBytes   int       `json:"frag_bytes"`
-		Series      []point   `json:"series"`
-	}{ID: "livenet", When: time.Now().UTC(), BinaryBytes: binaryBytes, FragBytes: fragBytes, Series: series}
-	data, err := json.MarshalIndent(summary, "", "  ")
+	mergeBenchSummary(b, map[string]any{
+		"id":           "livenet",
+		"when":         time.Now().UTC(),
+		"binary_bytes": binaryBytes,
+		"frag_bytes":   fragBytes,
+		"series":       series,
+	})
+}
+
+// mergeBenchSummary updates the given top-level keys of
+// BENCH_livenet.json in place, preserving sections written by other
+// benchmarks (launch scaling and the control plane share the file).
+func mergeBenchSummary(b *testing.B, fields map[string]any) {
+	b.Helper()
+	out := filepath.Join(repoRoot(), "BENCH_livenet.json")
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(out); err == nil {
+		// A malformed existing file is simply rebuilt from this run.
+		json.Unmarshal(data, &doc)
+	}
+	for k, v := range fields {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc[k] = raw
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}
-	out := filepath.Join(repoRoot(), "BENCH_livenet.json")
 	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 		b.Fatalf("bench summary: %v", err)
 	}
 	b.Logf("wrote %s", out)
+}
+
+// BenchmarkControlPlane measures the lightning-fast control plane as
+// the cluster grows: heartbeat ping→full-ledger RTT, strobe propagation
+// latency, and the MM's per-period control egress in frames and bytes.
+// The egress series is the O(fanout) evidence — frames per period stays
+// at ~Fanout (plus the strobe multicasts) while node count scales —
+// and strobe latency should track tree depth, not node count.
+//
+//	go test -run '^$' -bench BenchmarkControlPlane -benchtime=1x ./internal/livenet/
+func BenchmarkControlPlane(b *testing.B) {
+	const (
+		period  = 20 * time.Millisecond
+		quantum = 10 * time.Millisecond
+		fanout  = 2
+		window  = 25 // heartbeat periods per measured sample
+	)
+	type point struct {
+		Nodes              int     `json:"nodes"`
+		TreeDepth          int     `json:"tree_depth"`
+		HeartbeatRTTUS     float64 `json:"heartbeat_rtt_us"`
+		HeartbeatRTTMaxUS  float64 `json:"heartbeat_rtt_max_us"`
+		StrobeLatencyUS    float64 `json:"strobe_latency_us"`
+		StrobeLatencyMaxUS float64 `json:"strobe_latency_max_us"`
+		CtlFramesPerPeriod float64 `json:"mm_ctl_frames_per_period"`
+		CtlBytesPerPeriod  float64 `json:"mm_ctl_bytes_per_period"`
+	}
+	points := map[string]point{}
+	var keys []string
+	for _, nodes := range []int{2, 4, 8, 16, 32} {
+		name := fmt.Sprintf("nodes=%d", nodes)
+		b.Run(name, func(b *testing.B) {
+			mm, _ := startCluster(b, nodes, MMConfig{Fanout: fanout, GangQuantum: quantum, MPL: 2})
+			stop := mm.StartHeartbeat(period, nil)
+			defer stop()
+			// A long sleep job keeps a gang row busy so strobes flow, and
+			// its transfer is over before sampling starts, so the egress
+			// window sees pure control traffic.
+			jobDone := make(chan error, 1)
+			go func() {
+				_, err := mm.RunJob(JobSpec{
+					Name: "ctl-bench", BinaryBytes: 64 << 10, Nodes: nodes, PEsPerNode: 1,
+					Program: ProgramSpec{Kind: "sleep",
+						Duration: time.Duration(b.N)*(window+10)*period + time.Second},
+				})
+				jobDone <- err
+			}()
+			deadline := time.Now().Add(10 * time.Second)
+			for mm.Strobes() < 2 {
+				if time.Now().After(deadline) {
+					b.Fatal("strobes never started")
+				}
+				time.Sleep(period)
+			}
+			time.Sleep(4 * period) // ledgers warm under the final epoch
+			best := point{Nodes: nodes, TreeDepth: treeDepth(nodes, fanout)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hbMean0, _, hbN0 := mm.HeartbeatRTT()
+				stMean0, _, stN0 := mm.StrobeLatency()
+				f0, by0 := mm.ControlEgress()
+				t0 := time.Now()
+				time.Sleep(window * period)
+				elapsed := time.Since(t0)
+				hbMean1, hbMax, hbN1 := mm.HeartbeatRTT()
+				stMean1, stMax, stN1 := mm.StrobeLatency()
+				f1, by1 := mm.ControlEgress()
+				periods := float64(elapsed) / float64(period)
+				p := point{
+					Nodes:              nodes,
+					TreeDepth:          treeDepth(nodes, fanout),
+					HeartbeatRTTUS:     windowedMeanUS(hbMean0, hbN0, hbMean1, hbN1),
+					HeartbeatRTTMaxUS:  float64(hbMax) / float64(time.Microsecond),
+					StrobeLatencyUS:    windowedMeanUS(stMean0, stN0, stMean1, stN1),
+					StrobeLatencyMaxUS: float64(stMax) / float64(time.Microsecond),
+					CtlFramesPerPeriod: float64(f1-f0) / periods,
+					CtlBytesPerPeriod:  float64(by1-by0) / periods,
+				}
+				if hbN1 == hbN0 {
+					b.Fatal("no heartbeat rounds completed in the window")
+				}
+				if stN1 == stN0 {
+					b.Fatal("no strobe rounds completed in the window")
+				}
+				if best.HeartbeatRTTUS == 0 || p.HeartbeatRTTUS < best.HeartbeatRTTUS {
+					best = p
+				}
+			}
+			b.StopTimer()
+			stop()
+			if err := <-jobDone; err != nil {
+				b.Fatalf("background gang job: %v", err)
+			}
+			b.ReportMetric(best.HeartbeatRTTUS, "hb-rtt-us")
+			b.ReportMetric(best.StrobeLatencyUS, "strobe-us")
+			b.ReportMetric(best.CtlFramesPerPeriod, "ctl-frames/period")
+			prev, seen := points[name]
+			if !seen {
+				keys = append(keys, name)
+			}
+			if !seen || best.HeartbeatRTTUS < prev.HeartbeatRTTUS {
+				points[name] = best
+			}
+		})
+	}
+	if len(keys) == 0 {
+		return
+	}
+	series := make([]point, 0, len(keys))
+	for _, k := range keys {
+		series = append(series, points[k])
+	}
+	mergeBenchSummary(b, map[string]any{
+		"control_plane": map[string]any{
+			"fanout":           fanout,
+			"heartbeat_period": period.String(),
+			"gang_quantum":     quantum.String(),
+			"series":           series,
+		},
+	})
+}
+
+// windowedMeanUS converts two cumulative (mean, count) samples into the
+// mean over the window between them, in microseconds.
+func windowedMeanUS(m0 time.Duration, n0 int64, m1 time.Duration, n1 int64) float64 {
+	if n1 <= n0 {
+		return 0
+	}
+	sum := float64(m1)*float64(n1) - float64(m0)*float64(n0)
+	return sum / float64(n1-n0) / float64(time.Microsecond)
 }
 
 // repoRoot walks up from the working directory to the directory holding

@@ -444,6 +444,146 @@ func TestChaosHeartbeatDetectionBound(t *testing.T) {
 	}
 }
 
+// TestChaosCtlFrameFaultsAbsorbed: losing, duplicating, and delaying
+// individual heartbeat frames — pings on the MM's child links, pong
+// ledgers on an aggregator's uplink — must never convict a healthy
+// node. A missed round costs one absence streak; conviction requires a
+// failed directed probe, and every probed node here is alive. The
+// detector must also still catch a real failure afterwards.
+func TestChaosCtlFrameFaultsAbsorbed(t *testing.T) {
+	const n = 5
+	const period = 100 * time.Millisecond
+	cfg := chaosMMConfig()
+	// Every conn the MM accepts drops its 3rd outgoing ping, duplicates
+	// its 5th, and holds its 7th for over half a period. Only the two
+	// direct-child links carry pings, so that is where the faults land.
+	cfg.WrapConn = func(c net.Conn) net.Conn {
+		plan := faultconn.NewPlan()
+		plan.CtlFaults = []faultconn.CtlFault{
+			{Kind: 'P', Index: 2, Op: "drop"},
+			{Kind: 'P', Index: 4, Op: "dup"},
+			{Kind: 'P', Index: 6, Op: "delay", Delay: 60 * time.Millisecond},
+		}
+		return faultconn.Wrap(c, plan)
+	}
+	// Node 1 aggregates a subtree; its uplink loses one pong ledger and
+	// duplicates another.
+	mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+		if node != 1 {
+			return NMConfig{}
+		}
+		return NMConfig{WrapConn: func(c net.Conn) net.Conn {
+			plan := faultconn.NewPlan()
+			plan.CtlFaults = []faultconn.CtlFault{
+				{Kind: 'Q', Index: 3, Op: "drop"},
+				{Kind: 'Q', Index: 5, Op: "dup"},
+			}
+			return faultconn.Wrap(c, plan)
+		}}
+	})
+	fails := make(chan int, n)
+	stop := mm.StartHeartbeat(period, func(node int) { fails <- node })
+	defer stop()
+	time.Sleep(12 * period) // long enough for every armed fault to fire
+	select {
+	case node := <-fails:
+		t.Fatalf("healthy node %d convicted under control-frame faults", node)
+	default:
+	}
+	// The plane must still be live: a genuinely dead node is detected.
+	nms[4].Close()
+	select {
+	case node := <-fails:
+		if node != 4 {
+			t.Fatalf("detected node %d, want 4", node)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("real failure undetected after absorbing frame faults")
+	}
+}
+
+// TestChaosKillMidTransferControlPlaneActive: the full control plane —
+// tree heartbeat and gang strobes — runs while an interior relay is
+// hard-killed mid-transfer. The launch must recover onto the survivors
+// with byte-identical images, the heartbeat must never convict a
+// survivor despite the epoch churn (stale ledgers and strobe acks from
+// the old topology are rejected, not miscounted), and strobes must keep
+// flowing through the recovery.
+func TestChaosKillMidTransferControlPlaneActive(t *testing.T) {
+	const n = 7
+	// The period sets the suspicion window (2 periods + probe grace).
+	// Under the race detector on a loaded single-CPU host a live NM can
+	// be starved past 100 ms mid-replay, so use a period comfortably
+	// above scheduler-stall noise — the false-conviction assertion is
+	// the point of this test, and it must not fire on starvation.
+	const period = 250 * time.Millisecond
+	cfg := chaosMMConfig()
+	cfg.GangQuantum = 20 * time.Millisecond
+	cfg.MPL = 2
+	victim := treePositions(t, n, cfg.Fanout)["interior"]
+	killAt := 8 + faultconn.NewRng(chaosSeeds[0]).Intn(16)
+	var victimNM atomic.Pointer[NM]
+	mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+		if node != victim {
+			return NMConfig{}
+		}
+		return NMConfig{WrapConn: func(c net.Conn) net.Conn {
+			plan := faultconn.NewPlan()
+			plan.CloseAtReadFrag = killAt
+			plan.OnFault = func(string) {
+				go func() {
+					if nm := victimNM.Load(); nm != nil {
+						nm.Close()
+					}
+				}()
+			}
+			return faultconn.Wrap(c, plan)
+		}}
+	})
+	victimNM.Store(nms[victim])
+	fails := make(chan int, n)
+	stop := mm.StartHeartbeat(period, func(node int) { fails <- node })
+	defer stop()
+	time.Sleep(3 * period) // heartbeat settled over the full tree
+	rep, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "ctl-chaos", BinaryBytes: chaosBinary, Nodes: n, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "spin", Duration: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("launch did not recover from killing node %d at frag %d with control plane active: %v",
+			victim, killAt, err)
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0] != victim {
+		t.Fatalf("report names failed nodes %v, want [%d]", rep.Failed, victim)
+	}
+	assertSurvivorImages(t, nms, victim, rep.JobID, chaosBinary/cfg.FragBytes)
+	if mm.Strobes() == 0 {
+		t.Fatal("MM issued no strobes while gang scheduling was active")
+	}
+	strobesSeen := 0
+	for _, nm := range nms {
+		if nm.Node() != victim {
+			strobesSeen += nm.StrobesSeen()
+		}
+	}
+	if strobesSeen == 0 {
+		t.Fatal("survivors saw no strobes through the recovery")
+	}
+	// The heartbeat may convict the victim in parallel with the
+	// transfer's own diagnosis; it must never convict anyone else.
+	for {
+		select {
+		case node := <-fails:
+			if node != victim {
+				t.Fatalf("heartbeat falsely convicted survivor %d during recovery", node)
+			}
+			continue
+		default:
+		}
+		break
+	}
+}
+
 // TestChaosTermDeadlineNamed: a node that delivers the binary but never
 // reports termination must trip the *termination* deadline (not the
 // transfer one), and the error names the silent node.

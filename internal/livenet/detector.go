@@ -1,149 +1,359 @@
 package livenet
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
 
-// Heartbeat failure detection on the live control plane, mirroring the
-// simulator's FaultDetector (internal/storm/fault.go): the MM
-// multicasts a sequence-numbered ping to every registered NM each
-// period and tracks the last sequence each node answered. A node that
-// falls two sequences behind is only *suspected*; before being declared
-// failed it gets a directed isolation probe with a grace window —
-// exactly the sim's per-node probe phase — so a node that is merely
-// slow is given the chance to prove liveness, while a crashed or
-// partitioned node is flagged within two periods plus the grace.
+// Heartbeat failure detection on the live control plane. Unlike the
+// simulator's flat detector (one unicast ping per node per period), the
+// live MM multicasts ONE sequence-numbered ping per period to its ≤k
+// control-tree children; every NM relays it down and answers with a
+// cumulative subtree ledger (ctl.go), so the MM's steady-state control
+// egress — and ingress — is O(fanout) while it still observes per-node
+// liveness through the ledgers' absentee bitmaps.
+//
+// Suspicion is deliberately two-staged, preserving the flat detector's
+// conviction bound: a node absent from fresh ledgers (or whose whole
+// subtree went silent) for two consecutive periods is only *suspected*;
+// before being declared failed it gets a directed unicast isolation
+// probe with a grace window — tree aggregation never convicts anyone on
+// its own, it only chooses whom to probe. A merely-slow subtree costs a
+// spare probe round; a dead node is flagged within ~3 periods plus the
+// grace even at the bottom of the tree.
 
-// hbState is the pong ledger shared between the detector loop and the
-// control-plane receive path.
-type hbState struct {
-	mu    sync.Mutex
-	seq   int64
-	pongs map[int]int64 // node -> last heartbeat seq answered
+// mmCtl is the MM's view of the control tree plus the latency metrics
+// the bench reports. Guarded by MM.mu.
+type mmCtl struct {
+	epoch   int
+	members []int           // sorted node IDs the tree was built over
+	kids    []*nmLink       // the MM's direct children
+	sub     map[int][]int   // direct child -> pre-order subtree node IDs
+	ledger  map[int]*mmLedger
+
+	hbSent map[int64]time.Time // ping seq -> send time (RTT waiters)
+
+	strobeSeq  int64
+	strobeAck  map[int]int64       // direct child -> cumulative strobe credit
+	strobeSent map[int64]time.Time // strobe seq -> send time (latency waiters)
+
+	// latency stats, nanoseconds.
+	hbN, hbSum, hbMax             int64
+	strobeN, strobeSum, strobeMax int64
 }
 
-// StartHeartbeat runs a heartbeat failure detector: it pings all
-// registered NMs every period and calls onFail(node) once per node
-// that stops answering (after a failed isolation probe). The returned
-// stop function is idempotent; MM.Close also stops the detector.
+// mmLedger is the latest pong ledger received from one direct child.
+type mmLedger struct {
+	seq    int64
+	min    int64
+	absent uint64
+}
+
+// syncCtl rebuilds the control tree when membership changed
+// (registration, disconnect, conviction) and installs every node's role
+// with a CtlPlan broadcast — O(n) messages, but only on change; the
+// per-period cost stays O(fanout). Returns the MM's direct children and
+// the current epoch.
+func (mm *MM) syncCtl() (kids []*nmLink, epoch int) {
+	mm.mu.Lock()
+	ids := make([]int, 0, len(mm.nms))
+	for id := range mm.nms {
+		if !mm.ctlExclude[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	if intsEqual(ids, mm.ctl.members) {
+		kids = append(kids, mm.ctl.kids...)
+		epoch = mm.ctl.epoch
+		mm.mu.Unlock()
+		return kids, epoch
+	}
+	mm.ctl.epoch++
+	epoch = mm.ctl.epoch
+	mm.ctl.members = ids
+	n := len(ids)
+	links := make([]*nmLink, n)
+	for i, id := range ids {
+		links[i] = mm.nms[id]
+	}
+	mm.ctl.kids = mm.ctl.kids[:0]
+	mm.ctl.sub = make(map[int][]int)
+	mm.ctl.ledger = make(map[int]*mmLedger)
+	mm.ctl.hbSent = make(map[int64]time.Time)
+	mm.ctl.strobeAck = make(map[int]int64)
+	mm.ctl.strobeSent = make(map[int64]time.Time)
+	for _, pos := range mmChildren(n, mm.cfg.Fanout) {
+		l := links[pos]
+		mm.ctl.kids = append(mm.ctl.kids, l)
+		pre := subtreePreorder(pos, n, mm.cfg.Fanout)
+		sub := make([]int, len(pre))
+		for i, p := range pre {
+			sub[i] = links[p].node
+		}
+		mm.ctl.sub[l.node] = sub
+	}
+	kids = append(kids, mm.ctl.kids...)
+	plans := make([]CtlPlan, n)
+	for i := range links {
+		var refs []CtlChild
+		for _, k := range nodeChildren(i, n, mm.cfg.Fanout) {
+			pre := subtreePreorder(k, n, mm.cfg.Fanout)
+			sub := make([]int, len(pre))
+			for j, p := range pre {
+				sub[j] = links[p].node
+			}
+			refs = append(refs, CtlChild{Node: links[k].node, Addr: links[k].addr, Subtree: sub})
+		}
+		plans[i] = CtlPlan{Epoch: epoch, Children: refs}
+	}
+	mm.mu.Unlock()
+	for i, l := range links {
+		p := plans[i]
+		l.c.send(Message{CtlPlan: &p})
+	}
+	return kids, epoch
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StartHeartbeat runs the tree heartbeat failure detector: one
+// multicast ping per period, aggregated pong ledgers back, and
+// onFail(node) called once per node that stops answering (after a
+// failed isolation probe). The returned stop function is idempotent;
+// MM.Close also stops the detector.
 func (mm *MM) StartHeartbeat(period time.Duration, onFail func(node int)) (stop func()) {
-	st := &hbState{pongs: make(map[int]int64)}
 	done := make(chan struct{})
 	var once sync.Once
 	stop = func() { once.Do(func() { close(done) }) }
 	mm.mu.Lock()
-	mm.hb = st
 	mm.detStops = append(mm.detStops, stop)
 	mm.mu.Unlock()
-
 	// The isolation-probe grace is one period: a suspect is declared
-	// failed no later than 2 periods (missed heartbeats) + 1 period
-	// (unanswered probe) after its last sign of life.
-	grace := period
-
-	failed := make(map[int]bool)
-	// known tracks every node ever seen, with the heartbeat sequence
-	// current when it appeared: a node that later disconnects (and so
-	// leaves the registry) keeps being checked and is declared failed —
-	// exactly the paper's "slave missed a heartbeat" condition.
-	known := make(map[int]int64)
-	go func() {
-		tick := time.NewTicker(period)
-		defer tick.Stop()
-		for {
-			select {
-			case <-done:
-				return
-			case <-tick.C:
-			}
-			st.mu.Lock()
-			st.seq++
-			seq := st.seq
-			st.mu.Unlock()
-			mm.mu.Lock()
-			reg := make(map[int]*nmLink, len(mm.nms))
-			for node, l := range mm.nms {
-				reg[node] = l
-			}
-			mm.mu.Unlock()
-			for node, l := range reg {
-				if _, ok := known[node]; !ok {
-					known[node] = seq - 1 // grace for late joiners
-				}
-				l.c.send(Message{Ping: &Ping{Seq: seq}})
-			}
-			// Suspicion pass: who has missed two consecutive heartbeats?
-			var suspects []int
-			st.mu.Lock()
-			for node, joinedAt := range known {
-				if failed[node] || seq-joinedAt < 2 {
-					continue
-				}
-				last := st.pongs[node]
-				if last < joinedAt {
-					last = joinedAt
-				}
-				// Two consecutive missed heartbeats raise suspicion. A
-				// merely-slow node (its pong still in flight) survives the
-				// isolation probe below, so suspicion can afford to be
-				// this eager — and a dead node is flagged within
-				// 2 periods + grace of its last sign of life.
-				if last < seq-1 {
-					suspects = append(suspects, node)
-				}
-			}
-			st.mu.Unlock()
-			if len(suspects) == 0 {
-				continue
-			}
-			// Isolation-probe pass: a suspect whose control link is gone
-			// (it unregistered when its conn died) is dead outright;
-			// anyone else gets a directed probe and the grace window to
-			// answer it.
-			var probeLinks []*nmLink
-			dead := make(map[int]bool)
-			for _, node := range suspects {
-				if l := reg[node]; l != nil {
-					probeLinks = append(probeLinks, l)
-				} else {
-					dead[node] = true
-				}
-			}
-			for node := range mm.probeNodes(probeLinks, grace) {
-				dead[node] = true
-			}
-			for node := range dead {
-				failed[node] = true
-				if onFail != nil {
-					go onFail(node)
-				}
-			}
-		}
-	}()
+	// failed no later than ~3 periods (ledger absence at tree depth) +
+	// 1 period (unanswered probe) after its last sign of life.
+	go mm.heartbeatLoop(period, period, onFail, done)
 	return stop
 }
 
+func (mm *MM) heartbeatLoop(period, grace time.Duration, onFail func(node int), done chan struct{}) {
+	failed := make(map[int]bool)
+	// streak counts consecutive periods a node went without a fresh
+	// ledger vouching for it. known remembers every node ever seen: a
+	// node that disconnects (leaving the registry and the tree) keeps
+	// being checked and is declared failed — the paper's "slave missed
+	// a heartbeat" condition.
+	streak := make(map[int]int)
+	known := make(map[int]bool)
+	var seq int64
+	lastEpoch := 0
+	var warmUntil int64 // post-epoch-change grace: ledgers need a round to warm
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
+		kids, epoch := mm.syncCtl()
+		seq++
+		s := seq
+		if epoch != lastEpoch {
+			lastEpoch = epoch
+			warmUntil = s + 1
+		}
+
+		// Evaluate the previous round: which nodes did the ledgers vouch
+		// for heartbeat s-1?
+		vouched := make(map[int]bool)
+		member := make(map[int]bool)
+		mm.mu.Lock()
+		if epoch == mm.ctl.epoch {
+			for _, l := range mm.ctl.kids {
+				sub := mm.ctl.sub[l.node]
+				led := mm.ctl.ledger[l.node]
+				fresh := led != nil && led.seq >= s-1
+				for j, node := range sub {
+					member[node] = true
+					if fresh && (j >= 64 || led.absent&(uint64(1)<<uint(j)) == 0) {
+						vouched[node] = true
+					}
+				}
+			}
+		}
+		reg := make(map[int]*nmLink, len(mm.nms))
+		for node, l := range mm.nms {
+			reg[node] = l
+		}
+		mm.mu.Unlock()
+
+		for node := range member {
+			known[node] = true
+		}
+		var suspects []int
+		for node := range known {
+			if failed[node] {
+				continue
+			}
+			switch {
+			case !member[node]:
+				// Left the tree without being convicted: its registration
+				// died or it was never replanted. No ledger will ever
+				// vouch for it again, so absence accounting needs no
+				// warm-up.
+				streak[node]++
+			case s <= warmUntil:
+				continue
+			case vouched[node]:
+				streak[node] = 0
+				continue
+			default:
+				streak[node]++
+			}
+			if streak[node] >= 2 {
+				suspects = append(suspects, node)
+			}
+		}
+
+		// Multicast this round's ping to the direct children only — the
+		// O(fanout) egress the bench asserts — and arm the RTT waiter.
+		mm.mu.Lock()
+		if epoch == mm.ctl.epoch {
+			mm.ctl.hbSent[s] = time.Now()
+			for k := range mm.ctl.hbSent {
+				if k < s-8 {
+					delete(mm.ctl.hbSent, k)
+				}
+			}
+		}
+		mm.mu.Unlock()
+		for _, l := range kids {
+			l.c.send(Message{Ping: &Ping{Seq: s, Epoch: epoch}})
+		}
+
+		if len(suspects) == 0 {
+			continue
+		}
+		// Isolation-probe pass: a suspect whose control link is gone is
+		// dead outright; anyone else gets a directed unicast probe and
+		// the grace window to answer it. The tree only nominates
+		// suspects — conviction always rests on a failed direct probe.
+		var probeLinks []*nmLink
+		dead := make(map[int]bool)
+		for _, node := range suspects {
+			if l := reg[node]; l != nil {
+				probeLinks = append(probeLinks, l)
+			} else {
+				dead[node] = true
+			}
+		}
+		for node := range mm.probeNodes(probeLinks, grace) {
+			dead[node] = true
+		}
+		for node := range dead {
+			failed[node] = true
+			delete(streak, node)
+			mm.mu.Lock()
+			mm.ctlExclude[node] = true
+			mm.mu.Unlock()
+			if onFail != nil {
+				go onFail(node)
+			}
+		}
+	}
+}
+
 // onPong routes a pong to whichever detector asked: directed isolation
-// probes carry sequences in a disjoint high range; everything else is
-// heartbeat credit.
+// probes (Epoch 0, disjoint high sequence range) credit their probe
+// round; tree ledgers update the per-child ledger table and complete
+// the heartbeat RTT waiter once every direct child reported the round.
 func (mm *MM) onPong(p *Pong) {
 	mm.mu.Lock()
-	st := mm.hb
-	pr := mm.probes[p.Seq]
-	mm.mu.Unlock()
-	if pr != nil {
+	if pr := mm.probes[p.Seq]; pr != nil {
+		mm.mu.Unlock()
 		pr.mu.Lock()
 		pr.got[p.Node] = true
 		pr.mu.Unlock()
 		return
 	}
-	if st == nil {
-		return
+	if p.Epoch == 0 || p.Epoch != mm.ctl.epoch || mm.ctl.ledger == nil {
+		mm.mu.Unlock()
+		return // stale topology (or a probe reply that missed its round)
 	}
-	st.mu.Lock()
-	if p.Seq > st.pongs[p.Node] {
-		st.pongs[p.Node] = p.Seq
+	led := mm.ctl.ledger[p.Node]
+	if led == nil {
+		led = &mmLedger{}
+		mm.ctl.ledger[p.Node] = led
 	}
-	st.mu.Unlock()
+	if p.Seq > led.seq {
+		led.seq, led.min, led.absent = p.Seq, p.MinSeq, p.Absent
+	}
+	if t0, ok := mm.ctl.hbSent[p.Seq]; ok {
+		complete := true
+		for _, l := range mm.ctl.kids {
+			if lg := mm.ctl.ledger[l.node]; lg == nil || lg.seq < p.Seq {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			d := time.Since(t0).Nanoseconds()
+			mm.ctl.hbN++
+			mm.ctl.hbSum += d
+			if d > mm.ctl.hbMax {
+				mm.ctl.hbMax = d
+			}
+			delete(mm.ctl.hbSent, p.Seq)
+		}
+	}
+	mm.mu.Unlock()
+}
+
+// HeartbeatRTT reports the observed ping→full-ledger round trip (mean,
+// max, sample count): the time from a heartbeat multicast until every
+// direct child's aggregated subtree ledger for that round arrived.
+func (mm *MM) HeartbeatRTT() (mean, max time.Duration, n int64) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if mm.ctl.hbN > 0 {
+		mean = time.Duration(mm.ctl.hbSum / mm.ctl.hbN)
+	}
+	return mean, time.Duration(mm.ctl.hbMax), mm.ctl.hbN
+}
+
+// StrobeLatency reports the observed strobe propagation latency (mean,
+// max, sample count): the time from a strobe multicast until every
+// direct child's cumulative subtree ack covered it.
+func (mm *MM) StrobeLatency() (mean, max time.Duration, n int64) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if mm.ctl.strobeN > 0 {
+		mean = time.Duration(mm.ctl.strobeSum / mm.ctl.strobeN)
+	}
+	return mean, time.Duration(mm.ctl.strobeMax), mm.ctl.strobeN
+}
+
+// ControlEgress sums the frames and bytes the MM has written across
+// every registered NM link — the control-egress metric the bench
+// samples over idle heartbeat periods to assert O(fanout) scaling.
+func (mm *MM) ControlEgress() (frames, bytes int64) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	for _, l := range mm.nms {
+		frames += l.c.sentFrames.Load()
+		bytes += l.c.sentBytes()
+	}
+	return frames, bytes
 }

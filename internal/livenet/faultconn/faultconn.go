@@ -8,9 +8,14 @@
 //
 // The wrapper is frame-aware: it runs the livenet frame grammar
 // ('G' gob frames, 'F' frag frames with a 17-byte header carrying the
-// payload length at offset 13, 'A' fixed 17-byte acks) as a streaming
-// state machine over both directions, so triggers land on exact
-// fragment boundaries regardless of how the transport chunks writes.
+// payload length at offset 13, 'A' fixed 17-byte acks, the fixed typed
+// control frames 'P'/'Q'/'S'/'T', and the varlen control frames
+// 'K'/'R'/'D' whose fixed part ends in a u16 error length) as a
+// streaming state machine over both directions, so triggers land on
+// exact frame boundaries regardless of how the transport chunks
+// writes. Beyond the fragment triggers, CtlFaults drop, duplicate, or
+// delay one typed control frame picked by kind and per-kind ordinal —
+// e.g. "drop the 3rd heartbeat ping this conn sends".
 //
 // Plans are wired in behind livenet's Config.Dialer / Config.WrapConn
 // hooks; the package deliberately does not import livenet, so it can
@@ -25,6 +30,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // Plan is one connection's deterministic fault schedule. Fragment
@@ -39,14 +46,32 @@ type Plan struct {
 	DuplicateFrag int           // retransmit the k-th outgoing frag frame immediately after itself
 	CorruptFrag   int           // flip a payload byte of the k-th outgoing frag frame (CRC must catch it)
 
+	// CtlFaults target typed control frames this endpoint sends; each
+	// fault fires at most once. Faults on distinct frames compose.
+	CtlFaults []CtlFault
+
 	// Read-path faults (bytes this endpoint receives).
 	CloseAtReadFrag int  // hard-close after fully receiving the k-th incoming frag frame
 	BlockReads      bool // inbound one-way partition: reads hang until the conn is closed
 
 	// OnFault, if set, is called once per fired trigger with a short
-	// kind tag ("close", "read-close", "drop", "duplicate", "corrupt").
-	// Called from Read/Write; must not block.
+	// kind tag ("close", "read-close", "drop", "duplicate", "corrupt",
+	// "ctl-drop", "ctl-dup", "ctl-delay"). Called from Read/Write; must
+	// not block.
 	OnFault func(kind string)
+}
+
+// CtlFault is one deterministic fault on a typed control frame: the
+// Index-th outgoing frame of type Kind ('P' ping, 'Q' pong, 'S'
+// strobe, 'T' strobe ack) is dropped, duplicated back-to-back, or
+// delayed by Delay while later frames queue behind it — the classic
+// lost/duplicated/late heartbeat cases a tree control plane must
+// absorb without false convictions.
+type CtlFault struct {
+	Kind  byte
+	Index int
+	Op    string // "drop", "dup", or "delay"
+	Delay time.Duration
 }
 
 // NewPlan returns a Plan with all triggers disabled.
@@ -67,19 +92,53 @@ const (
 	stType      = 0 // expecting a frame type byte
 	stGobLen    = 1
 	stFragHdr   = 2
-	stSkipN     = 3 // skipping a fixed-size remainder (ack body, gob payload)
+	stSkipN     = 3 // skipping a fixed-size remainder (ack body, gob payload, ctl error)
 	stFragBody  = 4
+	stCtl       = 5 // inside a fixed-body typed control frame
+	stVarHdr    = 6 // reading the fixed part of a varlen control frame
+
+	// typed control frame sizes (proto.go). The varlen kinds carry a
+	// u16 error length in the last two bytes of the fixed part.
+	pingBodyLen       = 12
+	pongBodyLen       = 32
+	strobeBodyLen     = 16
+	strobeAckBodyLen  = 16
+	planAckFixedLen   = 10
+	replanAckFixedLen = 18
+	peerDownFixedLen  = 14
+
+	scanHdrLen = replanAckFixedLen // widest fixed region buffered by the scanner
 )
 
+// ctlKindIdx maps a fixed-body control frame type byte to its ordinal
+// counter slot, or -1.
+func ctlKindIdx(b byte) int {
+	switch b {
+	case 'P':
+		return 0
+	case 'Q':
+		return 1
+	case 'S':
+		return 2
+	case 'T':
+		return 3
+	}
+	return -1
+}
+
 // scanner is a streaming parser over one direction of the frame
-// stream. step consumes a byte and reports fragment-boundary events.
+// stream. step consumes a byte and reports frame-boundary events.
 type scanner struct {
 	state   int
 	need    int // bytes left in the current fixed-size region
-	hdr     [fragHdrLen]byte
+	hdr     [scanHdrLen]byte
 	got     int
 	bodyPos int // current byte's offset within a frag payload
 	frags   int // frag frames seen so far; current ordinal is frags-1
+
+	ctlKind   byte   // type byte of the fixed control frame being scanned
+	ctlCounts [4]int // per-kind ordinals for 'P','Q','S','T'
+	varElen   int    // offset of the u16 error length in the varlen fixed part
 }
 
 type event struct {
@@ -88,6 +147,11 @@ type event struct {
 	inFragBody    bool // this byte is frag payload
 	bodyPos       int
 	ord           int // fragment ordinal the event refers to
+
+	ctlBegin bool // this byte is the type byte of a fixed control frame
+	ctlDone  bool // this byte completed a fixed control frame
+	ctlKind  byte
+	ctlOrd   int // per-kind ordinal the ctl event refers to
 }
 
 func (s *scanner) step(b byte) event {
@@ -102,6 +166,29 @@ func (s *scanner) step(b byte) event {
 			s.state, s.got = stFragHdr, 0
 		case 'A':
 			s.state, s.need = stSkipN, ackBodyLen
+		case 'P', 'Q', 'S', 'T':
+			var n int
+			switch b {
+			case 'P':
+				n = pingBodyLen
+			case 'Q':
+				n = pongBodyLen
+			case 'S':
+				n = strobeBodyLen
+			case 'T':
+				n = strobeAckBodyLen
+			}
+			idx := ctlKindIdx(b)
+			ev.ctlBegin, ev.ctlKind, ev.ctlOrd = true, b, s.ctlCounts[idx]
+			s.ctlCounts[idx]++
+			s.ctlKind = b
+			s.state, s.need = stCtl, n
+		case 'K':
+			s.state, s.got, s.need, s.varElen = stVarHdr, 0, planAckFixedLen, planAckFixedLen-2
+		case 'R':
+			s.state, s.got, s.need, s.varElen = stVarHdr, 0, replanAckFixedLen, replanAckFixedLen-2
+		case 'D':
+			s.state, s.got, s.need, s.varElen = stVarHdr, 0, peerDownFixedLen, peerDownFixedLen-2
 		default:
 			// Unknown byte: stay in stType. The real codec would error;
 			// the scanner just degrades to pass-through.
@@ -143,6 +230,25 @@ func (s *scanner) step(b byte) event {
 			ev.fragFrameDone = true
 			s.state = stType
 		}
+	case stCtl:
+		s.need--
+		if s.need == 0 {
+			idx := ctlKindIdx(s.ctlKind)
+			ev.ctlDone, ev.ctlKind, ev.ctlOrd = true, s.ctlKind, s.ctlCounts[idx]-1
+			s.state = stType
+		}
+	case stVarHdr:
+		s.hdr[s.got] = b
+		s.got++
+		s.need--
+		if s.need == 0 {
+			n := int(binary.BigEndian.Uint16(s.hdr[s.varElen : s.varElen+2]))
+			if n == 0 {
+				s.state = stType
+			} else {
+				s.state, s.need = stSkipN, n
+			}
+		}
 	case stSkipN:
 		s.need--
 		if s.need == 0 {
@@ -164,6 +270,11 @@ type Conn struct {
 	frame    []byte // current outgoing frame bytes, kept only while DuplicateFrag is armed
 	inFrame  bool
 
+	ctlHold    []byte // bytes of a control frame withheld for a pending CtlFault
+	ctlHolding bool
+	ctlFaultIx int    // index into plan.CtlFaults of the fault being held
+	ctlFired   []bool // per-CtlFault fired-once latches
+
 	rmu   sync.Mutex
 	rScan scanner
 
@@ -175,7 +286,18 @@ type Conn struct {
 // Wrap applies plan to c. The returned Conn is safe for one concurrent
 // reader and one concurrent writer, matching net.Conn conventions.
 func Wrap(c net.Conn, plan Plan) *Conn {
-	return &Conn{Conn: c, plan: plan, done: make(chan struct{})}
+	return &Conn{Conn: c, plan: plan, ctlFired: make([]bool, len(plan.CtlFaults)), done: make(chan struct{})}
+}
+
+// armedCtlFault returns the index of an unfired fault matching the
+// control frame that just began, or -1.
+func (c *Conn) armedCtlFault(kind byte, ord int) int {
+	for i, f := range c.plan.CtlFaults {
+		if !c.ctlFired[i] && f.Kind == kind && f.Index == ord {
+			return i
+		}
+	}
+	return -1
 }
 
 func (c *Conn) fire(kind string) {
@@ -220,7 +342,8 @@ func (c *Conn) Write(p []byte) (int, error) {
 	}
 
 	// Fast path: no frame-level write triggers armed.
-	if c.plan.CloseAtFrag < 0 && c.plan.DuplicateFrag < 0 && c.plan.CorruptFrag < 0 && c.plan.DropAfter <= 0 {
+	if c.plan.CloseAtFrag < 0 && c.plan.DuplicateFrag < 0 && c.plan.CorruptFrag < 0 &&
+		c.plan.DropAfter <= 0 && len(c.plan.CtlFaults) == 0 {
 		return c.Conn.Write(p)
 	}
 
@@ -245,8 +368,57 @@ func (c *Conn) Write(p []byte) (int, error) {
 			b ^= 0xFF
 			c.fire("corrupt")
 		}
-		out = append(out, b)
-		if capture {
+		if !c.ctlHolding && ev.ctlBegin {
+			if fi := c.armedCtlFault(ev.ctlKind, ev.ctlOrd); fi >= 0 {
+				c.ctlHolding, c.ctlFaultIx = true, fi
+				c.ctlHold = c.ctlHold[:0]
+			}
+		}
+		held := c.ctlHolding
+		if held {
+			// Withhold the targeted control frame's bytes — across Write
+			// call boundaries if the frame is split — and resolve the
+			// fault on its final byte.
+			c.ctlHold = append(c.ctlHold, b)
+			if ev.ctlDone {
+				f := c.plan.CtlFaults[c.ctlFaultIx]
+				c.ctlFired[c.ctlFaultIx] = true
+				c.ctlHolding = false
+				switch f.Op {
+				case "drop":
+					c.fire("ctl-drop")
+				case "dup":
+					out = append(out, c.ctlHold...)
+					out = append(out, c.ctlHold...)
+					c.fire("ctl-dup")
+				case "delay":
+					// Everything before the frame goes out now; the frame
+					// (and whatever follows it) waits out the delay, like a
+					// queueing stall at this hop.
+					if len(out) > 0 {
+						n, err := c.Conn.Write(out)
+						c.written += int64(n)
+						if err != nil {
+							return 0, err
+						}
+						out = out[:0]
+					}
+					c.fire("ctl-delay")
+					select {
+					case <-time.After(f.Delay):
+					case <-c.done:
+						return 0, ErrInjectedClose
+					}
+					out = append(out, c.ctlHold...)
+				default:
+					out = append(out, c.ctlHold...)
+				}
+			}
+		}
+		if !held {
+			out = append(out, b)
+		}
+		if !held && capture {
 			if prev == stType && c.wScan.state == stFragHdr {
 				// 'F' type byte just consumed: a frag frame starts here.
 				c.frame = c.frame[:0]
@@ -345,26 +517,16 @@ func FlakyDialer(failFirst int, onFault func(kind string)) func(addr string) (ne
 	}
 }
 
-// Rng is splitmix64 — the repo's standard experiment generator — so
-// chaos schedules derived from a seed reproduce exactly across runs.
-type Rng struct{ s uint64 }
+// Rng is splitmix64 — the repo's standard experiment generator, shared
+// through internal/rng — so chaos schedules derived from a seed
+// reproduce exactly across runs.
+type Rng struct{ s rng.SplitMix64 }
 
 // NewRng seeds a generator.
-func NewRng(seed uint64) *Rng { return &Rng{s: seed} }
+func NewRng(seed uint64) *Rng { return &Rng{s: rng.SplitMix64(seed)} }
 
 // Next returns the next 64 random bits.
-func (r *Rng) Next() uint64 {
-	r.s += 0x9e3779b97f4a7c15
-	z := r.s
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
+func (r *Rng) Next() uint64 { return r.s.Next() }
 
 // Intn returns a deterministic value in [0, n).
-func (r *Rng) Intn(n int) int {
-	if n <= 0 {
-		return 0
-	}
-	return int(r.Next() % uint64(n))
-}
+func (r *Rng) Intn(n int) int { return r.s.Intn(n) }

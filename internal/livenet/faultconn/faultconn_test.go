@@ -37,6 +37,50 @@ func buildAck() []byte {
 	return buf
 }
 
+// buildCtl assembles one fixed-body typed control frame with a
+// non-trivial body pattern.
+func buildCtl(kind byte) []byte {
+	var n int
+	switch kind {
+	case 'P':
+		n = pingBodyLen
+	case 'Q':
+		n = pongBodyLen
+	case 'S':
+		n = strobeBodyLen
+	case 'T':
+		n = strobeAckBodyLen
+	default:
+		panic("not a fixed ctl kind")
+	}
+	buf := make([]byte, 1+n)
+	buf[0] = kind
+	for i := 1; i < len(buf); i++ {
+		buf[i] = byte(0x40 + i)
+	}
+	return buf
+}
+
+// buildVarCtl assembles one varlen control frame ('K'/'R'/'D') with the
+// given trailing error string.
+func buildVarCtl(kind byte, errStr string) []byte {
+	var fixed int
+	switch kind {
+	case 'K':
+		fixed = planAckFixedLen
+	case 'R':
+		fixed = replanAckFixedLen
+	case 'D':
+		fixed = peerDownFixedLen
+	default:
+		panic("not a varlen ctl kind")
+	}
+	buf := make([]byte, 1+fixed, 1+fixed+len(errStr))
+	buf[0] = kind
+	binary.BigEndian.PutUint16(buf[1+fixed-2:], uint16(len(errStr)))
+	return append(buf, errStr...)
+}
+
 // pipeConn returns both ends of an in-memory connection.
 func pipeConn(t *testing.T) (net.Conn, net.Conn) {
 	t.Helper()
@@ -302,6 +346,159 @@ func TestFlakyDialer(t *testing.T) {
 	c.Close()
 	if faults != 2 {
 		t.Fatalf("OnFault fired %d times, want 2", faults)
+	}
+}
+
+// TestScannerTypedControlFrames: the scanner tracks frag ordinals and
+// per-kind control ordinals through a stream mixing every frame kind,
+// regardless of chunking — no desync on 'P'/'Q'/'S'/'T'/'K'/'R'/'D'.
+func TestScannerTypedControlFrames(t *testing.T) {
+	var stream []byte
+	stream = append(stream, buildGob(9)...)
+	stream = append(stream, buildCtl('P')...)
+	stream = append(stream, buildFrag(0, 40)...)
+	stream = append(stream, buildCtl('Q')...)
+	stream = append(stream, buildAck()...)
+	stream = append(stream, buildCtl('S')...)
+	stream = append(stream, buildVarCtl('K', "launch: exec format error")...)
+	stream = append(stream, buildCtl('T')...)
+	stream = append(stream, buildVarCtl('R', "replan refused")...)
+	stream = append(stream, buildCtl('P')...)
+	stream = append(stream, buildVarCtl('D', "")...)
+	stream = append(stream, buildFrag(1, 3)...)
+	for _, chunk := range []int{1, 2, 5, 13, len(stream)} {
+		var s scanner
+		frags := 0
+		var ctl [4]int
+		for i := 0; i < len(stream); i += chunk {
+			end := i + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			for _, b := range stream[i:end] {
+				ev := s.step(b)
+				if ev.fragFrameDone {
+					frags++
+				}
+				if ev.ctlDone {
+					ctl[ctlKindIdx(ev.ctlKind)]++
+				}
+			}
+		}
+		if frags != 2 {
+			t.Fatalf("chunk %d: %d frag frames, want 2", chunk, frags)
+		}
+		if ctl != [4]int{2, 1, 1, 1} {
+			t.Fatalf("chunk %d: ctl frame counts = %v, want [2 1 1 1]", chunk, ctl)
+		}
+		if s.state != stType {
+			t.Fatalf("chunk %d: scanner ended in state %d, want stType", chunk, s.state)
+		}
+	}
+}
+
+// readN drains exactly n bytes from c into the returned slice.
+func readN(t *testing.T, c net.Conn, n int) []byte {
+	t.Helper()
+	got := make([]byte, 0, n)
+	buf := make([]byte, 4096)
+	for len(got) < n {
+		m, err := c.Read(buf)
+		got = append(got, buf[:m]...)
+		if err != nil {
+			t.Fatalf("read after %d/%d bytes: %v", len(got), n, err)
+		}
+	}
+	return got
+}
+
+// TestCtlFaultDropPingByIndex: exactly the k-th outgoing ping vanishes
+// — earlier and later pings, and bulk frames, pass untouched — even
+// when the doomed frame is split across Write calls.
+func TestCtlFaultDropPingByIndex(t *testing.T) {
+	a, b := pipeConn(t)
+	var fired []string
+	plan := NewPlan()
+	plan.CtlFaults = []CtlFault{{Kind: 'P', Index: 1, Op: "drop"}}
+	plan.OnFault = func(k string) { fired = append(fired, k) }
+	fc := Wrap(a, plan)
+	ping := buildCtl('P')
+	frag := buildFrag(0, 24)
+	var want []byte
+	want = append(want, ping...) // ping 0 passes
+	want = append(want, frag...) // ping 1 dropped
+	want = append(want, ping...) // ping 2 passes
+	done := make(chan []byte, 1)
+	go func() { done <- readN(t, b, len(want)) }()
+	if _, err := fc.Write(ping); err != nil {
+		t.Fatalf("ping 0: %v", err)
+	}
+	// Split the doomed ping across two writes: the hold must span them.
+	if _, err := fc.Write(ping[:5]); err != nil {
+		t.Fatalf("ping 1 head: %v", err)
+	}
+	if _, err := fc.Write(append(append([]byte{}, ping[5:]...), frag...)); err != nil {
+		t.Fatalf("ping 1 tail + frag: %v", err)
+	}
+	if _, err := fc.Write(ping); err != nil {
+		t.Fatalf("ping 2: %v", err)
+	}
+	if got := <-done; !bytes.Equal(got, want) {
+		t.Fatal("stream mismatch: drop did not remove exactly ping 1")
+	}
+	if len(fired) != 1 || fired[0] != "ctl-drop" {
+		t.Fatalf("OnFault calls = %v, want [ctl-drop]", fired)
+	}
+}
+
+// TestCtlFaultDupStrobe: the k-th strobe appears twice back-to-back;
+// a pong sharing the conn is untouched (per-kind ordinals).
+func TestCtlFaultDupStrobe(t *testing.T) {
+	a, b := pipeConn(t)
+	plan := NewPlan()
+	plan.CtlFaults = []CtlFault{{Kind: 'S', Index: 1, Op: "dup"}}
+	fc := Wrap(a, plan)
+	strobe, pong := buildCtl('S'), buildCtl('Q')
+	var sent, want []byte
+	sent = append(sent, strobe...)
+	sent = append(sent, pong...)
+	sent = append(sent, strobe...)
+	want = append(want, strobe...)
+	want = append(want, pong...)
+	want = append(want, strobe...)
+	want = append(want, strobe...) // the duplicate
+	done := make(chan []byte, 1)
+	go func() { done <- readN(t, b, len(want)) }()
+	if _, err := fc.Write(sent); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := <-done; !bytes.Equal(got, want) {
+		t.Fatal("strobe 1 was not duplicated verbatim (or another frame was touched)")
+	}
+}
+
+// TestCtlFaultDelayPong: the k-th pong is held back for the configured
+// delay while the bytes before it flush immediately; the stream arrives
+// intact and in order.
+func TestCtlFaultDelayPong(t *testing.T) {
+	a, b := pipeConn(t)
+	const delay = 60 * time.Millisecond
+	plan := NewPlan()
+	plan.CtlFaults = []CtlFault{{Kind: 'Q', Index: 0, Op: "delay", Delay: delay}}
+	fc := Wrap(a, plan)
+	ping, pong := buildCtl('P'), buildCtl('Q')
+	sent := append(append([]byte{}, ping...), pong...)
+	done := make(chan []byte, 1)
+	go func() { done <- readN(t, b, len(sent)) }()
+	t0 := time.Now()
+	if _, err := fc.Write(sent); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if el := time.Since(t0); el < delay {
+		t.Fatalf("write returned after %v, want >= %v (delay not applied)", el, delay)
+	}
+	if got := <-done; !bytes.Equal(got, sent) {
+		t.Fatal("delayed stream corrupted or reordered")
 	}
 }
 

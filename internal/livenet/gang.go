@@ -14,11 +14,6 @@ import (
 // the per-NM control links, never through the bulk fragment path, so a
 // context switch cannot queue behind a binary transfer's buffered data.
 
-// Strobe is the live coordinated context-switch command.
-type Strobe struct {
-	Row int
-}
-
 // gate is the suspend/resume control a PL wraps around its process: the
 // process calls wait() between work chunks and blocks while the gate is
 // closed.
@@ -89,7 +84,11 @@ func (mm *MM) releaseRow(row int) {
 }
 
 // strobeLoop multicasts the coordinated context switch every quantum,
-// cycling over rows that have jobs.
+// cycling over rows that have jobs. The strobe travels down the control
+// tree exactly like a heartbeat ping — the MM writes one frame per
+// direct child, NMs enact locally and relay — so strobe egress stays
+// O(fanout) and the switch reaches n nodes in O(log_k n) relay hops.
+// Aggregated strobe acks coming back up drive the latency metric.
 func (mm *MM) strobeLoop(done chan struct{}) {
 	tick := time.NewTicker(mm.cfg.GangQuantum)
 	defer tick.Stop()
@@ -101,32 +100,71 @@ func (mm *MM) strobeLoop(done chan struct{}) {
 		case <-tick.C:
 		}
 		mm.mu.Lock()
-		if mm.rowCount == nil {
-			mm.mu.Unlock()
-			continue
-		}
 		next := -1
-		for i := 1; i <= mm.cfg.MPL; i++ {
-			r := (cur + i) % mm.cfg.MPL
-			if mm.rowCount[r] > 0 {
-				next = r
-				break
+		if mm.rowCount != nil {
+			for i := 1; i <= mm.cfg.MPL; i++ {
+				r := (cur + i) % mm.cfg.MPL
+				if mm.rowCount[r] > 0 {
+					next = r
+					break
+				}
 			}
-		}
-		links := make([]*nmLink, 0, len(mm.nms))
-		for _, l := range mm.nms {
-			links = append(links, l)
 		}
 		mm.mu.Unlock()
 		if next < 0 {
 			continue
 		}
 		cur = next
+		kids, epoch := mm.syncCtl()
 		mm.mu.Lock()
 		mm.strobes++
+		var s int64
+		if epoch == mm.ctl.epoch {
+			mm.ctl.strobeSeq++
+			s = mm.ctl.strobeSeq
+			if len(kids) > 0 {
+				mm.ctl.strobeSent[s] = time.Now()
+				for k := range mm.ctl.strobeSent {
+					if k < s-32 {
+						delete(mm.ctl.strobeSent, k)
+					}
+				}
+			}
+		}
 		mm.mu.Unlock()
-		for _, l := range links {
-			l.c.send(Message{Strobe: &Strobe{Row: next}})
+		for _, l := range kids {
+			l.c.send(Message{Strobe: &Strobe{Seq: s, Row: next, Epoch: epoch}})
+		}
+	}
+}
+
+// onStrobeAck records a direct child's cumulative strobe credit and
+// completes every latency waiter the new minimum now covers.
+func (mm *MM) onStrobeAck(a *StrobeAck) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if a.Epoch != mm.ctl.epoch || mm.ctl.strobeAck == nil {
+		return // stale topology
+	}
+	if a.Seq <= mm.ctl.strobeAck[a.Node] {
+		return
+	}
+	mm.ctl.strobeAck[a.Node] = a.Seq
+	min := a.Seq
+	for _, l := range mm.ctl.kids {
+		if ack := mm.ctl.strobeAck[l.node]; ack < min {
+			min = ack
+		}
+	}
+	for seq, t0 := range mm.ctl.strobeSent {
+		if seq <= min {
+			d := time.Since(t0).Nanoseconds()
+			mm.ctl.strobeN++
+			mm.ctl.strobeSum += d
+			if d > mm.ctl.strobeMax {
+				mm.ctl.strobeMax = d
+			}
+			delete(mm.ctl.strobeSent, seq)
 		}
 	}
 }

@@ -134,7 +134,13 @@ type MM struct {
 	jobs    map[int]*liveJob
 	nextJob int
 	closed  bool
-	hb      *hbState
+
+	// ctl is the cluster-wide control tree (heartbeat + strobe fast
+	// path); ctlExclude holds convicted nodes, kept out of the tree even
+	// while their registration lingers (a partitioned node's conn can
+	// stay up long after the detector declared it dead). Guarded by mu.
+	ctl        mmCtl
+	ctlExclude map[int]bool
 
 	// probes routes directed isolation-probe pongs by sequence number
 	// (transfer recovery and the heartbeat detector share the Pong
@@ -230,12 +236,22 @@ func NewMM(addr string, cfg MMConfig) (*MM, error) {
 		return nil, fmt.Errorf("livenet: listen %s: %w", addr, err)
 	}
 	mm := &MM{
-		cfg:    cfg,
-		ln:     ln,
-		nms:    make(map[int]*nmLink),
-		jobs:   make(map[int]*liveJob),
-		probes: make(map[int64]*probeRound),
+		cfg:        cfg,
+		ln:         ln,
+		nms:        make(map[int]*nmLink),
+		jobs:       make(map[int]*liveJob),
+		probes:     make(map[int64]*probeRound),
+		ctlExclude: make(map[int]bool),
 	}
+	// The control-tree maps must exist before the first syncCtl rebuild:
+	// a heartbeat or strobe loop started on an empty cluster ticks at
+	// epoch 0 with no members, so syncCtl takes its unchanged fast path
+	// without ever allocating them.
+	mm.ctl.sub = make(map[int][]int)
+	mm.ctl.ledger = make(map[int]*mmLedger)
+	mm.ctl.hbSent = make(map[int64]time.Time)
+	mm.ctl.strobeAck = make(map[int]int64)
+	mm.ctl.strobeSent = make(map[int64]time.Time)
 	mm.wg.Add(1)
 	go mm.acceptLoop()
 	if cfg.GangQuantum > 0 {
@@ -401,6 +417,8 @@ func (mm *MM) serveNM(c *conn, reg *Register) {
 			mm.onTerm(m.Term)
 		case m.Pong != nil:
 			mm.onPong(m.Pong)
+		case m.StrobeAck != nil:
+			mm.onStrobeAck(m.StrobeAck)
 		}
 	}
 }

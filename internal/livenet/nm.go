@@ -52,6 +52,7 @@ type NM struct {
 	peers   map[*conn]struct{}  // inbound relay connections
 	dialed  map[string]*conn    // outbound relay links, cached across jobs
 	gates   map[int]*gateRow    // job -> gang gate + row
+	ctl     *nmCtl              // control-tree role (heartbeat/strobe relay)
 
 	// counters, guarded by mu: fragments verified, fragments relayed
 	// downstream, processes forked, gang context switches enacted.
@@ -279,9 +280,11 @@ func (nm *NM) loop() {
 		case m.Launch != nil:
 			nm.onLaunch(m.Launch)
 		case m.Ping != nil:
-			nm.c.send(Message{Pong: &Pong{Seq: m.Ping.Seq, Node: nm.node}})
+			nm.onCtlPing(m.Ping, nm.c)
 		case m.Strobe != nil:
-			nm.onStrobe(m.Strobe.Row)
+			nm.onCtlStrobe(m.Strobe, nm.c)
+		case m.CtlPlan != nil:
+			nm.onCtlPlan(m.CtlPlan)
 		}
 	}
 }
@@ -321,6 +324,9 @@ func (nm *NM) servePeer(pc *conn) {
 				rs.parent = nil
 			}
 		}
+		if nm.ctl != nil && nm.ctl.parent == pc {
+			nm.ctl.parent = nil
+		}
 		nm.mu.Unlock()
 		pc.close()
 	}()
@@ -329,8 +335,13 @@ func (nm *NM) servePeer(pc *conn) {
 		if err != nil {
 			return
 		}
-		if m.Frag != nil {
+		switch {
+		case m.Frag != nil:
 			nm.handleFrag(m.Frag, pc)
+		case m.Ping != nil:
+			nm.onCtlPing(m.Ping, pc)
+		case m.Strobe != nil:
+			nm.onCtlStrobe(m.Strobe, pc)
 		}
 	}
 }
@@ -475,8 +486,9 @@ func (nm *NM) evictDialed(cc *conn) {
 	cc.close()
 }
 
-// pumpChildAcks reads one downstream link's acks — for every job routed
-// over it — and folds them into the owning job's aggregated credit.
+// pumpChildAcks reads one downstream link's upward traffic — fragment
+// acks for every job routed over it, plus control-tree pong ledgers and
+// strobe acks — and folds each into its aggregate.
 func (nm *NM) pumpChildAcks(cc *conn) {
 	defer nm.wg.Done()
 	defer func() {
@@ -495,6 +507,14 @@ func (nm *NM) pumpChildAcks(cc *conn) {
 		m, err := cc.recv()
 		if err != nil {
 			return
+		}
+		if m.Pong != nil {
+			nm.onCtlPong(m.Pong)
+			continue
+		}
+		if m.StrobeAck != nil {
+			nm.onCtlStrobeAck(m.StrobeAck)
+			continue
 		}
 		a := m.FragAck
 		if a == nil {

@@ -35,6 +35,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // JobSpec describes a live job.
@@ -84,6 +86,13 @@ type Report struct {
 }
 
 // Message is the wire envelope. Exactly one pointer field is set.
+//
+// Hot control messages (Ping, Pong, Strobe, StrobeAck, FragAck,
+// PlanAck, ReplanAck, PeerDown) never travel as gob: send routes them
+// to fixed-layout typed frames and recv decodes the zero-alloc subset
+// into conn-owned scratch structs. The pointers recv returns for Ping,
+// Pong, Strobe, StrobeAck, and FragAck are therefore only valid until
+// the next recv on the same conn — consume or copy them before looping.
 type Message struct {
 	Register  *Register
 	Submit    *Submit
@@ -101,6 +110,8 @@ type Message struct {
 	Ping      *Ping
 	Pong      *Pong
 	Strobe    *Strobe
+	StrobeAck *StrobeAck
+	CtlPlan   *CtlPlan
 	StatusQ   *StatusReq
 	StatusR   *StatusRep
 }
@@ -250,13 +261,77 @@ type StatusRep struct {
 	Gang      bool // live gang scheduling enabled
 }
 
-// Ping and Pong implement heartbeats.
-type Ping struct{ Seq int64 }
+// Ping is one heartbeat (or isolation-probe) round. On the control
+// tree the MM sends one epoch-stamped ping per period to its direct
+// children only; every NM relays it to its own control-tree children,
+// so MM heartbeat egress is O(fanout) regardless of cluster size.
+// Directed isolation probes reuse the same frame with Epoch 0 and a
+// sequence in the disjoint probe range.
+type Ping struct {
+	Seq   int64
+	Epoch int
+}
 
-// Pong acknowledges a Ping.
+// Pong answers a Ping. On the control tree it is not a per-node reply
+// but a cumulative subtree ledger: MinSeq is the oldest heartbeat
+// sequence any node in the sender's subtree is still vouched for, and
+// Absent is a bitmap of subtree members whose answers have gone stale,
+// indexed by the subtree's pre-order position (bit 0 = the sender
+// itself; only the first 64 positions are tracked — beyond that a
+// silent node is still caught when its whole subtree goes quiet). The
+// MM thus consumes exactly one frame per direct child per period and
+// still sees per-node liveness. Epoch is the control-tree generation
+// the ledger was aggregated under; a ledger from an older topology
+// vouched for a different subtree and is discarded. Epoch 0 marks a
+// directed isolation-probe reply, which bypasses the tree entirely.
 type Pong struct {
-	Seq  int64
-	Node int
+	Seq    int64
+	Node   int
+	Epoch  int
+	MinSeq int64
+	Absent uint64
+}
+
+// Strobe is the live gang-scheduling context switch: row Row becomes
+// the running timeslot. It multicasts down the control tree exactly
+// like a heartbeat ping (O(fanout) MM egress), and NMs both enact it
+// locally and relay it to their control-tree children. Seq orders
+// strobes; Epoch guards against stale-topology acks.
+type Strobe struct {
+	Seq   int64
+	Row   int
+	Epoch int
+}
+
+// StrobeAck confirms strobe delivery, aggregated like fragment acks:
+// Node's ack for Seq means every node in Node's control subtree has
+// enacted strobes up to and including Seq. The MM's strobe latency
+// metric is the gap between the multicast and the last direct child's
+// cumulative ack.
+type StrobeAck struct {
+	Seq   int64
+	Node  int
+	Epoch int
+}
+
+// CtlChild names one control-tree child and the subtree its aggregated
+// ledgers vouch for. Subtree is in pre-order (the child itself first,
+// then each grandchild subtree recursively): that order is the canonical
+// bit layout of the pong ledger's Absent bitmap, so a parent folds a
+// child's bitmap into its own with a single shift.
+type CtlChild struct {
+	Node    int
+	Addr    string
+	Subtree []int
+}
+
+// CtlPlan installs a node's role in the cluster-wide control tree (the
+// heartbeat/strobe fast path). It is sent only when membership changes
+// — registration, unregistration, conviction — so it stays on the gob
+// cold path; the per-period traffic it enables is all typed frames.
+type CtlPlan struct {
+	Epoch    int
+	Children []CtlChild
 }
 
 // fragCRC computes the fragment checksum.
@@ -310,11 +385,22 @@ func fragPatternCheck(job, index int, data []byte) bool {
 	return bytes.Equal(data, w[:len(data)])
 }
 
-// Frame types. Every frame starts with one type byte.
+// Frame types. Every frame starts with one type byte. 'G' is the cold
+// path (rare, topology-sized messages: Register, Submit, Plan, Replan,
+// CtlPlan, Launch, ...); everything that runs per-fragment or per-period
+// has its own fixed-layout frame so the hot paths never touch gob's
+// per-stream type descriptors or allocations.
 const (
-	frameGob  = 'G' // 4-byte length + gob(Message)
-	frameFrag = 'F' // fragHdrLen header + payload
-	frameAck  = 'A' // ackHdrLen fixed body
+	frameGob       = 'G' // 4-byte length + gob(Message)
+	frameFrag      = 'F' // fragHdrLen header + payload
+	frameAck       = 'A' // ackHdrLen fixed body
+	framePing      = 'P' // pingBodyLen fixed body
+	framePong      = 'Q' // pongBodyLen fixed body
+	frameStrobe    = 'S' // strobeBodyLen fixed body
+	frameStrobeAck = 'T' // strobeAckBodyLen fixed body
+	framePlanAck   = 'K' // planAckFixedLen fixed part + error string
+	frameReplanAck = 'R' // replanAckFixedLen fixed part + error string
+	framePeerDown  = 'D' // peerDownFixedLen fixed part + error string
 )
 
 const (
@@ -322,8 +408,29 @@ const (
 	fragHdrLen = 17
 	// ackHdrLen is job u32 | index u32 | node u32 | epoch u32 | ok u8.
 	ackHdrLen = 17
+	// pingBodyLen is seq u64 | epoch u32.
+	pingBodyLen = 12
+	// pongBodyLen is seq u64 | node u32 | epoch u32 | minseq u64 | absent u64.
+	pongBodyLen = 32
+	// strobeBodyLen is seq u64 | row u32 | epoch u32.
+	strobeBodyLen = 16
+	// strobeAckBodyLen is seq u64 | node u32 | epoch u32.
+	strobeAckBodyLen = 16
+	// planAckFixedLen is job u32 | node u32 | elen u16 (error string follows).
+	planAckFixedLen = 10
+	// replanAckFixedLen is job u32 | node u32 | epoch u32 | received u32 | elen u16.
+	replanAckFixedLen = 18
+	// peerDownFixedLen is job u32 | node u32 | from u32 | elen u16.
+	peerDownFixedLen = 14
 	// maxFrame bounds a frame payload (corruption guard).
 	maxFrame = 64 << 20
+	// maxCtlErr bounds the error string carried in a typed control
+	// frame; longer errors are truncated (they are diagnostics, not
+	// data).
+	maxCtlErr = 1 << 12
+	// connScratchLen sizes the conn's frame scratch buffer: the largest
+	// fixed frame is the pong (1 type byte + pongBodyLen).
+	connScratchLen = 1 + pongBodyLen
 )
 
 // fragBufPool recycles fragment payload buffers across the send, relay,
@@ -365,11 +472,28 @@ type conn struct {
 	r   *bufio.Reader
 	w   *bufio.Writer
 	wmu sync.Mutex
-	// hdr is the frame-header scratch buffer, guarded by wmu; reusing it
-	// keeps the bulk send path at zero allocations per frame.
-	hdr [1 + fragHdrLen]byte
+	// hdr is the frame scratch buffer, guarded by wmu; reusing it keeps
+	// the bulk and control send paths at zero allocations per frame. It
+	// is sized for the largest fixed frame (the pong ledger); varlen
+	// control frames (PlanAck and kin) borrow its prefix and append the
+	// error string as a second write.
+	hdr [connScratchLen]byte
 
-	sent atomic.Int64 // bytes written, frames included
+	// Decode scratch for the zero-alloc control subset: recv returns
+	// pointers into these, valid until the next recv. A conn has one
+	// reader (the read loop that owns it), so there is no aliasing.
+	// rbuf is the header/body read buffer — a conn field rather than a
+	// stack array because a stack array passed to io.ReadFull escapes
+	// and would cost an allocation per frame.
+	rbuf       [connScratchLen]byte
+	rPing      Ping
+	rPong      Pong
+	rStrobe    Strobe
+	rStrobeAck StrobeAck
+	rAck       FragAck
+
+	sent       atomic.Int64 // bytes written, frames included
+	sentFrames atomic.Int64 // frames written (the control-egress metric)
 }
 
 func newConn(c net.Conn) *conn {
@@ -384,16 +508,33 @@ func newConn(c net.Conn) *conn {
 	return &conn{c: c, r: bufio.NewReaderSize(c, 64<<10), w: bufio.NewWriterSize(c, 64<<10)}
 }
 
-// send serializes one message. Fragments are routed to the binary frame
-// path; everything else is gob inside a 'G' frame. Each control message
-// gets a fresh gob stream: the per-message type-descriptor overhead is
-// irrelevant at control rates and keeps the framing self-contained.
+// send serializes one message. Fragments, fragment acks, and the hot
+// control messages (heartbeats, strobes, plan confirmations, peer-down
+// reports) are routed to fixed-layout typed frames; only the cold
+// remainder (registration, submissions, topology plans, launches,
+// reports) is gob inside a 'G' frame. Each cold message gets a fresh
+// gob stream: the per-message type-descriptor overhead is irrelevant
+// at those rates and keeps the framing self-contained.
 func (c *conn) send(m Message) error {
-	if m.Frag != nil {
+	switch {
+	case m.Frag != nil:
 		return c.sendFrag(m.Frag)
-	}
-	if m.FragAck != nil {
+	case m.FragAck != nil:
 		return c.sendAck(m.FragAck)
+	case m.Ping != nil:
+		return c.sendPing(m.Ping)
+	case m.Pong != nil:
+		return c.sendPong(m.Pong)
+	case m.Strobe != nil:
+		return c.sendStrobe(m.Strobe)
+	case m.StrobeAck != nil:
+		return c.sendStrobeAck(m.StrobeAck)
+	case m.PlanAck != nil:
+		return c.sendPlanAck(m.PlanAck)
+	case m.ReplanAck != nil:
+		return c.sendReplanAck(m.ReplanAck)
+	case m.PeerDown != nil:
+		return c.sendPeerDown(m.PeerDown)
 	}
 	buf := gobBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
@@ -448,6 +589,107 @@ func (c *conn) sendAck(a *FragAck) error {
 	return c.writeFrame(hdr, nil)
 }
 
+// sendPing writes one fixed-size ping frame (zero allocations).
+func (c *conn) sendPing(p *Ping) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+pingBodyLen]
+	hdr[0] = framePing
+	binary.BigEndian.PutUint64(hdr[1:], uint64(p.Seq))
+	binary.BigEndian.PutUint32(hdr[9:], uint32(p.Epoch))
+	return c.writeFrame(hdr, nil)
+}
+
+// sendPong writes one fixed-size pong-ledger frame (zero allocations).
+func (c *conn) sendPong(p *Pong) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+pongBodyLen]
+	hdr[0] = framePong
+	binary.BigEndian.PutUint64(hdr[1:], uint64(p.Seq))
+	binary.BigEndian.PutUint32(hdr[9:], uint32(p.Node))
+	binary.BigEndian.PutUint32(hdr[13:], uint32(p.Epoch))
+	binary.BigEndian.PutUint64(hdr[17:], uint64(p.MinSeq))
+	binary.BigEndian.PutUint64(hdr[25:], p.Absent)
+	return c.writeFrame(hdr, nil)
+}
+
+// sendStrobe writes one fixed-size strobe frame (zero allocations).
+func (c *conn) sendStrobe(s *Strobe) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+strobeBodyLen]
+	hdr[0] = frameStrobe
+	binary.BigEndian.PutUint64(hdr[1:], uint64(s.Seq))
+	binary.BigEndian.PutUint32(hdr[9:], uint32(s.Row))
+	binary.BigEndian.PutUint32(hdr[13:], uint32(s.Epoch))
+	return c.writeFrame(hdr, nil)
+}
+
+// sendStrobeAck writes one fixed-size strobe-ack frame (zero
+// allocations).
+func (c *conn) sendStrobeAck(a *StrobeAck) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+strobeAckBodyLen]
+	hdr[0] = frameStrobeAck
+	binary.BigEndian.PutUint64(hdr[1:], uint64(a.Seq))
+	binary.BigEndian.PutUint32(hdr[9:], uint32(a.Node))
+	binary.BigEndian.PutUint32(hdr[13:], uint32(a.Epoch))
+	return c.writeFrame(hdr, nil)
+}
+
+// ctlErr clips a control-frame error string to the wire bound.
+func ctlErr(s string) string {
+	if len(s) > maxCtlErr {
+		return s[:maxCtlErr]
+	}
+	return s
+}
+
+// sendPlanAck writes a typed plan-confirmation frame: fixed part plus
+// the (usually empty) error string.
+func (c *conn) sendPlanAck(a *PlanAck) error {
+	e := ctlErr(a.Err)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+planAckFixedLen]
+	hdr[0] = framePlanAck
+	binary.BigEndian.PutUint32(hdr[1:], uint32(a.Job))
+	binary.BigEndian.PutUint32(hdr[5:], uint32(a.Node))
+	binary.BigEndian.PutUint16(hdr[9:], uint16(len(e)))
+	return c.writeFrameString(hdr, e)
+}
+
+// sendReplanAck writes a typed replan-confirmation frame.
+func (c *conn) sendReplanAck(a *ReplanAck) error {
+	e := ctlErr(a.Err)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+replanAckFixedLen]
+	hdr[0] = frameReplanAck
+	binary.BigEndian.PutUint32(hdr[1:], uint32(a.Job))
+	binary.BigEndian.PutUint32(hdr[5:], uint32(a.Node))
+	binary.BigEndian.PutUint32(hdr[9:], uint32(a.Epoch))
+	binary.BigEndian.PutUint32(hdr[13:], uint32(a.Received))
+	binary.BigEndian.PutUint16(hdr[17:], uint16(len(e)))
+	return c.writeFrameString(hdr, e)
+}
+
+// sendPeerDown writes a typed peer-down report frame.
+func (c *conn) sendPeerDown(d *PeerDown) error {
+	e := ctlErr(d.Err)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+peerDownFixedLen]
+	hdr[0] = framePeerDown
+	binary.BigEndian.PutUint32(hdr[1:], uint32(d.Job))
+	binary.BigEndian.PutUint32(hdr[5:], uint32(d.Node))
+	binary.BigEndian.PutUint32(hdr[9:], uint32(d.From))
+	binary.BigEndian.PutUint16(hdr[13:], uint16(len(e)))
+	return c.writeFrameString(hdr, e)
+}
+
 // writeFrame writes header+payload and flushes. Caller holds wmu.
 func (c *conn) writeFrame(hdr, payload []byte) error {
 	if _, err := c.w.Write(hdr); err != nil {
@@ -462,23 +704,44 @@ func (c *conn) writeFrame(hdr, payload []byte) error {
 		return err
 	}
 	c.sent.Add(int64(len(hdr) + len(payload)))
+	c.sentFrames.Add(1)
+	return nil
+}
+
+// writeFrameString is writeFrame with a string tail (control-frame
+// error strings), avoiding a []byte conversion allocation. Caller
+// holds wmu.
+func (c *conn) writeFrameString(hdr []byte, tail string) error {
+	if _, err := c.w.Write(hdr); err != nil {
+		return err
+	}
+	if len(tail) > 0 {
+		if _, err := c.w.WriteString(tail); err != nil {
+			return err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	c.sent.Add(int64(len(hdr) + len(tail)))
+	c.sentFrames.Add(1)
 	return nil
 }
 
 // recv blocks for the next message. A received Frag's Data is a pooled
 // buffer: the consumer must call releaseFragBuf(f.Data) when done.
 func (c *conn) recv() (Message, error) {
-	var t [1]byte
-	if _, err := io.ReadFull(c.r, t[:]); err != nil {
+	if _, err := io.ReadFull(c.r, c.rbuf[:1]); err != nil {
 		return Message{}, err
 	}
-	switch t[0] {
+	ft := c.rbuf[0]
+	switch ft {
 	case frameGob:
-		var lb [4]byte
-		if _, err := io.ReadFull(c.r, lb[:]); err != nil {
+		lb := c.rbuf[:4]
+		if _, err := io.ReadFull(c.r, lb); err != nil {
 			return Message{}, err
 		}
-		n := int(binary.BigEndian.Uint32(lb[:]))
+		n := int(binary.BigEndian.Uint32(lb))
 		if n > maxFrame {
 			return Message{}, fmt.Errorf("livenet: oversized control frame (%d bytes)", n)
 		}
@@ -492,8 +755,8 @@ func (c *conn) recv() (Message, error) {
 		releaseFragBuf(payload)
 		return m, err
 	case frameFrag:
-		var hb [fragHdrLen]byte
-		if _, err := io.ReadFull(c.r, hb[:]); err != nil {
+		hb := c.rbuf[:fragHdrLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
 			return Message{}, err
 		}
 		n := int(binary.BigEndian.Uint32(hb[13:]))
@@ -513,20 +776,127 @@ func (c *conn) recv() (Message, error) {
 		}
 		return Message{Frag: f}, nil
 	case frameAck:
-		var hb [ackHdrLen]byte
-		if _, err := io.ReadFull(c.r, hb[:]); err != nil {
+		hb := c.rbuf[:ackHdrLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
 			return Message{}, err
 		}
-		return Message{FragAck: &FragAck{
+		c.rAck = FragAck{
 			Job:   int(binary.BigEndian.Uint32(hb[0:])),
 			Index: int(binary.BigEndian.Uint32(hb[4:])),
 			Node:  int(binary.BigEndian.Uint32(hb[8:])),
 			Epoch: int(binary.BigEndian.Uint32(hb[12:])),
 			OK:    hb[16] == 1,
+		}
+		return Message{FragAck: &c.rAck}, nil
+	case framePing:
+		hb := c.rbuf[:pingBodyLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
+			return Message{}, err
+		}
+		c.rPing = Ping{
+			Seq:   int64(binary.BigEndian.Uint64(hb[0:])),
+			Epoch: int(binary.BigEndian.Uint32(hb[8:])),
+		}
+		return Message{Ping: &c.rPing}, nil
+	case framePong:
+		hb := c.rbuf[:pongBodyLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
+			return Message{}, err
+		}
+		c.rPong = Pong{
+			Seq:    int64(binary.BigEndian.Uint64(hb[0:])),
+			Node:   int(binary.BigEndian.Uint32(hb[8:])),
+			Epoch:  int(binary.BigEndian.Uint32(hb[12:])),
+			MinSeq: int64(binary.BigEndian.Uint64(hb[16:])),
+			Absent: binary.BigEndian.Uint64(hb[24:]),
+		}
+		return Message{Pong: &c.rPong}, nil
+	case frameStrobe:
+		hb := c.rbuf[:strobeBodyLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
+			return Message{}, err
+		}
+		c.rStrobe = Strobe{
+			Seq:   int64(binary.BigEndian.Uint64(hb[0:])),
+			Row:   int(binary.BigEndian.Uint32(hb[8:])),
+			Epoch: int(binary.BigEndian.Uint32(hb[12:])),
+		}
+		return Message{Strobe: &c.rStrobe}, nil
+	case frameStrobeAck:
+		hb := c.rbuf[:strobeAckBodyLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
+			return Message{}, err
+		}
+		c.rStrobeAck = StrobeAck{
+			Seq:   int64(binary.BigEndian.Uint64(hb[0:])),
+			Node:  int(binary.BigEndian.Uint32(hb[8:])),
+			Epoch: int(binary.BigEndian.Uint32(hb[12:])),
+		}
+		return Message{StrobeAck: &c.rStrobeAck}, nil
+	case framePlanAck:
+		hb := c.rbuf[:planAckFixedLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
+			return Message{}, err
+		}
+		e, err := c.readCtlErr(int(binary.BigEndian.Uint16(hb[8:])))
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{PlanAck: &PlanAck{
+			Job:  int(binary.BigEndian.Uint32(hb[0:])),
+			Node: int(binary.BigEndian.Uint32(hb[4:])),
+			Err:  e,
+		}}, nil
+	case frameReplanAck:
+		hb := c.rbuf[:replanAckFixedLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
+			return Message{}, err
+		}
+		e, err := c.readCtlErr(int(binary.BigEndian.Uint16(hb[16:])))
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{ReplanAck: &ReplanAck{
+			Job:      int(binary.BigEndian.Uint32(hb[0:])),
+			Node:     int(binary.BigEndian.Uint32(hb[4:])),
+			Epoch:    int(binary.BigEndian.Uint32(hb[8:])),
+			Received: int(binary.BigEndian.Uint32(hb[12:])),
+			Err:      e,
+		}}, nil
+	case framePeerDown:
+		hb := c.rbuf[:peerDownFixedLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
+			return Message{}, err
+		}
+		e, err := c.readCtlErr(int(binary.BigEndian.Uint16(hb[12:])))
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{PeerDown: &PeerDown{
+			Job:  int(binary.BigEndian.Uint32(hb[0:])),
+			Node: int(binary.BigEndian.Uint32(hb[4:])),
+			From: int(binary.BigEndian.Uint32(hb[8:])),
+			Err:  e,
 		}}, nil
 	default:
-		return Message{}, fmt.Errorf("livenet: unknown frame type %#x", t[0])
+		return Message{}, fmt.Errorf("livenet: unknown frame type %#x", ft)
 	}
+}
+
+// readCtlErr reads a control frame's trailing error string. Zero-length
+// (the overwhelmingly common case) costs nothing.
+func (c *conn) readCtlErr(n int) (string, error) {
+	if n == 0 {
+		return "", nil
+	}
+	if n > maxCtlErr {
+		return "", fmt.Errorf("livenet: oversized control error (%d bytes)", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(c.r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 // sentBytes reports how many bytes have been written on this conn.
@@ -551,7 +921,9 @@ const (
 )
 
 // backoffSeq is the splitmix64 state feeding backoff jitter; jitter
-// decorrelates retry storms when many nodes redial at once.
+// decorrelates retry storms when many nodes redial at once. The state
+// steps atomically (many goroutines may back off concurrently), with
+// the shared internal/rng step constants.
 var backoffSeq atomic.Uint64
 
 // backoffDelay returns the capped exponential backoff for a retry
@@ -561,10 +933,7 @@ func backoffDelay(attempt int) time.Duration {
 	if d > dialMaxBackoff {
 		d = dialMaxBackoff
 	}
-	z := backoffSeq.Add(0x9e3779b97f4a7c15)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
+	z := rng.Mix64(backoffSeq.Add(rng.GoldenGamma))
 	return d/2 + time.Duration(z%uint64(d/2+1))
 }
 

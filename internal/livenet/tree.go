@@ -65,6 +65,20 @@ func subtreeNodes(pos, n, fanout int) []int {
 	return out
 }
 
+// subtreePreorder returns pos's subtree in DFS pre-order: pos itself
+// first, then each child's subtree recursively in child order. This is
+// the canonical bit layout of the control tree's pong ledger: a node's
+// bitmap is [self] ++ child₁'s bitmap ++ child₂'s bitmap ..., so a
+// parent folds a child's bitmap into its own with one shift by the
+// child's running offset.
+func subtreePreorder(pos, n, fanout int) []int {
+	out := []int{pos}
+	for _, c := range nodeChildren(pos, n, fanout) {
+		out = append(out, subtreePreorder(c, n, fanout)...)
+	}
+	return out
+}
+
 // treeDepth returns the number of relay hops below the MM (1 for the
 // flat fan-out). Used by tests and the bench report.
 func treeDepth(n, fanout int) int {

@@ -11,6 +11,41 @@ package rng
 
 import "math"
 
+// GoldenGamma is the splitmix64 state increment (the golden ratio in
+// fixed point) shared by every splitmix64 user in the repository.
+const GoldenGamma = 0x9e3779b97f4a7c15
+
+// Mix64 is the splitmix64 output finalizer: a bijective avalanche over
+// 64 bits. It is exported for seed-derivation schemes that compute the
+// state themselves (e.g. per-point sweep seeds keyed by index).
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SplitMix64 is the canonical splitmix64 generator: state steps by
+// GoldenGamma and each output is Mix64 of the new state. It is the
+// repository's single splitmix64 implementation — experiment sweeps,
+// chaos-schedule RNGs, and backoff jitter all derive from it — so a
+// seed reproduces the same stream everywhere, forever. The zero value
+// is a valid generator seeded with 0.
+type SplitMix64 uint64
+
+// Next advances the state and returns the next 64 random bits.
+func (s *SplitMix64) Next() uint64 {
+	*s += GoldenGamma
+	return Mix64(uint64(*s))
+}
+
+// Intn returns a deterministic value in [0, n); 0 when n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.Next() % uint64(n))
+}
+
 // RNG is a deterministic xoshiro256** pseudo-random number generator.
 // The zero value is not valid; use New.
 type RNG struct {
@@ -22,13 +57,9 @@ type RNG struct {
 // sequential seeds.
 func New(seed uint64) *RNG {
 	r := &RNG{}
-	sm := seed
+	sm := SplitMix64(seed)
 	for i := range r.s {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		r.s[i] = sm.Next()
 	}
 	return r
 }
