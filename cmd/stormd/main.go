@@ -17,8 +17,11 @@
 // relay listener when nodes span machines). The same tree carries the
 // control plane: heartbeat pings multicast down it with aggregated pong
 // ledgers coming back (on by default, period set with -hb), and -strobe
-// enables live gang scheduling at the given quantum. Then submit jobs
-// with cmd/storm.
+// enables live gang scheduling at the given quantum. An NM started with
+// -cache-size keeps a bounded content-addressed chunk cache (persisted
+// under -cache-dir when set), so repeated launches of the same or a
+// slightly rebuilt binary stream only the missing chunks. Then submit
+// jobs with cmd/storm.
 package main
 
 import (
@@ -41,6 +44,8 @@ func main() {
 	cpus := flag.Int("cpus", 4, "advertised CPUs per node (role nm)")
 	peer := flag.String("peer", "", "NM relay listen address for the forwarding tree (role nm; default 127.0.0.1:0)")
 	spool := flag.String("spool", "", "directory to persist delivered binary images via temp-file+rename (role nm; empty keeps images in memory only)")
+	cacheSize := flag.Int64("cache-size", 0, "content-addressed chunk cache budget in bytes (role nm; 0 disables delta caching)")
+	cacheDir := flag.String("cache-dir", "", "directory backing the chunk cache (role nm; empty keeps cached chunks in memory)")
 	hb := flag.Duration("heartbeat", time.Second, "tree-heartbeat period on the MM (0 disables)")
 	flag.DurationVar(hb, "hb", time.Second, "alias for -heartbeat")
 	strobe := flag.Duration("strobe", 0, "gang-scheduling strobe quantum on the MM (0 disables live gang scheduling)")
@@ -69,7 +74,10 @@ func main() {
 		<-sig
 		mm.Close()
 	case "nm":
-		nm, err := livenet.NewNMConfig(*mmAddr, *node, *cpus, livenet.NMConfig{PeerAddr: *peer, SpoolDir: *spool})
+		nm, err := livenet.NewNMConfig(*mmAddr, *node, *cpus, livenet.NMConfig{
+			PeerAddr: *peer, SpoolDir: *spool,
+			CacheBytes: *cacheSize, CacheDir: *cacheDir,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
 			os.Exit(1)

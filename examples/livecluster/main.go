@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"repro/internal/livenet"
+	"repro/internal/livenet/chunkcache"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -25,7 +27,9 @@ func main() {
 
 	var nms []*livenet.NM
 	for i := 0; i < 4; i++ {
-		nm, err := livenet.NewNM(mm.Addr(), i, 4)
+		// 32 MB content-addressed chunk cache per NM: relaunches of the
+		// same (or slightly rebuilt) image skip the bulk transfer.
+		nm, err := livenet.NewNMConfig(mm.Addr(), i, 4, livenet.NMConfig{CacheBytes: 32 << 20})
 		if err != nil {
 			panic(err)
 		}
@@ -61,6 +65,37 @@ func main() {
 		Name: "sleep", BinaryBytes: 1_000_000, Nodes: 2, PEsPerNode: 1,
 		Program: livenet.ProgramSpec{Kind: "sleep", Duration: 200 * time.Millisecond},
 	})
+
+	fmt.Println("\nDelta transfer: cold launch, warm relaunch, 1-chunk rebuild of a 12 MB image...")
+	deltaTable := metrics.NewTable("delta launches", "launch", "chunks streamed", "bytes saved", "send")
+	delta := func(label string, patch map[int]uint64) {
+		rep, err := livenet.SubmitJob(mm.Addr(), livenet.JobSpec{
+			Name: "delta-" + label, BinaryBytes: 12_000_000, Nodes: 4, PEsPerNode: 4,
+			ImageSeed: 0xD5, ImagePatch: patch,
+			Program: livenet.ProgramSpec{Kind: "exit"},
+		})
+		if err != nil {
+			fmt.Printf("  delta-%s ERROR: %v\n", label, err)
+			return
+		}
+		deltaTable.AddRow(label, fmt.Sprintf("%d/%d", rep.ChunksSent, rep.Chunks),
+			rep.BytesSaved, rep.Send.Round(time.Microsecond))
+	}
+	delta("cold", nil)
+	delta("warm", nil)
+	delta("rebuild", map[int]uint64{3: 0xBEEF})
+	fmt.Println(deltaTable.String())
+	var cacheStats chunkcache.Stats
+	for _, nm := range nms {
+		if st, ok := nm.CacheStats(); ok {
+			cacheStats.Hits += st.Hits
+			cacheStats.Misses += st.Misses
+			cacheStats.Evictions += st.Evictions
+			cacheStats.BytesSaved += st.BytesSaved
+		}
+	}
+	fmt.Printf("NM chunk caches: %d hits, %d misses, %d evictions, %d bytes served locally\n",
+		cacheStats.Hits, cacheStats.Misses, cacheStats.Evictions, cacheStats.BytesSaved)
 
 	fmt.Println("\nLive gang scheduling: two spin gangs timeshared at MPL 2, 25 ms quanta...")
 	gangMM, err := livenet.NewMM("127.0.0.1:0", livenet.MMConfig{

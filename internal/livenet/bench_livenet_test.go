@@ -162,6 +162,154 @@ func BenchmarkLiveLaunch(b *testing.B) {
 	})
 }
 
+// BenchmarkDeltaLaunch measures the content-addressed delta-transfer
+// path: a cold seeded launch (every chunk streams), a warm relaunch of
+// the identical image (every chunk is served from NM caches, so the MM
+// pays ~control-plane cost), and a one-chunk rebuild (exactly one chunk
+// in the need union, at most fanout copies of its payload on the wire).
+//
+// After the sub-benchmarks it merges a `delta_launch` section into
+// BENCH_livenet.json alongside the launch-scaling and control-plane
+// series.
+//
+//	go test -run '^$' -bench BenchmarkDeltaLaunch -benchtime=1x ./internal/livenet/
+func BenchmarkDeltaLaunch(b *testing.B) {
+	const (
+		binaryBytes = 12 << 20
+		fragBytes   = 512 << 10
+		nodes       = 16
+		fanout      = 2
+		patchedIdx  = 7
+	)
+	type result struct {
+		SendMS        float64 `json:"send_ms"`
+		TotalMS       float64 `json:"total_ms"`
+		MMEgressBytes int64   `json:"mm_egress_bytes"`
+		ChunksSent    int     `json:"chunks_sent"`
+		BytesSaved    int64   `json:"bytes_saved"`
+	}
+	results := map[string]result{}
+	// Each sub-benchmark builds a fresh cluster, so the caches start
+	// cold; warm/delta pre-populate them with one unmeasured launch.
+	newCluster := func(b *testing.B) *MM {
+		mm, _, _ := chaosCluster(b, nodes, MMConfig{Fanout: fanout, FragBytes: fragBytes},
+			func(int) NMConfig { return NMConfig{CacheBytes: 64 << 20} })
+		return mm
+	}
+	spec := func(seed uint64, patch map[int]uint64) JobSpec {
+		return JobSpec{
+			Name: "delta-bench", BinaryBytes: binaryBytes, Nodes: nodes, PEsPerNode: 1,
+			ImageSeed: seed, ImagePatch: patch,
+			Program: ProgramSpec{Kind: "exit"},
+		}
+	}
+	record := func(best *result, rep Report) {
+		sendMS := float64(rep.Send) / float64(time.Millisecond)
+		if best.SendMS == 0 || sendMS < best.SendMS {
+			best.SendMS = sendMS
+			best.TotalMS = float64(rep.Total) / float64(time.Millisecond)
+			best.MMEgressBytes = rep.SendBytes
+			best.ChunksSent = rep.ChunksSent
+			best.BytesSaved = rep.BytesSaved
+		}
+	}
+	keep := func(name string, best result) {
+		if prev, seen := results[name]; !seen || best.SendMS < prev.SendMS {
+			results[name] = best
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		mm := newCluster(b)
+		var best result
+		b.SetBytes(binaryBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A distinct seed per iteration keeps every launch cold even
+			// though the cluster (and its caches) persists across them.
+			rep, err := mm.RunJob(spec(0xC01D_0000+uint64(i), nil))
+			if err != nil {
+				b.Fatal(err)
+			}
+			record(&best, rep)
+		}
+		b.StopTimer()
+		b.ReportMetric(best.SendMS, "send-ms")
+		b.ReportMetric(float64(best.MMEgressBytes), "mm-bytes")
+		keep("cold", best)
+	})
+	b.Run("warm", func(b *testing.B) {
+		mm := newCluster(b)
+		if _, err := mm.RunJob(spec(0xCAFE, nil)); err != nil {
+			b.Fatal(err)
+		}
+		var best result
+		b.SetBytes(binaryBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := mm.RunJob(spec(0xCAFE, nil))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.ChunksSent != 0 {
+				b.Fatalf("warm relaunch streamed %d chunks, want 0", rep.ChunksSent)
+			}
+			record(&best, rep)
+		}
+		b.StopTimer()
+		b.ReportMetric(best.SendMS, "send-ms")
+		b.ReportMetric(float64(best.MMEgressBytes), "mm-bytes")
+		keep("warm", best)
+	})
+	b.Run("delta-1chunk", func(b *testing.B) {
+		mm := newCluster(b)
+		if _, err := mm.RunJob(spec(0xCAFE, nil)); err != nil {
+			b.Fatal(err)
+		}
+		var best result
+		b.SetBytes(binaryBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh patch value each iteration keeps exactly one chunk
+			// cold relative to the caches.
+			rep, err := mm.RunJob(spec(0xCAFE, map[int]uint64{patchedIdx: 0x1000 + uint64(i)}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.ChunksSent != 1 {
+				b.Fatalf("1-chunk delta streamed %d chunks, want 1", rep.ChunksSent)
+			}
+			if limit := int64(fanout*fragBytes + 64<<10); rep.SendBytes > limit {
+				b.Fatalf("1-chunk delta cost %d egress bytes, want <=%d", rep.SendBytes, limit)
+			}
+			record(&best, rep)
+		}
+		b.StopTimer()
+		b.ReportMetric(best.SendMS, "send-ms")
+		b.ReportMetric(float64(best.MMEgressBytes), "mm-bytes")
+		keep("delta-1chunk", best)
+	})
+	cold, warm := results["cold"], results["warm"]
+	if cold.SendMS == 0 || warm.SendMS == 0 {
+		return
+	}
+	speedup := cold.SendMS / warm.SendMS
+	b.Logf("warm relaunch speedup: %.1fx (cold %.2f ms -> warm %.2f ms)",
+		speedup, cold.SendMS, warm.SendMS)
+	mergeBenchSummary(b, map[string]any{
+		"delta_launch": map[string]any{
+			"binary_bytes": binaryBytes,
+			"frag_bytes":   fragBytes,
+			"nodes":        nodes,
+			"fanout":       fanout,
+			"chunks":       binaryBytes / fragBytes,
+			"cold":         cold,
+			"warm":         warm,
+			"delta_1chunk": results["delta-1chunk"],
+			"warm_speedup": speedup,
+		},
+	})
+}
+
 // mergeBenchSummary updates the given top-level keys of
 // BENCH_livenet.json in place, preserving sections written by other
 // benchmarks (launch scaling and the control plane share the file).

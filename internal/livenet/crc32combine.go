@@ -1,0 +1,74 @@
+package livenet
+
+// CRC-32 is a linear function over GF(2): the checksum of a
+// concatenation A||B can be computed from crc(A), crc(B), and len(B)
+// alone, without touching the bytes, by advancing crc(A) through len(B)
+// zero bytes (a GF(2) matrix power) and xoring in crc(B). That lets a
+// memory-mode NM verify a spliced image's whole-image digest from the
+// per-chunk CRCs it already verified individually — O(chunks · log
+// chunk-size) instead of an O(image-bytes) read-back pass. This is the
+// classic zlib crc32_combine construction for the IEEE polynomial.
+
+// ieeeReversedPoly is the reversed (LSB-first) form of the IEEE CRC-32
+// polynomial, matching hash/crc32's IEEE table.
+const ieeeReversedPoly = 0xedb88320
+
+// gf2MatrixTimes multiplies a 32x32 GF(2) matrix by a vector.
+func gf2MatrixTimes(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; i++ {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		vec >>= 1
+	}
+	return sum
+}
+
+// gf2MatrixSquare squares a 32x32 GF(2) matrix into dst.
+func gf2MatrixSquare(dst, mat *[32]uint32) {
+	for n := range dst {
+		dst[n] = gf2MatrixTimes(mat, mat[n])
+	}
+}
+
+// crc32Combine returns crc32.ChecksumIEEE(A||B) given crc1 =
+// ChecksumIEEE(A), crc2 = ChecksumIEEE(B), and len2 = len(B).
+func crc32Combine(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1
+	}
+	var even, odd [32]uint32
+	// odd = the operator that advances a CRC by one zero bit.
+	odd[0] = ieeeReversedPoly
+	row := uint32(1)
+	for n := 1; n < 32; n++ {
+		odd[n] = row
+		row <<= 1
+	}
+	// Each squaring doubles how many zero bits the operator advances.
+	// Two squarings turn the 1-bit operator into the 4-bit one; the
+	// loop below squares on, applying the current operator for each set
+	// bit of len2 (len2 counts bytes, so the loop starts at 8 bits).
+	gf2MatrixSquare(&even, &odd) // 2 zero bits
+	gf2MatrixSquare(&odd, &even) // 4 zero bits
+	for {
+		gf2MatrixSquare(&even, &odd) // 8, 32, 128, ... zero bits
+		if len2&1 != 0 {
+			crc1 = gf2MatrixTimes(&even, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+		gf2MatrixSquare(&odd, &even) // 16, 64, 256, ... zero bits
+		if len2&1 != 0 {
+			crc1 = gf2MatrixTimes(&odd, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+	}
+	return crc1 ^ crc2
+}

@@ -1,0 +1,37 @@
+package livenet
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// TestCRC32Combine checks the GF(2) combine against direct checksums of
+// the concatenation, across chunk-boundary shapes (empty parts, 1-byte
+// parts, sizes around word boundaries, and many-chunk folds).
+func TestCRC32Combine(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	buf := make([]byte, 9000)
+	rng.Read(buf)
+	splits := []int{0, 1, 3, 7, 8, 9, 255, 256, 4096, len(buf)}
+	for _, cut := range splits {
+		a, b := buf[:cut], buf[cut:]
+		got := crc32Combine(crc32.ChecksumIEEE(a), crc32.ChecksumIEEE(b), int64(len(b)))
+		if want := crc32.ChecksumIEEE(buf); got != want {
+			t.Fatalf("combine at split %d = %08x, want %08x", cut, got, want)
+		}
+	}
+	// Fold a long chunk list like a manifest finalize does.
+	var acc uint32
+	for off := 0; off < len(buf); off += 1234 {
+		end := off + 1234
+		if end > len(buf) {
+			end = len(buf)
+		}
+		part := buf[off:end]
+		acc = crc32Combine(acc, crc32.ChecksumIEEE(part), int64(len(part)))
+	}
+	if want := crc32.ChecksumIEEE(buf); acc != want {
+		t.Fatalf("chunk fold = %08x, want %08x", acc, want)
+	}
+}

@@ -1,0 +1,356 @@
+package livenet
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/livenet/chunkcache"
+	"repro/internal/livenet/faultconn"
+)
+
+// deltaMMConfig mirrors chaosMMConfig: 1 MiB image in 32 chunks of
+// 32 KiB, binary tree.
+func deltaMMConfig() MMConfig {
+	return MMConfig{
+		Fanout:     2,
+		FragBytes:  32 << 10,
+		AckTimeout: 2 * time.Second,
+	}
+}
+
+// deltaSpec is a seeded (content-addressed) job over the shared chaos
+// image size, so chunk content — and therefore the caches — carry across
+// job IDs.
+func deltaSpec(n int, seed uint64, patch map[int]uint64) JobSpec {
+	return JobSpec{
+		Name: "delta", BinaryBytes: chaosBinary, Nodes: n, PEsPerNode: 1,
+		ImageSeed: seed, ImagePatch: patch,
+		Program: ProgramSpec{Kind: "exit"},
+	}
+}
+
+// deltaChunk regenerates chunk i of a seeded spec and returns its cache
+// key triple, for tests that must poison or probe specific entries.
+func deltaChunk(spec *JobSpec, frag, i int) (data []byte, hash uint64, crc uint32) {
+	data = make([]byte, chunkSizeFor(spec, frag, i))
+	fillChunkInto(spec, 0, i, data) // job ID is ignored for seeded content
+	return data, chunkcache.Hash64(data), fragCRC(data)
+}
+
+// TestManifestCodecRoundTrip pins the wire layout of the three delta
+// frames through a full encode/decode cycle.
+func TestManifestCodecRoundTrip(t *testing.T) {
+	man := &Manifest{Job: 7, Epoch: 2, ChunkBytes: 32 << 10, ImageCRC: 0xdeadbeef,
+		TotalBytes: 99_001, Hashes: []uint64{1, 1 << 63, 42}, CRCs: []uint32{9, 8, 7}}
+	have := &Have{Job: 7, Node: 5, Epoch: 2, Bits: []uint64{0b101, 1 << 40}}
+	needm := &NeedMask{Job: 7, Epoch: 2, Bits: []uint64{^uint64(0)}}
+
+	var buf bytes.Buffer
+	cc := &conn{w: bufio.NewWriter(&buf)}
+	if cc.send(Message{Manifest: man}) != nil || cc.send(Message{Have: have}) != nil ||
+		cc.send(Message{NeedMask: needm}) != nil {
+		t.Fatal("encode failed")
+	}
+	dc := &conn{r: bufio.NewReader(&buf)}
+	m1, err := dc.recv()
+	if err != nil || m1.Manifest == nil {
+		t.Fatalf("manifest decode: %v", err)
+	}
+	got := m1.Manifest
+	if got.Job != 7 || got.Epoch != 2 || got.ChunkBytes != 32<<10 ||
+		got.ImageCRC != 0xdeadbeef || got.TotalBytes != 99_001 ||
+		len(got.Hashes) != 3 || got.Hashes[1] != 1<<63 || got.CRCs[2] != 7 {
+		t.Fatalf("manifest mangled: %+v", got)
+	}
+	m2, err := dc.recv()
+	if err != nil || m2.Have == nil || m2.Have.Node != 5 || len(m2.Have.Bits) != 2 ||
+		m2.Have.Bits[0] != 0b101 || m2.Have.Bits[1] != 1<<40 {
+		t.Fatalf("have mangled: %+v (%v)", m2.Have, err)
+	}
+	m3, err := dc.recv()
+	if err != nil || m3.NeedMask == nil || len(m3.NeedMask.Bits) != 1 ||
+		m3.NeedMask.Bits[0] != ^uint64(0) {
+		t.Fatalf("need mask mangled: %+v (%v)", m3.NeedMask, err)
+	}
+}
+
+// TestManifestAllocs pins the manifest/HAVE/need-mask codecs at zero
+// steady-state allocations per frame in both directions: the conn's
+// grown-once scratch must absorb the variable-length tails.
+func TestManifestAllocs(t *testing.T) {
+	man := &Manifest{Job: 7, Epoch: 2, ChunkBytes: 32 << 10, ImageCRC: 1,
+		TotalBytes: 1 << 20, Hashes: make([]uint64, 32), CRCs: make([]uint32, 32)}
+	have := &Have{Job: 7, Node: 5, Epoch: 2, Bits: []uint64{0b101}}
+	needm := &NeedMask{Job: 7, Epoch: 2, Bits: []uint64{42}}
+
+	ec := discardConn()
+	encode := func() {
+		if ec.sendManifest(man) != nil || ec.sendHave(have) != nil || ec.sendNeedMask(needm) != nil {
+			t.Fatal("send failed")
+		}
+	}
+	encode() // grow the tail scratch once
+	if avg := testing.AllocsPerRun(200, encode); avg != 0 {
+		t.Fatalf("delta encode allocates %.2f/op, want 0", avg)
+	}
+
+	var buf bytes.Buffer
+	cc := &conn{w: bufio.NewWriter(&buf)}
+	if cc.sendManifest(man) != nil || cc.sendHave(have) != nil || cc.sendNeedMask(needm) != nil {
+		t.Fatal("capture failed")
+	}
+	wire := append([]byte(nil), buf.Bytes()...)
+	br := bytes.NewReader(wire)
+	dc := &conn{r: bufio.NewReader(br)}
+	decode := func() {
+		br.Reset(wire)
+		dc.r.Reset(br)
+		for i := 0; i < 3; i++ {
+			m, err := dc.recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch i {
+			case 0:
+				if m.Manifest == nil || len(m.Manifest.Hashes) != 32 || m.Manifest.TotalBytes != 1<<20 {
+					t.Fatal("manifest mangled")
+				}
+			case 1:
+				if m.Have == nil || m.Have.Bits[0] != 0b101 {
+					t.Fatal("have mangled")
+				}
+			case 2:
+				if m.NeedMask == nil || m.NeedMask.Bits[0] != 42 {
+					t.Fatal("need mask mangled")
+				}
+			}
+		}
+	}
+	decode() // grow the decode scratch once
+	if avg := testing.AllocsPerRun(200, decode); avg != 0 {
+		t.Fatalf("delta decode allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestDeltaWarmAndPatchedRelaunch is the tentpole's unit-level
+// acceptance: a cold seeded launch populates every NM's chunk cache; an
+// unchanged relaunch streams zero chunks (the whole image is served from
+// caches, at near-control-plane egress); a one-chunk rebuild streams
+// exactly that chunk, costing at most fanout copies of its payload.
+func TestDeltaWarmAndPatchedRelaunch(t *testing.T) {
+	const n = 8
+	cfg := deltaMMConfig()
+	frags := chaosBinary / cfg.FragBytes
+	mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+		return NMConfig{CacheBytes: 8 << 20}
+	})
+
+	// Cold: everything streams, nothing saved.
+	repA, err := SubmitJob(mm.Addr(), deltaSpec(n, 0xfeed, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.Chunks != frags || repA.ChunksSent != frags || repA.BytesSaved != 0 {
+		t.Fatalf("cold launch: chunks=%d sent=%d saved=%d, want %d/%d/0",
+			repA.Chunks, repA.ChunksSent, repA.BytesSaved, frags, frags)
+	}
+	refDigest, ok := nms[0].ImageDigest(repA.JobID)
+	if !ok {
+		t.Fatal("node 0 has no image for the cold job")
+	}
+
+	// Warm: identical image, zero chunks on the wire. Both MM-direct
+	// subtrees are served entirely from caches.
+	repB, err := SubmitJob(mm.Addr(), deltaSpec(n, 0xfeed, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repB.ChunksSent != 0 {
+		t.Fatalf("warm relaunch streamed %d chunks, want 0", repB.ChunksSent)
+	}
+	if want := int64(2 * chaosBinary); repB.BytesSaved != want {
+		t.Fatalf("warm relaunch saved %d bytes, want %d (2 subtrees x image)", repB.BytesSaved, want)
+	}
+	if repB.SendBytes > 64<<10 {
+		t.Fatalf("warm relaunch cost %d egress bytes, want control-plane-sized (<64KiB)", repB.SendBytes)
+	}
+	for _, nm := range nms {
+		d, ok := nm.ImageDigest(repB.JobID)
+		if !ok || d != refDigest {
+			t.Fatalf("node %d warm image digest %+v (ok=%v), want %+v", nm.Node(), d, ok, refDigest)
+		}
+	}
+
+	// One-chunk rebuild: exactly one chunk in the union, at most two
+	// chunk payloads (one per MM subtree) plus control frames on the wire.
+	repC, err := SubmitJob(mm.Addr(), deltaSpec(n, 0xfeed, map[int]uint64{5: 0xbeef}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repC.ChunksSent != 1 {
+		t.Fatalf("1-chunk delta streamed %d chunks, want 1", repC.ChunksSent)
+	}
+	if limit := int64(2*cfg.FragBytes + 64<<10); repC.SendBytes > limit {
+		t.Fatalf("1-chunk delta cost %d egress bytes, want <=%d (2 chunk payloads + control)",
+			repC.SendBytes, limit)
+	}
+	var patched ImageDigest
+	for i, nm := range nms {
+		d, ok := nm.ImageDigest(repC.JobID)
+		if !ok {
+			t.Fatalf("node %d has no image for the patched job", nm.Node())
+		}
+		if d == refDigest {
+			t.Fatalf("node %d patched image digest equals the unpatched image", nm.Node())
+		}
+		if i == 0 {
+			patched = d
+		} else if d != patched {
+			t.Fatalf("node %d patched digest %+v differs from node 0's %+v", nm.Node(), d, patched)
+		}
+	}
+	// Cache counters flowed: every NM served the warm launches from cache.
+	for _, nm := range nms {
+		st, enabled := nm.CacheStats()
+		if !enabled || st.Hits == 0 || st.BytesSaved == 0 {
+			t.Fatalf("node %d cache stats %+v (enabled=%v), want hits", nm.Node(), st, enabled)
+		}
+	}
+}
+
+// TestDeltaPoisonedCacheFallsBack is the corrupt-cache satellite: a
+// disk-backed cache entry is poisoned between launches. The relaunch must
+// not advertise the bad chunk (Get re-verifies at splice time), fetch it
+// over the wire instead, and commit a byte-identical image — with no
+// replan, because corruption in a cache is a miss, not a fault.
+func TestDeltaPoisonedCacheFallsBack(t *testing.T) {
+	const n = 4
+	cfg := deltaMMConfig()
+	frags := chaosBinary / cfg.FragBytes
+	// Disk-backed caches AND a real spool: the relaunch materializes the
+	// image on disk and finalize re-reads every byte, so digest equality
+	// below is a true byte-identity check, not bookkeeping.
+	mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+		return NMConfig{CacheBytes: 8 << 20, CacheDir: t.TempDir(), SpoolDir: t.TempDir()}
+	})
+
+	spec := deltaSpec(n, 0xabcd, nil)
+	repA, err := SubmitJob(mm.Addr(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDigest, _ := nms[0].ImageDigest(repA.JobID)
+
+	// Poison chunk 3 in one NM's on-disk cache.
+	const victim, badChunk = 2, 3
+	_, hash, crc := deltaChunk(&spec, cfg.FragBytes, badChunk)
+	size := chunkSizeFor(&spec, cfg.FragBytes, badChunk)
+	if !nms[victim].cache.Poison(hash, crc, size) {
+		t.Fatalf("chunk %d not present in node %d's cache", badChunk, victim)
+	}
+
+	repB, err := SubmitJob(mm.Addr(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repB.Replans != 0 {
+		t.Fatalf("poisoned cache entry caused %d replans, want 0 (it must degrade to a miss)", repB.Replans)
+	}
+	if repB.ChunksSent != 1 {
+		t.Fatalf("relaunch streamed %d chunks, want exactly the poisoned one", repB.ChunksSent)
+	}
+	for _, nm := range nms {
+		d, ok := nm.ImageDigest(repB.JobID)
+		if !ok || d != refDigest {
+			t.Fatalf("node %d relaunch digest %+v (ok=%v), want byte-identical %+v",
+				nm.Node(), d, ok, refDigest)
+		}
+		if d.Frags != frags {
+			t.Fatalf("node %d holds %d chunks, want %d", nm.Node(), d.Frags, frags)
+		}
+	}
+	// The wire fetch repaired the cache: the entry verifies again.
+	if !nms[victim].cache.Contains(hash, crc, size) {
+		t.Fatalf("node %d cache entry for chunk %d not repopulated from the wire", victim, badChunk)
+	}
+}
+
+// TestChaosDeltaMidTransferKill kills an interior relay mid-*delta*
+// stream (fixed seed matrix, under -race in CI): caches are warmed by a
+// cold launch, a patched rebuild streams only the patched chunks, and the
+// victim dies partway through. Recovery must re-derive the need masks
+// from the survivors' HAVE ledgers — the warm chunks stay off the wire
+// across the replan — and the survivors must hold byte-identical images.
+func TestChaosDeltaMidTransferKill(t *testing.T) {
+	const n = 7
+	cfg := chaosMMConfig()
+	frags := chaosBinary / cfg.FragBytes
+	victim := treePositions(t, n, cfg.Fanout)["interior"]
+
+	// Rebuild the last 24 of 32 chunks, so the delta stream is long
+	// enough to contain every seed-chosen kill point.
+	patch := make(map[int]uint64)
+	for i := frags - 24; i < frags; i++ {
+		patch[i] = 0x9999
+	}
+
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("node%d-seed%d", victim, seed), func(t *testing.T) {
+			// The victim's parent link persists across jobs, so its frag
+			// counter spans both: 32 cold chunks, then 4..19 delta chunks.
+			killAt := frags + 4 + faultconn.NewRng(seed).Intn(16)
+			var victimNM atomic.Pointer[NM]
+			mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+				base := NMConfig{CacheBytes: 8 << 20}
+				if node != victim {
+					return base
+				}
+				base.WrapConn = func(c net.Conn) net.Conn {
+					plan := faultconn.NewPlan()
+					plan.CloseAtReadFrag = killAt
+					plan.OnFault = func(string) {
+						go func() {
+							if nm := victimNM.Load(); nm != nil {
+								nm.Close()
+							}
+						}()
+					}
+					return faultconn.Wrap(c, plan)
+				}
+				return base
+			})
+			victimNM.Store(nms[victim])
+
+			if _, err := SubmitJob(mm.Addr(), deltaSpec(n, 0x5eed, nil)); err != nil {
+				t.Fatalf("cold warmup launch failed: %v", err)
+			}
+			rep, err := SubmitJob(mm.Addr(), deltaSpec(n, 0x5eed, patch))
+			if err != nil {
+				t.Fatalf("delta launch did not recover from killing node %d at frag %d: %v",
+					victim, killAt, err)
+			}
+			if len(rep.Failed) != 1 || rep.Failed[0] != victim {
+				t.Fatalf("report names failed nodes %v, want [%d]", rep.Failed, victim)
+			}
+			if rep.Replans < 1 {
+				t.Fatalf("recovery happened without a replan? %+v", rep)
+			}
+			// The replan re-derived need from survivor HAVE ledgers: even
+			// with a full replay of the patched chunks, the 8 warm chunks
+			// never hit the wire again.
+			if max := 2 * len(patch); rep.ChunksSent > max {
+				t.Fatalf("delta recovery streamed %d chunks, want <=%d (warm chunks must stay cached)",
+					rep.ChunksSent, max)
+			}
+			if rep.BytesSaved == 0 {
+				t.Fatal("delta recovery reports zero bytes saved; HAVE ledgers not consulted")
+			}
+			assertSurvivorImages(t, nms, victim, rep.JobID, frags)
+		})
+	}
+}

@@ -9,8 +9,11 @@
 // The wrapper is frame-aware: it runs the livenet frame grammar
 // ('G' gob frames, 'F' frag frames with a 17-byte header carrying the
 // payload length at offset 13, 'A' fixed 17-byte acks, the fixed typed
-// control frames 'P'/'Q'/'S'/'T', and the varlen control frames
-// 'K'/'R'/'D' whose fixed part ends in a u16 error length) as a
+// control frames 'P'/'Q'/'S'/'T', the varlen control frames
+// 'K'/'R'/'D' whose fixed part ends in a u16 error length, and the
+// delta-transfer frames 'M'/'H'/'N' whose fixed part carries a tail
+// element count — u32 of 12-byte chunk records for a manifest, u16 of
+// 8-byte bitmap words for HAVE/need ledgers) as a
 // streaming state machine over both directions, so triggers land on
 // exact frame boundaries regardless of how the transport chunks
 // writes. Beyond the fragment triggers, CtlFaults drop, duplicate, or
@@ -106,8 +109,11 @@ const (
 	planAckFixedLen   = 10
 	replanAckFixedLen = 18
 	peerDownFixedLen  = 14
+	manifestFixedLen  = 28 // u32 chunk count at offset 24, 12-byte records follow
+	haveFixedLen      = 14 // u16 word count at offset 12, 8-byte words follow
+	needFixedLen      = 10 // u16 word count at offset 8, 8-byte words follow
 
-	scanHdrLen = replanAckFixedLen // widest fixed region buffered by the scanner
+	scanHdrLen = manifestFixedLen // widest fixed region buffered by the scanner
 )
 
 // ctlKindIdx maps a fixed-body control frame type byte to its ordinal
@@ -138,7 +144,9 @@ type scanner struct {
 
 	ctlKind   byte   // type byte of the fixed control frame being scanned
 	ctlCounts [4]int // per-kind ordinals for 'P','Q','S','T'
-	varElen   int    // offset of the u16 error length in the varlen fixed part
+	varElen   int    // offset of the tail-count field in the varlen fixed part
+	varWidth  int    // width of that count field (2 or 4 bytes)
+	varUnit   int    // bytes per counted tail element (1 for error strings)
 }
 
 type event struct {
@@ -184,11 +192,17 @@ func (s *scanner) step(b byte) event {
 			s.ctlKind = b
 			s.state, s.need = stCtl, n
 		case 'K':
-			s.state, s.got, s.need, s.varElen = stVarHdr, 0, planAckFixedLen, planAckFixedLen-2
+			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, planAckFixedLen, planAckFixedLen-2, 2, 1
 		case 'R':
-			s.state, s.got, s.need, s.varElen = stVarHdr, 0, replanAckFixedLen, replanAckFixedLen-2
+			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, replanAckFixedLen, replanAckFixedLen-2, 2, 1
 		case 'D':
-			s.state, s.got, s.need, s.varElen = stVarHdr, 0, peerDownFixedLen, peerDownFixedLen-2
+			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, peerDownFixedLen, peerDownFixedLen-2, 2, 1
+		case 'M':
+			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, manifestFixedLen, manifestFixedLen-4, 4, 12
+		case 'H':
+			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, haveFixedLen, haveFixedLen-2, 2, 8
+		case 'N':
+			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, needFixedLen, needFixedLen-2, 2, 8
 		default:
 			// Unknown byte: stay in stType. The real codec would error;
 			// the scanner just degrades to pass-through.
@@ -242,7 +256,13 @@ func (s *scanner) step(b byte) event {
 		s.got++
 		s.need--
 		if s.need == 0 {
-			n := int(binary.BigEndian.Uint16(s.hdr[s.varElen : s.varElen+2]))
+			var n int
+			if s.varWidth == 4 {
+				n = int(binary.BigEndian.Uint32(s.hdr[s.varElen : s.varElen+4]))
+			} else {
+				n = int(binary.BigEndian.Uint16(s.hdr[s.varElen : s.varElen+2]))
+			}
+			n *= s.varUnit
 			if n == 0 {
 				s.state = stType
 			} else {

@@ -3,11 +3,15 @@ package livenet
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/livenet/chunkcache"
+	"repro/internal/rng"
 )
 
 // Phase-named errors. A live launch fails in one of two timed phases —
@@ -142,6 +146,12 @@ type MM struct {
 	ctl        mmCtl
 	ctlExclude map[int]bool
 
+	// manifests caches the content-derived part of transfer manifests
+	// for seeded (content-addressed) images, keyed by content identity,
+	// so a warm relaunch skips the generate-and-hash pass over the whole
+	// image. Guarded by mu.
+	manifests map[manifestKey]*manifestData
+
 	// probes routes directed isolation-probe pongs by sequence number
 	// (transfer recovery and the heartbeat detector share the Pong
 	// path with distinct sequence ranges).
@@ -184,6 +194,54 @@ type probeRound struct {
 	got map[int]bool
 }
 
+// manifestData is the content-derived part of a transfer manifest. For
+// seeded images it is cacheable across jobs: the same (seed, patch,
+// size, chunking) always produces the same chunks.
+type manifestData struct {
+	seed     uint64
+	patch    map[int]uint64
+	hashes   []uint64
+	crcs     []uint32
+	imageCRC uint32
+	total    int64
+}
+
+// manifestKey is the cache key for manifestData. The patch map is folded
+// to a fingerprint for hashability; the stored patch copy breaks the
+// (astronomically unlikely) fingerprint collision on lookup.
+type manifestKey struct {
+	seed    uint64
+	patchFP uint64
+	bytes   int
+	frag    int
+}
+
+func patchFingerprint(p map[int]uint64) uint64 {
+	h := uint64(len(p))
+	keys := make([]int, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		h = rng.Mix64(h ^ uint64(k)*rng.GoldenGamma)
+		h = rng.Mix64(h ^ p[k])
+	}
+	return h
+}
+
+func patchEqual(a, b map[int]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
 // liveJob is the MM-side state of one job in flight.
 type liveJob struct {
 	id    int
@@ -206,6 +264,20 @@ type liveJob struct {
 	received map[int]int // node -> local progress reported in ReplanAck
 	cond     *sync.Cond
 	fail     error
+
+	// Delta-transfer state. man is the job's manifest; haves collects
+	// each direct child's folded subtree HAVE ledger for the current
+	// epoch, needs the per-subtree complement (what must flow down each
+	// link), and sendList the ascending union of chunks at least one
+	// subtree is missing. chunksSent counts chunks streamed across all
+	// epochs (replayed chunks count again); bytesSaved is the payload the
+	// ledgers let the MM keep off the wire, summed per link.
+	man        *manifestData
+	haves      map[int][]uint64
+	needs      map[int][]uint64
+	sendList   []int
+	chunksSent int
+	bytesSaved int64
 
 	// peerDown accumulates NM reports of unreachable relay children
 	// (failure-detector evidence consumed by diagnose).
@@ -240,6 +312,7 @@ func NewMM(addr string, cfg MMConfig) (*MM, error) {
 		ln:         ln,
 		nms:        make(map[int]*nmLink),
 		jobs:       make(map[int]*liveJob),
+		manifests:  make(map[manifestKey]*manifestData),
 		probes:     make(map[int64]*probeRound),
 		ctlExclude: make(map[int]bool),
 	}
@@ -411,6 +484,8 @@ func (mm *MM) serveNM(c *conn, reg *Register) {
 			mm.onPlanAck(m.PlanAck)
 		case m.ReplanAck != nil:
 			mm.onReplanAck(m.ReplanAck)
+		case m.Have != nil:
+			mm.onHave(m.Have)
 		case m.PeerDown != nil:
 			mm.onPeerDown(m.PeerDown)
 		case m.Term != nil:
@@ -622,19 +697,26 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	sort.Ints(failed)
 	timeline := fmt.Sprintf("send=%v execute=%v nodes=%d pes=%d fanout=%d",
 		send, total-send, len(nodes), len(nodes)*spec.PEsPerNode, mm.cfg.Fanout)
+	if j.bytesSaved > 0 {
+		timeline += fmt.Sprintf(" delta: streamed %d/%d chunks, %d B served from caches",
+			j.chunksSent, j.frags, j.bytesSaved)
+	}
 	if len(failed) > 0 {
 		timeline += fmt.Sprintf(" failed=%v replans=%d recovery=%v", failed, j.replans, j.recovery)
 	}
 	return Report{
-		JobID:     j.id,
-		Send:      send,
-		Execute:   total - send,
-		Total:     total,
-		SendBytes: j.sendBytes,
-		Failed:    failed,
-		Replans:   j.replans,
-		Recovery:  j.recovery,
-		Timeline:  timeline,
+		JobID:      j.id,
+		Send:       send,
+		Execute:    total - send,
+		Total:      total,
+		SendBytes:  j.sendBytes,
+		Failed:     failed,
+		Replans:    j.replans,
+		Recovery:   j.recovery,
+		Chunks:     j.frags,
+		ChunksSent: j.chunksSent,
+		BytesSaved: j.bytesSaved,
+		Timeline:   timeline,
 	}, nil
 }
 
@@ -662,18 +744,25 @@ func (mm *MM) rewireTree(j *liveJob) {
 //  1. Plan: every node is told its relay children and acks once it has
 //     dialed them, so no fragment can reach a node before that node
 //     knows whom to relay to.
-//  2. Stream: each fragment is generated once into a pooled buffer,
-//     CRC'd once, and written to the MM's direct children only; NMs
-//     relay onward and aggregate acks, so the MM's window check sees one
-//     cumulative credit per subtree. Fragment i goes out only after
-//     every subtree has acknowledged fragment i-Slots (the live
-//     analogue of the COMPARE-AND-WRITE flow control over the remote
-//     receive queues).
-//  3. Recover (only on liveness failures): diagnose which nodes are
+//  2. Manifest round: the MM multicasts the per-chunk content manifest
+//     down the tree; every node splices what its chunk cache holds and
+//     the per-subtree HAVE ledgers fold back up, so the MM learns the
+//     set-union of missing chunks in one O(depth) round with O(fanout)
+//     egress. Each link is then announced its need mask.
+//  3. Stream: each missing chunk is generated once into a pooled buffer
+//     and written only to the subtrees that miss it; NMs relay onward
+//     (again selectively) and aggregate acks, so the MM's window check
+//     sees one cumulative credit per subtree. A chunk goes out only
+//     after every subtree has acknowledged the chunk a window behind it
+//     (the live analogue of the COMPARE-AND-WRITE flow control over the
+//     remote receive queues).
+//  4. Recover (only on liveness failures): diagnose which nodes are
 //     actually dead (accumulated PeerDown evidence plus directed
 //     isolation probes over the control links), exclude them, rewire
-//     the survivors with a Replan round, and replay the stream from the
-//     slowest survivor's confirmed progress. Fragments are regenerated
+//     the survivors with a Replan round, and re-run the manifest round
+//     under the new epoch — the survivors' ledgers re-derive the
+//     remaining need from their actual splice and cache state, so the
+//     replay streams only what is still missing. Chunks are regenerated
 //     deterministically, so the send log is the generator plus an
 //     index. Content failures (CRC rejections) are never retried.
 func (mm *MM) transfer(j *liveJob) error {
@@ -683,10 +772,14 @@ func (mm *MM) transfer(j *liveJob) error {
 		n = 1
 	}
 	j.frags = n
+	j.man = mm.buildManifest(j)
 
 	err := mm.plan(j)
 	if err == nil {
-		err = mm.stream(j, 0)
+		err = mm.manifestRound(j)
+	}
+	if err == nil {
+		err = mm.stream(j)
 	}
 	for replans := 0; err != nil; replans++ {
 		var reject rejectError
@@ -701,7 +794,7 @@ func (mm *MM) transfer(j *liveJob) error {
 		if len(dead) == 0 {
 			return err // nothing provably dead: surface the original failure
 		}
-		resume, rerr := mm.replan(j, dead)
+		_, rerr := mm.replan(j, dead)
 		if rerr != nil {
 			err = rerr // may itself be recoverable; loop diagnoses again
 			j.recovery += time.Since(t0)
@@ -709,7 +802,10 @@ func (mm *MM) transfer(j *liveJob) error {
 		}
 		j.replans++
 		j.recovery += time.Since(t0)
-		err = mm.stream(j, resume)
+		err = mm.manifestRound(j)
+		if err == nil {
+			err = mm.stream(j)
+		}
 	}
 
 	j.mu.Lock()
@@ -740,11 +836,196 @@ func (mm *MM) plan(j *liveJob) error {
 	return mm.awaitPlans(j, time.Now().Add(mm.cfg.AckTimeout))
 }
 
-// stream pushes fragments [from, frags) down the current tree and
-// waits for the window to drain.
-func (mm *MM) stream(j *liveJob, from int) error {
+// buildManifest computes (or retrieves) the job's transfer manifest: the
+// per-chunk content hashes and CRCs plus the whole-image digest. For
+// seeded (content-addressed) images the result is cached MM-side keyed
+// by content identity, so a warm relaunch skips the generate-and-hash
+// pass over the whole image and opens at near-control-plane cost.
+func (mm *MM) buildManifest(j *liveJob) *manifestData {
+	frag := mm.cfg.FragBytes
+	var key manifestKey
+	cacheable := j.spec.ImageSeed != 0
+	if cacheable {
+		key = manifestKey{seed: j.spec.ImageSeed, patchFP: patchFingerprint(j.spec.ImagePatch),
+			bytes: j.spec.BinaryBytes, frag: frag}
+		mm.mu.Lock()
+		d := mm.manifests[key]
+		mm.mu.Unlock()
+		if d != nil && patchEqual(d.patch, j.spec.ImagePatch) {
+			return d
+		}
+	}
+	d := &manifestData{
+		seed:   j.spec.ImageSeed,
+		hashes: make([]uint64, j.frags),
+		crcs:   make([]uint32, j.frags),
+	}
+	for i := 0; i < j.frags; i++ {
+		size := chunkSizeFor(&j.spec, frag, i)
+		data := grabFragBuf(size)
+		fillChunkInto(&j.spec, j.id, i, data)
+		d.hashes[i] = chunkcache.Hash64(data)
+		d.crcs[i] = fragCRC(data)
+		d.imageCRC = crc32.Update(d.imageCRC, crc32.IEEETable, data)
+		d.total += int64(size)
+		releaseFragBuf(data)
+	}
+	if cacheable {
+		d.patch = make(map[int]uint64, len(j.spec.ImagePatch))
+		for k, v := range j.spec.ImagePatch {
+			d.patch[k] = v
+		}
+		mm.mu.Lock()
+		if len(mm.manifests) >= 16 {
+			// Tiny bound, rarely hit: images come from a handful of seeds.
+			mm.manifests = make(map[manifestKey]*manifestData)
+		}
+		mm.manifests[key] = d
+		mm.mu.Unlock()
+	}
+	return d
+}
+
+// chunkSizeFor is the byte length of chunk i under the given chunking —
+// the floor of 1 keeps zero-byte jobs streaming one sentinel chunk.
+func chunkSizeFor(spec *JobSpec, frag, i int) int {
+	size := spec.BinaryBytes - i*frag
+	if size > frag {
+		size = frag
+	}
+	if size <= 0 {
+		size = 1
+	}
+	return size
+}
+
+// fillChunkInto generates chunk i's bytes: seeded tile content for
+// content-addressed images (stable across jobs, so caches hit on
+// relaunch), the legacy job-keyed ramp otherwise.
+func fillChunkInto(spec *JobSpec, job, i int, b []byte) {
+	if spec.ImageSeed != 0 {
+		seededFragInto(b, chunkSeed(spec, i), i)
+	} else {
+		fragPatternInto(b, job, i)
+	}
+}
+
+// manifestRound opens one streaming epoch of the delta path: multicast
+// the manifest down the tree, wait for every direct child's folded HAVE
+// ledger, derive each subtree's need mask and the union send list, and
+// announce the masks down the tree. After a replan the round simply runs
+// again under the new epoch: the survivors' ledgers re-derive what is
+// still missing from their actual splice and cache state.
+func (mm *MM) manifestRound(j *liveJob) error {
 	j.mu.Lock()
 	children := append([]*nmLink(nil), j.children...)
+	epoch := j.epoch
+	j.haves = make(map[int][]uint64)
+	j.mu.Unlock()
+
+	m := &Manifest{Job: j.id, Epoch: epoch, ChunkBytes: mm.cfg.FragBytes,
+		ImageCRC: j.man.imageCRC, TotalBytes: j.man.total,
+		Hashes: j.man.hashes, CRCs: j.man.crcs}
+	for _, link := range children {
+		if err := link.c.send(Message{Manifest: m}); err != nil {
+			return downError{node: link.node, cause: fmt.Sprintf("manifest write: %v", err)}
+		}
+	}
+	if err := mm.awaitHaves(j, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
+		return err
+	}
+
+	j.mu.Lock()
+	n := j.frags
+	j.needs = make(map[int][]uint64)
+	union := make([]uint64, bitWords(n))
+	for _, link := range children {
+		have := j.haves[link.node]
+		need := make([]uint64, bitWords(n))
+		for i := 0; i < n; i++ {
+			if !maskGet(have, i) {
+				bitSet(need, i)
+				bitSet(union, i)
+			} else {
+				j.bytesSaved += int64(chunkSizeFor(&j.spec, mm.cfg.FragBytes, i))
+			}
+		}
+		j.needs[link.node] = need
+	}
+	j.sendList = j.sendList[:0]
+	for i := 0; i < n; i++ {
+		if bitGet(union, i) {
+			j.sendList = append(j.sendList, i)
+		}
+	}
+	j.chunksSent += len(j.sendList)
+	needs := j.needs
+	j.mu.Unlock()
+
+	for _, link := range children {
+		msg := Message{NeedMask: &NeedMask{Job: j.id, Epoch: epoch, Bits: needs[link.node]}}
+		if err := link.c.send(msg); err != nil {
+			return downError{node: link.node, cause: fmt.Sprintf("need-mask write: %v", err)}
+		}
+	}
+	return nil
+}
+
+// awaitHaves blocks until every direct child reported its subtree's HAVE
+// ledger for the current epoch; on timeout the error names the silent
+// subtree roots.
+func (mm *MM) awaitHaves(j *liveJob, deadline time.Time) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if j.fail != nil {
+			return j.fail
+		}
+		missing := ""
+		for _, link := range j.children {
+			if _, ok := j.haves[link.node]; !ok {
+				if missing != "" {
+					missing += ", "
+				}
+				missing += fmt.Sprintf("%d", link.node)
+			}
+		}
+		if missing == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: job %d: chunk ledger (HAVE) unreported by nodes %s",
+				ErrTransferTimeout, j.id, missing)
+		}
+		t := time.AfterFunc(100*time.Millisecond, func() { j.cond.Broadcast() })
+		j.cond.Wait()
+		t.Stop()
+	}
+}
+
+// onHave records a direct child's folded subtree HAVE ledger for the
+// current epoch.
+func (mm *MM) onHave(h *Have) {
+	j := mm.jobByID(h.Job)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if h.Epoch == j.epoch && j.haves != nil {
+		j.haves[h.Node] = append([]uint64(nil), h.Bits...)
+	}
+	j.cond.Broadcast()
+}
+
+// stream pushes the current epoch's send list (the union of missing
+// chunks, ascending) down the tree, writing each chunk only to the
+// subtrees whose need mask claims it, and waits for the window to drain.
+func (mm *MM) stream(j *liveJob) error {
+	j.mu.Lock()
+	children := append([]*nmLink(nil), j.children...)
+	needs := j.needs
+	list := append([]int(nil), j.sendList...)
 	nodeCount := len(j.nodes)
 	for _, link := range children {
 		if _, seen := j.egressBase[link.c]; !seen {
@@ -759,27 +1040,27 @@ func (mm *MM) stream(j *liveJob, from int) error {
 	// the configured per-hop depth by the tree depth or a deep tree would
 	// be credit-starved: with Slots in flight over a depth-d relay chain,
 	// d of them are resident in the pipe before the first cumulative ack
-	// can even form.
+	// can even form. Cumulative acks advance through cached spans without
+	// wire traffic, so pacing by the send list position is exact.
 	window := mm.cfg.Slots * treeDepth(nodeCount, mm.cfg.Fanout)
 	frag := mm.cfg.FragBytes
-	for i := from; i < j.frags; i++ {
-		if err := mm.awaitCredit(j, i-window+1, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
-			return err
+	for pos, i := range list {
+		if pos >= window {
+			if err := mm.awaitCredit(j, list[pos-window]+1, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
+				return err
+			}
 		}
-		size := j.spec.BinaryBytes - i*frag
-		if size > frag {
-			size = frag
-		}
-		if size <= 0 {
-			size = 1
-		}
+		size := chunkSizeFor(&j.spec, frag, i)
 		data := grabFragBuf(size)
-		fragPatternInto(data, j.id, i)
-		f := &Frag{Job: j.id, Index: i, Last: i == j.frags-1, Data: data, CRC: fragCRC(data)}
+		fillChunkInto(&j.spec, j.id, i, data)
+		f := &Frag{Job: j.id, Index: i, Last: i == j.frags-1, Data: data, CRC: j.man.crcs[i]}
 		if mm.testCorrupt != nil {
 			mm.testCorrupt(j.id, i, data)
 		}
 		for _, link := range children {
+			if !maskGet(needs[link.node], i) {
+				continue // the whole subtree already holds this chunk
+			}
 			if err := link.c.sendFrag(f); err != nil {
 				releaseFragBuf(data)
 				return downError{node: link.node, cause: fmt.Sprintf("fragment %d write: %v", i, err)}
@@ -787,11 +1068,13 @@ func (mm *MM) stream(j *liveJob, from int) error {
 		}
 		releaseFragBuf(data)
 	}
-	// Drain: wait until every subtree acknowledged every fragment. One
-	// AckTimeout, started when the last fragment left, covers the whole
-	// tail — the budget is not restarted on partial progress, so a
-	// stalled node cannot stack the per-fragment timeout on top of the
-	// final wait.
+	// Drain: wait until every subtree acknowledged every fragment — on a
+	// fully warm launch (empty send list) this is the whole transfer: the
+	// manifest-time cache drains advance every node's cumulative ack to
+	// the end without any payload on the wire. One AckTimeout, started
+	// when the last fragment left, covers the whole tail — the budget is
+	// not restarted on partial progress, so a stalled node cannot stack
+	// the per-fragment timeout on top of the final wait.
 	return mm.awaitCredit(j, j.frags, time.Now().Add(mm.cfg.AckTimeout))
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/livenet/chunkcache"
 	"repro/internal/workload"
 )
 
@@ -24,6 +25,18 @@ type NMConfig struct {
 	// aborted or failed transfer can never leave a half-written binary
 	// behind. Empty keeps the image in memory only (the RAM-disk model).
 	SpoolDir string
+	// CacheBytes, when positive, gives the NM a bounded content-addressed
+	// chunk cache (see internal/livenet/chunkcache): committed image
+	// chunks are retained up to this budget and advertised in HAVE
+	// ledgers, so a relaunch of an unchanged (or slightly rebuilt) image
+	// streams only the missing chunks. Zero disables caching; every
+	// transfer then behaves like a cold launch.
+	CacheBytes int64
+	// CacheDir, when set with CacheBytes, backs the chunk cache with one
+	// file per chunk under this directory instead of holding chunks in
+	// memory. Corrupt or truncated entries are detected on read and fall
+	// back to the wire.
+	CacheDir string
 	// Dialer overrides how the NM opens its connections (to the MM and
 	// to relay children); nil means TCP with retry/backoff. WrapConn,
 	// when set, interposes on every established connection, inbound and
@@ -44,6 +57,7 @@ type NM struct {
 	cfg    NMConfig
 	c      *conn
 	peerLn net.Listener
+	cache  *chunkcache.Cache // nil when caching is disabled
 
 	mu      sync.Mutex
 	bins    map[int]*binState   // job -> receive state
@@ -84,8 +98,22 @@ type binState struct {
 	crc      uint32 // running CRC-32 over the concatenated image
 	complete bool
 
-	// Spool state (SpoolDir set): fragments append to the temp file,
-	// which is renamed to final only after the whole image verified.
+	// Delta-transfer state. man is the job's manifest (cloned out of
+	// conn scratch); written marks which chunks are spliced into the
+	// image so far — from the cache at manifest time or from the wire —
+	// and wcount counts them. received remains the in-order prefix of
+	// written (what cumulative acks vouch for). expect is the parent's
+	// NeedMask: the authoritative set of chunks that will arrive on the
+	// wire this epoch.
+	man      *Manifest
+	written  []uint64
+	wcount   int
+	expect   []uint64
+	draining bool // manifest-time cache drain in flight; defer the HAVE fold
+
+	// Spool state (SpoolDir set): chunks are written at their offsets in
+	// a job-private temp file that is renamed into place only once the
+	// full image has re-verified against the manifest digest.
 	spool *os.File
 	tmp   string
 	final string
@@ -106,9 +134,10 @@ type ImageDigest struct {
 type relayState struct {
 	frags    int
 	epoch    int   // tree generation; bumped by Replan, stamped on acks
-	parent   *conn // conn fragments arrive on; acks go back up it
+	parent   *conn // conn fragments/manifests arrive on; acks go back up it
 	children []*relayChild
-	sentUp   int // cumulative credit already propagated to the parent
+	sentUp   int  // cumulative credit already propagated to the parent
+	haveSent bool // this epoch's aggregated HAVE ledger already went up
 	failed   bool
 }
 
@@ -117,8 +146,9 @@ type relayChild struct {
 	node  int
 	addr  string
 	c     *conn
-	acked int  // cumulative credit received from this subtree
-	down  bool // link declared dead (write failed and one redial failed)
+	acked int      // cumulative credit received from this subtree
+	have  []uint64 // the subtree's aggregated HAVE ledger (nil until reported)
+	down  bool     // link declared dead (write failed and one redial failed)
 }
 
 // gateRow couples a job's process gate with its gang timeslot row.
@@ -150,12 +180,20 @@ func NewNMConfig(addr string, node, cpus int, cfg NMConfig) (*NM, error) {
 			return nil, fmt.Errorf("livenet: spool dir: %w", err)
 		}
 	}
+	var cache *chunkcache.Cache
+	if cfg.CacheBytes > 0 {
+		cache, err = chunkcache.New(cfg.CacheBytes, cfg.CacheDir)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("livenet: chunk cache: %w", err)
+		}
+	}
 	c, err := dialWith(cfg.Dialer, cfg.WrapConn, addr)
 	if err != nil {
 		ln.Close()
 		return nil, err
 	}
-	nm := &NM{node: node, cpus: cpus, cfg: cfg, c: c, peerLn: ln,
+	nm := &NM{node: node, cpus: cpus, cfg: cfg, c: c, peerLn: ln, cache: cache,
 		bins:    make(map[int]*binState),
 		relays:  make(map[int]*relayState),
 		digests: make(map[int]ImageDigest),
@@ -271,6 +309,10 @@ func (nm *NM) loop() {
 		switch {
 		case m.Frag != nil:
 			nm.handleFrag(m.Frag, nm.c)
+		case m.Manifest != nil:
+			nm.onManifest(m.Manifest, nm.c)
+		case m.NeedMask != nil:
+			nm.onNeedMask(m.NeedMask)
 		case m.Plan != nil:
 			nm.onPlan(m.Plan)
 		case m.Replan != nil:
@@ -338,6 +380,10 @@ func (nm *NM) servePeer(pc *conn) {
 		switch {
 		case m.Frag != nil:
 			nm.handleFrag(m.Frag, pc)
+		case m.Manifest != nil:
+			nm.onManifest(m.Manifest, pc)
+		case m.NeedMask != nil:
+			nm.onNeedMask(m.NeedMask)
 		case m.Ping != nil:
 			nm.onCtlPing(m.Ping, pc)
 		case m.Strobe != nil:
@@ -394,8 +440,9 @@ func (nm *NM) onReplan(p *Replan) {
 	rs.frags = p.Frags
 	rs.epoch = p.Epoch
 	rs.children = kids
-	rs.parent = nil // re-binds on the first fragment of the new epoch
+	rs.parent = nil // re-binds on the new epoch's manifest (or first fragment)
 	rs.sentUp = 0
+	rs.haveSent = false // the new epoch runs a fresh HAVE round
 	received := 0
 	if st := nm.bins[p.Job]; st != nil {
 		received = st.received
@@ -516,6 +563,10 @@ func (nm *NM) pumpChildAcks(cc *conn) {
 			nm.onCtlStrobeAck(m.StrobeAck)
 			continue
 		}
+		if m.Have != nil {
+			nm.onChildHave(m.Have, cc)
+			continue
+		}
 		a := m.FragAck
 		if a == nil {
 			continue
@@ -572,13 +623,21 @@ func (nm *NM) handleFrag(f *Frag, from *conn) {
 	if rs.parent == nil {
 		rs.parent = from
 	}
+	st := nm.bins[f.Job]
+	if st == nil {
+		st = &binState{}
+		nm.bins[f.Job] = st
+	}
 	children := rs.children
 	epoch := rs.epoch
 	drop := nm.testDropAcks.Load()
+	manifest := st.man != nil
 	nm.mu.Unlock()
 
 	// Relay downstream from the same buffer: one encode at the MM serves
-	// the entire tree.
+	// the entire tree. Under a manifest, a chunk is forwarded only to the
+	// subtrees that reported missing it — the selective half of the delta
+	// path.
 	if len(children) > 0 {
 		forward := f
 		if nm.testCorruptRelay != nil {
@@ -592,6 +651,9 @@ func (nm *NM) handleFrag(f *Frag, from *conn) {
 		}
 		relayed := 0
 		for _, rc := range children {
+			if manifest && nm.childHasChunk(rc, f.Index) {
+				continue
+			}
 			if nm.relayFrag(f.Job, rc, forward) {
 				relayed++
 			}
@@ -601,15 +663,17 @@ func (nm *NM) handleFrag(f *Frag, from *conn) {
 		nm.mu.Unlock()
 	}
 
-	// The CRC and content checks run in place against the deterministic
-	// pattern — no per-fragment allocation (TestFragCheckAllocs).
+	if manifest {
+		nm.writeManifestChunk(f, from, epoch, drop)
+		return
+	}
+
+	// Legacy path (no manifest announced — robustness only, since every
+	// transfer now opens with one): the CRC and content checks run in
+	// place against the deterministic pattern — no per-fragment
+	// allocation (TestFragCheckAllocs).
 	ok := fragCRC(f.Data) == f.CRC && fragPatternCheck(f.Job, f.Index, f.Data)
 	nm.mu.Lock()
-	st := nm.bins[f.Job]
-	if st == nil {
-		st = &binState{}
-		nm.bins[f.Job] = st
-	}
 	switch {
 	case !ok:
 		// Corrupt: nacked below.
@@ -656,6 +720,423 @@ func (nm *NM) handleFrag(f *Frag, from *conn) {
 		return
 	}
 	nm.advanceAck(f.Job)
+}
+
+// onManifest opens (or re-opens, after a replan) a job's delta transfer.
+// It binds the ack path, relays the manifest down the subtree, splices
+// every chunk the local cache can vouch for straight into the image, and
+// folds the resulting HAVE ledger up the tree — immediately for leaves,
+// once every child has reported for interior nodes. A fully cache-warm
+// node may never see a fragment, so everything the fragment path would
+// establish (the parent binding, the ack stream, even image completion)
+// must be able to happen here.
+//
+// A HAVE bit is only ever set for bytes that are already verified and in
+// place: the drain goes cache→Get (which re-verifies content)→splice, so
+// a poisoned or truncated cache entry simply fails Get, is never
+// advertised, and arrives by wire instead — corruption degrades to a
+// cache miss, never into the image or a stalled transfer.
+func (nm *NM) onManifest(m *Manifest, from *conn) {
+	nm.mu.Lock()
+	rs := nm.relays[m.Job]
+	if rs == nil || m.Epoch != rs.epoch {
+		// No plan for this job, or a manifest from a superseded epoch
+		// raced a replan. Drop it: the MM's HAVE timeout covers the gap.
+		nm.mu.Unlock()
+		return
+	}
+	rs.parent = from
+	st := nm.bins[m.Job]
+	if st == nil {
+		st = &binState{}
+		nm.bins[m.Job] = st
+	}
+	if st.man == nil {
+		st.man = m.clone()
+		st.written = make([]uint64, bitWords(len(m.Hashes)))
+	}
+	man := st.man
+	st.expect = nil // the new epoch's NeedMask follows
+	st.draining = true
+	children := rs.children
+	nm.mu.Unlock()
+
+	// Relay first, straight from conn scratch (sendManifest copies to the
+	// wire), so the subtree's cache drains overlap our own.
+	for _, rc := range children {
+		nm.relayMsg(m.Job, rc, Message{Manifest: m})
+	}
+
+	var failIdx = -1
+	nm.mu.Lock()
+	if nm.cache != nil {
+		spool := nm.cfg.SpoolDir != ""
+		for i := range man.Hashes {
+			if bitGet(st.written, i) {
+				continue
+			}
+			size := manifestChunkLen(man, i)
+			if spool {
+				// Spool mode needs the bytes: fetch (Get re-verifies disk
+				// entries) and splice them at the chunk's image offset.
+				buf := grabFragBuf(size)
+				if nm.cache.Get(man.Hashes[i], man.CRCs[i], size, buf) &&
+					nm.spliceChunk(m.Job, st, i, buf[:size]) == nil {
+					bitSet(st.written, i)
+					st.wcount++
+				}
+				releaseFragBuf(buf)
+				continue
+			}
+			// Memory mode never materializes the image (the digest is
+			// verified by CRC combination at finalize), so a cache probe
+			// suffices: Use charges the hit and re-verifies disk-backed
+			// entries without copying bytes out. This is what makes a
+			// fully-warm launch O(chunks), not O(bytes).
+			if nm.cache.Use(man.Hashes[i], man.CRCs[i], size) {
+				bitSet(st.written, i)
+				st.wcount++
+			}
+		}
+	}
+	st.advanceReceived()
+	if st.wcount == len(man.Hashes) && !st.complete {
+		if err := nm.finalizeImageLocked(m.Job, st); err != nil {
+			rs.failed = true
+			failIdx = len(man.Hashes) - 1
+		}
+	}
+	st.draining = false
+	parent := rs.parent
+	epoch := rs.epoch
+	nm.mu.Unlock()
+	if failIdx >= 0 {
+		parent.sendAck(&FragAck{Job: m.Job, Index: failIdx, Node: nm.node, Epoch: epoch, OK: false})
+		return
+	}
+	nm.foldHave(m.Job)
+	nm.advanceAck(m.Job)
+}
+
+// onChildHave folds one child subtree's HAVE report into this node's
+// ledger: record it on the matching link — it doubles as the selective
+// relay filter — and send the aggregate up if this completes the fold.
+func (nm *NM) onChildHave(h *Have, cc *conn) {
+	nm.mu.Lock()
+	rs := nm.relays[h.Job]
+	if rs == nil || h.Epoch != rs.epoch {
+		nm.mu.Unlock()
+		return
+	}
+	for _, rc := range rs.children {
+		if rc.c == cc {
+			rc.have = append(rc.have[:0], h.Bits...)
+		}
+	}
+	nm.mu.Unlock()
+	nm.foldHave(h.Job)
+}
+
+// foldHave sends this subtree's aggregated HAVE ledger up once the local
+// splice state and every live child's report are in: bit i is set iff
+// every node in the subtree holds chunk i. The AND-fold is the dual of
+// the control plane's pong ledgers, which aggregate absence by OR — same
+// O(depth) round, O(fanout) egress per node.
+func (nm *NM) foldHave(job int) {
+	nm.mu.Lock()
+	rs := nm.relays[job]
+	st := nm.bins[job]
+	if rs == nil || st == nil || st.man == nil || st.draining || rs.haveSent || rs.parent == nil {
+		nm.mu.Unlock()
+		return
+	}
+	for _, rc := range rs.children {
+		if rc.have == nil && !rc.down {
+			nm.mu.Unlock()
+			return // a subtree report is still outstanding
+		}
+	}
+	bits := make([]uint64, len(st.written))
+	copy(bits, st.written)
+	for _, rc := range rs.children {
+		if rc.down {
+			// A dead child cannot vouch for anything: claim nothing, and
+			// let the MM's recovery path rebuild the subtree.
+			for i := range bits {
+				bits[i] = 0
+			}
+			break
+		}
+		for i := range bits {
+			if i < len(rc.have) {
+				bits[i] &= rc.have[i]
+			} else {
+				bits[i] = 0
+			}
+		}
+	}
+	rs.haveSent = true
+	parent := rs.parent
+	epoch := rs.epoch
+	nm.mu.Unlock()
+	parent.send(Message{Have: &Have{Job: job, Node: nm.node, Epoch: epoch, Bits: bits}})
+}
+
+// onNeedMask records the parent's announcement of which chunks will
+// arrive on this link during the epoch and forwards each child its own
+// mask (the complement of the child's HAVE report). A chunk that is
+// neither announced nor already in place can never be completed — that
+// means our HAVE claim and the parent's plan disagree — so nack now
+// rather than stall the whole transfer window out.
+func (nm *NM) onNeedMask(n *NeedMask) {
+	nm.mu.Lock()
+	rs := nm.relays[n.Job]
+	st := nm.bins[n.Job]
+	if rs == nil || st == nil || st.man == nil || n.Epoch != rs.epoch {
+		nm.mu.Unlock()
+		return
+	}
+	st.expect = append(st.expect[:0], n.Bits...)
+	nchunks := len(st.man.Hashes)
+	stuck := -1
+	for i := 0; i < nchunks; i++ {
+		if !bitGet(st.written, i) && !maskGet(st.expect, i) {
+			stuck = i
+			break
+		}
+	}
+	type childMask struct {
+		rc   *relayChild
+		bits []uint64
+	}
+	var kids []childMask
+	for _, rc := range rs.children {
+		need := make([]uint64, bitWords(nchunks))
+		for i := 0; i < nchunks; i++ {
+			if !maskGet(rc.have, i) {
+				bitSet(need, i)
+			}
+		}
+		kids = append(kids, childMask{rc, need})
+	}
+	if stuck >= 0 {
+		rs.failed = true
+	}
+	parent := rs.parent
+	epoch := rs.epoch
+	nm.mu.Unlock()
+	for _, k := range kids {
+		nm.relayMsg(n.Job, k.rc, Message{NeedMask: &NeedMask{Job: n.Job, Epoch: epoch, Bits: k.bits}})
+	}
+	if stuck >= 0 && parent != nil {
+		parent.sendAck(&FragAck{Job: n.Job, Index: stuck, Node: nm.node, Epoch: epoch, OK: false})
+	}
+}
+
+// writeManifestChunk verifies one wire chunk against the manifest —
+// length, CRC, and content hash — splices it at its offset, and advances
+// the in-order ack pointer across any cached spans it completes. Verified
+// chunks also populate the cache, so the next launch of the same content
+// skips the wire entirely.
+func (nm *NM) writeManifestChunk(f *Frag, from *conn, epoch int, drop bool) {
+	nm.mu.Lock()
+	st := nm.bins[f.Job]
+	rs := nm.relays[f.Job]
+	man := st.man
+	nchunks := len(man.Hashes)
+	var hash uint64
+	ok := f.Index >= 0 && f.Index < nchunks &&
+		len(f.Data) == manifestChunkLen(man, f.Index) &&
+		fragCRC(f.Data) == f.CRC && f.CRC == man.CRCs[f.Index]
+	if ok {
+		hash = chunkcache.Hash64(f.Data)
+		ok = hash == man.Hashes[f.Index]
+	}
+	switch {
+	case !ok:
+		// Corrupt or misdirected: nacked below.
+	case bitGet(st.written, f.Index):
+		// Duplicate — a replayed stream after recovery, or a chunk the
+		// cache already supplied. Fall through to re-ack so the new
+		// topology's cumulative credit re-primes, but do not rewrite.
+	default:
+		if nm.spliceChunk(f.Job, st, f.Index, f.Data) != nil {
+			ok = false // local write failure: this node nacks itself
+			break
+		}
+		bitSet(st.written, f.Index)
+		st.wcount++
+		nm.fragsWritten++
+		st.advanceReceived()
+		if nm.cache != nil {
+			nm.cache.Put(hash, f.CRC, f.Data)
+		}
+		if st.wcount == nchunks {
+			if err := nm.finalizeImageLocked(f.Job, st); err != nil {
+				ok = false
+			}
+		}
+	}
+	if !ok && rs != nil {
+		rs.failed = true
+	}
+	nm.mu.Unlock()
+	releaseFragBuf(f.Data)
+	if drop {
+		return
+	}
+	if !ok {
+		from.sendAck(&FragAck{Job: f.Job, Index: f.Index, Node: nm.node, Epoch: epoch, OK: false})
+		return
+	}
+	nm.advanceAck(f.Job)
+}
+
+// childHasChunk reports whether a child subtree advertised chunk index in
+// its HAVE ledger (and so must not have it relayed again).
+func (nm *NM) childHasChunk(rc *relayChild, index int) bool {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	return maskGet(rc.have, index)
+}
+
+// maskGet is bitGet against a bitmap of unverified length (a peer's HAVE
+// or NeedMask): out-of-range bits read as zero.
+func maskGet(bits []uint64, i int) bool {
+	w := i >> 6
+	return w < len(bits) && bits[w]>>(uint(i)&63)&1 == 1
+}
+
+// manifestChunkLen is the byte length of chunk i: ChunkBytes for all but
+// the last, which carries the image tail.
+func manifestChunkLen(m *Manifest, i int) int {
+	if n := len(m.Hashes); i == n-1 {
+		return int(m.TotalBytes) - (n-1)*m.ChunkBytes
+	}
+	return m.ChunkBytes
+}
+
+// advanceReceived moves the in-order pointer across the written bitmap:
+// received is what cumulative acks (and replan resume points) vouch for,
+// so it only covers the gap-free prefix of the spliced image.
+func (st *binState) advanceReceived() {
+	n := len(st.man.Hashes)
+	for st.received < n && bitGet(st.written, st.received) {
+		st.received++
+	}
+}
+
+// spliceChunk writes one verified chunk at its image offset in the spool
+// file (opened lazily). In memory mode there is nothing to write: the
+// image is never materialized — chunk presence is tracked in the written
+// bitmap and the digest is verified by CRC combination at finalize, the
+// same accounting the pre-delta memory path kept. Callers hold nm.mu.
+func (nm *NM) spliceChunk(job int, st *binState, index int, data []byte) error {
+	if nm.cfg.SpoolDir == "" {
+		return nil
+	}
+	off := int64(index) * int64(st.man.ChunkBytes)
+	if st.spool == nil {
+		st.final = filepath.Join(nm.cfg.SpoolDir, fmt.Sprintf("node%d-job%d.bin", nm.node, job))
+		fh, err := os.CreateTemp(nm.cfg.SpoolDir, fmt.Sprintf("node%d-job%d-*.tmp", nm.node, job))
+		if err != nil {
+			return err
+		}
+		st.spool, st.tmp = fh, fh.Name()
+	}
+	_, err := st.spool.WriteAt(data, off)
+	return err
+}
+
+// finalizeImageLocked re-verifies the whole-image digest against the
+// manifest before committing. Spool mode reads the spliced file back and
+// CRCs every byte — that closes the splice, proving every chunk (cached
+// and wire alike) landed at the right offset with the right bytes —
+// before the rename publishes it. Memory mode holds no image bytes, so
+// it folds the per-chunk CRCs (each individually verified, on the wire
+// or at cache admission) with the CRC-32 combine identity: the result
+// is exactly ChecksumIEEE of the concatenated chunks, O(chunks) instead
+// of an O(bytes) re-read. Called with nm.mu held.
+func (nm *NM) finalizeImageLocked(job int, st *binState) error {
+	man := st.man
+	var crc uint32
+	if nm.cfg.SpoolDir == "" {
+		for i := range man.CRCs {
+			crc = crc32Combine(crc, man.CRCs[i], int64(manifestChunkLen(man, i)))
+		}
+	} else if st.spool != nil {
+		buf := grabFragBuf(man.ChunkBytes)
+		var off int64
+		for off < man.TotalBytes {
+			want := int64(man.ChunkBytes)
+			if man.TotalBytes-off < want {
+				want = man.TotalBytes - off
+			}
+			n, err := st.spool.ReadAt(buf[:want], off)
+			crc = crc32.Update(crc, crc32.IEEETable, buf[:n])
+			off += int64(n)
+			if err != nil {
+				releaseFragBuf(buf)
+				return err
+			}
+		}
+		releaseFragBuf(buf)
+	}
+	if crc != man.ImageCRC {
+		return fmt.Errorf("livenet: node %d job %d: spliced image CRC %08x, manifest says %08x",
+			nm.node, job, crc, man.ImageCRC)
+	}
+	if err := st.commitSpool(); err != nil {
+		return err
+	}
+	st.bytes = int(man.TotalBytes)
+	st.received = len(man.Hashes)
+	st.crc = crc
+	st.complete = true
+	nm.digests[job] = ImageDigest{Bytes: st.bytes, Frags: st.received, CRC: crc}
+	return nil
+}
+
+// relayMsg forwards one transfer-control frame (manifest or need-mask) to
+// a tree child, with the same evict-and-redial-once health check as
+// relayFrag. Reports whether the frame reached the child.
+func (nm *NM) relayMsg(job int, rc *relayChild, m Message) bool {
+	nm.mu.Lock()
+	cc, down := rc.c, rc.down
+	nm.mu.Unlock()
+	if down {
+		return false
+	}
+	err := cc.send(m)
+	if err == nil {
+		return true
+	}
+	nm.evictDialed(cc)
+	cc2, err2 := nm.dialChild(rc.addr)
+	if err2 == nil {
+		nm.mu.Lock()
+		rc.c = cc2
+		nm.mu.Unlock()
+		if err = cc2.send(m); err == nil {
+			return true
+		}
+	} else {
+		err = err2
+	}
+	nm.mu.Lock()
+	rc.down = true
+	nm.mu.Unlock()
+	nm.c.send(Message{PeerDown: &PeerDown{Job: job, Node: rc.node, From: nm.node, Err: err.Error()}})
+	return false
+}
+
+// CacheStats returns a snapshot of the NM's chunk-cache counters and
+// whether caching is enabled.
+func (nm *NM) CacheStats() (chunkcache.Stats, bool) {
+	if nm.cache == nil {
+		return chunkcache.Stats{}, false
+	}
+	return nm.cache.Stats(), true
 }
 
 // spoolFrag appends an in-order verified fragment to the job's temp

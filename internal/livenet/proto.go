@@ -52,6 +52,15 @@ type JobSpec struct {
 	PEsPerNode int
 	// Program selects the live process behavior.
 	Program ProgramSpec
+	// ImageSeed selects content-addressed image generation: when nonzero,
+	// a chunk's bytes derive from (seed, chunk index) alone — two jobs
+	// with the same seed share content, so a relaunch finds every chunk
+	// in the NM caches — instead of the job-keyed legacy ramp (seed 0).
+	ImageSeed uint64
+	// ImagePatch overrides the content seed for individual chunk indices,
+	// modelling an incremental rebuild that touches a few chunks of an
+	// otherwise unchanged image.
+	ImagePatch map[int]uint64
 }
 
 // ProgramSpec is the live process behavior, transmitted to the PLs.
@@ -82,22 +91,35 @@ type Report struct {
 	Failed   []int
 	Replans  int
 	Recovery time.Duration
-	Timeline string
+	// Chunks is the transfer manifest's chunk count and ChunksSent how
+	// many of them the MM actually streamed after the HAVE round (the
+	// union of its direct children's subtree needs). BytesSaved is the
+	// payload the delta path avoided relative to a cold full-image
+	// fan-out to the same direct children.
+	Chunks     int
+	ChunksSent int
+	BytesSaved int64
+	Timeline   string
 }
 
 // Message is the wire envelope. Exactly one pointer field is set.
 //
 // Hot control messages (Ping, Pong, Strobe, StrobeAck, FragAck,
-// PlanAck, ReplanAck, PeerDown) never travel as gob: send routes them
-// to fixed-layout typed frames and recv decodes the zero-alloc subset
-// into conn-owned scratch structs. The pointers recv returns for Ping,
-// Pong, Strobe, StrobeAck, and FragAck are therefore only valid until
-// the next recv on the same conn — consume or copy them before looping.
+// PlanAck, ReplanAck, PeerDown, Manifest, Have, NeedMask) never travel
+// as gob: send routes them to fixed-layout typed frames and recv
+// decodes the zero-alloc subset into conn-owned scratch structs. The
+// pointers recv returns for Ping, Pong, Strobe, StrobeAck, FragAck,
+// Manifest, Have, and NeedMask are therefore only valid until the next
+// recv on the same conn — consume or copy them before looping (Manifest
+// has clone() for retention).
 type Message struct {
 	Register  *Register
 	Submit    *Submit
 	Frag      *Frag
 	FragAck   *FragAck
+	Manifest  *Manifest
+	Have      *Have
+	NeedMask  *NeedMask
 	Plan      *Plan
 	PlanAck   *PlanAck
 	Replan    *Replan
@@ -334,6 +356,73 @@ type CtlPlan struct {
 	Children []CtlChild
 }
 
+// Manifest opens a transfer epoch: the content map of the image about
+// to be distributed. Hashes[i]/CRCs[i] address chunk i (fixed
+// ChunkBytes each except a short tail), so an NM can recognize chunks
+// it already holds in its content-addressed cache; ImageCRC is the
+// whole-image digest every NM re-verifies before committing its spool.
+// It multicasts down the forwarding tree like a fragment and, like the
+// hot control frames, travels as a typed 'M' frame with zero
+// steady-state allocations. recv returns it in conn-owned scratch —
+// clone() it to retain past the next recv.
+type Manifest struct {
+	Job        int
+	Epoch      int
+	ChunkBytes int
+	ImageCRC   uint32
+	TotalBytes int64
+	Hashes     []uint64
+	CRCs       []uint32
+}
+
+// clone deep-copies a Manifest out of conn scratch.
+func (m *Manifest) clone() *Manifest {
+	c := *m
+	c.Hashes = append([]uint64(nil), m.Hashes...)
+	c.CRCs = append([]uint32(nil), m.CRCs...)
+	return &c
+}
+
+// Have is the aggregated cache ledger answering a Manifest: bit i set
+// means every node in the sender's subtree already holds chunk i
+// (verified against the manifest's hash+CRC and spliced into its
+// spool). Parents AND their own bitmap with each child's before sending
+// up — the dual of the pong ledger's absence fold — so the MM learns
+// the set-union of missing chunks across the cluster in one O(depth)
+// round with O(fanout) egress, and every interior node learns exactly
+// which chunks each child subtree still needs.
+type Have struct {
+	Job   int
+	Node  int
+	Epoch int
+	Bits  []uint64
+}
+
+// NeedMask is the transfer epoch's stream announcement, sent down each
+// link just before streaming: bit i set means chunk i will arrive on
+// this link. A receiver uses it as the authoritative split between
+// wire-sourced and locally-sourced chunks — a chunk outside the mask
+// that the node cannot produce locally is a protocol violation worth a
+// fast nack, not a silent stall.
+type NeedMask struct {
+	Job   int
+	Epoch int
+	Bits  []uint64
+}
+
+// bitWords returns the ledger word count covering n chunks.
+func bitWords(n int) int { return (n + 63) / 64 }
+
+// bitGet reports bit i of a chunk bitmap.
+func bitGet(bits []uint64, i int) bool {
+	return bits[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// bitSet sets bit i of a chunk bitmap.
+func bitSet(bits []uint64, i int) {
+	bits[i>>6] |= 1 << uint(i&63)
+}
+
 // fragCRC computes the fragment checksum.
 func fragCRC(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
 
@@ -385,6 +474,34 @@ func fragPatternCheck(job, index int, data []byte) bool {
 	return bytes.Equal(data, w[:len(data)])
 }
 
+// chunkSeed returns the content seed of one chunk of a seeded image:
+// the job's ImageSeed unless an ImagePatch entry rebuilds that chunk.
+func chunkSeed(spec *JobSpec, index int) uint64 {
+	if s, ok := spec.ImagePatch[index]; ok {
+		return s
+	}
+	return spec.ImageSeed
+}
+
+// seededFragInto fills b with the content-addressed image bytes of a
+// chunk: a 256-byte pseudorandom tile derived from (seed, index) via
+// splitmix64, repeated by block copy. Like the legacy ramp it fills at
+// memmove speed with zero allocations, but the bytes depend only on
+// the content seed — not the job — so identical images hash and cache
+// identically across launches.
+func seededFragInto(b []byte, seed uint64, index int) {
+	var tile [256]byte
+	s := rng.SplitMix64(rng.Mix64(seed ^ (uint64(index)+1)*rng.GoldenGamma))
+	for i := 0; i < 256; i += 8 {
+		binary.LittleEndian.PutUint64(tile[i:], s.Next())
+	}
+	for len(b) >= 256 {
+		copy(b, tile[:])
+		b = b[256:]
+	}
+	copy(b, tile[:len(b)])
+}
+
 // Frame types. Every frame starts with one type byte. 'G' is the cold
 // path (rare, topology-sized messages: Register, Submit, Plan, Replan,
 // CtlPlan, Launch, ...); everything that runs per-fragment or per-period
@@ -401,6 +518,9 @@ const (
 	framePlanAck   = 'K' // planAckFixedLen fixed part + error string
 	frameReplanAck = 'R' // replanAckFixedLen fixed part + error string
 	framePeerDown  = 'D' // peerDownFixedLen fixed part + error string
+	frameManifest  = 'M' // manifestFixedLen fixed part + nchunks×12 tail
+	frameHave      = 'H' // haveFixedLen fixed part + nwords×8 tail
+	frameNeed      = 'N' // needFixedLen fixed part + nwords×8 tail
 )
 
 const (
@@ -422,6 +542,16 @@ const (
 	replanAckFixedLen = 18
 	// peerDownFixedLen is job u32 | node u32 | from u32 | elen u16.
 	peerDownFixedLen = 14
+	// manifestFixedLen is job u32 | epoch u32 | chunkbytes u32 |
+	// imagecrc u32 | totalbytes u64 | nchunks u32; a 12-byte
+	// (hash u64 | crc u32) record per chunk follows.
+	manifestFixedLen = 28
+	// haveFixedLen is job u32 | node u32 | epoch u32 | nwords u16; the
+	// bitmap words follow, 8 bytes each.
+	haveFixedLen = 14
+	// needFixedLen is job u32 | epoch u32 | nwords u16; bitmap words
+	// follow.
+	needFixedLen = 10
 	// maxFrame bounds a frame payload (corruption guard).
 	maxFrame = 64 << 20
 	// maxCtlErr bounds the error string carried in a typed control
@@ -478,6 +608,10 @@ type conn struct {
 	// control frames (PlanAck and kin) borrow its prefix and append the
 	// error string as a second write.
 	hdr [connScratchLen]byte
+	// vbuf is the grown-once tail scratch for the variable-length typed
+	// frames (manifest chunk records, HAVE/need bitmap words), guarded
+	// by wmu like hdr.
+	vbuf []byte
 
 	// Decode scratch for the zero-alloc control subset: recv returns
 	// pointers into these, valid until the next recv. A conn has one
@@ -486,11 +620,15 @@ type conn struct {
 	// stack array because a stack array passed to io.ReadFull escapes
 	// and would cost an allocation per frame.
 	rbuf       [connScratchLen]byte
+	rtail      []byte // grown-once read scratch for variable frame tails
 	rPing      Ping
 	rPong      Pong
 	rStrobe    Strobe
 	rStrobeAck StrobeAck
 	rAck       FragAck
+	rManifest  Manifest // Hashes/CRCs grown once, reused across frames
+	rHave      Have     // Bits grown once
+	rNeed      NeedMask // Bits grown once
 
 	sent       atomic.Int64 // bytes written, frames included
 	sentFrames atomic.Int64 // frames written (the control-egress metric)
@@ -535,6 +673,12 @@ func (c *conn) send(m Message) error {
 		return c.sendReplanAck(m.ReplanAck)
 	case m.PeerDown != nil:
 		return c.sendPeerDown(m.PeerDown)
+	case m.Manifest != nil:
+		return c.sendManifest(m.Manifest)
+	case m.Have != nil:
+		return c.sendHave(m.Have)
+	case m.NeedMask != nil:
+		return c.sendNeedMask(m.NeedMask)
 	}
 	buf := gobBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
@@ -688,6 +832,72 @@ func (c *conn) sendPeerDown(d *PeerDown) error {
 	binary.BigEndian.PutUint32(hdr[9:], uint32(d.From))
 	binary.BigEndian.PutUint16(hdr[13:], uint16(len(e)))
 	return c.writeFrameString(hdr, e)
+}
+
+// growVbuf returns the tail scratch at length n, reallocating only on
+// growth. Caller holds wmu.
+func (c *conn) growVbuf(n int) []byte {
+	if cap(c.vbuf) < n {
+		c.vbuf = make([]byte, n)
+	}
+	return c.vbuf[:n]
+}
+
+// sendManifest writes a typed manifest frame: fixed part in the conn
+// scratch, per-chunk hash records in the grown-once tail buffer (zero
+// steady-state allocations).
+func (c *conn) sendManifest(m *Manifest) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+manifestFixedLen]
+	hdr[0] = frameManifest
+	binary.BigEndian.PutUint32(hdr[1:], uint32(m.Job))
+	binary.BigEndian.PutUint32(hdr[5:], uint32(m.Epoch))
+	binary.BigEndian.PutUint32(hdr[9:], uint32(m.ChunkBytes))
+	binary.BigEndian.PutUint32(hdr[13:], m.ImageCRC)
+	binary.BigEndian.PutUint64(hdr[17:], uint64(m.TotalBytes))
+	binary.BigEndian.PutUint32(hdr[25:], uint32(len(m.Hashes)))
+	tail := c.growVbuf(len(m.Hashes) * 12)
+	for i, h := range m.Hashes {
+		binary.BigEndian.PutUint64(tail[i*12:], h)
+		binary.BigEndian.PutUint32(tail[i*12+8:], m.CRCs[i])
+	}
+	return c.writeFrame(hdr, tail)
+}
+
+// sendHave writes a typed aggregated cache-ledger frame (zero
+// steady-state allocations).
+func (c *conn) sendHave(h *Have) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+haveFixedLen]
+	hdr[0] = frameHave
+	binary.BigEndian.PutUint32(hdr[1:], uint32(h.Job))
+	binary.BigEndian.PutUint32(hdr[5:], uint32(h.Node))
+	binary.BigEndian.PutUint32(hdr[9:], uint32(h.Epoch))
+	binary.BigEndian.PutUint16(hdr[13:], uint16(len(h.Bits)))
+	tail := c.growVbuf(len(h.Bits) * 8)
+	for i, w := range h.Bits {
+		binary.BigEndian.PutUint64(tail[i*8:], w)
+	}
+	return c.writeFrame(hdr, tail)
+}
+
+// sendNeedMask writes a typed stream-announcement frame (zero
+// steady-state allocations).
+func (c *conn) sendNeedMask(n *NeedMask) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+needFixedLen]
+	hdr[0] = frameNeed
+	binary.BigEndian.PutUint32(hdr[1:], uint32(n.Job))
+	binary.BigEndian.PutUint32(hdr[5:], uint32(n.Epoch))
+	binary.BigEndian.PutUint16(hdr[9:], uint16(len(n.Bits)))
+	tail := c.growVbuf(len(n.Bits) * 8)
+	for i, w := range n.Bits {
+		binary.BigEndian.PutUint64(tail[i*8:], w)
+	}
+	return c.writeFrame(hdr, tail)
 }
 
 // writeFrame writes header+payload and flushes. Caller holds wmu.
@@ -878,9 +1088,94 @@ func (c *conn) recv() (Message, error) {
 			From: int(binary.BigEndian.Uint32(hb[8:])),
 			Err:  e,
 		}}, nil
+	case frameManifest:
+		hb := c.rbuf[:manifestFixedLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
+			return Message{}, err
+		}
+		nch := int(binary.BigEndian.Uint32(hb[24:]))
+		if nch*12 > maxFrame {
+			return Message{}, fmt.Errorf("livenet: oversized manifest (%d chunks)", nch)
+		}
+		tail, err := c.readTail(nch * 12)
+		if err != nil {
+			return Message{}, err
+		}
+		m := &c.rManifest
+		m.Job = int(binary.BigEndian.Uint32(hb[0:]))
+		m.Epoch = int(binary.BigEndian.Uint32(hb[4:]))
+		m.ChunkBytes = int(binary.BigEndian.Uint32(hb[8:]))
+		m.ImageCRC = binary.BigEndian.Uint32(hb[12:])
+		m.TotalBytes = int64(binary.BigEndian.Uint64(hb[16:]))
+		if cap(m.Hashes) < nch {
+			m.Hashes = make([]uint64, nch)
+			m.CRCs = make([]uint32, nch)
+		}
+		m.Hashes, m.CRCs = m.Hashes[:nch], m.CRCs[:nch]
+		for i := 0; i < nch; i++ {
+			m.Hashes[i] = binary.BigEndian.Uint64(tail[i*12:])
+			m.CRCs[i] = binary.BigEndian.Uint32(tail[i*12+8:])
+		}
+		return Message{Manifest: m}, nil
+	case frameHave:
+		hb := c.rbuf[:haveFixedLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
+			return Message{}, err
+		}
+		nw := int(binary.BigEndian.Uint16(hb[12:]))
+		tail, err := c.readTail(nw * 8)
+		if err != nil {
+			return Message{}, err
+		}
+		h := &c.rHave
+		h.Job = int(binary.BigEndian.Uint32(hb[0:]))
+		h.Node = int(binary.BigEndian.Uint32(hb[4:]))
+		h.Epoch = int(binary.BigEndian.Uint32(hb[8:]))
+		if cap(h.Bits) < nw {
+			h.Bits = make([]uint64, nw)
+		}
+		h.Bits = h.Bits[:nw]
+		for i := 0; i < nw; i++ {
+			h.Bits[i] = binary.BigEndian.Uint64(tail[i*8:])
+		}
+		return Message{Have: h}, nil
+	case frameNeed:
+		hb := c.rbuf[:needFixedLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
+			return Message{}, err
+		}
+		nw := int(binary.BigEndian.Uint16(hb[8:]))
+		tail, err := c.readTail(nw * 8)
+		if err != nil {
+			return Message{}, err
+		}
+		n := &c.rNeed
+		n.Job = int(binary.BigEndian.Uint32(hb[0:]))
+		n.Epoch = int(binary.BigEndian.Uint32(hb[4:]))
+		if cap(n.Bits) < nw {
+			n.Bits = make([]uint64, nw)
+		}
+		n.Bits = n.Bits[:nw]
+		for i := 0; i < nw; i++ {
+			n.Bits[i] = binary.BigEndian.Uint64(tail[i*8:])
+		}
+		return Message{NeedMask: n}, nil
 	default:
 		return Message{}, fmt.Errorf("livenet: unknown frame type %#x", ft)
 	}
+}
+
+// readTail reads a variable frame tail into the conn's grown-once read
+// scratch (valid until the next recv).
+func (c *conn) readTail(n int) ([]byte, error) {
+	if cap(c.rtail) < n {
+		c.rtail = make([]byte, n)
+	}
+	t := c.rtail[:n]
+	if _, err := io.ReadFull(c.r, t); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // readCtlErr reads a control frame's trailing error string. Zero-length
