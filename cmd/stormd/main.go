@@ -20,8 +20,11 @@
 // enables live gang scheduling at the given quantum. An NM started with
 // -cache-size keeps a bounded content-addressed chunk cache (persisted
 // under -cache-dir when set), so repeated launches of the same or a
-// slightly rebuilt binary stream only the missing chunks. Then submit
-// jobs with cmd/storm.
+// slightly rebuilt binary stream only the missing chunks. The MM admits
+// several jobs at once and interleaves their streams over the shared
+// links: -max-concurrent bounds how many stream at a time and -admission
+// picks the queue order (fifo, wfair, sif). Then submit jobs with
+// cmd/storm.
 package main
 
 import (
@@ -49,6 +52,8 @@ func main() {
 	hb := flag.Duration("heartbeat", time.Second, "tree-heartbeat period on the MM (0 disables)")
 	flag.DurationVar(hb, "hb", time.Second, "alias for -heartbeat")
 	strobe := flag.Duration("strobe", 0, "gang-scheduling strobe quantum on the MM (0 disables live gang scheduling)")
+	maxConc := flag.Int("max-concurrent", 0, "max jobs streaming concurrently on the MM (0 = default 8)")
+	admission := flag.String("admission", "fifo", "admission policy when jobs queue: fifo, wfair, or sif")
 	flag.Parse()
 
 	sig := make(chan os.Signal, 1)
@@ -56,7 +61,10 @@ func main() {
 
 	switch *role {
 	case "mm":
-		mm, err := livenet.NewMM(*listen, livenet.MMConfig{Fanout: *fanout, GangQuantum: *strobe})
+		mm, err := livenet.NewMM(*listen, livenet.MMConfig{
+			Fanout: *fanout, GangQuantum: *strobe,
+			MaxConcurrent: *maxConc, Admission: *admission,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
 			os.Exit(1)

@@ -1,8 +1,11 @@
 // Live-cluster demo: boots a real (wall-clock) STORM instance — one MM
 // and four NMs talking gob-over-TCP on the loopback interface — then
 // launches three jobs through it: the do-nothing benchmark, a real
-// SWEEP3D-style kernel computation, and a parallel sleep. Finally it
-// kills a node and lets the heartbeat detector find the failure.
+// SWEEP3D-style kernel computation, and a parallel sleep. It then
+// offers six jobs at once to a two-slot MM and prints the live job
+// table (per-job phase, queue wait, flow-control window) mid-flight.
+// Finally it kills a node and lets the heartbeat detector find the
+// failure.
 //
 // This is the "distributed dæmon" face of the reproduction: the same
 // MM/NM/PL division of labor as the simulator, over real sockets.
@@ -96,6 +99,80 @@ func main() {
 	}
 	fmt.Printf("NM chunk caches: %d hits, %d misses, %d evictions, %d bytes served locally\n",
 		cacheStats.Hits, cacheStats.Misses, cacheStats.Evictions, cacheStats.BytesSaved)
+
+	fmt.Println("\nMulti-tenant admission: 6 jobs offered at once, 2 streaming slots...")
+	mtMM, err := livenet.NewMM("127.0.0.1:0", livenet.MMConfig{
+		MaxConcurrent: 2, Admission: "fifo",
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer mtMM.Close()
+	for i := 0; i < 4; i++ {
+		nm, err := livenet.NewNM(mtMM.Addr(), i, 4)
+		if err != nil {
+			panic(err)
+		}
+		defer nm.Close()
+	}
+	for len(mtMM.NMs()) < 4 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Sample the MM's job table while the jobs are in flight and keep the
+	// busiest snapshot: per-job phase, queue wait, flow-control window.
+	sampled := make(chan []livenet.JobInfo, 1)
+	sampleDone := make(chan struct{})
+	go func() {
+		defer close(sampleDone)
+		var busiest []livenet.JobInfo
+		for {
+			select {
+			case <-sampled:
+				sampled <- busiest
+				return
+			default:
+			}
+			if snap := mtMM.JobTable(); len(snap) > len(busiest) {
+				busiest = snap
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	mtDone := make(chan *livenet.Report, 6)
+	for i := 0; i < 6; i++ {
+		go func(i int) {
+			rep, err := mtMM.RunJob(livenet.JobSpec{
+				Name: fmt.Sprintf("tenant-%d", i), User: fmt.Sprintf("user%d", i%3),
+				BinaryBytes: 2_000_000, Nodes: 4, PEsPerNode: 1,
+				ImageSeed: 0xA0 + uint64(i),
+				Program:   livenet.ProgramSpec{Kind: "sleep", Duration: 50 * time.Millisecond},
+			})
+			if err != nil {
+				fmt.Printf("  tenant-%d ERROR: %v\n", i, err)
+				mtDone <- nil
+				return
+			}
+			mtDone <- &rep
+		}(i)
+	}
+	mtTable := metrics.NewTable("launched jobs", "job", "queued", "send", "total", "window peak")
+	for i := 0; i < 6; i++ {
+		if rep := <-mtDone; rep != nil {
+			mtTable.AddRow(rep.JobID, rep.Queued.Round(time.Microsecond),
+				rep.Send.Round(time.Microsecond), rep.Total.Round(time.Microsecond),
+				rep.WindowPeak)
+		}
+	}
+	sampled <- nil
+	<-sampleDone
+	snap := <-sampled
+	inflight := metrics.NewTable("mid-flight job table", "job", "phase", "queued", "window used")
+	for _, ji := range snap {
+		inflight.AddRow(fmt.Sprintf("%d:%s", ji.ID, ji.Name), ji.Phase,
+			ji.Queued.Round(time.Microsecond), ji.WindowUsed)
+	}
+	fmt.Println(inflight.String())
+	fmt.Println(mtTable.String())
 
 	fmt.Println("\nLive gang scheduling: two spin gangs timeshared at MPL 2, 25 ms quanta...")
 	gangMM, err := livenet.NewMM("127.0.0.1:0", livenet.MMConfig{

@@ -1,0 +1,438 @@
+package livenet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Multi-tenant admission: the MM keeps an explicit job table and moves
+// every submitted job through a small state machine
+//
+//	ADMITTED -> PLANNED -> MANIFEST -> STREAMING -> LAUNCHED -> DONE/FAILED
+//
+// with up to MaxConcurrent jobs in the transfer phases at once. Jobs
+// share the cached relay links and the control tree; which admitted job
+// streams next when the slots are saturated is a pluggable policy
+// (FIFO, weighted-fair over users, smallest-image-first). A per-link
+// byte budget shared by every job crossing that link bounds how much
+// unacknowledged data one job can park in a link's pipeline, so a fat
+// job backpressures instead of starving the tree for everyone else.
+
+// jobPhase is a job's position in the launch state machine.
+type jobPhase int
+
+const (
+	phaseAdmitted jobPhase = iota // in the admission queue
+	phasePlanned                  // relay tree confirmed by every node
+	phaseManifest                 // manifest multicast / HAVE fold in flight
+	phaseStreaming                // chunks moving down the tree
+	phaseLaunched                 // processes forked, awaiting termination
+	phaseDone
+	phaseFailed
+)
+
+func (p jobPhase) String() string {
+	switch p {
+	case phaseAdmitted:
+		return "admitted"
+	case phasePlanned:
+		return "planned"
+	case phaseManifest:
+		return "manifest"
+	case phaseStreaming:
+		return "streaming"
+	case phaseLaunched:
+		return "launched"
+	case phaseDone:
+		return "done"
+	case phaseFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+func (j *liveJob) setPhase(p jobPhase) {
+	j.mu.Lock()
+	j.phase = p
+	j.mu.Unlock()
+}
+
+// admissionPolicy decides which queued job gets the next free streaming
+// slot. pick is a pure function of the queue (called under mm.mu);
+// granted is the accounting hook invoked when its choice is admitted.
+type admissionPolicy interface {
+	name() string
+	pick(q []*liveJob) *liveJob
+	granted(j *liveJob)
+}
+
+// newAdmissionPolicy maps a policy name to its implementation.
+func newAdmissionPolicy(name string) (admissionPolicy, error) {
+	switch name {
+	case "", "fifo":
+		return fifoPolicy{}, nil
+	case "wfair":
+		return &wfairPolicy{vt: make(map[string]float64)}, nil
+	case "sif":
+		return sifPolicy{}, nil
+	}
+	return nil, fmt.Errorf("livenet: unknown admission policy %q (want fifo, wfair, or sif)", name)
+}
+
+// fifoPolicy streams jobs in submission order.
+type fifoPolicy struct{}
+
+func (fifoPolicy) name() string { return "fifo" }
+func (fifoPolicy) pick(q []*liveJob) *liveJob {
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}
+func (fifoPolicy) granted(*liveJob) {}
+
+// sifPolicy streams the smallest image first (shortest-job-first for
+// the transfer phase); ties break toward the earlier submission.
+type sifPolicy struct{}
+
+func (sifPolicy) name() string { return "sif" }
+func (sifPolicy) pick(q []*liveJob) *liveJob {
+	var best *liveJob
+	for _, j := range q {
+		if best == nil || j.spec.BinaryBytes < best.spec.BinaryBytes ||
+			(j.spec.BinaryBytes == best.spec.BinaryBytes && j.id < best.id) {
+			best = j
+		}
+	}
+	return best
+}
+func (sifPolicy) granted(*liveJob) {}
+
+// wfairPolicy is weighted-fair queueing over users: each user
+// accumulates virtual time proportional to the bytes it streams divided
+// by its weight, and the queued job of the least-charged user goes
+// next. A user that bursts many fat jobs falls behind users with queued
+// work, without ever starving (its virtual time stands still while it
+// waits).
+type wfairPolicy struct {
+	vt map[string]float64
+}
+
+func (*wfairPolicy) name() string { return "wfair" }
+
+func (p *wfairPolicy) pick(q []*liveJob) *liveJob {
+	var best *liveJob
+	var bestVT float64
+	for _, j := range q {
+		vt := p.vt[j.spec.User]
+		if best == nil || vt < bestVT || (vt == bestVT && j.id < best.id) {
+			best, bestVT = j, vt
+		}
+	}
+	return best
+}
+
+func (p *wfairPolicy) granted(j *liveJob) {
+	w := j.spec.Weight
+	if w <= 0 {
+		w = 1
+	}
+	bytes := j.spec.BinaryBytes
+	if bytes <= 0 {
+		bytes = 1
+	}
+	p.vt[j.spec.User] += float64(bytes) / float64(w)
+}
+
+// awaitAdmission parks the job in the admission queue until the policy
+// picks it, a streaming slot is free, and (under gang scheduling) an
+// exclusive timeslot row is available. On success the job owns one
+// streaming slot and j.row. Caller holds mm.mu.
+func (mm *MM) awaitAdmission(j *liveJob) error {
+	mm.admitQ = append(mm.admitQ, j)
+	for {
+		if mm.closed {
+			mm.dropQueued(j)
+			return fmt.Errorf("livenet: MM closed while job %d awaited admission", j.id)
+		}
+		if mm.streaming < mm.cfg.MaxConcurrent && mm.policy.pick(mm.admitQ) == j {
+			if row := mm.pickRow(); row >= 0 {
+				// j.mu nests inside mm.mu: JobTable readers hold j.mu only.
+				j.mu.Lock()
+				j.row = row
+				j.mu.Unlock()
+				mm.dropQueued(j)
+				mm.streaming++
+				mm.policy.granted(j)
+				// Re-wake the remaining waiters: removing this job from
+				// the queue may make the new head eligible right now, and
+				// no release event is due to wake it.
+				mm.admit.Broadcast()
+				return nil
+			}
+			// Every gang row is occupied: row exhaustion queues the
+			// admission; a releaseRow broadcast retries it.
+		}
+		mm.admit.Wait()
+	}
+}
+
+// dropQueued removes a job from the admission queue. Caller holds mm.mu.
+func (mm *MM) dropQueued(j *liveJob) {
+	for i, q := range mm.admitQ {
+		if q == j {
+			mm.admitQ = append(mm.admitQ[:i], mm.admitQ[i+1:]...)
+			return
+		}
+	}
+}
+
+// releaseStream returns the job's streaming slot once its transfer is
+// over (success or failure) — execution overlaps freely with other
+// jobs' transfers — and wakes the admission queue.
+func (mm *MM) releaseStream() {
+	mm.mu.Lock()
+	mm.streaming--
+	mm.admit.Broadcast()
+	mm.mu.Unlock()
+}
+
+// placeJob picks the job's node set under mm.mu: the explicit Place
+// list verbatim (in tree-position order), or the spec.Nodes
+// least-loaded registered NMs, ties toward lower node IDs so an idle
+// cluster reproduces the classic sorted-prefix placement.
+func (mm *MM) placeJob(spec *JobSpec) ([]*nmLink, error) {
+	if len(spec.Place) > 0 {
+		links := make([]*nmLink, 0, len(spec.Place))
+		for _, id := range spec.Place {
+			l, ok := mm.nms[id]
+			if !ok {
+				return nil, fmt.Errorf("livenet: placed node %d not registered", id)
+			}
+			links = append(links, l)
+		}
+		return links, nil
+	}
+	if len(mm.nms) < spec.Nodes {
+		return nil, fmt.Errorf("livenet: %d NMs registered, job wants %d", len(mm.nms), spec.Nodes)
+	}
+	ids := make([]int, 0, len(mm.nms))
+	for id := range mm.nms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		la, lb := mm.nodeLoad[ids[a]], mm.nodeLoad[ids[b]]
+		if la != lb {
+			return la < lb
+		}
+		return ids[a] < ids[b]
+	})
+	links := make([]*nmLink, 0, spec.Nodes)
+	for _, id := range ids[:spec.Nodes] {
+		links = append(links, mm.nms[id])
+	}
+	return links, nil
+}
+
+// linkBudget is the shared byte budget of one physical link (one conn
+// from the MM to a direct tree child). Every job streaming across the
+// link must acquire its chunk's bytes before writing and holds them
+// until the child's cumulative ack covers the chunk, so the total
+// unacknowledged data all jobs park in the link's pipeline is bounded:
+// a fat job blocks in acquire (backpressure) instead of queueing
+// unboundedly ahead of everyone else. Tickets keep waiters FIFO so a
+// stream of small chunks cannot starve a large one.
+type linkBudget struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int64
+	used     int64
+	queue    []uint64 // outstanding tickets, FIFO
+	next     uint64
+}
+
+func newLinkBudget(capacity int64) *linkBudget {
+	lb := &linkBudget{capacity: capacity}
+	lb.cond = sync.NewCond(&lb.mu)
+	return lb
+}
+
+// acquire blocks until n bytes fit under the budget (clamped to the
+// whole budget so an oversized chunk still flows when the link drains).
+func (lb *linkBudget) acquire(n int64, deadline time.Time) error {
+	if n > lb.capacity {
+		n = lb.capacity
+	}
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	t := lb.next
+	lb.next++
+	lb.queue = append(lb.queue, t)
+	for !(lb.queue[0] == t && lb.used+n <= lb.capacity) {
+		if time.Now().After(deadline) {
+			lb.unqueue(t)
+			lb.cond.Broadcast()
+			return fmt.Errorf("link budget exhausted (%d of %d bytes unacknowledged)", lb.used, lb.capacity)
+		}
+		w := time.AfterFunc(100*time.Millisecond, func() { lb.cond.Broadcast() })
+		lb.cond.Wait()
+		w.Stop()
+	}
+	lb.unqueue(t)
+	lb.used += n
+	lb.cond.Broadcast()
+	return nil
+}
+
+// release returns acknowledged bytes to the budget.
+func (lb *linkBudget) release(n int64) {
+	lb.mu.Lock()
+	lb.used -= n
+	if lb.used < 0 {
+		lb.used = 0
+	}
+	lb.cond.Broadcast()
+	lb.mu.Unlock()
+}
+
+func (lb *linkBudget) unqueue(t uint64) {
+	for i, q := range lb.queue {
+		if q == t {
+			lb.queue = append(lb.queue[:i], lb.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// linkBudgetFor returns (lazily creating) the budget of one child link.
+func (mm *MM) linkBudgetFor(c *conn) *linkBudget {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	lb := mm.budgets[c]
+	if lb == nil {
+		lb = newLinkBudget(mm.cfg.LinkBudgetBytes)
+		mm.budgets[c] = lb
+	}
+	return lb
+}
+
+// heldChunk is one chunk's worth of link budget a job holds while the
+// chunk is unacknowledged by one child subtree.
+type heldChunk struct {
+	index int
+	n     int64
+	lb    *linkBudget
+}
+
+// holdChunk records budget acquired for chunk index on the link to a
+// child node.
+func (j *liveJob) holdChunk(node, index int, n int64, lb *linkBudget) {
+	j.mu.Lock()
+	if j.held == nil {
+		j.held = make(map[int][]heldChunk)
+	}
+	j.held[node] = append(j.held[node], heldChunk{index: index, n: n, lb: lb})
+	j.mu.Unlock()
+}
+
+// releaseAckedLocked returns the budget of every held chunk the child's
+// cumulative ack now covers. Caller holds j.mu; budget locks nest
+// inside it.
+func (j *liveJob) releaseAckedLocked(node, acked int) {
+	chunks := j.held[node]
+	kept := chunks[:0]
+	for _, h := range chunks {
+		if h.index < acked {
+			h.lb.release(h.n)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	if len(kept) == 0 {
+		delete(j.held, node)
+	} else {
+		j.held[node] = kept
+	}
+}
+
+// releaseAllHeld returns every held byte — the epoch is over (transfer
+// done, failed, or replanned; a replan re-acquires for whatever it
+// re-streams).
+func (j *liveJob) releaseAllHeld() {
+	j.mu.Lock()
+	for node, chunks := range j.held {
+		for _, h := range chunks {
+			h.lb.release(h.n)
+		}
+		delete(j.held, node)
+	}
+	j.mu.Unlock()
+}
+
+// JobInfo is one row of the MM's job table snapshot.
+type JobInfo struct {
+	ID         int
+	Name       string
+	User       string
+	Phase      string
+	Queued     time.Duration // admission-queue wait so far (or total, once granted)
+	Row        int           // gang timeslot row (-1 while queued under gang scheduling)
+	WindowUsed int           // chunks currently unacknowledged in the flow-control window
+	WindowPeak int
+}
+
+// JobTable snapshots every job the MM currently tracks — queued and in
+// flight — in ascending job-ID order.
+func (mm *MM) JobTable() []JobInfo {
+	mm.mu.Lock()
+	jobs := make([]*liveJob, 0, len(mm.jobs)+len(mm.admitQ))
+	for _, j := range mm.jobs {
+		jobs = append(jobs, j)
+	}
+	jobs = append(jobs, mm.admitQ...)
+	mm.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
+	out := make([]JobInfo, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		queued := j.queued
+		if j.phase == phaseAdmitted {
+			queued = time.Since(j.qStart)
+		}
+		info := JobInfo{
+			ID:         j.id,
+			Name:       j.spec.Name,
+			User:       j.spec.User,
+			Phase:      j.phase.String(),
+			Queued:     queued,
+			Row:        j.row,
+			WindowUsed: j.windowUsedLocked(),
+			WindowPeak: j.winPeak,
+		}
+		j.mu.Unlock()
+		out = append(out, info)
+	}
+	return out
+}
+
+// windowUsedLocked is the job's current unacknowledged chunk count: how
+// far the stream head is past the slowest subtree's cumulative ack.
+// Caller holds j.mu.
+func (j *liveJob) windowUsedLocked() int {
+	if j.streamAt == 0 {
+		return 0
+	}
+	min := j.streamAt
+	for _, link := range j.children {
+		if got := j.acked[link.node]; got < min {
+			min = got
+		}
+	}
+	used := j.streamAt - min
+	if used < 0 {
+		used = 0
+	}
+	return used
+}

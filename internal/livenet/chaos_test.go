@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -616,5 +617,122 @@ func TestPhaseErrorsAreDistinct(t *testing.T) {
 	wrapped := fmt.Errorf("outer: %w", ErrTransferTimeout)
 	if !errors.Is(wrapped, ErrTransferTimeout) || errors.Is(wrapped, ErrTermTimeout) {
 		t.Fatal("phase error identity broken")
+	}
+}
+
+// assertPlacedImages checks that every placed survivor of one job holds
+// a complete, byte-identical image (the placed-subset analogue of
+// assertSurvivorImages, for multi-tenant jobs that occupy only part of
+// the cluster).
+func assertPlacedImages(t *testing.T, nms []*NM, placed []int, victim, job, frags int) {
+	t.Helper()
+	var ref ImageDigest
+	seen := false
+	for _, node := range placed {
+		if node == victim {
+			continue
+		}
+		d, ok := nms[node].ImageDigest(job)
+		if !ok {
+			t.Fatalf("placed survivor %d has no image for job %d", node, job)
+		}
+		if d.Frags != frags {
+			t.Fatalf("survivor %d holds %d fragments of job %d, want %d", node, d.Frags, job, frags)
+		}
+		if !seen {
+			ref, seen = d, true
+		} else if d != ref {
+			t.Fatalf("survivor %d image digest %+v differs from %+v for job %d", node, d, ref, job)
+		}
+	}
+}
+
+// TestChaosConcurrentJobsInteriorKill: three jobs stream concurrently
+// through the same interior relay node while a fourth runs elsewhere;
+// the relay is hard-killed mid-stream. Only the jobs placed on the
+// victim may replan — each completing on its survivors with
+// byte-identical images — and the bystander job must finish with no
+// replan at all. Explicit Place pins node 2 at interior tree position 2
+// of each affected job (parents 0, 7, and 1 respectively), so three
+// distinct relay conns feed the victim and every one is armed to die at
+// the seed-chosen fragment: no affected job can complete its 32-chunk
+// stream without tripping the kill.
+func TestChaosConcurrentJobsInteriorKill(t *testing.T) {
+	const n = 8
+	const victim = 2
+	cfg := chaosMMConfig()
+	specs := []JobSpec{
+		{Name: "via-A", BinaryBytes: chaosBinary, Nodes: 7, PEsPerNode: 1,
+			Place: []int{0, 1, 2, 3, 4, 5, 6}, Program: ProgramSpec{Kind: "exit"}},
+		{Name: "via-B", BinaryBytes: chaosBinary, Nodes: 7, PEsPerNode: 1,
+			Place: []int{7, 6, 2, 5, 0, 3, 4}, Program: ProgramSpec{Kind: "exit"}},
+		{Name: "via-D", BinaryBytes: chaosBinary, Nodes: 7, PEsPerNode: 1,
+			Place: []int{1, 3, 2, 0, 5, 6, 7}, Program: ProgramSpec{Kind: "exit"}},
+		{Name: "bystander", BinaryBytes: chaosBinary, Nodes: 4, PEsPerNode: 1,
+			Place: []int{3, 4, 5, 6}, Program: ProgramSpec{Kind: "exit"}},
+	}
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			killAt := 8 + faultconn.NewRng(seed).Intn(16)
+			var victimNM atomic.Pointer[NM]
+			mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+				if node != victim {
+					return NMConfig{}
+				}
+				return NMConfig{WrapConn: func(c net.Conn) net.Conn {
+					plan := faultconn.NewPlan()
+					plan.CloseAtReadFrag = killAt
+					plan.OnFault = func(string) {
+						go func() {
+							if nm := victimNM.Load(); nm != nil {
+								nm.Close()
+							}
+						}()
+					}
+					return faultconn.Wrap(c, plan)
+				}}
+			})
+			victimNM.Store(nms[victim])
+
+			reports := make([]Report, len(specs))
+			errs := make([]error, len(specs))
+			var wg sync.WaitGroup
+			for i, spec := range specs {
+				wg.Add(1)
+				go func(i int, spec JobSpec) {
+					defer wg.Done()
+					reports[i], errs[i] = SubmitJob(mm.Addr(), spec)
+				}(i, spec)
+			}
+			wg.Wait()
+
+			frags := chaosBinary / cfg.FragBytes
+			for i, spec := range specs {
+				if errs[i] != nil {
+					t.Fatalf("job %q did not recover from killing node %d at frag %d: %v",
+						spec.Name, victim, killAt, errs[i])
+				}
+				onVictim := false
+				for _, node := range spec.Place {
+					if node == victim {
+						onVictim = true
+					}
+				}
+				if onVictim {
+					if len(reports[i].Failed) != 1 || reports[i].Failed[0] != victim {
+						t.Fatalf("job %q names failed nodes %v, want [%d]", spec.Name, reports[i].Failed, victim)
+					}
+					if reports[i].Replans < 1 {
+						t.Fatalf("job %q recovered without a replan? %+v", spec.Name, reports[i])
+					}
+				} else {
+					if len(reports[i].Failed) != 0 || reports[i].Replans != 0 {
+						t.Fatalf("bystander job %q replanned (failed %v, replans %d) though it never placed on node %d",
+							spec.Name, reports[i].Failed, reports[i].Replans, victim)
+					}
+				}
+				assertPlacedImages(t, nms, spec.Place, victim, reports[i].JobID, frags)
+			}
+		})
 	}
 }

@@ -2,9 +2,9 @@
 // connections for chaos testing. A Conn wraps a net.Conn and applies a
 // Plan — a fixed schedule of faults keyed to byte offsets and fragment
 // ordinals observed on the wire — so a failure scenario is fully
-// reproducible from its seed: hard close at fragment k, one-way
-// partitions, per-write delay, duplicated and corrupted frag frames,
-// and injected dial failures.
+// reproducible from its seed: hard close at fragment k or at gob frame
+// k, one-way partitions, per-write delay, duplicated and corrupted frag
+// frames, and injected dial failures.
 //
 // The wrapper is frame-aware: it runs the livenet frame grammar
 // ('G' gob frames, 'F' frag frames with a 17-byte header carrying the
@@ -48,6 +48,7 @@ type Plan struct {
 	WriteDelay    time.Duration // injected before every write
 	DuplicateFrag int           // retransmit the k-th outgoing frag frame immediately after itself
 	CorruptFrag   int           // flip a payload byte of the k-th outgoing frag frame (CRC must catch it)
+	FailWriteGob  int           // hard-close before any byte of the k-th outgoing gob ('G') frame reaches the wire
 
 	// CtlFaults target typed control frames this endpoint sends; each
 	// fault fires at most once. Faults on distinct frames compose.
@@ -79,7 +80,7 @@ type CtlFault struct {
 
 // NewPlan returns a Plan with all triggers disabled.
 func NewPlan() Plan {
-	return Plan{CloseAtFrag: -1, DuplicateFrag: -1, CorruptFrag: -1, CloseAtReadFrag: -1}
+	return Plan{CloseAtFrag: -1, DuplicateFrag: -1, CorruptFrag: -1, FailWriteGob: -1, CloseAtReadFrag: -1}
 }
 
 // ErrInjectedClose is the error surfaced by operations on a connection
@@ -141,6 +142,7 @@ type scanner struct {
 	got     int
 	bodyPos int // current byte's offset within a frag payload
 	frags   int // frag frames seen so far; current ordinal is frags-1
+	gobs    int // gob frames seen so far; current ordinal is gobs-1
 
 	ctlKind   byte   // type byte of the fixed control frame being scanned
 	ctlCounts [4]int // per-kind ordinals for 'P','Q','S','T'
@@ -160,6 +162,9 @@ type event struct {
 	ctlDone  bool // this byte completed a fixed control frame
 	ctlKind  byte
 	ctlOrd   int // per-kind ordinal the ctl event refers to
+
+	gobBegin bool // this byte is the type byte of a gob frame
+	gobOrd   int  // gob ordinal the event refers to
 }
 
 func (s *scanner) step(b byte) event {
@@ -168,6 +173,8 @@ func (s *scanner) step(b byte) event {
 	case stType:
 		switch b {
 		case 'G':
+			ev.gobBegin, ev.gobOrd = true, s.gobs
+			s.gobs++
 			s.state, s.need = stGobLen, gobLenBytes
 			s.got = 0
 		case 'F':
@@ -363,7 +370,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 
 	// Fast path: no frame-level write triggers armed.
 	if c.plan.CloseAtFrag < 0 && c.plan.DuplicateFrag < 0 && c.plan.CorruptFrag < 0 &&
-		c.plan.DropAfter <= 0 && len(c.plan.CtlFaults) == 0 {
+		c.plan.FailWriteGob < 0 && c.plan.DropAfter <= 0 && len(c.plan.CtlFaults) == 0 {
 		return c.Conn.Write(p)
 	}
 
@@ -375,6 +382,16 @@ func (c *Conn) Write(p []byte) (int, error) {
 		b := p[i]
 		prev := c.wScan.state
 		ev := c.wScan.step(b)
+		if ev.gobBegin && ev.gobOrd == c.plan.FailWriteGob {
+			// Crash before the frame: everything earlier in this chunk goes
+			// out, the targeted gob frame never starts. The receiver sees a
+			// clean frame boundary then EOF; the sender sees a write error.
+			if len(out) > 0 {
+				c.Conn.Write(out)
+			}
+			c.kill("gob-close")
+			return i, fmt.Errorf("%w (at outgoing gob frame %d)", ErrInjectedClose, ev.gobOrd)
+		}
 		if ev.fragHdrDone && ev.ord == c.plan.CloseAtFrag {
 			// Crash mid-frame: flush what was already on the wire plus
 			// the torn header, then die. The receiver sees a truncated

@@ -16,11 +16,15 @@ import (
 
 // gate is the suspend/resume control a PL wraps around its process: the
 // process calls wait() between work chunks and blocks while the gate is
-// closed.
+// closed. A cancelled gate releases every waiter with wait() == false,
+// telling the process to exit instead of doing its next work chunk —
+// how an aborted job's processes are torn down promptly even while
+// descheduled.
 type gate struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	open bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	open      bool
+	cancelled bool
 }
 
 func newGate(open bool) *gate {
@@ -29,11 +33,25 @@ func newGate(open bool) *gate {
 	return g
 }
 
-// wait blocks until the gate is open.
-func (g *gate) wait() {
+// wait blocks until the gate is open, reporting false when the gate was
+// cancelled and the process must exit.
+func (g *gate) wait() bool {
 	g.mu.Lock()
-	for !g.open {
+	for !g.open && !g.cancelled {
 		g.cond.Wait()
+	}
+	ok := !g.cancelled
+	g.mu.Unlock()
+	return ok
+}
+
+// cancel releases all waiters permanently; wait() reports false from
+// now on.
+func (g *gate) cancel() {
+	g.mu.Lock()
+	if !g.cancelled {
+		g.cancelled = true
+		g.cond.Broadcast()
 	}
 	g.mu.Unlock()
 }
@@ -57,7 +75,11 @@ func (g *gate) isOpen() bool {
 	return g.open
 }
 
-// pickRow assigns a new job the least-loaded timeslot row. Caller holds
+// pickRow assigns a new job an exclusive timeslot row, or -1 when every
+// row is occupied. Two concurrent jobs must never share a row — a
+// strobe opens every gate of the designated row, so a shared row would
+// co-schedule two unrelated gangs — and a job that finds no free row
+// stays in the admission queue until one is released. Caller holds
 // mm.mu.
 func (mm *MM) pickRow() int {
 	if mm.cfg.GangQuantum <= 0 || mm.cfg.MPL <= 1 {
@@ -66,14 +88,13 @@ func (mm *MM) pickRow() int {
 	if mm.rowCount == nil {
 		mm.rowCount = make([]int, mm.cfg.MPL)
 	}
-	best := 0
-	for r := 1; r < mm.cfg.MPL; r++ {
-		if mm.rowCount[r] < mm.rowCount[best] {
-			best = r
+	for r := 0; r < mm.cfg.MPL; r++ {
+		if mm.rowCount[r] == 0 {
+			mm.rowCount[r]++
+			return r
 		}
 	}
-	mm.rowCount[best]++
-	return best
+	return -1
 }
 
 // releaseRow returns a completed job's slot. Caller holds mm.mu.

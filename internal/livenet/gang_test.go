@@ -93,8 +93,10 @@ func TestLiveGangRowAssignment(t *testing.T) {
 	if r1 == r2 {
 		t.Fatalf("first two jobs share row %d", r1)
 	}
-	if r3 != r1 && r3 != r2 {
-		t.Fatalf("third row %d outside MPL", r3)
+	// Rows are exclusive: with MPL=2 occupied, a third concurrent job
+	// must wait in the admission queue, not share a row.
+	if r3 != -1 {
+		t.Fatalf("row overcommit: third concurrent job got row %d, want -1 (exhausted)", r3)
 	}
 	mm.mu.Lock()
 	mm.releaseRow(r1)

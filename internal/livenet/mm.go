@@ -89,6 +89,22 @@ type MMConfig struct {
 	// MPL is the number of gang timeslot rows (default 2 when gang
 	// scheduling is enabled).
 	MPL int
+	// MaxConcurrent bounds how many admitted jobs may be in their
+	// transfer phases at once (default 8); further submissions queue in
+	// admission order. Execution always overlaps freely — a job's
+	// streaming slot is released the moment its binary is resident.
+	MaxConcurrent int
+	// Admission selects the policy deciding which queued job streams
+	// next when the slots are saturated: "fifo" (default), "wfair"
+	// (weighted-fair over JobSpec.User/Weight), or "sif"
+	// (smallest-image-first).
+	Admission string
+	// LinkBudgetBytes is the shared per-link byte budget (default
+	// 16 MB): the total unacknowledged data all jobs may park in one
+	// direct-child link's pipeline. A job that would exceed it blocks
+	// before writing — backpressure, not unbounded queueing — so one fat
+	// job cannot starve the tree for concurrent small ones.
+	LinkBudgetBytes int64
 	// WrapConn, when set, interposes on every accepted connection —
 	// the fault-injection hook (see internal/livenet/faultconn).
 	WrapConn func(net.Conn) net.Conn
@@ -125,6 +141,15 @@ func (c *MMConfig) fill() {
 	if c.GangQuantum > 0 && c.MPL == 0 {
 		c.MPL = 2
 	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = 1
+	}
+	if c.LinkBudgetBytes <= 0 {
+		c.LinkBudgetBytes = 16 << 20
+	}
 }
 
 // MM is the live Machine Manager: it accepts NM registrations and client
@@ -138,6 +163,19 @@ type MM struct {
 	jobs    map[int]*liveJob
 	nextJob int
 	closed  bool
+
+	// Multi-tenant admission (see admit.go): jobs wait in admitQ until
+	// the policy grants them one of MaxConcurrent streaming slots;
+	// admit broadcasts on every slot/row release. nodeLoad counts
+	// active jobs per node for least-loaded placement, and budgets
+	// holds each direct-child link's shared byte budget. All guarded
+	// by mu.
+	admit     *sync.Cond
+	admitQ    []*liveJob
+	streaming int
+	policy    admissionPolicy
+	nodeLoad  map[int]int
+	budgets   map[*conn]*linkBudget
 
 	// ctl is the cluster-wide control tree (heartbeat + strobe fast
 	// path); ctlExclude holds convicted nodes, kept out of the tree even
@@ -242,12 +280,21 @@ func patchEqual(a, b map[int]uint64) bool {
 	return true
 }
 
-// liveJob is the MM-side state of one job in flight.
+// liveJob is one row of the MM's job table: the full MM-side state of a
+// job from admission to completion.
 type liveJob struct {
 	id    int
 	spec  JobSpec
 	row   int
 	frags int
+
+	// Admission bookkeeping: qStart is when the job entered the
+	// admission queue, queued its total queue wait once granted, and
+	// placed the node IDs placement charged to nodeLoad (fixed even as
+	// j.nodes shrinks through recovery).
+	qStart time.Time
+	queued time.Duration
+	placed []int
 
 	mu    sync.Mutex
 	nodes []*nmLink // current (surviving) job nodes, position-ordered
@@ -289,11 +336,18 @@ type liveJob struct {
 	replans     int
 	recovery    time.Duration
 
-	// egressBase records each direct-child conn's sent-byte counter
-	// when it was first adopted, so MM egress accounting survives the
-	// child set changing mid-transfer.
-	egressBase map[*conn]int64
-
+	// phase is the job's position in the admission state machine;
+	// streamAt is the absolute index just past the last chunk streamed
+	// this epoch and winPeak the largest unacknowledged-chunk count
+	// observed, both for the job-table snapshot and the report. held
+	// tracks link-budget bytes per direct child that acks have not yet
+	// returned. sendBytes counts the MM's own distribution egress for
+	// this job exactly (frag, manifest, and need-mask frames), so
+	// concurrent jobs sharing a link never bill each other.
+	phase     jobPhase
+	streamAt  int
+	winPeak   int
+	held      map[int][]heldChunk
 	sendBytes int64
 
 	terms chan int
@@ -303,6 +357,10 @@ type liveJob struct {
 // for an ephemeral port).
 func NewMM(addr string, cfg MMConfig) (*MM, error) {
 	cfg.fill()
+	policy, err := newAdmissionPolicy(cfg.Admission)
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("livenet: listen %s: %w", addr, err)
@@ -315,7 +373,11 @@ func NewMM(addr string, cfg MMConfig) (*MM, error) {
 		manifests:  make(map[manifestKey]*manifestData),
 		probes:     make(map[int64]*probeRound),
 		ctlExclude: make(map[int]bool),
+		policy:     policy,
+		nodeLoad:   make(map[int]int),
+		budgets:    make(map[*conn]*linkBudget),
 	}
+	mm.admit = sync.NewCond(&mm.mu)
 	// The control-tree maps must exist before the first syncCtl rebuild:
 	// a heartbeat or strobe loop started on an empty cluster ticks at
 	// epoch 0 with no members, so syncCtl takes its unchanged fast path
@@ -383,6 +445,7 @@ func (mm *MM) Close() {
 	}
 	mm.mu.Lock()
 	mm.closed = true
+	mm.admit.Broadcast() // release jobs parked in the admission queue
 	stops := mm.detStops
 	mm.detStops = nil
 	for _, l := range mm.nms {
@@ -446,6 +509,7 @@ func (mm *MM) status() StatusRep {
 	return StatusRep{
 		Nodes:     nodes,
 		Jobs:      len(mm.jobs),
+		Queued:    len(mm.admitQ),
 		Launched:  mm.launched,
 		Completed: mm.completed,
 		Strobes:   mm.strobes,
@@ -469,6 +533,7 @@ func (mm *MM) serveNM(c *conn, reg *Register) {
 		if mm.nms[reg.Node] == link {
 			delete(mm.nms, reg.Node)
 		}
+		delete(mm.budgets, c)
 		mm.mu.Unlock()
 		c.close()
 	}()
@@ -522,6 +587,9 @@ func (mm *MM) onFragAck(a *FragAck) {
 		// Credit from an older tree epoch vouched for a different
 		// subtree shape; only current-epoch credit moves the window.
 		j.acked[a.Node] = a.Index + 1
+		// Acknowledged chunks hand their bytes back to the shared link
+		// budget, unblocking whatever job is waiting on that link.
+		j.releaseAckedLocked(a.Node, a.Index+1)
 	}
 	j.cond.Broadcast()
 }
@@ -599,39 +667,66 @@ func (mm *MM) serveClient(c *conn, spec JobSpec) {
 	c.send(Message{Done: &done})
 }
 
-// RunJob executes a job synchronously: select nodes, build the
-// forwarding tree, distribute the binary through it with windowed flow
-// control (self-healing around node failures), launch, and collect
-// termination reports. It returns the paper-style timing decomposition.
+// RunJob executes a job synchronously: admit (queueing behind the
+// concurrency cap under the configured admission policy), place on the
+// least-loaded nodes, build the forwarding tree, distribute the binary
+// through it with windowed flow control (self-healing around node
+// failures), launch, and collect termination reports. It returns the
+// paper-style timing decomposition. Up to MMConfig.MaxConcurrent jobs
+// stream concurrently, multiplexed over the shared relay links by the
+// job-tagged frame headers.
 func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	if spec.Nodes <= 0 || spec.PEsPerNode <= 0 {
 		return Report{}, fmt.Errorf("livenet: bad job geometry %dx%d", spec.Nodes, spec.PEsPerNode)
 	}
-	mm.mu.Lock()
-	ids := make([]int, 0, len(mm.nms))
-	for id := range mm.nms {
-		ids = append(ids, id)
+	if len(spec.Place) > 0 && len(spec.Place) != spec.Nodes {
+		return Report{}, fmt.Errorf("livenet: Place names %d nodes, job wants %d", len(spec.Place), spec.Nodes)
 	}
-	sort.Ints(ids)
-	if len(ids) < spec.Nodes {
+	mm.mu.Lock()
+	if mm.closed {
 		mm.mu.Unlock()
-		return Report{}, fmt.Errorf("livenet: %d NMs registered, job wants %d", len(ids), spec.Nodes)
+		return Report{}, fmt.Errorf("livenet: MM closed")
+	}
+	if len(mm.nms) < spec.Nodes {
+		// Fast-fail before queueing: a cluster that cannot ever hold the
+		// job should not park it in the admission queue.
+		n := len(mm.nms)
+		mm.mu.Unlock()
+		return Report{}, fmt.Errorf("livenet: %d NMs registered, job wants %d", n, spec.Nodes)
 	}
 	mm.nextJob++
 	j := &liveJob{
-		id:         mm.nextJob,
-		spec:       spec,
-		row:        mm.pickRow(),
-		acked:      make(map[int]int),
-		planned:    make(map[int]bool),
-		received:   make(map[int]int),
-		subtree:    make(map[int][]int),
-		egressBase: make(map[*conn]int64),
-		terms:      make(chan int, spec.Nodes),
+		id:       mm.nextJob,
+		spec:     spec,
+		row:      -1,
+		phase:    phaseAdmitted,
+		qStart:   time.Now(),
+		acked:    make(map[int]int),
+		planned:  make(map[int]bool),
+		received: make(map[int]int),
+		subtree:  make(map[int][]int),
+		terms:    make(chan int, spec.Nodes),
 	}
 	j.cond = sync.NewCond(&j.mu)
-	for _, id := range ids[:spec.Nodes] {
-		j.nodes = append(j.nodes, mm.nms[id])
+	if err := mm.awaitAdmission(j); err != nil {
+		mm.mu.Unlock()
+		return Report{}, err
+	}
+	j.mu.Lock()
+	j.queued = time.Since(j.qStart)
+	j.mu.Unlock()
+	nodes, err := mm.placeJob(&spec)
+	if err != nil {
+		mm.streaming--
+		mm.releaseRow(j.row)
+		mm.admit.Broadcast()
+		mm.mu.Unlock()
+		return Report{}, err
+	}
+	j.nodes = nodes
+	for _, l := range nodes {
+		j.placed = append(j.placed, l.node)
+		mm.nodeLoad[l.node]++
 	}
 	mm.rewireTree(j)
 	mm.jobs[j.id] = j
@@ -641,11 +736,22 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 		mm.mu.Lock()
 		delete(mm.jobs, j.id)
 		mm.releaseRow(j.row)
+		for _, n := range j.placed {
+			if mm.nodeLoad[n] > 0 {
+				mm.nodeLoad[n]--
+			}
+		}
+		mm.admit.Broadcast()
 		mm.mu.Unlock()
 	}()
 
 	start := time.Now()
-	if err := mm.transfer(j); err != nil {
+	err = mm.transfer(j)
+	// The streaming slot frees as soon as the transfer phase is over —
+	// this job's execution overlaps the next job's stream.
+	mm.releaseStream()
+	if err != nil {
+		j.setPhase(phaseFailed)
 		mm.abort(j, err)
 		return Report{}, err
 	}
@@ -654,7 +760,7 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	// Launch: tell each surviving NM its ranks (re-ranked densely over
 	// the survivor set if recovery shrank the job).
 	j.mu.Lock()
-	nodes := append([]*nmLink(nil), j.nodes...)
+	nodes = append([]*nmLink(nil), j.nodes...)
 	j.mu.Unlock()
 	for i, link := range nodes {
 		ranks := make([]int, 0, spec.PEsPerNode)
@@ -664,9 +770,16 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 		msg := Message{Launch: &Launch{Job: j.id, Spec: spec, Ranks: ranks,
 			BinSize: spec.BinaryBytes, Row: j.row, Gang: mm.cfg.GangQuantum > 0}}
 		if err := link.c.send(msg); err != nil {
-			return Report{}, fmt.Errorf("livenet: launch to node %d: %w", link.node, err)
+			// A partial launch must not strand the nodes that already
+			// forked: abort the whole job so every NM cancels its gates,
+			// reaps its processes, and drops the transfer state.
+			err = fmt.Errorf("livenet: launch to node %d: %w", link.node, err)
+			j.setPhase(phaseFailed)
+			mm.abort(j, err)
+			return Report{}, err
 		}
 	}
+	j.setPhase(phaseLaunched)
 
 	// Collect termination reports. The termination deadline is its own
 	// budget — the program's expected duration plus TermTimeout — and
@@ -697,6 +810,9 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	sort.Ints(failed)
 	timeline := fmt.Sprintf("send=%v execute=%v nodes=%d pes=%d fanout=%d",
 		send, total-send, len(nodes), len(nodes)*spec.PEsPerNode, mm.cfg.Fanout)
+	if j.queued > time.Millisecond {
+		timeline += fmt.Sprintf(" queued=%v", j.queued.Round(time.Millisecond))
+	}
 	if j.bytesSaved > 0 {
 		timeline += fmt.Sprintf(" delta: streamed %d/%d chunks, %d B served from caches",
 			j.chunksSent, j.frags, j.bytesSaved)
@@ -704,6 +820,10 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	if len(failed) > 0 {
 		timeline += fmt.Sprintf(" failed=%v replans=%d recovery=%v", failed, j.replans, j.recovery)
 	}
+	j.mu.Lock()
+	winPeak := j.winPeak
+	j.mu.Unlock()
+	j.setPhase(phaseDone)
 	return Report{
 		JobID:      j.id,
 		Send:       send,
@@ -716,6 +836,9 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 		Chunks:     j.frags,
 		ChunksSent: j.chunksSent,
 		BytesSaved: j.bytesSaved,
+		Queued:     j.queued,
+		Row:        j.row,
+		WindowPeak: winPeak,
 		Timeline:   timeline,
 	}, nil
 }
@@ -766,6 +889,10 @@ func (mm *MM) rewireTree(j *liveJob) {
 //     deterministically, so the send log is the generator plus an
 //     index. Content failures (CRC rejections) are never retried.
 func (mm *MM) transfer(j *liveJob) error {
+	// Whatever path exits the transfer, return every byte this job still
+	// holds against the shared link budgets — a failed job must not leave
+	// a budget leaked and starve its link peers.
+	defer j.releaseAllHeld()
 	frag := mm.cfg.FragBytes
 	n := (j.spec.BinaryBytes + frag - 1) / frag
 	if n == 0 {
@@ -774,6 +901,7 @@ func (mm *MM) transfer(j *liveJob) error {
 	j.frags = n
 	j.man = mm.buildManifest(j)
 
+	j.setPhase(phasePlanned)
 	err := mm.plan(j)
 	if err == nil {
 		err = mm.manifestRound(j)
@@ -807,12 +935,6 @@ func (mm *MM) transfer(j *liveJob) error {
 			err = mm.stream(j)
 		}
 	}
-
-	j.mu.Lock()
-	for c, base := range j.egressBase {
-		j.sendBytes += c.sentBytes() - base
-	}
-	j.mu.Unlock()
 	return nil
 }
 
@@ -923,6 +1045,7 @@ func (mm *MM) manifestRound(j *liveJob) error {
 	j.haves = make(map[int][]uint64)
 	j.mu.Unlock()
 
+	j.setPhase(phaseManifest)
 	m := &Manifest{Job: j.id, Epoch: epoch, ChunkBytes: mm.cfg.FragBytes,
 		ImageCRC: j.man.imageCRC, TotalBytes: j.man.total,
 		Hashes: j.man.hashes, CRCs: j.man.crcs}
@@ -930,6 +1053,12 @@ func (mm *MM) manifestRound(j *liveJob) error {
 		if err := link.c.send(Message{Manifest: m}); err != nil {
 			return downError{node: link.node, cause: fmt.Sprintf("manifest write: %v", err)}
 		}
+		// Relay links are shared across jobs, so per-conn byte counters
+		// cannot be attributed to one job; account egress by frame size
+		// (type byte + 28-byte header + 12 bytes per chunk entry).
+		j.mu.Lock()
+		j.sendBytes += int64(29 + 12*len(m.Hashes))
+		j.mu.Unlock()
 	}
 	if err := mm.awaitHaves(j, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
 		return err
@@ -967,6 +1096,9 @@ func (mm *MM) manifestRound(j *liveJob) error {
 		if err := link.c.send(msg); err != nil {
 			return downError{node: link.node, cause: fmt.Sprintf("need-mask write: %v", err)}
 		}
+		j.mu.Lock()
+		j.sendBytes += int64(11 + 8*len(needs[link.node]))
+		j.mu.Unlock()
 	}
 	return nil
 }
@@ -1022,16 +1154,12 @@ func (mm *MM) onHave(h *Have) {
 // chunks, ascending) down the tree, writing each chunk only to the
 // subtrees whose need mask claims it, and waits for the window to drain.
 func (mm *MM) stream(j *liveJob) error {
+	j.setPhase(phaseStreaming)
 	j.mu.Lock()
 	children := append([]*nmLink(nil), j.children...)
 	needs := j.needs
 	list := append([]int(nil), j.sendList...)
 	nodeCount := len(j.nodes)
-	for _, link := range children {
-		if _, seen := j.egressBase[link.c]; !seen {
-			j.egressBase[link.c] = link.c.sentBytes()
-		}
-	}
 	j.mu.Unlock()
 
 	// The window is end-to-end (the credit the MM sees is the minimum over
@@ -1057,16 +1185,39 @@ func (mm *MM) stream(j *liveJob) error {
 		if mm.testCorrupt != nil {
 			mm.testCorrupt(j.id, i, data)
 		}
+		frame := int64(18 + size) // type byte + fragment header + payload
 		for _, link := range children {
 			if !maskGet(needs[link.node], i) {
 				continue // the whole subtree already holds this chunk
 			}
+			// Shared-link backpressure: reserve the frame's bytes against
+			// the link budget before writing, held until this subtree's
+			// cumulative ack covers the chunk. Concurrent jobs crossing
+			// the same cached relay link block here instead of queueing
+			// unbounded data ahead of each other.
+			lb := mm.linkBudgetFor(link.c)
+			if err := lb.acquire(frame, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
+				releaseFragBuf(data)
+				return downError{node: link.node, cause: fmt.Sprintf("fragment %d: %v", i, err)}
+			}
+			j.holdChunk(link.node, i, frame, lb)
 			if err := link.c.sendFrag(f); err != nil {
 				releaseFragBuf(data)
 				return downError{node: link.node, cause: fmt.Sprintf("fragment %d write: %v", i, err)}
 			}
+			j.mu.Lock()
+			j.sendBytes += frame
+			j.mu.Unlock()
 		}
 		releaseFragBuf(data)
+		j.mu.Lock()
+		if i+1 > j.streamAt {
+			j.streamAt = i + 1
+		}
+		if used := j.windowUsedLocked(); used > j.winPeak {
+			j.winPeak = used
+		}
+		j.mu.Unlock()
 	}
 	// Drain: wait until every subtree acknowledged every fragment — on a
 	// fully warm launch (empty send list) this is the whole transfer: the
@@ -1175,9 +1326,13 @@ func (mm *MM) replan(j *liveJob, dead map[int]string) (int, error) {
 	j.acked = make(map[int]int)
 	j.planned = make(map[int]bool)
 	j.received = make(map[int]int)
+	j.streamAt = 0
 	mm.rewireTree(j)
 	nodes := append([]*nmLink(nil), survivors...)
 	j.mu.Unlock()
+	// The old epoch's unacknowledged chunks will never be acked under the
+	// new epoch's reset credit; hand their link-budget bytes back now.
+	j.releaseAllHeld()
 
 	for i, link := range nodes {
 		kids := nodeChildren(i, len(nodes), mm.cfg.Fanout)

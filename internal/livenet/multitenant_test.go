@@ -1,0 +1,305 @@
+package livenet
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/livenet/faultconn"
+)
+
+// mtCluster boots an MM (with the given config) and n NMs sequentially,
+// waiting for each registration before creating the next — so the MM's
+// accept order is deterministic: accepted conn k belongs to NM k.
+func mtCluster(t *testing.T, n int, cfg MMConfig) (*MM, []*NM) {
+	t.Helper()
+	mm, err := NewMM("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mm.Close() })
+	var nms []*NM
+	for i := 0; i < n; i++ {
+		nm, err := NewNMConfig(mm.Addr(), i, 4, NMConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { nm.Close() })
+		nms = append(nms, nm)
+		deadline := time.Now().Add(5 * time.Second)
+		for len(mm.NMs()) < i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("NM %d never registered", i)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return mm, nms
+}
+
+// TestLaunchFailurePartialAbort is the regression for the launch-phase
+// cleanup bug: when the Launch write to a later node fails, the nodes
+// that already received their Launch must be aborted — their processes
+// reaped promptly — and the error must name the failing node. The
+// injected fault hard-closes NM 1's conn immediately before its second
+// outgoing gob frame (G#0 is the Plan, G#1 is the Launch), so node 0
+// has always launched by the time node 1's Launch write fails.
+func TestLaunchFailurePartialAbort(t *testing.T) {
+	cfg := MMConfig{Fanout: 2, FragBytes: 32 << 10, AckTimeout: 700 * time.Millisecond}
+	var accepts atomic.Int32
+	cfg.WrapConn = func(c net.Conn) net.Conn {
+		if accepts.Add(1)-1 != 1 { // accept #1 = NM 1, launched last
+			return c
+		}
+		plan := faultconn.NewPlan()
+		plan.FailWriteGob = 1
+		return faultconn.Wrap(c, plan)
+	}
+	mm, nms := mtCluster(t, 2, cfg)
+
+	start := time.Now()
+	_, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "partial", BinaryBytes: 256 << 10, Nodes: 2, PEsPerNode: 2,
+		Program: ProgramSpec{Kind: "sleep", Duration: 10 * time.Second},
+	})
+	if err == nil {
+		t.Fatal("launch reported success despite injected Launch write failure")
+	}
+	if !strings.Contains(err.Error(), "launch to node 1") {
+		t.Fatalf("error does not name the failing node: %v", err)
+	}
+	// Node 0 forked its processes before node 1's Launch failed; the
+	// abort must cancel its gate and the 10 s sleepers must exit early.
+	deadline := time.Now().Add(5 * time.Second)
+	for nms[0].activeGates() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("node 0 still holds %d gates: partial launch never aborted", nms[0].activeGates())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("abort took %v, processes were not cut short", elapsed)
+	}
+}
+
+// TestGangRowExclusiveQueueing: with MPL=2 gang rows and three
+// concurrent jobs, no two in-flight jobs may ever share a row, and the
+// third job must queue (not fail) until a row frees. The job table is
+// sampled throughout to catch any overlap.
+func TestGangRowExclusiveQueueing(t *testing.T) {
+	cfg := MMConfig{GangQuantum: 10 * time.Millisecond, MPL: 2}
+	mm, _ := mtCluster(t, 2, cfg)
+
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	var overlap atomic.Value
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			rows := make(map[int]int)
+			for _, info := range mm.JobTable() {
+				switch info.Phase {
+				case "admitted", "done", "failed":
+					continue
+				}
+				if other, dup := rows[info.Row]; dup {
+					overlap.Store([2]int{other, info.ID})
+					return
+				}
+				rows[info.Row] = info.ID
+			}
+		}
+	}()
+
+	const jobs = 3
+	reports := make([]Report, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = SubmitJob(mm.Addr(), JobSpec{
+				Name: "gang", BinaryBytes: 64 << 10, Nodes: 2, PEsPerNode: 1,
+				Program: ProgramSpec{Kind: "sleep", Duration: 150 * time.Millisecond},
+			})
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+
+	if pair, ok := overlap.Load().([2]int); ok {
+		t.Fatalf("jobs %d and %d shared a gang row while in flight", pair[0], pair[1])
+	}
+	queued := 0
+	for i := 0; i < jobs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d failed under row exhaustion, want queued admission: %v", i, errs[i])
+		}
+		if reports[i].Row < 0 || reports[i].Row >= cfg.MPL {
+			t.Fatalf("job %d ran on row %d, outside MPL %d", i, reports[i].Row, cfg.MPL)
+		}
+		if reports[i].Queued > 50*time.Millisecond {
+			queued++
+		}
+	}
+	if queued == 0 {
+		t.Fatal("no job reports a queue wait: the third job should have waited for a free row")
+	}
+}
+
+// TestAdmissionPolicies checks the pluggable admission policies' pick
+// ordering directly (pick is a pure function of the queue).
+func TestAdmissionPolicies(t *testing.T) {
+	if _, err := newAdmissionPolicy("bogus"); err == nil {
+		t.Fatal("unknown policy name accepted")
+	}
+	mkJob := func(id int, user string, weight, bytes int) *liveJob {
+		return &liveJob{id: id, spec: JobSpec{User: user, Weight: weight, BinaryBytes: bytes}}
+	}
+
+	t.Run("fifo", func(t *testing.T) {
+		p, _ := newAdmissionPolicy("")
+		if p.name() != "fifo" {
+			t.Fatalf("default policy is %q, want fifo", p.name())
+		}
+		q := []*liveJob{mkJob(3, "a", 1, 500), mkJob(4, "b", 1, 100)}
+		if got := p.pick(q); got.id != 3 {
+			t.Fatalf("fifo picked job %d, want 3 (head of queue)", got.id)
+		}
+	})
+
+	t.Run("sif", func(t *testing.T) {
+		p, _ := newAdmissionPolicy("sif")
+		q := []*liveJob{mkJob(1, "a", 1, 300), mkJob(2, "a", 1, 100), mkJob(3, "a", 1, 200)}
+		if got := p.pick(q); got.id != 2 {
+			t.Fatalf("sif picked job %d (size %d), want 2 (smallest image)", got.id, got.spec.BinaryBytes)
+		}
+		// Ties break toward the earlier submission.
+		q = []*liveJob{mkJob(5, "a", 1, 100), mkJob(4, "a", 1, 100)}
+		if got := p.pick(q); got.id != 4 {
+			t.Fatalf("sif tie-break picked job %d, want 4", got.id)
+		}
+	})
+
+	t.Run("wfair", func(t *testing.T) {
+		p, _ := newAdmissionPolicy("wfair")
+		a1 := mkJob(1, "alice", 1, 1000)
+		a2 := mkJob(2, "alice", 1, 1000)
+		b1 := mkJob(3, "bob", 1, 1000)
+		// Fresh users tie at virtual time 0; lower id wins.
+		if got := p.pick([]*liveJob{a1, b1}); got.id != 1 {
+			t.Fatalf("wfair picked job %d, want 1", got.id)
+		}
+		p.granted(a1)
+		// alice has been charged 1000 virtual bytes; bob goes next even
+		// though alice has the earlier queued job.
+		if got := p.pick([]*liveJob{a2, b1}); got.id != 3 {
+			t.Fatalf("wfair picked job %d after charging alice, want 3 (bob)", got.id)
+		}
+		p.granted(b1)
+		// Weight divides the charge: a weight-4 user streams 4x the bytes
+		// for the same virtual time.
+		c1 := mkJob(4, "carol", 4, 4000)
+		p.granted(c1)
+		d1 := mkJob(5, "dave", 1, 999)
+		c2 := mkJob(6, "carol", 4, 4000)
+		if got := p.pick([]*liveJob{c2, d1}); got.id != 5 {
+			t.Fatalf("wfair picked job %d, want 5 (dave at vt 0)", got.id)
+		}
+		p.granted(d1)
+		// carol vt=1000, dave vt=999: dave still ahead.
+		d2 := mkJob(7, "dave", 1, 999)
+		if got := p.pick([]*liveJob{c2, d2}); got.id != 7 {
+			t.Fatalf("wfair picked job %d, want 7 (dave vt 999 < carol vt 1000)", got.id)
+		}
+	})
+}
+
+// TestPlacementPinning: JobSpec.Place pins a job's node set verbatim
+// (in tree-position order); an unregistered node is an error, not a
+// queue wait.
+func TestPlacementPinning(t *testing.T) {
+	mm, nms := mtCluster(t, 4, MMConfig{Fanout: 2, FragBytes: 32 << 10})
+	rep, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "pinned", BinaryBytes: 128 << 10, Nodes: 3, PEsPerNode: 1,
+		Place:   []int{2, 0, 3},
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{2, 0, 3} {
+		if _, ok := nms[id].ImageDigest(rep.JobID); !ok {
+			t.Fatalf("pinned node %d holds no image for job %d", id, rep.JobID)
+		}
+	}
+	if _, ok := nms[1].ImageDigest(rep.JobID); ok {
+		t.Fatalf("node 1 was not placed but holds the job %d image", rep.JobID)
+	}
+	if _, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "bad-pin", BinaryBytes: 1 << 10, Nodes: 2, PEsPerNode: 1,
+		Place:   []int{0, 9},
+		Program: ProgramSpec{Kind: "exit"},
+	}); err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("pinning an unregistered node: got %v, want 'not registered'", err)
+	}
+	if _, err := SubmitJob(mm.Addr(), JobSpec{
+		Name: "short-pin", BinaryBytes: 1 << 10, Nodes: 3, PEsPerNode: 1,
+		Place:   []int{0, 1},
+		Program: ProgramSpec{Kind: "exit"},
+	}); err == nil {
+		t.Fatal("Place shorter than Nodes accepted")
+	}
+}
+
+// TestConcurrentStreamsSharedLinks: many jobs streaming at once through
+// the same NMs and cached relay links must all complete with correct,
+// distinct images — the NM-side demultiplexing by job id and the shared
+// link budget must not mix streams or deadlock.
+func TestConcurrentStreamsSharedLinks(t *testing.T) {
+	mm, nms := mtCluster(t, 7, MMConfig{Fanout: 2, FragBytes: 16 << 10, MaxConcurrent: 8})
+	const jobs = 6
+	var wg sync.WaitGroup
+	reports := make([]Report, jobs)
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = SubmitJob(mm.Addr(), JobSpec{
+				Name: "tenant", BinaryBytes: (256 + 64*i) << 10, Nodes: 7, PEsPerNode: 1,
+				Program: ProgramSpec{Kind: "exit"},
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < jobs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent job %d failed: %v", i, errs[i])
+		}
+		// Every node must hold the complete, identical image for this job.
+		var ref ImageDigest
+		for n, nm := range nms {
+			d, ok := nm.ImageDigest(reports[i].JobID)
+			if !ok {
+				t.Fatalf("node %d holds no image for job %d", n, reports[i].JobID)
+			}
+			if n == 0 {
+				ref = d
+			} else if d != ref {
+				t.Fatalf("node %d image for job %d differs: %+v vs %+v", n, reports[i].JobID, d, ref)
+			}
+		}
+	}
+}

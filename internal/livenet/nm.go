@@ -1223,15 +1223,31 @@ func (nm *NM) advanceAck(job int) {
 	parent.sendAck(&FragAck{Job: job, Index: min - 1, Node: nm.node, Epoch: epoch, OK: true})
 }
 
-// onAbort drops a failed job's transfer state. The relay links are
-// cached and stay up for the next job.
+// onAbort drops a failed job's transfer state and cancels the job's
+// gate, so processes that were already forked by a partial launch exit
+// at their next work-chunk boundary instead of running (or sitting
+// descheduled) forever. The relay links are cached and stay up for the
+// next job.
 func (nm *NM) onAbort(a *Abort) {
 	nm.mu.Lock()
 	nm.bins[a.Job].discardSpool()
 	delete(nm.relays, a.Job)
 	delete(nm.bins, a.Job)
 	delete(nm.digests, a.Job)
+	gr := nm.gates[a.Job]
+	delete(nm.gates, a.Job)
 	nm.mu.Unlock()
+	if gr != nil {
+		gr.g.cancel()
+	}
+}
+
+// activeGates reports how many launched jobs still hold a gate (for
+// tests asserting aborted jobs were reaped).
+func (nm *NM) activeGates() int {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	return len(nm.gates)
 }
 
 // finishJob releases a completed job's transfer state (the image digest
@@ -1306,7 +1322,9 @@ func runProgram(p ProgramSpec, rank int, g *gate) {
 		remaining := p.Duration
 		const slice = 5 * time.Millisecond
 		for remaining > 0 {
-			g.wait()
+			if !g.wait() {
+				return // job aborted: exit instead of finishing the run
+			}
 			d := slice
 			if remaining < d {
 				d = remaining
@@ -1318,7 +1336,9 @@ func runProgram(p ProgramSpec, rank int, g *gate) {
 		remaining := p.Duration
 		x := uint64(rank + 1)
 		for remaining > 0 {
-			g.wait()
+			if !g.wait() {
+				return
+			}
 			start := time.Now()
 			for time.Since(start) < time.Millisecond {
 				for i := 0; i < 1<<12; i++ {
@@ -1339,7 +1359,9 @@ func runProgram(p ProgramSpec, rank int, g *gate) {
 		}
 		k := workload.NewSweepKernel(grid, grid, grid)
 		for i := 0; i < iters; i++ {
-			g.wait()
+			if !g.wait() {
+				return
+			}
 			k.Sweep()
 		}
 	}

@@ -61,6 +61,17 @@ type JobSpec struct {
 	// modelling an incremental rebuild that touches a few chunks of an
 	// otherwise unchanged image.
 	ImagePatch map[int]uint64
+	// User names the submitting tenant; the weighted-fair admission
+	// policy keeps per-user virtual time so one user's burst cannot
+	// monopolize the streaming slots. Empty is a distinct (anonymous)
+	// user.
+	User string
+	// Weight scales the user's weighted-fair share (default 1).
+	Weight int
+	// Place, when non-empty, pins the job to exactly these node IDs in
+	// tree-position order (len must equal Nodes); empty lets the MM pick
+	// the least-loaded registered NMs.
+	Place []int
 }
 
 // ProgramSpec is the live process behavior, transmitted to the PLs.
@@ -99,6 +110,14 @@ type Report struct {
 	Chunks     int
 	ChunksSent int
 	BytesSaved int64
+	// Queued is how long the job waited in the admission queue before it
+	// was granted a streaming slot (and, under gang scheduling, a free
+	// timeslot row). Row is the gang row the job ran in (0 when gang
+	// scheduling is off). WindowPeak is the largest number of
+	// unacknowledged chunks the job's flow-control window held at once.
+	Queued     time.Duration
+	Row        int
+	WindowPeak int
 	Timeline   string
 }
 
@@ -277,6 +296,7 @@ type StatusReq struct{}
 type StatusRep struct {
 	Nodes     []int // registered NM IDs, ascending
 	Jobs      int   // jobs currently in flight
+	Queued    int   // jobs waiting in the admission queue
 	Launched  int
 	Completed int
 	Strobes   int
