@@ -25,11 +25,22 @@
 // links: -max-concurrent bounds how many stream at a time and -admission
 // picks the queue order (fifo, wfair, sif). Then submit jobs with
 // cmd/storm.
+//
+// Past one MM's comfortable span, -partitions P starts a two-level
+// federation in one dæmon: P in-process leaf MMs on ephemeral ports
+// (printed at startup — point each NM at its partition's leaf) behind
+// one root serving -listen. Clients cannot tell the root from a flat
+// MM; jobs spanning partitions are split, delegated concurrently, and
+// their reports folded. Any role takes -pprof ADDR to serve
+// net/http/pprof for live profiling (see EXPERIMENTS.md for the
+// footprint recipe).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,16 +65,35 @@ func main() {
 	strobe := flag.Duration("strobe", 0, "gang-scheduling strobe quantum on the MM (0 disables live gang scheduling)")
 	maxConc := flag.Int("max-concurrent", 0, "max jobs streaming concurrently on the MM (0 = default 8)")
 	admission := flag.String("admission", "fifo", "admission policy when jobs queue: fifo, wfair, or sif")
+	partitions := flag.Int("partitions", 1, "leaf-MM partitions behind a federation root on -listen (role mm; 1 = flat MM)")
+	lite := flag.Bool("lite", false, "dense connection profile: 8 KiB stream buffers, kernel-tuned sockets (hundreds of NMs per host)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Parse()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "stormd: pprof: %v\n", err)
+			}
+		}()
+		fmt.Printf("stormd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	switch *role {
 	case "mm":
+		if *partitions > 1 {
+			runFederation(*listen, *partitions, livenet.MMConfig{
+				Fanout: *fanout, GangQuantum: *strobe,
+				MaxConcurrent: *maxConc, Admission: *admission, Lite: *lite,
+			}, *admission, sig)
+			return
+		}
 		mm, err := livenet.NewMM(*listen, livenet.MMConfig{
 			Fanout: *fanout, GangQuantum: *strobe,
-			MaxConcurrent: *maxConc, Admission: *admission,
+			MaxConcurrent: *maxConc, Admission: *admission, Lite: *lite,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
@@ -84,7 +114,7 @@ func main() {
 	case "nm":
 		nm, err := livenet.NewNMConfig(*mmAddr, *node, *cpus, livenet.NMConfig{
 			PeerAddr: *peer, SpoolDir: *spool,
-			CacheBytes: *cacheSize, CacheDir: *cacheDir,
+			CacheBytes: *cacheSize, CacheDir: *cacheDir, Lite: *lite,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
@@ -98,5 +128,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stormd: -role must be mm or nm")
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runFederation serves a two-level cluster from one dæmon: P leaf MMs
+// on ephemeral ports, each owning the NMs that register with it, behind
+// a federation root on the public listen address. Leaves get disjoint
+// job-ID bases so the job field in every frame header is
+// partition-scoped.
+func runFederation(listen string, partitions int, leafCfg livenet.MMConfig, admission string, sig chan os.Signal) {
+	var leaves []*livenet.MM
+	for p := 0; p < partitions; p++ {
+		cfg := leafCfg
+		cfg.JobBase = (p + 1) << 20
+		mm, err := livenet.NewMM("127.0.0.1:0", cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stormd: leaf %d: %v\n", p, err)
+			os.Exit(1)
+		}
+		leaves = append(leaves, mm)
+	}
+	fed, err := livenet.NewFederation(listen, livenet.FedConfig{
+		Admission: admission, Lite: leafCfg.Lite,
+	}, leaves)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("stormd: federation root listening on %s (%d partitions)\n", fed.Addr(), partitions)
+	for p, mm := range leaves {
+		fmt.Printf("stormd: partition %d leaf MM on %s — register this partition's NMs here\n", p, mm.Addr())
+	}
+	<-sig
+	fed.Close()
+	for _, mm := range leaves {
+		mm.Close()
 	}
 }

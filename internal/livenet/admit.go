@@ -199,6 +199,24 @@ func (mm *MM) releaseStream() {
 	mm.mu.Unlock()
 }
 
+// leastLoadedOrder sorts ids in place by (load, id) ascending — the one
+// deterministic least-loaded spread in the system, used for node
+// placement within an MM and lifted unchanged to partition picks at a
+// federation root. The tie-break is the stable ID order, never map
+// iteration order or sort-internal permutation: a given cluster state
+// reproduces the identical placement in every run, which is what makes
+// chaos schedules replayable and bench JSON comparable across runs.
+func leastLoadedOrder(ids []int, load func(id int) int) []int {
+	sort.Slice(ids, func(a, b int) bool {
+		la, lb := load(ids[a]), load(ids[b])
+		if la != lb {
+			return la < lb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
 // placeJob picks the job's node set under mm.mu: the explicit Place
 // list verbatim (in tree-position order), or the spec.Nodes
 // least-loaded registered NMs, ties toward lower node IDs so an idle
@@ -222,13 +240,7 @@ func (mm *MM) placeJob(spec *JobSpec) ([]*nmLink, error) {
 	for id := range mm.nms {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(a, b int) bool {
-		la, lb := mm.nodeLoad[ids[a]], mm.nodeLoad[ids[b]]
-		if la != lb {
-			return la < lb
-		}
-		return ids[a] < ids[b]
-	})
+	leastLoadedOrder(ids, func(id int) int { return mm.nodeLoad[id] })
 	links := make([]*nmLink, 0, spec.Nodes)
 	for _, id := range ids[:spec.Nodes] {
 		links = append(links, mm.nms[id])

@@ -80,9 +80,13 @@ func TestManifestCodecRoundTrip(t *testing.T) {
 }
 
 // TestManifestAllocs pins the manifest/HAVE/need-mask codecs at zero
-// steady-state allocations per frame in both directions: the conn's
-// grown-once scratch must absorb the variable-length tails.
+// steady-state allocations per frame in both directions: the shared
+// tail pool's grown-once scratch must absorb the variable-length
+// tails.
 func TestManifestAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime drops sync.Pool puts at random; the pooled tail scratch cannot hold alloc exactness (enforced by the non-race CI step)")
+	}
 	man := &Manifest{Job: 7, Epoch: 2, ChunkBytes: 32 << 10, ImageCRC: 1,
 		TotalBytes: 1 << 20, Hashes: make([]uint64, 32), CRCs: make([]uint32, 32)}
 	have := &Have{Job: 7, Node: 5, Epoch: 2, Bits: []uint64{0b101}}

@@ -113,6 +113,7 @@ const (
 	manifestFixedLen  = 28 // u32 chunk count at offset 24, 12-byte records follow
 	haveFixedLen      = 14 // u16 word count at offset 12, 8-byte words follow
 	needFixedLen      = 10 // u16 word count at offset 8, 8-byte words follow
+	helloBodyLen      = 4  // shared-listener routing hello ('L')
 
 	scanHdrLen = manifestFixedLen // widest fixed region buffered by the scanner
 )
@@ -210,6 +211,12 @@ func (s *scanner) step(b byte) event {
 			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, haveFixedLen, haveFixedLen-2, 2, 8
 		case 'N':
 			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, needFixedLen, needFixedLen-2, 2, 8
+		case 'L':
+			// Shared-listener routing hello: fixed body, nothing to
+			// count — but it must be consumed as a frame, or its body
+			// bytes would be misread as frame types and desync the
+			// scanner on hub-routed links.
+			s.state, s.need = stSkipN, helloBodyLen
 		default:
 			// Unknown byte: stay in stType. The real codec would error;
 			// the scanner just degrades to pass-through.

@@ -1,0 +1,625 @@
+package livenet
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Two-level MM federation. The paper demonstrates STORM's O(log n)
+// launch scaling to 64 nodes with a single Machine Manager; past that
+// the MM itself is the ceiling — every NM registration, heartbeat
+// ledger, and direct-child stream terminates on one process. The
+// federation applies the system's own medicine one level up: leaf MMs
+// own disjoint partitions of NMs and run the existing plan / manifest /
+// stream / launch machinery completely unchanged, while a root holds
+// only partition-level state — which partitions exist, how many nodes
+// each owns, how loaded each is — and delegates whole sub-jobs down.
+// Per-partition completion reports fold up to the root the same way
+// pong and HAVE ledgers fold up the forwarding tree: the root sees one
+// aggregate per partition, never one record per node, so its egress and
+// bookkeeping are O(partitions) regardless of cluster size.
+//
+// Job identity is partition-scoped: each leaf numbers its jobs from a
+// disjoint MMConfig.JobBase, so the job field already present in every
+// frame header names both the partition and the job, and nothing in the
+// NM relay fabric needed to change.
+
+// FedConfig tunes a federation root.
+type FedConfig struct {
+	// MaxConcurrent bounds how many federated jobs may be in flight at
+	// once (default 8); beyond it submissions queue under the root's
+	// admission policy.
+	MaxConcurrent int
+	// Admission is the root-level queue policy: "fifo" (default),
+	// "wfair", or "sif" — the same policies the leaves use, lifted one
+	// level to order whole jobs instead of streams.
+	Admission string
+	// ReadmitRetries is how many times one job may be re-admitted to a
+	// surviving partition after a leaf MM dies under it (default 1).
+	ReadmitRetries int
+	// Lite selects the dense connection profile for the root's
+	// submission links to the leaves.
+	Lite bool
+}
+
+func (c *FedConfig) fill() {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.ReadmitRetries == 0 {
+		c.ReadmitRetries = 1
+	}
+}
+
+// fedPartition is the root's whole view of one leaf: identity, where to
+// submit, and a node-weighted load figure. Nothing node-granular lives
+// here beyond a membership snapshot refreshed from the in-process leaf
+// handle — the leaf owns its nodes.
+type fedPartition struct {
+	id   int
+	addr string
+	mm   *MM
+	dead bool
+	load int // nodes charged by in-flight federated sub-jobs
+}
+
+// PartReport is one partition's contribution to a federated job.
+type PartReport struct {
+	Partition int
+	Nodes     int
+	Report    Report
+}
+
+// FedReport aggregates a federated job the way a tree parent aggregates
+// its children: the timing is the critical path (max over partitions,
+// since sub-jobs run concurrently), the egress is the root's own — the
+// submission frames it wrote to leaf MMs, O(partitions) by
+// construction — and the per-partition breakdown rides along for
+// anyone who wants the leaves' detail.
+type FedReport struct {
+	JobID    int
+	Send     time.Duration // max partition binary-resident time
+	Execute  time.Duration // max partition execution time
+	Total    time.Duration
+	// RootEgress is every byte the root wrote to delegate this job:
+	// one Submit frame per partition touched. Compare Report.SendBytes
+	// on a leaf, which scales with image size × fanout.
+	RootEgress int64
+	// Readmits counts sub-jobs re-admitted to a surviving partition
+	// after a leaf death.
+	Readmits int
+	Parts    []PartReport
+	Timeline string
+}
+
+// FedStatus is the aggregated cluster snapshot: per-partition rows plus
+// the fold.
+type FedStatus struct {
+	Partitions int // live partitions
+	Nodes      int // total registered NMs across live partitions
+	Jobs       int
+	Queued     int
+	Launched   int
+	Completed  int
+	Parts      []StatusRep
+}
+
+// fedAssign is one partition's share of a federated job.
+type fedAssign struct {
+	part  *fedPartition
+	nodes int
+	place []int // non-nil when the job pinned explicit node IDs
+}
+
+// Federation is the root MM of a two-level cluster. It listens on its
+// own port for Submit/StatusQ exactly like an MM, so clients cannot
+// tell a federation root from a flat MM.
+type Federation struct {
+	ln  net.Listener
+	cfg FedConfig
+
+	mu      sync.Mutex
+	parts   []*fedPartition
+	nextJob int
+	closed  bool
+
+	// Root-level admission reuses the leaf queue machinery verbatim:
+	// the queue elements are liveJobs (only their id/spec/bookkeeping
+	// fields are used — no streams run at the root) and the policy is
+	// the same pluggable fifo/wfair/sif set.
+	admit     *sync.Cond
+	admitQ    []*liveJob
+	streaming int
+	policy    admissionPolicy
+
+	launched  int
+	completed int
+	readmits  int
+
+	wg sync.WaitGroup
+}
+
+// NewFederation starts a federation root over the given leaf MMs. Each
+// leaf must carry a distinct MMConfig.JobBase (partition-scoped job
+// IDs); leaves stay owned by the caller and are not closed by
+// Federation.Close.
+func NewFederation(addr string, cfg FedConfig, leaves []*MM) (*Federation, error) {
+	cfg.fill()
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("livenet: federation needs at least one leaf MM")
+	}
+	bases := make(map[int]bool)
+	for _, mm := range leaves {
+		if bases[mm.cfg.JobBase] {
+			return nil, fmt.Errorf("livenet: leaf MMs share JobBase %d — job IDs must be partition-scoped", mm.cfg.JobBase)
+		}
+		bases[mm.cfg.JobBase] = true
+	}
+	policy, err := newAdmissionPolicy(cfg.Admission)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: federation listen %s: %w", addr, err)
+	}
+	f := &Federation{ln: ln, cfg: cfg, policy: policy}
+	f.admit = sync.NewCond(&f.mu)
+	for i, mm := range leaves {
+		f.parts = append(f.parts, &fedPartition{id: i, addr: mm.Addr(), mm: mm})
+	}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f, nil
+}
+
+// Addr returns the root's listening address.
+func (f *Federation) Addr() string { return f.ln.Addr().String() }
+
+// Close shuts the root down. The leaves are caller-owned and keep
+// running.
+func (f *Federation) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.admit.Broadcast()
+	f.mu.Unlock()
+	f.ln.Close()
+	f.wg.Wait()
+}
+
+// Readmits returns how many sub-jobs have been re-admitted to a
+// surviving partition after a leaf death.
+func (f *Federation) Readmits() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readmits
+}
+
+// LivePartitions returns the IDs of partitions not marked dead.
+func (f *Federation) LivePartitions() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []int
+	for _, p := range f.parts {
+		if !p.dead {
+			out = append(out, p.id)
+		}
+	}
+	return out
+}
+
+// Status folds the per-partition snapshots into the cluster view.
+func (f *Federation) Status() FedStatus {
+	f.mu.Lock()
+	parts := append([]*fedPartition(nil), f.parts...)
+	st := FedStatus{Launched: f.launched, Completed: f.completed, Queued: len(f.admitQ)}
+	f.mu.Unlock()
+	for _, p := range parts {
+		if p.dead {
+			continue
+		}
+		rep := p.mm.status()
+		st.Partitions++
+		st.Nodes += len(rep.Nodes)
+		st.Jobs += rep.Jobs
+		st.Queued += rep.Queued
+		st.Parts = append(st.Parts, rep)
+	}
+	return st
+}
+
+func (f *Federation) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		nc, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		f.wg.Add(1)
+		go f.handleConn(newConn(nc))
+	}
+}
+
+func (f *Federation) handleConn(c *conn) {
+	defer f.wg.Done()
+	defer c.close()
+	first, err := c.recv()
+	if err != nil {
+		return
+	}
+	switch {
+	case first.Submit != nil:
+		rep, err := f.RunJob(first.Submit.Spec)
+		done := Done{Report: Report{
+			JobID:     rep.JobID,
+			Send:      rep.Send,
+			Execute:   rep.Execute,
+			Total:     rep.Total,
+			SendBytes: rep.RootEgress,
+			Timeline:  rep.Timeline,
+		}}
+		if err != nil {
+			done.Err = err.Error()
+		}
+		c.send(Message{Done: &done})
+	case first.StatusQ != nil:
+		st := f.Status()
+		c.send(Message{StatusR: &StatusRep{
+			Nodes:     nodesOf(st),
+			Jobs:      st.Jobs,
+			Queued:    st.Queued,
+			Launched:  st.Launched,
+			Completed: st.Completed,
+		}})
+	}
+}
+
+func nodesOf(st FedStatus) []int {
+	var all []int
+	for _, p := range st.Parts {
+		all = append(all, p.Nodes...)
+	}
+	sort.Ints(all)
+	return all
+}
+
+// membership returns each live partition's registered node set. Caller
+// holds f.mu; the per-leaf snapshot takes the leaf's own lock, which
+// never acquires federation state — lock order is root before leaf,
+// always.
+func (f *Federation) membership() map[int][]int {
+	m := make(map[int][]int, len(f.parts))
+	for _, p := range f.parts {
+		if !p.dead {
+			m[p.id] = p.mm.NMs()
+		}
+	}
+	return m
+}
+
+// assign splits a job across partitions under f.mu. A pinned job
+// (spec.Place) groups its node IDs by owning partition; a free job
+// takes partitions in deterministic least-loaded order (ties toward the
+// lower partition ID — the same leastLoadedOrder spread placeJob uses
+// on nodes) and fills each before spilling into the next, so a job that
+// fits one partition lands on exactly one leaf.
+func (f *Federation) assign(spec *JobSpec, members map[int][]int) ([]fedAssign, error) {
+	byID := make(map[int]*fedPartition, len(f.parts))
+	var ids []int
+	total := 0
+	for _, p := range f.parts {
+		if p.dead {
+			continue
+		}
+		if _, ok := members[p.id]; !ok {
+			continue
+		}
+		byID[p.id] = p
+		ids = append(ids, p.id)
+		total += len(members[p.id])
+	}
+	if total < spec.Nodes {
+		return nil, fmt.Errorf("livenet: %d NMs registered across %d partitions, job wants %d", total, len(ids), spec.Nodes)
+	}
+	if len(spec.Place) > 0 {
+		owner := make(map[int]int) // node -> partition
+		for pid, nodes := range members {
+			for _, n := range nodes {
+				owner[n] = pid
+			}
+		}
+		group := make(map[int][]int)
+		for _, n := range spec.Place {
+			pid, ok := owner[n]
+			if !ok {
+				return nil, fmt.Errorf("livenet: placed node %d not registered in any live partition", n)
+			}
+			group[pid] = append(group[pid], n)
+		}
+		var pids []int
+		for pid := range group {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		var out []fedAssign
+		for _, pid := range pids {
+			out = append(out, fedAssign{part: byID[pid], nodes: len(group[pid]), place: group[pid]})
+		}
+		return out, nil
+	}
+	leastLoadedOrder(ids, func(id int) int { return byID[id].load })
+	var out []fedAssign
+	remaining := spec.Nodes
+	for _, id := range ids {
+		if remaining == 0 {
+			break
+		}
+		n := len(members[id])
+		if n > remaining {
+			n = remaining
+		}
+		out = append(out, fedAssign{part: byID[id], nodes: n})
+		remaining -= n
+	}
+	return out, nil
+}
+
+// subSpec derives one partition's share of the job. Everything
+// content-related is identical — same image seed, same patch — so the
+// leaf manifest memos and NM chunk caches work exactly as they do under
+// a flat MM, and a warm federated relaunch is warm in every partition.
+func subSpec(spec JobSpec, a fedAssign) JobSpec {
+	s := spec
+	s.Nodes = a.nodes
+	s.Place = a.place
+	return s
+}
+
+// RunJob executes one federated job: root-level admission, partition
+// assignment, concurrent delegation to the leaf MMs over real submit
+// links, and ledger-style aggregation of the per-partition reports. A
+// leaf that dies mid-job is marked dead and its share is re-admitted to
+// a surviving partition with free capacity.
+func (f *Federation) RunJob(spec JobSpec) (FedReport, error) {
+	if spec.Nodes <= 0 || spec.PEsPerNode <= 0 {
+		return FedReport{}, fmt.Errorf("livenet: bad job geometry %dx%d", spec.Nodes, spec.PEsPerNode)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return FedReport{}, fmt.Errorf("livenet: federation closed")
+	}
+	f.nextJob++
+	j := &liveJob{id: f.nextJob, spec: spec, qStart: time.Now()}
+	if err := f.awaitAdmission(j); err != nil {
+		f.mu.Unlock()
+		return FedReport{}, err
+	}
+	members := f.membership()
+	assigns, err := f.assign(&spec, members)
+	if err != nil {
+		f.streaming--
+		f.admit.Broadcast()
+		f.mu.Unlock()
+		return FedReport{}, err
+	}
+	for _, a := range assigns {
+		a.part.load += a.nodes
+	}
+	f.launched++
+	f.mu.Unlock()
+
+	release := func(a fedAssign) {
+		f.mu.Lock()
+		if a.part.load >= a.nodes {
+			a.part.load -= a.nodes
+		} else {
+			a.part.load = 0
+		}
+		f.mu.Unlock()
+	}
+	defer func() {
+		f.mu.Lock()
+		f.streaming--
+		f.admit.Broadcast()
+		f.mu.Unlock()
+	}()
+
+	start := time.Now()
+	results := make([]subResult, len(assigns))
+	var wg sync.WaitGroup
+	for i, a := range assigns {
+		wg.Add(1)
+		go func(i int, a fedAssign) {
+			defer wg.Done()
+			defer release(a)
+			results[i] = f.runPart(j.id, subSpec(spec, a), a)
+		}(i, a)
+	}
+	wg.Wait()
+
+	rep := FedReport{JobID: j.id}
+	var firstErr error
+	for _, r := range results {
+		rep.RootEgress += r.eg
+		rep.Readmits += r.rad
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		if r.pr.Report.Send > rep.Send {
+			rep.Send = r.pr.Report.Send
+		}
+		if r.pr.Report.Execute > rep.Execute {
+			rep.Execute = r.pr.Report.Execute
+		}
+		rep.Parts = append(rep.Parts, r.pr)
+	}
+	sort.Slice(rep.Parts, func(a, b int) bool { return rep.Parts[a].Partition < rep.Parts[b].Partition })
+	rep.Total = time.Since(start)
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	f.mu.Lock()
+	f.completed++
+	f.readmits += rep.Readmits
+	f.mu.Unlock()
+	var pids []string
+	for _, p := range rep.Parts {
+		pids = append(pids, fmt.Sprintf("%d", p.Partition))
+	}
+	rep.Timeline = fmt.Sprintf("send=%v execute=%v nodes=%d partitions=[%s] root_egress=%dB",
+		rep.Send, rep.Execute, spec.Nodes, strings.Join(pids, ","), rep.RootEgress)
+	if rep.Readmits > 0 {
+		rep.Timeline += fmt.Sprintf(" readmits=%d", rep.Readmits)
+	}
+	return rep, nil
+}
+
+// subResult is one partition's outcome within a federated job.
+type subResult struct {
+	pr  PartReport
+	eg  int64 // root submit-link egress for this share, retries included
+	rad int   // re-admissions this share needed
+	err error
+}
+
+// runPart delegates one partition's share, re-admitting to a survivor
+// when the leaf's submit link dies mid-job (the leaf process died). A
+// job-level failure reported over a healthy link is final — the cluster
+// rejected the job, not the partition.
+func (f *Federation) runPart(jobID int, spec JobSpec, a fedAssign) (res subResult) {
+	part := a.part
+	for attempt := 0; ; attempt++ {
+		rep, egress, dead, err := f.submit(part.addr, spec)
+		res.eg += egress
+		if err == nil {
+			res.pr = PartReport{Partition: part.id, Nodes: spec.Nodes, Report: rep}
+			return res
+		}
+		if !dead || attempt >= f.cfg.ReadmitRetries {
+			res.err = fmt.Errorf("livenet: fed job %d on partition %d: %w", jobID, part.id, err)
+			return res
+		}
+		// The submit link died: convict the partition and re-admit this
+		// share to the deterministically least-loaded survivor with
+		// room. Pinned placement cannot survive its partition — the
+		// pinned nodes died with it — so the re-admitted share falls
+		// back to the survivor's own least-loaded placement.
+		f.mu.Lock()
+		part.dead = true
+		next := f.pickSurvivor(spec.Nodes, part)
+		if next != nil {
+			next.load += spec.Nodes
+		}
+		f.mu.Unlock()
+		if next == nil {
+			res.err = fmt.Errorf("livenet: fed job %d: partition %d died and no survivor has %d free nodes", jobID, part.id, spec.Nodes)
+			return res
+		}
+		spec.Place = nil
+		res.rad++
+		part = next
+		// The survivor's load charge lives until this share finishes,
+		// however many further retries that takes.
+		defer func(p *fedPartition, n int) {
+			f.mu.Lock()
+			if p.load >= n {
+				p.load -= n
+			} else {
+				p.load = 0
+			}
+			f.mu.Unlock()
+		}(next, spec.Nodes)
+	}
+}
+
+// pickSurvivor chooses the least-loaded live partition (deterministic
+// tie-break by ID) with at least n registered nodes, excluding the one
+// that just died. Caller holds f.mu.
+func (f *Federation) pickSurvivor(n int, exclude *fedPartition) *fedPartition {
+	var ids []int
+	byID := make(map[int]*fedPartition)
+	for _, p := range f.parts {
+		if p.dead || p == exclude {
+			continue
+		}
+		if len(p.mm.NMs()) < n {
+			continue
+		}
+		byID[p.id] = p
+		ids = append(ids, p.id)
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	leastLoadedOrder(ids, func(id int) int { return byID[id].load })
+	return byID[ids[0]]
+}
+
+// submit runs one sub-job on a leaf over a real TCP submit link and
+// reports the bytes the root wrote on it — the root's whole per-
+// partition delegation cost. dead reports link death (leaf process
+// gone) as opposed to a job failure returned over a live link.
+func (f *Federation) submit(addr string, spec JobSpec) (rep Report, egress int64, dead bool, err error) {
+	prof := bulkProfile
+	if f.cfg.Lite {
+		prof = liteProfile
+	}
+	c, err := dialProf(nil, nil, addr, prof)
+	if err != nil {
+		return Report{}, 0, true, err
+	}
+	defer c.close()
+	if err := c.send(Message{Submit: &Submit{Spec: spec}}); err != nil {
+		return Report{}, c.sentBytes(), true, fmt.Errorf("submit: %w", err)
+	}
+	m, err := c.recv()
+	if err != nil {
+		return Report{}, c.sentBytes(), true, fmt.Errorf("awaiting report: %w", err)
+	}
+	if m.Done == nil {
+		return Report{}, c.sentBytes(), false, fmt.Errorf("unexpected reply")
+	}
+	if m.Done.Err != "" {
+		return m.Done.Report, c.sentBytes(), false, fmt.Errorf("%s", m.Done.Err)
+	}
+	return m.Done.Report, c.sentBytes(), false, nil
+}
+
+// awaitAdmission parks a federated job until the root policy picks it
+// and a concurrency slot frees — the leaf admission loop without gang
+// rows. Caller holds f.mu.
+func (f *Federation) awaitAdmission(j *liveJob) error {
+	f.admitQ = append(f.admitQ, j)
+	for {
+		if f.closed {
+			f.dropQueued(j)
+			return fmt.Errorf("livenet: federation closed while job %d awaited admission", j.id)
+		}
+		if f.streaming < f.cfg.MaxConcurrent && f.policy.pick(f.admitQ) == j {
+			f.dropQueued(j)
+			f.streaming++
+			f.policy.granted(j)
+			f.admit.Broadcast()
+			j.queued = time.Since(j.qStart)
+			return nil
+		}
+		f.admit.Wait()
+	}
+}
+
+func (f *Federation) dropQueued(j *liveJob) {
+	for i, q := range f.admitQ {
+		if q == j {
+			f.admitQ = append(f.admitQ[:i], f.admitQ[i+1:]...)
+			return
+		}
+	}
+}

@@ -8,27 +8,15 @@ import (
 	"time"
 
 	"repro/internal/livenet/faultconn"
+	"repro/internal/testutil"
 )
 
-// waitForGoroutines waits for the goroutine count to settle back to at
-// most base+slack, dumping all stacks on failure. Shared by every
-// lifecycle test that asserts clean teardown.
+// waitForGoroutines delegates to the shared testutil helper so every
+// lifecycle test — from 3-node chaos to 512-NM federation — asserts
+// clean teardown the same way.
 func waitForGoroutines(t testing.TB, base int, within time.Duration) {
 	t.Helper()
-	// Small slack: the runtime keeps a few service goroutines (timer
-	// scavenger, race runtime) whose lifetime we don't control.
-	const slack = 2
-	deadline := time.Now().Add(within)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= base+slack {
-			return
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	n := runtime.Stack(buf, true)
-	t.Fatalf("goroutines leaked: %d running, baseline %d (+%d slack)\n%s",
-		runtime.NumGoroutine(), base, slack, buf[:n])
+	testutil.WaitForGoroutines(t, base, within)
 }
 
 // TestNoGoroutineLeaks runs the three lifecycle shapes that historically

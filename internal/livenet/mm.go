@@ -108,6 +108,16 @@ type MMConfig struct {
 	// WrapConn, when set, interposes on every accepted connection —
 	// the fault-injection hook (see internal/livenet/faultconn).
 	WrapConn func(net.Conn) net.Conn
+	// JobBase offsets this MM's job numbering: job IDs count up from
+	// JobBase+1. A federation gives each leaf MM a disjoint base
+	// (partition-scoped job IDs), so the job field in every frame header
+	// cluster-wide names both the partition and the job — no two leaves
+	// can collide on the shared relay fabric.
+	JobBase int
+	// Lite selects the dense connection profile (shallow buffered I/O,
+	// kernel-autotuned socket buffers) on every accepted connection.
+	// Pair with NMConfig.Lite when packing hundreds of NMs in-process.
+	Lite bool
 }
 
 func (c *MMConfig) fill() {
@@ -163,6 +173,11 @@ type MM struct {
 	jobs    map[int]*liveJob
 	nextJob int
 	closed  bool
+	// clients tracks in-flight submission connections so Kill can sever
+	// them: Close leaves them to drain naturally (serveClient closes
+	// each when its job finishes), but a simulated process death must
+	// cut mid-job submitters loose immediately.
+	clients map[*conn]struct{}
 
 	// Multi-tenant admission (see admit.go): jobs wait in admitQ until
 	// the policy grants them one of MaxConcurrent streaming slots;
@@ -370,6 +385,8 @@ func NewMM(addr string, cfg MMConfig) (*MM, error) {
 		ln:         ln,
 		nms:        make(map[int]*nmLink),
 		jobs:       make(map[int]*liveJob),
+		nextJob:    cfg.JobBase,
+		clients:    make(map[*conn]struct{}),
 		manifests:  make(map[manifestKey]*manifestData),
 		probes:     make(map[int64]*probeRound),
 		ctlExclude: make(map[int]bool),
@@ -438,7 +455,17 @@ func (mm *MM) NMs() []int {
 }
 
 // Close shuts the MM down and disconnects everyone.
-func (mm *MM) Close() {
+func (mm *MM) Close() { mm.shutdown(false) }
+
+// Kill is the abrupt shutdown — the leaf-manager process death a
+// federation must survive. Where Close lets in-flight submissions drain
+// (their jobs fail against the closed cluster and report back), Kill
+// severs the client connections immediately, so a root MM waiting on a
+// delegated job sees the link die now rather than after the dead leaf's
+// transfer machinery times out.
+func (mm *MM) Kill() { mm.shutdown(true) }
+
+func (mm *MM) shutdown(abrupt bool) {
 	if mm.strobeStop != nil {
 		close(mm.strobeStop)
 		mm.strobeStop = nil
@@ -450,6 +477,11 @@ func (mm *MM) Close() {
 	mm.detStops = nil
 	for _, l := range mm.nms {
 		l.c.close()
+	}
+	if abrupt {
+		for c := range mm.clients {
+			c.close()
+		}
 	}
 	mm.mu.Unlock()
 	for _, stop := range stops {
@@ -469,8 +501,12 @@ func (mm *MM) acceptLoop() {
 		if mm.cfg.WrapConn != nil {
 			nc = mm.cfg.WrapConn(nc)
 		}
+		prof := bulkProfile
+		if mm.cfg.Lite {
+			prof = liteProfile
+		}
 		mm.wg.Add(1)
-		go mm.handleConn(newConn(nc))
+		go mm.handleConn(newConnProf(nc, prof))
 	}
 }
 
@@ -659,6 +695,14 @@ func (mm *MM) onTerm(t *Term) {
 // serveClient runs one job's full lifecycle on behalf of a submitter.
 func (mm *MM) serveClient(c *conn, spec JobSpec) {
 	defer c.close()
+	mm.mu.Lock()
+	mm.clients[c] = struct{}{}
+	mm.mu.Unlock()
+	defer func() {
+		mm.mu.Lock()
+		delete(mm.clients, c)
+		mm.mu.Unlock()
+	}()
 	rep, err := mm.RunJob(spec)
 	done := Done{Report: rep}
 	if err != nil {

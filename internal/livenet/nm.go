@@ -44,6 +44,16 @@ type NMConfig struct {
 	// internal/livenet/faultconn).
 	Dialer   Dialer
 	WrapConn func(net.Conn) net.Conn
+	// Hub, when set, replaces the NM's private relay listener with the
+	// shared per-process PeerHub: the NM registers a routed
+	// "host:port#node" peer address and inbound relay connections are
+	// demultiplexed by the hub's single accept loop. PeerAddr is ignored.
+	Hub *PeerHub
+	// Lite selects the dense connection profile (shallow buffered I/O,
+	// kernel-autotuned socket buffers) on every connection this NM
+	// makes. The right choice when hundreds of NMs share a process;
+	// the default bulk profile is tuned for per-link throughput.
+	Lite bool
 }
 
 // NM is a live Node Manager: it registers with the MM, receives binary
@@ -56,7 +66,7 @@ type NM struct {
 	cpus   int
 	cfg    NMConfig
 	c      *conn
-	peerLn net.Listener
+	peerLn net.Listener // nil when a shared PeerHub routes inbound links
 	cache  *chunkcache.Cache // nil when caching is disabled
 
 	mu      sync.Mutex
@@ -166,34 +176,7 @@ func NewNM(addr string, node, cpus int) (*NM, error) {
 
 // NewNMConfig is NewNM with explicit configuration.
 func NewNMConfig(addr string, node, cpus int, cfg NMConfig) (*NM, error) {
-	peerAddr := cfg.PeerAddr
-	if peerAddr == "" {
-		peerAddr = "127.0.0.1:0"
-	}
-	ln, err := net.Listen("tcp", peerAddr)
-	if err != nil {
-		return nil, fmt.Errorf("livenet: peer listen %s: %w", peerAddr, err)
-	}
-	if cfg.SpoolDir != "" {
-		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
-			ln.Close()
-			return nil, fmt.Errorf("livenet: spool dir: %w", err)
-		}
-	}
-	var cache *chunkcache.Cache
-	if cfg.CacheBytes > 0 {
-		cache, err = chunkcache.New(cfg.CacheBytes, cfg.CacheDir)
-		if err != nil {
-			ln.Close()
-			return nil, fmt.Errorf("livenet: chunk cache: %w", err)
-		}
-	}
-	c, err := dialWith(cfg.Dialer, cfg.WrapConn, addr)
-	if err != nil {
-		ln.Close()
-		return nil, err
-	}
-	nm := &NM{node: node, cpus: cpus, cfg: cfg, c: c, peerLn: ln, cache: cache,
+	nm := &NM{node: node, cpus: cpus, cfg: cfg,
 		bins:    make(map[int]*binState),
 		relays:  make(map[int]*relayState),
 		digests: make(map[int]ImageDigest),
@@ -201,22 +184,88 @@ func NewNMConfig(addr string, node, cpus int, cfg NMConfig) (*NM, error) {
 		dialed:  make(map[string]*conn),
 		gates:   make(map[int]*gateRow),
 		closed:  make(chan struct{})}
-	if err := c.send(Message{Register: &Register{Node: node, CPUs: cpus, Addr: ln.Addr().String()}}); err != nil {
+	var peerAddr string
+	if cfg.Hub != nil {
+		// Shared-listener mode: no private listener, no accept
+		// goroutine; the hub routes inbound relay connections here by
+		// the dialer's hello frame.
+		if err := cfg.Hub.register(node, nm); err != nil {
+			return nil, err
+		}
+		peerAddr = cfg.Hub.NodeAddr(node)
+	} else {
+		la := cfg.PeerAddr
+		if la == "" {
+			la = "127.0.0.1:0"
+		}
+		ln, err := net.Listen("tcp", la)
+		if err != nil {
+			return nil, fmt.Errorf("livenet: peer listen %s: %w", la, err)
+		}
+		nm.peerLn = ln
+		peerAddr = ln.Addr().String()
+	}
+	fail := func() {
+		if nm.peerLn != nil {
+			nm.peerLn.Close()
+		}
+		if cfg.Hub != nil {
+			cfg.Hub.unregister(node, nm)
+		}
+	}
+	if cfg.SpoolDir != "" {
+		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+			fail()
+			return nil, fmt.Errorf("livenet: spool dir: %w", err)
+		}
+	}
+	if cfg.CacheBytes > 0 {
+		cache, err := chunkcache.New(cfg.CacheBytes, cfg.CacheDir)
+		if err != nil {
+			fail()
+			return nil, fmt.Errorf("livenet: chunk cache: %w", err)
+		}
+		nm.cache = cache
+	}
+	c, err := dialProf(cfg.Dialer, cfg.WrapConn, addr, nm.profile())
+	if err != nil {
+		fail()
+		return nil, err
+	}
+	nm.c = c
+	if err := c.send(Message{Register: &Register{Node: node, CPUs: cpus, Addr: peerAddr}}); err != nil {
 		c.close()
-		ln.Close()
+		fail()
 		return nil, fmt.Errorf("livenet: register: %w", err)
 	}
-	nm.wg.Add(2)
+	nm.wg.Add(1)
 	go nm.loop()
-	go nm.acceptPeers()
+	if nm.peerLn != nil {
+		nm.wg.Add(1)
+		go nm.acceptPeers()
+	}
 	return nm, nil
+}
+
+// profile is the connection profile every link of this NM uses.
+func (nm *NM) profile() connProfile {
+	if nm.cfg.Lite {
+		return liteProfile
+	}
+	return bulkProfile
 }
 
 // Node returns the NM's node ID.
 func (nm *NM) Node() int { return nm.node }
 
-// PeerAddr returns the NM's relay listener address.
-func (nm *NM) PeerAddr() string { return nm.peerLn.Addr().String() }
+// PeerAddr returns the NM's relay address: its private listener, or its
+// routed "host:port#node" hub address in shared-listener mode.
+func (nm *NM) PeerAddr() string {
+	if nm.cfg.Hub != nil {
+		return nm.cfg.Hub.NodeAddr(nm.node)
+	}
+	return nm.peerLn.Addr().String()
+}
 
 // FragsWritten returns the number of verified fragments written.
 func (nm *NM) FragsWritten() int {
@@ -284,7 +333,12 @@ func (nm *NM) Close() {
 	}
 	nm.mu.Unlock()
 	nm.c.close()
-	nm.peerLn.Close()
+	if nm.peerLn != nil {
+		nm.peerLn.Close()
+	}
+	if nm.cfg.Hub != nil {
+		nm.cfg.Hub.unregister(nm.node, nm)
+	}
 	nm.mu.Lock()
 	for pc := range nm.peers {
 		pc.close()
@@ -342,13 +396,37 @@ func (nm *NM) acceptPeers() {
 		if nm.cfg.WrapConn != nil {
 			nc = nm.cfg.WrapConn(nc)
 		}
-		pc := newConn(nc)
+		pc := newConnProf(nc, nm.profile())
 		nm.mu.Lock()
 		nm.peers[pc] = struct{}{}
 		nm.mu.Unlock()
 		nm.wg.Add(1)
 		go nm.servePeer(pc)
 	}
+}
+
+// adoptPeer accepts an inbound relay connection routed by a shared
+// PeerHub: the NM's own fault hook and connection profile apply exactly
+// as they would on a privately-accepted connection. Returns false (and
+// adopts nothing) if the NM is already closed — the connection then
+// belongs to the caller.
+func (nm *NM) adoptPeer(nc net.Conn) bool {
+	if nm.cfg.WrapConn != nil {
+		nc = nm.cfg.WrapConn(nc)
+	}
+	pc := newConnProf(nc, nm.profile())
+	nm.mu.Lock()
+	select {
+	case <-nm.closed:
+		nm.mu.Unlock()
+		return false
+	default:
+	}
+	nm.peers[pc] = struct{}{}
+	nm.wg.Add(1)
+	nm.mu.Unlock()
+	go nm.servePeer(pc)
+	return true
 }
 
 // servePeer pumps fragments arriving from a parent NM; acks flow back on
@@ -469,7 +547,7 @@ func (nm *NM) peerConn(addr string) (*conn, error) {
 // dialChild opens a fresh relay link to addr, caches it, and starts its
 // ack pump.
 func (nm *NM) dialChild(addr string) (*conn, error) {
-	cc, err := dialWith(nm.cfg.Dialer, nm.cfg.WrapConn, addr)
+	cc, err := dialProf(nm.cfg.Dialer, nm.cfg.WrapConn, addr, nm.profile())
 	if err != nil {
 		return nil, err
 	}

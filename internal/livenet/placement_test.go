@@ -1,0 +1,56 @@
+package livenet
+
+import (
+	"testing"
+)
+
+// TestLeastLoadedOrderDeterministic pins the placement tie-break: equal
+// loads order by ascending node ID regardless of input order, so an
+// idle cluster reproduces the classic sorted-prefix placement and two
+// identical clusters place identical jobs identically. (The pre-fix
+// spread inherited Go's randomized map iteration through the caller and
+// could differ run to run.)
+func TestLeastLoadedOrderDeterministic(t *testing.T) {
+	load := map[int]int{4: 1, 2: 0, 7: 1, 1: 0, 9: 2, 0: 0}
+	perms := [][]int{
+		{4, 2, 7, 1, 9, 0},
+		{0, 1, 2, 4, 7, 9},
+		{9, 7, 4, 2, 1, 0},
+		{1, 9, 0, 4, 2, 7},
+	}
+	want := []int{0, 1, 2, 4, 7, 9} // loads 0,0,0 then 1,1 then 2 — ties by ID
+	for _, perm := range perms {
+		ids := append([]int(nil), perm...)
+		got := leastLoadedOrder(ids, func(id int) int { return load[id] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("input %v: got %v, want %v", perm, got, want)
+			}
+		}
+	}
+}
+
+// TestPlacementDeterministic checks the tie-break end to end: on an
+// idle cluster the least-loaded pick is the sorted node-ID prefix,
+// every time.
+func TestPlacementDeterministic(t *testing.T) {
+	mm, nms := startCluster(t, 6, MMConfig{})
+	_ = nms
+	for run := 0; run < 3; run++ {
+		rep, err := SubmitJob(mm.Addr(), JobSpec{
+			Name: "pd", BinaryBytes: 64 << 10, Nodes: 3, PEsPerNode: 1,
+			Program: ProgramSpec{Kind: "exit"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The placed set is observable through which NMs hold the image.
+		for i, nm := range nms {
+			_, ok := nm.ImageDigest(rep.JobID)
+			if want := i < 3; ok != want {
+				t.Fatalf("run %d: node %d image presence %v, want %v (idle placement must be nodes 0..2)",
+					run, nm.Node(), ok, want)
+			}
+		}
+	}
+}

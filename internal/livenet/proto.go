@@ -32,6 +32,8 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -133,6 +135,7 @@ type Report struct {
 // has clone() for retention).
 type Message struct {
 	Register  *Register
+	Hello     *Hello
 	Submit    *Submit
 	Frag      *Frag
 	FragAck   *FragAck
@@ -168,6 +171,15 @@ type Register struct {
 // Submit asks the MM to run a job.
 type Submit struct {
 	Spec JobSpec
+}
+
+// Hello routes an inbound relay connection on a shared peer listener
+// (see PeerHub): when many NMs live in one process they share one
+// listener instead of owning one each, and the dialer's first frame
+// names which NM the connection is for. It is always the first bytes on
+// such a connection and never appears once a link is established.
+type Hello struct {
+	Node int
 }
 
 // Frag carries one fragment of a job's binary image. On the wire it is a
@@ -541,6 +553,7 @@ const (
 	frameManifest  = 'M' // manifestFixedLen fixed part + nchunks×12 tail
 	frameHave      = 'H' // haveFixedLen fixed part + nwords×8 tail
 	frameNeed      = 'N' // needFixedLen fixed part + nwords×8 tail
+	frameHello     = 'L' // helloBodyLen fixed body (shared-listener demux)
 )
 
 const (
@@ -572,6 +585,10 @@ const (
 	// needFixedLen is job u32 | epoch u32 | nwords u16; bitmap words
 	// follow.
 	needFixedLen = 10
+	// helloBodyLen is node u32. A shared peer listener (PeerHub) reads
+	// exactly 1+helloBodyLen raw bytes off a fresh connection to learn
+	// which NM it is for, so the frame must stay fixed-size.
+	helloBodyLen = 4
 	// maxFrame bounds a frame payload (corruption guard).
 	maxFrame = 64 << 20
 	// maxCtlErr bounds the error string carried in a typed control
@@ -610,9 +627,6 @@ func releaseFragBuf(b []byte) {
 	fragBufPool.Put(&b)
 }
 
-// gobBufPool recycles the scratch buffers control messages are gob-
-// encoded into before framing.
-var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // conn wraps a TCP connection with the frame codec: buffered writes with
 // explicit flush per frame, a write lock (frames must not interleave),
@@ -628,10 +642,6 @@ type conn struct {
 	// control frames (PlanAck and kin) borrow its prefix and append the
 	// error string as a second write.
 	hdr [connScratchLen]byte
-	// vbuf is the grown-once tail scratch for the variable-length typed
-	// frames (manifest chunk records, HAVE/need bitmap words), guarded
-	// by wmu like hdr.
-	vbuf []byte
 
 	// Decode scratch for the zero-alloc control subset: recv returns
 	// pointers into these, valid until the next recv. A conn has one
@@ -640,7 +650,7 @@ type conn struct {
 	// stack array because a stack array passed to io.ReadFull escapes
 	// and would cost an allocation per frame.
 	rbuf       [connScratchLen]byte
-	rtail      []byte // grown-once read scratch for variable frame tails
+	rHello     Hello
 	rPing      Ping
 	rPong      Pong
 	rStrobe    Strobe
@@ -650,29 +660,60 @@ type conn struct {
 	rHave      Have     // Bits grown once
 	rNeed      NeedMask // Bits grown once
 
+	// Persistent gob codec. Type descriptors compile once per link, not
+	// once per message: a fresh gob.NewEncoder/NewDecoder pair per frame
+	// costs a reflect-driven type compilation each time, which profiles
+	// as the dominant control-plane cost once a launch pushes one plan
+	// per NM across hundreds of NMs. The encoder state lives under wmu
+	// (Encode mutates it); the decoder is owned by the conn's single
+	// reader. The byte stream stays framed — each Encode's output is
+	// drained into one length-prefixed 'G' frame, and the receiver feeds
+	// payloads to its decoder in arrival order, so the pair see one
+	// continuous gob stream.
+	enc    *gob.Encoder
+	encBuf bytes.Buffer
+	dec    *gob.Decoder
+	decBuf bytes.Buffer
+
 	sent       atomic.Int64 // bytes written, frames included
 	sentFrames atomic.Int64 // frames written (the control-egress metric)
 }
 
-func newConn(c net.Conn) *conn {
-	if tc, ok := c.(*net.TCPConn); ok {
-		// A fragment write should land in the kernel in one shot: the
-		// default send buffer starts tiny (tcp_wmem[1]) and autotunes,
-		// so without this every early frag write blocks mid-frame and
-		// store-and-forward hops pay an extra context switch per block.
-		tc.SetWriteBuffer(1 << 20)
-		tc.SetReadBuffer(1 << 20)
+// connProfile sizes a connection's buffering. The bulk profile is tuned
+// for throughput on a handful of links (deep bufio, 1MB socket buffers
+// so an early fragment write lands in the kernel in one shot instead of
+// blocking on tcp_wmem autotuning). The lite profile is tuned for
+// density: with hundreds of NMs in one process the per-conn bufio pair
+// dominates the per-NM heap (2×64KB on each side of every link), so
+// lite conns carry shallow buffers and leave the socket buffers to the
+// kernel — the right trade for control-sized frames, which is all a
+// steady-state registered NM exchanges.
+type connProfile struct {
+	bufBytes  int // bufio reader/writer size, each direction
+	sockBytes int // TCP send/receive buffer; 0 keeps the kernel default
+}
+
+var (
+	bulkProfile = connProfile{bufBytes: 64 << 10, sockBytes: 1 << 20}
+	liteProfile = connProfile{bufBytes: 8 << 10}
+)
+
+func newConn(c net.Conn) *conn { return newConnProf(c, bulkProfile) }
+
+func newConnProf(c net.Conn, prof connProfile) *conn {
+	if tc, ok := c.(*net.TCPConn); ok && prof.sockBytes > 0 {
+		tc.SetWriteBuffer(prof.sockBytes)
+		tc.SetReadBuffer(prof.sockBytes)
 	}
-	return &conn{c: c, r: bufio.NewReaderSize(c, 64<<10), w: bufio.NewWriterSize(c, 64<<10)}
+	return &conn{c: c, r: bufio.NewReaderSize(c, prof.bufBytes), w: bufio.NewWriterSize(c, prof.bufBytes)}
 }
 
 // send serializes one message. Fragments, fragment acks, and the hot
 // control messages (heartbeats, strobes, plan confirmations, peer-down
 // reports) are routed to fixed-layout typed frames; only the cold
 // remainder (registration, submissions, topology plans, launches,
-// reports) is gob inside a 'G' frame. Each cold message gets a fresh
-// gob stream: the per-message type-descriptor overhead is irrelevant
-// at those rates and keeps the framing self-contained.
+// reports) is gob inside a 'G' frame, encoded on the conn's persistent
+// gob stream so type descriptors cross each link exactly once.
 func (c *conn) send(m Message) error {
 	switch {
 	case m.Frag != nil:
@@ -700,19 +741,20 @@ func (c *conn) send(m Message) error {
 	case m.NeedMask != nil:
 		return c.sendNeedMask(m.NeedMask)
 	}
-	buf := gobBufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	if err := gob.NewEncoder(buf).Encode(&m); err != nil {
-		gobBufPool.Put(buf)
+	c.wmu.Lock()
+	if c.enc == nil {
+		c.enc = gob.NewEncoder(&c.encBuf)
+	}
+	c.encBuf.Reset()
+	if err := c.enc.Encode(&m); err != nil {
+		c.wmu.Unlock()
 		return err
 	}
-	c.wmu.Lock()
 	var hdr [5]byte
 	hdr[0] = frameGob
-	binary.BigEndian.PutUint32(hdr[1:], uint32(buf.Len()))
-	err := c.writeFrame(hdr[:], buf.Bytes())
+	binary.BigEndian.PutUint32(hdr[1:], uint32(c.encBuf.Len()))
+	err := c.writeFrame(hdr[:], c.encBuf.Bytes())
 	c.wmu.Unlock()
-	gobBufPool.Put(buf)
 	return err
 }
 
@@ -854,17 +896,45 @@ func (c *conn) sendPeerDown(d *PeerDown) error {
 	return c.writeFrameString(hdr, e)
 }
 
-// growVbuf returns the tail scratch at length n, reallocating only on
-// growth. Caller holds wmu.
-func (c *conn) growVbuf(n int) []byte {
-	if cap(c.vbuf) < n {
-		c.vbuf = make([]byte, n)
+// tailPool recycles the scratch buffers for variable-length typed-frame
+// tails (manifest chunk records, HAVE/need bitmap words) on both the
+// encode and decode paths. The scratch used to be a grown-once buffer
+// owned by each conn, which sizes the fleet's tail memory by the number
+// of connections — O(cluster) with hundreds of NMs in one process. A
+// tail is only live while one frame is being built or decoded, so the
+// pool's working set is the number of conns concurrently inside a
+// varlen send/recv: O(fanout), not O(cluster).
+var tailPool sync.Pool
+
+// grabTail returns pooled tail scratch with at least n usable bytes.
+// Release with putTail once the frame is written or decoded.
+func grabTail(n int) *[]byte {
+	if v := tailPool.Get(); v != nil {
+		p := v.(*[]byte)
+		if cap(*p) >= n {
+			*p = (*p)[:n]
+			return p
+		}
 	}
-	return c.vbuf[:n]
+	b := make([]byte, n)
+	return &b
+}
+
+func putTail(p *[]byte) { tailPool.Put(p) }
+
+// sendHello writes the shared-listener routing frame; it must be the
+// first frame on a connection dialed through a PeerHub address.
+func (c *conn) sendHello(node int) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	hdr := c.hdr[:1+helloBodyLen]
+	hdr[0] = frameHello
+	binary.BigEndian.PutUint32(hdr[1:], uint32(node))
+	return c.writeFrame(hdr, nil)
 }
 
 // sendManifest writes a typed manifest frame: fixed part in the conn
-// scratch, per-chunk hash records in the grown-once tail buffer (zero
+// scratch, per-chunk hash records in pooled tail scratch (zero
 // steady-state allocations).
 func (c *conn) sendManifest(m *Manifest) error {
 	c.wmu.Lock()
@@ -877,12 +947,15 @@ func (c *conn) sendManifest(m *Manifest) error {
 	binary.BigEndian.PutUint32(hdr[13:], m.ImageCRC)
 	binary.BigEndian.PutUint64(hdr[17:], uint64(m.TotalBytes))
 	binary.BigEndian.PutUint32(hdr[25:], uint32(len(m.Hashes)))
-	tail := c.growVbuf(len(m.Hashes) * 12)
+	tp := grabTail(len(m.Hashes) * 12)
+	tail := *tp
 	for i, h := range m.Hashes {
 		binary.BigEndian.PutUint64(tail[i*12:], h)
 		binary.BigEndian.PutUint32(tail[i*12+8:], m.CRCs[i])
 	}
-	return c.writeFrame(hdr, tail)
+	err := c.writeFrame(hdr, tail)
+	putTail(tp)
+	return err
 }
 
 // sendHave writes a typed aggregated cache-ledger frame (zero
@@ -896,11 +969,14 @@ func (c *conn) sendHave(h *Have) error {
 	binary.BigEndian.PutUint32(hdr[5:], uint32(h.Node))
 	binary.BigEndian.PutUint32(hdr[9:], uint32(h.Epoch))
 	binary.BigEndian.PutUint16(hdr[13:], uint16(len(h.Bits)))
-	tail := c.growVbuf(len(h.Bits) * 8)
+	tp := grabTail(len(h.Bits) * 8)
+	tail := *tp
 	for i, w := range h.Bits {
 		binary.BigEndian.PutUint64(tail[i*8:], w)
 	}
-	return c.writeFrame(hdr, tail)
+	err := c.writeFrame(hdr, tail)
+	putTail(tp)
+	return err
 }
 
 // sendNeedMask writes a typed stream-announcement frame (zero
@@ -913,11 +989,14 @@ func (c *conn) sendNeedMask(n *NeedMask) error {
 	binary.BigEndian.PutUint32(hdr[1:], uint32(n.Job))
 	binary.BigEndian.PutUint32(hdr[5:], uint32(n.Epoch))
 	binary.BigEndian.PutUint16(hdr[9:], uint16(len(n.Bits)))
-	tail := c.growVbuf(len(n.Bits) * 8)
+	tp := grabTail(len(n.Bits) * 8)
+	tail := *tp
 	for i, w := range n.Bits {
 		binary.BigEndian.PutUint64(tail[i*8:], w)
 	}
-	return c.writeFrame(hdr, tail)
+	err := c.writeFrame(hdr, tail)
+	putTail(tp)
+	return err
 }
 
 // writeFrame writes header+payload and flushes. Caller holds wmu.
@@ -975,14 +1054,17 @@ func (c *conn) recv() (Message, error) {
 		if n > maxFrame {
 			return Message{}, fmt.Errorf("livenet: oversized control frame (%d bytes)", n)
 		}
-		payload := grabFragBuf(n)
-		if _, err := io.ReadFull(c.r, payload); err != nil {
-			releaseFragBuf(payload)
+		if c.dec == nil {
+			c.dec = gob.NewDecoder(&c.decBuf)
+		}
+		// Feed the payload onto the conn's continuous gob stream;
+		// bytes.Buffer's ReadFrom keeps the copy allocation-free once
+		// the buffer has grown to the largest control message.
+		if _, err := io.CopyN(&c.decBuf, c.r, int64(n)); err != nil {
 			return Message{}, err
 		}
 		var m Message
-		err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m)
-		releaseFragBuf(payload)
+		err := c.dec.Decode(&m)
 		return m, err
 	case frameFrag:
 		hb := c.rbuf[:fragHdrLen]
@@ -1117,10 +1199,11 @@ func (c *conn) recv() (Message, error) {
 		if nch*12 > maxFrame {
 			return Message{}, fmt.Errorf("livenet: oversized manifest (%d chunks)", nch)
 		}
-		tail, err := c.readTail(nch * 12)
+		tp, err := c.readTail(nch * 12)
 		if err != nil {
 			return Message{}, err
 		}
+		tail := *tp
 		m := &c.rManifest
 		m.Job = int(binary.BigEndian.Uint32(hb[0:]))
 		m.Epoch = int(binary.BigEndian.Uint32(hb[4:]))
@@ -1136,6 +1219,7 @@ func (c *conn) recv() (Message, error) {
 			m.Hashes[i] = binary.BigEndian.Uint64(tail[i*12:])
 			m.CRCs[i] = binary.BigEndian.Uint32(tail[i*12+8:])
 		}
+		putTail(tp)
 		return Message{Manifest: m}, nil
 	case frameHave:
 		hb := c.rbuf[:haveFixedLen]
@@ -1143,10 +1227,11 @@ func (c *conn) recv() (Message, error) {
 			return Message{}, err
 		}
 		nw := int(binary.BigEndian.Uint16(hb[12:]))
-		tail, err := c.readTail(nw * 8)
+		tp, err := c.readTail(nw * 8)
 		if err != nil {
 			return Message{}, err
 		}
+		tail := *tp
 		h := &c.rHave
 		h.Job = int(binary.BigEndian.Uint32(hb[0:]))
 		h.Node = int(binary.BigEndian.Uint32(hb[4:]))
@@ -1158,6 +1243,7 @@ func (c *conn) recv() (Message, error) {
 		for i := 0; i < nw; i++ {
 			h.Bits[i] = binary.BigEndian.Uint64(tail[i*8:])
 		}
+		putTail(tp)
 		return Message{Have: h}, nil
 	case frameNeed:
 		hb := c.rbuf[:needFixedLen]
@@ -1165,10 +1251,11 @@ func (c *conn) recv() (Message, error) {
 			return Message{}, err
 		}
 		nw := int(binary.BigEndian.Uint16(hb[8:]))
-		tail, err := c.readTail(nw * 8)
+		tp, err := c.readTail(nw * 8)
 		if err != nil {
 			return Message{}, err
 		}
+		tail := *tp
 		n := &c.rNeed
 		n.Job = int(binary.BigEndian.Uint32(hb[0:]))
 		n.Epoch = int(binary.BigEndian.Uint32(hb[4:]))
@@ -1179,23 +1266,31 @@ func (c *conn) recv() (Message, error) {
 		for i := 0; i < nw; i++ {
 			n.Bits[i] = binary.BigEndian.Uint64(tail[i*8:])
 		}
+		putTail(tp)
 		return Message{NeedMask: n}, nil
+	case frameHello:
+		hb := c.rbuf[:helloBodyLen]
+		if _, err := io.ReadFull(c.r, hb); err != nil {
+			return Message{}, err
+		}
+		c.rHello = Hello{Node: int(binary.BigEndian.Uint32(hb[0:]))}
+		return Message{Hello: &c.rHello}, nil
 	default:
 		return Message{}, fmt.Errorf("livenet: unknown frame type %#x", ft)
 	}
 }
 
-// readTail reads a variable frame tail into the conn's grown-once read
-// scratch (valid until the next recv).
-func (c *conn) readTail(n int) ([]byte, error) {
-	if cap(c.rtail) < n {
-		c.rtail = make([]byte, n)
-	}
-	t := c.rtail[:n]
-	if _, err := io.ReadFull(c.r, t); err != nil {
+// readTail reads a variable frame tail into pooled scratch. The caller
+// decodes out of it and returns it with putTail before recv returns —
+// the decoded message lives in the conn's typed scratch structs, never
+// in the tail itself.
+func (c *conn) readTail(n int) (*[]byte, error) {
+	tp := grabTail(n)
+	if _, err := io.ReadFull(c.r, *tp); err != nil {
+		putTail(tp)
 		return nil, err
 	}
-	return t, nil
+	return tp, nil
 }
 
 // readCtlErr reads a control frame's trailing error string. Zero-length
@@ -1252,10 +1347,34 @@ func backoffDelay(attempt int) time.Duration {
 	return d/2 + time.Duration(z%uint64(d/2+1))
 }
 
+// splitPeerAddr splits a hub-routed peer address "host:port#node" into
+// the dialable endpoint and the target NM. A plain address comes back
+// with hub=false and is dialed as-is.
+func splitPeerAddr(addr string) (endpoint string, node int, hub bool) {
+	i := strings.LastIndexByte(addr, '#')
+	if i < 0 {
+		return addr, 0, false
+	}
+	n, err := strconv.Atoi(addr[i+1:])
+	if err != nil {
+		return addr, 0, false
+	}
+	return addr[:i], n, true
+}
+
 // dialWith connects to addr through dialer (nil = TCP with a bounded
 // timeout), retrying transient failures with jittered backoff, and runs
 // the established connection through wrap (nil = identity).
 func dialWith(dialer Dialer, wrap func(net.Conn) net.Conn, addr string) (*conn, error) {
+	return dialProf(dialer, wrap, addr, bulkProfile)
+}
+
+// dialProf is dialWith with an explicit connection profile. A peer
+// address carrying a "#node" suffix routes through a shared PeerHub
+// listener: the suffix is stripped before dialing and a hello frame
+// naming the target NM opens the connection.
+func dialProf(dialer Dialer, wrap func(net.Conn) net.Conn, addr string, prof connProfile) (*conn, error) {
+	endpoint, node, hub := splitPeerAddr(addr)
 	if dialer == nil {
 		dialer = func(a string) (net.Conn, error) { return net.DialTimeout("tcp", a, dialTimeout) }
 	}
@@ -1265,11 +1384,21 @@ func dialWith(dialer Dialer, wrap func(net.Conn) net.Conn, addr string) (*conn, 
 			time.Sleep(backoffDelay(attempt - 1))
 		}
 		var nc net.Conn
-		if nc, err = dialer(addr); err == nil {
+		if nc, err = dialer(endpoint); err == nil {
 			if wrap != nil {
 				nc = wrap(nc)
 			}
-			return newConn(nc), nil
+			c := newConnProf(nc, prof)
+			if hub {
+				// The hello must land before any other frame so the hub
+				// can route the connection; a failure here is a transient
+				// connection fault like any dial error — retry.
+				if err = c.sendHello(node); err != nil {
+					c.close()
+					continue
+				}
+			}
+			return c, nil
 		}
 	}
 	return nil, fmt.Errorf("livenet: dial %s (%d attempts): %w", addr, dialAttempts, err)

@@ -1,0 +1,9 @@
+//go:build !race
+
+package livenet
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Alloc-exactness tests consult it: the race runtime
+// deliberately drops sync.Pool puts at random, so pooled codecs cannot
+// hold a zero-allocation ceiling under -race.
+const raceEnabled = false

@@ -1,0 +1,32 @@
+// Package testutil holds small helpers shared across the repository's
+// test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitForGoroutines waits for the process goroutine count to settle
+// back to at most base+slack within the deadline, dumping all stacks on
+// failure. Shared by every lifecycle test that asserts clean teardown —
+// from 3-node chaos scenarios to 512-NM federation sweeps, where a
+// silent per-NM leak would be invisible until it isn't.
+func WaitForGoroutines(t testing.TB, base int, within time.Duration) {
+	t.Helper()
+	// Small slack: the runtime keeps a few service goroutines (timer
+	// scavenger, race runtime) whose lifetime we don't control.
+	const slack = 2
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+slack {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d running, baseline %d (+%d slack)\n%s",
+		runtime.NumGoroutine(), base, slack, buf[:n])
+}
