@@ -43,6 +43,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -66,6 +67,9 @@ func main() {
 	maxConc := flag.Int("max-concurrent", 0, "max jobs streaming concurrently on the MM (0 = default 8)")
 	admission := flag.String("admission", "fifo", "admission policy when jobs queue: fifo, wfair, or sif")
 	partitions := flag.Int("partitions", 1, "leaf-MM partitions behind a federation root on -listen (role mm; 1 = flat MM)")
+	journalDir := flag.String("journal", "", "directory for the MM's durable job journal; a restart replays it and resumes queued jobs (role mm; with -partitions, each leaf journals under journal/partN)")
+	retries := flag.Int("retries", 0, "re-place and retry a job this many times after it exhausts replans or loses its nodes (role mm)")
+	rejoin := flag.Bool("rejoin", false, "rejoin the MM after a restart instead of registering fresh: the node re-enters under probation and its persisted chunk cache makes it a warm relay (role nm)")
 	lite := flag.Bool("lite", false, "dense connection profile: 8 KiB stream buffers, kernel-tuned sockets (hundreds of NMs per host)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Parse()
@@ -88,18 +92,26 @@ func main() {
 			runFederation(*listen, *partitions, livenet.MMConfig{
 				Fanout: *fanout, GangQuantum: *strobe,
 				MaxConcurrent: *maxConc, Admission: *admission, Lite: *lite,
+				JournalDir: *journalDir, JobRetries: *retries,
 			}, *admission, sig)
 			return
 		}
 		mm, err := livenet.NewMM(*listen, livenet.MMConfig{
 			Fanout: *fanout, GangQuantum: *strobe,
 			MaxConcurrent: *maxConc, Admission: *admission, Lite: *lite,
+			JournalDir: *journalDir, JobRetries: *retries,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("stormd: MM listening on %s\n", mm.Addr())
+		if p := mm.JournalPath(); p != "" {
+			fmt.Printf("stormd: job journal at %s\n", p)
+			if rec := mm.RecoveredJobs(); len(rec) > 0 {
+				fmt.Printf("stormd: replayed journal, resuming %d queued job(s)\n", len(rec))
+			}
+		}
 		if *strobe > 0 {
 			fmt.Printf("stormd: gang scheduling on, strobe quantum %v\n", *strobe)
 		}
@@ -115,13 +127,19 @@ func main() {
 		nm, err := livenet.NewNMConfig(*mmAddr, *node, *cpus, livenet.NMConfig{
 			PeerAddr: *peer, SpoolDir: *spool,
 			CacheBytes: *cacheSize, CacheDir: *cacheDir, Lite: *lite,
+			Rejoin: *rejoin,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("stormd: NM %d registered with %s (%d CPUs, relay %s)\n",
-			*node, *mmAddr, *cpus, nm.PeerAddr())
+		if *rejoin {
+			fmt.Printf("stormd: NM %d rejoined %s (%d CPUs, relay %s, probation %d heartbeat rounds)\n",
+				*node, *mmAddr, *cpus, nm.PeerAddr(), nm.Probation())
+		} else {
+			fmt.Printf("stormd: NM %d registered with %s (%d CPUs, relay %s)\n",
+				*node, *mmAddr, *cpus, nm.PeerAddr())
+		}
 		<-sig
 		nm.Close()
 	default:
@@ -141,6 +159,9 @@ func runFederation(listen string, partitions int, leafCfg livenet.MMConfig, admi
 	for p := 0; p < partitions; p++ {
 		cfg := leafCfg
 		cfg.JobBase = (p + 1) << 20
+		if leafCfg.JournalDir != "" {
+			cfg.JournalDir = filepath.Join(leafCfg.JournalDir, fmt.Sprintf("part%d", p))
+		}
 		mm, err := livenet.NewMM("127.0.0.1:0", cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: leaf %d: %v\n", p, err)
@@ -158,6 +179,9 @@ func runFederation(listen string, partitions int, leafCfg livenet.MMConfig, admi
 	fmt.Printf("stormd: federation root listening on %s (%d partitions)\n", fed.Addr(), partitions)
 	for p, mm := range leaves {
 		fmt.Printf("stormd: partition %d leaf MM on %s — register this partition's NMs here\n", p, mm.Addr())
+		if jp := mm.JournalPath(); jp != "" {
+			fmt.Printf("stormd: partition %d job journal at %s\n", p, jp)
+		}
 	}
 	<-sig
 	fed.Close()

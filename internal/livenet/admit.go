@@ -155,7 +155,7 @@ func (mm *MM) awaitAdmission(j *liveJob) error {
 	for {
 		if mm.closed {
 			mm.dropQueued(j)
-			return fmt.Errorf("livenet: MM closed while job %d awaited admission", j.id)
+			return fmt.Errorf("%w while job %d awaited admission", ErrMMClosed, j.id)
 		}
 		if mm.streaming < mm.cfg.MaxConcurrent && mm.policy.pick(mm.admitQ) == j {
 			if row := mm.pickRow(); row >= 0 {
@@ -219,9 +219,14 @@ func leastLoadedOrder(ids []int, load func(id int) int) []int {
 
 // placeJob picks the job's node set under mm.mu: the explicit Place
 // list verbatim (in tree-position order), or the spec.Nodes
-// least-loaded registered NMs, ties toward lower node IDs so an idle
-// cluster reproduces the classic sorted-prefix placement.
-func (mm *MM) placeJob(spec *JobSpec) ([]*nmLink, error) {
+// least-loaded eligible NMs, ties toward lower node IDs so an idle
+// cluster reproduces the classic sorted-prefix placement. Eligible
+// means registered, not convicted by the failure detector, past any
+// rejoin probation, and not in the caller's avoid set (the nodes that
+// already failed this job, on the retry path). Pinned placements name
+// their nodes explicitly, so only hard disqualifiers (unregistered,
+// convicted, avoided) refuse them — probation does not.
+func (mm *MM) placeJob(spec *JobSpec, avoid map[int]bool) ([]*nmLink, error) {
 	if len(spec.Place) > 0 {
 		links := make([]*nmLink, 0, len(spec.Place))
 		for _, id := range spec.Place {
@@ -229,16 +234,25 @@ func (mm *MM) placeJob(spec *JobSpec) ([]*nmLink, error) {
 			if !ok {
 				return nil, fmt.Errorf("livenet: placed node %d not registered", id)
 			}
+			if mm.ctlExclude[id] {
+				return nil, fmt.Errorf("livenet: placed node %d is convicted (missed heartbeats)", id)
+			}
+			if avoid[id] {
+				return nil, fmt.Errorf("livenet: placed node %d already failed this job", id)
+			}
 			links = append(links, l)
 		}
 		return links, nil
 	}
-	if len(mm.nms) < spec.Nodes {
-		return nil, fmt.Errorf("livenet: %d NMs registered, job wants %d", len(mm.nms), spec.Nodes)
-	}
 	ids := make([]int, 0, len(mm.nms))
 	for id := range mm.nms {
+		if mm.ctlExclude[id] || mm.probation[id] > 0 || avoid[id] {
+			continue
+		}
 		ids = append(ids, id)
+	}
+	if len(ids) < spec.Nodes {
+		return nil, fmt.Errorf("livenet: %d NMs eligible, job wants %d", len(ids), spec.Nodes)
 	}
 	leastLoadedOrder(ids, func(id int) int { return mm.nodeLoad[id] })
 	links := make([]*nmLink, 0, spec.Nodes)

@@ -458,6 +458,92 @@ func BenchmarkControlPlane(b *testing.B) {
 	})
 }
 
+// BenchmarkReintegration measures the heal-back-to-full-strength path:
+// the time from killing an NM to the detector convicting it
+// (detect_ms), and from the kill to the restarted NM being
+// placement-eligible again after its rejoin probation (reintegrate_ms).
+// The floor is heartbeat_period * (conviction streak + probation
+// periods); anything far above that is protocol overhead.
+//
+// After the run it merges a `recovery` section into BENCH_livenet.json.
+//
+//	go test -run '^$' -bench BenchmarkReintegration -benchtime=1x ./internal/livenet/
+func BenchmarkReintegration(b *testing.B) {
+	const (
+		nodes     = 8
+		fanout    = 2
+		period    = 50 * time.Millisecond
+		probation = 2
+	)
+	type result struct {
+		HeartbeatPeriodMS float64 `json:"heartbeat_period_ms"`
+		ProbationPeriods  int     `json:"probation_periods"`
+		DetectMS          float64 `json:"detect_ms"`
+		ReintegrateMS     float64 `json:"reintegrate_ms"`
+	}
+	var best result
+	for i := 0; i < b.N; i++ {
+		// A fresh cluster per iteration: the victim NM is consumed by the
+		// kill and its node ID re-registered by the rejoin.
+		mm, nms, _ := chaosCluster(b, nodes, MMConfig{
+			Fanout: fanout, RejoinProbation: probation,
+		}, func(int) NMConfig { return NMConfig{} })
+		victim := nodes - 1
+		fails := make(chan int, nodes)
+		stop := mm.StartHeartbeat(period, func(n int) { fails <- n })
+		time.Sleep(4 * period) // let the detector settle on a full ledger
+
+		t0 := time.Now()
+		nms[victim].Close()
+		var detect time.Duration
+		deadline := time.After(30 * period)
+	conviction:
+		for {
+			select {
+			case n := <-fails:
+				if n == victim {
+					detect = time.Since(t0)
+					break conviction
+				}
+			case <-deadline:
+				b.Fatal("detector never convicted the killed NM")
+			}
+		}
+
+		nm2, err := NewNMConfig(mm.Addr(), victim, 4, NMConfig{Rejoin: true})
+		if err != nil {
+			b.Fatalf("rejoin: %v", err)
+		}
+		b.Cleanup(nm2.Close)
+		var reintegrate time.Duration
+		for wait := time.Now().Add(30 * period); ; {
+			if mm.NodeEligible(victim) {
+				reintegrate = time.Since(t0)
+				break
+			}
+			if time.Now().After(wait) {
+				b.Fatal("rejoined NM never became placement-eligible")
+			}
+			time.Sleep(period / 10)
+		}
+		stop()
+
+		r := result{
+			HeartbeatPeriodMS: float64(period) / float64(time.Millisecond),
+			ProbationPeriods:  probation,
+			DetectMS:          float64(detect) / float64(time.Millisecond),
+			ReintegrateMS:     float64(reintegrate) / float64(time.Millisecond),
+		}
+		if best.ReintegrateMS == 0 || r.ReintegrateMS < best.ReintegrateMS {
+			best = r
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(best.DetectMS, "detect-ms")
+	b.ReportMetric(best.ReintegrateMS, "reintegrate-ms")
+	mergeBenchSummary(b, map[string]any{"recovery": best})
+}
+
 // windowedMeanUS converts two cumulative (mean, count) samples into the
 // mean over the window between them, in microseconds.
 func windowedMeanUS(m0 time.Duration, n0 int64, m1 time.Duration, n1 int64) float64 {

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/livenet/journal"
 )
 
 // Heartbeat failure detection on the live control plane. Unlike the
@@ -139,6 +141,7 @@ func (mm *MM) StartHeartbeat(period time.Duration, onFail func(node int)) (stop 
 	stop = func() { once.Do(func() { close(done) }) }
 	mm.mu.Lock()
 	mm.detStops = append(mm.detStops, stop)
+	mm.hbActive++
 	mm.mu.Unlock()
 	// The isolation-probe grace is one period: a suspect is declared
 	// failed no later than ~3 periods (ledger absence at tree depth) +
@@ -148,6 +151,11 @@ func (mm *MM) StartHeartbeat(period time.Duration, onFail func(node int)) (stop 
 }
 
 func (mm *MM) heartbeatLoop(period, grace time.Duration, onFail func(node int), done chan struct{}) {
+	defer func() {
+		mm.mu.Lock()
+		mm.hbActive--
+		mm.mu.Unlock()
+	}()
 	failed := make(map[int]bool)
 	// streak counts consecutive periods a node went without a fresh
 	// ledger vouching for it. known remembers every node ever seen: a
@@ -180,6 +188,14 @@ func (mm *MM) heartbeatLoop(period, grace time.Duration, onFail func(node int), 
 		vouched := make(map[int]bool)
 		member := make(map[int]bool)
 		mm.mu.Lock()
+		// Drain rejoin notices first: a readmitted node's conviction latch
+		// and absence streak reset before this round judges anyone, so it
+		// is evaluated as a fresh member from its first post-rejoin tick.
+		for node := range mm.rejoined {
+			delete(mm.rejoined, node)
+			delete(failed, node)
+			delete(streak, node)
+		}
 		if epoch == mm.ctl.epoch {
 			for _, l := range mm.ctl.kids {
 				sub := mm.ctl.sub[l.node]
@@ -190,6 +206,17 @@ func (mm *MM) heartbeatLoop(period, grace time.Duration, onFail func(node int), 
 					if fresh && (j >= 64 || led.absent&(uint64(1)<<uint(j)) == 0) {
 						vouched[node] = true
 					}
+				}
+			}
+		}
+		// Probation: every vouched round pays one period off a rejoined
+		// node's sentence; at zero it re-enters the placement rotation.
+		for node := range vouched {
+			if p, ok := mm.probation[node]; ok {
+				if p <= 1 {
+					delete(mm.probation, node)
+				} else {
+					mm.probation[node] = p - 1
 				}
 			}
 		}
@@ -267,7 +294,9 @@ func (mm *MM) heartbeatLoop(period, grace time.Duration, onFail func(node int), 
 			delete(streak, node)
 			mm.mu.Lock()
 			mm.ctlExclude[node] = true
+			delete(mm.probation, node) // a convicted probationer is just convicted
 			mm.mu.Unlock()
+			mm.jlog(journal.NodeDead, 0, node, []byte("missed heartbeats"))
 			if onFail != nil {
 				go onFail(node)
 			}

@@ -60,9 +60,121 @@ type Plan struct {
 
 	// OnFault, if set, is called once per fired trigger with a short
 	// kind tag ("close", "read-close", "drop", "duplicate", "corrupt",
-	// "ctl-drop", "ctl-dup", "ctl-delay"). Called from Read/Write; must
-	// not block.
+	// "ctl-drop", "ctl-dup", "ctl-delay", "gate-kill"). Called from
+	// Read/Write; must not block.
 	OnFault func(kind string)
+
+	// Gate, if set, subjects every conn wrapped with this plan to
+	// process-level pause/heal/kill control. Unlike the per-conn
+	// triggers above, a Gate is shared: one Gate attached to all of a
+	// node's plans models signals delivered to the whole process.
+	Gate *Gate
+}
+
+// Gate models process-level fault control over a set of connections: a
+// paused node stops emitting bytes on every attached conn (its pongs
+// and frags go silent, like SIGSTOP), a healed node resumes exactly
+// where it left off, and a killed node's conns all die with
+// ErrInjectedClose (like SIGKILL). Attach a Gate by setting Plan.Gate
+// on every plan wrapped for that node's conns; conns wrapped after a
+// Kill die immediately, so a gate covers links the node opens later
+// too.
+type Gate struct {
+	mu     sync.Mutex
+	paused bool
+	killed bool
+	wake   chan struct{} // closed and replaced on every state change
+	conns  []*Conn
+}
+
+// NewGate returns a running (unpaused) gate.
+func NewGate() *Gate {
+	return &Gate{wake: make(chan struct{})}
+}
+
+// Pause blocks all future writes on attached conns until Heal. Writes
+// already handed to the kernel are not recalled.
+func (g *Gate) Pause() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.paused && !g.killed {
+		g.paused = true
+		close(g.wake)
+		g.wake = make(chan struct{})
+	}
+}
+
+// Heal releases writers blocked by Pause; the node resumes mid-stream
+// with no bytes lost.
+func (g *Gate) Heal() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.paused {
+		g.paused = false
+		close(g.wake)
+		g.wake = make(chan struct{})
+	}
+}
+
+// Kill hard-closes every attached conn (and every conn attached
+// later), releasing any writer blocked by Pause with ErrInjectedClose.
+// Kill is terminal: Heal does not undo it.
+func (g *Gate) Kill() {
+	g.mu.Lock()
+	if g.killed {
+		g.mu.Unlock()
+		return
+	}
+	g.killed = true
+	conns := g.conns
+	g.conns = nil
+	close(g.wake)
+	g.mu.Unlock()
+	for _, c := range conns {
+		c.kill("gate-kill")
+	}
+}
+
+// Killed reports whether Kill has been called.
+func (g *Gate) Killed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.killed
+}
+
+// attach registers c for Kill propagation. Called from Wrap.
+func (g *Gate) attach(c *Conn) {
+	g.mu.Lock()
+	if g.killed {
+		g.mu.Unlock()
+		c.kill("gate-kill")
+		return
+	}
+	g.conns = append(g.conns, c)
+	g.mu.Unlock()
+}
+
+// wait blocks while the gate is paused. It returns ErrInjectedClose if
+// the gate is killed or the conn closes while waiting, nil otherwise.
+func (g *Gate) wait(done <-chan struct{}) error {
+	for {
+		g.mu.Lock()
+		if g.killed {
+			g.mu.Unlock()
+			return ErrInjectedClose
+		}
+		if !g.paused {
+			g.mu.Unlock()
+			return nil
+		}
+		wake := g.wake
+		g.mu.Unlock()
+		select {
+		case <-wake:
+		case <-done:
+			return ErrInjectedClose
+		}
+	}
 }
 
 // CtlFault is one deterministic fault on a typed control frame: the
@@ -320,7 +432,11 @@ type Conn struct {
 // Wrap applies plan to c. The returned Conn is safe for one concurrent
 // reader and one concurrent writer, matching net.Conn conventions.
 func Wrap(c net.Conn, plan Plan) *Conn {
-	return &Conn{Conn: c, plan: plan, ctlFired: make([]bool, len(plan.CtlFaults)), done: make(chan struct{})}
+	fc := &Conn{Conn: c, plan: plan, ctlFired: make([]bool, len(plan.CtlFaults)), done: make(chan struct{})}
+	if plan.Gate != nil {
+		plan.Gate.attach(fc)
+	}
+	return fc
 }
 
 // armedCtlFault returns the index of an unfired fault matching the
@@ -361,6 +477,11 @@ func (c *Conn) Close() error {
 }
 
 func (c *Conn) Write(p []byte) (int, error) {
+	if c.plan.Gate != nil {
+		if err := c.plan.Gate.wait(c.done); err != nil {
+			return 0, err
+		}
+	}
 	if c.plan.WriteDelay > 0 {
 		select {
 		case <-time.After(c.plan.WriteDelay):

@@ -44,6 +44,13 @@ type FedConfig struct {
 	// Lite selects the dense connection profile for the root's
 	// submission links to the leaves.
 	Lite bool
+	// ProbeInterval paces the resurrection prober: the root redials each
+	// dead partition's submit address on this base period with capped
+	// exponential backoff (default 250ms, backoff capped at 8× the
+	// base). A successful status probe re-absorbs the partition —
+	// placement rebalances toward it on the next free assignment, since
+	// a returning leaf carries no federated load.
+	ProbeInterval time.Duration
 }
 
 func (c *FedConfig) fill() {
@@ -52,6 +59,9 @@ func (c *FedConfig) fill() {
 	}
 	if c.ReadmitRetries == 0 {
 		c.ReadmitRetries = 1
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 250 * time.Millisecond
 	}
 }
 
@@ -65,6 +75,12 @@ type fedPartition struct {
 	mm   *MM
 	dead bool
 	load int // nodes charged by in-flight federated sub-jobs
+
+	// Resurrection-probe pacing: probeFails counts consecutive failed
+	// redials since the partition died (drives the capped backoff),
+	// nextProbe is when the prober may try again. Guarded by f.mu.
+	probeFails int
+	nextProbe  time.Time
 }
 
 // PartReport is one partition's contribution to a federated job.
@@ -136,11 +152,13 @@ type Federation struct {
 	streaming int
 	policy    admissionPolicy
 
-	launched  int
-	completed int
-	readmits  int
+	launched      int
+	completed     int
+	readmits      int
+	resurrections int
 
-	wg sync.WaitGroup
+	done chan struct{} // closed by Close; stops the resurrection prober
+	wg   sync.WaitGroup
 }
 
 // NewFederation starts a federation root over the given leaf MMs. Each
@@ -167,13 +185,14 @@ func NewFederation(addr string, cfg FedConfig, leaves []*MM) (*Federation, error
 	if err != nil {
 		return nil, fmt.Errorf("livenet: federation listen %s: %w", addr, err)
 	}
-	f := &Federation{ln: ln, cfg: cfg, policy: policy}
+	f := &Federation{ln: ln, cfg: cfg, policy: policy, done: make(chan struct{})}
 	f.admit = sync.NewCond(&f.mu)
 	for i, mm := range leaves {
 		f.parts = append(f.parts, &fedPartition{id: i, addr: mm.Addr(), mm: mm})
 	}
-	f.wg.Add(1)
+	f.wg.Add(2)
 	go f.acceptLoop()
+	go f.resurrectLoop()
 	return f, nil
 }
 
@@ -184,9 +203,14 @@ func (f *Federation) Addr() string { return f.ln.Addr().String() }
 // running.
 func (f *Federation) Close() {
 	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
 	f.closed = true
 	f.admit.Broadcast()
 	f.mu.Unlock()
+	close(f.done)
 	f.ln.Close()
 	f.wg.Wait()
 }
@@ -197,6 +221,105 @@ func (f *Federation) Readmits() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.readmits
+}
+
+// Resurrections returns how many dead partitions the prober has
+// re-absorbed.
+func (f *Federation) Resurrections() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.resurrections
+}
+
+// resurrectLoop is the root's half of federation healing: every
+// ProbeInterval it redials each dead partition's submit address (with
+// capped per-partition backoff, so a long-dead leaf costs a dial every
+// ~2s, not every tick) and sends a status probe. A leaf that answers is
+// re-absorbed — marked live, backoff reset — and, carrying no federated
+// load, naturally attracts the next free placement.
+func (f *Federation) resurrectLoop() {
+	defer f.wg.Done()
+	tick := time.NewTicker(f.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-f.done:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		type target struct {
+			p    *fedPartition
+			addr string // snapshotted under f.mu: Reabsorb rewrites it
+		}
+		f.mu.Lock()
+		var due []target
+		for _, p := range f.parts {
+			if p.dead && !now.Before(p.nextProbe) {
+				due = append(due, target{p, p.addr})
+			}
+		}
+		f.mu.Unlock()
+		for _, t := range due {
+			p := t.p
+			alive := f.probe(t.addr)
+			f.mu.Lock()
+			if !p.dead {
+				// A concurrent Reabsorb (or an earlier probe) beat us.
+			} else if alive && !p.mm.Closed() {
+				p.dead = false
+				p.probeFails = 0
+				p.nextProbe = time.Time{}
+				f.resurrections++
+			} else {
+				if p.probeFails < 3 {
+					p.probeFails++
+				}
+				p.nextProbe = now.Add(f.cfg.ProbeInterval << uint(p.probeFails))
+			}
+			f.mu.Unlock()
+		}
+	}
+}
+
+// probe asks addr for a status snapshot over a fresh submit link.
+func (f *Federation) probe(addr string) bool {
+	prof := bulkProfile
+	if f.cfg.Lite {
+		prof = liteProfile
+	}
+	c, err := dialProf(nil, nil, addr, prof)
+	if err != nil {
+		return false
+	}
+	defer c.close()
+	if err := c.send(Message{StatusQ: &StatusReq{}}); err != nil {
+		return false
+	}
+	m, err := c.recv()
+	return err == nil && m.StatusR != nil
+}
+
+// Reabsorb swaps in a restarted leaf MM for the dead partition that
+// carried the same MMConfig.JobBase — the partition identity job IDs
+// are scoped by. An in-process leaf that died and was rebuilt (say,
+// from its journal) has a fresh *MM and usually a fresh port, which the
+// root cannot discover on its own; after Reabsorb the resurrection
+// prober verifies the new leaf over the wire and marks the partition
+// live. The old handle is abandoned, never closed — it was the caller's
+// to begin with.
+func (f *Federation) Reabsorb(mm *MM) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, p := range f.parts {
+		if p.mm.cfg.JobBase == mm.cfg.JobBase {
+			p.mm = mm
+			p.addr = mm.Addr()
+			p.nextProbe = time.Time{} // probe the new address next tick
+			return nil
+		}
+	}
+	return fmt.Errorf("livenet: no partition carries JobBase %d", mm.cfg.JobBase)
 }
 
 // LivePartitions returns the IDs of partitions not marked dead.
@@ -219,7 +342,7 @@ func (f *Federation) Status() FedStatus {
 	st := FedStatus{Launched: f.launched, Completed: f.completed, Queued: len(f.admitQ)}
 	f.mu.Unlock()
 	for _, p := range parts {
-		if p.dead {
+		if p.dead || p.mm.Closed() {
 			continue
 		}
 		rep := p.mm.status()
@@ -294,7 +417,7 @@ func nodesOf(st FedStatus) []int {
 func (f *Federation) membership() map[int][]int {
 	m := make(map[int][]int, len(f.parts))
 	for _, p := range f.parts {
-		if !p.dead {
+		if !p.dead && !p.mm.Closed() {
 			m[p.id] = p.mm.NMs()
 		}
 	}
@@ -504,9 +627,17 @@ func (f *Federation) runPart(jobID int, spec JobSpec, a fedAssign) (res subResul
 			return res
 		}
 		if !dead || attempt >= f.cfg.ReadmitRetries {
-			res.err = fmt.Errorf("livenet: fed job %d on partition %d: %w", jobID, part.id, err)
+			if dead {
+				res.err = fmt.Errorf("%w: fed job %d on partition %d: %v", ErrJobRetriesExhausted, jobID, part.id, err)
+			} else {
+				res.err = fmt.Errorf("livenet: fed job %d on partition %d: %w", jobID, part.id, err)
+			}
 			return res
 		}
+		// Jittered pause before the re-admitted share goes out: shares
+		// orphaned by the same leaf death should not re-place in
+		// lockstep against one survivor.
+		time.Sleep(retryBackoff(jobID, attempt))
 		// The submit link died: convict the partition and re-admit this
 		// share to the deterministically least-loaded survivor with
 		// room. Pinned placement cannot survive its partition — the
@@ -547,7 +678,7 @@ func (f *Federation) pickSurvivor(n int, exclude *fedPartition) *fedPartition {
 	var ids []int
 	byID := make(map[int]*fedPartition)
 	for _, p := range f.parts {
-		if p.dead || p == exclude {
+		if p.dead || p == exclude || p.mm.Closed() {
 			continue
 		}
 		if len(p.mm.NMs()) < n {

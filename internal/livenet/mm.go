@@ -1,6 +1,8 @@
 package livenet
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/livenet/chunkcache"
+	"repro/internal/livenet/journal"
 	"repro/internal/rng"
 )
 
@@ -28,6 +31,17 @@ var (
 	// reported termination within the program's duration plus the
 	// configured termination grace.
 	ErrTermTimeout = errors.New("livenet: termination phase timed out")
+	// ErrMMClosed marks submissions rejected — or queued waiters
+	// released — because the MM shut down. Jobs parked in the admission
+	// queue fail promptly with this error on Close; they never hang.
+	ErrMMClosed = errors.New("livenet: MM closed")
+	// ErrReplansExhausted marks a transfer that burned through
+	// MMConfig.MaxReplans recovery rounds without draining — the
+	// job-level retry path treats it as a fresh-placement candidate.
+	ErrReplansExhausted = errors.New("livenet: replans exhausted")
+	// ErrJobRetriesExhausted is the named terminal error after
+	// MMConfig.JobRetries full re-placements also failed.
+	ErrJobRetriesExhausted = errors.New("livenet: job retries exhausted")
 )
 
 // rejectError is a content failure: some node's CRC/pattern check
@@ -118,6 +132,30 @@ type MMConfig struct {
 	// kernel-autotuned socket buffers) on every accepted connection.
 	// Pair with NMConfig.Lite when packing hundreds of NMs in-process.
 	Lite bool
+	// JournalDir, when set, makes MM state durable: every job and
+	// membership event is appended to a CRC-framed write-ahead log under
+	// this directory (see internal/livenet/journal), and a NewMM over
+	// the same directory replays it — in-flight transfers are failed
+	// cleanly and journaled as such, while jobs that were admitted but
+	// never placed are resubmitted once enough NMs re-register (their
+	// outcomes surface via RecoveredJobs). Empty keeps all state in
+	// memory, exactly as before.
+	JournalDir string
+	// RejoinProbation is how many heartbeat-clean periods a rejoining
+	// NM must survive before it is eligible for placement again
+	// (default 2). It only gates placement while a heartbeat detector
+	// is running: with no detector there is nobody to vouch, so rejoin
+	// restores eligibility immediately.
+	RejoinProbation int
+	// JobRetries bounds full job-level re-placements after a transfer
+	// exhausts its replans or loses its nodes (default 0: a transfer
+	// failure is terminal, the pre-retry behavior). Each retry waits a
+	// bounded, jittered backoff, re-places the job on the surviving
+	// membership excluding every node that already failed it, and
+	// restarts the transfer from the manifest round — warm caches make
+	// the replay cheap. After JobRetries failed re-placements the job
+	// fails with ErrJobRetriesExhausted.
+	JobRetries int
 }
 
 func (c *MMConfig) fill() {
@@ -160,6 +198,9 @@ func (c *MMConfig) fill() {
 	if c.LinkBudgetBytes <= 0 {
 		c.LinkBudgetBytes = 16 << 20
 	}
+	if c.RejoinProbation == 0 {
+		c.RejoinProbation = 2
+	}
 }
 
 // MM is the live Machine Manager: it accepts NM registrations and client
@@ -173,6 +214,11 @@ type MM struct {
 	jobs    map[int]*liveJob
 	nextJob int
 	closed  bool
+	// closing is closed by shutdown so blocking waits that cannot see
+	// the admission condvar (e.g. a launched job collecting termination
+	// reports) notice the MM going away without running out their full
+	// deadline budgets.
+	closing chan struct{}
 	// clients tracks in-flight submission connections so Kill can sever
 	// them: Close leaves them to drain naturally (serveClient closes
 	// each when its job finishes), but a simulated process death must
@@ -198,6 +244,23 @@ type MM struct {
 	// stay up long after the detector declared it dead). Guarded by mu.
 	ctl        mmCtl
 	ctlExclude map[int]bool
+
+	// Rejoin state, guarded by mu. probation counts the heartbeat-clean
+	// periods a rejoined node still owes before placement trusts it
+	// again; rejoined queues conviction-latch resets for the heartbeat
+	// loop (whose failed/streak state is loop-local) to drain on its
+	// next tick. hbActive counts running heartbeat loops — a rejoin
+	// only arms probation when somebody is actually vouching.
+	probation map[int]int
+	rejoined  map[int]bool
+	hbActive  int
+
+	// jnl is the durable event log (nil without MMConfig.JournalDir);
+	// recovered holds the queued-but-unfinished jobs replayed from it
+	// at startup, resubmitted by recoverLoop as NMs re-register.
+	// recovered entries are guarded by mu once the loop starts.
+	jnl       *journal.Journal
+	recovered []*RecoveredJob
 
 	// manifests caches the content-derived part of transfer manifests
 	// for seeded (content-addressed) images, keyed by content identity,
@@ -345,11 +408,12 @@ type liveJob struct {
 	// (failure-detector evidence consumed by diagnose).
 	peerDown map[int]string
 
-	// failedNodes, replans, recovery are the job's fault history for
-	// the completion report.
+	// failedNodes, replans, recovery, retries are the job's fault
+	// history for the completion report.
 	failedNodes []int
 	replans     int
 	recovery    time.Duration
+	retries     int
 
 	// phase is the job's position in the admission state machine;
 	// streamAt is the absolute index just past the last chunk streamed
@@ -390,11 +454,20 @@ func NewMM(addr string, cfg MMConfig) (*MM, error) {
 		manifests:  make(map[manifestKey]*manifestData),
 		probes:     make(map[int64]*probeRound),
 		ctlExclude: make(map[int]bool),
+		probation:  make(map[int]int),
+		rejoined:   make(map[int]bool),
 		policy:     policy,
 		nodeLoad:   make(map[int]int),
 		budgets:    make(map[*conn]*linkBudget),
+		closing:    make(chan struct{}),
 	}
 	mm.admit = sync.NewCond(&mm.mu)
+	if cfg.JournalDir != "" {
+		if err := mm.openJournal(cfg.JournalDir); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	// The control-tree maps must exist before the first syncCtl rebuild:
 	// a heartbeat or strobe loop started on an empty cluster ticks at
 	// epoch 0 with no members, so syncCtl takes its unchanged fast path
@@ -406,6 +479,10 @@ func NewMM(addr string, cfg MMConfig) (*MM, error) {
 	mm.ctl.strobeSent = make(map[int64]time.Time)
 	mm.wg.Add(1)
 	go mm.acceptLoop()
+	if len(mm.recovered) > 0 {
+		mm.wg.Add(1)
+		go mm.recoverLoop()
+	}
 	if cfg.GangQuantum > 0 {
 		stop := make(chan struct{})
 		mm.strobeStop = stop
@@ -416,6 +493,223 @@ func NewMM(addr string, cfg MMConfig) (*MM, error) {
 		}()
 	}
 	return mm, nil
+}
+
+// RecoveredJob is one job the MM's journal showed as admitted but never
+// placed when the MM restarted. The recovery loop resubmits it once
+// enough NMs have (re-)registered; Done flips when its rerun finished,
+// with the outcome in Report/Err.
+type RecoveredJob struct {
+	ID     int // job ID under the previous incarnation
+	Spec   JobSpec
+	Report Report
+	Err    error
+	Done   bool
+}
+
+// encodeSpec/decodeSpec gob a JobSpec into the journal's opaque Data.
+func encodeSpec(spec *JobSpec) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(spec); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+func decodeSpec(b []byte) (JobSpec, error) {
+	var spec JobSpec
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&spec)
+	return spec, err
+}
+
+// openJournal replays the write-ahead log under dir (if any), rebuilds
+// the job table's unfinished tail, and opens the journal for appending.
+// Jobs that were already placed when the previous MM died cannot be
+// resumed — their relay topology and window state died with it — so
+// they are failed cleanly (and durably, so the next restart forgets
+// them too). Jobs that were admitted but never placed lost nothing but
+// queue position: they are queued for resubmission.
+func (mm *MM) openJournal(dir string) error {
+	type jobRec struct {
+		spec     []byte
+		inflight bool
+	}
+	recs := make(map[int]*jobRec)
+	var order []int
+	maxID := 0
+	err := journal.Replay(dir, func(ev journal.Event) error {
+		if ev.Job > maxID {
+			maxID = ev.Job
+		}
+		switch ev.Type {
+		case journal.JobAdmitted:
+			if recs[ev.Job] == nil {
+				recs[ev.Job] = &jobRec{spec: ev.Data}
+				order = append(order, ev.Job)
+			}
+		case journal.JobPlanned, journal.JobEpoch, journal.JobManifest, journal.JobLaunched:
+			if r := recs[ev.Job]; r != nil {
+				r.inflight = true
+			}
+		case journal.JobDone, journal.JobFailed:
+			delete(recs, ev.Job)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	jnl, err := journal.Open(dir)
+	if err != nil {
+		return err
+	}
+	mm.jnl = jnl
+	if maxID > mm.nextJob {
+		mm.nextJob = maxID
+	}
+	for _, id := range order {
+		r := recs[id]
+		if r == nil {
+			continue // finished before the crash
+		}
+		if r.inflight {
+			jnl.Append(journal.Event{Type: journal.JobFailed, Job: id,
+				Data: []byte("interrupted by MM restart")})
+			continue
+		}
+		spec, err := decodeSpec(r.spec)
+		if err != nil {
+			continue // torn spec payload: nothing actionable survives
+		}
+		mm.recovered = append(mm.recovered, &RecoveredJob{ID: id, Spec: spec})
+	}
+	return nil
+}
+
+// recoverLoop resubmits the journal's admitted-but-unplaced jobs, each
+// as soon as the cluster can hold it — after a full restart the NMs
+// re-register (or rejoin) on their own schedule, so recovery waits for
+// the membership rather than failing the backlog against an empty map.
+func (mm *MM) recoverLoop() {
+	defer mm.wg.Done()
+	for _, rj := range mm.recovered {
+		for {
+			mm.mu.Lock()
+			closed := mm.closed
+			enough := len(mm.nms) >= rj.Spec.Nodes
+			mm.mu.Unlock()
+			if closed {
+				mm.mu.Lock()
+				for _, r := range mm.recovered {
+					if !r.Done {
+						r.Err, r.Done = ErrMMClosed, true
+					}
+				}
+				mm.mu.Unlock()
+				return
+			}
+			if enough {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		// Retire the old ID durably before the rerun journals its own
+		// admission — otherwise every future restart would re-recover
+		// (and re-run) this job under its original ID.
+		mm.jlog(journal.JobFailed, rj.ID, 0, []byte("resubmitted after restart"))
+		rep, err := mm.RunJob(rj.Spec)
+		mm.mu.Lock()
+		rj.Report, rj.Err, rj.Done = rep, err, true
+		mm.mu.Unlock()
+	}
+}
+
+// RecoveredJobs snapshots the journal-recovery backlog: the jobs a
+// restarted MM found admitted but unplaced, with their rerun outcomes
+// so far. Empty for an MM that did not restart (or has no journal).
+func (mm *MM) RecoveredJobs() []RecoveredJob {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	out := make([]RecoveredJob, 0, len(mm.recovered))
+	for _, rj := range mm.recovered {
+		out = append(out, *rj)
+	}
+	return out
+}
+
+// jlog appends one event to the journal; a no-op without one. Callers
+// may hold mm.mu: the journal has its own lock and never takes mm.mu.
+func (mm *MM) jlog(t journal.EventType, job, node int, data []byte) {
+	if mm.jnl == nil {
+		return
+	}
+	mm.jnl.Append(journal.Event{Type: t, Job: job, Node: node, Data: data})
+}
+
+// maybeRotateJournal condenses the log once the active segment outgrows
+// its limit: the snapshot is the current membership plus every
+// unfinished job, written to a fresh segment that atomically replaces
+// the history. Holding mm.mu across the rotation keeps the snapshot and
+// the segment swap consistent with concurrent appends.
+func (mm *MM) maybeRotateJournal() {
+	if mm.jnl == nil || !mm.jnl.NeedsRotation() {
+		return
+	}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	var snap []journal.Event
+	ids := make([]int, 0, len(mm.nms))
+	for id := range mm.nms {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		snap = append(snap, journal.Event{Type: journal.NodeJoin, Node: id})
+	}
+	for id := range mm.ctlExclude {
+		snap = append(snap, journal.Event{Type: journal.NodeDead, Node: id})
+	}
+	for _, j := range mm.admitQ {
+		snap = append(snap, journal.Event{Type: journal.JobAdmitted, Job: j.id, Data: encodeSpec(&j.spec)})
+	}
+	for id, j := range mm.jobs {
+		snap = append(snap,
+			journal.Event{Type: journal.JobAdmitted, Job: id, Data: encodeSpec(&j.spec)},
+			journal.Event{Type: journal.JobPlanned, Job: id})
+	}
+	mm.jnl.Rotate(snap)
+}
+
+// JournalPath returns the journal directory ("" without one).
+func (mm *MM) JournalPath() string {
+	if mm.jnl == nil {
+		return ""
+	}
+	return mm.jnl.Dir()
+}
+
+// Closed reports whether the MM has shut down — how a federation tells
+// a stale leaf handle from a live one after a leaf restart.
+func (mm *MM) Closed() bool {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.closed
+}
+
+// NodeEligible reports whether a node is in the placement rotation:
+// registered, not convicted, and past any rejoin probation.
+func (mm *MM) NodeEligible(node int) bool {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.nms[node] != nil && !mm.ctlExclude[node] && mm.probation[node] == 0
+}
+
+// ProbationLeft returns how many heartbeat-clean periods a rejoined
+// node still owes before placement trusts it again (0 once eligible).
+func (mm *MM) ProbationLeft(node int) int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.probation[node]
 }
 
 // Addr returns the listening address (for NMs and clients to dial).
@@ -471,7 +765,10 @@ func (mm *MM) shutdown(abrupt bool) {
 		mm.strobeStop = nil
 	}
 	mm.mu.Lock()
-	mm.closed = true
+	if !mm.closed {
+		mm.closed = true
+		close(mm.closing)
+	}
 	mm.admit.Broadcast() // release jobs parked in the admission queue
 	stops := mm.detStops
 	mm.detStops = nil
@@ -489,6 +786,9 @@ func (mm *MM) shutdown(abrupt bool) {
 	}
 	mm.ln.Close()
 	mm.wg.Wait()
+	if mm.jnl != nil {
+		mm.jnl.Close()
+	}
 }
 
 func (mm *MM) acceptLoop() {
@@ -522,6 +822,8 @@ func (mm *MM) handleConn(c *conn) {
 	switch {
 	case first.Register != nil:
 		mm.serveNM(c, first.Register)
+	case first.Rejoin != nil:
+		mm.serveRejoin(c, first.Rejoin)
 	case first.Submit != nil:
 		mm.serveClient(c, first.Submit.Spec)
 	case first.StatusQ != nil:
@@ -564,10 +866,61 @@ func (mm *MM) serveNM(c *conn, reg *Register) {
 	}
 	mm.nms[reg.Node] = link
 	mm.mu.Unlock()
+	mm.jlog(journal.NodeJoin, 0, reg.Node, nil)
+	mm.pumpNM(c, link, reg.Node)
+}
+
+// serveRejoin readmits an NM the cluster has already written off — one
+// the failure detector convicted, or one whose process restarted. The
+// conviction is cleared (both the placement exclusion and, via the
+// rejoined set, the detector loop's private streak latches), a
+// probation window is armed when a detector is running, and only then
+// is the acknowledgement sent: by the time the NM starts serving
+// traffic the next control-tree epoch already wires it back in. Its
+// placement eligibility returns after probation; its chunk cache makes
+// it a warm relay immediately.
+func (mm *MM) serveRejoin(c *conn, rj *Rejoin) {
+	link := &nmLink{node: rj.Node, cpus: rj.CPUs, addr: rj.Addr, c: c}
+	mm.mu.Lock()
+	if mm.closed {
+		mm.mu.Unlock()
+		c.send(Message{RejoinAck: &RejoinAck{Err: "MM closed"}})
+		c.close()
+		return
+	}
+	delete(mm.ctlExclude, rj.Node)
+	mm.rejoined[rj.Node] = true
+	prob := 0
+	if mm.hbActive > 0 {
+		prob = mm.cfg.RejoinProbation
+	}
+	if prob > 0 {
+		mm.probation[rj.Node] = prob
+	} else {
+		delete(mm.probation, rj.Node)
+	}
+	mm.nms[rj.Node] = link
+	mm.mu.Unlock()
+	mm.jlog(journal.NodeRejoin, 0, rj.Node, nil)
+	if err := c.send(Message{RejoinAck: &RejoinAck{Probation: prob}}); err != nil {
+		mm.mu.Lock()
+		if mm.nms[rj.Node] == link {
+			delete(mm.nms, rj.Node)
+		}
+		mm.mu.Unlock()
+		c.close()
+		return
+	}
+	mm.pumpNM(c, link, rj.Node)
+}
+
+// pumpNM serves one NM link's notification stream until the link dies,
+// then unregisters it — shared by fresh registrations and rejoins.
+func (mm *MM) pumpNM(c *conn, link *nmLink, node int) {
 	defer func() {
 		mm.mu.Lock()
-		if mm.nms[reg.Node] == link {
-			delete(mm.nms, reg.Node)
+		if mm.nms[node] == link {
+			delete(mm.nms, node)
 		}
 		delete(mm.budgets, c)
 		mm.mu.Unlock()
@@ -726,10 +1079,11 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	if len(spec.Place) > 0 && len(spec.Place) != spec.Nodes {
 		return Report{}, fmt.Errorf("livenet: Place names %d nodes, job wants %d", len(spec.Place), spec.Nodes)
 	}
+	mm.maybeRotateJournal()
 	mm.mu.Lock()
 	if mm.closed {
 		mm.mu.Unlock()
-		return Report{}, fmt.Errorf("livenet: MM closed")
+		return Report{}, ErrMMClosed
 	}
 	if len(mm.nms) < spec.Nodes {
 		// Fast-fail before queueing: a cluster that cannot ever hold the
@@ -752,19 +1106,27 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 		terms:    make(chan int, spec.Nodes),
 	}
 	j.cond = sync.NewCond(&j.mu)
+	mm.jlog(journal.JobAdmitted, j.id, 0, encodeSpec(&spec))
 	if err := mm.awaitAdmission(j); err != nil {
 		mm.mu.Unlock()
+		// A queued job bumped by shutdown is not failed — it is exactly
+		// what a restarted MM resumes from the journal. Only real
+		// admission failures are recorded durably.
+		if !errors.Is(err, ErrMMClosed) {
+			mm.jlog(journal.JobFailed, j.id, 0, []byte(err.Error()))
+		}
 		return Report{}, err
 	}
 	j.mu.Lock()
 	j.queued = time.Since(j.qStart)
 	j.mu.Unlock()
-	nodes, err := mm.placeJob(&spec)
+	nodes, err := mm.placeJob(&spec, nil)
 	if err != nil {
 		mm.streaming--
 		mm.releaseRow(j.row)
 		mm.admit.Broadcast()
 		mm.mu.Unlock()
+		mm.jlog(journal.JobFailed, j.id, 0, []byte(err.Error()))
 		return Report{}, err
 	}
 	j.nodes = nodes
@@ -776,6 +1138,7 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	mm.jobs[j.id] = j
 	mm.launched++
 	mm.mu.Unlock()
+	mm.jlog(journal.JobPlanned, j.id, 0, nil)
 	defer func() {
 		mm.mu.Lock()
 		delete(mm.jobs, j.id)
@@ -791,12 +1154,33 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 
 	start := time.Now()
 	err = mm.transfer(j)
+	// Job-level retry: a transfer that exhausted its mid-stream recovery
+	// (or lost its nodes outright) gets up to JobRetries fresh
+	// placements on the surviving membership, each after a bounded,
+	// jittered backoff. Content failures and shutdown are never retried.
+	for attempt := 0; err != nil && attempt < mm.cfg.JobRetries && retryableJobErr(err); attempt++ {
+		time.Sleep(retryBackoff(j.id, attempt))
+		if rerr := mm.rehome(j); rerr != nil {
+			err = fmt.Errorf("%w: job %d: re-placement failed: %v (after %v)",
+				ErrJobRetriesExhausted, j.id, rerr, err)
+			break
+		}
+		j.mu.Lock()
+		j.retries++
+		j.mu.Unlock()
+		err = mm.transfer(j)
+	}
+	if err != nil && mm.cfg.JobRetries > 0 && retryableJobErr(err) {
+		err = fmt.Errorf("%w: job %d still failing after %d re-placements: %v",
+			ErrJobRetriesExhausted, j.id, j.retries, err)
+	}
 	// The streaming slot frees as soon as the transfer phase is over —
 	// this job's execution overlaps the next job's stream.
 	mm.releaseStream()
 	if err != nil {
 		j.setPhase(phaseFailed)
 		mm.abort(j, err)
+		mm.jlog(journal.JobFailed, j.id, 0, []byte(err.Error()))
 		return Report{}, err
 	}
 	send := time.Since(start)
@@ -820,10 +1204,12 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 			err = fmt.Errorf("livenet: launch to node %d: %w", link.node, err)
 			j.setPhase(phaseFailed)
 			mm.abort(j, err)
+			mm.jlog(journal.JobFailed, j.id, 0, []byte(err.Error()))
 			return Report{}, err
 		}
 	}
 	j.setPhase(phaseLaunched)
+	mm.jlog(journal.JobLaunched, j.id, 0, nil)
 
 	// Collect termination reports. The termination deadline is its own
 	// budget — the program's expected duration plus TermTimeout — and
@@ -835,6 +1221,11 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 		select {
 		case n := <-j.terms:
 			got[n] = true
+		case <-mm.closing:
+			// No jlog: a launched-but-unfinished job is already marked
+			// failed durably when the journal is replayed.
+			return Report{}, fmt.Errorf("%w: job %d closed while awaiting termination",
+				ErrMMClosed, j.id)
 		case <-deadline.C:
 			var missing []string
 			for _, link := range nodes {
@@ -842,8 +1233,10 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 					missing = append(missing, fmt.Sprintf("%d", link.node))
 				}
 			}
-			return Report{}, fmt.Errorf("%w: job %d: %d/%d nodes reported termination (missing %s)",
+			terr := fmt.Errorf("%w: job %d: %d/%d nodes reported termination (missing %s)",
 				ErrTermTimeout, j.id, len(got), len(nodes), strings.Join(missing, ", "))
+			mm.jlog(journal.JobFailed, j.id, 0, []byte(terr.Error()))
+			return Report{}, terr
 		}
 	}
 	total := time.Since(start)
@@ -868,6 +1261,7 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	winPeak := j.winPeak
 	j.mu.Unlock()
 	j.setPhase(phaseDone)
+	mm.jlog(journal.JobDone, j.id, 0, nil)
 	return Report{
 		JobID:      j.id,
 		Send:       send,
@@ -884,7 +1278,80 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 		Row:        j.row,
 		WindowPeak: winPeak,
 		Timeline:   timeline,
+		Retries:    j.retries,
 	}, nil
+}
+
+// retryableJobErr reports whether a transfer failure is worth a fresh
+// placement: content rejections are not (the payload itself is wrong),
+// shutdown is not, and an already-terminal retry verdict is final.
+func retryableJobErr(err error) bool {
+	var reject rejectError
+	if errors.As(err, &reject) {
+		return false
+	}
+	return !errors.Is(err, ErrMMClosed) && !errors.Is(err, ErrJobRetriesExhausted)
+}
+
+// retryBackoff is the bounded, jittered wait before a job's next
+// placement attempt: exponential from 25 ms, capped at 500 ms, with up
+// to half the base again in deterministic per-(job, attempt) jitter so
+// simultaneous victims of one dead node do not re-place in lockstep.
+func retryBackoff(job, attempt int) time.Duration {
+	base := 25 * time.Millisecond << uint(attempt)
+	if base > 500*time.Millisecond {
+		base = 500 * time.Millisecond
+	}
+	jitter := time.Duration(rng.Mix64(uint64(job)<<20^uint64(attempt)) % uint64(base/2))
+	return base + jitter
+}
+
+// rehome gives a failed job a fresh placement on the current
+// membership, excluding every node that already failed it, and resets
+// its transfer state to epoch zero — the next transfer re-runs the
+// plan and manifest rounds from scratch, so surviving caches turn the
+// replay into a mostly-delta stream. Pinned jobs cannot move: they are
+// only re-dialed if every pinned node is still unblemished.
+func (mm *MM) rehome(j *liveJob) error {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if mm.closed {
+		return ErrMMClosed
+	}
+	bad := make(map[int]bool, len(j.failedNodes))
+	for _, n := range j.failedNodes {
+		bad[n] = true
+	}
+	nodes, err := mm.placeJob(&j.spec, bad)
+	if err != nil {
+		return err
+	}
+	for _, n := range j.placed {
+		if mm.nodeLoad[n] > 0 {
+			mm.nodeLoad[n]--
+		}
+	}
+	j.placed = j.placed[:0]
+	for _, l := range nodes {
+		j.placed = append(j.placed, l.node)
+		mm.nodeLoad[l.node]++
+	}
+	j.mu.Lock()
+	j.nodes = nodes
+	j.epoch = 0
+	j.acked = make(map[int]int)
+	j.planned = make(map[int]bool)
+	j.received = make(map[int]int)
+	j.streamAt = 0
+	j.fail = nil
+	j.peerDown = nil
+	j.haves = nil
+	j.needs = nil
+	j.sendList = j.sendList[:0]
+	mm.rewireTree(j)
+	j.mu.Unlock()
+	mm.jlog(journal.JobPlanned, j.id, 0, nil)
+	return nil
 }
 
 // rewireTree rebuilds the job's forwarding-tree bookkeeping (direct
@@ -959,7 +1426,7 @@ func (mm *MM) transfer(j *liveJob) error {
 			return err // content failure: replanning cannot help
 		}
 		if replans >= mm.cfg.MaxReplans {
-			return fmt.Errorf("livenet: job %d: giving up after %d replans: %w", j.id, replans, err)
+			return fmt.Errorf("%w: job %d: giving up after %d replans: %w", ErrReplansExhausted, j.id, replans, err)
 		}
 		t0 := time.Now()
 		dead := mm.diagnose(j, err)
@@ -974,6 +1441,7 @@ func (mm *MM) transfer(j *liveJob) error {
 		}
 		j.replans++
 		j.recovery += time.Since(t0)
+		mm.jlog(journal.JobEpoch, j.id, 0, nil)
 		err = mm.manifestRound(j)
 		if err == nil {
 			err = mm.stream(j)
@@ -1090,6 +1558,7 @@ func (mm *MM) manifestRound(j *liveJob) error {
 	j.mu.Unlock()
 
 	j.setPhase(phaseManifest)
+	mm.jlog(journal.JobManifest, j.id, 0, nil)
 	m := &Manifest{Job: j.id, Epoch: epoch, ChunkBytes: mm.cfg.FragBytes,
 		ImageCRC: j.man.imageCRC, TotalBytes: j.man.total,
 		Hashes: j.man.hashes, CRCs: j.man.crcs}

@@ -54,6 +54,14 @@ type NMConfig struct {
 	// makes. The right choice when hundreds of NMs share a process;
 	// the default bulk profile is tuned for per-link throughput.
 	Lite bool
+	// Rejoin announces this NM as a returning member rather than a fresh
+	// one: instead of Register it opens with a Rejoin handshake, and
+	// NewNMConfig blocks until the MM's RejoinAck clears the node's
+	// conviction (the ack's probation count is readable via Probation).
+	// Use after a crash/restart of a previously-registered node —
+	// especially one the failure detector convicted, which a plain
+	// Register would leave excluded from the control tree forever.
+	Rejoin bool
 }
 
 // NM is a live Node Manager: it registers with the MM, receives binary
@@ -96,6 +104,10 @@ type NM struct {
 	// fragment's payload after local verification but before it is
 	// relayed downstream — the mid-tree corruption hook.
 	testCorruptRelay func(job, index int, data []byte)
+
+	// probation is the heartbeat-clean period count the MM's RejoinAck
+	// quoted (0 for a fresh registration); set once in NewNMConfig.
+	probation int
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -233,7 +245,34 @@ func NewNMConfig(addr string, node, cpus int, cfg NMConfig) (*NM, error) {
 		return nil, err
 	}
 	nm.c = c
-	if err := c.send(Message{Register: &Register{Node: node, CPUs: cpus, Addr: peerAddr}}); err != nil {
+	if cfg.Rejoin {
+		// Rejoin is a synchronous handshake: the ack proves the MM
+		// cleared this node's conviction before any traffic flows, so a
+		// caller holding a fresh NM knows the node is back in membership
+		// (probation may still gate placement for a few periods).
+		if err := c.send(Message{Rejoin: &Rejoin{Node: node, CPUs: cpus, Addr: peerAddr}}); err != nil {
+			c.close()
+			fail()
+			return nil, fmt.Errorf("livenet: rejoin: %w", err)
+		}
+		m, err := c.recv()
+		if err != nil {
+			c.close()
+			fail()
+			return nil, fmt.Errorf("livenet: rejoin ack: %w", err)
+		}
+		if m.RejoinAck == nil {
+			c.close()
+			fail()
+			return nil, fmt.Errorf("livenet: rejoin: unexpected first message from MM")
+		}
+		if m.RejoinAck.Err != "" {
+			c.close()
+			fail()
+			return nil, fmt.Errorf("livenet: rejoin refused: %s", m.RejoinAck.Err)
+		}
+		nm.probation = m.RejoinAck.Probation
+	} else if err := c.send(Message{Register: &Register{Node: node, CPUs: cpus, Addr: peerAddr}}); err != nil {
 		c.close()
 		fail()
 		return nil, fmt.Errorf("livenet: register: %w", err)
@@ -257,6 +296,11 @@ func (nm *NM) profile() connProfile {
 
 // Node returns the NM's node ID.
 func (nm *NM) Node() int { return nm.node }
+
+// Probation returns the heartbeat-clean period count the MM quoted in
+// its RejoinAck (0 for a fresh registration, or a rejoin with no
+// detector running).
+func (nm *NM) Probation() int { return nm.probation }
 
 // PeerAddr returns the NM's relay address: its private listener, or its
 // routed "host:port#node" hub address in shared-listener mode.
@@ -349,7 +393,18 @@ func (nm *NM) Close() {
 	for _, st := range nm.bins {
 		st.discardSpool()
 	}
+	// Cancel every live gang gate: a process descheduled when its MM died
+	// would otherwise wait forever for a strobe that is never coming, and
+	// this Close would deadlock on it.
+	gates := make([]*gateRow, 0, len(nm.gates))
+	for _, gr := range nm.gates {
+		gates = append(gates, gr)
+	}
+	nm.gates = make(map[int]*gateRow)
 	nm.mu.Unlock()
+	for _, gr := range gates {
+		gr.g.cancel()
+	}
 	nm.wg.Wait()
 }
 

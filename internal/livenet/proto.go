@@ -121,6 +121,10 @@ type Report struct {
 	Row        int
 	WindowPeak int
 	Timeline   string
+	// Retries counts full job-level retry attempts after transfer-phase
+	// failures that exhausted mid-stream recovery (0 for a job that
+	// succeeded, or failed, on its first placement).
+	Retries int
 }
 
 // Message is the wire envelope. Exactly one pointer field is set.
@@ -158,6 +162,8 @@ type Message struct {
 	CtlPlan   *CtlPlan
 	StatusQ   *StatusReq
 	StatusR   *StatusRep
+	Rejoin    *Rejoin
+	RejoinAck *RejoinAck
 }
 
 // Register announces an NM to the MM. Addr is the NM's peer listener,
@@ -171,6 +177,27 @@ type Register struct {
 // Submit asks the MM to run a job.
 type Submit struct {
 	Spec JobSpec
+}
+
+// Rejoin re-introduces an NM the MM has already seen — one that was
+// convicted by the failure detector, or whose process restarted. Unlike
+// Register it is an explicit readmission request: the MM clears the
+// node's conviction, arms a probation window, and answers with a
+// RejoinAck before the link starts serving traffic. Membership-rate, so
+// it rides the gob path.
+type Rejoin struct {
+	Node int
+	CPUs int
+	Addr string
+}
+
+// RejoinAck answers a Rejoin. Probation is how many heartbeat-clean
+// periods the node must survive before it is eligible for placement
+// again (0 when no detector is running); Err non-empty means the MM
+// refused the rejoin and the NM must not proceed.
+type RejoinAck struct {
+	Probation int
+	Err       string
 }
 
 // Hello routes an inbound relay connection on a shared peer listener

@@ -1,0 +1,548 @@
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/livenet/faultconn"
+)
+
+// Restart-and-rejoin chaos: where chaos_test.go proves the cluster
+// survives losing a component, this file proves it heals back to full
+// strength — a convicted NM rejoins and is trusted again after
+// probation, a crashed MM resumes its admitted backlog from the
+// journal, and a dead federation leaf is re-absorbed by the root's
+// resurrection prober.
+
+// gatedNMConfig arms every conn a node accepts or dials with the same
+// process-level Gate, so Pause/Heal/Kill act on the whole NM like
+// signals on a dæmon.
+func gatedNMConfig(gate *faultconn.Gate) NMConfig {
+	gatedPlan := func() faultconn.Plan {
+		plan := faultconn.NewPlan()
+		plan.Gate = gate
+		return plan
+	}
+	return NMConfig{
+		WrapConn: func(c net.Conn) net.Conn {
+			return faultconn.Wrap(c, gatedPlan())
+		},
+		Dialer: func(addr string) (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return faultconn.Wrap(c, gatedPlan()), nil
+		},
+	}
+}
+
+// waitStatus polls the MM until cond(status) holds, failing after the
+// deadline.
+func waitStatus(t *testing.T, mm *MM, what string, timeout time.Duration, cond func(StatusRep) bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := mm.status()
+		if cond(st) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s (status %+v)", what, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseWithQueuedAdmissions: jobs parked in the admission queue
+// when the MM shuts down must fail promptly with the named ErrMMClosed
+// — never hang on the condition variable, never return a misleading
+// placement error.
+func TestCloseWithQueuedAdmissions(t *testing.T) {
+	cfg := chaosMMConfig()
+	// Two gang rows, both held by long sleeps: later submissions park in
+	// the admission queue on row exhaustion.
+	cfg.GangQuantum = 10 * time.Millisecond
+	cfg.MPL = 2
+	mm, _, _ := chaosCluster(t, 2, cfg, nil)
+	hogErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := mm.RunJob(JobSpec{
+				Name: "hog", BinaryBytes: 64 << 10, Nodes: 2, PEsPerNode: 1,
+				Program: ProgramSpec{Kind: "sleep", Duration: 10 * time.Second},
+			})
+			hogErrs <- err
+		}()
+	}
+	waitStatus(t, mm, "both gang rows occupied", 5*time.Second,
+		func(st StatusRep) bool { return st.Jobs == 2 })
+
+	const queued = 4
+	qErrs := make(chan error, queued)
+	for i := 0; i < queued; i++ {
+		go func() {
+			_, err := mm.RunJob(JobSpec{
+				Name: "parked", BinaryBytes: 64 << 10, Nodes: 2, PEsPerNode: 1,
+				Program: ProgramSpec{Kind: "exit"},
+			})
+			qErrs <- err
+		}()
+	}
+	waitStatus(t, mm, "submissions parked in the admission queue", 5*time.Second,
+		func(st StatusRep) bool { return st.Queued == queued })
+
+	mm.Close()
+	for i := 0; i < queued; i++ {
+		select {
+		case err := <-qErrs:
+			if !errors.Is(err, ErrMMClosed) {
+				t.Fatalf("queued waiter got %v, want ErrMMClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("queued admission waiter %d still hung after Close", i)
+		}
+	}
+}
+
+// TestChaosDetectorFlapNoConviction: a node that stalls for a bit over
+// one heartbeat period — a GC pause, a scheduler hiccup — and then
+// recovers must never be convicted. One missed round is an absence
+// streak, not a failure; conviction needs two consecutive misses plus a
+// failed directed probe, and this node answers its probe.
+func TestChaosDetectorFlapNoConviction(t *testing.T) {
+	const n, victim = 3, 2
+	const period = 200 * time.Millisecond
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			gate := faultconn.NewGate()
+			mm, _, _ := chaosCluster(t, n, chaosMMConfig(), func(node int) NMConfig {
+				if node != victim {
+					return NMConfig{}
+				}
+				return gatedNMConfig(gate)
+			})
+			fails := make(chan int, n)
+			stop := mm.StartHeartbeat(period, func(node int) { fails <- node })
+			defer stop()
+			time.Sleep(4 * period) // settle: every node vouched for
+			select {
+			case node := <-fails:
+				t.Fatalf("false positive on node %d before any fault", node)
+			default:
+			}
+			// Stall the whole node for 1.0–1.33 periods, the seed picking
+			// where in that band. Its queued pongs flush on heal.
+			pause := period + time.Duration(faultconn.NewRng(seed).Intn(int(period)/3))
+			gate.Pause()
+			time.Sleep(pause)
+			gate.Heal()
+			time.Sleep(6 * period)
+			select {
+			case node := <-fails:
+				t.Fatalf("node %d convicted for a %v stall (period %v)", node, pause, period)
+			default:
+			}
+			if !mm.NodeEligible(victim) {
+				t.Fatal("flapped node lost placement eligibility without a conviction")
+			}
+		})
+	}
+}
+
+// TestChaosNMRejoinFullStrength is the healing half of the kill tests:
+// an NM is hard-killed mid-transfer and convicted, then restarts with
+// the Rejoin handshake and its persisted chunk cache. It must re-enter
+// under the configured probation, earn back placement eligibility by
+// answering heartbeats, and the next full-cluster launch must use it —
+// completing with zero failures, a byte-identical image everywhere, and
+// its warm cache honored (the relaunch streams less than the image).
+func TestChaosNMRejoinFullStrength(t *testing.T) {
+	const n = 5
+	const period = 250 * time.Millisecond
+	const probation = 2
+	victim := n - 1 // a distribution-tree leaf
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := chaosMMConfig()
+			cfg.RejoinProbation = probation
+			killAt := 8 + faultconn.NewRng(seed).Intn(16)
+			cacheDir := t.TempDir() // the victim's cache survives its restart
+			var victimNM atomic.Pointer[NM]
+			mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+				c := NMConfig{CacheBytes: 8 << 20}
+				if node != victim {
+					return c
+				}
+				c.CacheDir = cacheDir
+				c.WrapConn = func(nc net.Conn) net.Conn {
+					plan := faultconn.NewPlan()
+					plan.CloseAtReadFrag = killAt
+					plan.OnFault = func(string) {
+						go func() {
+							if nm := victimNM.Load(); nm != nil {
+								nm.Close()
+							}
+						}()
+					}
+					return faultconn.Wrap(nc, plan)
+				}
+				return c
+			})
+			victimNM.Store(nms[victim])
+			fails := make(chan int, n)
+			stop := mm.StartHeartbeat(period, func(node int) { fails <- node })
+			defer stop()
+			time.Sleep(3 * period)
+
+			spec := JobSpec{
+				Name: "heal", BinaryBytes: chaosBinary, Nodes: n, PEsPerNode: 1,
+				ImageSeed: 0xBEEF, Program: ProgramSpec{Kind: "exit"},
+			}
+			rep1, err := SubmitJob(mm.Addr(), spec)
+			if err != nil {
+				t.Fatalf("launch did not recover from killing node %d at frag %d: %v", victim, killAt, err)
+			}
+			if len(rep1.Failed) != 1 || rep1.Failed[0] != victim {
+				t.Fatalf("report names failed nodes %v, want [%d]", rep1.Failed, victim)
+			}
+
+			// The detector convicts the dead node; until it rejoins it is
+			// out of the placement rotation.
+			select {
+			case node := <-fails:
+				if node != victim {
+					t.Fatalf("healthy node %d convicted", node)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("killed node never convicted")
+			}
+			if mm.NodeEligible(victim) {
+				t.Fatal("convicted node still placement-eligible")
+			}
+
+			// Restart: same node ID, same cache dir, Rejoin handshake.
+			nm2, err := NewNMConfig(mm.Addr(), victim, 4, NMConfig{
+				Rejoin: true, CacheBytes: 8 << 20, CacheDir: cacheDir,
+			})
+			if err != nil {
+				t.Fatalf("rejoin failed: %v", err)
+			}
+			t.Cleanup(nm2.Close)
+			if nm2.Probation() != probation {
+				t.Fatalf("rejoin ack granted probation %d, want %d", nm2.Probation(), probation)
+			}
+			deadline := time.Now().Add(10*period + 5*time.Second)
+			for !mm.NodeEligible(victim) {
+				if time.Now().After(deadline) {
+					t.Fatalf("rejoined node never cleared probation (%d rounds left)",
+						mm.ProbationLeft(victim))
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+
+			// Full strength: the n-node relaunch can only succeed if the
+			// rejoined node is back in the rotation.
+			rep2, err := SubmitJob(mm.Addr(), spec)
+			if err != nil {
+				t.Fatalf("full-cluster relaunch after rejoin failed: %v", err)
+			}
+			if len(rep2.Failed) != 0 {
+				t.Fatalf("relaunch reported failed nodes %v on a healed cluster", rep2.Failed)
+			}
+			if rep2.BytesSaved <= 0 {
+				t.Fatalf("relaunch of the same image saved no bytes — caches (incl. the rejoined node's) ignored: %+v", rep2)
+			}
+			frags := chaosBinary / cfg.FragBytes
+			assertSurvivorImages(t, nms, victim, rep2.JobID, frags)
+			d, ok := nm2.ImageDigest(rep2.JobID)
+			if !ok || d.Frags != frags {
+				t.Fatalf("rejoined node holds no complete image for job %d (%+v, ok=%v)", rep2.JobID, d, ok)
+			}
+			if ref, _ := nms[0].ImageDigest(rep2.JobID); d != ref {
+				t.Fatalf("rejoined node's image %+v differs from survivor's %+v", d, ref)
+			}
+			if nm2.Launches() == 0 {
+				t.Fatal("rejoined node launched no processes")
+			}
+			// Conviction of the old incarnation must not have leaked into
+			// the new one.
+			select {
+			case node := <-fails:
+				if node == victim {
+					t.Fatal("rejoined node re-convicted without a new failure")
+				}
+				t.Fatalf("healthy node %d convicted", node)
+			default:
+			}
+		})
+	}
+}
+
+// TestChaosMMRestartJournalReplay: an MM with a durable journal goes
+// down with two jobs mid-flight and two more parked in the admission
+// queue. The queued waiters fail promptly with ErrMMClosed; a new MM on
+// the same journal fails the in-flight jobs durably, recovers exactly
+// the two admitted-but-unplaced specs, and — once NMs register — reruns
+// them to completion. A second restart must not re-run them again.
+func TestChaosMMRestartJournalReplay(t *testing.T) {
+	jdir := t.TempDir()
+	cfg := chaosMMConfig()
+	cfg.JournalDir = jdir
+	cfg.GangQuantum = 10 * time.Millisecond
+	cfg.MPL = 2
+	mm, _, shutdown := chaosCluster(t, 3, cfg, nil)
+	if mm.JournalPath() == "" {
+		t.Fatal("journal not open")
+	}
+
+	hogErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := mm.RunJob(JobSpec{
+				Name: "hog", BinaryBytes: 64 << 10, Nodes: 3, PEsPerNode: 1,
+				Program: ProgramSpec{Kind: "sleep", Duration: 10 * time.Second},
+			})
+			hogErrs <- err
+		}()
+	}
+	waitStatus(t, mm, "both gang rows occupied", 5*time.Second,
+		func(st StatusRep) bool { return st.Jobs == 2 })
+
+	qErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := mm.RunJob(JobSpec{
+				Name: fmt.Sprintf("recover-%d", i), BinaryBytes: 128 << 10, Nodes: 3,
+				PEsPerNode: 1, ImageSeed: 0xFEED, Program: ProgramSpec{Kind: "exit"},
+			})
+			qErrs <- err
+		}(i)
+	}
+	waitStatus(t, mm, "two jobs parked in the admission queue", 5*time.Second,
+		func(st StatusRep) bool { return st.Queued == 2 })
+
+	shutdown()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-qErrs:
+			if !errors.Is(err, ErrMMClosed) {
+				t.Fatalf("queued waiter got %v, want ErrMMClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued admission waiter hung across shutdown")
+		}
+	}
+
+	// Restart on the same journal. The hogs were placed (in flight), so
+	// they are failed durably; the parked pair is the recovery backlog.
+	mm2, err := NewMM("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mm2.Close)
+	rec := mm2.RecoveredJobs()
+	if len(rec) != 2 {
+		t.Fatalf("restart recovered %d jobs, want 2 (%+v)", len(rec), rec)
+	}
+	names := map[string]bool{}
+	for _, rj := range rec {
+		names[rj.Spec.Name] = true
+	}
+	if !names["recover-0"] || !names["recover-1"] {
+		t.Fatalf("recovered the wrong specs: %v", names)
+	}
+
+	// The backlog waits for membership; give the restarted cluster NMs.
+	for i := 0; i < 3; i++ {
+		nm, err := NewNMConfig(mm2.Addr(), i, 4, NMConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(nm.Close)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		rec = mm2.RecoveredJobs()
+		done := 0
+		for _, rj := range rec {
+			if rj.Done {
+				done++
+				if rj.Err != nil {
+					t.Fatalf("recovered job %q failed its rerun: %v", rj.Spec.Name, rj.Err)
+				}
+				if rj.Report.JobID == 0 || rj.Report.Total <= 0 {
+					t.Fatalf("recovered job %q has a bogus report: %+v", rj.Spec.Name, rj.Report)
+				}
+			}
+		}
+		if done == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered jobs never completed (%d/2 done)", done)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Idempotence: the reruns retired the original IDs, so yet another
+	// restart finds nothing to recover.
+	mm2.Close()
+	mm3, err := NewMM("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mm3.Close)
+	if rec := mm3.RecoveredJobs(); len(rec) != 0 {
+		t.Fatalf("second restart re-recovered %d jobs, want 0: %+v", len(rec), rec)
+	}
+}
+
+// TestChaosFederationResurrection: a federation leaf MM dies
+// mid-transfer (the root re-admits the job's share to the survivor and
+// convicts the partition), then the leaf restarts from its journal on a
+// fresh port. After Reabsorb hands the root the new incarnation, the
+// resurrection prober verifies it over the wire and marks the partition
+// live again — and placement flows back to it.
+func TestChaosFederationResurrection(t *testing.T) {
+	const perPart = 3
+	cfg := chaosMMConfig()
+	jdir := t.TempDir()
+	seed := chaosSeeds[0]
+	killAt := 8 + faultconn.NewRng(seed).Intn(16)
+
+	newLeaf := func(p int, journal string) *MM {
+		c := cfg
+		c.JobBase = fedJobBase(p)
+		c.JournalDir = journal
+		mm, err := NewMM("127.0.0.1:0", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mm
+	}
+	startNMs := func(mm *MM, base int, nmCfg func(node int) NMConfig) []*NM {
+		var out []*NM
+		for i := 0; i < perPart; i++ {
+			var c NMConfig
+			if nmCfg != nil {
+				c = nmCfg(base + i)
+			}
+			nm, err := NewNMConfig(mm.Addr(), base+i, 4, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(nm.Close)
+			out = append(out, nm)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for len(mm.NMs()) < perPart {
+			if time.Now().After(deadline) {
+				t.Fatalf("only %d of %d NMs registered on leaf %s", len(mm.NMs()), perPart, mm.Addr())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return out
+	}
+
+	var victimMM atomic.Pointer[MM]
+	mm0 := newLeaf(0, jdir)
+	t.Cleanup(mm0.Close)
+	victimMM.Store(mm0)
+	mm1 := newLeaf(1, "")
+	t.Cleanup(mm1.Close)
+	nms0 := startNMs(mm0, 0, func(node int) NMConfig {
+		if node != 0 { // partition 0's direct MM child carries the stream
+			return NMConfig{}
+		}
+		return NMConfig{WrapConn: func(c net.Conn) net.Conn {
+			plan := faultconn.NewPlan()
+			plan.CloseAtReadFrag = killAt
+			plan.OnFault = func(string) {
+				go func() {
+					if mm := victimMM.Load(); mm != nil {
+						mm.Kill()
+					}
+				}()
+			}
+			return faultconn.Wrap(c, plan)
+		}}
+	})
+	startNMs(mm1, perPart, nil)
+	fed, err := NewFederation("127.0.0.1:0", FedConfig{ProbeInterval: 50 * time.Millisecond}, []*MM{mm0, mm1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fed.Close)
+
+	// Free placement on an idle federation picks partition 0 — the one
+	// armed to die. The share is re-admitted to partition 1.
+	rep, err := fed.RunJob(JobSpec{
+		Name: "leafdeath", BinaryBytes: chaosBinary, Nodes: perPart, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err != nil {
+		t.Fatalf("job did not survive leaf death at frag %d: %v", killAt, err)
+	}
+	if rep.Readmits != 1 {
+		t.Fatalf("want one re-admission, got %d (%s)", rep.Readmits, rep.Timeline)
+	}
+	if live := fed.LivePartitions(); len(live) != 1 || live[0] != 1 {
+		t.Fatalf("partition 0 should be convicted, live=%v", live)
+	}
+
+	// Restart the dead leaf from its journal. Its in-flight share was
+	// failed durably on replay (the root already re-ran it elsewhere),
+	// so the recovery backlog is empty.
+	for _, nm := range nms0 {
+		nm.Close()
+	}
+	mm0b := newLeaf(0, jdir)
+	t.Cleanup(mm0b.Close)
+	if rec := mm0b.RecoveredJobs(); len(rec) != 0 {
+		t.Fatalf("restarted leaf re-recovered %d in-flight jobs, want 0: %+v", len(rec), rec)
+	}
+	startNMs(mm0b, 0, nil)
+	if err := fed.Reabsorb(mm0b); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(fed.LivePartitions()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never resurrected partition 0, live=%v", fed.LivePartitions())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if fed.Resurrections() != 1 {
+		t.Fatalf("resurrections=%d, want 1", fed.Resurrections())
+	}
+
+	// Placement rebalances toward the returned partition: it carries no
+	// load, so the next free placement lands there...
+	rep2, err := SubmitJob(fed.Addr(), JobSpec{
+		Name: "rebalance", BinaryBytes: 256 << 10, Nodes: perPart, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err != nil {
+		t.Fatalf("post-resurrection launch failed: %v", err)
+	}
+	if !strings.Contains(rep2.Timeline, "partitions=[0]") {
+		t.Fatalf("free placement should favor the resurrected idle partition: %s", rep2.Timeline)
+	}
+	// ...and a spanning job uses the whole federation again.
+	rep3, err := SubmitJob(fed.Addr(), JobSpec{
+		Name: "span", BinaryBytes: 256 << 10, Nodes: 2 * perPart, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err != nil {
+		t.Fatalf("spanning launch after resurrection failed: %v", err)
+	}
+	if !strings.Contains(rep3.Timeline, "partitions=[0,1]") {
+		t.Fatalf("spanning job should cross both partitions: %s", rep3.Timeline)
+	}
+}
