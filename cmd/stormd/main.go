@@ -54,6 +54,7 @@ func main() {
 	role := flag.String("role", "", "dæmon role: mm or nm")
 	listen := flag.String("listen", "127.0.0.1:7070", "MM listen address (role mm)")
 	fanout := flag.Int("fanout", 0, "forwarding-tree fanout, 1 = flat unicast (role mm; 0 = default)")
+	stripes := flag.Int("stripes", 1, "disjoint spanning trees striping each transfer, chunks interleaved round-robin (role mm; 1 = single-tree legacy)")
 	mmAddr := flag.String("mm", "127.0.0.1:7070", "MM address to register with (role nm)")
 	node := flag.Int("node", 0, "node ID (role nm)")
 	cpus := flag.Int("cpus", 4, "advertised CPUs per node (role nm)")
@@ -90,14 +91,14 @@ func main() {
 	case "mm":
 		if *partitions > 1 {
 			runFederation(*listen, *partitions, livenet.MMConfig{
-				Fanout: *fanout, GangQuantum: *strobe,
+				Fanout: *fanout, Stripes: *stripes, GangQuantum: *strobe,
 				MaxConcurrent: *maxConc, Admission: *admission, Lite: *lite,
 				JournalDir: *journalDir, JobRetries: *retries,
 			}, *admission, sig)
 			return
 		}
 		mm, err := livenet.NewMM(*listen, livenet.MMConfig{
-			Fanout: *fanout, GangQuantum: *strobe,
+			Fanout: *fanout, Stripes: *stripes, GangQuantum: *strobe,
 			MaxConcurrent: *maxConc, Admission: *admission, Lite: *lite,
 			JournalDir: *journalDir, JobRetries: *retries,
 		})

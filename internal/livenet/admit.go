@@ -24,11 +24,11 @@ import (
 type jobPhase int
 
 const (
-	phaseAdmitted jobPhase = iota // in the admission queue
-	phasePlanned                  // relay tree confirmed by every node
-	phaseManifest                 // manifest multicast / HAVE fold in flight
-	phaseStreaming                // chunks moving down the tree
-	phaseLaunched                 // processes forked, awaiting termination
+	phaseAdmitted  jobPhase = iota // in the admission queue
+	phasePlanned                   // relay tree confirmed by every node
+	phaseManifest                  // manifest multicast / HAVE fold in flight
+	phaseStreaming                 // chunks moving down the tree
+	phaseLaunched                  // processes forked, awaiting termination
 	phaseDone
 	phaseFailed
 )
@@ -345,29 +345,40 @@ func (mm *MM) linkBudgetFor(c *conn) *linkBudget {
 }
 
 // heldChunk is one chunk's worth of link budget a job holds while the
-// chunk is unacknowledged by one child subtree.
+// chunk is unacknowledged by one child subtree. index is stripe-local,
+// matching the cumulative acks that release it.
 type heldChunk struct {
 	index int
 	n     int64
 	lb    *linkBudget
 }
 
-// holdChunk records budget acquired for chunk index on the link to a
-// child node.
-func (j *liveJob) holdChunk(node, index int, n int64, lb *linkBudget) {
+// heldKey names one (stripe, direct child) ledger of held budget — the
+// same node can be a direct child of several stripe trees at once, each
+// with its own cumulative ack.
+type heldKey struct {
+	stripe int
+	node   int
+}
+
+// holdChunk records budget acquired for the stripe-local chunk index on
+// the link to a child node of one stripe's tree.
+func (j *liveJob) holdChunk(stripe, node, index int, n int64, lb *linkBudget) {
 	j.mu.Lock()
 	if j.held == nil {
-		j.held = make(map[int][]heldChunk)
+		j.held = make(map[heldKey][]heldChunk)
 	}
-	j.held[node] = append(j.held[node], heldChunk{index: index, n: n, lb: lb})
+	k := heldKey{stripe: stripe, node: node}
+	j.held[k] = append(j.held[k], heldChunk{index: index, n: n, lb: lb})
 	j.mu.Unlock()
 }
 
 // releaseAckedLocked returns the budget of every held chunk the child's
-// cumulative ack now covers. Caller holds j.mu; budget locks nest
-// inside it.
-func (j *liveJob) releaseAckedLocked(node, acked int) {
-	chunks := j.held[node]
+// cumulative stripe-local ack now covers. Caller holds j.mu; budget
+// locks nest inside it.
+func (j *liveJob) releaseAckedLocked(stripe, node, acked int) {
+	k := heldKey{stripe: stripe, node: node}
+	chunks := j.held[k]
 	kept := chunks[:0]
 	for _, h := range chunks {
 		if h.index < acked {
@@ -377,9 +388,9 @@ func (j *liveJob) releaseAckedLocked(node, acked int) {
 		}
 	}
 	if len(kept) == 0 {
-		delete(j.held, node)
+		delete(j.held, k)
 	} else {
-		j.held[node] = kept
+		j.held[k] = kept
 	}
 }
 
@@ -388,11 +399,11 @@ func (j *liveJob) releaseAckedLocked(node, acked int) {
 // re-streams).
 func (j *liveJob) releaseAllHeld() {
 	j.mu.Lock()
-	for node, chunks := range j.held {
+	for key, chunks := range j.held {
 		for _, h := range chunks {
 			h.lb.release(h.n)
 		}
-		delete(j.held, node)
+		delete(j.held, key)
 	}
 	j.mu.Unlock()
 }
@@ -443,22 +454,25 @@ func (mm *MM) JobTable() []JobInfo {
 	return out
 }
 
-// windowUsedLocked is the job's current unacknowledged chunk count: how
-// far the stream head is past the slowest subtree's cumulative ack.
-// Caller holds j.mu.
+// windowUsedLocked is the job's current unacknowledged chunk count,
+// summed over its stripes: per stripe, how far the stream head is past
+// the slowest subtree's cumulative (stripe-local) ack. Caller holds
+// j.mu.
 func (j *liveJob) windowUsedLocked() int {
-	if j.streamAt == 0 {
-		return 0
-	}
-	min := j.streamAt
-	for _, link := range j.children {
-		if got := j.acked[link.node]; got < min {
-			min = got
+	used := 0
+	for _, ss := range j.stripes {
+		if ss.streamAt == 0 {
+			continue
 		}
-	}
-	used := j.streamAt - min
-	if used < 0 {
-		used = 0
+		min := ss.streamAt
+		for _, link := range ss.children {
+			if got := ss.acked[link.node]; got < min {
+				min = got
+			}
+		}
+		if ss.streamAt > min {
+			used += ss.streamAt - min
+		}
 	}
 	return used
 }

@@ -33,6 +33,7 @@ func BenchmarkFederatedLaunch(b *testing.B) {
 	const (
 		perPart     = 64
 		leafFanout  = 4
+		leafStripes = 2 // each partition stripes its transfer over 2 disjoint trees
 		binaryBytes = 256 << 10
 		fragBytes   = 32 << 10
 		cacheBytes  = 16 << 20
@@ -79,7 +80,7 @@ func BenchmarkFederatedLaunch(b *testing.B) {
 			baseG := runtime.NumGoroutine()
 			baseH := heapNow()
 			fed, mms, _, _ := fedCluster(b, parts, perPart, FedConfig{Lite: true},
-				MMConfig{Fanout: leafFanout, FragBytes: fragBytes},
+				MMConfig{Fanout: leafFanout, FragBytes: fragBytes, Stripes: leafStripes},
 				func(int) NMConfig { return NMConfig{CacheBytes: cacheBytes} })
 			pt := point{Nodes: n, Partitions: parts, Levels: 2}
 			if parts == 1 {
@@ -178,6 +179,7 @@ func BenchmarkFederatedLaunch(b *testing.B) {
 			"frag_bytes":    fragBytes,
 			"per_partition": perPart,
 			"leaf_fanout":   leafFanout,
+			"leaf_stripes":  leafStripes,
 			"series":        series,
 		},
 	})

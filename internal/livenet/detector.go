@@ -29,9 +29,9 @@ import (
 // the bench reports. Guarded by MM.mu.
 type mmCtl struct {
 	epoch   int
-	members []int           // sorted node IDs the tree was built over
-	kids    []*nmLink       // the MM's direct children
-	sub     map[int][]int   // direct child -> pre-order subtree node IDs
+	members []int         // sorted node IDs the tree was built over
+	kids    []*nmLink     // the MM's direct children
+	sub     map[int][]int // direct child -> pre-order subtree node IDs
 	ledger  map[int]*mmLedger
 
 	hbSent map[int64]time.Time // ping seq -> send time (RTT waiters)

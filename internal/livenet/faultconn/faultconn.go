@@ -7,8 +7,8 @@
 // frames, and injected dial failures.
 //
 // The wrapper is frame-aware: it runs the livenet frame grammar
-// ('G' gob frames, 'F' frag frames with a 17-byte header carrying the
-// payload length at offset 13, 'A' fixed 17-byte acks, the fixed typed
+// ('G' gob frames, 'F' frag frames with an 18-byte header carrying the
+// payload length at offset 13, 'A' fixed 18-byte acks, the fixed typed
 // control frames 'P'/'Q'/'S'/'T', the varlen control frames
 // 'K'/'R'/'D' whose fixed part ends in a u16 error length, and the
 // delta-transfer frames 'M'/'H'/'N' whose fixed part carries a tail
@@ -201,8 +201,8 @@ var ErrInjectedClose = errors.New("faultconn: injected connection close")
 
 // frame grammar constants, mirroring livenet's wire format.
 const (
-	fragHdrLen  = 17 // job u32 | index u32 | flags u8 | crc u32 | len u32
-	ackBodyLen  = 17
+	fragHdrLen  = 18 // job u32 | index u32 | flags u8 | crc u32 | len u32 | stripe u8
+	ackBodyLen  = 18
 	lenOffInHdr = 13 // payload length within the frag header
 	gobLenBytes = 4
 	stType      = 0 // expecting a frame type byte
@@ -220,11 +220,11 @@ const (
 	strobeBodyLen     = 16
 	strobeAckBodyLen  = 16
 	planAckFixedLen   = 10
-	replanAckFixedLen = 18
+	replanAckFixedLen = 19 // stripe byte precedes the trailing u16 error length
 	peerDownFixedLen  = 14
-	manifestFixedLen  = 28 // u32 chunk count at offset 24, 12-byte records follow
-	haveFixedLen      = 14 // u16 word count at offset 12, 8-byte words follow
-	needFixedLen      = 10 // u16 word count at offset 8, 8-byte words follow
+	manifestFixedLen  = 29 // u32 chunk count at offset 24, stripe u8, 12-byte records follow
+	haveFixedLen      = 15 // u16 word count at offset 12, stripe u8, 8-byte words follow
+	needFixedLen      = 11 // u16 word count at offset 8, stripe u8, 8-byte words follow
 	helloBodyLen      = 4  // shared-listener routing hello ('L')
 
 	scanHdrLen = manifestFixedLen // widest fixed region buffered by the scanner
@@ -318,11 +318,11 @@ func (s *scanner) step(b byte) event {
 		case 'D':
 			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, peerDownFixedLen, peerDownFixedLen-2, 2, 1
 		case 'M':
-			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, manifestFixedLen, manifestFixedLen-4, 4, 12
+			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, manifestFixedLen, manifestFixedLen-5, 4, 12
 		case 'H':
-			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, haveFixedLen, haveFixedLen-2, 2, 8
+			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, haveFixedLen, haveFixedLen-3, 2, 8
 		case 'N':
-			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, needFixedLen, needFixedLen-2, 2, 8
+			s.state, s.got, s.need, s.varElen, s.varWidth, s.varUnit = stVarHdr, 0, needFixedLen, needFixedLen-3, 2, 8
 		case 'L':
 			// Shared-listener routing hello: fixed body, nothing to
 			// count — but it must be consumed as a frame, or its body

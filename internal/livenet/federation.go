@@ -97,10 +97,10 @@ type PartReport struct {
 // construction — and the per-partition breakdown rides along for
 // anyone who wants the leaves' detail.
 type FedReport struct {
-	JobID    int
-	Send     time.Duration // max partition binary-resident time
-	Execute  time.Duration // max partition execution time
-	Total    time.Duration
+	JobID   int
+	Send    time.Duration // max partition binary-resident time
+	Execute time.Duration // max partition execution time
+	Total   time.Duration
 	// RootEgress is every byte the root wrote to delegate this job:
 	// one Submit frame per partition touched. Compare Report.SendBytes
 	// on a leaf, which scales with image size × fanout.

@@ -5,7 +5,6 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"net"
 	"sort"
 	"strings"
@@ -96,6 +95,16 @@ type MMConfig struct {
 	// the flat fan-out: the MM unicasts every fragment to every node
 	// itself and no NM relays.
 	Fanout int
+	// Stripes is the number of disjoint spanning trees the bulk plane
+	// stripes a transfer across (default 1: the single-tree plan,
+	// byte-compatible with every prior release). With k > 1 the
+	// interior/leaf roles rotate per stripe (each node is interior in
+	// ~1/k of the trees) and manifest chunks interleave round-robin
+	// (chunk i rides stripe i%k), so aggregate delivery drives k
+	// uplinks per node and a slow or dead relay only throttles the
+	// stripes it is interior in. Clamped per job to the chunk count and
+	// to 255 (the wire's stripe byte).
+	Stripes int
 	// GangQuantum, when positive, enables live gang scheduling: the MM
 	// strobes a coordinated context switch every quantum and launches
 	// processes gated.
@@ -185,6 +194,12 @@ func (c *MMConfig) fill() {
 	}
 	if c.Fanout == 0 {
 		c.Fanout = 2
+	}
+	if c.Stripes < 1 {
+		c.Stripes = 1
+	}
+	if c.Stripes > 255 {
+		c.Stripes = 255 // the frame headers carry the stripe in one byte
 	}
 	if c.GangQuantum > 0 && c.MPL == 0 {
 		c.MPL = 2
@@ -377,30 +392,25 @@ type liveJob struct {
 	mu    sync.Mutex
 	nodes []*nmLink // current (surviving) job nodes, position-ordered
 
-	// children are the MM's direct forwarding-tree children (subtree
-	// roots); subtree maps each child's node ID to the node IDs its
-	// aggregated acks vouch for. Both are rebuilt on replan.
-	children []*nmLink
-	subtree  map[int][]int
+	// stripes is the per-stripe transfer state: every spanning tree the
+	// bulk plane stripes this job across owns its own epoch, ack ledger,
+	// HAVE/need masks and stream cursor (one entry, stripe 0, for the
+	// legacy single-tree plan). stripeReplans counts the replan rounds
+	// charged to each stripe — a dead leaf is pruned from a stripe
+	// without bumping its epoch, so an undisturbed stripe's count stays 0
+	// through another stripe's recovery.
+	stripes       []*stripeState
+	stripeReplans []int
 
-	epoch    int         // forwarding-tree generation; bumped per replan
-	acked    map[int]int // direct child node -> cumulative fragments acked (subtree-wide)
-	planned  map[int]bool
-	received map[int]int // node -> local progress reported in ReplanAck
-	cond     *sync.Cond
-	fail     error
+	planned map[int]bool // initial job-wide Plan barrier
+	cond    *sync.Cond
+	fail    error
 
-	// Delta-transfer state. man is the job's manifest; haves collects
-	// each direct child's folded subtree HAVE ledger for the current
-	// epoch, needs the per-subtree complement (what must flow down each
-	// link), and sendList the ascending union of chunks at least one
-	// subtree is missing. chunksSent counts chunks streamed across all
+	// Delta-transfer state shared by all stripes. man is the job's
+	// manifest; chunksSent counts chunks streamed across all stripes and
 	// epochs (replayed chunks count again); bytesSaved is the payload the
-	// ledgers let the MM keep off the wire, summed per link.
+	// HAVE ledgers let the MM keep off the wire, summed per link.
 	man        *manifestData
-	haves      map[int][]uint64
-	needs      map[int][]uint64
-	sendList   []int
 	chunksSent int
 	bytesSaved int64
 
@@ -416,20 +426,48 @@ type liveJob struct {
 	retries     int
 
 	// phase is the job's position in the admission state machine;
-	// streamAt is the absolute index just past the last chunk streamed
-	// this epoch and winPeak the largest unacknowledged-chunk count
-	// observed, both for the job-table snapshot and the report. held
-	// tracks link-budget bytes per direct child that acks have not yet
-	// returned. sendBytes counts the MM's own distribution egress for
-	// this job exactly (frag, manifest, and need-mask frames), so
-	// concurrent jobs sharing a link never bill each other.
+	// winPeak is the largest unacknowledged-chunk count observed across
+	// all stripes, for the job-table snapshot and the report. held
+	// tracks link-budget bytes per (stripe, direct child) that acks have
+	// not yet returned. sendBytes counts the MM's own distribution
+	// egress for this job exactly (frag, manifest, and need-mask
+	// frames), so concurrent jobs sharing a link never bill each other.
 	phase     jobPhase
-	streamAt  int
 	winPeak   int
-	held      map[int][]heldChunk
+	held      map[heldKey][]heldChunk
 	sendBytes int64
 
 	terms chan int
+}
+
+// stripeState is one stripe's transfer state: its spanning tree (a
+// rotation of the job's placement order), tree epoch, cumulative-ack
+// ledger, HAVE/need masks and stream cursor. All index arithmetic below
+// the sendList is stripe-local (chunk s+j·k is the stripe's j-th), so
+// each stripe's window and replay logic is the single-tree logic
+// verbatim. Guarded by the owning job's mu.
+type stripeState struct {
+	id int
+	// order snapshots the stripe's position-ordered node set: order[q]
+	// is the node at tree position q. It is rebuilt on a replan of THIS
+	// stripe only — pruning a dead leaf from another stripe shrinks
+	// j.nodes but must not shift this stripe's positions mid-epoch.
+	order    []*nmLink
+	children []*nmLink     // MM's direct children in this stripe's tree
+	subtree  map[int][]int // direct child node -> node IDs its acks vouch for
+	epoch    int           // stripe tree generation; bumped per stripe replan
+	acked    map[int]int   // direct child -> cumulative stripe-local chunks acked
+	planned  map[int]bool  // per-stripe Replan barrier
+	received map[int]int   // node -> stripe-local progress from ReplanAck
+	haves    map[int][]uint64
+	needs    map[int][]uint64
+	sendList []int // ascending global chunk indices this stripe still streams
+	// streamPos indexes sendList (next entry to stream); streamAt is the
+	// stripe-local index just past the last chunk streamed this epoch.
+	streamPos    int
+	streamAt     int
+	needManifest bool // run a manifest round before streaming (fresh epoch)
+	done         bool // stripe fully streamed and drained
 }
 
 // NewMM starts a Machine Manager listening on addr (use "127.0.0.1:0"
@@ -958,6 +996,15 @@ func (mm *MM) jobByID(id int) *liveJob {
 	return mm.jobs[id]
 }
 
+// stripeByID returns the job's stripe s (nil if out of range). Caller
+// holds j.mu.
+func (j *liveJob) stripeByID(s int) *stripeState {
+	if s < 0 || s >= len(j.stripes) {
+		return nil
+	}
+	return j.stripes[s]
+}
+
 func (mm *MM) onFragAck(a *FragAck) {
 	j := mm.jobByID(a.Job)
 	if j == nil {
@@ -968,17 +1015,20 @@ func (mm *MM) onFragAck(a *FragAck) {
 	if !a.OK {
 		// First failure wins: a rejected fragment forces every later
 		// fragment out of order, and those cascade nacks would otherwise
-		// mask the original corruption site.
+		// mask the original corruption site. Nacks carry the global chunk
+		// index, so the report names the corruption site unambiguously.
 		if j.fail == nil {
 			j.fail = rejectError{node: a.Node, index: a.Index}
 		}
-	} else if a.Epoch == j.epoch && a.Index+1 > j.acked[a.Node] {
+	} else if ss := j.stripeByID(a.Stripe); ss != nil &&
+		a.Epoch == ss.epoch && a.Index+1 > ss.acked[a.Node] {
 		// Credit from an older tree epoch vouched for a different
 		// subtree shape; only current-epoch credit moves the window.
-		j.acked[a.Node] = a.Index + 1
+		// Cumulative acks are stripe-local counts.
+		ss.acked[a.Node] = a.Index + 1
 		// Acknowledged chunks hand their bytes back to the shared link
 		// budget, unblocking whatever job is waiting on that link.
-		j.releaseAckedLocked(a.Node, a.Index+1)
+		j.releaseAckedLocked(ss.id, a.Node, a.Index+1)
 	}
 	j.cond.Broadcast()
 }
@@ -1004,7 +1054,8 @@ func (mm *MM) onReplanAck(a *ReplanAck) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if a.Epoch != j.epoch {
+	ss := j.stripeByID(a.Stripe)
+	if ss == nil || a.Epoch != ss.epoch {
 		return // stale round
 	}
 	if a.Err != "" {
@@ -1012,8 +1063,8 @@ func (mm *MM) onReplanAck(a *ReplanAck) {
 			j.fail = fmt.Errorf("node %d could not rewire its relay plan: %s", a.Node, a.Err)
 		}
 	}
-	j.planned[a.Node] = true
-	j.received[a.Node] = a.Received
+	ss.planned[a.Node] = true
+	ss.received[a.Node] = a.Received
 	j.cond.Broadcast()
 }
 
@@ -1093,17 +1144,19 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 		return Report{}, fmt.Errorf("livenet: %d NMs registered, job wants %d", n, spec.Nodes)
 	}
 	mm.nextJob++
+	frags := (spec.BinaryBytes + mm.cfg.FragBytes - 1) / mm.cfg.FragBytes
+	if frags == 0 {
+		frags = 1
+	}
 	j := &liveJob{
-		id:       mm.nextJob,
-		spec:     spec,
-		row:      -1,
-		phase:    phaseAdmitted,
-		qStart:   time.Now(),
-		acked:    make(map[int]int),
-		planned:  make(map[int]bool),
-		received: make(map[int]int),
-		subtree:  make(map[int][]int),
-		terms:    make(chan int, spec.Nodes),
+		id:      mm.nextJob,
+		spec:    spec,
+		row:     -1,
+		frags:   frags,
+		phase:   phaseAdmitted,
+		qStart:  time.Now(),
+		planned: make(map[int]bool),
+		terms:   make(chan int, spec.Nodes),
 	}
 	j.cond = sync.NewCond(&j.mu)
 	mm.jlog(journal.JobAdmitted, j.id, 0, encodeSpec(&spec))
@@ -1247,6 +1300,9 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	sort.Ints(failed)
 	timeline := fmt.Sprintf("send=%v execute=%v nodes=%d pes=%d fanout=%d",
 		send, total-send, len(nodes), len(nodes)*spec.PEsPerNode, mm.cfg.Fanout)
+	if len(j.stripeReplans) > 1 {
+		timeline += fmt.Sprintf(" stripes=%d", len(j.stripeReplans))
+	}
 	if j.queued > time.Millisecond {
 		timeline += fmt.Sprintf(" queued=%v", j.queued.Round(time.Millisecond))
 	}
@@ -1263,22 +1319,23 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	j.setPhase(phaseDone)
 	mm.jlog(journal.JobDone, j.id, 0, nil)
 	return Report{
-		JobID:      j.id,
-		Send:       send,
-		Execute:    total - send,
-		Total:      total,
-		SendBytes:  j.sendBytes,
-		Failed:     failed,
-		Replans:    j.replans,
-		Recovery:   j.recovery,
-		Chunks:     j.frags,
-		ChunksSent: j.chunksSent,
-		BytesSaved: j.bytesSaved,
-		Queued:     j.queued,
-		Row:        j.row,
-		WindowPeak: winPeak,
-		Timeline:   timeline,
-		Retries:    j.retries,
+		JobID:         j.id,
+		Send:          send,
+		Execute:       total - send,
+		Total:         total,
+		SendBytes:     j.sendBytes,
+		Failed:        failed,
+		Replans:       j.replans,
+		Recovery:      j.recovery,
+		StripeReplans: append([]int(nil), j.stripeReplans...),
+		Chunks:        j.frags,
+		ChunksSent:    j.chunksSent,
+		BytesSaved:    j.bytesSaved,
+		Queued:        j.queued,
+		Row:           j.row,
+		WindowPeak:    winPeak,
+		Timeline:      timeline,
+		Retries:       j.retries,
 	}, nil
 }
 
@@ -1338,38 +1395,82 @@ func (mm *MM) rehome(j *liveJob) error {
 	}
 	j.mu.Lock()
 	j.nodes = nodes
-	j.epoch = 0
-	j.acked = make(map[int]int)
 	j.planned = make(map[int]bool)
-	j.received = make(map[int]int)
-	j.streamAt = 0
 	j.fail = nil
 	j.peerDown = nil
-	j.haves = nil
-	j.needs = nil
-	j.sendList = j.sendList[:0]
-	mm.rewireTree(j)
+	mm.rewireTree(j) // rebuilds every stripe at epoch 0
 	j.mu.Unlock()
 	mm.jlog(journal.JobPlanned, j.id, 0, nil)
 	return nil
 }
 
-// rewireTree rebuilds the job's forwarding-tree bookkeeping (direct
-// children and the per-subtree membership map) over the current node
-// set. Caller must hold j.mu or have exclusive access to j.
+// stripeCountFor is the job's stripe count: the configured count clamped
+// to the chunk count (an extra stripe with nothing to carry is pure
+// overhead) and the node count.
+func (mm *MM) stripeCountFor(j *liveJob) int {
+	k := mm.cfg.Stripes
+	if k > j.frags {
+		k = j.frags
+	}
+	if n := len(j.nodes); k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// rewireTree rebuilds the job's full striped forwarding plan over the
+// current node set: every stripe's tree at epoch 0. Used at placement
+// and re-placement (rehome); mid-transfer recovery rewires single
+// stripes via rewireStripe instead. Caller must hold j.mu or have
+// exclusive access to j.
 func (mm *MM) rewireTree(j *liveJob) {
+	k := mm.stripeCountFor(j)
+	j.stripes = j.stripes[:0]
+	for s := 0; s < k; s++ {
+		ss := &stripeState{id: s, needManifest: true}
+		mm.rewireStripe(j, ss, k)
+		j.stripes = append(j.stripes, ss)
+	}
+	if len(j.stripeReplans) != k {
+		j.stripeReplans = make([]int, k)
+	}
+}
+
+// rewireStripe rebuilds one stripe's tree bookkeeping over the job's
+// current node set: the position-ordered snapshot (stripe s's position q
+// is held by the node at placement index (q + s·n/k) mod n), the MM's
+// direct children, and the per-subtree membership map. Resets the
+// stripe's ack/plan ledgers and stream cursor for a fresh epoch. Caller
+// must hold j.mu or have exclusive access to j.
+func (mm *MM) rewireStripe(j *liveJob, ss *stripeState, k int) {
 	n := len(j.nodes)
-	j.children = j.children[:0]
-	j.subtree = make(map[int][]int)
+	ss.order = ss.order[:0]
+	for q := 0; q < n; q++ {
+		ss.order = append(ss.order, j.nodes[stripeNodeAt(q, ss.id, k, n)])
+	}
+	ss.children = ss.children[:0]
+	ss.subtree = make(map[int][]int)
 	for _, pos := range mmChildren(n, mm.cfg.Fanout) {
-		child := j.nodes[pos]
-		j.children = append(j.children, child)
+		child := ss.order[pos]
+		ss.children = append(ss.children, child)
 		sub := make([]int, 0, 1)
 		for _, p := range subtreeNodes(pos, n, mm.cfg.Fanout) {
-			sub = append(sub, j.nodes[p].node)
+			sub = append(sub, ss.order[p].node)
 		}
-		j.subtree[child.node] = sub
+		ss.subtree[child.node] = sub
 	}
+	ss.acked = make(map[int]int)
+	ss.planned = make(map[int]bool)
+	ss.received = make(map[int]int)
+	ss.haves = nil
+	ss.needs = nil
+	ss.sendList = ss.sendList[:0]
+	ss.streamPos = 0
+	ss.streamAt = 0
+	ss.done = false
 }
 
 // transfer streams the synthetic binary image down the forwarding tree,
@@ -1392,33 +1493,33 @@ func (mm *MM) rewireTree(j *liveJob) {
 //     remote receive queues).
 //  4. Recover (only on liveness failures): diagnose which nodes are
 //     actually dead (accumulated PeerDown evidence plus directed
-//     isolation probes over the control links), exclude them, rewire
-//     the survivors with a Replan round, and re-run the manifest round
-//     under the new epoch — the survivors' ledgers re-derive the
-//     remaining need from their actual splice and cache state, so the
-//     replay streams only what is still missing. Chunks are regenerated
-//     deterministically, so the send log is the generator plus an
-//     index. Content failures (CRC rejections) are never retried.
+//     isolation probes over the control links), exclude them, and heal
+//     each stripe by the cheapest sufficient means — a stripe the dead
+//     node relayed for is rewired with an epoch-stamped Replan round
+//     and re-runs its manifest round (the survivors' ledgers re-derive
+//     the remaining need from their actual splice and cache state); a
+//     stripe where it was only a leaf is pruned in place (a ChildDead
+//     note to its tree parent) and resumes streaming under the same
+//     epoch. Chunks are regenerated deterministically, so the send log
+//     is the generator plus an index. Content failures (CRC
+//     rejections) are never retried.
+//
+// With MMConfig.Stripes > 1 the phases run per stripe and overlap:
+// each stripe pipelines its own manifest round and stream in a
+// dedicated goroutine, so stripe i is streaming chunks while stripe j
+// still folds HAVEs, with the shared per-link budgets arbitrating the
+// conns they cross.
 func (mm *MM) transfer(j *liveJob) error {
 	// Whatever path exits the transfer, return every byte this job still
 	// holds against the shared link budgets — a failed job must not leave
 	// a budget leaked and starve its link peers.
 	defer j.releaseAllHeld()
-	frag := mm.cfg.FragBytes
-	n := (j.spec.BinaryBytes + frag - 1) / frag
-	if n == 0 {
-		n = 1
-	}
-	j.frags = n
 	j.man = mm.buildManifest(j)
 
 	j.setPhase(phasePlanned)
 	err := mm.plan(j)
 	if err == nil {
-		err = mm.manifestRound(j)
-	}
-	if err == nil {
-		err = mm.stream(j)
+		err = mm.runStripes(j)
 	}
 	for replans := 0; err != nil; replans++ {
 		var reject rejectError
@@ -1433,7 +1534,7 @@ func (mm *MM) transfer(j *liveJob) error {
 		if len(dead) == 0 {
 			return err // nothing provably dead: surface the original failure
 		}
-		_, rerr := mm.replan(j, dead)
+		rerr := mm.recoverStripes(j, dead)
 		if rerr != nil {
 			err = rerr // may itself be recoverable; loop diagnoses again
 			j.recovery += time.Since(t0)
@@ -1442,27 +1543,109 @@ func (mm *MM) transfer(j *liveJob) error {
 		j.replans++
 		j.recovery += time.Since(t0)
 		mm.jlog(journal.JobEpoch, j.id, 0, nil)
-		err = mm.manifestRound(j)
-		if err == nil {
-			err = mm.stream(j)
-		}
+		err = mm.runStripes(j)
 	}
 	return nil
 }
 
+// runStripes drives every unfinished stripe's manifest round and stream
+// concurrently — the phase pipeline. Each stripe goroutine runs its own
+// manifest round first (only when its epoch is fresh: initial transfer
+// or just replanned) and streams immediately after, so fast stripes
+// push payload while slow ones still fold HAVEs. The first failure is
+// returned, content rejections winning over liveness errors so a replan
+// loop never retries corruption.
+func (mm *MM) runStripes(j *liveJob) error {
+	j.mu.Lock()
+	stripes := make([]*stripeState, 0, len(j.stripes))
+	manifest := false
+	for _, ss := range j.stripes {
+		if !ss.done {
+			stripes = append(stripes, ss)
+			manifest = manifest || ss.needManifest
+		}
+	}
+	j.mu.Unlock()
+	if len(stripes) == 0 {
+		return nil
+	}
+	j.setPhase(phaseManifest)
+	if manifest {
+		mm.jlog(journal.JobManifest, j.id, 0, nil)
+	}
+	errs := make([]error, len(stripes))
+	var wg sync.WaitGroup
+	for i, ss := range stripes {
+		wg.Add(1)
+		go func(i int, ss *stripeState) {
+			defer wg.Done()
+			errs[i] = mm.runStripe(j, ss)
+		}(i, ss)
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var reject rejectError
+		if errors.As(err, &reject) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// runStripe is one stripe's slice of the pipeline: manifest round if the
+// epoch is fresh, then stream to drain.
+func (mm *MM) runStripe(j *liveJob, ss *stripeState) error {
+	j.mu.Lock()
+	need := ss.needManifest
+	j.mu.Unlock()
+	if need {
+		if err := mm.manifestStripe(j, ss); err != nil {
+			return err
+		}
+		j.mu.Lock()
+		ss.needManifest = false
+		j.mu.Unlock()
+	}
+	if err := mm.streamStripe(j, ss); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	ss.done = true
+	j.mu.Unlock()
+	return nil
+}
+
 // plan runs the initial topology barrier: every node learns its relay
-// children and confirms before any fragment flows.
+// children in every stripe's tree and confirms before any fragment
+// flows. One Plan message carries all stripes — a single job-wide
+// barrier, not one per stripe.
 func (mm *MM) plan(j *liveJob) error {
 	j.mu.Lock()
 	nodes := append([]*nmLink(nil), j.nodes...)
+	stripes := append([]*stripeState(nil), j.stripes...)
 	j.mu.Unlock()
+	n := len(nodes)
+	k := len(stripes)
 	for i, link := range nodes {
-		kids := nodeChildren(i, len(nodes), mm.cfg.Fanout)
-		refs := make([]ChildRef, 0, len(kids))
-		for _, k := range kids {
-			refs = append(refs, ChildRef{Node: nodes[k].node, Addr: nodes[k].addr})
+		children := make([][]ChildRef, k)
+		for _, ss := range stripes {
+			q := stripePosOf(i, ss.id, k, n)
+			kids := nodeChildren(q, n, mm.cfg.Fanout)
+			refs := make([]ChildRef, 0, len(kids))
+			for _, kid := range kids {
+				refs = append(refs, ChildRef{Node: ss.order[kid].node, Addr: ss.order[kid].addr})
+			}
+			children[ss.id] = refs
 		}
-		msg := Message{Plan: &Plan{Job: j.id, Frags: j.frags, Fanout: mm.cfg.Fanout, Children: refs}}
+		msg := Message{Plan: &Plan{Job: j.id, Frags: j.frags, Fanout: mm.cfg.Fanout,
+			Stripes: k, Children: children}}
 		if err := link.c.send(msg); err != nil {
 			return downError{node: link.node, cause: fmt.Sprintf("transfer plan write: %v", err)}
 		}
@@ -1494,15 +1677,22 @@ func (mm *MM) buildManifest(j *liveJob) *manifestData {
 		hashes: make([]uint64, j.frags),
 		crcs:   make([]uint32, j.frags),
 	}
-	for i := 0; i < j.frags; i++ {
+	// Chunks are independent (generate + hash + CRC each), so the pass
+	// fans out over a small worker pool; the whole-image digest then
+	// folds the per-chunk CRCs in order with crc32Combine, which equals
+	// the sequential crc32.Update over the concatenation.
+	parallelChunks(j.frags, func(i int) {
 		size := chunkSizeFor(&j.spec, frag, i)
 		data := grabFragBuf(size)
 		fillChunkInto(&j.spec, j.id, i, data)
 		d.hashes[i] = chunkcache.Hash64(data)
 		d.crcs[i] = fragCRC(data)
-		d.imageCRC = crc32.Update(d.imageCRC, crc32.IEEETable, data)
-		d.total += int64(size)
 		releaseFragBuf(data)
+	})
+	for i := 0; i < j.frags; i++ {
+		size := chunkSizeFor(&j.spec, frag, i)
+		d.imageCRC = crc32Combine(d.imageCRC, d.crcs[i], int64(size))
+		d.total += int64(size)
 	}
 	if cacheable {
 		d.patch = make(map[int]uint64, len(j.spec.ImagePatch))
@@ -1544,22 +1734,23 @@ func fillChunkInto(spec *JobSpec, job, i int, b []byte) {
 	}
 }
 
-// manifestRound opens one streaming epoch of the delta path: multicast
-// the manifest down the tree, wait for every direct child's folded HAVE
-// ledger, derive each subtree's need mask and the union send list, and
-// announce the masks down the tree. After a replan the round simply runs
-// again under the new epoch: the survivors' ledgers re-derive what is
-// still missing from their actual splice and cache state.
-func (mm *MM) manifestRound(j *liveJob) error {
+// manifestStripe opens one streaming epoch of a stripe's delta path:
+// multicast the manifest down the stripe's tree, wait for each direct
+// child's folded HAVE ledger, derive the per-subtree need masks and the
+// stripe's send list (restricted to the chunks the round-robin
+// interleave assigns this stripe), and announce the masks down the
+// tree. After a stripe replan the round simply runs again under the new
+// epoch: the survivors' ledgers re-derive what is still missing from
+// their actual splice and cache state.
+func (mm *MM) manifestStripe(j *liveJob, ss *stripeState) error {
 	j.mu.Lock()
-	children := append([]*nmLink(nil), j.children...)
-	epoch := j.epoch
-	j.haves = make(map[int][]uint64)
+	children := append([]*nmLink(nil), ss.children...)
+	epoch := ss.epoch
+	k := len(j.stripes)
+	ss.haves = make(map[int][]uint64)
 	j.mu.Unlock()
 
-	j.setPhase(phaseManifest)
-	mm.jlog(journal.JobManifest, j.id, 0, nil)
-	m := &Manifest{Job: j.id, Epoch: epoch, ChunkBytes: mm.cfg.FragBytes,
+	m := &Manifest{Job: j.id, Epoch: epoch, Stripe: ss.id, ChunkBytes: mm.cfg.FragBytes,
 		ImageCRC: j.man.imageCRC, TotalBytes: j.man.total,
 		Hashes: j.man.hashes, CRCs: j.man.crcs}
 	for _, link := range children {
@@ -1568,23 +1759,25 @@ func (mm *MM) manifestRound(j *liveJob) error {
 		}
 		// Relay links are shared across jobs, so per-conn byte counters
 		// cannot be attributed to one job; account egress by frame size
-		// (type byte + 28-byte header + 12 bytes per chunk entry).
+		// (type byte + 29-byte header + 12 bytes per chunk entry).
 		j.mu.Lock()
-		j.sendBytes += int64(29 + 12*len(m.Hashes))
+		j.sendBytes += int64(30 + 12*len(m.Hashes))
 		j.mu.Unlock()
 	}
-	if err := mm.awaitHaves(j, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
+	if err := mm.awaitStripeHaves(j, ss, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
 		return err
 	}
 
 	j.mu.Lock()
 	n := j.frags
-	j.needs = make(map[int][]uint64)
+	ss.needs = make(map[int][]uint64)
 	union := make([]uint64, bitWords(n))
 	for _, link := range children {
-		have := j.haves[link.node]
+		have := ss.haves[link.node]
 		need := make([]uint64, bitWords(n))
-		for i := 0; i < n; i++ {
+		// Only this stripe's chunks (i ≡ stripe mod k) are derived here:
+		// the other stripes run their own rounds over their own trees.
+		for i := ss.id; i < n; i += k {
 			if !maskGet(have, i) {
 				bitSet(need, i)
 				bitSet(union, i)
@@ -1592,34 +1785,36 @@ func (mm *MM) manifestRound(j *liveJob) error {
 				j.bytesSaved += int64(chunkSizeFor(&j.spec, mm.cfg.FragBytes, i))
 			}
 		}
-		j.needs[link.node] = need
+		ss.needs[link.node] = need
 	}
-	j.sendList = j.sendList[:0]
-	for i := 0; i < n; i++ {
+	ss.sendList = ss.sendList[:0]
+	for i := ss.id; i < n; i += k {
 		if bitGet(union, i) {
-			j.sendList = append(j.sendList, i)
+			ss.sendList = append(ss.sendList, i)
 		}
 	}
-	j.chunksSent += len(j.sendList)
-	needs := j.needs
+	ss.streamPos = 0
+	ss.streamAt = 0
+	j.chunksSent += len(ss.sendList)
+	needs := ss.needs
 	j.mu.Unlock()
 
 	for _, link := range children {
-		msg := Message{NeedMask: &NeedMask{Job: j.id, Epoch: epoch, Bits: needs[link.node]}}
+		msg := Message{NeedMask: &NeedMask{Job: j.id, Epoch: epoch, Stripe: ss.id, Bits: needs[link.node]}}
 		if err := link.c.send(msg); err != nil {
 			return downError{node: link.node, cause: fmt.Sprintf("need-mask write: %v", err)}
 		}
 		j.mu.Lock()
-		j.sendBytes += int64(11 + 8*len(needs[link.node]))
+		j.sendBytes += int64(12 + 8*len(needs[link.node]))
 		j.mu.Unlock()
 	}
 	return nil
 }
 
-// awaitHaves blocks until every direct child reported its subtree's HAVE
-// ledger for the current epoch; on timeout the error names the silent
-// subtree roots.
-func (mm *MM) awaitHaves(j *liveJob, deadline time.Time) error {
+// awaitStripeHaves blocks until every direct child of the stripe's tree
+// reported its subtree's HAVE ledger for the stripe's current epoch; on
+// timeout the error names the silent subtree roots.
+func (mm *MM) awaitStripeHaves(j *liveJob, ss *stripeState, deadline time.Time) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	for {
@@ -1627,8 +1822,8 @@ func (mm *MM) awaitHaves(j *liveJob, deadline time.Time) error {
 			return j.fail
 		}
 		missing := ""
-		for _, link := range j.children {
-			if _, ok := j.haves[link.node]; !ok {
+		for _, link := range ss.children {
+			if _, ok := ss.haves[link.node]; !ok {
 				if missing != "" {
 					missing += ", "
 				}
@@ -1639,8 +1834,8 @@ func (mm *MM) awaitHaves(j *liveJob, deadline time.Time) error {
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("%w: job %d: chunk ledger (HAVE) unreported by nodes %s",
-				ErrTransferTimeout, j.id, missing)
+			return fmt.Errorf("%w: job %d stripe %d: chunk ledger (HAVE) unreported by nodes %s",
+				ErrTransferTimeout, j.id, ss.id, missing)
 		}
 		t := time.AfterFunc(100*time.Millisecond, func() { j.cond.Broadcast() })
 		j.cond.Wait()
@@ -1649,7 +1844,7 @@ func (mm *MM) awaitHaves(j *liveJob, deadline time.Time) error {
 }
 
 // onHave records a direct child's folded subtree HAVE ledger for the
-// current epoch.
+// stripe's current epoch.
 func (mm *MM) onHave(h *Have) {
 	j := mm.jobByID(h.Job)
 	if j == nil {
@@ -1657,22 +1852,27 @@ func (mm *MM) onHave(h *Have) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if h.Epoch == j.epoch && j.haves != nil {
-		j.haves[h.Node] = append([]uint64(nil), h.Bits...)
+	if ss := j.stripeByID(h.Stripe); ss != nil && h.Epoch == ss.epoch && ss.haves != nil {
+		ss.haves[h.Node] = append([]uint64(nil), h.Bits...)
 	}
 	j.cond.Broadcast()
 }
 
-// stream pushes the current epoch's send list (the union of missing
-// chunks, ascending) down the tree, writing each chunk only to the
-// subtrees whose need mask claims it, and waits for the window to drain.
-func (mm *MM) stream(j *liveJob) error {
+// streamStripe pushes the stripe's current send list (the union of its
+// missing chunks, ascending) down the stripe's tree, writing each chunk
+// only to the subtrees whose need mask claims it, and waits for the
+// stripe's window to drain. Resumable: after a leaf prune the cursor is
+// rewound to the slowest surviving subtree's credit and the loop simply
+// continues under the same epoch (duplicates re-ack idempotently).
+func (mm *MM) streamStripe(j *liveJob, ss *stripeState) error {
 	j.setPhase(phaseStreaming)
 	j.mu.Lock()
-	children := append([]*nmLink(nil), j.children...)
-	needs := j.needs
-	list := append([]int(nil), j.sendList...)
-	nodeCount := len(j.nodes)
+	children := append([]*nmLink(nil), ss.children...)
+	needs := ss.needs
+	list := append([]int(nil), ss.sendList...)
+	nodeCount := len(ss.order)
+	start := ss.streamPos
+	k := len(j.stripes)
 	j.mu.Unlock()
 
 	// The window is end-to-end (the credit the MM sees is the minimum over
@@ -1682,38 +1882,41 @@ func (mm *MM) stream(j *liveJob) error {
 	// be credit-starved: with Slots in flight over a depth-d relay chain,
 	// d of them are resident in the pipe before the first cumulative ack
 	// can even form. Cumulative acks advance through cached spans without
-	// wire traffic, so pacing by the send list position is exact.
+	// wire traffic, so pacing by the send list position is exact. All
+	// credit arithmetic is stripe-local (chunk i is the stripe's i/k-th).
 	window := mm.cfg.Slots * treeDepth(nodeCount, mm.cfg.Fanout)
 	frag := mm.cfg.FragBytes
-	for pos, i := range list {
+	for pos := start; pos < len(list); pos++ {
+		i := list[pos]
 		if pos >= window {
-			if err := mm.awaitCredit(j, list[pos-window]+1, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
+			if err := mm.awaitStripeCredit(j, ss, list[pos-window]/k+1, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
 				return err
 			}
 		}
 		size := chunkSizeFor(&j.spec, frag, i)
 		data := grabFragBuf(size)
 		fillChunkInto(&j.spec, j.id, i, data)
-		f := &Frag{Job: j.id, Index: i, Last: i == j.frags-1, Data: data, CRC: j.man.crcs[i]}
+		f := &Frag{Job: j.id, Index: i, Stripe: ss.id, Last: i == j.frags-1, Data: data, CRC: j.man.crcs[i]}
 		if mm.testCorrupt != nil {
 			mm.testCorrupt(j.id, i, data)
 		}
-		frame := int64(18 + size) // type byte + fragment header + payload
+		frame := int64(19 + size) // type byte + fragment header + payload
 		for _, link := range children {
 			if !maskGet(needs[link.node], i) {
 				continue // the whole subtree already holds this chunk
 			}
 			// Shared-link backpressure: reserve the frame's bytes against
 			// the link budget before writing, held until this subtree's
-			// cumulative ack covers the chunk. Concurrent jobs crossing
-			// the same cached relay link block here instead of queueing
-			// unbounded data ahead of each other.
+			// cumulative ack covers the chunk. Concurrent jobs — and the
+			// job's other stripes — crossing the same cached relay link
+			// block here instead of queueing unbounded data ahead of each
+			// other.
 			lb := mm.linkBudgetFor(link.c)
 			if err := lb.acquire(frame, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
 				releaseFragBuf(data)
 				return downError{node: link.node, cause: fmt.Sprintf("fragment %d: %v", i, err)}
 			}
-			j.holdChunk(link.node, i, frame, lb)
+			j.holdChunk(ss.id, link.node, i/k, frame, lb)
 			if err := link.c.sendFrag(f); err != nil {
 				releaseFragBuf(data)
 				return downError{node: link.node, cause: fmt.Sprintf("fragment %d write: %v", i, err)}
@@ -1724,22 +1927,24 @@ func (mm *MM) stream(j *liveJob) error {
 		}
 		releaseFragBuf(data)
 		j.mu.Lock()
-		if i+1 > j.streamAt {
-			j.streamAt = i + 1
+		ss.streamPos = pos + 1
+		if i/k+1 > ss.streamAt {
+			ss.streamAt = i/k + 1
 		}
 		if used := j.windowUsedLocked(); used > j.winPeak {
 			j.winPeak = used
 		}
 		j.mu.Unlock()
 	}
-	// Drain: wait until every subtree acknowledged every fragment — on a
-	// fully warm launch (empty send list) this is the whole transfer: the
-	// manifest-time cache drains advance every node's cumulative ack to
-	// the end without any payload on the wire. One AckTimeout, started
-	// when the last fragment left, covers the whole tail — the budget is
-	// not restarted on partial progress, so a stalled node cannot stack
-	// the per-fragment timeout on top of the final wait.
-	return mm.awaitCredit(j, j.frags, time.Now().Add(mm.cfg.AckTimeout))
+	// Drain: wait until every subtree acknowledged every fragment of this
+	// stripe — on a fully warm launch (empty send list) this is the whole
+	// transfer: the manifest-time cache drains advance every node's
+	// cumulative ack to the end without any payload on the wire. One
+	// AckTimeout, started when the last fragment left, covers the whole
+	// tail — the budget is not restarted on partial progress, so a
+	// stalled node cannot stack the per-fragment timeout on top of the
+	// final wait.
+	return mm.awaitStripeCredit(j, ss, stripeChunks(j.frags, ss.id, k), time.Now().Add(mm.cfg.AckTimeout))
 }
 
 // diagnose turns a transfer failure into a verdict about which job
@@ -1812,12 +2017,17 @@ func (mm *MM) probeNodes(links []*nmLink, grace time.Duration) map[int]string {
 	return dead
 }
 
-// replan excludes the dead nodes, rewires the forwarding tree over the
-// survivors with a Replan/ReplanAck round, and returns the fragment
-// index to resume streaming from — the slowest survivor's confirmed
-// local progress (the window is pre-credited to that point, since every
-// survivor proved at least that much).
-func (mm *MM) replan(j *liveJob, dead map[int]string) (int, error) {
+// recoverStripes excludes the dead nodes from the job and heals every
+// affected stripe by the cheapest sufficient means. A stripe the dead
+// node relayed for (interior in its tree) — or any stripe of a
+// single-tree plan, preserving the legacy recovery path — is rewired
+// over the survivors with an epoch-stamped Replan round and will re-run
+// its manifest round. A stripe where every dead node was a leaf is
+// pruned in place: the leaf's tree parent gets a ChildDead note so its
+// aggregated acks stop waiting on the corpse, the MM drops it from its
+// own ledger if it was a direct child, and the stripe resumes streaming
+// under the same epoch — it never replans (stripeReplans stays 0).
+func (mm *MM) recoverStripes(j *liveJob, dead map[int]string) error {
 	j.mu.Lock()
 	var survivors []*nmLink
 	for _, l := range j.nodes {
@@ -1831,50 +2041,161 @@ func (mm *MM) replan(j *liveJob, dead map[int]string) (int, error) {
 		failed := append([]int(nil), j.failedNodes...)
 		sort.Ints(failed)
 		j.mu.Unlock()
-		return 0, fmt.Errorf("livenet: job %d: all nodes failed (%v)", j.id, failed)
+		return fmt.Errorf("livenet: job %d: all nodes failed (%v)", j.id, failed)
 	}
 	j.nodes = survivors
-	j.epoch++
-	epoch := j.epoch
-	j.acked = make(map[int]int)
-	j.planned = make(map[int]bool)
-	j.received = make(map[int]int)
-	j.streamAt = 0
-	mm.rewireTree(j)
-	nodes := append([]*nmLink(nil), survivors...)
+	k := len(j.stripes)
+	stripes := append([]*stripeState(nil), j.stripes...)
 	j.mu.Unlock()
-	// The old epoch's unacknowledged chunks will never be acked under the
-	// new epoch's reset credit; hand their link-budget bytes back now.
+	// Unacknowledged chunks of the interrupted epoch hand their
+	// link-budget bytes back now: replanned stripes reset their credit,
+	// pruned stripes re-acquire for whatever they re-stream.
 	j.releaseAllHeld()
 
-	for i, link := range nodes {
-		kids := nodeChildren(i, len(nodes), mm.cfg.Fanout)
-		refs := make([]ChildRef, 0, len(kids))
-		for _, k := range kids {
-			refs = append(refs, ChildRef{Node: nodes[k].node, Addr: nodes[k].addr})
+	for _, ss := range stripes {
+		j.mu.Lock()
+		done := ss.done
+		interior := false
+		for q, link := range ss.order {
+			if _, gone := dead[link.node]; gone && len(nodeChildren(q, len(ss.order), mm.cfg.Fanout)) > 0 {
+				interior = true
+				break
+			}
 		}
-		msg := Message{Replan: &Replan{Job: j.id, Epoch: epoch, Frags: j.frags,
-			Fanout: mm.cfg.Fanout, Children: refs}}
-		if err := link.c.send(msg); err != nil {
-			return 0, downError{node: link.node, cause: fmt.Sprintf("replan write: %v", err)}
+		j.mu.Unlock()
+		if done {
+			continue // fully drained before the failure; nothing to heal
+		}
+		if k == 1 || interior {
+			if err := mm.replanStripe(j, ss, dead); err != nil {
+				return err
+			}
+		} else if err := mm.pruneStripe(j, ss, dead); err != nil {
+			return err
 		}
 	}
-	if err := mm.awaitPlans(j, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
-		return 0, err
+	return nil
+}
+
+// replanStripe rewires one stripe's tree over the job's surviving nodes
+// with a Replan/ReplanAck round under a bumped epoch, then pre-credits
+// the stripe's window to the slowest survivor's confirmed stripe-local
+// progress (every survivor proved at least that much). The stripe's
+// next act is a fresh manifest round: the survivors' HAVE ledgers
+// re-derive what is still missing.
+func (mm *MM) replanStripe(j *liveJob, ss *stripeState, dead map[int]string) error {
+	j.mu.Lock()
+	ss.epoch++
+	epoch := ss.epoch
+	k := len(j.stripes)
+	mm.rewireStripe(j, ss, k)
+	ss.needManifest = true
+	j.stripeReplans[ss.id]++
+	order := append([]*nmLink(nil), ss.order...)
+	j.mu.Unlock()
+
+	n := len(order)
+	for q, link := range order {
+		kids := nodeChildren(q, n, mm.cfg.Fanout)
+		refs := make([]ChildRef, 0, len(kids))
+		for _, kid := range kids {
+			refs = append(refs, ChildRef{Node: order[kid].node, Addr: order[kid].addr})
+		}
+		msg := Message{Replan: &Replan{Job: j.id, Stripe: ss.id, Epoch: epoch, Frags: j.frags,
+			Fanout: mm.cfg.Fanout, Children: refs}}
+		if err := link.c.send(msg); err != nil {
+			return downError{node: link.node, cause: fmt.Sprintf("replan write: %v", err)}
+		}
+	}
+	if err := mm.awaitStripePlans(j, ss, time.Now().Add(mm.cfg.AckTimeout)); err != nil {
+		return err
 	}
 
 	j.mu.Lock()
-	resume := j.frags
-	for _, l := range j.nodes {
-		if r := j.received[l.node]; r < resume {
+	resume := stripeChunks(j.frags, ss.id, k)
+	for _, l := range ss.order {
+		if r := ss.received[l.node]; r < resume {
 			resume = r
 		}
 	}
-	for _, c := range j.children {
-		j.acked[c.node] = resume
+	for _, c := range ss.children {
+		ss.acked[c.node] = resume
 	}
 	j.mu.Unlock()
-	return resume, nil
+	return nil
+}
+
+// pruneStripe removes dead leaves from one stripe without disturbing its
+// epoch: a direct child of the MM is dropped from the stripe's own ack
+// ledger; a deeper leaf's tree parent is told via ChildDead to stop
+// counting it in the aggregated acks. The stream cursor rewinds to the
+// slowest surviving subtree's credit so chunks the corpse's loss left
+// unacknowledged are re-sent (duplicates re-ack idempotently), and the
+// stripe resumes — no Replan round, no manifest round, no epoch bump.
+func (mm *MM) pruneStripe(j *liveJob, ss *stripeState, dead map[int]string) error {
+	type deadLeaf struct {
+		parent *nmLink
+		node   int
+	}
+	var notify []deadLeaf
+	j.mu.Lock()
+	n := len(ss.order)
+	for q, link := range ss.order {
+		if _, gone := dead[link.node]; !gone {
+			continue
+		}
+		direct := false
+		for ci, c := range ss.children {
+			if c == link {
+				// Direct child of the MM (and a leaf, or the stripe would
+				// have replanned): drop it from the stripe's ledgers.
+				ss.children = append(ss.children[:ci], ss.children[ci+1:]...)
+				delete(ss.acked, link.node)
+				delete(ss.subtree, link.node)
+				if ss.needs != nil {
+					delete(ss.needs, link.node)
+				}
+				direct = true
+				break
+			}
+		}
+		if direct {
+			continue
+		}
+		if parentPos := q/mm.cfg.Fanout - 1; mm.cfg.Fanout > 1 && parentPos >= 0 && parentPos < n {
+			notify = append(notify, deadLeaf{parent: ss.order[parentPos], node: link.node})
+		}
+	}
+	if len(ss.children) == 0 {
+		j.mu.Unlock()
+		return fmt.Errorf("livenet: job %d stripe %d: no surviving subtree roots", j.id, ss.id)
+	}
+	// Rewind the cursor to the slowest surviving subtree's stripe-local
+	// credit: everything below it is acknowledged everywhere, everything
+	// past it may have died with the leaf's parent link buffer.
+	resume := ss.streamAt
+	for _, c := range ss.children {
+		if got := ss.acked[c.node]; got < resume {
+			resume = got
+		}
+	}
+	pos := 0
+	k := len(j.stripes)
+	for pos < len(ss.sendList) && ss.sendList[pos]/k < resume {
+		pos++
+	}
+	if pos < ss.streamPos {
+		ss.streamPos = pos
+	}
+	j.mu.Unlock()
+
+	for _, d := range notify {
+		msg := Message{ChildDead: &ChildDead{Job: j.id, Stripe: ss.id, Node: d.node}}
+		if err := d.parent.c.send(msg); err != nil {
+			return downError{node: d.parent.node, cause: fmt.Sprintf("child-dead write: %v", err)}
+		}
+	}
+	return nil
 }
 
 // awaitPlans blocks until every node of the job confirmed its relay
@@ -1908,12 +2229,45 @@ func (mm *MM) awaitPlans(j *liveJob, deadline time.Time) error {
 	}
 }
 
-// awaitCredit blocks until every direct tree child has acknowledged
-// `need` fragments on behalf of its whole subtree (i.e. the window has
-// room for the next fragment, or — with need = total fragments — the
-// transfer has drained). On timeout the error names each node still
-// owing credit, with its subtree and the credit it has delivered so far.
-func (mm *MM) awaitCredit(j *liveJob, need int, deadline time.Time) error {
+// awaitStripePlans blocks until every node of the stripe's tree
+// confirmed its replan for the stripe's current epoch; on timeout the
+// error names the nodes that never answered.
+func (mm *MM) awaitStripePlans(j *liveJob, ss *stripeState, deadline time.Time) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if j.fail != nil {
+			return j.fail
+		}
+		missing := ""
+		for _, link := range ss.order {
+			if !ss.planned[link.node] {
+				if missing != "" {
+					missing += ", "
+				}
+				missing += fmt.Sprintf("%d", link.node)
+			}
+		}
+		if missing == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: job %d stripe %d: relay replan unconfirmed by nodes %s",
+				ErrTransferTimeout, j.id, ss.id, missing)
+		}
+		t := time.AfterFunc(100*time.Millisecond, func() { j.cond.Broadcast() })
+		j.cond.Wait()
+		t.Stop()
+	}
+}
+
+// awaitStripeCredit blocks until every direct child of the stripe's
+// tree has acknowledged `need` stripe-local fragments on behalf of its
+// whole subtree (i.e. the stripe's window has room for the next
+// fragment, or — with need = the stripe's total — the stripe has
+// drained). On timeout the error names each node still owing credit,
+// with its subtree and the credit it has delivered so far.
+func (mm *MM) awaitStripeCredit(j *liveJob, ss *stripeState, need int, deadline time.Time) error {
 	if need <= 0 {
 		return nil
 	}
@@ -1924,9 +2278,9 @@ func (mm *MM) awaitCredit(j *liveJob, need int, deadline time.Time) error {
 			return j.fail
 		}
 		var owing []string
-		for _, link := range j.children {
-			if got := j.acked[link.node]; got < need {
-				if sub := j.subtree[link.node]; len(sub) > 1 {
+		for _, link := range ss.children {
+			if got := ss.acked[link.node]; got < need {
+				if sub := ss.subtree[link.node]; len(sub) > 1 {
 					owing = append(owing, fmt.Sprintf("node %d (subtree %v, acked %d)", link.node, sub, got))
 				} else {
 					owing = append(owing, fmt.Sprintf("node %d (acked %d)", link.node, got))
@@ -1937,8 +2291,8 @@ func (mm *MM) awaitCredit(j *liveJob, need int, deadline time.Time) error {
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("%w: job %d: flow control stalled awaiting fragment %d credit from %s",
-				ErrTransferTimeout, j.id, need-1, strings.Join(owing, ", "))
+			return fmt.Errorf("%w: job %d stripe %d: flow control stalled awaiting fragment %d credit from %s",
+				ErrTransferTimeout, j.id, ss.id, need-1, strings.Join(owing, ", "))
 		}
 		// Wake periodically to enforce the deadline even if no acks come.
 		t := time.AfterFunc(100*time.Millisecond, func() { j.cond.Broadcast() })

@@ -74,7 +74,7 @@ type NM struct {
 	cpus   int
 	cfg    NMConfig
 	c      *conn
-	peerLn net.Listener // nil when a shared PeerHub routes inbound links
+	peerLn net.Listener      // nil when a shared PeerHub routes inbound links
 	cache  *chunkcache.Cache // nil when caching is disabled
 
 	mu      sync.Mutex
@@ -121,17 +121,22 @@ type binState struct {
 	complete bool
 
 	// Delta-transfer state. man is the job's manifest (cloned out of
-	// conn scratch); written marks which chunks are spliced into the
-	// image so far — from the cache at manifest time or from the wire —
-	// and wcount counts them. received remains the in-order prefix of
-	// written (what cumulative acks vouch for). expect is the parent's
-	// NeedMask: the authoritative set of chunks that will arrive on the
-	// wire this epoch.
+	// conn scratch, shared by every stripe); written marks which chunks
+	// are spliced into the image so far — from the cache at manifest
+	// time or from the wire — and wcount counts them. received remains
+	// the in-order prefix of written across all chunks (the legacy /
+	// replan-fallback cursor); srecv[s] is the stripe-local in-order
+	// prefix over the chunks stripe s owns (global indices ≡ s mod k),
+	// which is what stripe s's cumulative acks vouch for. expect[s] is
+	// stripe s's NeedMask: the authoritative set of chunks that will
+	// arrive on that stripe's link this epoch.
 	man      *Manifest
 	written  []uint64
 	wcount   int
-	expect   []uint64
-	draining bool // manifest-time cache drain in flight; defer the HAVE fold
+	k        int   // stripe count the manifest round established (≥1)
+	srecv    []int // per-stripe in-order chunk prefix (stripe-local counts)
+	expect   [][]uint64
+	draining bool // manifest-time cache drain in flight; defer the HAVE folds
 
 	// Spool state (SpoolDir set): chunks are written at their offsets in
 	// a job-private temp file that is renamed into place only once the
@@ -149,28 +154,39 @@ type ImageDigest struct {
 	CRC   uint32 // CRC-32 of the concatenated image bytes
 }
 
-// relayState is one job's position in the forwarding tree: where acks go
-// (parent), whom to relay to (children), and how far the local write and
-// each child subtree have progressed, so cumulative acks can be
-// aggregated before being propagated up.
+// relayState is one job's position in the striped forwarding plane: one
+// stripeRelay per spanning tree (stripe s carries the chunks with global
+// index ≡ s mod k). With stripes=1 there is exactly one entry and the
+// behavior is the legacy single-tree data path.
 type relayState struct {
-	frags    int
-	epoch    int   // tree generation; bumped by Replan, stamped on acks
-	parent   *conn // conn fragments/manifests arrive on; acks go back up it
-	children []*relayChild
-	sentUp   int  // cumulative credit already propagated to the parent
-	haveSent bool // this epoch's aggregated HAVE ledger already went up
-	failed   bool
+	frags   int
+	stripes []*stripeRelay
+	failed  bool
 }
 
-// relayChild is one downstream link of the forwarding tree.
+// stripeRelay is this node's role in one stripe's tree: where that
+// stripe's acks go (parent), whom to relay its chunks to (children), and
+// how far each child subtree has progressed, so cumulative stripe-local
+// credit can be aggregated before being propagated up. Epochs are
+// per-stripe: a replan rewires (and re-stamps) only the trees the dead
+// node was interior in.
+type stripeRelay struct {
+	epoch    int   // this stripe's tree generation; bumped by Replan
+	parent   *conn // conn this stripe's traffic arrives on; acks go back up it
+	children []*relayChild
+	sentUp   int  // stripe-local cumulative credit already propagated up
+	haveSent bool // this epoch's aggregated HAVE ledger already went up
+}
+
+// relayChild is one downstream link of a stripe's forwarding tree.
 type relayChild struct {
-	node  int
-	addr  string
-	c     *conn
-	acked int      // cumulative credit received from this subtree
-	have  []uint64 // the subtree's aggregated HAVE ledger (nil until reported)
-	down  bool     // link declared dead (write failed and one redial failed)
+	node   int
+	addr   string
+	c      *conn
+	acked  int      // cumulative stripe-local credit received from this subtree
+	have   []uint64 // the subtree's aggregated HAVE ledger (nil until reported)
+	down   bool     // link declared dead (write failed and one redial failed)
+	pruned bool     // MM excluded this leaf from the stripe (ChildDead); stop waiting for its credit
 }
 
 // gateRow couples a job's process gate with its gang timeslot row.
@@ -426,6 +442,8 @@ func (nm *NM) loop() {
 			nm.onPlan(m.Plan)
 		case m.Replan != nil:
 			nm.onReplan(m.Replan)
+		case m.ChildDead != nil:
+			nm.onChildDead(m.ChildDead)
 		case m.Abort != nil:
 			nm.onAbort(m.Abort)
 		case m.Launch != nil:
@@ -491,12 +509,14 @@ func (nm *NM) servePeer(pc *conn) {
 	defer func() {
 		nm.mu.Lock()
 		delete(nm.peers, pc)
-		// If this conn was some job's ack path, unbind it: after a
+		// If this conn was some stripe's ack path, unbind it: after a
 		// replan the replacement parent's conn re-binds on its first
 		// fragment, and acks must never be written to a dead socket.
 		for _, rs := range nm.relays {
-			if rs.parent == pc {
-				rs.parent = nil
+			for _, sr := range rs.stripes {
+				if sr.parent == pc {
+					sr.parent = nil
+				}
 			}
 		}
 		if nm.ctl != nil && nm.ctl.parent == pc {
@@ -525,20 +545,29 @@ func (nm *NM) servePeer(pc *conn) {
 	}
 }
 
-// onPlan prepares a job's forwarding-tree role: resolve the relay
-// children to (cached) peer connections and confirm to the MM. The MM
-// does not stream until every node confirmed, so fragments can never
-// outrun the tree.
+// onPlan prepares a job's forwarding roles, one per stripe tree: resolve
+// each stripe's relay children to (cached) peer connections and confirm
+// to the MM. A child link shared by several stripes resolves to the same
+// cached conn, so the k trees multiplex over at most one socket per peer
+// pair. The MM does not stream until every node confirmed, so fragments
+// can never outrun any tree.
 func (nm *NM) onPlan(p *Plan) {
 	st := &relayState{frags: p.Frags}
-	for _, ref := range p.Children {
-		cc, err := nm.peerConn(ref.Addr)
-		if err != nil {
-			nm.c.send(Message{PlanAck: &PlanAck{Job: p.Job, Node: nm.node,
-				Err: fmt.Sprintf("dial child %d: %v", ref.Node, err)}})
-			return
+	for _, refs := range p.Children {
+		sr := &stripeRelay{}
+		for _, ref := range refs {
+			cc, err := nm.peerConn(ref.Addr)
+			if err != nil {
+				nm.c.send(Message{PlanAck: &PlanAck{Job: p.Job, Node: nm.node,
+					Err: fmt.Sprintf("dial child %d: %v", ref.Node, err)}})
+				return
+			}
+			sr.children = append(sr.children, &relayChild{node: ref.Node, addr: ref.Addr, c: cc})
 		}
-		st.children = append(st.children, &relayChild{node: ref.Node, addr: ref.Addr, c: cc})
+		st.stripes = append(st.stripes, sr)
+	}
+	if len(st.stripes) == 0 {
+		st.stripes = []*stripeRelay{{}}
 	}
 	nm.mu.Lock()
 	nm.relays[p.Job] = st
@@ -546,20 +575,22 @@ func (nm *NM) onPlan(p *Plan) {
 	nm.c.send(Message{PlanAck: &PlanAck{Job: p.Job, Node: nm.node}})
 }
 
-// onReplan rewires this node's forwarding role for a new tree epoch
-// after the MM excluded a failed node: the child set is replaced
-// wholesale, per-child credit restarts at zero (conservative — the
-// first replayed duplicate re-primes it), and the cumulative credit
-// already propagated up is reset so the (possibly new) parent hears a
-// fresh, epoch-stamped ack stream. The reply carries this node's local
-// fragment progress, which the MM folds into the global replay point.
+// onReplan rewires this node's forwarding role in ONE stripe's tree for
+// that stripe's new epoch after the MM excluded a failed node: the
+// stripe's child set is replaced wholesale, per-child credit restarts at
+// zero (conservative — the first replayed duplicate re-primes it), and
+// the cumulative credit already propagated up is reset so the (possibly
+// new) parent hears a fresh, epoch-stamped ack stream. Other stripes'
+// trees, epochs, and cursors are untouched. The reply carries this
+// node's stripe-local chunk progress, which the MM folds into the
+// stripe's replay point.
 func (nm *NM) onReplan(p *Replan) {
 	var kids []*relayChild
 	for _, ref := range p.Children {
 		cc, err := nm.peerConn(ref.Addr)
 		if err != nil {
 			nm.c.send(Message{ReplanAck: &ReplanAck{Job: p.Job, Node: nm.node, Epoch: p.Epoch,
-				Err: fmt.Sprintf("dial child %d: %v", ref.Node, err)}})
+				Stripe: p.Stripe, Err: fmt.Sprintf("dial child %d: %v", ref.Node, err)}})
 			return
 		}
 		kids = append(kids, &relayChild{node: ref.Node, addr: ref.Addr, c: cc})
@@ -571,18 +602,25 @@ func (nm *NM) onReplan(p *Replan) {
 		nm.relays[p.Job] = rs
 	}
 	rs.frags = p.Frags
-	rs.epoch = p.Epoch
-	rs.children = kids
-	rs.parent = nil // re-binds on the new epoch's manifest (or first fragment)
-	rs.sentUp = 0
-	rs.haveSent = false // the new epoch runs a fresh HAVE round
+	for len(rs.stripes) <= p.Stripe {
+		rs.stripes = append(rs.stripes, &stripeRelay{})
+	}
+	sr := rs.stripes[p.Stripe]
+	sr.epoch = p.Epoch
+	sr.children = kids
+	sr.parent = nil // re-binds on the new epoch's manifest (or first fragment)
+	sr.sentUp = 0
+	sr.haveSent = false // the new epoch runs a fresh HAVE round
 	received := 0
 	if st := nm.bins[p.Job]; st != nil {
 		received = st.received
+		if st.man != nil && p.Stripe < len(st.srecv) {
+			received = st.srecv[p.Stripe]
+		}
 	}
 	nm.mu.Unlock()
 	nm.c.send(Message{ReplanAck: &ReplanAck{Job: p.Job, Node: nm.node,
-		Epoch: p.Epoch, Received: received}})
+		Epoch: p.Epoch, Stripe: p.Stripe, Received: received}})
 }
 
 // peerConn returns the relay connection to a downstream NM, dialing it
@@ -713,7 +751,17 @@ func (nm *NM) pumpChildAcks(cc *conn) {
 			var parent *conn
 			if rs != nil {
 				rs.failed = true
-				parent = rs.parent
+				if a.Stripe >= 0 && a.Stripe < len(rs.stripes) {
+					parent = rs.stripes[a.Stripe].parent
+				}
+				if parent == nil {
+					for _, sr := range rs.stripes {
+						if sr.parent != nil {
+							parent = sr.parent
+							break
+						}
+					}
+				}
 			}
 			nm.mu.Unlock()
 			if parent != nil {
@@ -722,28 +770,31 @@ func (nm *NM) pumpChildAcks(cc *conn) {
 			continue
 		}
 		nm.mu.Lock()
-		if rs := nm.relays[a.Job]; rs != nil && a.Epoch == rs.epoch {
+		if rs := nm.relays[a.Job]; rs != nil && a.Stripe >= 0 && a.Stripe < len(rs.stripes) {
 			// Credit from an older epoch vouched for a different
 			// subtree shape and must not count under the new one.
-			for _, rc := range rs.children {
-				if rc.c == cc && a.Index+1 > rc.acked {
-					rc.acked = a.Index + 1
+			if sr := rs.stripes[a.Stripe]; a.Epoch == sr.epoch {
+				for _, rc := range sr.children {
+					if rc.c == cc && a.Index+1 > rc.acked {
+						rc.acked = a.Index + 1
+					}
 				}
 			}
 		}
 		nm.mu.Unlock()
-		nm.advanceAck(a.Job)
+		nm.advanceAck(a.Job, a.Stripe)
 	}
 }
 
-// handleFrag relays one binary fragment down the forwarding tree, then
-// verifies and "writes" it (to the in-memory RAM disk) and advances the
-// aggregated ack. The relay happens first, straight from the received
-// pooled buffer, so per-hop latency is receive+forward and the CRC work
-// of every level overlaps the downstream transmission; corruption is
-// caught by each node's own check and nacked up the tree. from is the
-// connection the fragment arrived on — the MM link for tree roots, a
-// peer link otherwise — and is where this node's (aggregated) acks go.
+// handleFrag relays one binary fragment down its stripe's forwarding
+// tree, then verifies and "writes" it (to the in-memory RAM disk) and
+// advances that stripe's aggregated ack. The relay happens first,
+// straight from the received pooled buffer, so per-hop latency is
+// receive+forward and the CRC work of every level overlaps the
+// downstream transmission; corruption is caught by each node's own check
+// and nacked up the tree. from is the connection the fragment arrived on
+// — the MM link for stripe-tree roots, a peer link otherwise — and is
+// where this node's (aggregated) acks for that stripe go.
 func (nm *NM) handleFrag(f *Frag, from *conn) {
 	nm.mu.Lock()
 	rs := nm.relays[f.Job]
@@ -753,16 +804,20 @@ func (nm *NM) handleFrag(f *Frag, from *conn) {
 		rs = &relayState{frags: -1}
 		nm.relays[f.Job] = rs
 	}
-	if rs.parent == nil {
-		rs.parent = from
+	for len(rs.stripes) <= f.Stripe {
+		rs.stripes = append(rs.stripes, &stripeRelay{})
+	}
+	sr := rs.stripes[f.Stripe]
+	if sr.parent == nil {
+		sr.parent = from
 	}
 	st := nm.bins[f.Job]
 	if st == nil {
 		st = &binState{}
 		nm.bins[f.Job] = st
 	}
-	children := rs.children
-	epoch := rs.epoch
+	children := sr.children
+	epoch := sr.epoch
 	drop := nm.testDropAcks.Load()
 	manifest := st.man != nil
 	nm.mu.Unlock()
@@ -779,7 +834,7 @@ func (nm *NM) handleFrag(f *Frag, from *conn) {
 			tmp := grabFragBuf(len(f.Data))
 			copy(tmp, f.Data)
 			nm.testCorruptRelay(f.Job, f.Index, tmp)
-			forward = &Frag{Job: f.Job, Index: f.Index, Last: f.Last, Data: tmp, CRC: f.CRC}
+			forward = &Frag{Job: f.Job, Index: f.Index, Stripe: f.Stripe, Last: f.Last, Data: tmp, CRC: f.CRC}
 			defer releaseFragBuf(tmp)
 		}
 		relayed := 0
@@ -849,10 +904,10 @@ func (nm *NM) handleFrag(f *Frag, from *conn) {
 		return
 	}
 	if !ok {
-		from.sendAck(&FragAck{Job: f.Job, Index: f.Index, Node: nm.node, Epoch: epoch, OK: false})
+		from.sendAck(&FragAck{Job: f.Job, Index: f.Index, Node: nm.node, Epoch: epoch, Stripe: f.Stripe, OK: false})
 		return
 	}
-	nm.advanceAck(f.Job)
+	nm.advanceAck(f.Job, f.Stripe)
 }
 
 // onManifest opens (or re-opens, after a replan) a job's delta transfer.
@@ -869,35 +924,68 @@ func (nm *NM) handleFrag(f *Frag, from *conn) {
 // a poisoned or truncated cache entry simply fails Get, is never
 // advertised, and arrives by wire instead — corruption degrades to a
 // cache miss, never into the image or a stalled transfer.
+//
+// With stripes, each stripe tree delivers its own copy of the manifest
+// (the epoch gates are per-stripe), but the cache drain runs exactly
+// once, owned by whichever stripe's manifest lands first: the image and
+// the written bitmap are job-wide, so a second drain would only re-probe
+// chunks the first already spliced. Later stripes' manifests just bind
+// that stripe's ack path, relay down, and fold that stripe's HAVE. A
+// stale-epoch manifest racing a replan on one stripe is dropped in full —
+// it never touches another stripe's parent binding, ledger, or NeedMask.
 func (nm *NM) onManifest(m *Manifest, from *conn) {
 	nm.mu.Lock()
 	rs := nm.relays[m.Job]
-	if rs == nil || m.Epoch != rs.epoch {
-		// No plan for this job, or a manifest from a superseded epoch
-		// raced a replan. Drop it: the MM's HAVE timeout covers the gap.
+	if rs == nil || m.Stripe < 0 || m.Stripe >= len(rs.stripes) {
 		nm.mu.Unlock()
 		return
 	}
-	rs.parent = from
+	sr := rs.stripes[m.Stripe]
+	if m.Epoch != sr.epoch {
+		// A manifest from a superseded epoch raced a replan on this
+		// stripe. Drop it whole: the MM's HAVE timeout covers the gap,
+		// and no other stripe's state is touched.
+		nm.mu.Unlock()
+		return
+	}
+	sr.parent = from
 	st := nm.bins[m.Job]
 	if st == nil {
 		st = &binState{}
 		nm.bins[m.Job] = st
 	}
-	if st.man == nil {
+	drain := st.man == nil
+	if drain {
 		st.man = m.clone()
 		st.written = make([]uint64, bitWords(len(m.Hashes)))
+		st.k = len(rs.stripes)
+		if st.k < 1 {
+			st.k = 1
+		}
+		st.srecv = make([]int, st.k)
+		st.expect = make([][]uint64, st.k)
+		st.draining = true
 	}
 	man := st.man
-	st.expect = nil // the new epoch's NeedMask follows
-	st.draining = true
-	children := rs.children
+	if m.Stripe < len(st.expect) {
+		st.expect[m.Stripe] = nil // the new epoch's NeedMask follows
+	}
+	children := sr.children
 	nm.mu.Unlock()
 
 	// Relay first, straight from conn scratch (sendManifest copies to the
 	// wire), so the subtree's cache drains overlap our own.
 	for _, rc := range children {
 		nm.relayMsg(m.Job, rc, Message{Manifest: m})
+	}
+
+	if !drain {
+		// Another stripe's manifest already drained (or is draining) the
+		// cache; foldHave defers itself while that drain is in flight and
+		// the drain owner re-folds every stripe when it completes.
+		nm.foldHave(m.Job, m.Stripe)
+		nm.advanceAck(m.Job, m.Stripe)
+		return
 	}
 
 	var failIdx = -1
@@ -933,6 +1021,9 @@ func (nm *NM) onManifest(m *Manifest, from *conn) {
 		}
 	}
 	st.advanceReceived()
+	for s := 0; s < st.k; s++ {
+		st.advanceStripe(s)
+	}
 	if st.wcount == len(man.Hashes) && !st.complete {
 		if err := nm.finalizeImageLocked(m.Job, st); err != nil {
 			rs.failed = true
@@ -940,50 +1031,72 @@ func (nm *NM) onManifest(m *Manifest, from *conn) {
 		}
 	}
 	st.draining = false
-	parent := rs.parent
-	epoch := rs.epoch
+	k := st.k
+	parent := sr.parent
+	epoch := sr.epoch
 	nm.mu.Unlock()
 	if failIdx >= 0 {
-		parent.sendAck(&FragAck{Job: m.Job, Index: failIdx, Node: nm.node, Epoch: epoch, OK: false})
+		parent.sendAck(&FragAck{Job: m.Job, Index: failIdx, Node: nm.node, Epoch: epoch, Stripe: m.Stripe, OK: false})
 		return
 	}
-	nm.foldHave(m.Job)
-	nm.advanceAck(m.Job)
+	// The drain may have satisfied chunks of every stripe, and other
+	// stripes' manifests may have arrived (and deferred their folds)
+	// while it ran: fold and re-credit them all. Stripes whose manifest
+	// has not bound a parent yet are skipped inside foldHave/advanceAck.
+	for s := 0; s < k; s++ {
+		nm.foldHave(m.Job, s)
+		nm.advanceAck(m.Job, s)
+	}
 }
 
 // onChildHave folds one child subtree's HAVE report into this node's
-// ledger: record it on the matching link — it doubles as the selective
-// relay filter — and send the aggregate up if this completes the fold.
+// ledger for that stripe: record it on the matching link — it doubles as
+// the selective relay filter — and send the stripe's aggregate up if
+// this completes the fold.
 func (nm *NM) onChildHave(h *Have, cc *conn) {
 	nm.mu.Lock()
 	rs := nm.relays[h.Job]
-	if rs == nil || h.Epoch != rs.epoch {
+	if rs == nil || h.Stripe < 0 || h.Stripe >= len(rs.stripes) {
 		nm.mu.Unlock()
 		return
 	}
-	for _, rc := range rs.children {
+	sr := rs.stripes[h.Stripe]
+	if h.Epoch != sr.epoch {
+		nm.mu.Unlock()
+		return
+	}
+	for _, rc := range sr.children {
 		if rc.c == cc {
 			rc.have = append(rc.have[:0], h.Bits...)
 		}
 	}
 	nm.mu.Unlock()
-	nm.foldHave(h.Job)
+	nm.foldHave(h.Job, h.Stripe)
 }
 
-// foldHave sends this subtree's aggregated HAVE ledger up once the local
-// splice state and every live child's report are in: bit i is set iff
-// every node in the subtree holds chunk i. The AND-fold is the dual of
+// foldHave sends one stripe subtree's aggregated HAVE ledger up once the
+// local splice state and every live child's report are in: bit i is set
+// iff every node in the stripe's subtree holds chunk i. (The MM only
+// reads the bits a stripe owns — indices ≡ stripe mod k — but the fold
+// carries the full bitmap; the extra bits are free and keep the ledger
+// format identical at every stripe count.) The AND-fold is the dual of
 // the control plane's pong ledgers, which aggregate absence by OR — same
 // O(depth) round, O(fanout) egress per node.
-func (nm *NM) foldHave(job int) {
+func (nm *NM) foldHave(job, stripe int) {
 	nm.mu.Lock()
 	rs := nm.relays[job]
 	st := nm.bins[job]
-	if rs == nil || st == nil || st.man == nil || st.draining || rs.haveSent || rs.parent == nil {
+	if rs == nil || st == nil || st.man == nil || st.draining ||
+		stripe < 0 || stripe >= len(rs.stripes) {
 		nm.mu.Unlock()
 		return
 	}
-	for _, rc := range rs.children {
+	sr := rs.stripes[stripe]
+	if sr.haveSent || sr.parent == nil {
+		nm.mu.Unlock()
+		return
+	}
+	for _, rc := range sr.children {
 		if rc.have == nil && !rc.down {
 			nm.mu.Unlock()
 			return // a subtree report is still outstanding
@@ -991,7 +1104,7 @@ func (nm *NM) foldHave(job int) {
 	}
 	bits := make([]uint64, len(st.written))
 	copy(bits, st.written)
-	for _, rc := range rs.children {
+	for _, rc := range sr.children {
 		if rc.down {
 			// A dead child cannot vouch for anything: claim nothing, and
 			// let the MM's recovery path rebuild the subtree.
@@ -1008,32 +1121,42 @@ func (nm *NM) foldHave(job int) {
 			}
 		}
 	}
-	rs.haveSent = true
-	parent := rs.parent
-	epoch := rs.epoch
+	sr.haveSent = true
+	parent := sr.parent
+	epoch := sr.epoch
 	nm.mu.Unlock()
-	parent.send(Message{Have: &Have{Job: job, Node: nm.node, Epoch: epoch, Bits: bits}})
+	parent.send(Message{Have: &Have{Job: job, Node: nm.node, Epoch: epoch, Stripe: stripe, Bits: bits}})
 }
 
-// onNeedMask records the parent's announcement of which chunks will
-// arrive on this link during the epoch and forwards each child its own
-// mask (the complement of the child's HAVE report). A chunk that is
-// neither announced nor already in place can never be completed — that
-// means our HAVE claim and the parent's plan disagree — so nack now
-// rather than stall the whole transfer window out.
+// onNeedMask records the parent's announcement of which of one stripe's
+// chunks will arrive on this link during the stripe's epoch and forwards
+// each stripe child its own mask (the complement of the child's HAVE
+// report, restricted to the chunks the stripe owns). A stripe chunk that
+// is neither announced nor already in place can never be completed —
+// that means our HAVE claim and the parent's plan disagree — so nack now
+// rather than stall the whole transfer window out. The check covers only
+// indices ≡ stripe mod k: other stripes' chunks arrive on other trees
+// and their masks say nothing about them.
 func (nm *NM) onNeedMask(n *NeedMask) {
 	nm.mu.Lock()
 	rs := nm.relays[n.Job]
 	st := nm.bins[n.Job]
-	if rs == nil || st == nil || st.man == nil || n.Epoch != rs.epoch {
+	if rs == nil || st == nil || st.man == nil ||
+		n.Stripe < 0 || n.Stripe >= len(rs.stripes) || n.Stripe >= len(st.expect) {
 		nm.mu.Unlock()
 		return
 	}
-	st.expect = append(st.expect[:0], n.Bits...)
+	sr := rs.stripes[n.Stripe]
+	if n.Epoch != sr.epoch {
+		nm.mu.Unlock()
+		return
+	}
+	st.expect[n.Stripe] = append(st.expect[n.Stripe][:0], n.Bits...)
 	nchunks := len(st.man.Hashes)
+	k := st.k
 	stuck := -1
-	for i := 0; i < nchunks; i++ {
-		if !bitGet(st.written, i) && !maskGet(st.expect, i) {
+	for i := n.Stripe; i < nchunks; i += k {
+		if !bitGet(st.written, i) && !maskGet(st.expect[n.Stripe], i) {
 			stuck = i
 			break
 		}
@@ -1043,9 +1166,9 @@ func (nm *NM) onNeedMask(n *NeedMask) {
 		bits []uint64
 	}
 	var kids []childMask
-	for _, rc := range rs.children {
+	for _, rc := range sr.children {
 		need := make([]uint64, bitWords(nchunks))
-		for i := 0; i < nchunks; i++ {
+		for i := n.Stripe; i < nchunks; i += k {
 			if !maskGet(rc.have, i) {
 				bitSet(need, i)
 			}
@@ -1055,14 +1178,14 @@ func (nm *NM) onNeedMask(n *NeedMask) {
 	if stuck >= 0 {
 		rs.failed = true
 	}
-	parent := rs.parent
-	epoch := rs.epoch
+	parent := sr.parent
+	epoch := sr.epoch
 	nm.mu.Unlock()
-	for _, k := range kids {
-		nm.relayMsg(n.Job, k.rc, Message{NeedMask: &NeedMask{Job: n.Job, Epoch: epoch, Bits: k.bits}})
+	for _, km := range kids {
+		nm.relayMsg(n.Job, km.rc, Message{NeedMask: &NeedMask{Job: n.Job, Epoch: epoch, Stripe: n.Stripe, Bits: km.bits}})
 	}
 	if stuck >= 0 && parent != nil {
-		parent.sendAck(&FragAck{Job: n.Job, Index: stuck, Node: nm.node, Epoch: epoch, OK: false})
+		parent.sendAck(&FragAck{Job: n.Job, Index: stuck, Node: nm.node, Epoch: epoch, Stripe: n.Stripe, OK: false})
 	}
 }
 
@@ -1101,6 +1224,11 @@ func (nm *NM) writeManifestChunk(f *Frag, from *conn, epoch int, drop bool) {
 		st.wcount++
 		nm.fragsWritten++
 		st.advanceReceived()
+		if st.k > 0 {
+			// Ledger by the chunk's own stripe (index mod k), which the
+			// striped MM always matches to the frame's stripe tag.
+			st.advanceStripe(f.Index % st.k)
+		}
 		if nm.cache != nil {
 			nm.cache.Put(hash, f.CRC, f.Data)
 		}
@@ -1119,10 +1247,10 @@ func (nm *NM) writeManifestChunk(f *Frag, from *conn, epoch int, drop bool) {
 		return
 	}
 	if !ok {
-		from.sendAck(&FragAck{Job: f.Job, Index: f.Index, Node: nm.node, Epoch: epoch, OK: false})
+		from.sendAck(&FragAck{Job: f.Job, Index: f.Index, Node: nm.node, Epoch: epoch, Stripe: f.Stripe, OK: false})
 		return
 	}
-	nm.advanceAck(f.Job)
+	nm.advanceAck(f.Job, f.Stripe)
 }
 
 // childHasChunk reports whether a child subtree advertised chunk index in
@@ -1149,13 +1277,31 @@ func manifestChunkLen(m *Manifest, i int) int {
 	return m.ChunkBytes
 }
 
-// advanceReceived moves the in-order pointer across the written bitmap:
-// received is what cumulative acks (and replan resume points) vouch for,
-// so it only covers the gap-free prefix of the spliced image.
+// advanceReceived moves the global in-order pointer across the written
+// bitmap: received is the gap-free prefix of the spliced image over ALL
+// chunks, retained for replan fallbacks and the image digest.
 func (st *binState) advanceReceived() {
 	n := len(st.man.Hashes)
 	for st.received < n && bitGet(st.written, st.received) {
 		st.received++
+	}
+}
+
+// advanceStripe moves one stripe's in-order pointer across the written
+// bitmap, counting in stripe-local chunks (global index s + srecv[s]*k):
+// srecv[s] is what that stripe's cumulative acks (and replan resume
+// points) vouch for.
+func (st *binState) advanceStripe(s int) {
+	if s < 0 || s >= len(st.srecv) {
+		return
+	}
+	n := len(st.man.Hashes)
+	for {
+		i := s + st.srecv[s]*st.k
+		if i >= n || !bitGet(st.written, i) {
+			return
+		}
+		st.srecv[s]++
 	}
 }
 
@@ -1185,11 +1331,15 @@ func (nm *NM) spliceChunk(job int, st *binState, index int, data []byte) error {
 // manifest before committing. Spool mode reads the spliced file back and
 // CRCs every byte — that closes the splice, proving every chunk (cached
 // and wire alike) landed at the right offset with the right bytes —
-// before the rename publishes it. Memory mode holds no image bytes, so
-// it folds the per-chunk CRCs (each individually verified, on the wire
-// or at cache admission) with the CRC-32 combine identity: the result
-// is exactly ChecksumIEEE of the concatenated chunks, O(chunks) instead
-// of an O(bytes) re-read. Called with nm.mu held.
+// before the rename publishes it. The read-back CRCs each chunk across
+// the small chunk worker pool (ReadAt is concurrent-safe, the reads are
+// disjoint) and folds the per-chunk results in order with the CRC-32
+// combine identity, so a multi-megabyte verify is not single-core bound
+// on the launch critical path. Memory mode holds no image bytes, so it
+// folds the manifest's per-chunk CRCs (each individually verified, on
+// the wire or at cache admission) the same way: the result is exactly
+// ChecksumIEEE of the concatenated chunks, O(chunks) instead of an
+// O(bytes) re-read. Called with nm.mu held.
 func (nm *NM) finalizeImageLocked(job int, st *binState) error {
 	man := st.man
 	var crc uint32
@@ -1198,22 +1348,27 @@ func (nm *NM) finalizeImageLocked(job int, st *binState) error {
 			crc = crc32Combine(crc, man.CRCs[i], int64(manifestChunkLen(man, i)))
 		}
 	} else if st.spool != nil {
-		buf := grabFragBuf(man.ChunkBytes)
-		var off int64
-		for off < man.TotalBytes {
-			want := int64(man.ChunkBytes)
-			if man.TotalBytes-off < want {
-				want = man.TotalBytes - off
+		n := len(man.Hashes)
+		crcs := make([]uint32, n)
+		errs := make([]error, n)
+		sp := st.spool
+		parallelChunks(n, func(i int) {
+			size := manifestChunkLen(man, i)
+			buf := grabFragBuf(size)
+			nr, err := sp.ReadAt(buf[:size], int64(i)*int64(man.ChunkBytes))
+			crcs[i] = crc32.ChecksumIEEE(buf[:nr])
+			if err != nil && nr == size {
+				err = nil // a full read at EOF is a complete chunk
 			}
-			n, err := st.spool.ReadAt(buf[:want], off)
-			crc = crc32.Update(crc, crc32.IEEETable, buf[:n])
-			off += int64(n)
-			if err != nil {
-				releaseFragBuf(buf)
-				return err
+			errs[i] = err
+			releaseFragBuf(buf)
+		})
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				return errs[i]
 			}
+			crc = crc32Combine(crc, crcs[i], int64(manifestChunkLen(man, i)))
 		}
-		releaseFragBuf(buf)
 	}
 	if crc != man.ImageCRC {
 		return fmt.Errorf("livenet: node %d job %d: spliced image CRC %08x, manifest says %08x",
@@ -1224,6 +1379,9 @@ func (nm *NM) finalizeImageLocked(job int, st *binState) error {
 	}
 	st.bytes = int(man.TotalBytes)
 	st.received = len(man.Hashes)
+	for s := range st.srecv {
+		st.srecv[s] = stripeChunks(len(man.Hashes), s, st.k)
+	}
 	st.crc = crc
 	st.complete = true
 	nm.digests[job] = ImageDigest{Bytes: st.bytes, Frags: st.received, CRC: crc}
@@ -1326,34 +1484,73 @@ func (st *binState) discardSpool() {
 	}
 }
 
-// advanceAck propagates the aggregated cumulative credit — the minimum
-// of the local write progress and every child subtree's credit — up to
-// the parent whenever it advances. This is the live analogue of the
-// paper's COMPARE-AND-WRITE receipt check: one ack per subtree instead
-// of one per node.
-func (nm *NM) advanceAck(job int) {
+// advanceAck propagates one stripe's aggregated cumulative credit — the
+// minimum of the local stripe-local write progress and every stripe
+// child subtree's credit — up to that stripe's parent whenever it
+// advances. This is the live analogue of the paper's COMPARE-AND-WRITE
+// receipt check: one ack per subtree per stripe instead of one per node.
+// A child the MM pruned from the stripe (ChildDead) is skipped: its
+// credit will never advance again and the MM has already stopped
+// counting it. A child that is merely down-but-unpruned still stalls the
+// aggregate — that is deliberate, so the MM can never drain a stripe's
+// window past a death it has not yet been told about.
+func (nm *NM) advanceAck(job, stripe int) {
 	nm.mu.Lock()
 	rs := nm.relays[job]
 	st := nm.bins[job]
-	if rs == nil || st == nil || rs.failed || rs.parent == nil {
+	if rs == nil || st == nil || rs.failed || stripe < 0 || stripe >= len(rs.stripes) {
+		nm.mu.Unlock()
+		return
+	}
+	sr := rs.stripes[stripe]
+	if sr.parent == nil {
 		nm.mu.Unlock()
 		return
 	}
 	min := st.received
-	for _, rc := range rs.children {
+	if st.man != nil && stripe < len(st.srecv) {
+		min = st.srecv[stripe]
+	}
+	for _, rc := range sr.children {
+		if rc.pruned {
+			continue
+		}
 		if rc.acked < min {
 			min = rc.acked
 		}
 	}
-	if min <= rs.sentUp {
+	if min <= sr.sentUp {
 		nm.mu.Unlock()
 		return
 	}
-	rs.sentUp = min
-	parent := rs.parent
-	epoch := rs.epoch
+	sr.sentUp = min
+	parent := sr.parent
+	epoch := sr.epoch
 	nm.mu.Unlock()
-	parent.sendAck(&FragAck{Job: job, Index: min - 1, Node: nm.node, Epoch: epoch, OK: true})
+	parent.sendAck(&FragAck{Job: job, Index: min - 1, Node: nm.node, Epoch: epoch, Stripe: stripe, OK: true})
+}
+
+// onChildDead enacts the MM's leaf-prune on one stripe: the named child
+// is marked pruned (and down, so no further relays are attempted), and
+// the stripe's aggregate credit is re-derived without it — typically
+// unsticking an ack the dead subtree was holding back. No HAVE re-fold
+// and no epoch change: the stripe's ledger round already completed and
+// the surviving topology is unchanged.
+func (nm *NM) onChildDead(cd *ChildDead) {
+	nm.mu.Lock()
+	rs := nm.relays[cd.Job]
+	if rs == nil || cd.Stripe < 0 || cd.Stripe >= len(rs.stripes) {
+		nm.mu.Unlock()
+		return
+	}
+	for _, rc := range rs.stripes[cd.Stripe].children {
+		if rc.node == cd.Node {
+			rc.pruned = true
+			rc.down = true
+		}
+	}
+	nm.mu.Unlock()
+	nm.advanceAck(cd.Job, cd.Stripe)
 }
 
 // onAbort drops a failed job's transfer state and cancels the job's

@@ -104,6 +104,12 @@ type Report struct {
 	Failed   []int
 	Replans  int
 	Recovery time.Duration
+	// StripeReplans counts the replan rounds charged to each stripe of
+	// the striped data plane (one entry per stripe; a single entry for
+	// the legacy single-tree plan). A dead node rewires only the stripes
+	// it was interior in, so the other stripes' counts stay 0 — leaves
+	// are pruned from them without an epoch bump.
+	StripeReplans []int
 	// Chunks is the transfer manifest's chunk count and ChunksSent how
 	// many of them the MM actually streamed after the HAVE round (the
 	// union of its direct children's subtree needs). BytesSaved is the
@@ -150,6 +156,7 @@ type Message struct {
 	PlanAck   *PlanAck
 	Replan    *Replan
 	ReplanAck *ReplanAck
+	ChildDead *ChildDead
 	PeerDown  *PeerDown
 	Abort     *Abort
 	Launch    *Launch
@@ -211,13 +218,17 @@ type Hello struct {
 
 // Frag carries one fragment of a job's binary image. On the wire it is a
 // binary 'F' frame, not gob; Data received from recv is pooled and must
-// be returned with releaseFragBuf once consumed.
+// be returned with releaseFragBuf once consumed. Stripe names the
+// spanning tree the fragment travels down (0 on a single-tree plan):
+// with a striped plan, chunk i belongs to stripe i%k and each stripe's
+// tree relays only its own chunks.
 type Frag struct {
-	Job   int
-	Index int
-	Last  bool
-	Data  []byte
-	CRC   uint32
+	Job    int
+	Index  int
+	Last   bool
+	Data   []byte
+	CRC    uint32
+	Stripe int
 }
 
 // FragAck credits the sender's flow-control window. With the forwarding
@@ -228,12 +239,16 @@ type Frag struct {
 // tree generation the ack was computed under: after a mid-transfer
 // replan the subtree a node vouches for changes, so credit from an
 // earlier topology must not be mistaken for credit under the new one.
+// Stripe scopes the ack to one stripe tree; Index counts in
+// stripe-local chunk order (chunk s, s+k, s+2k, ... for stripe s), so
+// each stripe keeps an independent cumulative ledger.
 type FragAck struct {
-	Job   int
-	Index int
-	Node  int
-	Epoch int
-	OK    bool
+	Job    int
+	Index  int
+	Node   int
+	Epoch  int
+	OK     bool
+	Stripe int
 }
 
 // ChildRef names one relay child in a transfer plan.
@@ -242,14 +257,19 @@ type ChildRef struct {
 	Addr string
 }
 
-// Plan tells an NM its role in one job's forwarding tree before the
+// Plan tells an NM its role in one job's forwarding trees before the
 // fragment stream starts: how many fragments to expect and which NMs (if
-// any) it must relay them to.
+// any) it must relay them to, per stripe. Children[s] is the node's
+// relay child set in stripe s's spanning tree (SplitStream-style role
+// rotation makes a node interior in ~1/k of the trees and a leaf in the
+// rest). Stripes is the stripe count k; a legacy single-tree plan has
+// Stripes == 1 and one child list.
 type Plan struct {
 	Job      int
 	Frags    int
 	Fanout   int
-	Children []ChildRef
+	Stripes  int
+	Children [][]ChildRef
 }
 
 // PlanAck confirms the NM has dialed its relay children (or reports why
@@ -263,11 +283,16 @@ type PlanAck struct {
 
 // Replan rewires a node's forwarding-tree role mid-transfer after a
 // node failure: a fresh child set (replacing the old one wholesale) and
-// a new tree epoch. Resume is the fragment index the MM will restart the
-// stream from; fragments below a node's local progress arrive as
-// duplicates and are acknowledged without being rewritten.
+// a new tree epoch. Resume is the stripe-local fragment index the MM
+// will restart the stream from; fragments below a node's local progress
+// arrive as duplicates and are acknowledged without being rewritten.
+// Stripe scopes the rewire to one stripe tree — the other stripes'
+// trees, epochs, and streams are untouched, which is what lets a striped
+// transfer recover a dead interior node without stalling the stripes it
+// was only a leaf in.
 type Replan struct {
 	Job      int
+	Stripe   int
 	Epoch    int
 	Frags    int
 	Fanout   int
@@ -275,15 +300,29 @@ type Replan struct {
 	Children []ChildRef
 }
 
-// ReplanAck confirms a node rewired for the new epoch (or reports why it
-// could not). Received is the node's local in-order fragment progress,
-// which the MM folds into the global replay point.
+// ReplanAck confirms a node rewired one stripe for the new epoch (or
+// reports why it could not). Received is the node's local in-order
+// stripe-local fragment progress, which the MM folds into the stripe's
+// replay point.
 type ReplanAck struct {
 	Job      int
 	Node     int
 	Epoch    int
 	Received int
+	Stripe   int
 	Err      string
+}
+
+// ChildDead prunes a dead leaf out of one stripe's tree without a
+// replan round: the MM, having convicted the node, tells its tree
+// parent to stop waiting on the subtree's acks. Only valid when the
+// dead node is a leaf in this stripe (interior deaths need a real
+// Replan to re-home the orphaned subtree). Rare, so it rides the gob
+// path.
+type ChildDead struct {
+	Job    int
+	Stripe int
+	Node   int
 }
 
 // PeerDown is an NM's report that a relay child is unreachable: the
@@ -423,13 +462,17 @@ type CtlPlan struct {
 // It multicasts down the forwarding tree like a fragment and, like the
 // hot control frames, travels as a typed 'M' frame with zero
 // steady-state allocations. recv returns it in conn-owned scratch —
-// clone() it to retain past the next recv.
+// clone() it to retain past the next recv. Stripe is the spanning tree
+// the copy multicast down (with per-stripe epochs, the same image map
+// travels once per stripe tree); Epoch is that stripe's tree
+// generation.
 type Manifest struct {
 	Job        int
 	Epoch      int
 	ChunkBytes int
 	ImageCRC   uint32
 	TotalBytes int64
+	Stripe     int
 	Hashes     []uint64
 	CRCs       []uint32
 }
@@ -449,12 +492,16 @@ func (m *Manifest) clone() *Manifest {
 // up — the dual of the pong ledger's absence fold — so the MM learns
 // the set-union of missing chunks across the cluster in one O(depth)
 // round with O(fanout) egress, and every interior node learns exactly
-// which chunks each child subtree still needs.
+// which chunks each child subtree still needs. The bitmap always covers
+// the full chunk index space; Stripe names the tree (and epoch ledger)
+// the fold ran up, since each stripe's tree aggregates its own HAVE
+// round.
 type Have struct {
-	Job   int
-	Node  int
-	Epoch int
-	Bits  []uint64
+	Job    int
+	Node   int
+	Epoch  int
+	Stripe int
+	Bits   []uint64
 }
 
 // NeedMask is the transfer epoch's stream announcement, sent down each
@@ -462,11 +509,15 @@ type Have struct {
 // this link. A receiver uses it as the authoritative split between
 // wire-sourced and locally-sourced chunks — a chunk outside the mask
 // that the node cannot produce locally is a protocol violation worth a
-// fast nack, not a silent stall.
+// fast nack, not a silent stall. Stripe scopes the announcement to one
+// stripe's tree: the mask only ever sets bits of chunks in that stripe
+// (index ≡ stripe mod k), so a stale or misrouted mask cannot poison
+// another stripe's expectations.
 type NeedMask struct {
-	Job   int
-	Epoch int
-	Bits  []uint64
+	Job    int
+	Epoch  int
+	Stripe int
+	Bits   []uint64
 }
 
 // bitWords returns the ledger word count covering n chunks.
@@ -584,10 +635,14 @@ const (
 )
 
 const (
-	// fragHdrLen is job u32 | index u32 | flags u8 | crc u32 | len u32.
-	fragHdrLen = 17
-	// ackHdrLen is job u32 | index u32 | node u32 | epoch u32 | ok u8.
-	ackHdrLen = 17
+	// fragHdrLen is job u32 | index u32 | flags u8 | crc u32 | len u32 |
+	// stripe u8. The stripe byte rides at the end so the payload length
+	// keeps its offset (13) — the faultconn frame scanner and the hub
+	// demux depend on it.
+	fragHdrLen = 18
+	// ackHdrLen is job u32 | index u32 | node u32 | epoch u32 | ok u8 |
+	// stripe u8.
+	ackHdrLen = 18
 	// pingBodyLen is seq u64 | epoch u32.
 	pingBodyLen = 12
 	// pongBodyLen is seq u64 | node u32 | epoch u32 | minseq u64 | absent u64.
@@ -598,20 +653,23 @@ const (
 	strobeAckBodyLen = 16
 	// planAckFixedLen is job u32 | node u32 | elen u16 (error string follows).
 	planAckFixedLen = 10
-	// replanAckFixedLen is job u32 | node u32 | epoch u32 | received u32 | elen u16.
-	replanAckFixedLen = 18
+	// replanAckFixedLen is job u32 | node u32 | epoch u32 | received u32 |
+	// stripe u8 | elen u16 (the error length stays the last two fixed
+	// bytes, the invariant the faultconn scanner's varlen rule encodes).
+	replanAckFixedLen = 19
 	// peerDownFixedLen is job u32 | node u32 | from u32 | elen u16.
 	peerDownFixedLen = 14
 	// manifestFixedLen is job u32 | epoch u32 | chunkbytes u32 |
-	// imagecrc u32 | totalbytes u64 | nchunks u32; a 12-byte
-	// (hash u64 | crc u32) record per chunk follows.
-	manifestFixedLen = 28
-	// haveFixedLen is job u32 | node u32 | epoch u32 | nwords u16; the
-	// bitmap words follow, 8 bytes each.
-	haveFixedLen = 14
-	// needFixedLen is job u32 | epoch u32 | nwords u16; bitmap words
-	// follow.
-	needFixedLen = 10
+	// imagecrc u32 | totalbytes u64 | nchunks u32 | stripe u8; a
+	// 12-byte (hash u64 | crc u32) record per chunk follows. nchunks
+	// keeps offset 24 for the faultconn scanner's tail count.
+	manifestFixedLen = 29
+	// haveFixedLen is job u32 | node u32 | epoch u32 | nwords u16 |
+	// stripe u8; the bitmap words follow, 8 bytes each.
+	haveFixedLen = 15
+	// needFixedLen is job u32 | epoch u32 | nwords u16 | stripe u8;
+	// bitmap words follow.
+	needFixedLen = 11
 	// helloBodyLen is node u32. A shared peer listener (PeerHub) reads
 	// exactly 1+helloBodyLen raw bytes off a fresh connection to learn
 	// which NM it is for, so the frame must stay fixed-size.
@@ -653,7 +711,6 @@ func releaseFragBuf(b []byte) {
 	b = b[:0]
 	fragBufPool.Put(&b)
 }
-
 
 // conn wraps a TCP connection with the frame codec: buffered writes with
 // explicit flush per frame, a write lock (frames must not interleave),
@@ -802,6 +859,7 @@ func (c *conn) sendFrag(f *Frag) error {
 	}
 	binary.BigEndian.PutUint32(hdr[10:], f.CRC)
 	binary.BigEndian.PutUint32(hdr[14:], uint32(len(f.Data)))
+	hdr[18] = byte(f.Stripe)
 	return c.writeFrame(hdr, f.Data)
 }
 
@@ -819,6 +877,7 @@ func (c *conn) sendAck(a *FragAck) error {
 	if a.OK {
 		hdr[17] = 1
 	}
+	hdr[18] = byte(a.Stripe)
 	return c.writeFrame(hdr, nil)
 }
 
@@ -905,7 +964,8 @@ func (c *conn) sendReplanAck(a *ReplanAck) error {
 	binary.BigEndian.PutUint32(hdr[5:], uint32(a.Node))
 	binary.BigEndian.PutUint32(hdr[9:], uint32(a.Epoch))
 	binary.BigEndian.PutUint32(hdr[13:], uint32(a.Received))
-	binary.BigEndian.PutUint16(hdr[17:], uint16(len(e)))
+	hdr[17] = byte(a.Stripe)
+	binary.BigEndian.PutUint16(hdr[18:], uint16(len(e)))
 	return c.writeFrameString(hdr, e)
 }
 
@@ -974,6 +1034,7 @@ func (c *conn) sendManifest(m *Manifest) error {
 	binary.BigEndian.PutUint32(hdr[13:], m.ImageCRC)
 	binary.BigEndian.PutUint64(hdr[17:], uint64(m.TotalBytes))
 	binary.BigEndian.PutUint32(hdr[25:], uint32(len(m.Hashes)))
+	hdr[29] = byte(m.Stripe)
 	tp := grabTail(len(m.Hashes) * 12)
 	tail := *tp
 	for i, h := range m.Hashes {
@@ -996,6 +1057,7 @@ func (c *conn) sendHave(h *Have) error {
 	binary.BigEndian.PutUint32(hdr[5:], uint32(h.Node))
 	binary.BigEndian.PutUint32(hdr[9:], uint32(h.Epoch))
 	binary.BigEndian.PutUint16(hdr[13:], uint16(len(h.Bits)))
+	hdr[15] = byte(h.Stripe)
 	tp := grabTail(len(h.Bits) * 8)
 	tail := *tp
 	for i, w := range h.Bits {
@@ -1016,6 +1078,7 @@ func (c *conn) sendNeedMask(n *NeedMask) error {
 	binary.BigEndian.PutUint32(hdr[1:], uint32(n.Job))
 	binary.BigEndian.PutUint32(hdr[5:], uint32(n.Epoch))
 	binary.BigEndian.PutUint16(hdr[9:], uint16(len(n.Bits)))
+	hdr[11] = byte(n.Stripe)
 	tp := grabTail(len(n.Bits) * 8)
 	tail := *tp
 	for i, w := range n.Bits {
@@ -1103,11 +1166,12 @@ func (c *conn) recv() (Message, error) {
 			return Message{}, fmt.Errorf("livenet: oversized fragment frame (%d bytes)", n)
 		}
 		f := &Frag{
-			Job:   int(binary.BigEndian.Uint32(hb[0:])),
-			Index: int(binary.BigEndian.Uint32(hb[4:])),
-			Last:  hb[8] == 1,
-			CRC:   binary.BigEndian.Uint32(hb[9:]),
-			Data:  grabFragBuf(n),
+			Job:    int(binary.BigEndian.Uint32(hb[0:])),
+			Index:  int(binary.BigEndian.Uint32(hb[4:])),
+			Last:   hb[8] == 1,
+			CRC:    binary.BigEndian.Uint32(hb[9:]),
+			Stripe: int(hb[17]),
+			Data:   grabFragBuf(n),
 		}
 		if _, err := io.ReadFull(c.r, f.Data); err != nil {
 			releaseFragBuf(f.Data)
@@ -1120,11 +1184,12 @@ func (c *conn) recv() (Message, error) {
 			return Message{}, err
 		}
 		c.rAck = FragAck{
-			Job:   int(binary.BigEndian.Uint32(hb[0:])),
-			Index: int(binary.BigEndian.Uint32(hb[4:])),
-			Node:  int(binary.BigEndian.Uint32(hb[8:])),
-			Epoch: int(binary.BigEndian.Uint32(hb[12:])),
-			OK:    hb[16] == 1,
+			Job:    int(binary.BigEndian.Uint32(hb[0:])),
+			Index:  int(binary.BigEndian.Uint32(hb[4:])),
+			Node:   int(binary.BigEndian.Uint32(hb[8:])),
+			Epoch:  int(binary.BigEndian.Uint32(hb[12:])),
+			OK:     hb[16] == 1,
+			Stripe: int(hb[17]),
 		}
 		return Message{FragAck: &c.rAck}, nil
 	case framePing:
@@ -1191,7 +1256,7 @@ func (c *conn) recv() (Message, error) {
 		if _, err := io.ReadFull(c.r, hb); err != nil {
 			return Message{}, err
 		}
-		e, err := c.readCtlErr(int(binary.BigEndian.Uint16(hb[16:])))
+		e, err := c.readCtlErr(int(binary.BigEndian.Uint16(hb[17:])))
 		if err != nil {
 			return Message{}, err
 		}
@@ -1200,6 +1265,7 @@ func (c *conn) recv() (Message, error) {
 			Node:     int(binary.BigEndian.Uint32(hb[4:])),
 			Epoch:    int(binary.BigEndian.Uint32(hb[8:])),
 			Received: int(binary.BigEndian.Uint32(hb[12:])),
+			Stripe:   int(hb[16]),
 			Err:      e,
 		}}, nil
 	case framePeerDown:
@@ -1237,6 +1303,7 @@ func (c *conn) recv() (Message, error) {
 		m.ChunkBytes = int(binary.BigEndian.Uint32(hb[8:]))
 		m.ImageCRC = binary.BigEndian.Uint32(hb[12:])
 		m.TotalBytes = int64(binary.BigEndian.Uint64(hb[16:]))
+		m.Stripe = int(hb[28])
 		if cap(m.Hashes) < nch {
 			m.Hashes = make([]uint64, nch)
 			m.CRCs = make([]uint32, nch)
@@ -1263,6 +1330,7 @@ func (c *conn) recv() (Message, error) {
 		h.Job = int(binary.BigEndian.Uint32(hb[0:]))
 		h.Node = int(binary.BigEndian.Uint32(hb[4:]))
 		h.Epoch = int(binary.BigEndian.Uint32(hb[8:]))
+		h.Stripe = int(hb[14])
 		if cap(h.Bits) < nw {
 			h.Bits = make([]uint64, nw)
 		}
@@ -1286,6 +1354,7 @@ func (c *conn) recv() (Message, error) {
 		n := &c.rNeed
 		n.Job = int(binary.BigEndian.Uint32(hb[0:]))
 		n.Epoch = int(binary.BigEndian.Uint32(hb[4:]))
+		n.Stripe = int(hb[10])
 		if cap(n.Bits) < nw {
 			n.Bits = make([]uint64, nw)
 		}

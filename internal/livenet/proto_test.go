@@ -22,15 +22,20 @@ func TestFrameRoundTripControl(t *testing.T) {
 	ca, cb := pipeConns(t)
 	go func() {
 		ca.send(Message{Register: &Register{Node: 3, CPUs: 4, Addr: "127.0.0.1:99"}})
-		ca.send(Message{Plan: &Plan{Job: 7, Frags: 5, Fanout: 2,
-			Children: []ChildRef{{Node: 1, Addr: "a"}, {Node: 2, Addr: "b"}}}})
+		ca.send(Message{Plan: &Plan{Job: 7, Frags: 5, Fanout: 2, Stripes: 2,
+			Children: [][]ChildRef{
+				{{Node: 1, Addr: "a"}, {Node: 2, Addr: "b"}},
+				{{Node: 3, Addr: "c"}},
+			}}})
 	}()
 	m, err := cb.recv()
 	if err != nil || m.Register == nil || m.Register.Node != 3 || m.Register.Addr != "127.0.0.1:99" {
 		t.Fatalf("register round trip: %+v, %v", m, err)
 	}
 	m, err = cb.recv()
-	if err != nil || m.Plan == nil || m.Plan.Job != 7 || len(m.Plan.Children) != 2 || m.Plan.Children[1].Addr != "b" {
+	if err != nil || m.Plan == nil || m.Plan.Job != 7 || m.Plan.Stripes != 2 ||
+		len(m.Plan.Children) != 2 || len(m.Plan.Children[0]) != 2 || m.Plan.Children[0][1].Addr != "b" ||
+		m.Plan.Children[1][0].Node != 3 {
 		t.Fatalf("plan round trip: %+v, %v", m, err)
 	}
 }

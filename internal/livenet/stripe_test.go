@@ -1,0 +1,314 @@
+package livenet
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/livenet/faultconn"
+)
+
+// TestStripeLayout pins the rotation arithmetic the striped plan is
+// built on: disjoint interior prefixes, inverse position maps, and the
+// round-robin chunk split.
+func TestStripeLayout(t *testing.T) {
+	const n, k = 16, 2
+	if r := stripeRotation(1, k, n); r != 8 {
+		t.Fatalf("stripeRotation(1,2,16) = %d, want 8", r)
+	}
+	for q := 0; q < n; q++ {
+		for s := 0; s < k; s++ {
+			idx := stripeNodeAt(q, s, k, n)
+			if back := stripePosOf(idx, s, k, n); back != q {
+				t.Fatalf("stripePosOf(stripeNodeAt(%d,%d)) = %d", q, s, back)
+			}
+		}
+	}
+	// n=16, fanout=2: positions 0..6 are relays. With the n/k rotation the
+	// interior node sets of the two stripes are disjoint.
+	interior := func(s int) map[int]bool {
+		m := map[int]bool{}
+		for q := 0; q < n; q++ {
+			if len(nodeChildren(q, n, 2)) > 0 {
+				m[stripeNodeAt(q, s, k, n)] = true
+			}
+		}
+		return m
+	}
+	i0, i1 := interior(0), interior(1)
+	for node := range i0 {
+		if i1[node] {
+			t.Fatalf("node %d interior in both stripes", node)
+		}
+	}
+	// Chunk split: 33 chunks over 2 stripes = 17 + 16.
+	if a, b := stripeChunks(33, 0, 2), stripeChunks(33, 1, 2); a != 17 || b != 16 {
+		t.Fatalf("stripeChunks(33) = %d,%d, want 17,16", a, b)
+	}
+	if c := stripeChunks(33, 0, 1); c != 33 {
+		t.Fatalf("stripeChunks k=1 = %d, want 33", c)
+	}
+}
+
+// TestLiveStripedEquivalence (acceptance): the same job through stripes
+// 1, 2, and 4 delivers byte-identical per-node images, the same
+// fragment accounting, and tree-bounded MM egress — striping changes
+// which link carries a chunk, never the bytes that arrive.
+func TestLiveStripedEquivalence(t *testing.T) {
+	const n, binary = 16, 2 << 20
+	spec := JobSpec{
+		Name: "striped-equiv", BinaryBytes: binary, Nodes: n, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	}
+	run := func(stripes int) (Report, map[int]ImageDigest) {
+		mm, nms := startCluster(t, n, MMConfig{Fanout: 2, FragBytes: 128 << 10, Stripes: stripes})
+		rep, err := SubmitJob(mm.Addr(), spec)
+		if err != nil {
+			t.Fatalf("stripes=%d: %v", stripes, err)
+		}
+		digests := map[int]ImageDigest{}
+		for _, nm := range nms {
+			d, ok := nm.ImageDigest(rep.JobID)
+			if !ok {
+				t.Fatalf("stripes=%d: node %d has no image", stripes, nm.Node())
+			}
+			digests[nm.Node()] = d
+		}
+		return rep, digests
+	}
+	ref, refDigests := run(1)
+	for _, stripes := range []int{2, 4} {
+		rep, digests := run(stripes)
+		for node, d := range digests {
+			if d != refDigests[node] {
+				t.Fatalf("stripes=%d: node %d image %+v diverges from single-tree %+v",
+					stripes, node, d, refDigests[node])
+			}
+		}
+		if rep.Chunks != ref.Chunks || rep.ChunksSent != ref.Chunks {
+			t.Fatalf("stripes=%d: chunks=%d sent=%d, want %d cold chunks",
+				stripes, rep.Chunks, rep.ChunksSent, ref.Chunks)
+		}
+		if len(rep.StripeReplans) != stripes {
+			t.Fatalf("stripes=%d: StripeReplans has %d entries", stripes, len(rep.StripeReplans))
+		}
+		// The union of the stripe trees still sends each chunk to fanout
+		// subtree roots: MM egress stays ~fanout x image, not stripes x.
+		if max := int64(3 * binary); rep.SendBytes > max {
+			t.Fatalf("stripes=%d: MM pushed %d bytes, want <= %d", stripes, rep.SendBytes, max)
+		}
+	}
+}
+
+// TestDeltaStripedWarmRelaunch (acceptance): warm launches stream zero
+// chunks at any stripe count — the per-stripe HAVE rounds each discover
+// their slice of the image is cached, and no stripe opens its stream.
+func TestDeltaStripedWarmRelaunch(t *testing.T) {
+	const n = 8
+	cfg := deltaMMConfig()
+	cfg.Stripes = 2
+	frags := chaosBinary / cfg.FragBytes
+	mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+		return NMConfig{CacheBytes: 8 << 20}
+	})
+	repA, err := SubmitJob(mm.Addr(), deltaSpec(n, 0x57a1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.ChunksSent != frags {
+		t.Fatalf("cold striped launch streamed %d chunks, want %d", repA.ChunksSent, frags)
+	}
+	refDigest, ok := nms[0].ImageDigest(repA.JobID)
+	if !ok {
+		t.Fatal("node 0 has no cold image")
+	}
+	repB, err := SubmitJob(mm.Addr(), deltaSpec(n, 0x57a1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repB.ChunksSent != 0 {
+		t.Fatalf("warm striped relaunch streamed %d chunks, want 0", repB.ChunksSent)
+	}
+	if repB.SendBytes > 64<<10 {
+		t.Fatalf("warm striped relaunch cost %d egress bytes, want control-plane-sized", repB.SendBytes)
+	}
+	for _, nm := range nms {
+		if d, ok := nm.ImageDigest(repB.JobID); !ok || d != refDigest {
+			t.Fatalf("node %d warm digest %+v (ok=%v), want %+v", nm.Node(), d, ok, refDigest)
+		}
+	}
+	// A one-chunk patch streams exactly that chunk, over its own stripe.
+	repC, err := SubmitJob(mm.Addr(), deltaSpec(n, 0x57a1, map[int]uint64{5: 0xbeef}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repC.ChunksSent != 1 {
+		t.Fatalf("striped 1-chunk delta streamed %d chunks, want 1", repC.ChunksSent)
+	}
+}
+
+// TestChaosStripedInteriorKill (satellite): with stripes=2 on 8 nodes,
+// node 1 relays for stripe 0 but is a leaf of stripe 1's rotated tree.
+// Killing it mid-transfer must replan ONLY stripe 0 — stripe 1 prunes
+// the dead leaf without an epoch bump or manifest round — and the
+// launch completes on the survivors with byte-identical images inside
+// the usual recovery envelope.
+func TestChaosStripedInteriorKill(t *testing.T) {
+	const n, victim = 8, 1
+	cfg := chaosMMConfig()
+	cfg.Stripes = 2
+	frags := chaosBinary / cfg.FragBytes
+	// Sanity-pin the scenario to the rotation rule: interior in stripe 0,
+	// leaf in stripe 1.
+	if len(nodeChildren(stripePosOf(victim, 0, 2, n), n, cfg.Fanout)) == 0 {
+		t.Fatalf("node %d is not a stripe-0 relay", victim)
+	}
+	if len(nodeChildren(stripePosOf(victim, 1, 2, n), n, cfg.Fanout)) != 0 {
+		t.Fatalf("node %d is not a stripe-1 leaf", victim)
+	}
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			// Each stripe delivers 16 of the 32 chunks, so a per-conn kill
+			// point must land inside one stripe's stream.
+			killAt := 4 + faultconn.NewRng(seed).Intn(8)
+			var victimNM atomic.Pointer[NM]
+			mm, nms, _ := chaosCluster(t, n, cfg, func(node int) NMConfig {
+				if node != victim {
+					return NMConfig{}
+				}
+				return NMConfig{WrapConn: func(c net.Conn) net.Conn {
+					plan := faultconn.NewPlan()
+					plan.CloseAtReadFrag = killAt
+					plan.OnFault = func(string) {
+						go func() {
+							if nm := victimNM.Load(); nm != nil {
+								nm.Close()
+							}
+						}()
+					}
+					return faultconn.Wrap(c, plan)
+				}}
+			})
+			victimNM.Store(nms[victim])
+			rep, err := SubmitJob(mm.Addr(), JobSpec{
+				Name: "striped-chaos", BinaryBytes: chaosBinary, Nodes: n, PEsPerNode: 1,
+				Program: ProgramSpec{Kind: "exit"},
+			})
+			if err != nil {
+				t.Fatalf("striped launch did not recover from killing node %d at frag %d: %v",
+					victim, killAt, err)
+			}
+			if len(rep.Failed) != 1 || rep.Failed[0] != victim {
+				t.Fatalf("report names failed nodes %v, want [%d]", rep.Failed, victim)
+			}
+			if len(rep.StripeReplans) != 2 {
+				t.Fatalf("StripeReplans = %v, want 2 entries", rep.StripeReplans)
+			}
+			if rep.StripeReplans[0] < 1 {
+				t.Fatalf("stripe 0 lost its relay but never replanned: %v", rep.StripeReplans)
+			}
+			if rep.StripeReplans[1] != 0 {
+				t.Fatalf("stripe 1 replanned %d times for a dead leaf, want 0 (prune only)",
+					rep.StripeReplans[1])
+			}
+			if rep.Recovery <= 0 || rep.Recovery > 4*time.Second {
+				t.Fatalf("recovery took %v, want within the diagnosis+replan envelope", rep.Recovery)
+			}
+			assertSurvivorImages(t, nms, victim, rep.JobID, frags)
+		})
+	}
+}
+
+// TestStaleEpochManifestIsolated (satellite): a Manifest from a
+// superseded epoch racing a Replan on one stripe must be dropped in
+// full — it may not bind that stripe's parent, and it may not touch any
+// other stripe's epoch, parent, expect ledger, or written bitmap.
+func TestStaleEpochManifestIsolated(t *testing.T) {
+	nm := &NM{
+		bins:    make(map[int]*binState),
+		relays:  make(map[int]*relayState),
+		digests: make(map[int]ImageDigest),
+	}
+	const job = 7
+	rs := &relayState{frags: 4, stripes: []*stripeRelay{{epoch: 0}, {epoch: 2}}}
+	nm.relays[job] = rs
+	parent0 := discardConn()
+
+	// Stripe 0's manifest (current epoch) opens the transfer normally.
+	man := &Manifest{Job: job, Epoch: 0, Stripe: 0, ChunkBytes: 4,
+		TotalBytes: 16, Hashes: make([]uint64, 4), CRCs: make([]uint32, 4)}
+	nm.onManifest(man, parent0)
+	st := nm.bins[job]
+	if st == nil || st.man == nil || st.k != 2 {
+		t.Fatalf("stripe 0 manifest did not open the transfer: %+v", st)
+	}
+	if rs.stripes[0].parent != parent0 {
+		t.Fatal("stripe 0 parent not bound")
+	}
+	nm.onNeedMask(&NeedMask{Job: job, Epoch: 0, Stripe: 0, Bits: []uint64{0b0101}})
+	if len(st.expect[0]) != 1 || st.expect[0][0] != 0b0101 {
+		t.Fatalf("stripe 0 NeedMask not recorded: %v", st.expect[0])
+	}
+
+	// A stale manifest for stripe 1 (epoch 1; the stripe replanned to
+	// epoch 2) must change nothing.
+	stale := &Manifest{Job: job, Epoch: 1, Stripe: 1, ChunkBytes: 4,
+		TotalBytes: 16, Hashes: make([]uint64, 4), CRCs: make([]uint32, 4)}
+	nm.onManifest(stale, discardConn())
+	if rs.stripes[1].parent != nil {
+		t.Fatal("stale manifest bound stripe 1's parent")
+	}
+	if rs.stripes[1].epoch != 2 {
+		t.Fatalf("stale manifest changed stripe 1's epoch to %d", rs.stripes[1].epoch)
+	}
+	if st.expect[1] != nil {
+		t.Fatalf("stale manifest seeded stripe 1's expect ledger: %v", st.expect[1])
+	}
+	// ...and it must not have poisoned stripe 0's ledgers either.
+	if len(st.expect[0]) != 1 || st.expect[0][0] != 0b0101 {
+		t.Fatalf("stale stripe-1 manifest poisoned stripe 0's NeedMask: %v", st.expect[0])
+	}
+	if rs.stripes[0].parent != parent0 || rs.stripes[0].epoch != 0 {
+		t.Fatal("stale stripe-1 manifest disturbed stripe 0's binding")
+	}
+
+	// A stale NeedMask on the replanned stripe is equally inert.
+	nm.onNeedMask(&NeedMask{Job: job, Epoch: 1, Stripe: 1, Bits: []uint64{^uint64(0)}})
+	if st.expect[1] != nil {
+		t.Fatalf("stale NeedMask recorded on stripe 1: %v", st.expect[1])
+	}
+	// The current-epoch manifest for stripe 1 then binds normally.
+	fresh := &Manifest{Job: job, Epoch: 2, Stripe: 1, ChunkBytes: 4,
+		TotalBytes: 16, Hashes: make([]uint64, 4), CRCs: make([]uint32, 4)}
+	parent1 := discardConn()
+	nm.onManifest(fresh, parent1)
+	if rs.stripes[1].parent != parent1 {
+		t.Fatal("current-epoch manifest failed to bind stripe 1 after the stale drop")
+	}
+}
+
+// TestStripedFragAllocs pins the striped hot path at the same alloc
+// ceiling as the legacy one: a fragment or cumulative ack carrying a
+// nonzero stripe byte must encode without per-frame garbage.
+func TestStripedFragAllocs(t *testing.T) {
+	data := fragPattern(5, 11, 256<<10)
+	crc := fragCRC(data)
+	c := discardConn()
+	f := &Frag{Job: 5, Index: 11, Stripe: 3, Data: data, CRC: crc}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := c.sendFrag(f); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("striped sendFrag allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := c.sendAck(&FragAck{Job: 5, Index: 11, Node: 1, Stripe: 3, OK: true}); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 1 {
+		t.Fatalf("striped sendAck allocates %.1f/op, want <= 1", avg)
+	}
+}

@@ -108,3 +108,52 @@ func treeDepthFrom(pos, n, fanout int) int {
 	}
 	return depth
 }
+
+// Striped multi-tree layout (SplitStream-style): a k-stripe plan builds
+// k spanning trees over the same node set, with the interior/leaf roles
+// rotated per stripe so each node is interior in ~1/k of the trees and
+// the aggregate delivery uses k uplinks per node instead of one. The
+// rotation is a cyclic shift of the placement order: stripe s's tree
+// position q is held by the node at index (q + s·n/k) mod n. A k-ary
+// heap's interior positions are a prefix of the position space, so
+// shifting by n/k per stripe keeps the interior sets (nearly) disjoint —
+// e.g. n=16, k=2, fanout=2 puts nodes 0..6 interior in stripe 0 and
+// nodes 8..14 interior in stripe 1.
+//
+// Chunks interleave round-robin: chunk i travels stripe i%k, and within
+// a stripe, chunks are counted in stripe-local order (chunk s+j·k is the
+// stripe's j-th), which keeps each stripe's cumulative-ack and replay
+// arithmetic identical to the single-tree plan's.
+
+// stripeRotation returns stripe s's cyclic shift of the placement order
+// in a k-stripe plan over n nodes.
+func stripeRotation(s, k, n int) int {
+	if k <= 1 || n <= 0 {
+		return 0
+	}
+	return s * n / k
+}
+
+// stripeNodeAt maps tree position q of stripe s to a node index in the
+// job's placement order.
+func stripeNodeAt(q, s, k, n int) int {
+	return (q + stripeRotation(s, k, n)) % n
+}
+
+// stripePosOf is the inverse map: the tree position node index idx holds
+// in stripe s.
+func stripePosOf(idx, s, k, n int) int {
+	return (idx - stripeRotation(s, k, n) + n) % n
+}
+
+// stripeChunks returns how many of an image's nchunks chunks travel
+// stripe s under the round-robin interleave (chunk i → stripe i%k).
+func stripeChunks(nchunks, s, k int) int {
+	if k <= 1 {
+		return nchunks
+	}
+	if s >= nchunks {
+		return 0
+	}
+	return (nchunks - s + k - 1) / k
+}
