@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/livenet"
+	"repro/internal/place"
 )
 
 func main() {
@@ -24,6 +25,9 @@ func main() {
 	dur := flag.Duration("duration", time.Second, "sleep/spin duration")
 	grid := flag.Int("grid", 32, "sweep kernel grid size")
 	iters := flag.Int("iters", 20, "sweep kernel iterations")
+	demCPU := flag.Int64("demand-cpu", 0, "per-node CPU-slot demand; the job only lands on nodes with this much free (0 = none)")
+	demMem := flag.Int64("demand-mem", 0, "per-node memory demand, in the cluster's memory units (0 = none)")
+	demNet := flag.Int64("demand-net", 0, "per-node network-bandwidth demand, relative units (0 = none)")
 	flag.Parse()
 
 	if *status {
@@ -46,6 +50,7 @@ func main() {
 		BinaryBytes: int(*mb * 1e6),
 		Nodes:       *nodes,
 		PEsPerNode:  *pes,
+		Demand:      place.Vec{CPU: *demCPU, Mem: *demMem, Net: *demNet},
 		Program: livenet.ProgramSpec{
 			Kind: *program, Duration: *dur, Grid: *grid, Iters: *iters,
 		},

@@ -23,8 +23,13 @@
 // slightly rebuilt binary stream only the missing chunks. The MM admits
 // several jobs at once and interleaves their streams over the shared
 // links: -max-concurrent bounds how many stream at a time and -admission
-// picks the queue order (fifo, wfair, sif). Then submit jobs with
-// cmd/storm.
+// picks the queue order (fifo, wfair, sif). Nodes may declare hard
+// resource capacities (-cap-cpu/-cap-mem/-cap-net) and jobs a matching
+// demand vector (storm -demand-*): the MM's indexed placement engine
+// seats gangs only where the demand fits, and -policy chooses between
+// the classic least-loaded spread and a locality policy that packs each
+// gang into the smallest aligned subtree with room. Then submit jobs
+// with cmd/storm.
 //
 // Past one MM's comfortable span, -partitions P starts a two-level
 // federation in one dæmon: P in-process leaf MMs on ephemeral ports
@@ -48,16 +53,21 @@ import (
 	"time"
 
 	"repro/internal/livenet"
+	"repro/internal/place"
 )
 
 func main() {
 	role := flag.String("role", "", "dæmon role: mm or nm")
 	listen := flag.String("listen", "127.0.0.1:7070", "MM listen address (role mm)")
 	fanout := flag.Int("fanout", 0, "forwarding-tree fanout, 1 = flat unicast (role mm; 0 = default)")
+	policy := flag.String("policy", "spread", "placement policy: spread (deterministic least-loaded) or locality (pack each gang into the smallest subtree with free capacity)")
 	stripes := flag.Int("stripes", 1, "disjoint spanning trees striping each transfer, chunks interleaved round-robin (role mm; 1 = single-tree legacy)")
 	mmAddr := flag.String("mm", "127.0.0.1:7070", "MM address to register with (role nm)")
 	node := flag.Int("node", 0, "node ID (role nm)")
 	cpus := flag.Int("cpus", 4, "advertised CPUs per node (role nm)")
+	capCPU := flag.Int64("cap-cpu", 0, "declared CPU-slot capacity; jobs declaring demand only land where it fits (role nm; 0 = unbounded)")
+	capMem := flag.Int64("cap-mem", 0, "declared memory capacity, in the cluster's memory units (role nm; 0 = unbounded)")
+	capNet := flag.Int64("cap-net", 0, "declared network-bandwidth capacity, relative units (role nm; 0 = unbounded)")
 	peer := flag.String("peer", "", "NM relay listen address for the forwarding tree (role nm; default 127.0.0.1:0)")
 	spool := flag.String("spool", "", "directory to persist delivered binary images via temp-file+rename (role nm; empty keeps images in memory only)")
 	cacheSize := flag.Int64("cache-size", 0, "content-addressed chunk cache budget in bytes (role nm; 0 disables delta caching)")
@@ -92,15 +102,15 @@ func main() {
 		if *partitions > 1 {
 			runFederation(*listen, *partitions, livenet.MMConfig{
 				Fanout: *fanout, Stripes: *stripes, GangQuantum: *strobe,
-				MaxConcurrent: *maxConc, Admission: *admission, Lite: *lite,
-				JournalDir: *journalDir, JobRetries: *retries,
+				MaxConcurrent: *maxConc, Admission: *admission, Placement: *policy,
+				Lite: *lite, JournalDir: *journalDir, JobRetries: *retries,
 			}, *admission, sig)
 			return
 		}
 		mm, err := livenet.NewMM(*listen, livenet.MMConfig{
 			Fanout: *fanout, Stripes: *stripes, GangQuantum: *strobe,
-			MaxConcurrent: *maxConc, Admission: *admission, Lite: *lite,
-			JournalDir: *journalDir, JobRetries: *retries,
+			MaxConcurrent: *maxConc, Admission: *admission, Placement: *policy,
+			Lite: *lite, JournalDir: *journalDir, JobRetries: *retries,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
@@ -129,6 +139,7 @@ func main() {
 			PeerAddr: *peer, SpoolDir: *spool,
 			CacheBytes: *cacheSize, CacheDir: *cacheDir, Lite: *lite,
 			Rejoin: *rejoin,
+			Cap:    place.Vec{CPU: *capCPU, Mem: *capMem, Net: *capNet},
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stormd: %v\n", err)
@@ -171,7 +182,7 @@ func runFederation(listen string, partitions int, leafCfg livenet.MMConfig, admi
 		leaves = append(leaves, mm)
 	}
 	fed, err := livenet.NewFederation(listen, livenet.FedConfig{
-		Admission: admission, Lite: leafCfg.Lite,
+		Admission: admission, Placement: leafCfg.Placement, Lite: leafCfg.Lite,
 	}, leaves)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stormd: %v\n", err)

@@ -4,8 +4,11 @@
 // SWEEP3D-style kernel computation, and a parallel sleep. It then
 // offers six jobs at once to a two-slot MM and prints the live job
 // table (per-job phase, queue wait, flow-control window) mid-flight.
-// Finally it kills a node and lets the heartbeat detector find the
-// failure.
+// A placement section then boots a 16-node cluster with declared
+// per-node capacities, parks demand on most of it, and compares where
+// the spread and locality policies seat the same 4-node gang (per-node
+// capacity/used/load table included). Finally it kills a node and lets
+// the heartbeat detector find the failure.
 //
 // This is the "distributed dæmon" face of the reproduction: the same
 // MM/NM/PL division of labor as the simulator, over real sockets.
@@ -18,6 +21,7 @@ import (
 	"repro/internal/livenet"
 	"repro/internal/livenet/chunkcache"
 	"repro/internal/metrics"
+	"repro/internal/place"
 )
 
 func main() {
@@ -210,6 +214,86 @@ func main() {
 	}
 	fmt.Printf("  two 300 ms gangs timeshared in %v (%d strobes issued)\n",
 		time.Since(gangStart).Round(time.Millisecond), gangMM.Strobes())
+
+	fmt.Println("\nResource-aware placement: spread vs locality on a 16-node cluster...")
+	// Every node declares a capacity; a pinned sleep job parks demand on
+	// all nodes except {3, 5, 9, 13}, which sit one per topology group.
+	// Load-only spread chases those idle nodes cross-rack; locality takes
+	// the equally-loaded but adjacent block [0..3].
+	busy := []int{0, 1, 2, 4, 6, 7, 8, 10, 11, 12, 14, 15}
+	polTable := metrics.NewTable("placement-policy comparison (4-node gang, parked load)",
+		"policy", "placed nodes", "gang span (hops)")
+	for _, pol := range []string{"spread", "locality"} {
+		pmm, err := livenet.NewMM("127.0.0.1:0", livenet.MMConfig{Placement: pol})
+		if err != nil {
+			panic(err)
+		}
+		var pnms []*livenet.NM
+		for i := 0; i < 16; i++ {
+			nm, err := livenet.NewNMConfig(pmm.Addr(), i, 4, livenet.NMConfig{
+				Cap: place.Vec{CPU: 4, Mem: 8192, Net: 100},
+			})
+			if err != nil {
+				panic(err)
+			}
+			pnms = append(pnms, nm)
+		}
+		for len(pmm.NMs()) < 16 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		parked := make(chan error, 1)
+		go func() {
+			_, err := pmm.RunJob(livenet.JobSpec{
+				Name: "parked", BinaryBytes: 256 << 10, Nodes: len(busy), PEsPerNode: 1,
+				Place: busy, Demand: place.Vec{CPU: 2, Mem: 4096, Net: 40},
+				Program: livenet.ProgramSpec{Kind: "sleep", Duration: 1500 * time.Millisecond},
+			})
+			parked <- err
+		}()
+		// Wait until the parked job's demand is committed everywhere.
+		for resident := 0; resident < len(busy); {
+			resident = 0
+			for _, ni := range pmm.NodeTable() {
+				if ni.Load > 0 {
+					resident++
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if pol == "spread" {
+			// Per-node capacity accounting, mid-flight: declared capacity,
+			// committed usage, and job load while the parked job runs.
+			nodeTab := metrics.NewTable("node table (parked job resident)",
+				"node", "cpus", "capacity", "used", "load", "eligible")
+			for _, ni := range pmm.NodeTable() {
+				nodeTab.AddRow(ni.Node, ni.CPUs, ni.Cap.String(), ni.Used.String(), ni.Load, ni.Eligible)
+			}
+			fmt.Println(nodeTab.String())
+		}
+		rep, err := pmm.RunJob(livenet.JobSpec{
+			Name: "gang-" + pol, BinaryBytes: 512 << 10, Nodes: 4, PEsPerNode: 1,
+			Demand:  place.Vec{CPU: 1, Mem: 1024, Net: 10},
+			Program: livenet.ProgramSpec{Kind: "exit"},
+		})
+		if err != nil {
+			panic(err)
+		}
+		var placed []int
+		for _, nm := range pnms {
+			if _, ok := nm.ImageDigest(rep.JobID); ok {
+				placed = append(placed, nm.Node())
+			}
+		}
+		polTable.AddRow(pol, fmt.Sprint(placed), place.Span(placed, 4))
+		if err := <-parked; err != nil {
+			panic(err)
+		}
+		for _, nm := range pnms {
+			nm.Close()
+		}
+		pmm.Close()
+	}
+	fmt.Println(polTable.String())
 
 	fmt.Println("\nStarting 50 ms heartbeats, then killing node 3...")
 	detected := make(chan int, 1)

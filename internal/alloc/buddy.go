@@ -142,12 +142,49 @@ func (b *Buddy) removeFree(k, first int) bool {
 }
 
 // Allocated returns a snapshot of allocated blocks as (first -> size).
+// It allocates a fresh map per call; hot callers should prefer
+// EachAllocated (no allocation) or AllocatedInto (snapshot reuse).
 func (b *Buddy) Allocated() map[int]int {
-	out := make(map[int]int, len(b.allocated))
-	for k, v := range b.allocated {
-		out[k] = v
+	return b.AllocatedInto(nil)
+}
+
+// AllocatedInto fills dst with the allocated blocks as (first -> size)
+// and returns it, clearing any stale entries first — the snapshot-reuse
+// path for callers that poll allocation state in a loop. A nil dst
+// allocates one.
+func (b *Buddy) AllocatedInto(dst map[int]int) map[int]int {
+	if dst == nil {
+		dst = make(map[int]int, len(b.allocated))
+	} else {
+		for k := range dst {
+			delete(dst, k)
+		}
 	}
-	return out
+	for k, v := range b.allocated {
+		dst[k] = v
+	}
+	return dst
+}
+
+// EachAllocated calls fn for every allocated block in ascending
+// first-node order without allocating a snapshot, stopping early if fn
+// returns false. The ordering is deterministic (unlike ranging over
+// Allocated()); fn must not call Alloc or Free.
+func (b *Buddy) EachAllocated(fn func(first, size int) bool) {
+	// Walk the address space in order, probing the map per block start.
+	// Allocation starts are block-aligned, so advancing by the found
+	// block's size (or 1 past a hole) visits every block exactly once
+	// with zero allocations.
+	for first := 0; first < b.total; {
+		if size, ok := b.allocated[first]; ok {
+			if !fn(first, size) {
+				return
+			}
+			first += size
+		} else {
+			first++
+		}
+	}
 }
 
 // CheckInvariants verifies internal consistency: blocks are aligned, free

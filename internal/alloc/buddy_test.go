@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -200,4 +201,91 @@ func TestAllocatedSnapshot(t *testing.T) {
 	}
 	snap[f] = 99 // mutating the snapshot must not affect the allocator
 	b.Free(f)    // would panic if corrupted
+}
+
+func TestEachAllocatedMatchesSnapshot(t *testing.T) {
+	b := NewBuddy(64)
+	firsts := map[int]int{}
+	for _, n := range []int{4, 1, 8, 2, 16, 1} {
+		f, size, ok := b.Alloc(n)
+		if !ok {
+			t.Fatalf("Alloc(%d) failed", n)
+		}
+		firsts[f] = size
+	}
+	// Free one mid-pool block so the iterator crosses a hole.
+	for f, size := range firsts {
+		if size == 2 {
+			b.Free(f)
+			delete(firsts, f)
+			break
+		}
+	}
+	got := map[int]int{}
+	prev := -1
+	b.EachAllocated(func(first, size int) bool {
+		if first <= prev {
+			t.Fatalf("iteration not ascending: %d after %d", first, prev)
+		}
+		prev = first
+		got[first] = size
+		return true
+	})
+	if !reflect.DeepEqual(got, b.Allocated()) {
+		t.Fatalf("EachAllocated %v != Allocated %v", got, b.Allocated())
+	}
+	// Early stop after the first block.
+	count := 0
+	b.EachAllocated(func(first, size int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d blocks", count)
+	}
+}
+
+func TestAllocatedIntoReusesSnapshot(t *testing.T) {
+	b := NewBuddy(16)
+	f1, _, _ := b.Alloc(4)
+	snap := b.AllocatedInto(nil)
+	if snap[f1] != 4 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	b.Free(f1)
+	f2, _, _ := b.Alloc(2)
+	snap2 := b.AllocatedInto(snap)
+	if len(snap2) != 1 || snap2[f2] != 2 {
+		t.Fatalf("reused snapshot kept stale entries: %v", snap2)
+	}
+}
+
+// TestAllocationCeilings pins the allocation behavior of the polling
+// paths: EachAllocated allocates nothing, and AllocatedInto with a
+// reused map allocates nothing once the map has capacity.
+func TestAllocationCeilings(t *testing.T) {
+	b := NewBuddy(256)
+	for i := 0; i < 16; i++ {
+		if _, _, ok := b.Alloc(4); !ok {
+			t.Fatal("setup alloc failed")
+		}
+	}
+	sum := 0
+	if avg := testing.AllocsPerRun(100, func() {
+		b.EachAllocated(func(first, size int) bool {
+			sum += size
+			return true
+		})
+	}); avg != 0 {
+		t.Errorf("EachAllocated allocates %.1f objects per run, want 0", avg)
+	}
+	snap := b.AllocatedInto(nil)
+	if avg := testing.AllocsPerRun(100, func() {
+		snap = b.AllocatedInto(snap)
+	}); avg != 0 {
+		t.Errorf("AllocatedInto(reused) allocates %.1f objects per run, want 0", avg)
+	}
+	if sum == 0 || len(snap) != 16 {
+		t.Fatalf("iteration saw nothing: sum=%d snap=%d", sum, len(snap))
+	}
 }

@@ -32,7 +32,7 @@ func renderResult(t *testing.T, res *Result) string {
 // own private sim.Envs and results are collected in input order, so
 // parallelism must be invisible in the output.
 func TestParallelRunsAreByteIdentical(t *testing.T) {
-	for _, id := range []string{"fig2", "table4"} {
+	for _, id := range []string{"fig2", "table4", "placecmp"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			serialOpt := quickOpt

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/experiments/sweep"
+	"repro/internal/metrics"
+	"repro/internal/place"
+)
+
+func init() {
+	register("placecmp",
+		"Resource-aware placement policies on heterogeneous and oversubscribed clusters (R-Storm axis)",
+		placecmp)
+}
+
+// placecmp replays one seeded gang stream per scenario through the
+// shared placement engine (the exact code the live MM runs under
+// mm.mu) under each policy, and reports deterministic placement-quality
+// figures: how many gangs seated, the locality objective (mean
+// pairwise tree-distance span), and the load imbalance. No wall-clock
+// values appear — the tables are byte-identical across runs and worker
+// counts; placement throughput lives in the Go benchmarks.
+
+// placeScenario is one cluster shape × workload mix.
+type placeScenario struct {
+	name   string
+	nodes  int
+	fanout int
+	cap    func(id int) place.Vec
+	// job derives gang i's size, per-member demand, and lifetime (how
+	// many subsequent arrivals it stays resident for).
+	job func(r *rand.Rand) (gang int, d place.Vec, life int)
+}
+
+// placeOutcome is one (scenario, policy) replay's aggregate.
+type placeOutcome struct {
+	placed, refused int
+	spanMean        float64
+	peakLoad        int
+	loadSpread      float64 // max-min node load at end of replay
+}
+
+func replayPlacement(sc placeScenario, pol place.Policy, seed uint64, jobs int) placeOutcome {
+	e := place.NewEngine(sc.nodes)
+	for id := 0; id < sc.nodes; id++ {
+		e.SetNode(id, sc.cap(id))
+	}
+	r := rand.New(rand.NewSource(int64(seed)))
+	type resident struct {
+		ids   []int
+		d     place.Vec
+		leave int
+	}
+	var live []resident
+	var out placeOutcome
+	spanSum := 0
+	for i := 0; i < jobs; i++ {
+		// Departures first, in admission order — deterministic.
+		kept := live[:0]
+		for _, res := range live {
+			if res.leave <= i {
+				for _, id := range res.ids {
+					e.Release(id, res.d)
+				}
+			} else {
+				kept = append(kept, res)
+			}
+		}
+		live = kept
+		gang, d, life := sc.job(r)
+		ids, err := e.Pick(gang, d, pol, nil)
+		if err != nil {
+			out.refused++
+			continue
+		}
+		out.placed++
+		spanSum += place.Span(ids, sc.fanout)
+		for _, id := range ids {
+			e.Commit(id, d)
+			if l := e.Load(id); l > out.peakLoad {
+				out.peakLoad = l
+			}
+		}
+		live = append(live, resident{ids: ids, d: d, leave: i + life})
+	}
+	if out.placed > 0 {
+		out.spanMean = float64(spanSum) / float64(out.placed)
+	}
+	min, max := -1, 0
+	e.Each(func(id int, cap, used place.Vec, load int, eligible bool) {
+		if load > max {
+			max = load
+		}
+		if min < 0 || load < min {
+			min = load
+		}
+	})
+	if min < 0 {
+		min = 0
+	}
+	out.loadSpread = float64(max - min)
+	return out
+}
+
+func placecmp(opt Options) (*Result, error) {
+	jobs := 2000
+	if opt.Quick {
+		jobs = 300
+	}
+	scenarios := []placeScenario{
+		{
+			// The baseline the paper's homogeneous clusters assume.
+			name: "uniform", nodes: 64, fanout: 4,
+			cap: func(id int) place.Vec { return place.Vec{CPU: 8, Mem: 8192, Net: 100} },
+			job: func(r *rand.Rand) (int, place.Vec, int) {
+				return 2 + r.Intn(7), place.Vec{CPU: 1, Mem: 256 << r.Intn(3), Net: 5}, 4 + r.Intn(12)
+			},
+		},
+		{
+			// Heterogeneous: a fat quarter and a thin remainder — the
+			// scenario axis the paper never had. Fat demands only fit
+			// the fat nodes once the thin ones carry any load.
+			name: "heterogeneous", nodes: 64, fanout: 4,
+			cap: func(id int) place.Vec {
+				if id%4 == 0 {
+					return place.Vec{CPU: 16, Mem: 16384, Net: 200}
+				}
+				return place.Vec{CPU: 4, Mem: 2048, Net: 50}
+			},
+			job: func(r *rand.Rand) (int, place.Vec, int) {
+				if r.Intn(4) == 0 {
+					return 2 + r.Intn(3), place.Vec{CPU: 6, Mem: 3072, Net: 40}, 6 + r.Intn(10)
+				}
+				return 2 + r.Intn(7), place.Vec{CPU: 1, Mem: 512, Net: 5}, 4 + r.Intn(8)
+			},
+		},
+		{
+			// Oversubscribed: aggregate demand persistently exceeds
+			// capacity, so refusals are expected and fragmentation
+			// decides how many big gangs still seat.
+			name: "oversubscribed", nodes: 64, fanout: 4,
+			cap: func(id int) place.Vec { return place.Vec{CPU: 4, Mem: 4096, Net: 50} },
+			job: func(r *rand.Rand) (int, place.Vec, int) {
+				return 4 + r.Intn(9), place.Vec{CPU: 2, Mem: 1024, Net: 10}, 10 + r.Intn(20)
+			},
+		},
+	}
+	policies := []place.Policy{place.Spread, place.Locality}
+	type point struct {
+		sc  placeScenario
+		pol place.Policy
+	}
+	var points []point
+	for _, sc := range scenarios {
+		for _, pol := range policies {
+			points = append(points, point{sc, pol})
+		}
+	}
+	outs := sweep.Run(points, opt.Workers, func(_ int, pt point) placeOutcome {
+		return replayPlacement(pt.sc, pt.pol, opt.seed(), jobs)
+	})
+	tab := metrics.NewTable(
+		fmt.Sprintf("Placement policies on a %d-gang stream per scenario, 64 nodes (fanout-4 heap topology)", jobs),
+		"Scenario", "Policy", "Placed", "Refused", "Mean span (hops)", "Peak node load", "Final load spread")
+	for i, pt := range points {
+		o := outs[i]
+		tab.AddRow(pt.sc.name, pt.pol.String(), o.placed, o.refused, o.spanMean, o.peakLoad, o.loadSpread)
+	}
+	return &Result{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			"Same engine, same seeded gang stream, two policies: spread is the",
+			"classic deterministic least-loaded order; locality packs each gang",
+			"into the smallest aligned subtree with free capacity. Span is the",
+			"mean pairwise tree-distance between gang members — the relay hops",
+			"a communicating gang pays on shaped links. Expect locality to cut",
+			"span severalfold at equal feasibility on uniform clusters, and to",
+			"seat no fewer gangs when the cluster is oversubscribed (packing",
+			"preserves whole subtrees for the big gangs).",
+		},
+	}, nil
+}

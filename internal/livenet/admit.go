@@ -1,10 +1,13 @@
 package livenet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/place"
 )
 
 // Multi-tenant admission: the MM keeps an explicit job table and moves
@@ -218,14 +221,19 @@ func leastLoadedOrder(ids []int, load func(id int) int) []int {
 }
 
 // placeJob picks the job's node set under mm.mu: the explicit Place
-// list verbatim (in tree-position order), or the spec.Nodes
-// least-loaded eligible NMs, ties toward lower node IDs so an idle
-// cluster reproduces the classic sorted-prefix placement. Eligible
+// list verbatim (in tree-position order), or a free placement from the
+// indexed engine — under the default spread policy the spec.Nodes
+// least-loaded eligible NMs with free capacity for spec.Demand, ties
+// toward lower node IDs, so an idle cluster reproduces the classic
+// sorted-prefix placement byte for byte; under the locality policy the
+// smallest feasible aligned subtree of the heap topology. Eligible
 // means registered, not convicted by the failure detector, past any
 // rejoin probation, and not in the caller's avoid set (the nodes that
-// already failed this job, on the retry path). Pinned placements name
-// their nodes explicitly, so only hard disqualifiers (unregistered,
-// convicted, avoided) refuse them — probation does not.
+// already failed this job, on the retry path) — the engine's
+// eligibility bits mirror those maps via syncPlaceLocked. Pinned
+// placements name their nodes explicitly, so only hard disqualifiers
+// (unregistered, convicted, avoided) refuse them — probation and
+// capacity do not.
 func (mm *MM) placeJob(spec *JobSpec, avoid map[int]bool) ([]*nmLink, error) {
 	if len(spec.Place) > 0 {
 		links := make([]*nmLink, 0, len(spec.Place))
@@ -244,20 +252,23 @@ func (mm *MM) placeJob(spec *JobSpec, avoid map[int]bool) ([]*nmLink, error) {
 		}
 		return links, nil
 	}
-	ids := make([]int, 0, len(mm.nms))
-	for id := range mm.nms {
-		if mm.ctlExclude[id] || mm.probation[id] > 0 || avoid[id] {
-			continue
+	ids, err := mm.place.Pick(spec.Nodes, spec.Demand, mm.placePol, avoid)
+	if err != nil {
+		var ie *place.InsufficientError
+		if errors.As(err, &ie) && ie.Feasible == ie.Eligible {
+			// Pure head-count shortfall: keep the historical message.
+			return nil, fmt.Errorf("livenet: %d NMs eligible, job wants %d", ie.Eligible, spec.Nodes)
 		}
-		ids = append(ids, id)
+		return nil, fmt.Errorf("livenet: %w", err)
 	}
-	if len(ids) < spec.Nodes {
-		return nil, fmt.Errorf("livenet: %d NMs eligible, job wants %d", len(ids), spec.Nodes)
-	}
-	leastLoadedOrder(ids, func(id int) int { return mm.nodeLoad[id] })
 	links := make([]*nmLink, 0, spec.Nodes)
-	for _, id := range ids[:spec.Nodes] {
-		links = append(links, mm.nms[id])
+	for _, id := range ids {
+		l := mm.nms[id]
+		if l == nil {
+			// Unreachable: eligibility mirrors registration under mm.mu.
+			return nil, fmt.Errorf("livenet: placement chose unregistered node %d", id)
+		}
+		links = append(links, l)
 	}
 	return links, nil
 }

@@ -1,0 +1,200 @@
+package livenet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/place"
+)
+
+// TestConcurrentAdmissionsNeverOversubscribe is the capacity-safety
+// property test: with every node declaring a hard capacity, concurrent
+// job streams (seeded, race-enabled) must never drive any node's
+// committed usage past its declared capacity at any observable instant,
+// and every commitment must unwind when the jobs drain.
+func TestConcurrentAdmissionsNeverOversubscribe(t *testing.T) {
+	cap := place.Vec{CPU: 4, Mem: 4096, Net: 100}
+	mm, _, shutdown := chaosCluster(t, 8, MMConfig{}, func(node int) NMConfig {
+		return NMConfig{Cap: cap}
+	})
+	defer shutdown()
+
+	// Sampler: watch the node table for oversubscription while jobs fly.
+	stop := make(chan struct{})
+	violation := make(chan string, 1)
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			for _, ni := range mm.NodeTable() {
+				if !cap.Fits(ni.Used) {
+					select {
+					case violation <- fmt.Sprintf("node %d used %v exceeds cap %v", ni.Node, ni.Used, cap):
+					default:
+					}
+					return
+				}
+			}
+		}
+	}()
+
+	// 6 submitters × 3 jobs, 3 nodes × 1 CPU each: worst-case in-flight
+	// demand is 18 CPUs against 32 declared, so every placement is
+	// feasible and any failure is a real bug.
+	const submitters, jobsEach = 6, 3
+	demand := place.Vec{CPU: 1, Mem: 512, Net: 10}
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters*jobsEach)
+	for g := 0; g < submitters; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			for k := 0; k < jobsEach; k++ {
+				_, err := mm.RunJob(JobSpec{
+					Name: fmt.Sprintf("cap-%d-%d", g, k), BinaryBytes: 64 << 10,
+					Nodes: 3, PEsPerNode: 1, Demand: demand,
+					Program: ProgramSpec{Kind: "sleep", Duration: time.Duration(5+rng.Intn(15)) * time.Millisecond},
+				})
+				if err != nil {
+					errs <- fmt.Errorf("submitter %d job %d: %w", g, k, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	select {
+	case v := <-violation:
+		t.Fatalf("oversubscription observed: %s", v)
+	default:
+	}
+	// All commitments must have unwound.
+	for _, ni := range mm.NodeTable() {
+		if !ni.Used.IsZero() || ni.Load != 0 {
+			t.Fatalf("node %d still charged after drain: used %v load %d", ni.Node, ni.Used, ni.Load)
+		}
+	}
+}
+
+// TestDemandRefusedWhenNoNodeFits pins the capacity error path: a
+// demand no node can host fails fast with the capacity-aware message,
+// while a zero demand on the same cluster still places.
+func TestDemandRefusedWhenNoNodeFits(t *testing.T) {
+	mm, _, shutdown := chaosCluster(t, 4, MMConfig{}, func(node int) NMConfig {
+		return NMConfig{Cap: place.Vec{CPU: 2, Mem: 1024, Net: 10}}
+	})
+	defer shutdown()
+	_, err := mm.RunJob(JobSpec{
+		Name: "fat", BinaryBytes: 64 << 10, Nodes: 2, PEsPerNode: 1,
+		Demand:  place.Vec{CPU: 3},
+		Program: ProgramSpec{Kind: "exit"},
+	})
+	if err == nil {
+		t.Fatal("oversized demand was placed")
+	}
+	if _, err := mm.RunJob(JobSpec{
+		Name: "thin", BinaryBytes: 64 << 10, Nodes: 4, PEsPerNode: 1,
+		Program: ProgramSpec{Kind: "exit"},
+	}); err != nil {
+		t.Fatalf("zero-demand job refused: %v", err)
+	}
+}
+
+// placementTrace runs a fixed placement script against a fresh engine
+// snapshot of the given policy and returns the byte-exact transcript.
+// In-package access: placeJob runs under mm.mu exactly as admission
+// does.
+func placementTrace(t *testing.T, policy string) string {
+	t.Helper()
+	mm, _, shutdown := chaosCluster(t, 8, MMConfig{Placement: policy}, func(node int) NMConfig {
+		return NMConfig{Cap: place.Vec{CPU: 4, Mem: 2048, Net: 100}}
+	})
+	defer shutdown()
+	out := ""
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	script := []struct {
+		nodes  int
+		demand place.Vec
+		avoid  map[int]bool
+	}{
+		{3, place.Vec{}, nil},
+		{2, place.Vec{CPU: 2}, nil},
+		{4, place.Vec{CPU: 1, Mem: 256}, map[int]bool{1: true}},
+		{2, place.Vec{Mem: 1024}, map[int]bool{0: true, 5: true}},
+		{3, place.Vec{CPU: 1}, nil},
+	}
+	for i, s := range script {
+		spec := JobSpec{Nodes: s.nodes, Demand: s.demand}
+		links, err := mm.placeJob(&spec, s.avoid)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		out += fmt.Sprintf("step %d:", i)
+		for _, l := range links {
+			out += fmt.Sprintf(" %d", l.node)
+			mm.place.Commit(l.node, s.demand)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// TestPlacementTraceByteIdentical is the determinism regression for the
+// engine-backed placement: the same script on a fresh cluster produces
+// the identical transcript on every run, under both policies.
+func TestPlacementTraceByteIdentical(t *testing.T) {
+	for _, policy := range []string{"spread", "locality"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			first := placementTrace(t, policy)
+			for run := 1; run < 3; run++ {
+				if got := placementTrace(t, policy); got != first {
+					t.Fatalf("run %d diverged:\n--- first ---\n%s--- run %d ---\n%s", run, first, run, got)
+				}
+			}
+		})
+	}
+}
+
+// TestLocalityPolicyPacksCluster checks the live wiring end to end: a
+// locality MM places a gang in one aligned block even when spread would
+// scatter it across the load skew.
+func TestLocalityPolicyPacksCluster(t *testing.T) {
+	mm, _, shutdown := chaosCluster(t, 16, MMConfig{Placement: "locality"}, nil)
+	defer shutdown()
+	mm.mu.Lock()
+	// Busy the low half's even nodes: spread would hop to the idle odd
+	// IDs; locality should take the contiguous idle block 8..15.
+	for id := 0; id < 8; id++ {
+		mm.place.Commit(id, place.Vec{})
+	}
+	spec := JobSpec{Nodes: 8}
+	links, err := mm.placeJob(&spec, nil)
+	mm.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range links {
+		if l.node < 8 {
+			t.Fatalf("locality placement left its block: node %d", l.node)
+		}
+	}
+}

@@ -215,6 +215,7 @@ func (mm *MM) heartbeatLoop(period, grace time.Duration, onFail func(node int), 
 			if p, ok := mm.probation[node]; ok {
 				if p <= 1 {
 					delete(mm.probation, node)
+					mm.syncPlaceLocked(node) // sentence served: back in rotation
 				} else {
 					mm.probation[node] = p - 1
 				}
@@ -295,6 +296,7 @@ func (mm *MM) heartbeatLoop(period, grace time.Duration, onFail func(node int), 
 			mm.mu.Lock()
 			mm.ctlExclude[node] = true
 			delete(mm.probation, node) // a convicted probationer is just convicted
+			mm.syncPlaceLocked(node)
 			mm.mu.Unlock()
 			mm.jlog(journal.NodeDead, 0, node, []byte("missed heartbeats"))
 			if onFail != nil {

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/place"
 )
 
 // Two-level MM federation. The paper demonstrates STORM's O(log n)
@@ -51,6 +53,15 @@ type FedConfig struct {
 	// placement rebalances toward it on the next free assignment, since
 	// a returning leaf carries no federated load.
 	ProbeInterval time.Duration
+	// Placement selects the partition-pick policy for free jobs, the
+	// root-level lift of MMConfig.Placement: "spread" (default) is the
+	// classic least-loaded fill-and-spill over partitions; "locality"
+	// best-fits the whole job into the smallest partition that can
+	// hold it (ties toward the lighter-loaded, then lower ID), so a
+	// job that fits one leaf never straddles the inter-partition
+	// fabric — the same keep-the-gang-close objective the leaf engine
+	// applies to nodes, applied to partitions.
+	Placement string
 }
 
 func (c *FedConfig) fill() {
@@ -151,6 +162,7 @@ type Federation struct {
 	admitQ    []*liveJob
 	streaming int
 	policy    admissionPolicy
+	placePol  place.Policy
 
 	launched      int
 	completed     int
@@ -181,11 +193,15 @@ func NewFederation(addr string, cfg FedConfig, leaves []*MM) (*Federation, error
 	if err != nil {
 		return nil, err
 	}
+	placePol, err := place.ParsePolicy(cfg.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: %w", err)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("livenet: federation listen %s: %w", addr, err)
 	}
-	f := &Federation{ln: ln, cfg: cfg, policy: policy, done: make(chan struct{})}
+	f := &Federation{ln: ln, cfg: cfg, policy: policy, placePol: placePol, done: make(chan struct{})}
 	f.admit = sync.NewCond(&f.mu)
 	for i, mm := range leaves {
 		f.parts = append(f.parts, &fedPartition{id: i, addr: mm.Addr(), mm: mm})
@@ -425,11 +441,14 @@ func (f *Federation) membership() map[int][]int {
 }
 
 // assign splits a job across partitions under f.mu. A pinned job
-// (spec.Place) groups its node IDs by owning partition; a free job
-// takes partitions in deterministic least-loaded order (ties toward the
-// lower partition ID — the same leastLoadedOrder spread placeJob uses
-// on nodes) and fills each before spilling into the next, so a job that
-// fits one partition lands on exactly one leaf.
+// (spec.Place) groups its node IDs by owning partition. A free job
+// follows FedConfig.Placement: spread takes partitions in
+// deterministic least-loaded order (ties toward the lower partition ID
+// — the same leastLoadedOrder spread placeJob uses on nodes) and fills
+// each before spilling into the next; locality best-fits the whole job
+// into the smallest single partition that can seat it, spilling only
+// when none can. Either way a job that fits one partition lands on
+// exactly one leaf.
 func (f *Federation) assign(spec *JobSpec, members map[int][]int) ([]fedAssign, error) {
 	byID := make(map[int]*fedPartition, len(f.parts))
 	var ids []int
@@ -473,6 +492,30 @@ func (f *Federation) assign(spec *JobSpec, members map[int][]int) ([]fedAssign, 
 			out = append(out, fedAssign{part: byID[pid], nodes: len(group[pid]), place: group[pid]})
 		}
 		return out, nil
+	}
+	if f.placePol == place.Locality {
+		// Best-fit: the smallest partition that holds the whole job
+		// (ties → lighter federated load, then lower ID) — the gang
+		// never straddles the inter-partition fabric when any single
+		// leaf can seat it. The comparator is total, so the choice is
+		// independent of partition iteration order.
+		best := -1
+		for _, id := range ids {
+			if len(members[id]) < spec.Nodes {
+				continue
+			}
+			if best < 0 ||
+				len(members[id]) < len(members[best]) ||
+				(len(members[id]) == len(members[best]) &&
+					(byID[id].load < byID[best].load ||
+						(byID[id].load == byID[best].load && id < best))) {
+				best = id
+			}
+		}
+		if best >= 0 {
+			return []fedAssign{{part: byID[best], nodes: spec.Nodes}}, nil
+		}
+		// No single partition fits: spill like spread does.
 	}
 	leastLoadedOrder(ids, func(id int) int { return byID[id].load })
 	var out []fedAssign

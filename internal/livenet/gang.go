@@ -1,6 +1,7 @@
 package livenet
 
 import (
+	"math/bits"
 	"sync"
 	"time"
 )
@@ -79,28 +80,42 @@ func (g *gate) isOpen() bool {
 // row is occupied. Two concurrent jobs must never share a row — a
 // strobe opens every gate of the designated row, so a shared row would
 // co-schedule two unrelated gangs — and a job that finds no free row
-// stays in the admission queue until one is released. Caller holds
-// mm.mu.
+// stays in the admission queue until one is released. The free rows
+// live in a bitset freelist (rowFree), so picking the lowest free row
+// is a find-first-set over MPL/64 words instead of the linear
+// occupancy scan this ran per admission — same lowest-row-first order,
+// O(1) for any realistic MPL. Caller holds mm.mu.
 func (mm *MM) pickRow() int {
 	if mm.cfg.GangQuantum <= 0 || mm.cfg.MPL <= 1 {
 		return 0
 	}
 	if mm.rowCount == nil {
 		mm.rowCount = make([]int, mm.cfg.MPL)
-	}
-	for r := 0; r < mm.cfg.MPL; r++ {
-		if mm.rowCount[r] == 0 {
-			mm.rowCount[r]++
-			return r
+		mm.rowFree = make([]uint64, (mm.cfg.MPL+63)/64)
+		for r := 0; r < mm.cfg.MPL; r++ {
+			mm.rowFree[r/64] |= 1 << uint(r%64)
 		}
+	}
+	for w, free := range mm.rowFree {
+		if free == 0 {
+			continue
+		}
+		r := w*64 + bits.TrailingZeros64(free)
+		mm.rowFree[w] &^= 1 << uint(r%64)
+		mm.rowCount[r]++
+		return r
 	}
 	return -1
 }
 
-// releaseRow returns a completed job's slot. Caller holds mm.mu.
+// releaseRow returns a completed job's slot to the freelist. Caller
+// holds mm.mu.
 func (mm *MM) releaseRow(row int) {
 	if mm.rowCount != nil && row >= 0 && row < len(mm.rowCount) && mm.rowCount[row] > 0 {
 		mm.rowCount[row]--
+		if mm.rowCount[row] == 0 {
+			mm.rowFree[row/64] |= 1 << uint(row%64)
+		}
 	}
 }
 

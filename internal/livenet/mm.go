@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/livenet/chunkcache"
 	"repro/internal/livenet/journal"
+	"repro/internal/place"
 	"repro/internal/rng"
 )
 
@@ -156,6 +157,14 @@ type MMConfig struct {
 	// is running: with no detector there is nobody to vouch, so rejoin
 	// restores eligibility immediately.
 	RejoinProbation int
+	// Placement selects the free-placement policy: "spread" (default)
+	// is the classic deterministic least-loaded order, byte-identical
+	// to every prior release; "locality" packs each gang into the
+	// smallest aligned subtree of the cluster's k-ary heap topology
+	// that has the free capacity, minimizing the relay hops gang
+	// members pay to reach each other on distance-shaped links. Both
+	// respect JobSpec.Demand against declared node capacities.
+	Placement string
 	// JobRetries bounds full job-level re-placements after a transfer
 	// exhausts its replans or loses its nodes (default 0: a transfer
 	// failure is terminal, the pre-retry behavior). Each retry waits a
@@ -242,15 +251,18 @@ type MM struct {
 
 	// Multi-tenant admission (see admit.go): jobs wait in admitQ until
 	// the policy grants them one of MaxConcurrent streaming slots;
-	// admit broadcasts on every slot/row release. nodeLoad counts
-	// active jobs per node for least-loaded placement, and budgets
-	// holds each direct-child link's shared byte budget. All guarded
-	// by mu.
+	// admit broadcasts on every slot/row release. place is the indexed
+	// placement engine (internal/place): it tracks per-node load,
+	// declared capacity, committed usage, and eligibility, and answers
+	// placement decisions in O(log n) instead of a cluster scan — all
+	// mutated under mu. budgets holds each direct-child link's shared
+	// byte budget. All guarded by mu.
 	admit     *sync.Cond
 	admitQ    []*liveJob
 	streaming int
 	policy    admissionPolicy
-	nodeLoad  map[int]int
+	place     *place.Engine
+	placePol  place.Policy
 	budgets   map[*conn]*linkBudget
 
 	// ctl is the cluster-wide control tree (heartbeat + strobe fast
@@ -300,7 +312,11 @@ type MM struct {
 	completed int
 	strobes   int
 
+	// rowCount tracks gang-row occupancy (the strobe loop skips empty
+	// rows); rowFree is the bitset freelist of unoccupied rows pickRow
+	// pops lowest-first.
 	rowCount   []int
+	rowFree    []uint64
 	strobeStop chan struct{}
 
 	// testCorrupt, when set (in-package tests only), may mutate a
@@ -383,8 +399,8 @@ type liveJob struct {
 
 	// Admission bookkeeping: qStart is when the job entered the
 	// admission queue, queued its total queue wait once granted, and
-	// placed the node IDs placement charged to nodeLoad (fixed even as
-	// j.nodes shrinks through recovery).
+	// placed the node IDs placement charged to the engine (fixed even
+	// as j.nodes shrinks through recovery).
 	qStart time.Time
 	queued time.Duration
 	placed []int
@@ -478,6 +494,10 @@ func NewMM(addr string, cfg MMConfig) (*MM, error) {
 	if err != nil {
 		return nil, err
 	}
+	placePol, err := place.ParsePolicy(cfg.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: %w", err)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("livenet: listen %s: %w", addr, err)
@@ -495,7 +515,8 @@ func NewMM(addr string, cfg MMConfig) (*MM, error) {
 		probation:  make(map[int]int),
 		rejoined:   make(map[int]bool),
 		policy:     policy,
-		nodeLoad:   make(map[int]int),
+		place:      place.NewEngine(64),
+		placePol:   placePol,
 		budgets:    make(map[*conn]*linkBudget),
 		closing:    make(chan struct{}),
 	}
@@ -742,6 +763,49 @@ func (mm *MM) NodeEligible(node int) bool {
 	return mm.nms[node] != nil && !mm.ctlExclude[node] && mm.probation[node] == 0
 }
 
+// capOrUnbounded maps an undeclared (zero) capacity to the unbounded
+// sentinel, so clusters that never mention capacities place as before.
+func capOrUnbounded(c place.Vec) place.Vec {
+	if c.IsZero() {
+		return place.Unbounded
+	}
+	return c
+}
+
+// syncPlaceLocked aligns the placement engine's eligibility bit for one
+// node with the membership maps — registered, not convicted, past any
+// probation — which stay the source of truth. Called at every mutation
+// of those maps; caller holds mm.mu.
+func (mm *MM) syncPlaceLocked(node int) {
+	mm.place.SetEligible(node, mm.nms[node] != nil && !mm.ctlExclude[node] && mm.probation[node] == 0)
+}
+
+// NodeInfo is one row of the MM's per-node placement snapshot.
+type NodeInfo struct {
+	Node     int
+	CPUs     int       // from the NM's registration (0 if currently unregistered)
+	Cap      place.Vec // declared capacity (Unbounded when undeclared)
+	Used     place.Vec // usage committed by running jobs' demands
+	Load     int       // gang members currently charged to the node
+	Eligible bool      // in the placement rotation right now
+}
+
+// NodeTable snapshots every node the placement engine tracks, in
+// ascending node-ID order — the livecluster demo's capacity/load view.
+func (mm *MM) NodeTable() []NodeInfo {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	var out []NodeInfo
+	mm.place.Each(func(id int, cap, used place.Vec, load int, eligible bool) {
+		info := NodeInfo{Node: id, Cap: cap, Used: used, Load: load, Eligible: eligible}
+		if l := mm.nms[id]; l != nil {
+			info.CPUs = l.cpus
+		}
+		out = append(out, info)
+	})
+	return out
+}
+
 // ProbationLeft returns how many heartbeat-clean periods a rejoined
 // node still owes before placement trusts it again (0 once eligible).
 func (mm *MM) ProbationLeft(node int) int {
@@ -903,6 +967,8 @@ func (mm *MM) serveNM(c *conn, reg *Register) {
 		return
 	}
 	mm.nms[reg.Node] = link
+	mm.place.SetNode(reg.Node, capOrUnbounded(reg.Cap))
+	mm.syncPlaceLocked(reg.Node)
 	mm.mu.Unlock()
 	mm.jlog(journal.NodeJoin, 0, reg.Node, nil)
 	mm.pumpNM(c, link, reg.Node)
@@ -938,12 +1004,15 @@ func (mm *MM) serveRejoin(c *conn, rj *Rejoin) {
 		delete(mm.probation, rj.Node)
 	}
 	mm.nms[rj.Node] = link
+	mm.place.SetNode(rj.Node, capOrUnbounded(rj.Cap))
+	mm.syncPlaceLocked(rj.Node)
 	mm.mu.Unlock()
 	mm.jlog(journal.NodeRejoin, 0, rj.Node, nil)
 	if err := c.send(Message{RejoinAck: &RejoinAck{Probation: prob}}); err != nil {
 		mm.mu.Lock()
 		if mm.nms[rj.Node] == link {
 			delete(mm.nms, rj.Node)
+			mm.syncPlaceLocked(rj.Node)
 		}
 		mm.mu.Unlock()
 		c.close()
@@ -959,6 +1028,7 @@ func (mm *MM) pumpNM(c *conn, link *nmLink, node int) {
 		mm.mu.Lock()
 		if mm.nms[node] == link {
 			delete(mm.nms, node)
+			mm.syncPlaceLocked(node)
 		}
 		delete(mm.budgets, c)
 		mm.mu.Unlock()
@@ -1185,7 +1255,7 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 	j.nodes = nodes
 	for _, l := range nodes {
 		j.placed = append(j.placed, l.node)
-		mm.nodeLoad[l.node]++
+		mm.place.Commit(l.node, spec.Demand)
 	}
 	mm.rewireTree(j)
 	mm.jobs[j.id] = j
@@ -1197,9 +1267,7 @@ func (mm *MM) RunJob(spec JobSpec) (Report, error) {
 		delete(mm.jobs, j.id)
 		mm.releaseRow(j.row)
 		for _, n := range j.placed {
-			if mm.nodeLoad[n] > 0 {
-				mm.nodeLoad[n]--
-			}
+			mm.place.Release(n, spec.Demand)
 		}
 		mm.admit.Broadcast()
 		mm.mu.Unlock()
@@ -1384,14 +1452,12 @@ func (mm *MM) rehome(j *liveJob) error {
 		return err
 	}
 	for _, n := range j.placed {
-		if mm.nodeLoad[n] > 0 {
-			mm.nodeLoad[n]--
-		}
+		mm.place.Release(n, j.spec.Demand)
 	}
 	j.placed = j.placed[:0]
 	for _, l := range nodes {
 		j.placed = append(j.placed, l.node)
-		mm.nodeLoad[l.node]++
+		mm.place.Commit(l.node, j.spec.Demand)
 	}
 	j.mu.Lock()
 	j.nodes = nodes

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/livenet/chunkcache"
+	"repro/internal/place"
 	"repro/internal/workload"
 )
 
@@ -54,6 +55,11 @@ type NMConfig struct {
 	// makes. The right choice when hundreds of NMs share a process;
 	// the default bulk profile is tuned for per-link throughput.
 	Lite bool
+	// Cap declares this node's resource capacity to the MM's placement
+	// engine. Placement never seats a gang member whose JobSpec.Demand
+	// exceeds the node's free capacity. The zero Cap means undeclared —
+	// the MM treats the node as unbounded, the pre-capacity behavior.
+	Cap place.Vec
 	// Rejoin announces this NM as a returning member rather than a fresh
 	// one: instead of Register it opens with a Rejoin handshake, and
 	// NewNMConfig blocks until the MM's RejoinAck clears the node's
@@ -266,7 +272,7 @@ func NewNMConfig(addr string, node, cpus int, cfg NMConfig) (*NM, error) {
 		// cleared this node's conviction before any traffic flows, so a
 		// caller holding a fresh NM knows the node is back in membership
 		// (probation may still gate placement for a few periods).
-		if err := c.send(Message{Rejoin: &Rejoin{Node: node, CPUs: cpus, Addr: peerAddr}}); err != nil {
+		if err := c.send(Message{Rejoin: &Rejoin{Node: node, CPUs: cpus, Addr: peerAddr, Cap: cfg.Cap}}); err != nil {
 			c.close()
 			fail()
 			return nil, fmt.Errorf("livenet: rejoin: %w", err)
@@ -288,7 +294,7 @@ func NewNMConfig(addr string, node, cpus int, cfg NMConfig) (*NM, error) {
 			return nil, fmt.Errorf("livenet: rejoin refused: %s", m.RejoinAck.Err)
 		}
 		nm.probation = m.RejoinAck.Probation
-	} else if err := c.send(Message{Register: &Register{Node: node, CPUs: cpus, Addr: peerAddr}}); err != nil {
+	} else if err := c.send(Message{Register: &Register{Node: node, CPUs: cpus, Addr: peerAddr, Cap: cfg.Cap}}); err != nil {
 		c.close()
 		fail()
 		return nil, fmt.Errorf("livenet: register: %w", err)

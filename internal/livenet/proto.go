@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/place"
 	"repro/internal/rng"
 )
 
@@ -74,6 +75,11 @@ type JobSpec struct {
 	// tree-position order (len must equal Nodes); empty lets the MM pick
 	// the least-loaded registered NMs.
 	Place []int
+	// Demand is the per-member resource demand vector. Placement only
+	// seats a member on a node whose free declared capacity covers it;
+	// the zero Demand (the default) fits anywhere, preserving the
+	// pre-capacity behavior byte for byte.
+	Demand place.Vec
 }
 
 // ProgramSpec is the live process behavior, transmitted to the PLs.
@@ -179,6 +185,10 @@ type Register struct {
 	Node int
 	CPUs int
 	Addr string
+	// Cap is the node's declared resource capacity. The zero Cap means
+	// undeclared: the MM treats the node as unbounded, so clusters that
+	// never mention capacities place exactly as before.
+	Cap place.Vec
 }
 
 // Submit asks the MM to run a job.
@@ -196,6 +206,7 @@ type Rejoin struct {
 	Node int
 	CPUs int
 	Addr string
+	Cap  place.Vec // declared capacity, as in Register
 }
 
 // RejoinAck answers a Rejoin. Probation is how many heartbeat-clean

@@ -1,0 +1,585 @@
+// Package place is the resource-aware, locality-minimizing placement
+// engine shared by the simulator and the live MM/federation (ROADMAP
+// item 3, after R-Storm). Jobs carry a resource demand vector and nodes
+// carry capacity vectors; the engine satisfies the hard capacity
+// constraints and, under the locality policy, softly minimizes the
+// tree-distance between gang members.
+//
+// The hot path is indexed, not scanned: node state lives in the leaves
+// of a power-of-two segment tree whose internal nodes carry five
+// aggregates — eligible count, min (load, id) key, load sum, and the
+// componentwise max and min of the leaves' free-capacity vectors. The
+// max prunes subtrees where no node fits the demand; the min shortcuts
+// subtrees where every node fits (so the best key or the feasible count
+// is read off the aggregate in O(1)). A placement decision therefore
+// descends only through subtrees whose leaves straddle the feasibility
+// boundary: O(log n) amortized on the homogeneous clusters the live MM
+// actually runs, never worse than the O(n) scan it replaces.
+//
+// The engine is deliberately NOT self-synchronizing: the live MM calls
+// it under mm.mu, the federation root under f.mu, and the sim from its
+// single-threaded event loop. One lock discipline, no double locking.
+package place
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a resource vector — a demand when attached to a job, a
+// capacity when attached to a node. The zero Vec is a free demand
+// (fits anywhere) and an empty capacity.
+type Vec struct {
+	CPU int64 // processing elements (or milli-CPUs; units are the caller's)
+	Mem int64 // resident bytes
+	Net int64 // link bandwidth share
+}
+
+// Unbounded is the capacity of a node that never refuses on resources —
+// the back-compat default for nodes registered without a declared
+// capacity. Quarter-range so sums of a few never overflow.
+var Unbounded = Vec{CPU: math.MaxInt64 / 4, Mem: math.MaxInt64 / 4, Net: math.MaxInt64 / 4}
+
+// Add returns v + o componentwise.
+func (v Vec) Add(o Vec) Vec { return Vec{v.CPU + o.CPU, v.Mem + o.Mem, v.Net + o.Net} }
+
+// Sub returns v − o componentwise.
+func (v Vec) Sub(o Vec) Vec { return Vec{v.CPU - o.CPU, v.Mem - o.Mem, v.Net - o.Net} }
+
+// Fits reports whether a node with free capacity v can host demand d.
+func (v Vec) Fits(d Vec) bool { return v.CPU >= d.CPU && v.Mem >= d.Mem && v.Net >= d.Net }
+
+// IsZero reports whether every component is zero.
+func (v Vec) IsZero() bool { return v == Vec{} }
+
+func (v Vec) String() string {
+	return fmt.Sprintf("cpu=%d mem=%d net=%d", v.CPU, v.Mem, v.Net)
+}
+
+func vmin(a, b Vec) Vec {
+	return Vec{min64(a.CPU, b.CPU), min64(a.Mem, b.Mem), min64(a.Net, b.Net)}
+}
+
+func vmax(a, b Vec) Vec {
+	return Vec{max64(a.CPU, b.CPU), max64(a.Mem, b.Mem), max64(a.Net, b.Net)}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Policy selects how the engine spends its freedom once the hard
+// capacity constraints are met.
+type Policy uint8
+
+const (
+	// Spread is the classic least-loaded placement: nodes in (load, id)
+	// ascending order, ties toward lower IDs — byte-identical to the
+	// historical leastLoadedOrder prefix, so existing deterministic
+	// placements reproduce exactly.
+	Spread Policy = iota
+	// Locality packs the gang into the smallest aligned subtree of the
+	// cluster's k-ary heap topology that can hold it (ties toward the
+	// lighter-loaded, then lower-based subtree), minimizing the relay
+	// tree-distance members pay to reach each other on shaped links.
+	Locality
+)
+
+// ParsePolicy maps a flag string to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "spread":
+		return Spread, nil
+	case "locality":
+		return Locality, nil
+	}
+	return Spread, fmt.Errorf("place: unknown policy %q (want spread or locality)", s)
+}
+
+func (p Policy) String() string {
+	if p == Locality {
+		return "locality"
+	}
+	return "spread"
+}
+
+// InsufficientError reports a Pick that could not seat the gang:
+// Eligible nodes existed (after the avoid set) but fewer than Want of
+// them had the free capacity to host the demand.
+type InsufficientError struct {
+	Want     int // gang size requested
+	Eligible int // present, eligible, not avoided
+	Feasible int // of those, how many fit the demand right now
+}
+
+func (e *InsufficientError) Error() string {
+	if e.Feasible == e.Eligible {
+		return fmt.Sprintf("place: %d nodes eligible, gang wants %d", e.Eligible, e.Want)
+	}
+	return fmt.Sprintf("place: %d of %d eligible nodes fit the demand, gang wants %d", e.Feasible, e.Eligible, e.Want)
+}
+
+// leaf is one node's state.
+type leaf struct {
+	present  bool
+	eligible bool
+	masked   bool // transient, inside one Pick (avoid set / already picked)
+	load     int64
+	cap      Vec
+	used     Vec
+}
+
+func (l *leaf) free() Vec { return l.cap.Sub(l.used) }
+
+// agg is a subtree summary over the present∧eligible∧unmasked leaves.
+type agg struct {
+	cnt     int   // candidate leaves below
+	minLoad int64 // min (load, id) key …
+	minID   int   // … and its node; -1 when cnt == 0
+	sumLoad int64
+	maxFree Vec // componentwise max free: prune when it can't fit the demand
+	minFree Vec // componentwise min free: all-fit shortcut when it fits
+}
+
+func mergeAgg(a, b agg) agg {
+	if a.cnt == 0 {
+		return b
+	}
+	if b.cnt == 0 {
+		return a
+	}
+	out := agg{cnt: a.cnt + b.cnt, sumLoad: a.sumLoad + b.sumLoad}
+	if a.minLoad < b.minLoad || (a.minLoad == b.minLoad && a.minID < b.minID) {
+		out.minLoad, out.minID = a.minLoad, a.minID
+	} else {
+		out.minLoad, out.minID = b.minLoad, b.minID
+	}
+	out.maxFree = vmax(a.maxFree, b.maxFree)
+	out.minFree = vmin(a.minFree, b.minFree)
+	return out
+}
+
+// Engine is the placement index. All methods assume the caller holds
+// whatever lock guards the cluster state the engine mirrors.
+type Engine struct {
+	size   int    // leaf-array width, power of two
+	leaves []leaf // len size, indexed by node ID
+	tree   []agg  // len 2·size; tree[1] is the root, tree[size+id] leaf id
+}
+
+// NewEngine returns an engine sized for node IDs 0..capHint-1; it grows
+// automatically when a larger ID registers.
+func NewEngine(capHint int) *Engine {
+	e := &Engine{}
+	e.grow(capHint)
+	return e
+}
+
+func (e *Engine) grow(want int) {
+	size := 1
+	for size < want {
+		size *= 2
+	}
+	if size <= e.size {
+		return
+	}
+	old := e.leaves
+	e.leaves = make([]leaf, size)
+	copy(e.leaves, old)
+	e.size = size
+	e.tree = make([]agg, 2*size)
+	for id := range e.leaves {
+		e.tree[size+id] = e.leafAgg(id)
+	}
+	for i := size - 1; i >= 1; i-- {
+		e.tree[i] = mergeAgg(e.tree[2*i], e.tree[2*i+1])
+	}
+}
+
+func (e *Engine) leafAgg(id int) agg {
+	l := &e.leaves[id]
+	if !l.present || !l.eligible || l.masked {
+		return agg{minID: -1}
+	}
+	f := l.free()
+	return agg{cnt: 1, minLoad: l.load, minID: id, sumLoad: l.load, maxFree: f, minFree: f}
+}
+
+// refresh recomputes leaf id's aggregate and every ancestor's.
+func (e *Engine) refresh(id int) {
+	i := e.size + id
+	e.tree[i] = e.leafAgg(id)
+	for i >>= 1; i >= 1; i >>= 1 {
+		e.tree[i] = mergeAgg(e.tree[2*i], e.tree[2*i+1])
+	}
+}
+
+// SetNode registers (or re-registers) node id with the given capacity,
+// making it present and eligible. Load and usage carry over across a
+// re-register, matching an NM rejoin that still hosts processes.
+func (e *Engine) SetNode(id int, cap Vec) {
+	if id >= e.size {
+		e.grow(id + 1)
+	}
+	l := &e.leaves[id]
+	l.present = true
+	l.eligible = true
+	l.cap = cap
+	e.refresh(id)
+}
+
+// RemoveNode unregisters node id entirely, dropping its load and usage.
+func (e *Engine) RemoveNode(id int) {
+	if id >= e.size {
+		return
+	}
+	e.leaves[id] = leaf{}
+	e.refresh(id)
+}
+
+// SetEligible marks node id placeable or not (conviction, probation,
+// admin exclusion) without touching its load accounting.
+func (e *Engine) SetEligible(id int, ok bool) {
+	if id >= e.size || !e.leaves[id].present {
+		return
+	}
+	if e.leaves[id].eligible == ok {
+		return
+	}
+	e.leaves[id].eligible = ok
+	e.refresh(id)
+}
+
+// Eligible reports whether node id is present and placeable.
+func (e *Engine) Eligible(id int) bool {
+	return id < e.size && e.leaves[id].present && e.leaves[id].eligible
+}
+
+// Present reports whether node id is registered.
+func (e *Engine) Present(id int) bool { return id < e.size && e.leaves[id].present }
+
+// Commit charges one gang member with demand d onto node id.
+func (e *Engine) Commit(id int, d Vec) {
+	if id >= e.size {
+		e.grow(id + 1)
+	}
+	l := &e.leaves[id]
+	l.load++
+	l.used = l.used.Add(d)
+	e.refresh(id)
+}
+
+// Release undoes a Commit when the member terminates or the launch
+// unwinds.
+func (e *Engine) Release(id int, d Vec) {
+	if id >= e.size {
+		return
+	}
+	l := &e.leaves[id]
+	if l.load > 0 {
+		l.load--
+	}
+	l.used = l.used.Sub(d)
+	if l.used.CPU < 0 {
+		l.used.CPU = 0
+	}
+	if l.used.Mem < 0 {
+		l.used.Mem = 0
+	}
+	if l.used.Net < 0 {
+		l.used.Net = 0
+	}
+	e.refresh(id)
+}
+
+// Load returns node id's gang-member count.
+func (e *Engine) Load(id int) int {
+	if id >= e.size {
+		return 0
+	}
+	return int(e.leaves[id].load)
+}
+
+// Cap returns node id's declared capacity.
+func (e *Engine) Cap(id int) Vec {
+	if id >= e.size {
+		return Vec{}
+	}
+	return e.leaves[id].cap
+}
+
+// Used returns node id's committed usage.
+func (e *Engine) Used(id int) Vec {
+	if id >= e.size {
+		return Vec{}
+	}
+	return e.leaves[id].used
+}
+
+// Free returns node id's uncommitted capacity.
+func (e *Engine) Free(id int) Vec {
+	if id >= e.size {
+		return Vec{}
+	}
+	return e.leaves[id].free()
+}
+
+// EligibleCount returns how many nodes are present and placeable.
+func (e *Engine) EligibleCount() int { return e.tree[1].cnt }
+
+// Each calls fn for every present node in ascending ID order.
+func (e *Engine) Each(fn func(id int, cap, used Vec, load int, eligible bool)) {
+	for id := range e.leaves {
+		l := &e.leaves[id]
+		if l.present {
+			fn(id, l.cap, l.used, int(l.load), l.eligible)
+		}
+	}
+}
+
+// Pick selects n distinct nodes for a gang with per-member demand d
+// under the policy, never placing on a node in avoid. The returned
+// order is the policy's deterministic placement order (tree position 0
+// first); Pick does not commit — the caller charges each member with
+// Commit once the placement is accepted.
+func (e *Engine) Pick(n int, d Vec, pol Policy, avoid map[int]bool) ([]int, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	var restore []int
+	mask := func(id int) {
+		e.leaves[id].masked = true
+		e.refresh(id)
+		restore = append(restore, id)
+	}
+	defer func() {
+		for _, id := range restore {
+			e.leaves[id].masked = false
+			e.refresh(id)
+		}
+	}()
+	for id := range avoid {
+		if id < e.size && e.leaves[id].present && e.leaves[id].eligible && !e.leaves[id].masked {
+			mask(id)
+		}
+	}
+	eligible := e.tree[1].cnt
+	if eligible < n {
+		return nil, &InsufficientError{Want: n, Eligible: eligible, Feasible: e.feasibleCount(1, d, eligible)}
+	}
+
+	lo, hi := 0, e.size // ID range the members are drawn from
+	if pol == Locality {
+		node, base, sz, ok := e.smallestFeasibleSubtree(n, d)
+		if ok {
+			lo, hi = base, base+sz
+			_ = node
+		}
+		// No single aligned subtree fits the whole gang: fall through
+		// to the cluster-wide spread so the job still runs; locality is
+		// a soft objective, capacity is the hard one.
+	}
+
+	picked := make([]int, 0, n)
+	for len(picked) < n {
+		_, id := e.bestFit(1, 0, e.size, lo, hi, d)
+		if id < 0 {
+			if lo != 0 || hi != e.size {
+				// The chosen subtree lost feasibility mid-extraction
+				// (can't happen — feasibleCount counted distinct
+				// leaves — but stay safe): widen to the whole cluster.
+				lo, hi = 0, e.size
+				continue
+			}
+			return nil, &InsufficientError{Want: n, Eligible: eligible, Feasible: len(picked) + e.feasibleCount(1, d, eligible)}
+		}
+		picked = append(picked, id)
+		mask(id)
+	}
+	return picked, nil
+}
+
+// bestFit returns the minimum-(load, id) candidate leaf within ID range
+// [lo, hi) whose free capacity fits d, or id −1. node spans [base,
+// base+sz) of the leaf array.
+func (e *Engine) bestFit(node, base, sz, lo, hi int, d Vec) (int64, int) {
+	if base >= hi || base+sz <= lo {
+		return 0, -1
+	}
+	a := e.tree[node]
+	if a.cnt == 0 || !a.maxFree.Fits(d) {
+		return 0, -1
+	}
+	if lo <= base && base+sz <= hi && a.minFree.Fits(d) {
+		return a.minLoad, a.minID // every leaf below fits: the min key wins
+	}
+	if sz == 1 {
+		return a.minLoad, a.minID // single leaf: maxFree == minFree, already vetted
+	}
+	half := sz / 2
+	ll, li := e.bestFit(2*node, base, half, lo, hi, d)
+	rl, ri := e.bestFit(2*node+1, base+half, half, lo, hi, d)
+	if li < 0 {
+		return rl, ri
+	}
+	if ri < 0 {
+		return ll, li
+	}
+	if ll < rl || (ll == rl && li < ri) {
+		return ll, li
+	}
+	return rl, ri
+}
+
+// feasibleCount counts candidate leaves under node that fit d, giving
+// up once the count reaches capN (callers only care about "≥ gang
+// size").
+func (e *Engine) feasibleCount(node int, d Vec, capN int) int {
+	a := e.tree[node]
+	if a.cnt == 0 || !a.maxFree.Fits(d) {
+		return 0
+	}
+	if a.minFree.Fits(d) {
+		return a.cnt
+	}
+	if node >= e.size {
+		return a.cnt // single leaf, vetted by maxFree above
+	}
+	c := e.feasibleCount(2*node, d, capN)
+	if c >= capN {
+		return c
+	}
+	return c + e.feasibleCount(2*node+1, d, capN-c)
+}
+
+// smallestFeasibleSubtree finds the minimal aligned segment-tree
+// subtree holding ≥ n candidate leaves that fit d. Ties break toward
+// the lower load sum, then the lower base ID, so the choice is
+// deterministic. Returns ok=false when only the root qualifies with
+// size e.size — callers treat that as "no locality to exploit" and may
+// still use the root range.
+func (e *Engine) smallestFeasibleSubtree(n int, d Vec) (node, base, sz int, ok bool) {
+	type cand struct {
+		node, base, sz int
+		sumLoad        int64
+	}
+	var best *cand
+	better := func(c cand) bool {
+		if best == nil {
+			return true
+		}
+		if c.sz != best.sz {
+			return c.sz < best.sz
+		}
+		if c.sumLoad != best.sumLoad {
+			return c.sumLoad < best.sumLoad
+		}
+		return c.base < best.base
+	}
+	var walk func(node, base, sz int) bool
+	walk = func(node, base, sz int) bool {
+		if e.feasibleCount(node, d, n) < n {
+			return false
+		}
+		childHit := false
+		if sz > 1 {
+			half := sz / 2
+			l := walk(2*node, base, half)
+			r := walk(2*node+1, base+half, half)
+			childHit = l || r
+		}
+		if !childHit {
+			c := cand{node: node, base: base, sz: sz, sumLoad: e.tree[node].sumLoad}
+			if better(c) {
+				best = &c
+			}
+		}
+		return true
+	}
+	if !walk(1, 0, e.size) || best == nil {
+		return 0, 0, 0, false
+	}
+	return best.node, best.base, best.sz, best.sz < e.size
+}
+
+// --- Heap-tree distance -------------------------------------------------
+//
+// The cluster's physical topology is modeled as the same k-ary heap the
+// forwarding trees use, but over *node IDs*: node q's parent is
+// q/fanout − 1 (the MM is a virtual root above IDs 0..fanout-1).
+// Distance is the relay path length between two nodes — the hop count a
+// frame pays to travel between them — which is exactly what faultconn
+// write-delay shaping charges per hop on the bench topologies.
+
+// parentPos returns q's parent ID, or −1 for the virtual MM root.
+func parentPos(q, fanout int) int {
+	if q < fanout {
+		return -1
+	}
+	return q/fanout - 1
+}
+
+// Depth returns node q's edge distance from the virtual MM root.
+func Depth(q, fanout int) int {
+	if fanout <= 1 {
+		return 1 // star topology: everyone hangs off the MM
+	}
+	d := 1
+	for q >= fanout {
+		q = q/fanout - 1
+		d++
+	}
+	return d
+}
+
+// Distance returns the hop count between node IDs a and b in the k-ary
+// heap topology (0 for a == b).
+func Distance(a, b, fanout int) int {
+	if a == b {
+		return 0
+	}
+	if fanout <= 1 {
+		return 2 // star: up to the MM, back down
+	}
+	da, db := Depth(a, fanout), Depth(b, fanout)
+	d := 0
+	for da > db {
+		a = parentPos(a, fanout)
+		da--
+		d++
+	}
+	for db > da {
+		b = parentPos(b, fanout)
+		db--
+		d++
+	}
+	for a != b {
+		a = parentPos(a, fanout)
+		b = parentPos(b, fanout)
+		d += 2
+	}
+	return d
+}
+
+// Span returns the sum of pairwise hop distances over a gang's node IDs
+// — the locality objective the Locality policy minimizes, and the
+// number the experiment tables report.
+func Span(ids []int, fanout int) int {
+	total := 0
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			total += Distance(ids[i], ids[j], fanout)
+		}
+	}
+	return total
+}
